@@ -1,0 +1,144 @@
+//! DE-MC(Z) — Differential Evolution Markov Chain with sampling from the
+//! past (Vrugt et al., 2008; ter Braak & Vrugt, 2008).
+//!
+//! Like DREAM, proposals jump along chain differences, but the difference
+//! vectors are drawn from an *archive* `Z` of past states rather than the
+//! current chain positions, which keeps detailed balance with far fewer
+//! parallel chains and improves mixing on high-dimensional problems.
+
+use super::{gauss, init_point, uniform_point, CalibrationOutcome, Calibrator};
+use crate::objective::Objective;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DE-MCz sampler used as a budgeted optimiser.
+pub struct DeMcZ {
+    /// Number of parallel chains (DE-MCz works with as few as 3).
+    pub chains: usize,
+    /// Probability of a γ = 1 mode-hopping jump.
+    pub p_jump: f64,
+    /// Append the current states to the archive every `thin` sweeps.
+    pub thin: usize,
+}
+
+impl Default for DeMcZ {
+    fn default() -> Self {
+        DeMcZ {
+            chains: 3,
+            p_jump: 0.1,
+            thin: 2,
+        }
+    }
+}
+
+impl Calibrator for DeMcZ {
+    fn name(&self) -> &'static str {
+        "DE-MCz"
+    }
+
+    fn calibrate(&self, obj: &dyn Objective, budget: usize, seed: u64) -> CalibrationOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = obj.dim();
+        let n = self.chains.max(3);
+        let mut evals = 0usize;
+
+        // Archive seeded with an initial population (10·d points is the
+        // published recommendation; trimmed to the budget).
+        let z0 = (10 * d).clamp(n, budget.max(n));
+        let mut archive: Vec<Vec<f64>> = Vec::with_capacity(z0);
+        let mut states: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n);
+        let mean = init_point(obj);
+        let v = obj.eval(&mean);
+        evals += 1;
+        let mut best = (mean.clone(), v);
+        archive.push(mean.clone());
+        states.push((mean, v));
+        while archive.len() < z0 && evals < budget {
+            let p = uniform_point(obj, &mut rng);
+            if states.len() < n {
+                let v = obj.eval(&p);
+                evals += 1;
+                if v < best.1 {
+                    best = (p.clone(), v);
+                }
+                states.push((p.clone(), v));
+            }
+            archive.push(p);
+        }
+
+        let gamma0 = 2.38 / (2.0 * d as f64).sqrt();
+        let mut sweep = 0usize;
+        while evals < budget {
+            sweep += 1;
+            #[allow(clippy::needless_range_loop)] // states[c] is re-assigned in the loop body
+            for c in 0..states.len() {
+                if evals >= budget {
+                    break;
+                }
+                let r1 = rng.gen_range(0..archive.len());
+                let r2 = rng.gen_range(0..archive.len());
+                if r1 == r2 {
+                    continue;
+                }
+                let gamma = if rng.gen_bool(self.p_jump) {
+                    1.0
+                } else {
+                    gamma0
+                };
+                let mut prop = states[c].0.clone();
+                for i in 0..d {
+                    prop[i] +=
+                        gamma * (archive[r1][i] - archive[r2][i]) + gauss(&mut rng, 0.0, 1e-6);
+                }
+                obj.clamp(&mut prop);
+                let v = obj.eval(&prop);
+                evals += 1;
+                let cur_v = states[c].1;
+                let accept = v <= cur_v || rng.gen_range(0.0..1.0_f64).ln() < cur_v - v;
+                if accept {
+                    states[c] = (prop, v);
+                    if v < best.1 {
+                        best = states[c].clone();
+                    }
+                }
+            }
+            if self.thin > 0 && sweep.is_multiple_of(self.thin) {
+                for (p, _) in &states {
+                    archive.push(p.clone());
+                }
+            }
+        }
+        CalibrationOutcome {
+            theta: best.0,
+            value: best.1,
+            evaluations: evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn finds_sphere_minimum() {
+        check_on_sphere(&DeMcZ::default(), 4000, 0.01);
+    }
+
+    #[test]
+    fn deterministic() {
+        check_deterministic(&DeMcZ::default());
+    }
+
+    #[test]
+    fn archive_grows_over_time() {
+        // Indirect check: a longer run must not degrade the result (the
+        // archive keeps supplying useful difference vectors).
+        use crate::objective::test_objectives::Sphere;
+        let obj = Sphere { d: 6 };
+        let short = DeMcZ::default().calibrate(&obj, 500, 3);
+        let long = DeMcZ::default().calibrate(&obj, 5000, 3);
+        assert!(long.value <= short.value);
+    }
+}

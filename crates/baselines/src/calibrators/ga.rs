@@ -1,0 +1,135 @@
+//! Real-coded genetic algorithm for parameter calibration.
+//!
+//! The GA the paper uses for calibration optimises a fixed-length real
+//! vector (no structure search): tournament selection, BLX-α blend
+//! crossover, Gaussian mutation and elitism.
+
+use super::{box_sigma, gauss, init_point, uniform_point, CalibrationOutcome, Calibrator};
+use crate::objective::Objective;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Real-coded GA.
+pub struct GeneticAlgorithm {
+    /// Population size.
+    pub pop_size: usize,
+    /// Tournament size.
+    pub tournament: usize,
+    /// Elite carried over unchanged.
+    pub elite: usize,
+    /// BLX-α blending range extension.
+    pub alpha: f64,
+    /// Per-gene mutation probability.
+    pub p_mut: f64,
+    /// Mutation σ as a fraction of the box width.
+    pub sigma_frac: f64,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        GeneticAlgorithm {
+            pop_size: 40,
+            tournament: 3,
+            elite: 2,
+            alpha: 0.3,
+            p_mut: 0.2,
+            sigma_frac: 0.08,
+        }
+    }
+}
+
+impl Calibrator for GeneticAlgorithm {
+    fn name(&self) -> &'static str {
+        "GA"
+    }
+
+    fn calibrate(&self, obj: &dyn Objective, budget: usize, seed: u64) -> CalibrationOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sigma = box_sigma(obj, self.sigma_frac);
+        let mut evals = 0usize;
+        let eval = |theta: &[f64], evals: &mut usize| {
+            *evals += 1;
+            obj.eval(theta)
+        };
+
+        // Seed the population with the prior mean plus uniform draws.
+        let mut pop: Vec<(Vec<f64>, f64)> = Vec::with_capacity(self.pop_size);
+        let mean = init_point(obj);
+        let v = eval(&mean, &mut evals);
+        pop.push((mean, v));
+        while pop.len() < self.pop_size && evals < budget {
+            let p = uniform_point(obj, &mut rng);
+            let v = eval(&p, &mut evals);
+            pop.push((p, v));
+        }
+
+        while evals < budget {
+            pop.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let mut next: Vec<(Vec<f64>, f64)> = pop.iter().take(self.elite).cloned().collect();
+            while next.len() < self.pop_size && evals < budget {
+                let pick = |rng: &mut StdRng| -> &(Vec<f64>, f64) {
+                    let mut best = &pop[rng.gen_range(0..pop.len())];
+                    for _ in 1..self.tournament {
+                        let c = &pop[rng.gen_range(0..pop.len())];
+                        if c.1 < best.1 {
+                            best = c;
+                        }
+                    }
+                    best
+                };
+                let a = pick(&mut rng).0.clone();
+                let b = pick(&mut rng).0.clone();
+                // BLX-α crossover.
+                let mut child: Vec<f64> = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(x, y)| {
+                        let (lo, hi) = (x.min(*y), x.max(*y));
+                        let span = (hi - lo).max(1e-12);
+                        rng.gen_range((lo - self.alpha * span)..(hi + self.alpha * span))
+                    })
+                    .collect();
+                // Gaussian mutation.
+                for (i, c) in child.iter_mut().enumerate() {
+                    if rng.gen_bool(self.p_mut) {
+                        *c = gauss(&mut rng, *c, sigma[i]);
+                    }
+                }
+                obj.clamp(&mut child);
+                let v = eval(&child, &mut evals);
+                next.push((child, v));
+            }
+            pop = next;
+        }
+        pop.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let (theta, value) = pop.into_iter().next().expect("non-empty population");
+        CalibrationOutcome {
+            theta,
+            value,
+            evaluations: evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use crate::objective::test_objectives::Rosenbrock;
+
+    #[test]
+    fn finds_sphere_minimum() {
+        check_on_sphere(&GeneticAlgorithm::default(), 2000, 0.01);
+    }
+
+    #[test]
+    fn deterministic() {
+        check_deterministic(&GeneticAlgorithm::default());
+    }
+
+    #[test]
+    fn makes_progress_on_rosenbrock() {
+        let out = GeneticAlgorithm::default().calibrate(&Rosenbrock, 4000, 3);
+        assert!(out.value < 1.0, "GA stalled at {}", out.value);
+    }
+}

@@ -1,0 +1,61 @@
+//! Monte Carlo calibration: uniform random search over the box.
+
+use super::{uniform_point, CalibrationOutcome, Calibrator};
+use crate::objective::Objective;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Plain uniform random sampling; the simplest budget-matched baseline.
+pub struct MonteCarlo;
+
+impl Calibrator for MonteCarlo {
+    fn name(&self) -> &'static str {
+        "MC"
+    }
+
+    fn calibrate(&self, obj: &dyn Objective, budget: usize, seed: u64) -> CalibrationOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut best = super::init_point(obj);
+        let mut best_v = obj.eval(&best);
+        let mut evals = 1;
+        while evals < budget {
+            let cand = uniform_point(obj, &mut rng);
+            let v = obj.eval(&cand);
+            evals += 1;
+            if v < best_v {
+                best_v = v;
+                best = cand;
+            }
+        }
+        CalibrationOutcome {
+            theta: best,
+            value: best_v,
+            evaluations: evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn finds_sphere_minimum_roughly() {
+        check_on_sphere(&MonteCarlo, 3000, 0.05);
+    }
+
+    #[test]
+    fn deterministic() {
+        check_deterministic(&MonteCarlo);
+    }
+
+    #[test]
+    fn never_worse_than_prior_start() {
+        use crate::objective::test_objectives::Sphere;
+        let obj = Sphere { d: 4 };
+        let start = obj.eval(&[0.9; 4]);
+        let out = MonteCarlo.calibrate(&obj, 50, 1);
+        assert!(out.value <= start);
+    }
+}

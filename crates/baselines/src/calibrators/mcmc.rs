@@ -1,0 +1,114 @@
+//! Metropolis MCMC calibration.
+//!
+//! A random-walk Metropolis sampler over the parameter box, with the
+//! pseudo-likelihood `exp(−RMSE / T)`. Calibration keeps the best visited
+//! point (we sample to *search*, as the SPOTPY-style usage in the paper
+//! does, not to characterise the posterior).
+
+use super::{box_sigma, gauss, init_point, CalibrationOutcome, Calibrator};
+use crate::objective::Objective;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-walk Metropolis.
+pub struct Metropolis {
+    /// Proposal σ as a fraction of the box width.
+    pub sigma_frac: f64,
+    /// Pseudo-likelihood temperature.
+    pub temperature: f64,
+}
+
+impl Default for Metropolis {
+    fn default() -> Self {
+        Metropolis {
+            sigma_frac: 0.05,
+            temperature: 1.0,
+        }
+    }
+}
+
+impl Calibrator for Metropolis {
+    fn name(&self) -> &'static str {
+        "MCMC"
+    }
+
+    fn calibrate(&self, obj: &dyn Objective, budget: usize, seed: u64) -> CalibrationOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sigma = box_sigma(obj, self.sigma_frac);
+        let mut cur = init_point(obj);
+        let mut cur_v = obj.eval(&cur);
+        let mut evals = 1usize;
+        let mut best = cur.clone();
+        let mut best_v = cur_v;
+        // Burn-in from uniform pre-samples: chains started on a degenerate
+        // plateau (the unstable prior-mean model) otherwise wander blind.
+        for _ in 0..budget / 10 {
+            if evals >= budget {
+                break;
+            }
+            let p = super::uniform_point(obj, &mut rng);
+            let v = obj.eval(&p);
+            evals += 1;
+            if v < cur_v {
+                cur = p.clone();
+                cur_v = v;
+            }
+            if v < best_v {
+                best = p;
+                best_v = v;
+            }
+        }
+        while evals < budget {
+            let mut prop: Vec<f64> = cur
+                .iter()
+                .zip(&sigma)
+                .map(|(c, s)| gauss(&mut rng, *c, *s))
+                .collect();
+            obj.clamp(&mut prop);
+            let v = obj.eval(&prop);
+            evals += 1;
+            let accept = v <= cur_v || {
+                let log_alpha = (cur_v - v) / self.temperature.max(1e-12);
+                rng.gen_range(0.0..1.0_f64).ln() < log_alpha
+            };
+            if accept {
+                cur = prop;
+                cur_v = v;
+                if v < best_v {
+                    best_v = v;
+                    best = cur.clone();
+                }
+            }
+        }
+        CalibrationOutcome {
+            theta: best,
+            value: best_v,
+            evaluations: evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use crate::objective::test_objectives::Sphere;
+
+    #[test]
+    fn finds_sphere_minimum() {
+        check_on_sphere(&Metropolis::default(), 3000, 0.05);
+    }
+
+    #[test]
+    fn deterministic() {
+        check_deterministic(&Metropolis::default());
+    }
+
+    #[test]
+    fn best_is_monotone_in_budget() {
+        let obj = Sphere { d: 4 };
+        let small = Metropolis::default().calibrate(&obj, 200, 5);
+        let large = Metropolis::default().calibrate(&obj, 2000, 5);
+        assert!(large.value <= small.value);
+    }
+}

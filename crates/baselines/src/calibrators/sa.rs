@@ -1,0 +1,103 @@
+//! Simulated annealing calibration.
+//!
+//! Random-walk neighbour proposals with a Metropolis acceptance rule under
+//! a geometric cooling schedule; the proposal width shrinks with the
+//! temperature so late iterations refine locally.
+
+use super::{box_sigma, gauss, init_point, CalibrationOutcome, Calibrator};
+use crate::objective::Objective;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated annealing.
+pub struct SimulatedAnnealing {
+    /// Initial temperature (in objective units).
+    pub t0: f64,
+    /// Final temperature.
+    pub t_end: f64,
+    /// Initial proposal σ as a fraction of the box width.
+    pub sigma_frac: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            t0: 5.0,
+            t_end: 1e-3,
+            sigma_frac: 0.15,
+        }
+    }
+}
+
+impl Calibrator for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn calibrate(&self, obj: &dyn Objective, budget: usize, seed: u64) -> CalibrationOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sigma0 = box_sigma(obj, self.sigma_frac);
+        let mut cur = init_point(obj);
+        let mut cur_v = obj.eval(&cur);
+        let mut evals = 1usize;
+        let mut best = cur.clone();
+        let mut best_v = cur_v;
+        let steps = budget.saturating_sub(1).max(1);
+        let cool = (self.t_end / self.t0).powf(1.0 / steps as f64);
+        let mut temp = self.t0;
+        while evals < budget {
+            // Proposal width tracks the temperature.
+            let scale = (temp / self.t0).sqrt().max(0.02);
+            let mut prop: Vec<f64> = cur
+                .iter()
+                .zip(&sigma0)
+                .map(|(c, s)| gauss(&mut rng, *c, *s * scale))
+                .collect();
+            obj.clamp(&mut prop);
+            let v = obj.eval(&prop);
+            evals += 1;
+            let accept = v <= cur_v || rng.gen_range(0.0..1.0_f64) < ((cur_v - v) / temp).exp();
+            if accept {
+                cur = prop;
+                cur_v = v;
+                if v < best_v {
+                    best_v = v;
+                    best = cur.clone();
+                }
+            }
+            temp = (temp * cool).max(self.t_end);
+        }
+        CalibrationOutcome {
+            theta: best,
+            value: best_v,
+            evaluations: evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn finds_sphere_minimum() {
+        check_on_sphere(&SimulatedAnnealing::default(), 3000, 0.01);
+    }
+
+    #[test]
+    fn deterministic() {
+        check_deterministic(&SimulatedAnnealing::default());
+    }
+
+    #[test]
+    fn accepts_uphill_moves_early() {
+        // With a high starting temperature the chain must wander: the final
+        // *current* point differs from the start even when the start is the
+        // optimum's basin edge. We check indirectly: the best found improves
+        // on the initial point despite a rugged acceptance path.
+        use crate::objective::test_objectives::Rosenbrock;
+        let out = SimulatedAnnealing::default().calibrate(&Rosenbrock, 4000, 11);
+        assert!(out.value < 5.0, "SA stalled at {}", out.value);
+    }
+}

@@ -1,0 +1,173 @@
+//! SCE-UA — Shuffled Complex Evolution (Duan, Sorooshian & Gupta, 1994).
+//!
+//! The population is partitioned into complexes; each complex evolves
+//! independently by the competitive complex evolution (CCE) step — a
+//! simplex-style reflection/contraction of the worst member of a randomly
+//! weighted sub-simplex — and the complexes are periodically shuffled
+//! together and re-partitioned, spreading information globally.
+
+use super::{init_point, uniform_point, CalibrationOutcome, Calibrator};
+use crate::objective::Objective;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// SCE-UA global optimiser.
+pub struct SceUa {
+    /// Number of complexes.
+    pub complexes: usize,
+    /// Points per complex (0 = the canonical `2·dim + 1`).
+    pub per_complex: usize,
+    /// CCE evolution steps per shuffle.
+    pub cce_steps: usize,
+}
+
+impl Default for SceUa {
+    fn default() -> Self {
+        SceUa {
+            complexes: 4,
+            per_complex: 0,
+            cce_steps: 8,
+        }
+    }
+}
+
+impl Calibrator for SceUa {
+    fn name(&self) -> &'static str {
+        "SCE-UA"
+    }
+
+    fn calibrate(&self, obj: &dyn Objective, budget: usize, seed: u64) -> CalibrationOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = obj.dim();
+        let m = if self.per_complex == 0 {
+            2 * d + 1
+        } else {
+            self.per_complex
+        };
+        let pop_n = self.complexes.max(1) * m;
+        let mut evals = 0usize;
+
+        let mut pop: Vec<(Vec<f64>, f64)> = Vec::with_capacity(pop_n);
+        let mean = init_point(obj);
+        let v = obj.eval(&mean);
+        evals += 1;
+        pop.push((mean, v));
+        while pop.len() < pop_n && evals < budget {
+            let p = uniform_point(obj, &mut rng);
+            let v = obj.eval(&p);
+            evals += 1;
+            pop.push((p, v));
+        }
+
+        while evals < budget {
+            // Rank and deal into complexes: point k goes to complex k mod q.
+            pop.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let q = self.complexes.max(1);
+            let mut complexes: Vec<Vec<(Vec<f64>, f64)>> = vec![Vec::new(); q];
+            for (k, p) in pop.drain(..).enumerate() {
+                complexes[k % q].push(p);
+            }
+            for complex in &mut complexes {
+                for _ in 0..self.cce_steps {
+                    if evals >= budget || complex.len() < 3 {
+                        break;
+                    }
+                    // Triangular-weighted sub-simplex of size d+1 (better
+                    // points more likely), evolve its worst member.
+                    complex.sort_by(|a, b| a.1.total_cmp(&b.1));
+                    let s = (d + 1).min(complex.len());
+                    let mut idx: Vec<usize> = Vec::with_capacity(s);
+                    while idx.len() < s {
+                        // Triangular distribution over ranks.
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        let r = ((1.0 - (1.0 - u).sqrt()) * complex.len() as f64) as usize;
+                        let r = r.min(complex.len() - 1);
+                        if !idx.contains(&r) {
+                            idx.push(r);
+                        }
+                    }
+                    idx.sort_unstable();
+                    let worst_rank = *idx.last().expect("sub-simplex non-empty");
+                    // Centroid of the sub-simplex without its worst.
+                    let mut centroid = vec![0.0; d];
+                    for &r in &idx[..idx.len() - 1] {
+                        for (c, x) in centroid.iter_mut().zip(&complex[r].0) {
+                            *c += x / (idx.len() - 1) as f64;
+                        }
+                    }
+                    let worst = complex[worst_rank].clone();
+                    // Reflection.
+                    let mut refl: Vec<f64> = centroid
+                        .iter()
+                        .zip(&worst.0)
+                        .map(|(c, w)| 2.0 * c - w)
+                        .collect();
+                    obj.clamp(&mut refl);
+                    let refl_v = obj.eval(&refl);
+                    evals += 1;
+                    if refl_v < worst.1 {
+                        complex[worst_rank] = (refl, refl_v);
+                        continue;
+                    }
+                    if evals >= budget {
+                        break;
+                    }
+                    // Contraction.
+                    let mut con: Vec<f64> = centroid
+                        .iter()
+                        .zip(&worst.0)
+                        .map(|(c, w)| 0.5 * (c + w))
+                        .collect();
+                    obj.clamp(&mut con);
+                    let con_v = obj.eval(&con);
+                    evals += 1;
+                    if con_v < worst.1 {
+                        complex[worst_rank] = (con, con_v);
+                    } else if evals < budget {
+                        // Random replacement (mutation step of CCE).
+                        let p = uniform_point(obj, &mut rng);
+                        let v = obj.eval(&p);
+                        evals += 1;
+                        complex[worst_rank] = (p, v);
+                    }
+                }
+            }
+            // Shuffle back together.
+            for mut c in complexes {
+                pop.append(&mut c);
+            }
+            pop.shuffle(&mut rng);
+        }
+        pop.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let (theta, value) = pop.into_iter().next().expect("population non-empty");
+        CalibrationOutcome {
+            theta,
+            value,
+            evaluations: evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use crate::objective::test_objectives::Rosenbrock;
+
+    #[test]
+    fn finds_sphere_minimum() {
+        check_on_sphere(&SceUa::default(), 4000, 0.01);
+    }
+
+    #[test]
+    fn deterministic() {
+        check_deterministic(&SceUa::default());
+    }
+
+    #[test]
+    fn handles_rosenbrock() {
+        let out = SceUa::default().calibrate(&Rosenbrock, 5000, 2);
+        assert!(out.value < 0.5, "SCE-UA stalled at {}", out.value);
+    }
+}

@@ -1,0 +1,31 @@
+//! Comparator methods for the GMR evaluation (paper §IV-B, Table V).
+//!
+//! Four families, all implemented from scratch:
+//!
+//! * **Knowledge-driven**: the M ANUAL expert model (re-exported from
+//!   `gmr-bio`; scoring happens in the experiment harness);
+//! * **Model calibration** ([`calibrators`]): nine optimisers over the
+//!   sixteen Table III constants with the model *structure* frozen — GA,
+//!   Monte Carlo, Latin hypercube sampling, maximum-likelihood (Nelder–
+//!   Mead), Metropolis MCMC, simulated annealing, DREAM, SCE-UA and DE-MCz;
+//! * **Model revision** ([`gggp`]): grammar-guided GP over a context-free
+//!   expression grammar — same prior process, same extension vocabulary,
+//!   but without TAG's adjunction discipline or local search;
+//! * **Data-driven**: [`arimax`] (ARX with exogenous regressors and
+//!   AIC order selection, free-run forecasting) and [`lstm`] (a
+//!   from-scratch two-layer LSTM with a two-layer dense head, trained with
+//!   Adam), each in `-S1` and `-All` variants.
+//!
+//! The shared [`objective`] module frames calibration as bounded
+//! minimisation of training RMSE over the parameter vector.
+
+pub mod arimax;
+pub mod calibrators;
+pub mod gggp;
+pub mod lstm;
+pub mod objective;
+pub mod report;
+
+pub use calibrators::{CalibrationOutcome, Calibrator};
+pub use objective::{CalibrationProblem, Objective};
+pub use report::MethodScore;

@@ -1,0 +1,630 @@
+//! RNN comparator: a from-scratch LSTM trained with Adam (paper §IV-B2,
+//! Appendix B).
+//!
+//! Matches the paper's architecture: a two-layer LSTM whose hidden size
+//! equals the number of input features, followed by a two-layer dense head
+//! producing the phytoplankton estimate; inputs standardised; Adam with
+//! α = 0.01, β₁ = 0.9, β₂ = 0.999, weight decay 5e-4; MSE loss. Training
+//! uses stateful truncated BPTT over fixed windows (the full 10-year
+//! sequence is one long stream, as in the original evaluation).
+//!
+//! Everything — the cell, backpropagation through time, Adam — is
+//! implemented here on plain `Vec<f64>` tensors: there is no deep-learning
+//! dependency in this workspace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct LstmConfig {
+    /// Hidden size (0 = number of input features, as in the paper).
+    pub hidden: usize,
+    /// Number of stacked LSTM layers.
+    pub layers: usize,
+    /// Training epochs over the full sequence.
+    pub epochs: usize,
+    /// Adam step size.
+    pub lr: f64,
+    /// Decoupled weight decay.
+    pub weight_decay: f64,
+    /// Truncated-BPTT window length.
+    pub window: usize,
+    /// Gradient L2 clip per tensor.
+    pub clip: f64,
+    /// Seed for weight init.
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        LstmConfig {
+            hidden: 0,
+            layers: 2,
+            epochs: 30,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            window: 60,
+            clip: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A dense parameter tensor with its gradient and Adam state.
+#[derive(Debug, Clone)]
+struct Tensor {
+    w: Vec<f64>,
+    g: Vec<f64>,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tensor {
+    fn new(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let scale = (6.0 / (rows + cols) as f64).sqrt();
+        let w = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Tensor {
+            w,
+            g: vec![0.0; rows * cols],
+            m: vec![0.0; rows * cols],
+            v: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            w: vec![0.0; rows * cols],
+            g: vec![0.0; rows * cols],
+            m: vec![0.0; rows * cols],
+            v: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// y += W x
+    #[allow(clippy::needless_range_loop)] // rows of a flat matrix
+    fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        for r in 0..self.rows {
+            let row = &self.w[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[r] += acc;
+        }
+    }
+
+    /// dW += dy ⊗ x ;  dx += Wᵀ dy
+    #[allow(clippy::needless_range_loop)] // rows of a flat matrix
+    fn backprop(&mut self, x: &[f64], dy: &[f64], dx: Option<&mut [f64]>) {
+        for r in 0..self.rows {
+            let d = dy[r];
+            if d != 0.0 {
+                let grow = &mut self.g[r * self.cols..(r + 1) * self.cols];
+                for (gi, xi) in grow.iter_mut().zip(x) {
+                    *gi += d * xi;
+                }
+            }
+        }
+        if let Some(dx) = dx {
+            for r in 0..self.rows {
+                let d = dy[r];
+                if d != 0.0 {
+                    let row = &self.w[r * self.cols..(r + 1) * self.cols];
+                    for (dxi, wi) in dx.iter_mut().zip(row) {
+                        *dxi += d * wi;
+                    }
+                }
+            }
+        }
+    }
+
+    fn adam_step(&mut self, lr: f64, wd: f64, t: usize, clip: f64) {
+        // Per-tensor gradient clipping.
+        let norm: f64 = self.g.iter().map(|g| g * g).sum::<f64>().sqrt();
+        let scale = if norm > clip && norm > 0.0 {
+            clip / norm
+        } else {
+            1.0
+        };
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        for i in 0..self.w.len() {
+            let g = self.g[i] * scale + wd * self.w[i];
+            self.m[i] = b1 * self.m[i] + (1.0 - b1) * g;
+            self.v[i] = b2 * self.v[i] + (1.0 - b2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            self.w[i] -= lr * mhat / (vhat.sqrt() + eps);
+            self.g[i] = 0.0;
+        }
+    }
+}
+
+#[inline(always)]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One LSTM layer's parameters.
+#[derive(Debug, Clone)]
+struct LstmLayer {
+    wx: Tensor, // 4H × I
+    wh: Tensor, // 4H × H
+    b: Tensor,  // 4H × 1
+    hidden: usize,
+    input: usize,
+}
+
+/// Cached activations for one time step (for BPTT).
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    gates: Vec<f64>, // [i f o g] post-activation
+    tanh_c: Vec<f64>,
+}
+
+impl LstmLayer {
+    fn new(input: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let mut b = Tensor::zeros(4 * hidden, 1);
+        // Forget-gate bias starts at +1 (standard trick for long memories).
+        for i in hidden..2 * hidden {
+            b.w[i] = 1.0;
+        }
+        LstmLayer {
+            wx: Tensor::new(4 * hidden, input, rng),
+            wh: Tensor::new(4 * hidden, hidden, rng),
+            b,
+            hidden,
+            input,
+        }
+    }
+
+    fn forward(&self, x: &[f64], h: &mut [f64], c: &mut [f64]) -> StepCache {
+        let hdim = self.hidden;
+        let mut z = self.b.w.clone();
+        self.wx.matvec_into(x, &mut z);
+        self.wh.matvec_into(h, &mut z);
+        let mut gates = vec![0.0; 4 * hdim];
+        for j in 0..hdim {
+            gates[j] = sigmoid(z[j]); // input gate
+            gates[hdim + j] = sigmoid(z[hdim + j]); // forget gate
+            gates[2 * hdim + j] = sigmoid(z[2 * hdim + j]); // output gate
+            gates[3 * hdim + j] = z[3 * hdim + j].tanh(); // candidate
+        }
+        let c_prev = c.to_vec();
+        let h_prev = h.to_vec();
+        let mut tanh_c = vec![0.0; hdim];
+        for j in 0..hdim {
+            c[j] = gates[hdim + j] * c_prev[j] + gates[j] * gates[3 * hdim + j];
+            tanh_c[j] = c[j].tanh();
+            h[j] = gates[2 * hdim + j] * tanh_c[j];
+        }
+        StepCache {
+            x: x.to_vec(),
+            h_prev,
+            c_prev,
+            gates,
+            tanh_c,
+        }
+    }
+
+    /// Backward one step. `dh`/`dc` carry gradients from the future;
+    /// returns the gradient w.r.t. the step input.
+    fn backward(&mut self, cache: &StepCache, dh: &mut Vec<f64>, dc: &mut [f64]) -> Vec<f64> {
+        let hdim = self.hidden;
+        let mut dz = vec![0.0; 4 * hdim];
+        for j in 0..hdim {
+            let i = cache.gates[j];
+            let f = cache.gates[hdim + j];
+            let o = cache.gates[2 * hdim + j];
+            let g = cache.gates[3 * hdim + j];
+            let tc = cache.tanh_c[j];
+            // h = o * tanh(c)
+            let do_ = dh[j] * tc;
+            let dtc = dh[j] * o;
+            let dcj = dc[j] + dtc * (1.0 - tc * tc);
+            // c = f*c_prev + i*g
+            let di = dcj * g;
+            let df = dcj * cache.c_prev[j];
+            let dg = dcj * i;
+            dc[j] = dcj * f; // flows to c_prev
+            dz[j] = di * i * (1.0 - i);
+            dz[hdim + j] = df * f * (1.0 - f);
+            dz[2 * hdim + j] = do_ * o * (1.0 - o);
+            dz[3 * hdim + j] = dg * (1.0 - g * g);
+        }
+        let mut dx = vec![0.0; self.input];
+        let mut dh_prev = vec![0.0; hdim];
+        self.wx.backprop(&cache.x, &dz, Some(&mut dx));
+        self.wh.backprop(&cache.h_prev, &dz, Some(&mut dh_prev));
+        self.b.backprop(&[1.0], &dz, None);
+        *dh = dh_prev;
+        dx
+    }
+}
+
+/// A trained LSTM forecaster.
+pub struct LstmModel {
+    layers: Vec<LstmLayer>,
+    head1: Tensor,
+    head1_b: Tensor,
+    head2: Tensor,
+    head2_b: Tensor,
+    feat_norm: Vec<(f64, f64)>,
+    target_norm: (f64, f64),
+    hidden: usize,
+}
+
+fn norms(rows: &[Vec<f64>]) -> Vec<(f64, f64)> {
+    let k = rows.first().map(|r| r.len()).unwrap_or(0);
+    (0..k)
+        .map(|c| {
+            let m = rows.iter().map(|r| r[c]).sum::<f64>() / rows.len() as f64;
+            let v = rows.iter().map(|r| (r[c] - m) * (r[c] - m)).sum::<f64>() / rows.len() as f64;
+            (m, v.sqrt().max(1e-9))
+        })
+        .collect()
+}
+
+impl LstmModel {
+    /// Train on a feature stream and aligned targets.
+    pub fn train(features: &[Vec<f64>], targets: &[f64], cfg: &LstmConfig) -> LstmModel {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features and targets must align"
+        );
+        assert!(!features.is_empty(), "empty training stream");
+        let nfeat = features[0].len();
+        let hidden = if cfg.hidden == 0 {
+            nfeat.max(4)
+        } else {
+            cfg.hidden
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let feat_norm = norms(features);
+        let tm = targets.iter().sum::<f64>() / targets.len() as f64;
+        let tv = targets.iter().map(|t| (t - tm) * (t - tm)).sum::<f64>() / targets.len() as f64;
+        let target_norm = (tm, tv.sqrt().max(1e-9));
+
+        let mut layers = Vec::with_capacity(cfg.layers.max(1));
+        for l in 0..cfg.layers.max(1) {
+            let input = if l == 0 { nfeat } else { hidden };
+            layers.push(LstmLayer::new(input, hidden, &mut rng));
+        }
+        let mut model = LstmModel {
+            layers,
+            head1: Tensor::new(hidden, hidden, &mut rng),
+            head1_b: Tensor::zeros(hidden, 1),
+            head2: Tensor::new(1, hidden, &mut rng),
+            head2_b: Tensor::zeros(1, 1),
+            feat_norm,
+            target_norm,
+            hidden,
+        };
+
+        let xs: Vec<Vec<f64>> = features
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&model.feat_norm)
+                    .map(|(x, (m, s))| (x - m) / s)
+                    .collect()
+            })
+            .collect();
+        let ys: Vec<f64> = targets.iter().map(|t| (t - tm) / target_norm.1).collect();
+
+        let window = cfg.window.max(4).min(xs.len());
+        let mut t_adam = 0usize;
+        for _epoch in 0..cfg.epochs {
+            let nl = model.layers.len();
+            let mut h: Vec<Vec<f64>> = vec![vec![0.0; hidden]; nl];
+            let mut c: Vec<Vec<f64>> = vec![vec![0.0; hidden]; nl];
+            let mut start = 0usize;
+            while start < xs.len() {
+                let end = (start + window).min(xs.len());
+                // Forward through the window, caching activations.
+                let mut caches: Vec<Vec<StepCache>> =
+                    (0..nl).map(|_| Vec::with_capacity(end - start)).collect();
+                let mut mids: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(end - start);
+                let mut dloss: Vec<f64> = Vec::with_capacity(end - start);
+                for t in start..end {
+                    let mut inp = xs[t].clone();
+                    for (l, layer) in model.layers.iter().enumerate() {
+                        let cache = layer.forward(&inp, &mut h[l], &mut c[l]);
+                        inp = h[l].clone();
+                        caches[l].push(cache);
+                    }
+                    // Dense head: tanh(W1 h + b1) → W2 · + b2.
+                    let mut mid = model.head1_b.w.clone();
+                    model.head1.matvec_into(&inp, &mut mid);
+                    for m in &mut mid {
+                        *m = m.tanh();
+                    }
+                    let mut out = model.head2_b.w.clone();
+                    model.head2.matvec_into(&mid, &mut out);
+                    let err = out[0] - ys[t];
+                    dloss.push(2.0 * err / (end - start) as f64);
+                    mids.push((inp, mid));
+                }
+                // Backward through time.
+                let mut dh: Vec<Vec<f64>> = vec![vec![0.0; hidden]; nl];
+                let mut dcv: Vec<Vec<f64>> = vec![vec![0.0; hidden]; nl];
+                for (ti, t) in (start..end).enumerate().rev() {
+                    let _ = t;
+                    let (top_h, mid) = &mids[ti];
+                    let dout = dloss[ti];
+                    // Head gradients.
+                    let mut dmid = vec![0.0; hidden];
+                    model.head2.backprop(mid, &[dout], Some(&mut dmid));
+                    model.head2_b.backprop(&[1.0], &[dout], None);
+                    for (d, m) in dmid.iter_mut().zip(mid) {
+                        *d *= 1.0 - m * m;
+                    }
+                    let mut dtop = vec![0.0; hidden];
+                    model.head1.backprop(top_h, &dmid, Some(&mut dtop));
+                    model.head1_b.backprop(&[1.0], &dmid, None);
+                    // Inject into the top layer's dh; walk layers downward.
+                    for j in 0..hidden {
+                        dh[nl - 1][j] += dtop[j];
+                    }
+                    let mut dx_upper: Option<Vec<f64>> = None;
+                    for l in (0..nl).rev() {
+                        if let Some(dx) = dx_upper.take() {
+                            for j in 0..hidden {
+                                dh[l][j] += dx[j];
+                            }
+                        }
+                        let cache = &caches[l][ti];
+                        let dx = model.layers[l].backward(cache, &mut dh[l], &mut dcv[l]);
+                        dx_upper = Some(dx);
+                    }
+                }
+                // Adam step over every tensor.
+                t_adam += 1;
+                for layer in &mut model.layers {
+                    layer
+                        .wx
+                        .adam_step(cfg.lr, cfg.weight_decay, t_adam, cfg.clip);
+                    layer
+                        .wh
+                        .adam_step(cfg.lr, cfg.weight_decay, t_adam, cfg.clip);
+                    layer.b.adam_step(cfg.lr, 0.0, t_adam, cfg.clip);
+                }
+                model
+                    .head1
+                    .adam_step(cfg.lr, cfg.weight_decay, t_adam, cfg.clip);
+                model.head1_b.adam_step(cfg.lr, 0.0, t_adam, cfg.clip);
+                model
+                    .head2
+                    .adam_step(cfg.lr, cfg.weight_decay, t_adam, cfg.clip);
+                model.head2_b.adam_step(cfg.lr, 0.0, t_adam, cfg.clip);
+                start = end;
+                // State carries across windows (stateful TBPTT), gradients
+                // do not.
+            }
+        }
+        model
+    }
+
+    /// Roll the trained network over a feature stream, returning the
+    /// predicted biomass series (de-standardised, clamped non-negative).
+    pub fn predict(&self, features: &[Vec<f64>]) -> Vec<f64> {
+        let nl = self.layers.len();
+        let mut h: Vec<Vec<f64>> = vec![vec![0.0; self.hidden]; nl];
+        let mut c: Vec<Vec<f64>> = vec![vec![0.0; self.hidden]; nl];
+        let mut out = Vec::with_capacity(features.len());
+        for row in features {
+            let mut inp: Vec<f64> = row
+                .iter()
+                .zip(&self.feat_norm)
+                .map(|(x, (m, s))| (x - m) / s)
+                .collect();
+            for (l, layer) in self.layers.iter().enumerate() {
+                let _ = layer.forward(&inp, &mut h[l], &mut c[l]);
+                inp = h[l].clone();
+            }
+            let mut mid = self.head1_b.w.clone();
+            self.head1.matvec_into(&inp, &mut mid);
+            for m in &mut mid {
+                *m = m.tanh();
+            }
+            let mut y = self.head2_b.w.clone();
+            self.head2.matvec_into(&mid, &mut y);
+            let (tm, ts) = self.target_norm;
+            out.push((y[0] * ts + tm).max(0.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A memory task: y_t = 0.7 y_{t-1} + x_t (the target depends on
+    /// history, so a memoryless map cannot fit it).
+    fn memory_task(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut y = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            y = 0.7 * y + x;
+            xs.push(vec![x]);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    fn small_cfg(seed: u64) -> LstmConfig {
+        LstmConfig {
+            hidden: 8,
+            layers: 1,
+            epochs: 40,
+            window: 32,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn learns_memory_task() {
+        let (xs, ys) = memory_task(400, 1);
+        let model = LstmModel::train(&xs, &ys, &small_cfg(1));
+        // Compare against a clamped target (predict() clamps at 0, matching
+        // the biomass use case) on fresh data from the same process.
+        let (xt, yt) = memory_task(200, 2);
+        let pred = model.predict(&xt);
+        let yt_clamped: Vec<f64> = yt.iter().map(|v| v.max(0.0)).collect();
+        let rmse = gmr_hydro::rmse(&pred, &yt_clamped);
+        let sd = {
+            let m = yt_clamped.iter().sum::<f64>() / yt_clamped.len() as f64;
+            (yt_clamped.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / yt_clamped.len() as f64)
+                .sqrt()
+        };
+        assert!(
+            rmse < 0.8 * sd,
+            "LSTM did not beat the mean predictor: {rmse} vs sd {sd}"
+        );
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (xs, ys) = memory_task(150, 3);
+        let a = LstmModel::train(&xs, &ys, &small_cfg(7)).predict(&xs);
+        let b = LstmModel::train(&xs, &ys, &small_cfg(7)).predict(&xs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predictions_nonnegative_and_aligned() {
+        let (xs, ys) = memory_task(100, 4);
+        let model = LstmModel::train(&xs, &ys, &small_cfg(5));
+        let pred = model.predict(&xs);
+        assert_eq!(pred.len(), xs.len());
+        assert!(pred.iter().all(|p| *p >= 0.0));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (xs, ys) = memory_task(300, 5);
+        let ys_clamped: Vec<f64> = ys.iter().map(|v| v.max(0.0)).collect();
+        let untrained = LstmModel::train(
+            &xs,
+            &ys,
+            &LstmConfig {
+                epochs: 0,
+                ..small_cfg(6)
+            },
+        )
+        .predict(&xs);
+        let trained = LstmModel::train(&xs, &ys, &small_cfg(6)).predict(&xs);
+        assert!(
+            gmr_hydro::rmse(&trained, &ys_clamped) < gmr_hydro::rmse(&untrained, &ys_clamped),
+            "training must improve in-sample fit"
+        );
+    }
+
+    #[test]
+    fn bptt_gradients_match_finite_differences() {
+        // The strongest correctness evidence a from-scratch backprop can
+        // have: analytic ∂L/∂W equals central finite differences through
+        // the full unrolled forward pass.
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = LstmLayer::new(2, 3, &mut rng);
+        let xs: Vec<Vec<f64>> = (0..6)
+            .map(|t| vec![0.1 * t as f64, 0.3 - 0.05 * t as f64])
+            .collect();
+        // L = Σ_t Σ_j (j + 1) · h_t[j]
+        let loss = |layer: &LstmLayer| -> f64 {
+            let mut h = vec![0.0; 3];
+            let mut c = vec![0.0; 3];
+            let mut l = 0.0;
+            for x in &xs {
+                let _ = layer.forward(x, &mut h, &mut c);
+                for (j, v) in h.iter().enumerate() {
+                    l += (j + 1) as f64 * v;
+                }
+            }
+            l
+        };
+        // Analytic gradients via BPTT.
+        let mut work = layer.clone();
+        let mut h = vec![0.0; 3];
+        let mut c = vec![0.0; 3];
+        let mut caches = Vec::new();
+        for x in &xs {
+            caches.push(work.forward(x, &mut h, &mut c));
+        }
+        let mut dh = vec![0.0; 3];
+        let mut dc = vec![0.0; 3];
+        for cache in caches.iter().rev() {
+            for (j, d) in dh.iter_mut().enumerate() {
+                *d += (j + 1) as f64;
+            }
+            let _ = work.backward(cache, &mut dh, &mut dc);
+        }
+        // Compare a spread of weights across all three tensors.
+        let eps = 1e-6;
+        type Get = fn(&LstmLayer) -> &Tensor;
+        type GetMut = fn(&mut LstmLayer) -> &mut Tensor;
+        let tensors: [(&str, Get, GetMut); 3] = [
+            ("wx", |l| &l.wx, |l| &mut l.wx),
+            ("wh", |l| &l.wh, |l| &mut l.wh),
+            ("b", |l| &l.b, |l| &mut l.b),
+        ];
+        for (name, get, get_mut) in tensors {
+            let len = get(&layer).w.len();
+            for i in (0..len).step_by((len / 5).max(1)) {
+                let mut plus = layer.clone();
+                get_mut(&mut plus).w[i] += eps;
+                let mut minus = layer.clone();
+                get_mut(&mut minus).w[i] -= eps;
+                let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                let analytic = get(&work).g[i];
+                assert!(
+                    (numeric - analytic).abs() < 1e-5 * (1.0 + numeric.abs()),
+                    "{name}[{i}]: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_defaults_to_feature_count() {
+        let xs = vec![vec![0.0; 5]; 50];
+        let ys = vec![0.0; 50];
+        let m = LstmModel::train(
+            &xs,
+            &ys,
+            &LstmConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.hidden, 5);
+        assert_eq!(m.layers.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_inputs_panic() {
+        let _ = LstmModel::train(&[vec![0.0]], &[0.0, 1.0], &LstmConfig::default());
+    }
+}

@@ -1,0 +1,189 @@
+//! Bounded black-box objectives, and model calibration as one.
+//!
+//! Model calibration (§I, §IV-B3) freezes the structure of the expert
+//! equations and optimises only the sixteen Table III constants against
+//! training RMSE. Every calibrator in [`crate::calibrators`] works against
+//! the [`Objective`] trait, which also lets the unit tests exercise each
+//! optimiser on cheap analytic functions.
+
+use gmr_bio::manual::manual_system;
+use gmr_bio::params::{NUM_CALIBRATED, PARAMS};
+use gmr_bio::RiverProblem;
+use gmr_expr::Expr;
+
+/// A bounded minimisation problem.
+pub trait Objective: Sync {
+    /// Dimensionality.
+    fn dim(&self) -> usize;
+    /// Box bounds of coordinate `i`.
+    fn bounds(&self, i: usize) -> (f64, f64);
+    /// A reasonable starting point for coordinate `i` (the prior mean for
+    /// calibration).
+    fn init(&self, i: usize) -> f64;
+    /// Evaluate the objective (lower is better).
+    fn eval(&self, theta: &[f64]) -> f64;
+
+    /// Clamp a point into the box.
+    fn clamp(&self, theta: &mut [f64]) {
+        for (i, t) in theta.iter_mut().enumerate() {
+            let (lo, hi) = self.bounds(i);
+            *t = t.clamp(lo, hi);
+        }
+    }
+}
+
+/// Calibrating the expert model's constants against training RMSE.
+pub struct CalibrationProblem {
+    problem: RiverProblem,
+    template: [Expr; 2],
+}
+
+impl CalibrationProblem {
+    /// Wrap a training problem; the template is the expert system.
+    pub fn new(problem: RiverProblem) -> Self {
+        CalibrationProblem {
+            problem,
+            template: manual_system(),
+        }
+    }
+
+    /// Materialise the expert equations with parameter vector `theta`
+    /// (indexed by parameter kind).
+    pub fn instantiate(&self, theta: &[f64]) -> [Expr; 2] {
+        let mut eqs = self.template.clone();
+        for eq in &mut eqs {
+            for slot in eq.param_slots_mut() {
+                if let Some(&v) = theta.get(slot.kind as usize) {
+                    slot.value = v;
+                }
+            }
+        }
+        eqs
+    }
+
+    /// The underlying simulation problem.
+    pub fn problem(&self) -> &RiverProblem {
+        &self.problem
+    }
+}
+
+impl Objective for CalibrationProblem {
+    fn dim(&self) -> usize {
+        NUM_CALIBRATED
+    }
+
+    fn bounds(&self, i: usize) -> (f64, f64) {
+        let p = &PARAMS[i];
+        (p.min, p.max)
+    }
+
+    fn init(&self, i: usize) -> f64 {
+        PARAMS[i].mean
+    }
+
+    fn eval(&self, theta: &[f64]) -> f64 {
+        self.problem.rmse(&self.instantiate(theta))
+    }
+}
+
+/// Analytic objectives for optimiser unit tests.
+#[doc(hidden)]
+pub mod test_objectives {
+    use super::Objective;
+
+    /// Shifted sphere: minimum `0` at `(0.3, …, 0.3)` inside `[0, 1]^d`.
+    pub struct Sphere {
+        /// Dimensionality.
+        pub d: usize,
+    }
+
+    impl Objective for Sphere {
+        fn dim(&self) -> usize {
+            self.d
+        }
+        fn bounds(&self, _i: usize) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn init(&self, _i: usize) -> f64 {
+            0.9
+        }
+        fn eval(&self, theta: &[f64]) -> f64 {
+            theta.iter().map(|t| (t - 0.3) * (t - 0.3)).sum()
+        }
+    }
+
+    /// Rosenbrock in `[-2, 2]^2` — a curved valley that separates the
+    /// population methods from pure random search.
+    pub struct Rosenbrock;
+
+    impl Objective for Rosenbrock {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn bounds(&self, _i: usize) -> (f64, f64) {
+            (-2.0, 2.0)
+        }
+        fn init(&self, _i: usize) -> f64 {
+            -1.0
+        }
+        fn eval(&self, t: &[f64]) -> f64 {
+            let (x, y) = (t[0], t[1]);
+            (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_hydro::{generate, SyntheticConfig};
+
+    fn problem() -> CalibrationProblem {
+        let ds = generate(&SyntheticConfig {
+            start_year: 1996,
+            end_year: 1996,
+            train_end_year: 1996,
+            ..Default::default()
+        });
+        CalibrationProblem::new(RiverProblem::from_dataset(&ds, ds.train))
+    }
+
+    #[test]
+    fn dimensions_and_bounds_follow_table_iii() {
+        let cp = problem();
+        assert_eq!(cp.dim(), 16);
+        assert_eq!(cp.bounds(0), (0.1, 4.0)); // CUA
+        assert_eq!(cp.init(0), 1.89);
+    }
+
+    #[test]
+    fn instantiate_replaces_every_slot() {
+        let cp = problem();
+        let theta: Vec<f64> = (0..16).map(|i| cp.init(i) * 0.9).collect();
+        let mut eqs = cp.instantiate(&theta);
+        for eq in &mut eqs {
+            for slot in eq.param_slots_mut() {
+                assert!((slot.value - theta[slot.kind as usize]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn objective_at_prior_matches_manual_rmse() {
+        let cp = problem();
+        let theta: Vec<f64> = (0..16).map(|i| cp.init(i)).collect();
+        let direct = cp.problem().rmse(&manual_system());
+        let via = cp.eval(&theta);
+        assert_eq!(via, direct);
+    }
+
+    #[test]
+    fn clamp_respects_box() {
+        let cp = problem();
+        let mut theta = vec![1e9; 16];
+        cp.clamp(&mut theta);
+        for (i, t) in theta.iter().enumerate() {
+            assert_eq!(*t, cp.bounds(i).1);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the ARIMAX implementation: fitting must be total on
+//! any sane series, forecasts must have the requested length and stay
+//! finite, and the AIC selection must never pick an order it cannot
+//! support.
+
+use gmr_baselines::arimax::{ArimaxConfig, ArimaxModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn series(seed: u64, n: usize, ar: f64, noise: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut y = vec![5.0];
+    for _ in 1..n {
+        let last = *y.last().expect("non-empty");
+        y.push(1.0 + ar * last + rng.gen_range(-noise..noise.max(1e-9)));
+    }
+    y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fit_is_total_on_stationary_series(
+        seed in any::<u64>(),
+        n in 60usize..400,
+        ar in -0.9f64..0.9,
+        noise in 0.01f64..2.0,
+    ) {
+        let y = series(seed, n, ar, noise);
+        let exog: Vec<Vec<f64>> = vec![vec![]; n];
+        let m = ArimaxModel::fit(&y, &exog, &ArimaxConfig::default()).expect("fits");
+        prop_assert!(m.p >= 1 && m.p <= 7);
+        prop_assert!(m.d <= 1);
+        prop_assert!(m.aic.is_finite());
+        prop_assert!(m.coef.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn forecast_has_requested_length_and_stays_finite(
+        seed in any::<u64>(),
+        n in 60usize..200,
+        horizon in 1usize..120,
+    ) {
+        let y = series(seed, n, 0.6, 0.5);
+        let exog: Vec<Vec<f64>> = vec![vec![]; n];
+        let m = ArimaxModel::fit(&y, &exog, &ArimaxConfig::default()).expect("fits");
+        let future: Vec<Vec<f64>> = vec![vec![]; horizon];
+        let f = m.forecast(&y, &future);
+        prop_assert_eq!(f.len(), horizon);
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fitted_series_aligns_with_input(
+        seed in any::<u64>(),
+        n in 60usize..200,
+    ) {
+        let y = series(seed, n, 0.5, 0.3);
+        let exog: Vec<Vec<f64>> = vec![vec![]; n];
+        let m = ArimaxModel::fit(&y, &exog, &ArimaxConfig::default()).expect("fits");
+        let fitted = m.fitted(&y, &exog);
+        prop_assert_eq!(fitted.len(), y.len());
+        prop_assert!(fitted.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn constant_series_forecasts_the_constant(level in 0.5f64..100.0) {
+        let y = vec![level; 120];
+        let exog: Vec<Vec<f64>> = vec![vec![]; 120];
+        let m = ArimaxModel::fit(&y, &exog, &ArimaxConfig::default()).expect("fits");
+        let f = m.forecast(&y, &vec![vec![]; 30]);
+        for v in f {
+            prop_assert!((v - level).abs() < 1e-3 * level.max(1.0), "{v} vs {level}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//!
+//! * simplify-before-hash (the cache-hit-rate mechanism) vs hashing raw
+//!   trees — measures the extra canonicalisation cost that buys the higher
+//!   hit rate;
+//! * the connector/extender grammar: derivation→derived-tree construction
+//!   and lowering cost as chromosomes grow;
+//! * Gaussian mutation with prior-σ vs a naive fixed σ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmr_bio::river_grammar;
+use gmr_core::river_priors;
+use gmr_expr::simplify;
+use gmr_gp::operators::gaussian_mutation;
+use gmr_gp::ParamPriors;
+use gmr_tag::lower::lower_system;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_simplify_before_hash(c: &mut Criterion) {
+    let rg = river_grammar();
+    let mut rng = StdRng::seed_from_u64(7);
+    let tree = rg.grammar.random_tree(&mut rng, 20, 40);
+    let eqs = lower_system(&tree.derived(&rg.grammar), 2).expect("lowers");
+
+    let mut g = c.benchmark_group("cache_key");
+    g.bench_function("raw_hash", |b| {
+        b.iter(|| {
+            let keys: Vec<_> = eqs.iter().map(|e| e.structural_hash()).collect();
+            black_box(keys)
+        })
+    });
+    g.bench_function("simplify_then_hash", |b| {
+        b.iter(|| {
+            let keys: Vec<_> = eqs.iter().map(|e| simplify(e).structural_hash()).collect();
+            black_box(keys)
+        })
+    });
+    g.finish();
+}
+
+fn bench_derivation_pipeline(c: &mut Criterion) {
+    let rg = river_grammar();
+    let mut g = c.benchmark_group("derivation_pipeline");
+    for size in [2usize, 10, 25, 50] {
+        let mut rng = StdRng::seed_from_u64(size as u64);
+        let tree = rg.grammar.random_tree(&mut rng, size, size);
+        g.bench_with_input(BenchmarkId::new("derive_and_lower", size), &tree, |b, t| {
+            b.iter(|| {
+                let derived = t.derived(&rg.grammar);
+                black_box(lower_system(&derived, 2).expect("lowers"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gaussian_mutation(c: &mut Criterion) {
+    let rg = river_grammar();
+    let mut rng = StdRng::seed_from_u64(3);
+    let tree = rg.grammar.random_tree(&mut rng, 10, 30);
+    let prior = river_priors();
+    let naive = ParamPriors::new((0..17).map(|_| (0.5, -10.0, 10.0)));
+
+    let mut g = c.benchmark_group("gaussian_mutation");
+    g.bench_function("prior_sigma", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| {
+            let mut t = tree.clone();
+            gaussian_mutation(&mut t, &rg.grammar, &prior, 1.0, &mut rng);
+            black_box(t)
+        })
+    });
+    g.bench_function("naive_sigma", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| {
+            let mut t = tree.clone();
+            gaussian_mutation(&mut t, &rg.grammar, &naive, 1.0, &mut rng);
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_simplify_before_hash, bench_derivation_pipeline, bench_gaussian_mutation
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Engine-level benches: population initialisation, genetic-operator
+//! throughput, and one full generation of the river search (the unit the
+//! paper's Fig. 10 wall-clock numbers are built from).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmr_bench::{dataset, Scale};
+use gmr_bio::river_grammar;
+use gmr_bio::RiverProblem;
+use gmr_core::{river_priors, RiverEvaluator};
+use gmr_gp::operators::{crossover, subtree_mutation};
+use gmr_gp::{Engine, GpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_init(c: &mut Criterion) {
+    let rg = river_grammar();
+    c.bench_function("random_tree_size2_50", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(rg.grammar.random_tree(&mut rng, 2, 50)))
+    });
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let rg = river_grammar();
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = rg.grammar.random_tree(&mut rng, 10, 30);
+    let b_tree = rg.grammar.random_tree(&mut rng, 10, 30);
+
+    let mut g = c.benchmark_group("operators");
+    g.bench_function("crossover", |bench| {
+        let mut rng = StdRng::seed_from_u64(3);
+        bench.iter(|| {
+            let mut x = a.clone();
+            let mut y = b_tree.clone();
+            black_box(crossover(&mut x, &mut y, &rg.grammar, &mut rng, 2, 50, 8))
+        })
+    });
+    g.bench_function("subtree_mutation", |bench| {
+        let mut rng = StdRng::seed_from_u64(4);
+        bench.iter(|| {
+            let mut x = a.clone();
+            black_box(subtree_mutation(&mut x, &rg.grammar, &mut rng, 50, 8))
+        })
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut scale = Scale::quick();
+    scale.end_year = 1997;
+    scale.train_end_year = 1996;
+    let ds = dataset(&scale);
+    let rg = river_grammar();
+    let train = RiverProblem::from_dataset(&ds, ds.train);
+    let evaluator = RiverEvaluator::new(train);
+    let priors = river_priors();
+
+    c.bench_function("one_generation_pop16", |b| {
+        b.iter(|| {
+            let cfg = GpConfig {
+                pop_size: 16,
+                max_gen: 1,
+                local_search_steps: 1,
+                threads: 1,
+                seed: 5,
+                ..GpConfig::default()
+            };
+            let engine = Engine::new(&rg.grammar, &evaluator, priors.clone(), cfg);
+            black_box(engine.run().best.fitness)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_init, bench_operators, bench_generation
+}
+criterion_main!(benches);

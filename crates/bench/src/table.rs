@@ -1,0 +1,177 @@
+//! Plain-text rendering of experiment tables (the rows the paper reports).
+
+use gmr_baselines::MethodScore;
+
+fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        "inf".into()
+    } else if v >= 1e6 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Render Table V: train/test RMSE and MAE per method, best test scores
+/// marked.
+pub fn render_table5(rows: &[MethodScore]) -> String {
+    let best_rmse = rows
+        .iter()
+        .map(|r| r.test_rmse)
+        .fold(f64::INFINITY, f64::min);
+    let best_mae = rows
+        .iter()
+        .map(|r| r.test_mae)
+        .fold(f64::INFINITY, f64::min);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:<18} {:>12} {:>12} {:>12} {:>12}\n",
+        "Class", "Method", "Train RMSE", "Train MAE", "Test RMSE", "Test MAE"
+    ));
+    out.push_str(&"-".repeat(90));
+    out.push('\n');
+    for r in rows {
+        let mark_rmse = if r.test_rmse == best_rmse { "*" } else { " " };
+        let mark_mae = if r.test_mae == best_mae { "*" } else { " " };
+        out.push_str(&format!(
+            "{:<18} {:<18} {:>12} {:>12} {:>11}{} {:>11}{}\n",
+            r.class,
+            r.name,
+            fmt(r.train_rmse),
+            fmt(r.train_mae),
+            fmt(r.test_rmse),
+            mark_rmse,
+            fmt(r.test_mae),
+            mark_mae,
+        ));
+    }
+    out
+}
+
+/// Render the Fig. 1 summary: best vs. second-best test scores and the
+/// model-revision vs. best-calibration gap.
+pub fn render_fig1(rows: &[MethodScore]) -> String {
+    let mut by_rmse: Vec<&MethodScore> = rows.iter().collect();
+    by_rmse.sort_by(|a, b| a.test_rmse.total_cmp(&b.test_rmse));
+    let mut by_mae: Vec<&MethodScore> = rows.iter().collect();
+    by_mae.sort_by(|a, b| a.test_mae.total_cmp(&b.test_mae));
+    let mut out = String::new();
+    if by_rmse.len() >= 2 {
+        let (a, b) = (by_rmse[0], by_rmse[1]);
+        out.push_str(&format!(
+            "Test RMSE: best {} ({}), runner-up {} ({}), margin {:.1}%\n",
+            a.name,
+            fmt(a.test_rmse),
+            b.name,
+            fmt(b.test_rmse),
+            100.0 * (b.test_rmse - a.test_rmse) / b.test_rmse
+        ));
+        let (a, b) = (by_mae[0], by_mae[1]);
+        out.push_str(&format!(
+            "Test MAE : best {} ({}), runner-up {} ({}), margin {:.1}%\n",
+            a.name,
+            fmt(a.test_mae),
+            b.name,
+            fmt(b.test_mae),
+            100.0 * (b.test_mae - a.test_mae) / b.test_mae
+        ));
+    }
+    let best_cal = rows
+        .iter()
+        .filter(|r| r.class == "Model calibration")
+        .map(|r| r.test_mae)
+        .fold(f64::INFINITY, f64::min);
+    if let Some(gmr) = rows.iter().find(|r| r.name == "GMR") {
+        if best_cal.is_finite() {
+            out.push_str(&format!(
+                "GMR vs best calibration (test MAE): {} vs {} ({:.1}% smaller)\n",
+                fmt(gmr.test_mae),
+                fmt(best_cal),
+                100.0 * (best_cal - gmr.test_mae) / best_cal
+            ));
+        }
+    }
+    out
+}
+
+/// Render rows as CSV (`class,method,train_rmse,train_mae,test_rmse,
+/// test_mae`), for downstream plotting.
+pub fn render_csv(rows: &[MethodScore]) -> String {
+    let mut out = String::from("class,method,train_rmse,train_mae,test_rmse,test_mae\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.class, r.name, r.train_rmse, r.train_mae, r.test_rmse, r.test_mae
+        ));
+    }
+    out
+}
+
+/// A simple aligned key/value block used by the Fig. 10/11 binaries.
+pub fn render_kv(title: &str, pairs: &[(String, String)]) -> String {
+    let width = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = format!("== {title} ==\n");
+    for (k, v) in pairs {
+        out.push_str(&format!("{k:<width$}  {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, class: &str, t: f64) -> MethodScore {
+        MethodScore {
+            name: name.into(),
+            class: class.into(),
+            train_rmse: t,
+            train_mae: t,
+            test_rmse: t,
+            test_mae: t,
+        }
+    }
+
+    #[test]
+    fn table_marks_best() {
+        let rows = vec![
+            row("A", "Model calibration", 2.0),
+            row("GMR", "Model revision", 1.0),
+        ];
+        let t = render_table5(&rows);
+        assert!(t.contains("GMR"));
+        assert!(t.lines().any(|l| l.contains("GMR") && l.contains('*')));
+    }
+
+    #[test]
+    fn fig1_reports_margin() {
+        let rows = vec![
+            row("GGGP", "Model revision", 2.0),
+            row("GMR", "Model revision", 1.0),
+            row("LHS", "Model calibration", 3.0),
+        ];
+        let f = render_fig1(&rows);
+        assert!(f.contains("best GMR"));
+        assert!(f.contains("margin 50.0%"));
+        assert!(f.contains("66.7% smaller"));
+    }
+
+    #[test]
+    fn csv_rows_round_trip_fields() {
+        let rows = vec![row("GMR", "Model revision", 1.5)];
+        let csv = render_csv(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "class,method,train_rmse,train_mae,test_rmse,test_mae"
+        );
+        assert_eq!(lines.next().unwrap(), "Model revision,GMR,1.5,1.5,1.5,1.5");
+    }
+
+    #[test]
+    fn huge_and_infinite_values_render() {
+        assert_eq!(fmt(f64::INFINITY), "inf");
+        assert!(fmt(2.79e9).contains('e'));
+        assert_eq!(fmt(12.3456), "12.346");
+    }
+}

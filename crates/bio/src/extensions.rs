@@ -1,0 +1,170 @@
+//! Extension specifications — Table II verbatim.
+//!
+//! Each extension point `Ext_k` of eqs. (5)–(6) admits a specific set of
+//! variables (reflecting the freshwater ecologist's judgement about which
+//! forcings can plausibly influence which subprocess), one connector
+//! operator (applied *to the initial process*: `+` for the whole-equation
+//! extensions 1–3, `×` for the rate extensions 5–9), and the full set of
+//! extender operators (`+ − × ÷ log exp`) for growing the new material.
+//!
+//! Note the paper's Table II skips `Ext4`; we preserve the numbering.
+
+use crate::params::R_KIND;
+use gmr_expr::{BinOp, UnOp};
+use gmr_hydro::vars::*;
+use gmr_tag::Token;
+
+/// An extender operator: binary or unary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtOp {
+    /// Binary extender (`+ − × ÷`).
+    Bin(BinOp),
+    /// Unary extender (`log`, `exp`).
+    Un(UnOp),
+}
+
+/// The revision grammar for one extension point.
+#[derive(Debug, Clone)]
+pub struct ExtensionSpec {
+    /// Extension id (1–9, no 4).
+    pub id: u8,
+    /// Variables admissible in this extension (Table II); `R` is encoded as
+    /// a `Param` token of kind [`R_KIND`].
+    pub variables: Vec<Token>,
+    /// The connector operator joining new material to the initial process.
+    pub connector: BinOp,
+    /// Extender operators for growing the new material.
+    pub extenders: Vec<ExtOp>,
+}
+
+fn r() -> Token {
+    Token::Param {
+        kind: R_KIND,
+        value: 0.5,
+    }
+}
+
+/// All extender operators, common to every extension (Table II last row).
+pub fn all_extenders() -> Vec<ExtOp> {
+    vec![
+        ExtOp::Bin(BinOp::Add),
+        ExtOp::Bin(BinOp::Sub),
+        ExtOp::Bin(BinOp::Mul),
+        ExtOp::Bin(BinOp::Div),
+        ExtOp::Un(UnOp::Log),
+        ExtOp::Un(UnOp::Exp),
+    ]
+}
+
+/// Table II: the eight extension points of the river process.
+pub fn extensions() -> Vec<ExtensionSpec> {
+    let spec = |id: u8, vars: Vec<Token>, connector: BinOp| ExtensionSpec {
+        id,
+        variables: vars,
+        connector,
+        extenders: all_extenders(),
+    };
+    vec![
+        // Whole-equation extensions (connector +):
+        spec(
+            1,
+            vec![Token::Var(VCD), Token::Var(VPH), Token::Var(VALK), r()],
+            BinOp::Add,
+        ),
+        spec(2, vec![Token::Var(VSD), r()], BinOp::Add),
+        spec(
+            3,
+            vec![Token::Var(VDO), Token::Var(VPH), Token::Var(VALK), r()],
+            BinOp::Add,
+        ),
+        // Rate extensions (connector ×):
+        spec(5, vec![Token::Var(VTMP), r()], BinOp::Mul),
+        spec(6, vec![Token::Var(VTMP), r()], BinOp::Mul),
+        spec(7, vec![Token::Var(VTMP), r()], BinOp::Mul),
+        spec(8, vec![Token::Var(VTMP), r()], BinOp::Mul),
+        spec(9, vec![Token::Var(VTMP), r()], BinOp::Mul),
+    ]
+}
+
+/// Cached form of [`extensions`] (the specs are tiny; this is a convenience
+/// constant-like accessor used across the workspace).
+pub struct Extensions;
+
+/// The extension table as a fresh `Vec` (allocation-light; specs are small).
+pub static EXTENSIONS: Extensions = Extensions;
+
+impl Extensions {
+    /// All specs.
+    pub fn all(&self) -> Vec<ExtensionSpec> {
+        extensions()
+    }
+
+    /// The spec for a given id.
+    pub fn get(&self, id: u8) -> Option<ExtensionSpec> {
+        extensions().into_iter().find(|e| e.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_ids() {
+        let ids: Vec<u8> = extensions().iter().map(|e| e.id).collect();
+        assert_eq!(
+            ids,
+            vec![1, 2, 3, 5, 6, 7, 8, 9],
+            "Ext4 is absent in the paper"
+        );
+    }
+
+    #[test]
+    fn connectors_match_table() {
+        for e in extensions() {
+            match e.id {
+                1..=3 => assert_eq!(e.connector, BinOp::Add, "Ext{}", e.id),
+                5..=9 => assert_eq!(e.connector, BinOp::Mul, "Ext{}", e.id),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn ext1_admits_carbonate_system_variables() {
+        let e = EXTENSIONS.get(1).unwrap();
+        assert!(e.variables.contains(&Token::Var(VCD)));
+        assert!(e.variables.contains(&Token::Var(VPH)));
+        assert!(e.variables.contains(&Token::Var(VALK)));
+        assert!(e
+            .variables
+            .iter()
+            .any(|t| matches!(t, Token::Param { kind, .. } if *kind == R_KIND)));
+        // But not e.g. temperature.
+        assert!(!e.variables.contains(&Token::Var(VTMP)));
+    }
+
+    #[test]
+    fn rate_extensions_admit_temperature_only() {
+        for id in [5u8, 6, 7, 8, 9] {
+            let e = EXTENSIONS.get(id).unwrap();
+            assert_eq!(e.variables.len(), 2);
+            assert!(e.variables.contains(&Token::Var(VTMP)));
+        }
+    }
+
+    #[test]
+    fn every_extension_has_all_six_extenders() {
+        for e in extensions() {
+            assert_eq!(e.extenders.len(), 6);
+            assert!(e.extenders.contains(&ExtOp::Un(UnOp::Log)));
+            assert!(e.extenders.contains(&ExtOp::Bin(BinOp::Div)));
+        }
+    }
+
+    #[test]
+    fn missing_id_returns_none() {
+        assert!(EXTENSIONS.get(4).is_none());
+        assert!(EXTENSIONS.get(10).is_none());
+    }
+}

@@ -1,0 +1,405 @@
+//! Compiling the expert process and Table II into a TAG grammar.
+//!
+//! This is where the three kinds of prior knowledge of §III-B3 become
+//! concrete grammar objects:
+//!
+//! * **plausible processes** — the marked expert system (eqs. 5–6) becomes
+//!   the single initial α-tree, with each `{…} Ext_k` marker compiled to an
+//!   `ExtC_k` interior node;
+//! * **plausible revisions** — for every extension point, one *connector*
+//!   β-tree (rooted at `ExtC_k`, joining new material to the process with
+//!   the Table II connector operator, the new material wrapped under an
+//!   `ExtE_k` node) and a family of *extender* β-trees (rooted at `ExtE_k`)
+//!   for each extender operator; admissible variables become the lexeme
+//!   pool of the extension's substitution symbol;
+//! * **parameter priors** — the `R` pseudo-parameter's uniform [0, 1]
+//!   initialisation range (Table II) is registered with the grammar, and
+//!   Table III ranges drive Gaussian mutation one layer up.
+//!
+//! Because connector and extender β-trees use distinct symbols, connectors
+//! can only touch the marked sites of the initial process and extenders can
+//! only grow revision material — the paper's mechanism for "preserving the
+//! initial process while giving greater freedom to extenders".
+
+use crate::extensions::{extensions, ExtOp};
+use crate::manual::{mu_phy_src, name_table, phi_src, LAMBDA_PHY};
+use crate::mexpr::MExpr;
+use crate::params::{self, R_KIND};
+use gmr_expr::{parse, BinOp, Expr, NameTable};
+use gmr_tag::tree::{ElemTreeBuilder, NodeIdx};
+use gmr_tag::{Grammar, GrammarBuilder, SymId, Token, TreeId, TreeKind};
+
+/// The compiled river grammar plus the handles the rest of the system needs.
+#[derive(Debug, Clone)]
+pub struct RiverGrammar {
+    /// The TAG itself.
+    pub grammar: Grammar,
+    /// Id of the initial-process α-tree.
+    pub alpha: TreeId,
+    /// The canonical name table.
+    pub names: NameTable,
+}
+
+fn leaf_token(e: &Expr) -> Token {
+    match e {
+        Expr::Num(v) => Token::Num(*v),
+        Expr::Param(p) => Token::Param {
+            kind: p.kind,
+            value: p.value,
+        },
+        Expr::Var(i) => Token::Var(*i),
+        Expr::State(i) => Token::State(*i),
+        _ => unreachable!("leaf_token called on a non-leaf"),
+    }
+}
+
+/// Emit `m` as exactly one child node of `parent` in the α-tree builder.
+fn emit(
+    b: &mut ElemTreeBuilder,
+    parent: NodeIdx,
+    m: &MExpr,
+    exp: SymId,
+    extc: &dyn Fn(u8) -> SymId,
+) {
+    match m {
+        MExpr::Leaf(e) => {
+            b.anchor(parent, leaf_token(e));
+        }
+        MExpr::Bin(op, l, r) => {
+            let n = b.interior(parent, exp);
+            emit(b, n, l, exp, extc);
+            b.anchor(n, Token::Bin(*op));
+            emit(b, n, r, exp, extc);
+        }
+        MExpr::Un(op, a) => {
+            let n = b.interior(parent, exp);
+            b.anchor(n, Token::Un(*op));
+            emit(b, n, a, exp, extc);
+        }
+        MExpr::Ext(id, inner) => {
+            let n = b.interior(parent, extc(*id));
+            emit(b, n, inner, exp, extc);
+        }
+    }
+}
+
+/// The marked expert system of eqs. (5)–(6): `[dBPhy, dBZoo]` with the
+/// paper's eight extension markers in place.
+pub fn marked_system() -> [MExpr; 2] {
+    let names = name_table();
+    let p = |src: &str| -> MExpr {
+        MExpr::from(
+            parse(src, &names, |k| params::spec(k).mean)
+                .unwrap_or_else(|e| panic!("marked-system fragment failed to parse: {e}\n{src}")),
+        )
+    };
+
+    // dBPhy/dt = { BPhy * (muPhy - gammaPhy) - BZoo * phi } Ext1
+    //   muPhy    = { CUA * f * g * h } Ext3
+    //   gammaPhy = { CBRA } Ext5
+    //   phi      = { CMFR * lambda } Ext6
+    let mu_phy = MExpr::ext(3, p(&mu_phy_src()));
+    let gamma_phy = MExpr::ext(5, p("CBRA"));
+    let phi = MExpr::ext(6, p(&phi_src()));
+    let dbphy = MExpr::ext(
+        1,
+        MExpr::bin(
+            BinOp::Sub,
+            MExpr::bin(
+                BinOp::Mul,
+                p("BPhy"),
+                MExpr::bin(BinOp::Sub, mu_phy, gamma_phy),
+            ),
+            MExpr::bin(BinOp::Mul, p("BZoo"), phi),
+        ),
+    );
+
+    // dBZoo/dt = { BZoo * (muZoo - gammaZoo - deltaZoo) } Ext2
+    //   muZoo    = { CUZ * lambda } Ext7
+    //   gammaZoo = { CBRZ } Ext8 + CBMT * phi   (phi inlined, unmarked here)
+    //   deltaZoo = { CDZ } Ext9
+    let mu_zoo = MExpr::ext(7, p(&format!("CUZ * ({LAMBDA_PHY})")));
+    let gamma_zoo = MExpr::bin(
+        BinOp::Add,
+        MExpr::ext(8, p("CBRZ")),
+        p(&format!("CBMT * ({})", phi_src())),
+    );
+    let delta_zoo = MExpr::ext(9, p("CDZ"));
+    let dbzoo = MExpr::ext(
+        2,
+        MExpr::bin(
+            BinOp::Mul,
+            p("BZoo"),
+            MExpr::bin(
+                BinOp::Sub,
+                MExpr::bin(BinOp::Sub, mu_zoo, gamma_zoo),
+                delta_zoo,
+            ),
+        ),
+    );
+    [dbphy, dbzoo]
+}
+
+/// Build the full river grammar.
+pub fn river_grammar() -> RiverGrammar {
+    let mut gb = GrammarBuilder::new();
+    let start = gb.sym("S");
+    let exp = gb.sym("Exp");
+    gb.start(start);
+
+    let specs = extensions();
+    // Intern per-extension symbols first so the closure below can look them
+    // up immutably.
+    let mut extc_syms = Vec::new();
+    let mut exte_syms = Vec::new();
+    let mut lex_syms = Vec::new();
+    for spec in &specs {
+        extc_syms.push((spec.id, gb.sym(&format!("ExtC{}", spec.id))));
+        exte_syms.push((spec.id, gb.sym(&format!("ExtE{}", spec.id))));
+        lex_syms.push((spec.id, gb.sym(&format!("V{}", spec.id))));
+    }
+    let extc = |id: u8| -> SymId {
+        extc_syms
+            .iter()
+            .find(|(i, _)| *i == id)
+            .unwrap_or_else(|| panic!("unknown extension id {id}"))
+            .1
+    };
+    let exte = |id: u8| {
+        exte_syms
+            .iter()
+            .find(|(i, _)| *i == id)
+            .expect("known ext")
+            .1
+    };
+    let lex = |id: u8| {
+        lex_syms
+            .iter()
+            .find(|(i, _)| *i == id)
+            .expect("known ext")
+            .1
+    };
+
+    // --- The initial α-tree: both equations under the common root S. ---
+    let [dbphy, dbzoo] = marked_system();
+    let mut ab = ElemTreeBuilder::new("initial-process", TreeKind::Initial, start);
+    let root = ab.root();
+    emit(&mut ab, root, &dbphy, exp, &extc);
+    emit(&mut ab, root, &dbzoo, exp, &extc);
+    let alpha = gb.tree(
+        ab.build()
+            .expect("initial process α-tree is structurally valid"),
+    );
+
+    // --- β-trees and lexeme pools per extension. ---
+    for spec in &specs {
+        let c_sym = extc(spec.id);
+        let e_sym = exte(spec.id);
+        let v_sym = lex(spec.id);
+
+        // Connector: ExtC_k → [ ExtC_k*, connector, ExtE_k → [V_k↓] ]
+        let mut cb = ElemTreeBuilder::new(
+            format!("ext{}-connector", spec.id),
+            TreeKind::Auxiliary,
+            c_sym,
+        );
+        let r = cb.root();
+        cb.foot(r, c_sym);
+        cb.anchor(r, Token::Bin(spec.connector));
+        let wrap = cb.interior(r, e_sym);
+        cb.subst(wrap, v_sym);
+        gb.tree(cb.build().expect("connector β-tree is valid"));
+
+        // Extenders.
+        for op in &spec.extenders {
+            match op {
+                ExtOp::Bin(bop) => {
+                    // ExtE_k → [ ExtE_k*, op, V_k↓ ]
+                    let mut eb = ElemTreeBuilder::new(
+                        format!("ext{}-extender-{}", spec.id, bop.symbol()),
+                        TreeKind::Auxiliary,
+                        e_sym,
+                    );
+                    let r = eb.root();
+                    eb.foot(r, e_sym);
+                    eb.anchor(r, Token::Bin(*bop));
+                    eb.subst(r, v_sym);
+                    gb.tree(eb.build().expect("extender β-tree is valid"));
+                    // Mirrored operand order matters for − and ÷.
+                    if matches!(bop, BinOp::Sub | BinOp::Div) {
+                        let mut mb = ElemTreeBuilder::new(
+                            format!("ext{}-extender-{}-mirror", spec.id, bop.symbol()),
+                            TreeKind::Auxiliary,
+                            e_sym,
+                        );
+                        let r = mb.root();
+                        mb.subst(r, v_sym);
+                        mb.anchor(r, Token::Bin(*bop));
+                        mb.foot(r, e_sym);
+                        gb.tree(mb.build().expect("mirrored extender β-tree is valid"));
+                    }
+                }
+                ExtOp::Un(uop) => {
+                    // ExtE_k → [ op, ExtE_k* ]
+                    let mut eb = ElemTreeBuilder::new(
+                        format!("ext{}-extender-{}", spec.id, uop.symbol()),
+                        TreeKind::Auxiliary,
+                        e_sym,
+                    );
+                    let r = eb.root();
+                    eb.anchor(r, Token::Un(*uop));
+                    eb.foot(r, e_sym);
+                    gb.tree(eb.build().expect("unary extender β-tree is valid"));
+                }
+            }
+        }
+
+        gb.pool(v_sym, spec.variables.iter().copied());
+    }
+    gb.param_range(R_KIND, 0.0, 1.0);
+
+    let grammar = gb.build().expect("river grammar is well-formed");
+    RiverGrammar {
+        grammar,
+        alpha,
+        names: name_table(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_expr::EvalContext;
+    use gmr_tag::{lower::lower_system, DerivTree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn marked_system_covers_all_extensions() {
+        let [dbphy, dbzoo] = marked_system();
+        assert_eq!(dbphy.extension_ids(), vec![1, 3, 5, 6]);
+        assert_eq!(dbzoo.extension_ids(), vec![2, 7, 8, 9]);
+    }
+
+    #[test]
+    fn stripped_marked_system_equals_manual() {
+        let [m1, m2] = marked_system();
+        let [e1, e2] = crate::manual::manual_system();
+        assert_eq!(m1.strip(), e1);
+        assert_eq!(m2.strip(), e2);
+    }
+
+    #[test]
+    fn grammar_builds_with_expected_tree_counts() {
+        let rg = river_grammar();
+        // 1 α + per extension: 1 connector + 6 extenders + 2 mirrors = 9.
+        let expected = 1 + 8 * 9;
+        assert_eq!(rg.grammar.trees().count(), expected);
+    }
+
+    #[test]
+    fn connectors_only_adjoin_at_marked_sites() {
+        let rg = river_grammar();
+        let exp = rg.grammar.symbol("Exp").unwrap();
+        assert!(
+            rg.grammar.betas_for(exp).is_empty(),
+            "plain Exp nodes must be untouchable"
+        );
+        for id in [1u8, 2, 3, 5, 6, 7, 8, 9] {
+            let c = rg.grammar.symbol(&format!("ExtC{id}")).unwrap();
+            assert_eq!(
+                rg.grammar.betas_for(c).len(),
+                1,
+                "one connector per ExtC{id}"
+            );
+            let e = rg.grammar.symbol(&format!("ExtE{id}")).unwrap();
+            assert_eq!(
+                rg.grammar.betas_for(e).len(),
+                8,
+                "6 extenders + 2 mirrors per ExtE{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn bare_alpha_lowers_to_manual_system() {
+        let rg = river_grammar();
+        let mut rng = StdRng::seed_from_u64(0);
+        let node = rg.grammar.instantiate(rg.alpha, &mut rng);
+        let tree = DerivTree { root: node };
+        tree.validate(&rg.grammar).unwrap();
+        let derived = tree.derived(&rg.grammar);
+        let eqs = lower_system(&derived, 2).unwrap();
+        let [manual_phy, manual_zoo] = crate::manual::manual_system();
+        assert_eq!(eqs[0], manual_phy);
+        assert_eq!(eqs[1], manual_zoo);
+    }
+
+    #[test]
+    fn random_revisions_validate_and_lower() {
+        let rg = river_grammar();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut row = [0.0f64; gmr_hydro::NUM_VARS];
+        row[0] = 15.0;
+        row[4] = 20.0;
+        for _ in 0..50 {
+            let t = rg.grammar.random_tree(&mut rng, 2, 20);
+            t.validate(&rg.grammar).unwrap();
+            let eqs = lower_system(&t.derived(&rg.grammar), 2).unwrap();
+            assert_eq!(eqs.len(), 2);
+            let ctx = EvalContext {
+                vars: &row,
+                state: &[10.0, 2.0],
+            };
+            assert!(eqs[0].eval(&ctx).is_finite());
+            assert!(eqs[1].eval(&ctx).is_finite());
+        }
+    }
+
+    #[test]
+    fn revisions_add_only_admissible_variables() {
+        use gmr_hydro::vars::*;
+        let rg = river_grammar();
+        let mut rng = StdRng::seed_from_u64(7);
+        let [manual_phy, manual_zoo] = crate::manual::manual_system();
+        let base: std::collections::BTreeSet<u8> = manual_phy
+            .variables()
+            .into_iter()
+            .chain(manual_zoo.variables())
+            .collect();
+        // The only variables a revision can introduce beyond the expert
+        // model are those admitted by Table II.
+        let admissible: std::collections::BTreeSet<u8> =
+            [VCD, VPH, VALK, VSD, VDO, VTMP].into_iter().collect();
+        for _ in 0..100 {
+            let t = rg.grammar.random_tree(&mut rng, 2, 25);
+            let eqs = lower_system(&t.derived(&rg.grammar), 2).unwrap();
+            for eq in eqs {
+                for v in eq.variables() {
+                    assert!(
+                        base.contains(&v) || admissible.contains(&v),
+                        "variable {v} is not admissible"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_preserves_the_initial_process_under_revision() {
+        // Whatever is adjoined, the manual equations remain embedded: the
+        // connector discipline only *appends* material via + or ×.
+        let rg = river_grammar();
+        let mut rng = StdRng::seed_from_u64(3);
+        let names = &rg.names;
+        let t = rg.grammar.random_tree(&mut rng, 6, 12);
+        let eqs = lower_system(&t.derived(&rg.grammar), 2).unwrap();
+        let shown = eqs[0].display(names).to_string();
+        // The Steele light response survives verbatim in the revised phyto
+        // equation (the revision cannot rewrite it, only append around it).
+        assert!(
+            shown.contains("Vlgt / CBL"),
+            "initial process mangled: {shown}"
+        );
+    }
+}

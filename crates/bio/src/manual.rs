@@ -1,0 +1,205 @@
+//! The expert model — equations (1) and (2), a.k.a. the M ANUAL baseline.
+//!
+//! The equations are written in the same surface syntax the pretty-printer
+//! emits and parsed against the canonical river [`NameTable`]; parameters
+//! take their Table III prior means. Keeping the model as *text* makes the
+//! correspondence with the paper auditable at a glance.
+
+use crate::params::{self, PARAMS, STATE_NAMES};
+use gmr_expr::{parse, Expr, NameTable};
+use gmr_hydro::vars;
+
+/// The canonical name table for the river problem: Table IV variables,
+/// the two biomass states, and Table III parameters (incl. `R`).
+pub fn name_table() -> NameTable {
+    NameTable {
+        vars: vars::NAMES.iter().map(|s| s.to_string()).collect(),
+        states: STATE_NAMES.iter().map(|s| s.to_string()).collect(),
+        params: PARAMS.iter().map(|p| p.name.to_string()).collect(),
+    }
+}
+
+/// λ_Phy = (B_Phy − C_Fmin) / (C_FS + B_Phy − C_Fmin): the saturating food
+/// availability shared by grazing and zooplankton growth.
+pub const LAMBDA_PHY: &str = "(BPhy - CFmin) / (CFS + BPhy - CFmin)";
+
+/// f(V_lgt) = (V_lgt / C_BL) · e^{1 − V_lgt / C_BL}: Steele light response.
+pub const F_LIGHT: &str = "(Vlgt / CBL) * exp(1 - Vlgt / CBL)";
+
+/// g(V_n, V_p, V_si): Liebig's law of the minimum over the three nutrients.
+pub const G_NUTRIENT: &str = "min(min(Vn / (CN + Vn), Vp / (CP + Vp)), Vsi / (CSI + Vsi))";
+
+/// h(V_tmp): two-optimum (cyanobacteria summer / diatom winter) temperature
+/// response.
+pub const H_TEMP: &str =
+    "max(exp(neg(CPT) * pow(Vtmp - CBTP1, 2)), exp(neg(CPT) * pow(Vtmp - CBTP2, 2)))";
+
+/// µ_Phy = C_UA · f · g · h: photosynthetic productivity.
+pub fn mu_phy_src() -> String {
+    format!("CUA * ({F_LIGHT}) * ({G_NUTRIENT}) * ({H_TEMP})")
+}
+
+/// ϕ = C_MFR · λ_Phy: grazing pressure.
+pub fn phi_src() -> String {
+    format!("CMFR * ({LAMBDA_PHY})")
+}
+
+/// dB_Phy/dt = B_Phy · (µ_Phy − γ_Phy) − B_Zoo · ϕ, with γ_Phy = C_BRA.
+pub fn dbphy_src() -> String {
+    format!(
+        "BPhy * (({}) - CBRA) - BZoo * ({})",
+        mu_phy_src(),
+        phi_src()
+    )
+}
+
+/// dB_Zoo/dt = B_Zoo · (µ_Zoo − γ_Zoo − δ_Zoo), with µ_Zoo = C_UZ · λ_Phy,
+/// γ_Zoo = C_BRZ + C_BMT · ϕ and δ_Zoo = C_DZ.
+pub fn dbzoo_src() -> String {
+    format!(
+        "BZoo * ((CUZ * ({LAMBDA_PHY})) - (CBRZ + CBMT * ({})) - CDZ)",
+        phi_src()
+    )
+}
+
+fn parse_with_priors(src: &str, names: &NameTable) -> Expr {
+    parse(src, names, |kind| params::spec(kind).mean)
+        .unwrap_or_else(|e| panic!("expert equation failed to parse: {e}\n{src}"))
+}
+
+/// The full expert system: `[dBPhy/dt, dBZoo/dt]` with all constants at
+/// their prior means. This is the M ANUAL comparator and the seed of every
+/// calibration/revision method.
+pub fn manual_system() -> [Expr; 2] {
+    let names = name_table();
+    [
+        parse_with_priors(&dbphy_src(), &names),
+        parse_with_priors(&dbzoo_src(), &names),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_expr::EvalContext;
+    use gmr_hydro::vars::*;
+
+    fn forcing_row() -> [f64; NUM_VARS] {
+        let mut row = [0.0; NUM_VARS];
+        row[VLGT as usize] = 20.0;
+        row[VN as usize] = 2.0;
+        row[VP as usize] = 0.05;
+        row[VSI as usize] = 3.0;
+        row[VTMP as usize] = 24.0;
+        row[VDO as usize] = 8.0;
+        row[VCD as usize] = 300.0;
+        row[VPH as usize] = 7.8;
+        row[VALK as usize] = 55.0;
+        row[VSD as usize] = 1.2;
+        row
+    }
+
+    #[test]
+    fn equations_parse() {
+        let [dbphy, dbzoo] = manual_system();
+        assert!(dbphy.size() > 30, "dBPhy should be a substantial tree");
+        assert!(dbzoo.size() > 15);
+    }
+
+    #[test]
+    fn manual_matches_hand_computation() {
+        let [dbphy, dbzoo] = manual_system();
+        let row = forcing_row();
+        let bphy = 10.0;
+        let bzoo = 2.0;
+        let ctx = EvalContext {
+            vars: &row,
+            state: &[bphy, bzoo],
+        };
+
+        // Hand-compute eq. (1) with Table III means.
+        let f = (20.0 / 26.78) * (1.0_f64 - 20.0 / 26.78).exp();
+        let g = (2.0_f64 / (0.0351 + 2.0))
+            .min(0.05 / (0.00167 + 0.05))
+            .min(3.0 / (0.00467 + 3.0));
+        let h = (-0.005_f64 * (24.0_f64 - 27.0).powi(2))
+            .exp()
+            .max((-0.005_f64 * (24.0_f64 - 5.0).powi(2)).exp());
+        let mu = 1.89 * f * g * h;
+        let lambda = (bphy - 1.0) / (5.0 + bphy - 1.0);
+        let phi = 0.19 * lambda;
+        let expect_phy = bphy * (mu - 0.021) - bzoo * phi;
+        assert!(
+            (dbphy.eval(&ctx) - expect_phy).abs() < 1e-12,
+            "{} vs {}",
+            dbphy.eval(&ctx),
+            expect_phy
+        );
+
+        let expect_zoo = bzoo * ((0.15 * lambda) - (0.05 + 0.04 * phi) - 0.04);
+        assert!((dbzoo.eval(&ctx) - expect_zoo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn light_response_peaks_at_cbl() {
+        let names = name_table();
+        let f = parse(F_LIGHT, &names, |k| params::spec(k).mean).unwrap();
+        let at = |l: f64| {
+            let mut row = [0.0; NUM_VARS];
+            row[VLGT as usize] = l;
+            f.eval(&EvalContext {
+                vars: &row,
+                state: &[0.0, 0.0],
+            })
+        };
+        let peak = at(26.78);
+        assert!((peak - 1.0).abs() < 1e-9, "Steele response peaks at 1.0");
+        assert!(at(10.0) < peak);
+        assert!(at(32.0) < peak);
+    }
+
+    #[test]
+    fn temperature_response_has_two_optima() {
+        let names = name_table();
+        let h = parse(H_TEMP, &names, |k| params::spec(k).mean).unwrap();
+        let at = |t: f64| {
+            let mut row = [0.0; NUM_VARS];
+            row[VTMP as usize] = t;
+            h.eval(&EvalContext {
+                vars: &row,
+                state: &[0.0, 0.0],
+            })
+        };
+        // Near-unity at both optima, lower in between.
+        assert!((at(27.0) - 1.0).abs() < 1e-9);
+        assert!((at(5.0) - 1.0).abs() < 1e-9);
+        assert!(at(16.0) < 0.7);
+    }
+
+    #[test]
+    fn nutrient_limitation_is_liebig_minimum() {
+        let names = name_table();
+        let g = parse(G_NUTRIENT, &names, |k| params::spec(k).mean).unwrap();
+        let mut row = forcing_row();
+        row[VP as usize] = 0.0005; // starve phosphorus
+        let v = g.eval(&EvalContext {
+            vars: &row,
+            state: &[0.0, 0.0],
+        });
+        let expect = 0.0005 / (0.00167 + 0.0005);
+        assert!((v - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let names = name_table();
+        let [dbphy, _] = manual_system();
+        let shown = dbphy.display(&names).to_string();
+        let re = parse(&shown, &names, |k| params::spec(k).mean).unwrap();
+        assert_eq!(re, dbphy);
+        // The rendered equation mentions the paper's key constants.
+        for c in ["CUA", "CBRA", "CMFR", "CBL", "CBTP1"] {
+            assert!(shown.contains(c), "missing {c} in {shown}");
+        }
+    }
+}

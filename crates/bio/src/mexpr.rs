@@ -1,0 +1,146 @@
+//! Marked expressions: equation ASTs annotated with extension points.
+//!
+//! Eqs. (5)–(6) of the paper write the revisable process as the expert
+//! equations with `{…} Ext_k` markers around the subprocesses that may be
+//! extended. [`MExpr`] is exactly that: an expression tree whose nodes may
+//! additionally be wrapped in an [`MExpr::Ext`] marker. The grammar
+//! compiler (`crate::grammar`) turns each marker into an `ExtC_k` interior
+//! node of the initial α-tree — the only nodes connector β-trees may adjoin
+//! at.
+
+use gmr_expr::{BinOp, Expr, UnOp};
+
+/// An expression annotated with extension markers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MExpr {
+    /// A leaf (literal, parameter, variable or state).
+    Leaf(Expr),
+    /// Binary application.
+    Bin(BinOp, Box<MExpr>, Box<MExpr>),
+    /// Unary application.
+    Un(UnOp, Box<MExpr>),
+    /// `{inner} Ext_k` — the subprocess may be revised through extension
+    /// point `k`.
+    Ext(u8, Box<MExpr>),
+}
+
+impl MExpr {
+    /// Wrap in an extension marker.
+    pub fn ext(id: u8, inner: MExpr) -> MExpr {
+        MExpr::Ext(id, Box::new(inner))
+    }
+
+    /// Binary combinator.
+    pub fn bin(op: BinOp, lhs: MExpr, rhs: MExpr) -> MExpr {
+        MExpr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Unary combinator.
+    pub fn un(op: UnOp, inner: MExpr) -> MExpr {
+        MExpr::Un(op, Box::new(inner))
+    }
+
+    /// Strip all markers, recovering the plain expression.
+    pub fn strip(&self) -> Expr {
+        match self {
+            MExpr::Leaf(e) => e.clone(),
+            MExpr::Bin(op, a, b) => Expr::bin(*op, a.strip(), b.strip()),
+            MExpr::Un(op, a) => Expr::un(*op, a.strip()),
+            MExpr::Ext(_, inner) => inner.strip(),
+        }
+    }
+
+    /// The extension ids present, in preorder.
+    pub fn extension_ids(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        fn go(m: &MExpr, out: &mut Vec<u8>) {
+            match m {
+                MExpr::Ext(id, inner) => {
+                    out.push(*id);
+                    go(inner, out);
+                }
+                MExpr::Bin(_, a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                MExpr::Un(_, a) => go(a, out),
+                MExpr::Leaf(_) => {}
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+}
+
+impl From<Expr> for MExpr {
+    /// Lift a plain expression into an unmarked [`MExpr`].
+    fn from(e: Expr) -> Self {
+        match e {
+            Expr::Unary(op, a) => MExpr::un(op, MExpr::from(*a)),
+            Expr::Binary(op, a, b) => MExpr::bin(op, MExpr::from(*a), MExpr::from(*b)),
+            leaf => MExpr::Leaf(leaf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_expr::ParamSlot;
+
+    fn sample() -> MExpr {
+        // {BPhy * CUA} Ext1  -  {CBRA} Ext5
+        MExpr::bin(
+            BinOp::Sub,
+            MExpr::ext(
+                1,
+                MExpr::bin(
+                    BinOp::Mul,
+                    MExpr::Leaf(Expr::State(0)),
+                    MExpr::Leaf(Expr::Param(ParamSlot {
+                        kind: 0,
+                        value: 1.89,
+                    })),
+                ),
+            ),
+            MExpr::ext(
+                5,
+                MExpr::Leaf(Expr::Param(ParamSlot {
+                    kind: 2,
+                    value: 0.021,
+                })),
+            ),
+        )
+    }
+
+    #[test]
+    fn strip_removes_markers() {
+        let stripped = sample().strip();
+        assert_eq!(stripped.size(), 5);
+        assert!(matches!(stripped, Expr::Binary(BinOp::Sub, _, _)));
+    }
+
+    #[test]
+    fn extension_ids_preorder() {
+        assert_eq!(sample().extension_ids(), vec![1, 5]);
+    }
+
+    #[test]
+    fn from_expr_round_trips_via_strip() {
+        let e = Expr::bin(
+            BinOp::Div,
+            Expr::un(UnOp::Log, Expr::Var(3)),
+            Expr::Num(2.0),
+        );
+        let m = MExpr::from(e.clone());
+        assert_eq!(m.strip(), e);
+        assert!(m.extension_ids().is_empty());
+    }
+
+    #[test]
+    fn nested_markers() {
+        let m = MExpr::ext(1, MExpr::ext(3, MExpr::Leaf(Expr::Num(1.0))));
+        assert_eq!(m.extension_ids(), vec![1, 3]);
+        assert_eq!(m.strip(), Expr::Num(1.0));
+    }
+}

@@ -1,0 +1,266 @@
+//! Network-coupled biological simulation — the full Appendix A system.
+//!
+//! The fitness problem in [`crate::problem`] integrates the biological
+//! process at the target station using the forcings the hydrological
+//! process already routed there (the paper's experimental setup: "as we
+//! focus on modeling the biological process, we use a static hydrological
+//! process"). This module implements the *full* coupled system the appendix
+//! describes: each station carries its own `(B_Phy, B_Zoo)` state; every
+//! day, upstream water bodies arrive after their travel delay, are merged
+//! with the locally retained water by flow weight (biomass included), and
+//! the biological process then advances the merged water body one step
+//! using the station's local forcings.
+//!
+//! This is the component a downstream user needs to predict water quality
+//! at *every* station simultaneously, or to study how a bloom propagates
+//! down the main channel.
+
+use gmr_expr::{CompiledExpr, EvalContext, Expr};
+use gmr_hydro::data::{RiverDataset, Split};
+use gmr_hydro::network::RiverNetwork;
+use gmr_hydro::NUM_VARS;
+
+/// Options for the coupled simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkSimOptions {
+    /// Initial `(B_Phy, B_Zoo)` at every station.
+    pub init: (f64, f64),
+    /// Euler step (days).
+    pub dt: f64,
+    /// Upper clamp on both states.
+    pub state_cap: f64,
+}
+
+impl Default for NetworkSimOptions {
+    fn default() -> Self {
+        NetworkSimOptions {
+            init: (8.0, 1.2),
+            dt: 1.0,
+            state_cap: 1e9,
+        }
+    }
+}
+
+/// Result of a coupled run: per-station biomass series.
+#[derive(Debug, Clone)]
+pub struct NetworkSimResult {
+    /// `bphy[station][day]`.
+    pub bphy: Vec<Vec<f64>>,
+    /// `bzoo[station][day]`.
+    pub bzoo: Vec<Vec<f64>>,
+}
+
+impl NetworkSimResult {
+    /// Predicted phytoplankton at one station.
+    pub fn phytoplankton(&self, station: usize) -> &[f64] {
+        &self.bphy[station]
+    }
+}
+
+#[inline(always)]
+fn sanitise(x: f64, cap: f64) -> f64 {
+    if x.is_nan() {
+        cap
+    } else {
+        x.clamp(0.0, cap)
+    }
+}
+
+/// Simulate a two-equation biological system over every station of the
+/// dataset's network for the given split, with flow-weighted biomass
+/// routing between stations (Appendix A).
+///
+/// The equations see each station's own forcing rows; biomass mixes at
+/// confluences exactly like the water bodies that carry it.
+pub fn simulate_network(
+    ds: &RiverDataset,
+    split: Split,
+    eqs: &[Expr; 2],
+    opts: NetworkSimOptions,
+) -> NetworkSimResult {
+    let net: &RiverNetwork = &ds.network;
+    let n = net.len();
+    let days = split.len();
+    let compiled = [
+        CompiledExpr::compile(&eqs[0]),
+        CompiledExpr::compile(&eqs[1]),
+    ];
+    let mut stack = Vec::with_capacity(compiled[0].max_stack().max(compiled[1].max_stack()));
+
+    let mut bphy = vec![Vec::with_capacity(days); n];
+    let mut bzoo = vec![Vec::with_capacity(days); n];
+    // Current state per station.
+    let mut cur: Vec<(f64, f64)> = vec![opts.init; n];
+
+    for day in 0..days {
+        let abs_day = split.start + day;
+        // Snapshot of yesterday's states for lagged upstream reads.
+        for &sid in net.topo_order() {
+            let s = sid.0;
+            // Merge retained local water with lagged upstream arrivals,
+            // weighting biomass by flow exactly like the water bodies.
+            let station = net.station(sid);
+            let has_upstream = net.upstream_of(sid).count() > 0;
+            let (mut p, mut z) = cur[s];
+            if has_upstream {
+                let prev_flow = if abs_day > 0 {
+                    ds.stations[s].flow[abs_day - 1]
+                } else {
+                    ds.stations[s].flow[abs_day]
+                };
+                let mut total_w = station.retention * prev_flow + 1e-9;
+                let mut acc_p = total_w * p;
+                let mut acc_z = total_w * z;
+                for e in net.upstream_of(sid) {
+                    let a = e.from.0;
+                    let lag = day.saturating_sub(e.delay_days);
+                    let (up_p, up_z) = if lag < bphy[a].len() {
+                        (bphy[a][lag], bzoo[a][lag])
+                    } else {
+                        opts.init
+                    };
+                    let lag_abs = abs_day.saturating_sub(e.delay_days);
+                    let w = (1.0 - net.station(e.from).retention)
+                        * ds.stations[a].flow[lag_abs].max(0.0);
+                    acc_p += w * up_p;
+                    acc_z += w * up_z;
+                    total_w += w;
+                }
+                p = acc_p / total_w;
+                z = acc_z / total_w;
+            }
+            // One Euler day with this station's local forcings.
+            let row: &[f64; NUM_VARS] = &ds.stations[s].vars[abs_day];
+            let state = [p, z];
+            let ctx = EvalContext {
+                vars: row,
+                state: &state,
+            };
+            let dp = compiled[0].eval_with(&ctx, &mut stack);
+            let dz = compiled[1].eval_with(&ctx, &mut stack);
+            let p1 = sanitise(p + opts.dt * dp, opts.state_cap);
+            let z1 = sanitise(z + opts.dt * dz, opts.state_cap);
+            bphy[s].push(p1);
+            bzoo[s].push(z1);
+            cur[s] = (p1, z1);
+        }
+    }
+    NetworkSimResult { bphy, bzoo }
+}
+
+/// RMSE of the network simulation against observed chlorophyll at every
+/// *measuring* station; returns `(station_name, rmse)` pairs.
+pub fn network_rmse(
+    ds: &RiverDataset,
+    split: Split,
+    result: &NetworkSimResult,
+) -> Vec<(String, f64)> {
+    ds.network
+        .stations()
+        .filter(|(_, st)| st.kind == gmr_hydro::network::StationKind::Measuring)
+        .map(|(sid, st)| {
+            let observed = &ds.stations[sid.0].chla[split.start..split.end];
+            let rmse = gmr_hydro::rmse(&result.bphy[sid.0], observed);
+            (st.name.clone(), rmse)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manual::manual_system;
+    use gmr_expr::BinOp;
+    use gmr_hydro::{generate, SyntheticConfig};
+
+    fn dataset() -> RiverDataset {
+        generate(&SyntheticConfig {
+            start_year: 1996,
+            end_year: 1997,
+            train_end_year: 1996,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn shapes_cover_every_station_and_day() {
+        let ds = dataset();
+        let res = simulate_network(
+            &ds,
+            ds.train,
+            &manual_system(),
+            NetworkSimOptions::default(),
+        );
+        assert_eq!(res.bphy.len(), ds.network.len());
+        for s in 0..ds.network.len() {
+            assert_eq!(res.bphy[s].len(), ds.train.len());
+            assert_eq!(res.bzoo[s].len(), ds.train.len());
+        }
+    }
+
+    #[test]
+    fn states_bounded_everywhere() {
+        let ds = dataset();
+        let opts = NetworkSimOptions::default();
+        let res = simulate_network(&ds, ds.train, &manual_system(), opts);
+        for series in res.bphy.iter().chain(res.bzoo.iter()) {
+            for &v in series {
+                assert!(v.is_finite());
+                assert!((0.0..=opts.state_cap).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dynamics_holds_initial_state_at_headwaters() {
+        // dB/dt = 0 at a headwater (no upstream mixing): state frozen.
+        let ds = dataset();
+        let frozen = [Expr::Num(0.0), Expr::Num(0.0)];
+        let opts = NetworkSimOptions::default();
+        let res = simulate_network(&ds, ds.train, &frozen, opts);
+        let s6 = ds.network.by_name("S6").unwrap().0;
+        assert!(res.bphy[s6].iter().all(|&v| v == opts.init.0));
+        // And therefore everywhere: all stations start at the same state,
+        // and flow-weighted averages of equal values are that value.
+        let s1 = ds.network.by_name("S1").unwrap().0;
+        for &v in &res.bphy[s1] {
+            assert!((v - opts.init.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn upstream_biomass_propagates_downstream() {
+        // Growth only at the headwater tributary T1 (via a variable that is
+        // uniform anyway, we instead grow everywhere but kill at S1's own
+        // local step: simpler — use growth proportional to BPhy: biomass
+        // rises everywhere; downstream stations receive *mixed* upstream
+        // levels, so S1 should deviate from a pure local integration).
+        let ds = dataset();
+        let grow = [
+            Expr::bin(BinOp::Mul, Expr::Num(0.02), Expr::State(0)),
+            Expr::Num(0.0),
+        ];
+        let opts = NetworkSimOptions::default();
+        let res = simulate_network(&ds, ds.train, &grow, opts);
+        // Pure local integration at a headwater: p_t = p0 * 1.02^t.
+        let s6 = ds.network.by_name("S6").unwrap().0;
+        let t = 50;
+        let expect = opts.init.0 * 1.02f64.powi(t as i32 + 1);
+        assert!((res.bphy[s6][t] - expect).abs() / expect < 1e-9);
+        // S1 mixes upstream water of *lower* biomass (arrived with a lag,
+        // hence fewer growth steps): its level lags the pure local curve.
+        let s1 = ds.network.by_name("S1").unwrap().0;
+        assert!(res.bphy[s1][t] < expect);
+        assert!(res.bphy[s1][t] > opts.init.0);
+    }
+
+    #[test]
+    fn network_rmse_reports_measuring_stations_only() {
+        let ds = dataset();
+        let res = simulate_network(&ds, ds.test, &manual_system(), NetworkSimOptions::default());
+        let scores = network_rmse(&ds, ds.test, &res);
+        assert_eq!(scores.len(), 9); // S1–S6, T1–T3
+        assert!(scores.iter().all(|(name, _)| !name.starts_with("VS")));
+        assert!(scores.iter().all(|(_, r)| *r > 0.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Ecological analysis of revised models (§IV-E, Fig. 9).
+//!
+//! The paper's headline interpretability claims are quantitative: among the
+//! 50 best models, how often is each variable selected, and does perturbing
+//! it move the predicted biomass up or down? This module implements both
+//! analyses plus a per-model account of which extension points were used.
+
+use gmr_bio::RiverProblem;
+use gmr_expr::Expr;
+use gmr_tag::{DerivTree, Grammar};
+
+/// Sign of a variable's influence on predicted biomass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Correlation {
+    /// Increasing the variable increases mean predicted B_Phy.
+    Positive,
+    /// Increasing the variable decreases mean predicted B_Phy.
+    Negative,
+    /// No measurable effect (or the variable is unused).
+    Uncorrelated,
+}
+
+/// Fraction (in percent) of `models` whose phytoplankton equation mentions
+/// each variable in `vars`. This is Fig. 9's "selectivity (%) among the N
+/// best models".
+pub fn selectivity(models: &[Vec<Expr>], vars: &[u8]) -> Vec<f64> {
+    if models.is_empty() {
+        return vec![0.0; vars.len()];
+    }
+    vars.iter()
+        .map(|v| {
+            let hits = models
+                .iter()
+                .filter(|eqs| eqs.iter().any(|e| e.variables().contains(v)))
+                .count();
+            100.0 * hits as f64 / models.len() as f64
+        })
+        .collect()
+}
+
+/// Perturbation-based correlation: scale variable `var` by `1 + eps` across
+/// the whole forcing record and compare mean predicted biomass.
+pub fn perturb_correlation(
+    problem: &RiverProblem,
+    eqs: &[Expr; 2],
+    var: u8,
+    eps: f64,
+) -> Correlation {
+    let base = mean_prediction(problem, eqs);
+    let mut perturbed = problem.clone();
+    for row in &mut perturbed.forcings {
+        row[var as usize] *= 1.0 + eps;
+    }
+    let moved = mean_prediction(&perturbed, eqs);
+    let denom = base.abs().max(1e-9);
+    let rel = (moved - base) / denom;
+    if rel > 1e-4 {
+        Correlation::Positive
+    } else if rel < -1e-4 {
+        Correlation::Negative
+    } else {
+        Correlation::Uncorrelated
+    }
+}
+
+fn mean_prediction(problem: &RiverProblem, eqs: &[Expr; 2]) -> f64 {
+    let pred = problem.simulate(eqs);
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().sum::<f64>() / pred.len() as f64
+}
+
+/// How many β-trees were adjoined at each extension point, recovered from
+/// the derivation tree by reading the root symbols of the adjoined
+/// elementary trees (`ExtC_k` = a connector at extension *k*; `ExtE_k` = an
+/// extender growing extension *k*'s material).
+///
+/// Returns `(ext_id, connectors, extenders)` triples for every extension
+/// that was touched, sorted by id.
+pub fn extension_usage(tree: &DerivTree, grammar: &Grammar) -> Vec<(u8, usize, usize)> {
+    let mut counts: Vec<(u8, usize, usize)> = Vec::new();
+    for path in tree.paths() {
+        if path.is_empty() {
+            continue; // the root is the initial process
+        }
+        let node = tree.node(&path);
+        let sym = grammar.tree(node.tree).root_symbol();
+        let name = grammar.symbol_name(sym);
+        let (is_connector, id) = if let Some(rest) = name.strip_prefix("ExtC") {
+            (true, rest.parse::<u8>().ok())
+        } else if let Some(rest) = name.strip_prefix("ExtE") {
+            (false, rest.parse::<u8>().ok())
+        } else {
+            (false, None)
+        };
+        let Some(id) = id else { continue };
+        let entry = match counts.iter_mut().find(|(e, _, _)| *e == id) {
+            Some(e) => e,
+            None => {
+                counts.push((id, 0, 0));
+                counts.last_mut().expect("just pushed")
+            }
+        };
+        if is_connector {
+            entry.1 += 1;
+        } else {
+            entry.2 += 1;
+        }
+    }
+    counts.sort_by_key(|(id, _, _)| *id);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_bio::manual::manual_system;
+    use gmr_bio::river_grammar;
+    use gmr_hydro::vars::*;
+    use gmr_hydro::{generate, SyntheticConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem() -> RiverProblem {
+        let ds = generate(&SyntheticConfig {
+            start_year: 1996,
+            end_year: 1996,
+            train_end_year: 1996,
+            ..Default::default()
+        });
+        RiverProblem::from_dataset(&ds, ds.train)
+    }
+
+    #[test]
+    fn selectivity_counts_mentions() {
+        let [phy, zoo] = manual_system();
+        let with = vec![phy.clone(), zoo.clone()];
+        let without = vec![Expr::Num(0.0), Expr::Num(0.0)];
+        let models = vec![with, without];
+        let sel = selectivity(&models, &[VLGT, VPH]);
+        assert_eq!(sel[0], 50.0); // Vlgt in the manual model only
+        assert_eq!(sel[1], 0.0); // Vph in neither
+    }
+
+    #[test]
+    fn selectivity_empty_models() {
+        assert_eq!(selectivity(&[], &[VLGT]), vec![0.0]);
+    }
+
+    #[test]
+    fn light_positively_correlates_in_manual_model() {
+        // Under the Steele response with typical light below the optimum,
+        // more light → more growth.
+        let p = problem();
+        let eqs = manual_system();
+        assert_eq!(
+            perturb_correlation(&p, &eqs, VLGT, 0.10),
+            Correlation::Positive
+        );
+    }
+
+    #[test]
+    fn unused_variable_is_uncorrelated() {
+        let p = problem();
+        let eqs = manual_system();
+        // Vcd does not appear in the manual equations.
+        assert_eq!(
+            perturb_correlation(&p, &eqs, VCD, 0.10),
+            Correlation::Uncorrelated
+        );
+    }
+
+    #[test]
+    fn extension_usage_on_random_revision() {
+        let rg = river_grammar();
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = rg.grammar.random_tree(&mut rng, 6, 12);
+        let usage = extension_usage(&t, &rg.grammar);
+        let total: usize = usage.iter().map(|(_, c, e)| c + e).sum();
+        assert_eq!(
+            total,
+            t.size() - 1,
+            "every non-root node belongs to an extension"
+        );
+        for (id, _, _) in &usage {
+            assert!(matches!(id, 1..=3 | 5..=9));
+        }
+    }
+
+    #[test]
+    fn extension_usage_empty_for_bare_alpha() {
+        let rg = river_grammar();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = rg.grammar.random_tree(&mut rng, 1, 1);
+        assert!(extension_usage(&t, &rg.grammar).is_empty());
+    }
+}

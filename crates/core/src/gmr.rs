@@ -1,0 +1,217 @@
+//! The top-level GMR runner (Fig. 5).
+
+use crate::evaluator::{river_priors, RiverEvaluator};
+use gmr_bio::{river_grammar, RiverGrammar, RiverProblem};
+use gmr_expr::Expr;
+use gmr_gp::{Engine, GpConfig, RunReport};
+use gmr_hydro::data::RiverDataset;
+use gmr_tag::lower::lower_system;
+use gmr_tag::DerivTree;
+
+/// GMR configuration: the GP engine settings plus the multi-run protocol.
+#[derive(Debug, Clone)]
+pub struct GmrConfig {
+    /// Engine settings (paper Appendix B defaults).
+    pub gp: GpConfig,
+    /// Independent runs with different seeds (paper: 60). The best model by
+    /// *training* fitness is selected; all finalists are kept for analysis.
+    pub runs: usize,
+}
+
+impl Default for GmrConfig {
+    fn default() -> Self {
+        GmrConfig {
+            gp: GpConfig::default(),
+            runs: 1,
+        }
+    }
+}
+
+/// Outcome of one GMR run.
+#[derive(Debug, Clone)]
+pub struct GmrResult {
+    /// The winning genotype.
+    pub tree: DerivTree,
+    /// Its lowered, simplified equations `[dBPhy/dt, dBZoo/dt]`.
+    pub equations: Vec<Expr>,
+    /// Training RMSE / MAE.
+    pub train_rmse: f64,
+    /// Training MAE.
+    pub train_mae: f64,
+    /// Test RMSE.
+    pub test_rmse: f64,
+    /// Test MAE.
+    pub test_mae: f64,
+    /// Engine counters and history.
+    pub report: RunReport,
+}
+
+impl GmrResult {
+    /// Pretty-print the revised equations with the canonical names.
+    pub fn render(&self, grammar: &RiverGrammar) -> String {
+        let mut out = String::new();
+        let labels = ["dBPhy/dt", "dBZoo/dt"];
+        for (label, eq) in labels.iter().zip(&self.equations) {
+            out.push_str(label);
+            out.push_str(" = ");
+            out.push_str(&eq.display(&grammar.names).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The genetic model revision framework bound to a dataset.
+pub struct Gmr {
+    /// The compiled prior knowledge.
+    pub grammar: RiverGrammar,
+    /// Training problem (fitness).
+    pub train: RiverProblem,
+    /// Held-out test problem (reporting only — never touches the search).
+    pub test: RiverProblem,
+}
+
+impl Gmr {
+    /// Bind the framework to a dataset's train/test splits.
+    pub fn new(dataset: &RiverDataset) -> Self {
+        Gmr {
+            grammar: river_grammar(),
+            train: RiverProblem::from_dataset(dataset, dataset.train),
+            test: RiverProblem::from_dataset(dataset, dataset.test),
+        }
+    }
+
+    /// Score a genotype on both splits.
+    pub fn score(&self, tree: &DerivTree) -> (Vec<Expr>, [f64; 4]) {
+        let derived = tree.derived(&self.grammar.grammar);
+        let eqs = lower_system(&derived, 2).expect("river genotypes lower to two equations");
+        let sys = [eqs[0].clone(), eqs[1].clone()];
+        let scores = [
+            self.train.rmse(&sys),
+            self.train.mae(&sys),
+            self.test.rmse(&sys),
+            self.test.mae(&sys),
+        ];
+        (eqs, scores)
+    }
+
+    /// One GMR run with the given engine settings.
+    pub fn run(&self, gp: &GpConfig) -> GmrResult {
+        let evaluator = RiverEvaluator::new(self.train.clone());
+        let engine = Engine::new(
+            &self.grammar.grammar,
+            &evaluator,
+            river_priors(),
+            gp.clone(),
+        );
+        let report = engine.run();
+        let tree = report.best.tree.clone();
+        let (equations, [train_rmse, train_mae, test_rmse, test_mae]) = self.score(&tree);
+        GmrResult {
+            tree,
+            equations,
+            train_rmse,
+            train_mae,
+            test_rmse,
+            test_mae,
+            report,
+        }
+    }
+
+    /// The paper's multi-run protocol: `cfg.runs` independent runs with
+    /// derived seeds. Results are sorted by training RMSE (the selection
+    /// criterion available without peeking at the test set).
+    pub fn run_many(&self, cfg: &GmrConfig) -> Vec<GmrResult> {
+        let mut results: Vec<GmrResult> = (0..cfg.runs.max(1))
+            .map(|i| {
+                let mut gp = cfg.gp.clone();
+                gp.seed = cfg
+                    .gp
+                    .seed
+                    .wrapping_add(0x9e37_79b9u64.wrapping_mul(i as u64 + 1));
+                self.run(&gp)
+            })
+            .collect();
+        results.sort_by(|a, b| a.train_rmse.total_cmp(&b.train_rmse));
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_bio::manual::manual_system;
+    use gmr_hydro::{generate, SyntheticConfig};
+
+    fn small_dataset() -> gmr_hydro::RiverDataset {
+        generate(&SyntheticConfig {
+            start_year: 1996,
+            end_year: 1998,
+            train_end_year: 1997,
+            ..Default::default()
+        })
+    }
+
+    fn tiny_gp(seed: u64) -> GpConfig {
+        GpConfig {
+            pop_size: 16,
+            max_gen: 4,
+            local_search_steps: 1,
+            threads: 2,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn gmr_run_produces_scored_result() {
+        let ds = small_dataset();
+        let gmr = Gmr::new(&ds);
+        let res = gmr.run(&tiny_gp(1));
+        assert_eq!(res.equations.len(), 2);
+        assert!(res.train_rmse.is_finite());
+        assert!(res.test_rmse.is_finite());
+        assert!(res.train_rmse > 0.0);
+        res.tree.validate(&gmr.grammar.grammar).unwrap();
+    }
+
+    #[test]
+    fn gmr_beats_or_matches_unrevised_manual_on_training() {
+        let ds = small_dataset();
+        let gmr = Gmr::new(&ds);
+        let manual = manual_system();
+        let manual_rmse = gmr.train.rmse(&manual);
+        let res = gmr.run(&tiny_gp(2));
+        assert!(
+            res.train_rmse <= manual_rmse,
+            "revision should not be worse than the seed: {} vs {manual_rmse}",
+            res.train_rmse
+        );
+    }
+
+    #[test]
+    fn run_many_sorted_by_train_rmse() {
+        let ds = small_dataset();
+        let gmr = Gmr::new(&ds);
+        let cfg = GmrConfig {
+            gp: tiny_gp(3),
+            runs: 3,
+        };
+        let results = gmr.run_many(&cfg);
+        assert_eq!(results.len(), 3);
+        for w in results.windows(2) {
+            assert!(w[0].train_rmse <= w[1].train_rmse);
+        }
+    }
+
+    #[test]
+    fn render_mentions_states() {
+        let ds = small_dataset();
+        let gmr = Gmr::new(&ds);
+        let res = gmr.run(&tiny_gp(4));
+        let text = res.render(&gmr.grammar);
+        assert!(text.contains("dBPhy/dt ="));
+        assert!(text.contains("dBZoo/dt ="));
+        assert!(text.contains("BPhy"));
+    }
+}

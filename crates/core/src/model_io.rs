@@ -1,0 +1,193 @@
+//! Persisting revised models.
+//!
+//! A revised model's *phenotype* is just a pair of equations, and the
+//! pretty-printer embeds every calibrated constant (`CUA[1.73]`), so the
+//! rendered text is a complete, human-readable, re-parseable artifact —
+//! the natural interchange format for "ship the model the search found to
+//! the operations team". This module writes and reads that format.
+//!
+//! Format: one equation per line, `dBPhy/dt = …` then `dBZoo/dt = …`;
+//! `#`-prefixed comment lines (scores, provenance) are ignored on load.
+
+use crate::gmr::GmrResult;
+use gmr_bio::manual::name_table;
+use gmr_expr::{parse, Expr, ParseError};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors raised while loading a model file.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A line did not have the `lhs = rhs` shape.
+    MissingEquals { line: usize },
+    /// The right-hand side failed to parse.
+    Parse { line: usize, err: ParseError },
+    /// The file did not contain exactly two equations.
+    WrongCount { found: usize },
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "io error: {e}"),
+            ModelIoError::MissingEquals { line } => {
+                write!(f, "line {line}: expected 'lhs = rhs'")
+            }
+            ModelIoError::Parse { line, err } => write!(f, "line {line}: {err}"),
+            ModelIoError::WrongCount { found } => {
+                write!(f, "expected 2 equations, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<io::Error> for ModelIoError {
+    fn from(e: io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+/// Render a model file: provenance comments plus the two equations.
+pub fn render_model(result: &GmrResult) -> String {
+    let names = name_table();
+    let mut out = String::new();
+    out.push_str("# genetic model revision — revised river process\n");
+    out.push_str(&format!(
+        "# train RMSE {:.6}  train MAE {:.6}\n",
+        result.train_rmse, result.train_mae
+    ));
+    out.push_str(&format!(
+        "# test RMSE {:.6}  test MAE {:.6}\n",
+        result.test_rmse, result.test_mae
+    ));
+    let labels = ["dBPhy/dt", "dBZoo/dt"];
+    for (label, eq) in labels.iter().zip(&result.equations) {
+        out.push_str(&format!("{label} = {}\n", eq.display(&names)));
+    }
+    out
+}
+
+/// Write a model file.
+pub fn save_model(result: &GmrResult, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
+    fs::write(path, render_model(result))?;
+    Ok(())
+}
+
+/// Parse a model file's equations back into `[dBPhy/dt, dBZoo/dt]`.
+pub fn parse_model(text: &str) -> Result<[Expr; 2], ModelIoError> {
+    let names = name_table();
+    let mut eqs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, rhs) = line
+            .split_once('=')
+            .ok_or(ModelIoError::MissingEquals { line: i + 1 })?;
+        // Loaded constants carry their embedded values; the default is only
+        // used for bare parameter names, which the renderer never emits.
+        let eq = parse(rhs.trim(), &names, |k| gmr_bio::params::spec(k).mean)
+            .map_err(|err| ModelIoError::Parse { line: i + 1, err })?;
+        eqs.push(eq);
+    }
+    let found = eqs.len();
+    let mut it = eqs.into_iter();
+    match (it.next(), it.next(), found) {
+        (Some(a), Some(b), 2) => Ok([a, b]),
+        _ => Err(ModelIoError::WrongCount { found }),
+    }
+}
+
+/// Read a model file.
+pub fn load_model(path: impl AsRef<Path>) -> Result<[Expr; 2], ModelIoError> {
+    let text = fs::read_to_string(path)?;
+    parse_model(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmr::{Gmr, GmrConfig};
+    use gmr_gp::GpConfig;
+    use gmr_hydro::{generate, SyntheticConfig};
+
+    fn result() -> (Gmr, GmrResult) {
+        let ds = generate(&SyntheticConfig {
+            start_year: 1996,
+            end_year: 1997,
+            train_end_year: 1996,
+            ..Default::default()
+        });
+        let gmr = Gmr::new(&ds);
+        let cfg = GmrConfig {
+            gp: GpConfig {
+                pop_size: 12,
+                max_gen: 3,
+                local_search_steps: 1,
+                threads: 2,
+                seed: 5,
+                ..GpConfig::default()
+            },
+            runs: 1,
+        };
+        let res = gmr.run_many(&cfg).remove(0);
+        (gmr, res)
+    }
+
+    #[test]
+    fn round_trip_preserves_equations_and_scores() {
+        let (gmr, res) = result();
+        let text = render_model(&res);
+        let loaded = parse_model(&text).expect("model file parses");
+        assert_eq!(loaded[0], res.equations[0]);
+        assert_eq!(loaded[1], res.equations[1]);
+        // The loaded model reproduces the recorded scores exactly.
+        assert_eq!(gmr.train.rmse(&loaded), res.train_rmse);
+        assert_eq!(gmr.test.rmse(&loaded), res.test_rmse);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (_, res) = result();
+        let dir = std::env::temp_dir().join("gmr-model-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("revised.gmr");
+        save_model(&res, &path).expect("writes");
+        let loaded = load_model(&path).expect("reads");
+        assert_eq!(loaded[0], res.equations[0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_equation_count() {
+        let err = parse_model("dBPhy/dt = BPhy * 1").unwrap_err();
+        assert!(matches!(err, ModelIoError::WrongCount { found: 1 }));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            parse_model("no equals sign here"),
+            Err(ModelIoError::MissingEquals { line: 1 })
+        ));
+        assert!(matches!(
+            parse_model("a = )(bad"),
+            Err(ModelIoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let (_, res) = result();
+        let mut text = String::from("\n# a comment\n\n");
+        text.push_str(&render_model(&res));
+        assert!(parse_model(&text).is_ok());
+    }
+}

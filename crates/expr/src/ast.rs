@@ -1,0 +1,311 @@
+//! The expression AST and basic structural operations.
+
+/// Binary operators available to process equations.
+///
+/// `Min`/`Max` appear in the expert model (Liebig's law of the minimum for
+/// nutrient limitation, and the two-optimum temperature response); the
+/// remaining four are the arithmetic connectives the revision grammar offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+    Pow,
+}
+
+impl BinOp {
+    /// Whether `a op b == b op a`, used by simplification to canonicalise
+    /// operand order (raising fitness-cache hit rates).
+    pub fn commutative(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max)
+    }
+
+    /// All binary operators, in a stable order.
+    pub const ALL: [BinOp; 7] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::Pow,
+    ];
+
+    /// Symbol used by the pretty-printer and parser.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Pow => "pow",
+        }
+    }
+}
+
+/// Unary operators. `Log` and `Exp` are the two transcendental extenders the
+/// paper's Table II allows; `Neg` arises from simplification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnOp {
+    Neg,
+    Log,
+    Exp,
+}
+
+impl UnOp {
+    /// All unary operators, in a stable order.
+    pub const ALL: [UnOp; 3] = [UnOp::Neg, UnOp::Log, UnOp::Exp];
+
+    /// Name used by the pretty-printer and parser.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Log => "log",
+            UnOp::Exp => "exp",
+        }
+    }
+}
+
+/// A mutable constant parameter embedded in an expression.
+///
+/// `kind` indexes a parameter-specification table owned by the domain layer
+/// (for the river model: Table III of the paper, which gives each constant a
+/// mean and an exploration range). `value` is the current, evolved value —
+/// Gaussian mutation walks the tree and perturbs these in place, with the
+/// current value acting as the mean of the next draw, exactly as §III-B3
+/// describes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamSlot {
+    /// Index into the domain layer's parameter-spec table. Anonymous "R"
+    /// constants introduced by revision use a dedicated kind.
+    pub kind: u16,
+    /// Current value of the constant.
+    pub value: f64,
+}
+
+/// An expression tree over parameters, temporal variables and state
+/// variables. This is the *phenotype* representation: TAG derivation trees
+/// (the genotype) lower to `Expr` for fitness evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A plain numeric literal (not subject to Gaussian mutation).
+    Num(f64),
+    /// A mutable constant parameter (physiological rate or an evolved "R").
+    Param(ParamSlot),
+    /// A temporal variable, indexed into the per-step forcing vector.
+    Var(u8),
+    /// A state variable, indexed into the integrated state vector
+    /// (for the river model: 0 = B_Phy, 1 = B_Zoo).
+    State(u8),
+    /// Unary application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for unary nodes.
+    pub fn un(op: UnOp, inner: Expr) -> Expr {
+        Expr::Unary(op, Box::new(inner))
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Param(_) | Expr::Var(_) | Expr::State(_) => 1,
+            Expr::Unary(_, a) => 1 + a.size(),
+            Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Height of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Param(_) | Expr::Var(_) | Expr::State(_) => 1,
+            Expr::Unary(_, a) => 1 + a.depth(),
+            Expr::Binary(_, a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// Visit every node (preorder).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Unary(_, a) => a.visit(f),
+            Expr::Binary(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// Visit every node mutably (preorder). The callback must not change the
+    /// node's variant arity (it may rewrite values in place).
+    pub fn visit_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        f(self);
+        match self {
+            Expr::Unary(_, a) => a.visit_mut(f),
+            Expr::Binary(_, a, b) => {
+                a.visit_mut(f);
+                b.visit_mut(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// Collect mutable references to every parameter slot in the tree —
+    /// the unit Gaussian mutation operates on.
+    pub fn param_slots_mut(&mut self) -> Vec<&mut ParamSlot> {
+        let mut out = Vec::new();
+        fn go<'a>(e: &'a mut Expr, out: &mut Vec<&'a mut ParamSlot>) {
+            match e {
+                Expr::Param(p) => out.push(p),
+                Expr::Unary(_, a) => go(a, out),
+                Expr::Binary(_, a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                _ => {}
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Indices of every distinct temporal variable referenced by the tree,
+    /// sorted ascending. Used by the selectivity analysis (Fig. 9).
+    pub fn variables(&self) -> Vec<u8> {
+        let mut vars = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Var(v) = e {
+                if !vars.contains(v) {
+                    vars.push(*v);
+                }
+            }
+        });
+        vars.sort_unstable();
+        vars
+    }
+
+    /// True when the tree contains no variables or state references, i.e.
+    /// it folds to a single number.
+    pub fn is_constant(&self) -> bool {
+        let mut constant = true;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Var(_) | Expr::State(_)) {
+                constant = false;
+            }
+        });
+        constant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // BPhy * (mu - 1.5)  with mu as a parameter slot
+        Expr::bin(
+            BinOp::Mul,
+            Expr::State(0),
+            Expr::bin(
+                BinOp::Sub,
+                Expr::Param(ParamSlot {
+                    kind: 3,
+                    value: 1.89,
+                }),
+                Expr::Num(1.5),
+            ),
+        )
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let e = sample();
+        assert_eq!(e.size(), 5);
+        assert_eq!(e.depth(), 3);
+    }
+
+    #[test]
+    fn leaf_size_is_one() {
+        assert_eq!(Expr::Num(2.0).size(), 1);
+        assert_eq!(Expr::Var(0).size(), 1);
+        assert_eq!(Expr::Num(2.0).depth(), 1);
+    }
+
+    #[test]
+    fn param_slots_are_found() {
+        let mut e = sample();
+        let slots = e.param_slots_mut();
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].kind, 3);
+    }
+
+    #[test]
+    fn param_slot_mutation_sticks() {
+        let mut e = sample();
+        for s in e.param_slots_mut() {
+            s.value = 2.5;
+        }
+        let mut seen = 0.0;
+        e.visit(&mut |n| {
+            if let Expr::Param(p) = n {
+                seen = p.value;
+            }
+        });
+        assert_eq!(seen, 2.5);
+    }
+
+    #[test]
+    fn variables_deduplicated_and_sorted() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::Var(4), Expr::Var(1)),
+            Expr::Var(4),
+        );
+        assert_eq!(e.variables(), vec![1, 4]);
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(Expr::bin(BinOp::Add, Expr::Num(1.0), Expr::Num(2.0)).is_constant());
+        assert!(!sample().is_constant());
+        // Parameters count as constants: they do not vary within a simulation.
+        assert!(Expr::Param(ParamSlot {
+            kind: 0,
+            value: 1.0
+        })
+        .is_constant());
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(BinOp::Add.commutative());
+        assert!(BinOp::Mul.commutative());
+        assert!(BinOp::Min.commutative());
+        assert!(BinOp::Max.commutative());
+        assert!(!BinOp::Sub.commutative());
+        assert!(!BinOp::Div.commutative());
+        assert!(!BinOp::Pow.commutative());
+    }
+
+    #[test]
+    fn visit_counts_every_node() {
+        let e = sample();
+        let mut n = 0;
+        e.visit(&mut |_| n += 1);
+        assert_eq!(n, e.size());
+    }
+}

@@ -1,0 +1,126 @@
+//! Structural hashing for fitness-cache keys.
+//!
+//! The tree cache in the GP engine (paper §III-D, "Tree Caching") maps a
+//! *canonical* expression to its previously computed fitness. The key must be
+//! cheap to compute — it is taken once per fitness evaluation — so we use an
+//! FxHash-style multiply-xor mix rather than SipHash, hand-rolled here to
+//! avoid a dependency. Collisions only cost a wrong cache hit; keys are
+//! 128 bits (two independent mixes) which makes that astronomically unlikely
+//! for cache populations in the millions.
+
+use crate::ast::Expr;
+
+const SEED1: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const SEED2: u64 = 0x9e_37_79_b9_7f_4a_7c_15;
+
+#[inline(always)]
+fn mix(h: u64, v: u64, k: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(k)
+}
+
+/// 128-bit structural hash of an expression (including parameter kinds and
+/// the bit patterns of all embedded numeric values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeKey(pub u64, pub u64);
+
+impl Expr {
+    /// Compute the [`TreeKey`] for this tree. Two structurally identical
+    /// trees always produce the same key; value changes (e.g. Gaussian
+    /// mutation of a parameter) produce a different key.
+    pub fn structural_hash(&self) -> TreeKey {
+        let mut h1 = 0xcbf2_9ce4_8422_2325;
+        let mut h2 = 0x6a09_e667_f3bc_c909;
+        self.hash_into(&mut h1, &mut h2);
+        TreeKey(h1, h2)
+    }
+
+    fn hash_into(&self, h1: &mut u64, h2: &mut u64) {
+        let tag: u64 = match self {
+            Expr::Num(v) => 0x10 ^ v.to_bits(),
+            Expr::Param(p) => 0x20 ^ ((p.kind as u64) << 1) ^ p.value.to_bits().rotate_left(17),
+            Expr::Var(i) => 0x30 ^ ((*i as u64) << 8),
+            Expr::State(i) => 0x40 ^ ((*i as u64) << 8),
+            Expr::Unary(op, _) => 0x50 ^ ((*op as u64) << 8),
+            Expr::Binary(op, _, _) => 0x60 ^ ((*op as u64) << 8),
+        };
+        *h1 = mix(*h1, tag, SEED1);
+        *h2 = mix(*h2, tag, SEED2);
+        match self {
+            Expr::Unary(_, a) => a.hash_into(h1, h2),
+            Expr::Binary(_, a, b) => {
+                a.hash_into(h1, h2);
+                // Separator so that ((a b) c) and (a (b c)) shaped trees
+                // cannot collide by concatenation.
+                *h1 = mix(*h1, 0x2c, SEED1);
+                *h2 = mix(*h2, 0x2c, SEED2);
+                b.hash_into(h1, h2);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, ParamSlot, UnOp};
+
+    #[test]
+    fn identical_trees_hash_equal() {
+        let a = Expr::bin(BinOp::Add, Expr::Var(0), Expr::Num(1.0));
+        let b = Expr::bin(BinOp::Add, Expr::Var(0), Expr::Num(1.0));
+        assert_eq!(a.structural_hash(), b.structural_hash());
+    }
+
+    #[test]
+    fn operand_order_matters() {
+        let a = Expr::bin(BinOp::Add, Expr::Var(0), Expr::Var(1));
+        let b = Expr::bin(BinOp::Add, Expr::Var(1), Expr::Var(0));
+        assert_ne!(a.structural_hash(), b.structural_hash());
+    }
+
+    #[test]
+    fn param_value_changes_key() {
+        let a = Expr::Param(ParamSlot {
+            kind: 2,
+            value: 1.0,
+        });
+        let b = Expr::Param(ParamSlot {
+            kind: 2,
+            value: 1.0000001,
+        });
+        assert_ne!(a.structural_hash(), b.structural_hash());
+    }
+
+    #[test]
+    fn variant_confusion_is_impossible() {
+        assert_ne!(
+            Expr::Var(0).structural_hash(),
+            Expr::State(0).structural_hash()
+        );
+        assert_ne!(
+            Expr::Num(0.0).structural_hash(),
+            Expr::Var(0).structural_hash()
+        );
+        assert_ne!(
+            Expr::un(UnOp::Log, Expr::Var(0)).structural_hash(),
+            Expr::un(UnOp::Exp, Expr::Var(0)).structural_hash()
+        );
+    }
+
+    #[test]
+    fn association_shape_matters() {
+        // (a+b)+c vs a+(b+c): same leaf sequence, different shape.
+        let left = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, Expr::Var(0), Expr::Var(1)),
+            Expr::Var(2),
+        );
+        let right = Expr::bin(
+            BinOp::Add,
+            Expr::Var(0),
+            Expr::bin(BinOp::Add, Expr::Var(1), Expr::Var(2)),
+        );
+        assert_ne!(left.structural_hash(), right.structural_hash());
+    }
+}

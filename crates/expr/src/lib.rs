@@ -1,0 +1,49 @@
+//! Expression-tree substrate for dynamic process equations.
+//!
+//! This crate is the lowest layer of the GMR reproduction. A dynamic process
+//! (a differential equation such as the phytoplankton model in the paper's
+//! eq. 1) is *lowered* from a TAG derivation tree into an [`Expr`]: a plain
+//! expression AST over
+//!
+//! * numeric literals,
+//! * **constant parameters** ([`Expr::Param`]) — physiological rates such as
+//!   the maximum phytoplankton growth rate, carrying a mutable value that
+//!   Gaussian mutation updates,
+//! * **temporal variables** ([`Expr::Var`]) — external forcings (light,
+//!   temperature, nutrients, …) read from the observed data at each step,
+//! * **state variables** ([`Expr::State`]) — the integrated quantities
+//!   (phytoplankton and zooplankton biomass),
+//! * unary and binary operators (including the `min`/`max` forms the expert
+//!   model uses for Liebig-style nutrient limitation).
+//!
+//! On top of the AST the crate provides:
+//!
+//! * [`eval`](Expr::eval) — a straightforward tree-walking interpreter with
+//!   *protected* semantics for division, logarithm and exponentiation so that
+//!   evolved expressions can never poison a simulation with `inf`/`NaN`;
+//! * [`simplify()`](simplify::simplify) — algebraic simplification and canonical ordering of
+//!   commutative operators, which both shrinks evolved trees and raises the
+//!   hit rate of the fitness cache (§III-D of the paper);
+//! * [`mod@compile`] — lowering to a flat stack-VM bytecode, the Rust substitute
+//!   for the paper's G++ runtime compilation (same shape: pay once per tree,
+//!   then evaluate thousands of time steps cheaply);
+//! * a canonical structural [`hash`](Expr::structural_hash) used as the
+//!   fitness-cache key;
+//! * a [`parser`](parse::parse()) and pretty [`printer`](display) for human
+//!   round-tripping in examples and tests.
+
+pub mod ast;
+pub mod compile;
+pub mod display;
+pub mod eval;
+pub mod hash;
+pub mod parse;
+pub mod simplify;
+
+pub use ast::{BinOp, Expr, ParamSlot, UnOp};
+pub use compile::{CompiledExpr, Instr};
+pub use display::NameTable;
+pub use eval::{protected_div, protected_exp, protected_log, EvalContext};
+pub use hash::TreeKey;
+pub use parse::{parse, ParseError};
+pub use simplify::simplify;

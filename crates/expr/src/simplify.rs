@@ -1,0 +1,336 @@
+//! Algebraic simplification and canonicalisation.
+//!
+//! Simplification serves two purposes in the GMR system (paper §III-D):
+//! evolved trees accumulate dead weight (`x + 0`, doubled negations, fully
+//! numeric subtrees) which slows every subsequent fitness evaluation, and the
+//! fitness cache is keyed by tree structure, so semantically equal trees must
+//! be normalised to the same key for the cache to hit ("GMR improves the hit
+//! rate by algebraically simplifying the trees before they are evaluated").
+//!
+//! Every rule here is *sound under the protected semantics* of
+//! [`crate::eval`]: we deliberately do **not** apply textbook identities that
+//! fail for non-finite intermediates (`x * 0 → 0`, `x - x → 0`,
+//! `log(exp(x)) → x`), so `simplify` never changes the value of a tree on any
+//! input. A proptest in `tests/` checks exactly that.
+//!
+//! Rules applied (bottom-up, to a local fixpoint at each node):
+//!
+//! * numeric folding of `Num`-only subtrees (via the protected operators);
+//! * `x + 0 → x`, `x - 0 → x`, `0 - x → -x`;
+//! * `x * 1 → x`, `x / 1 → x`;
+//! * `--x → x`, `-(c) → (-c)`;
+//! * `min(x, x) → x`, `max(x, x) → x` for structurally identical operands;
+//! * commutative operands sorted into a canonical order.
+//!
+//! `Param` leaves are *never* folded: their values are live targets of
+//! Gaussian mutation and must stay addressable in the tree.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::eval::{apply_bin, apply_un};
+use std::cmp::Ordering;
+
+/// Total, deterministic structural order on expressions, used to
+/// canonicalise commutative operands. Parameters order by kind then value
+/// bits; floats by their bit pattern (total order, NaN-safe).
+pub fn cmp_expr(a: &Expr, b: &Expr) -> Ordering {
+    fn rank(e: &Expr) -> u8 {
+        match e {
+            Expr::Num(_) => 0,
+            Expr::Param(_) => 1,
+            Expr::Var(_) => 2,
+            Expr::State(_) => 3,
+            Expr::Unary(..) => 4,
+            Expr::Binary(..) => 5,
+        }
+    }
+    match (a, b) {
+        (Expr::Num(x), Expr::Num(y)) => x.total_cmp(y),
+        (Expr::Param(x), Expr::Param(y)) => x
+            .kind
+            .cmp(&y.kind)
+            .then_with(|| x.value.total_cmp(&y.value)),
+        (Expr::Var(x), Expr::Var(y)) => x.cmp(y),
+        (Expr::State(x), Expr::State(y)) => x.cmp(y),
+        (Expr::Unary(op1, a1), Expr::Unary(op2, a2)) => op1.cmp(op2).then_with(|| cmp_expr(a1, a2)),
+        (Expr::Binary(op1, a1, b1), Expr::Binary(op2, a2, b2)) => op1
+            .cmp(op2)
+            .then_with(|| cmp_expr(a1, a2))
+            .then_with(|| cmp_expr(b1, b2)),
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// Structural equality that treats `-0.0 == 0.0` as distinct (bit equality),
+/// matching the cache-key hash.
+fn same(a: &Expr, b: &Expr) -> bool {
+    cmp_expr(a, b) == Ordering::Equal
+}
+
+fn is_num(e: &Expr, v: f64) -> bool {
+    matches!(e, Expr::Num(x) if *x == v)
+}
+
+/// Simplify one node, assuming children are already simplified. Returns the
+/// rewritten node and whether anything changed.
+fn step(e: Expr) -> (Expr, bool) {
+    match e {
+        Expr::Unary(op, a) => {
+            // Numeric folding.
+            if let Expr::Num(v) = *a {
+                return (Expr::Num(apply_un(op, v)), true);
+            }
+            // --x → x
+            if op == UnOp::Neg {
+                if let Expr::Unary(UnOp::Neg, inner) = *a {
+                    return (*inner, true);
+                }
+                return (Expr::Unary(UnOp::Neg, a), false);
+            }
+            (Expr::Unary(op, a), false)
+        }
+        Expr::Binary(op, a, b) => {
+            if let (Expr::Num(x), Expr::Num(y)) = (&*a, &*b) {
+                return (Expr::Num(apply_bin(op, *x, *y)), true);
+            }
+            match op {
+                BinOp::Add => {
+                    if is_num(&a, 0.0) {
+                        return (*b, true);
+                    }
+                    if is_num(&b, 0.0) {
+                        return (*a, true);
+                    }
+                }
+                BinOp::Sub => {
+                    if is_num(&b, 0.0) {
+                        return (*a, true);
+                    }
+                    if is_num(&a, 0.0) {
+                        return (Expr::Unary(UnOp::Neg, b), true);
+                    }
+                }
+                BinOp::Mul => {
+                    if is_num(&a, 1.0) {
+                        return (*b, true);
+                    }
+                    if is_num(&b, 1.0) {
+                        return (*a, true);
+                    }
+                }
+                BinOp::Div => {
+                    if is_num(&b, 1.0) {
+                        return (*a, true);
+                    }
+                }
+                BinOp::Min | BinOp::Max => {
+                    if same(&a, &b) {
+                        return (*a, true);
+                    }
+                }
+                BinOp::Pow => {}
+            }
+            // Canonical operand order for commutative operators.
+            if op.commutative() && cmp_expr(&a, &b) == Ordering::Greater {
+                return (Expr::Binary(op, b, a), true);
+            }
+            (Expr::Binary(op, a, b), false)
+        }
+        leaf => (leaf, false),
+    }
+}
+
+/// Simplify a tree bottom-up, iterating each node to a local fixpoint.
+///
+/// ```
+/// use gmr_expr::{parse, simplify, NameTable};
+///
+/// let names = NameTable::new(&["x"], &[], &[]);
+/// let e = parse("(x + 0) * 1 + (2 * 3)", &names, |_| 0.0).unwrap();
+/// let s = simplify(&e);
+/// // Numeric subtrees fold and commutative operands are canonically
+/// // ordered (literals first).
+/// assert_eq!(s.display(&names).to_string(), "6 + x");
+/// ```
+pub fn simplify(e: &Expr) -> Expr {
+    fn go(e: &Expr) -> Expr {
+        let rebuilt = match e {
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(go(a))),
+            Expr::Binary(op, a, b) => Expr::Binary(*op, Box::new(go(a)), Box::new(go(b))),
+            leaf => leaf.clone(),
+        };
+        let mut cur = rebuilt;
+        loop {
+            let (next, changed) = step(cur);
+            if !changed {
+                return next;
+            }
+            // A rewrite may expose a new root shape (e.g. folding produced a
+            // Num operand) but children are already simplified, so looping on
+            // the root alone reaches the fixpoint. The exception is a rewrite
+            // that *lifts* a child to the root (x+0 → x) — already simplified.
+            cur = next;
+        }
+    }
+    go(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ParamSlot;
+    use crate::eval::EvalContext;
+
+    fn p(kind: u16, value: f64) -> Expr {
+        Expr::Param(ParamSlot { kind, value })
+    }
+
+    #[test]
+    fn folds_numeric_subtrees() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Num(2.0),
+            Expr::bin(BinOp::Mul, Expr::Num(3.0), Expr::Num(4.0)),
+        );
+        assert_eq!(simplify(&e), Expr::Num(14.0));
+    }
+
+    #[test]
+    fn does_not_fold_params() {
+        let e = Expr::bin(BinOp::Add, p(0, 2.0), Expr::Num(0.0));
+        assert_eq!(simplify(&e), p(0, 2.0));
+        let e2 = Expr::bin(BinOp::Add, p(0, 2.0), Expr::Num(3.0));
+        // Param + 3 must stay a tree: the param is a mutation target.
+        assert_eq!(e2.size(), 3);
+        assert_eq!(simplify(&e2).size(), 3);
+    }
+
+    #[test]
+    fn additive_identities() {
+        let x = Expr::Var(0);
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Add, x.clone(), Expr::Num(0.0))),
+            x
+        );
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Add, Expr::Num(0.0), x.clone())),
+            x
+        );
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Sub, x.clone(), Expr::Num(0.0))),
+            x
+        );
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Sub, Expr::Num(0.0), x.clone())),
+            Expr::un(UnOp::Neg, x)
+        );
+    }
+
+    #[test]
+    fn multiplicative_identities() {
+        let x = Expr::Var(3);
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Mul, x.clone(), Expr::Num(1.0))),
+            x
+        );
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Mul, Expr::Num(1.0), x.clone())),
+            x
+        );
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Div, x.clone(), Expr::Num(1.0))),
+            x
+        );
+    }
+
+    #[test]
+    fn mul_by_zero_is_not_folded() {
+        // Unsound under protected semantics if the other side is non-finite;
+        // we keep the tree as-is.
+        let e = Expr::bin(BinOp::Mul, Expr::Var(0), Expr::Num(0.0));
+        assert_eq!(simplify(&e).size(), 3);
+    }
+
+    #[test]
+    fn double_negation() {
+        let x = Expr::Var(1);
+        let e = Expr::un(UnOp::Neg, Expr::un(UnOp::Neg, x.clone()));
+        assert_eq!(simplify(&e), x);
+    }
+
+    #[test]
+    fn idempotent_min_max() {
+        let x = Expr::bin(BinOp::Add, Expr::Var(0), Expr::Var(1));
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Min, x.clone(), x.clone())),
+            simplify(&x)
+        );
+        assert_eq!(
+            simplify(&Expr::bin(BinOp::Max, x.clone(), x.clone())),
+            simplify(&x)
+        );
+    }
+
+    #[test]
+    fn commutative_canonical_order() {
+        let a = Expr::bin(BinOp::Add, Expr::Var(5), Expr::Var(2));
+        let b = Expr::bin(BinOp::Add, Expr::Var(2), Expr::Var(5));
+        assert_eq!(simplify(&a), simplify(&b));
+        // Non-commutative operands must NOT be swapped.
+        let s = Expr::bin(BinOp::Sub, Expr::Var(5), Expr::Var(2));
+        assert_eq!(simplify(&s), s);
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::Num(1.0), Expr::Var(7)),
+            Expr::bin(
+                BinOp::Sub,
+                Expr::Num(0.0),
+                Expr::un(UnOp::Neg, Expr::Var(3)),
+            ),
+        );
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn preserves_value_on_sample_inputs() {
+        let e = Expr::bin(
+            BinOp::Div,
+            Expr::bin(BinOp::Add, Expr::Var(0), Expr::Num(0.0)),
+            Expr::bin(
+                BinOp::Mul,
+                Expr::Num(1.0),
+                Expr::bin(BinOp::Sub, Expr::State(0), Expr::Num(0.0)),
+            ),
+        );
+        let s = simplify(&e);
+        let ctx = EvalContext {
+            vars: &[4.0, 5.0],
+            state: &[2.0],
+        };
+        assert_eq!(e.eval(&ctx), s.eval(&ctx));
+        assert!(s.size() < e.size());
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let exprs = [
+            Expr::Num(1.0),
+            p(0, 1.0),
+            Expr::Var(0),
+            Expr::State(0),
+            Expr::un(UnOp::Log, Expr::Var(0)),
+            Expr::bin(BinOp::Add, Expr::Var(0), Expr::Var(1)),
+        ];
+        for (i, a) in exprs.iter().enumerate() {
+            assert_eq!(cmp_expr(a, a), Ordering::Equal);
+            for b in &exprs[i + 1..] {
+                assert_eq!(cmp_expr(a, b), cmp_expr(b, a).reverse());
+            }
+        }
+    }
+}

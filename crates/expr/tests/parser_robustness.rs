@@ -1,0 +1,62 @@
+//! Parser robustness: arbitrary input must never panic, and error spans
+//! must stay within the source.
+
+use gmr_expr::{parse, NameTable};
+use proptest::prelude::*;
+
+fn names() -> NameTable {
+    NameTable::new(&["Vlgt", "Vtmp"], &["BPhy", "BZoo"], &["CUA", "CBRA", "R"])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(src in ".{0,64}") {
+        let _ = parse(&src, &names(), |_| 0.5);
+    }
+
+    #[test]
+    fn arbitrary_expression_like_strings_never_panic(
+        src in "[ 0-9a-zA-Z_+*/().,\\[\\]-]{0,80}"
+    ) {
+        match parse(&src, &names(), |_| 0.5) {
+            Ok(e) => prop_assert!(e.size() >= 1),
+            Err(err) => prop_assert!(err.at <= src.len(), "error span out of range"),
+        }
+    }
+
+    #[test]
+    fn valid_prefix_with_garbage_suffix_errors(
+        garbage in "[#$%&@^~]{1,8}"
+    ) {
+        let src = format!("BPhy + 1 {garbage}");
+        prop_assert!(parse(&src, &names(), |_| 0.5).is_err());
+    }
+}
+
+#[test]
+fn deeply_nested_parens_hit_the_depth_limit_not_the_stack() {
+    // Within the limit: parses fine.
+    let ok = 100;
+    let src = format!("{}1{}", "(".repeat(ok), ")".repeat(ok));
+    assert_eq!(
+        parse(&src, &names(), |_| 0.5).expect("shallow nesting parses"),
+        gmr_expr::Expr::Num(1.0)
+    );
+    // Far beyond the limit: a clean error, never a stack overflow.
+    let deep = 50_000;
+    let src = format!("{}1{}", "(".repeat(deep), ")".repeat(deep));
+    let err = parse(&src, &names(), |_| 0.5).expect_err("depth limit enforced");
+    assert!(err.msg.contains("deep"), "{err}");
+}
+
+#[test]
+fn pathological_numbers() {
+    let n = names();
+    assert!(parse("1e309", &n, |_| 0.0).unwrap().size() == 1); // inf literal is a value
+    assert!(parse("1e-400", &n, |_| 0.0).is_ok()); // subnormal underflow to 0
+    assert!(parse(".", &n, |_| 0.0).is_err());
+    assert!(parse("..1", &n, |_| 0.0).is_err());
+    assert!(parse("1.2.3", &n, |_| 0.0).is_err());
+}

@@ -1,0 +1,316 @@
+//! Tree caching (§III-D): memoise fitness by canonical tree identity.
+//!
+//! "We cache the results of tree evaluation, and reuse them when we need to
+//! reevaluate the same trees. … GMR improves the hit rate by algebraically
+//! simplifying the trees before they are evaluated." The cache key is the
+//! combined structural hash of the *simplified* lowered system, so
+//! semantically identical revisions (`x + 0`, commuted operands, folded
+//! numerics) share one entry.
+//!
+//! The map is sharded behind `parking_lot` mutexes for cheap concurrent
+//! access from the parallel evaluation pool, uses the identity hash (keys
+//! are already 128-bit mixes), and evicts by clearing the fullest shard when
+//! a shard exceeds its budget — fitness caching tolerates loss, never
+//! staleness (keys are pure functions of the phenotype).
+
+use gmr_expr::TreeKey;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity hasher for pre-mixed 128-bit keys.
+#[derive(Default)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 writes are expected; fold anything else cheaply.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// A cached evaluation: fitness and whether it came from a full evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedFitness {
+    /// The recorded fitness.
+    pub fitness: f64,
+    /// Whether it was a full (non-short-circuited) evaluation.
+    pub full: bool,
+}
+
+/// Hit/miss counters (monotonic, lock-free).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheStats {
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+    /// Hit rate in `[0, 1]` (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+type Shard = HashMap<(u64, u64), CachedFitness, BuildHasherDefault<IdentityHasher>>;
+
+/// Sharded fitness cache.
+pub struct TreeCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    stats: CacheStats,
+}
+
+impl TreeCache {
+    /// Create with a total entry budget (split across shards).
+    pub fn new(capacity: usize) -> Self {
+        TreeCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap: (capacity / SHARDS).max(16),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Combine the per-equation keys of a lowered system into one cache key.
+    pub fn system_key(keys: &[TreeKey]) -> (u64, u64) {
+        let mut a = 0x243f_6a88_85a3_08d3u64;
+        let mut b = 0x1319_8a2e_0370_7344u64;
+        for k in keys {
+            a = (a.rotate_left(13) ^ k.0).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            b = (b.rotate_left(29) ^ k.1).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        }
+        (a, b)
+    }
+
+    fn shard(&self, key: (u64, u64)) -> &Mutex<Shard> {
+        &self.shards[(key.0 as usize) % SHARDS]
+    }
+
+    /// Look up a fitness, recording hit/miss.
+    pub fn get(&self, key: (u64, u64)) -> Option<CachedFitness> {
+        let found = self.shard(key).lock().get(&key).copied();
+        if found.is_some() {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Insert (upgrading a short-circuited entry to a full one, never the
+    /// reverse).
+    pub fn insert(&self, key: (u64, u64), value: CachedFitness) {
+        let mut shard = self.shard(key).lock();
+        if shard.len() >= self.per_shard_cap {
+            shard.clear();
+        }
+        match shard.get(&key) {
+            Some(existing) if existing.full && !value.full => {}
+            _ => {
+                shard.insert(key, value);
+            }
+        }
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_expr::{BinOp, Expr};
+
+    fn key_of(e: &Expr) -> (u64, u64) {
+        TreeCache::system_key(&[e.structural_hash()])
+    }
+
+    #[test]
+    fn round_trip() {
+        let cache = TreeCache::new(1024);
+        let e = Expr::bin(BinOp::Add, Expr::Var(0), Expr::Num(1.0));
+        let k = key_of(&e);
+        assert!(cache.get(k).is_none());
+        cache.insert(
+            k,
+            CachedFitness {
+                fitness: 3.5,
+                full: true,
+            },
+        );
+        assert_eq!(
+            cache.get(k),
+            Some(CachedFitness {
+                fitness: 3.5,
+                full: true
+            })
+        );
+        assert_eq!(cache.stats().hits(), 1);
+        assert_eq!(cache.stats().misses(), 1);
+    }
+
+    #[test]
+    fn different_trees_different_entries() {
+        let cache = TreeCache::new(1024);
+        let a = Expr::Var(0);
+        let b = Expr::Var(1);
+        cache.insert(
+            key_of(&a),
+            CachedFitness {
+                fitness: 1.0,
+                full: true,
+            },
+        );
+        cache.insert(
+            key_of(&b),
+            CachedFitness {
+                fitness: 2.0,
+                full: true,
+            },
+        );
+        assert_eq!(cache.get(key_of(&a)).unwrap().fitness, 1.0);
+        assert_eq!(cache.get(key_of(&b)).unwrap().fitness, 2.0);
+    }
+
+    #[test]
+    fn full_entries_not_downgraded() {
+        let cache = TreeCache::new(1024);
+        let k = (1, 2);
+        cache.insert(
+            k,
+            CachedFitness {
+                fitness: 1.0,
+                full: true,
+            },
+        );
+        cache.insert(
+            k,
+            CachedFitness {
+                fitness: 9.0,
+                full: false,
+            },
+        );
+        assert_eq!(
+            cache.get(k).unwrap(),
+            CachedFitness {
+                fitness: 1.0,
+                full: true
+            }
+        );
+        // But full overwrites short-circuited.
+        cache.insert(
+            k,
+            CachedFitness {
+                fitness: 0.5,
+                full: true,
+            },
+        );
+        assert_eq!(cache.get(k).unwrap().fitness, 0.5);
+    }
+
+    #[test]
+    fn eviction_keeps_cache_bounded() {
+        let cache = TreeCache::new(SHARDS * 16);
+        for i in 0..10_000u64 {
+            cache.insert(
+                (i, i),
+                CachedFitness {
+                    fitness: i as f64,
+                    full: true,
+                },
+            );
+        }
+        assert!(cache.len() <= SHARDS * 16 + SHARDS, "len {}", cache.len());
+    }
+
+    #[test]
+    fn system_key_order_sensitive() {
+        let a = Expr::Var(0).structural_hash();
+        let b = Expr::Var(1).structural_hash();
+        assert_ne!(
+            TreeCache::system_key(&[a, b]),
+            TreeCache::system_key(&[b, a])
+        );
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let cache = TreeCache::new(64);
+        let k = (7, 7);
+        let _ = cache.get(k); // miss
+        cache.insert(
+            k,
+            CachedFitness {
+                fitness: 1.0,
+                full: true,
+            },
+        );
+        let _ = cache.get(k); // hit
+        let _ = cache.get(k); // hit
+        assert!((cache.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let cache = Arc::new(TreeCache::new(4096));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let k = (i % 64, t);
+                    c.insert(
+                        k,
+                        CachedFitness {
+                            fitness: i as f64,
+                            full: true,
+                        },
+                    );
+                    let _ = c.get(k);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.stats().hits() > 0);
+    }
+}

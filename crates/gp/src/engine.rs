@@ -1,0 +1,819 @@
+//! The generational TAG3P engine.
+//!
+//! One generation (the red loop of Fig. 5): evaluate the population, select
+//! parents by tournament, produce a revised population with the genetic
+//! operators (probabilities from the paper's Appendix B), run stochastic
+//! hill-climbing local search on each offspring, and carry the elite over.
+//! The three §III-D speed-ups — tree caching, evaluation short-circuiting
+//! and runtime compilation — are independent switches in [`GpConfig`], which
+//! is exactly what the Fig. 10 experiment toggles.
+//!
+//! Determinism: with `threads = 1` a run is a pure function of the seed.
+//! With more threads, per-individual RNG streams keep *operators*
+//! deterministic, but the short-circuiting baseline (`bestPrevFull`) is
+//! updated concurrently, so ES decisions may vary across runs — the same
+//! trade-off the paper's 80-core setup makes.
+
+use crate::cache::{CachedFitness, TreeCache};
+use crate::individual::Individual;
+use crate::operators::{
+    crossover, deletion, gaussian_mutation_partial, insertion, param_tweak, subtree_mutation,
+    DEFAULT_RETRIES,
+};
+use crate::priors::ParamPriors;
+use crate::short_circuit::{AtomicF64, EsController, EsOutcome, Extrapolate};
+use gmr_expr::{simplify, Expr};
+use gmr_tag::lower::{lower, lower_system};
+use gmr_tag::{DerivTree, Grammar};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A fitness problem. Implementations integrate the lowered equation system
+/// over their fitness cases, reporting the running fitness to `ctl` at
+/// checkpoints; `ctl` returning `false` aborts (short-circuit).
+pub trait Evaluator: Sync {
+    /// Number of equations the derivation's root encodes (2 for the river
+    /// system; 1 for single-equation problems).
+    fn num_equations(&self) -> usize;
+    /// Number of fitness cases (time steps).
+    fn num_cases(&self) -> usize;
+    /// Evaluate; returns `(fitness, fully_evaluated)`.
+    fn evaluate(
+        &self,
+        eqs: &[Expr],
+        compiled: bool,
+        ctl: &mut dyn FnMut(f64, usize) -> bool,
+    ) -> (f64, bool);
+}
+
+/// Engine configuration. Defaults are the paper's Appendix B settings.
+#[derive(Debug, Clone)]
+pub struct GpConfig {
+    /// Population size (paper: 200).
+    pub pop_size: usize,
+    /// Number of generations (paper: 100).
+    pub max_gen: usize,
+    /// Minimum chromosome (derivation-tree) size (paper: 2).
+    pub min_size: usize,
+    /// Maximum chromosome size (paper: 50).
+    pub max_size: usize,
+    /// Tournament size (paper: 5).
+    pub tournament: usize,
+    /// Elite size (paper: 2).
+    pub elite: usize,
+    /// Crossover probability (paper: 0.3).
+    pub p_crossover: f64,
+    /// Subtree-mutation probability (paper: 0.3).
+    pub p_subtree_mut: f64,
+    /// Gaussian-mutation probability (paper: 0.3; the remaining mass is
+    /// replication).
+    pub p_gauss_mut: f64,
+    /// Per-constant resample probability inside Gaussian mutation. The
+    /// paper resamples every constant (1.0); the default 0.3 is a
+    /// coordinate-wise walk that needs far fewer evaluations to calibrate
+    /// (documented deviation; see DESIGN.md).
+    pub p_param_each: f64,
+    /// Draw the initial population's constants from the truncated-Gaussian
+    /// priors instead of pinning them at the means. §III-B3 assumes
+    /// naturally occurring values follow that prior; sampling it at
+    /// initialisation diversifies generation zero.
+    pub init_params_from_prior: bool,
+    /// Local-search steps per offspring (paper: 5).
+    pub local_search_steps: usize,
+    /// Include fine-grained single-constant tweaks among the local-search
+    /// moves (alongside the paper's insertion/deletion). Essential at small
+    /// evaluation budgets; see DESIGN.md.
+    pub ls_param_tweak: bool,
+    /// Evaluation short-circuiting threshold; `None` disables ES.
+    pub es_threshold: Option<f64>,
+    /// ES extrapolation method. `Optimistic` (the default) only stops
+    /// evaluations that *cannot* beat the baseline even with a perfect
+    /// remaining suffix — immune to transient running-RMSE spikes;
+    /// `RunningRmse` is the paper's eager variant (Fig. 11 sweeps its
+    /// threshold).
+    pub extrapolate: Extrapolate,
+    /// Tree caching on/off.
+    pub use_cache: bool,
+    /// Runtime compilation (bytecode VM) on/off.
+    pub use_compiled: bool,
+    /// Total cache entry budget.
+    pub cache_capacity: usize,
+    /// Ramp the Gaussian-mutation σ down linearly over the final k
+    /// generations (§III-B3).
+    pub sigma_ramp_last: usize,
+    /// σ scale reached at the final generation.
+    pub sigma_floor: f64,
+    /// Worker threads for fitness evaluation (1 = fully deterministic).
+    pub threads: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            pop_size: 200,
+            max_gen: 100,
+            min_size: 2,
+            max_size: 50,
+            tournament: 5,
+            elite: 2,
+            p_crossover: 0.3,
+            p_subtree_mut: 0.3,
+            p_gauss_mut: 0.3,
+            p_param_each: 0.3,
+            init_params_from_prior: true,
+            local_search_steps: 5,
+            ls_param_tweak: true,
+            es_threshold: Some(1.0),
+            extrapolate: Extrapolate::Optimistic,
+            use_cache: true,
+            use_compiled: true,
+            cache_capacity: 1 << 18,
+            sigma_ramp_last: 20,
+            sigma_floor: 0.1,
+            threads: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-generation progress record.
+#[derive(Debug, Clone, Copy)]
+pub struct GenStats {
+    /// Generation index (0 = initial population).
+    pub generation: usize,
+    /// Best fitness in the population.
+    pub best: f64,
+    /// Mean finite fitness.
+    pub mean: f64,
+    /// Cumulative fitness evaluations so far.
+    pub evaluations: u64,
+    /// Cumulative integrated time steps so far.
+    pub evaluated_steps: u64,
+    /// Wall time of this generation.
+    pub elapsed: Duration,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The best individual found (fully re-evaluated).
+    pub best: Individual,
+    /// Per-generation statistics.
+    pub history: Vec<GenStats>,
+    /// Total fitness evaluations (cache hits excluded).
+    pub evaluations: u64,
+    /// Total integrated time steps (the Fig. 11 "# evaluated time steps").
+    pub evaluated_steps: u64,
+    /// Evaluations that ran to completion.
+    pub full_evaluations: u64,
+    /// Evaluations stopped by short-circuiting.
+    pub short_circuited: u64,
+    /// Final cache hit rate.
+    pub cache_hit_rate: f64,
+    /// Fraction of the final population's top ten whose recorded fitness
+    /// came from a full evaluation (Fig. 11's "% fully evaluated among
+    /// best").
+    pub top_full_fraction: f64,
+}
+
+impl RunReport {
+    /// The per-generation history as CSV (`generation,best,mean,evaluations,
+    /// evaluated_steps,elapsed_ms`) — convenient for plotting convergence
+    /// curves without further tooling.
+    pub fn history_csv(&self) -> String {
+        let mut out = String::from("generation,best,mean,evaluations,evaluated_steps,elapsed_ms\n");
+        for g in &self.history {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.3}\n",
+                g.generation,
+                g.best,
+                g.mean,
+                g.evaluations,
+                g.evaluated_steps,
+                g.elapsed.as_secs_f64() * 1e3,
+            ));
+        }
+        out
+    }
+}
+
+/// The TAG3P engine.
+pub struct Engine<'a, E: Evaluator> {
+    grammar: &'a Grammar,
+    evaluator: &'a E,
+    priors: ParamPriors,
+    cfg: GpConfig,
+    cache: TreeCache,
+    best_prev_full: AtomicF64,
+    evals: AtomicU64,
+    steps: AtomicU64,
+    fulls: AtomicU64,
+    shorts: AtomicU64,
+}
+
+fn mix_seed(master: u64, gen: u64, idx: u64) -> u64 {
+    let mut x = master ^ gen.rotate_left(17) ^ idx.rotate_left(41) ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Run `f(index, item)` over `items`, splitting across `threads` scoped
+/// workers. Per-item work must be independent; `f` is given the global index
+/// so per-item RNG streams stay identical regardless of thread count.
+fn par_for_each_mut<T: Send>(items: &mut [T], threads: usize, f: impl Fn(usize, &mut T) + Sync) {
+    if threads <= 1 || items.len() <= 1 {
+        for (i, it) in items.iter_mut().enumerate() {
+            f(i, it);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (ci, ch) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| {
+                for (j, it) in ch.iter_mut().enumerate() {
+                    f(ci * chunk + j, it);
+                }
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+}
+
+impl<'a, E: Evaluator> Engine<'a, E> {
+    /// Assemble an engine.
+    pub fn new(grammar: &'a Grammar, evaluator: &'a E, priors: ParamPriors, cfg: GpConfig) -> Self {
+        let cache = TreeCache::new(cfg.cache_capacity);
+        Engine {
+            grammar,
+            evaluator,
+            priors,
+            cfg,
+            cache,
+            best_prev_full: AtomicF64::new(f64::INFINITY),
+            evals: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            fulls: AtomicU64::new(0),
+            shorts: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GpConfig {
+        &self.cfg
+    }
+
+    /// Lower a genotype to its (simplified) equation system.
+    pub fn phenotype(&self, tree: &DerivTree) -> Result<Vec<Expr>, gmr_tag::LowerError> {
+        let derived = tree.derived(self.grammar);
+        let eqs = if self.evaluator.num_equations() == 1 {
+            vec![lower(&derived)?]
+        } else {
+            lower_system(&derived, self.evaluator.num_equations())?
+        };
+        Ok(eqs.iter().map(simplify).collect())
+    }
+
+    /// Evaluate one genotype with whichever §III-D techniques are enabled.
+    /// Returns `(fitness, fully_evaluated)`.
+    pub fn evaluate_tree(&self, tree: &DerivTree) -> (f64, bool) {
+        let Ok(eqs) = self.phenotype(tree) else {
+            // Grammar-generated trees always lower; a failure here is a
+            // corrupted genotype — lethal fitness, never a crash.
+            return (f64::INFINITY, true);
+        };
+        let key = if self.cfg.use_cache {
+            let keys: Vec<_> = eqs.iter().map(|e| e.structural_hash()).collect();
+            let key = TreeCache::system_key(&keys);
+            if let Some(hit) = self.cache.get(key) {
+                return (hit.fitness, hit.full);
+            }
+            Some(key)
+        } else {
+            None
+        };
+
+        let es = match self.cfg.es_threshold {
+            Some(th) => EsController {
+                threshold: th,
+                best_prev_full: self.best_prev_full.load(),
+                extrapolate: self.cfg.extrapolate,
+            },
+            None => EsController::disabled(),
+        };
+        let total = self.evaluator.num_cases();
+        let mut last_done = 0usize;
+        let mut ctl = |running: f64, done: usize| -> bool {
+            last_done = done;
+            match es.check(running, done, total) {
+                EsOutcome::Continue => true,
+                EsOutcome::Stop(_) => false,
+            }
+        };
+        let (fitness, full) = self
+            .evaluator
+            .evaluate(&eqs, self.cfg.use_compiled, &mut ctl);
+
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        if full {
+            self.steps.fetch_add(total as u64, Ordering::Relaxed);
+            self.fulls.fetch_add(1, Ordering::Relaxed);
+            // A NaN from a misbehaving evaluator must not poison the ES
+            // baseline (NaN wins every fetch_min comparison from then on).
+            if !fitness.is_nan() {
+                self.best_prev_full.fetch_min(fitness);
+            }
+        } else {
+            self.steps.fetch_add(last_done as u64, Ordering::Relaxed);
+            self.shorts.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(key) = key {
+            self.cache.insert(key, CachedFitness { fitness, full });
+        }
+        (fitness, full)
+    }
+
+    fn evaluate_population(&self, pop: &mut [Individual]) {
+        par_for_each_mut(pop, self.cfg.threads, |_, ind| {
+            if ind.fitness.is_infinite() {
+                let (f, full) = self.evaluate_tree(&ind.tree);
+                ind.fitness = f;
+                ind.fully_evaluated = full;
+            }
+        });
+    }
+
+    fn tournament<'p, R: Rng>(&self, pop: &'p [Individual], rng: &mut R) -> &'p Individual {
+        let mut best = &pop[rng.gen_range(0..pop.len())];
+        for _ in 1..self.cfg.tournament.max(1) {
+            let cand = &pop[rng.gen_range(0..pop.len())];
+            if cand.fitness < best.fitness {
+                best = cand;
+            }
+        }
+        best
+    }
+
+    fn sigma_scale(&self, gen: usize) -> f64 {
+        let k = self.cfg.sigma_ramp_last.min(self.cfg.max_gen);
+        if k == 0 || gen + k < self.cfg.max_gen {
+            return 1.0;
+        }
+        // Linear ramp from 1.0 (at max_gen - k) down to sigma_floor.
+        let into = gen + k + 1 - self.cfg.max_gen;
+        let t = into as f64 / k as f64;
+        1.0 + t * (self.cfg.sigma_floor - 1.0)
+    }
+
+    fn breed<R: Rng>(&self, pop: &[Individual], rng: &mut R, sigma: f64) -> Vec<Individual> {
+        let n = self.cfg.pop_size.saturating_sub(self.cfg.elite);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let roll: f64 = rng.gen();
+            let (c, s, g) = (
+                self.cfg.p_crossover,
+                self.cfg.p_subtree_mut,
+                self.cfg.p_gauss_mut,
+            );
+            if roll < c {
+                let mut a = self.tournament(pop, rng).clone();
+                let mut b = self.tournament(pop, rng).clone();
+                if crossover(
+                    &mut a.tree,
+                    &mut b.tree,
+                    self.grammar,
+                    rng,
+                    self.cfg.min_size,
+                    self.cfg.max_size,
+                    DEFAULT_RETRIES,
+                ) {
+                    a.invalidate();
+                    b.invalidate();
+                }
+                out.push(a);
+                if out.len() < n {
+                    out.push(b);
+                }
+            } else if roll < c + s {
+                let mut a = self.tournament(pop, rng).clone();
+                if subtree_mutation(
+                    &mut a.tree,
+                    self.grammar,
+                    rng,
+                    self.cfg.max_size,
+                    DEFAULT_RETRIES,
+                ) {
+                    a.invalidate();
+                }
+                out.push(a);
+            } else if roll < c + s + g {
+                let mut a = self.tournament(pop, rng).clone();
+                gaussian_mutation_partial(
+                    &mut a.tree,
+                    self.grammar,
+                    &self.priors,
+                    sigma,
+                    self.cfg.p_param_each,
+                    rng,
+                );
+                a.invalidate();
+                out.push(a);
+            } else {
+                // Replication: fitness carries over.
+                out.push(self.tournament(pop, rng).clone());
+            }
+        }
+        out
+    }
+
+    /// Stochastic hill-climbing local search (§III-D): propose insertion,
+    /// deletion — and, when enabled, a fine parameter tweak — with equal
+    /// probability; adopt on strict improvement.
+    fn local_search(&self, pop: &mut [Individual], gen: usize) {
+        if self.cfg.local_search_steps == 0 {
+            return;
+        }
+        let master = self.cfg.seed;
+        let sigma = self.sigma_scale(gen.saturating_sub(1));
+        par_for_each_mut(pop, self.cfg.threads, |idx, ind| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(master, gen as u64 ^ 0xA5, idx as u64));
+            for _ in 0..self.cfg.local_search_steps {
+                let mut cand = ind.tree.clone();
+                let moves = if self.cfg.ls_param_tweak { 3 } else { 2 };
+                let changed = match rng.gen_range(0..moves) {
+                    0 => insertion(&mut cand, self.grammar, &mut rng, self.cfg.max_size),
+                    1 => deletion(&mut cand, self.grammar, &mut rng, self.cfg.min_size),
+                    _ => param_tweak(&mut cand, self.grammar, &self.priors, sigma, &mut rng),
+                };
+                if !changed {
+                    continue;
+                }
+                let (f, full) = self.evaluate_tree(&cand);
+                if f < ind.fitness {
+                    ind.tree = cand;
+                    ind.fitness = f;
+                    ind.fully_evaluated = full;
+                }
+            }
+        });
+    }
+
+    /// Run the evolutionary loop to completion.
+    pub fn run(&self) -> RunReport {
+        self.run_with_observer(|_| {})
+    }
+
+    /// [`Self::run`] with a per-generation callback — progress display for
+    /// long searches. The callback receives each generation's stats right
+    /// after it is recorded.
+    pub fn run_with_observer(&self, mut observer: impl FnMut(&GenStats)) -> RunReport {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut pop: Vec<Individual> = (0..self.cfg.pop_size)
+            .map(|_| {
+                let mut tree =
+                    self.grammar
+                        .random_tree(&mut rng, self.cfg.min_size, self.cfg.max_size);
+                if self.cfg.init_params_from_prior {
+                    // Sample generation zero's constants from the truncated
+                    // Gaussian priors rather than pinning them at the means.
+                    gaussian_mutation_partial(
+                        &mut tree,
+                        self.grammar,
+                        &self.priors,
+                        1.0,
+                        1.0,
+                        &mut rng,
+                    );
+                }
+                Individual::new(tree)
+            })
+            .collect();
+
+        let mut history = Vec::with_capacity(self.cfg.max_gen + 1);
+        let record = |gen: usize, pop: &[Individual], t0: Instant, hist: &mut Vec<GenStats>| {
+            let best = pop.iter().map(|i| i.fitness).fold(f64::INFINITY, f64::min);
+            let finite: Vec<f64> = pop
+                .iter()
+                .map(|i| i.fitness)
+                .filter(|f| f.is_finite())
+                .collect();
+            let mean = if finite.is_empty() {
+                f64::INFINITY
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            };
+            hist.push(GenStats {
+                generation: gen,
+                best,
+                mean,
+                evaluations: self.evals.load(Ordering::Relaxed),
+                evaluated_steps: self.steps.load(Ordering::Relaxed),
+                elapsed: t0.elapsed(),
+            });
+        };
+
+        let t0 = Instant::now();
+        self.evaluate_population(&mut pop);
+        pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+        record(0, &pop, t0, &mut history);
+        observer(history.last().expect("just recorded"));
+
+        for gen in 1..=self.cfg.max_gen {
+            let t0 = Instant::now();
+            let sigma = self.sigma_scale(gen - 1);
+            let mut offspring = self.breed(&pop, &mut rng, sigma);
+            self.evaluate_population(&mut offspring);
+            self.local_search(&mut offspring, gen);
+
+            let mut next: Vec<Individual> = pop.iter().take(self.cfg.elite).cloned().collect();
+            next.append(&mut offspring);
+            next.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+            next.truncate(self.cfg.pop_size);
+            pop = next;
+            record(gen, &pop, t0, &mut history);
+            observer(history.last().expect("just recorded"));
+        }
+
+        let top = pop.len().min(10);
+        let top_full_fraction = if top == 0 {
+            0.0
+        } else {
+            pop[..top].iter().filter(|i| i.fully_evaluated).count() as f64 / top as f64
+        };
+        // Re-evaluate the champion fully (its recorded fitness may be a
+        // short-circuited surrogate).
+        let mut best = pop.into_iter().next().expect("population is non-empty");
+        let saved = self.cfg.es_threshold;
+        if saved.is_some() {
+            // A direct full evaluation, bypassing ES and the cache entry
+            // that may hold a surrogate.
+            let Ok(eqs) = self.phenotype(&best.tree) else {
+                return self.report(best, history, top_full_fraction);
+            };
+            let (f, _) = self
+                .evaluator
+                .evaluate(&eqs, self.cfg.use_compiled, &mut |_, _| true);
+            best.fitness = f;
+            best.fully_evaluated = true;
+        }
+        self.report(best, history, top_full_fraction)
+    }
+
+    fn report(
+        &self,
+        best: Individual,
+        history: Vec<GenStats>,
+        top_full_fraction: f64,
+    ) -> RunReport {
+        RunReport {
+            best,
+            history,
+            evaluations: self.evals.load(Ordering::Relaxed),
+            evaluated_steps: self.steps.load(Ordering::Relaxed),
+            full_evaluations: self.fulls.load(Ordering::Relaxed),
+            short_circuited: self.shorts.load(Ordering::Relaxed),
+            cache_hit_rate: self.cache.stats().hit_rate(),
+            top_full_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_expr::EvalContext;
+    use gmr_tag::grammar::test_fixtures::tiny_grammar;
+
+    /// Fit `y = 2x - 1` with the tiny grammar (reachable exactly:
+    /// `(x * C0) - r…` with C0 → 2 and lexemes summing to 1).
+    struct LineFit {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    }
+
+    impl LineFit {
+        fn new() -> Self {
+            let xs: Vec<f64> = (0..64).map(|i| i as f64 / 4.0).collect();
+            let ys = xs.iter().map(|x| 2.0 * x - 1.0).collect();
+            LineFit { xs, ys }
+        }
+    }
+
+    impl Evaluator for LineFit {
+        fn num_equations(&self) -> usize {
+            1
+        }
+        fn num_cases(&self) -> usize {
+            self.xs.len()
+        }
+        fn evaluate(
+            &self,
+            eqs: &[Expr],
+            compiled: bool,
+            ctl: &mut dyn FnMut(f64, usize) -> bool,
+        ) -> (f64, bool) {
+            let eq = &eqs[0];
+            let comp = compiled.then(|| gmr_expr::CompiledExpr::compile(eq));
+            let mut stack = Vec::new();
+            let mut sse = 0.0;
+            for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
+                let state = [x];
+                let ctx = EvalContext {
+                    vars: &[],
+                    state: &state,
+                };
+                let p = match &comp {
+                    Some(c) => c.eval_with(&ctx, &mut stack),
+                    None => eq.eval(&ctx),
+                };
+                let d = p - y;
+                sse += d * d;
+                let done = i + 1;
+                if done % 8 == 0 && done < self.xs.len() {
+                    let running = (sse / done as f64).sqrt();
+                    if !ctl(running, done) {
+                        return (running, false);
+                    }
+                }
+            }
+            ((sse / self.xs.len() as f64).sqrt(), true)
+        }
+    }
+
+    fn small_cfg(seed: u64) -> GpConfig {
+        GpConfig {
+            pop_size: 40,
+            max_gen: 25,
+            min_size: 2,
+            max_size: 10,
+            local_search_steps: 2,
+            threads: 1,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn priors() -> ParamPriors {
+        // Kind 0: the alpha's anchor constant; kind 1: the R lexeme.
+        ParamPriors::new([(2.0, 0.0, 4.0), (0.5, 0.0, 1.0)])
+    }
+
+    #[test]
+    fn engine_improves_fitness() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let engine = Engine::new(&g, &problem, priors(), small_cfg(7));
+        let report = engine.run();
+        let first = report.history.first().unwrap().best;
+        let last = report.best.fitness;
+        assert!(last < first, "no improvement: {first} -> {last}");
+        assert!(last < 1.0, "should fit the line well, got {last}");
+    }
+
+    #[test]
+    fn best_fitness_is_monotone_with_elitism() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let engine = Engine::new(&g, &problem, priors(), small_cfg(11));
+        let report = engine.run();
+        let mut prev = f64::INFINITY;
+        for gs in &report.history {
+            assert!(
+                gs.best <= prev + 1e-12,
+                "gen {}: {} > {}",
+                gs.generation,
+                gs.best,
+                prev
+            );
+            prev = gs.best;
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_single_thread() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let a = Engine::new(&g, &problem, priors(), small_cfg(3)).run();
+        let b = Engine::new(&g, &problem, priors(), small_cfg(3)).run();
+        assert_eq!(a.best.fitness, b.best.fitness);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.best.tree, b.best.tree);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let a = Engine::new(&g, &problem, priors(), small_cfg(1)).run();
+        let b = Engine::new(&g, &problem, priors(), small_cfg(2)).run();
+        assert_ne!(a.best.tree, b.best.tree);
+    }
+
+    #[test]
+    fn cache_gets_hits() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let engine = Engine::new(&g, &problem, priors(), small_cfg(5));
+        let report = engine.run();
+        assert!(
+            report.cache_hit_rate > 0.0,
+            "replication and elitism should hit the cache"
+        );
+    }
+
+    #[test]
+    fn short_circuiting_reduces_evaluated_steps() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let mut with = small_cfg(9);
+        with.use_cache = false;
+        let mut without = with.clone();
+        without.es_threshold = None;
+        let r_with = Engine::new(&g, &problem, priors(), with).run();
+        let r_without = Engine::new(&g, &problem, priors(), without).run();
+        assert!(r_with.short_circuited > 0, "ES should trigger");
+        assert_eq!(r_without.short_circuited, 0);
+        let per_eval_with = r_with.evaluated_steps as f64 / r_with.evaluations as f64;
+        let per_eval_without = r_without.evaluated_steps as f64 / r_without.evaluations as f64;
+        assert!(
+            per_eval_with < per_eval_without,
+            "{per_eval_with} !< {per_eval_without}"
+        );
+    }
+
+    #[test]
+    fn parallel_run_completes_and_improves() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let mut cfg = small_cfg(13);
+        cfg.threads = 4;
+        let report = Engine::new(&g, &problem, priors(), cfg).run();
+        assert!(report.best.fitness < report.history[0].best);
+    }
+
+    #[test]
+    fn sigma_ramp_schedule() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let mut cfg = small_cfg(0);
+        cfg.max_gen = 100;
+        cfg.sigma_ramp_last = 20;
+        cfg.sigma_floor = 0.1;
+        let engine = Engine::new(&g, &problem, priors(), cfg);
+        assert_eq!(engine.sigma_scale(0), 1.0);
+        assert_eq!(engine.sigma_scale(79), 1.0);
+        let s80 = engine.sigma_scale(80);
+        let s99 = engine.sigma_scale(99);
+        assert!(s80 < 1.0 && s80 > s99, "{s80} {s99}");
+        assert!((s99 - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_sees_every_generation_in_order() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let engine = Engine::new(&g, &problem, priors(), small_cfg(41));
+        let mut seen = Vec::new();
+        let report = engine.run_with_observer(|gs| seen.push(gs.generation));
+        assert_eq!(seen.len(), report.history.len());
+        assert_eq!(seen, (0..=engine.config().max_gen).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn history_csv_is_well_formed() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let report = Engine::new(&g, &problem, priors(), small_cfg(31)).run();
+        let csv = report.history_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "generation,best,mean,evaluations,evaluated_steps,elapsed_ms"
+        );
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), report.history.len());
+        for row in rows {
+            assert_eq!(row.split(',').count(), 6);
+        }
+    }
+
+    #[test]
+    fn max_size_respected_throughout() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let cfg = small_cfg(21);
+        let max = cfg.max_size;
+        let engine = Engine::new(&g, &problem, priors(), cfg);
+        let report = engine.run();
+        assert!(report.best.tree.size() <= max);
+        report.best.tree.validate(&g).unwrap();
+    }
+}

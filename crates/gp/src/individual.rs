@@ -1,0 +1,78 @@
+//! Individuals: a derivation-tree genotype plus its evaluation record.
+
+use gmr_tag::DerivTree;
+
+/// One member of the population.
+#[derive(Debug, Clone)]
+pub struct Individual {
+    /// The genotype.
+    pub tree: DerivTree,
+    /// RMSE fitness (lower is better); `f64::INFINITY` until evaluated or
+    /// for lethal phenotypes.
+    pub fitness: f64,
+    /// Whether the recorded fitness came from a full (non-short-circuited)
+    /// evaluation. Only full evaluations update the short-circuiting
+    /// baseline, and Fig. 11 reports the fraction of best models that were
+    /// fully evaluated.
+    pub fully_evaluated: bool,
+}
+
+impl Individual {
+    /// A fresh, unevaluated individual.
+    pub fn new(tree: DerivTree) -> Self {
+        Individual {
+            tree,
+            fitness: f64::INFINITY,
+            fully_evaluated: false,
+        }
+    }
+
+    /// Mark as needing re-evaluation (after a structural or parameter
+    /// change).
+    pub fn invalidate(&mut self) {
+        self.fitness = f64::INFINITY;
+        self.fully_evaluated = false;
+    }
+
+    /// Strictly-better comparison (lower RMSE wins; ties keep the incumbent).
+    pub fn better_than(&self, other: &Individual) -> bool {
+        self.fitness < other.fitness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_tag::grammar::test_fixtures::tiny_grammar;
+
+    #[test]
+    fn starts_unevaluated() {
+        let (_, t) = tiny_grammar();
+        let ind = Individual::new(t);
+        assert_eq!(ind.fitness, f64::INFINITY);
+        assert!(!ind.fully_evaluated);
+    }
+
+    #[test]
+    fn invalidate_resets() {
+        let (_, t) = tiny_grammar();
+        let mut ind = Individual::new(t);
+        ind.fitness = 1.0;
+        ind.fully_evaluated = true;
+        ind.invalidate();
+        assert_eq!(ind.fitness, f64::INFINITY);
+        assert!(!ind.fully_evaluated);
+    }
+
+    #[test]
+    fn comparison_is_strict() {
+        let (_, t) = tiny_grammar();
+        let mut a = Individual::new(t.clone());
+        let mut b = Individual::new(t);
+        a.fitness = 1.0;
+        b.fitness = 1.0;
+        assert!(!a.better_than(&b));
+        b.fitness = 2.0;
+        assert!(a.better_than(&b));
+    }
+}

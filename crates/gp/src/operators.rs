@@ -1,0 +1,402 @@
+//! Genetic and local-search operators on derivation trees (Fig. 6).
+//!
+//! All operators act on the derivation-tree genotype, which is what makes
+//! TAG3P search *closed*: any subtree whose root β-tree matches the symbol
+//! at an adjoining site produces a syntactically valid individual, so no
+//! repair step is ever needed. Operators that cannot find a valid
+//! application within a bounded number of retries leave their arguments
+//! untouched and report `false` — the engine then falls back to replication,
+//! matching the paper's "the previous process is retried unless the retry
+//! count has reached some predefined limit".
+
+use crate::priors::ParamPriors;
+use gmr_tag::derivation::Path;
+use gmr_tag::{DerivNode, DerivTree, Grammar, SymId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Bounded retries for stochastic operator application.
+pub const DEFAULT_RETRIES: usize = 8;
+
+fn gauss<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn subtree_symbol(t: &DerivTree, grammar: &Grammar, path: &[usize]) -> SymId {
+    grammar.tree(t.node(path).tree).root_symbol()
+}
+
+/// Subtree crossover: select a random non-root subtree in each parent,
+/// check the subtrees are mutually compatible (each can adjoin where the
+/// other sits — with TAG's symbol discipline that is exactly "same root
+/// symbol") and that both children respect the size bounds, then swap.
+///
+/// Returns `true` if a swap happened.
+pub fn crossover<R: Rng>(
+    a: &mut DerivTree,
+    b: &mut DerivTree,
+    grammar: &Grammar,
+    rng: &mut R,
+    min_size: usize,
+    max_size: usize,
+    retries: usize,
+) -> bool {
+    let paths_a: Vec<Path> = a.paths().into_iter().filter(|p| !p.is_empty()).collect();
+    let paths_b: Vec<Path> = b.paths().into_iter().filter(|p| !p.is_empty()).collect();
+    if paths_a.is_empty() || paths_b.is_empty() {
+        return false;
+    }
+    for _ in 0..retries.max(1) {
+        let pa = paths_a.choose(rng).expect("non-empty");
+        let pb = paths_b.choose(rng).expect("non-empty");
+        if subtree_symbol(a, grammar, pa) != subtree_symbol(b, grammar, pb) {
+            continue;
+        }
+        let sa = a.node(pa).size();
+        let sb = b.node(pb).size();
+        let new_a = a.size() - sa + sb;
+        let new_b = b.size() - sb + sa;
+        if new_a < min_size || new_a > max_size || new_b < min_size || new_b > max_size {
+            continue;
+        }
+        let (addr_a, sub_a) = a.detach(pa);
+        let (addr_b, sub_b) = b.detach(pb);
+        a.attach(&pa[..pa.len() - 1], addr_a, sub_b);
+        b.attach(&pb[..pb.len() - 1], addr_b, sub_a);
+        return true;
+    }
+    false
+}
+
+/// Grow a random derivation subtree rooted at a β-tree for `sym`, of
+/// approximately `target_size` derivation nodes.
+pub fn grow_subtree<R: Rng>(
+    grammar: &Grammar,
+    rng: &mut R,
+    sym: SymId,
+    target_size: usize,
+) -> Option<DerivNode> {
+    let beta = *grammar.betas_for(sym).choose(rng)?;
+    let mut root = grammar.instantiate(beta, rng);
+    while root.size() < target_size {
+        let open = root.open_addresses(grammar);
+        let Some((path, addr, open_sym)) = open.choose(rng).cloned() else {
+            break;
+        };
+        let child_beta = *grammar
+            .betas_for(open_sym)
+            .choose(rng)
+            .expect("open address implies at least one β");
+        let child = grammar.instantiate(child_beta, rng);
+        root.descendant_mut(&path)
+            .children
+            .push(gmr_tag::derivation::Adjunction { addr, child });
+    }
+    Some(root)
+}
+
+/// Subtree mutation: replace a random non-root subtree with a freshly grown
+/// one of similar size and the same root symbol (so the result is valid by
+/// construction).
+pub fn subtree_mutation<R: Rng>(
+    t: &mut DerivTree,
+    grammar: &Grammar,
+    rng: &mut R,
+    max_size: usize,
+    retries: usize,
+) -> bool {
+    let paths: Vec<Path> = t.paths().into_iter().filter(|p| !p.is_empty()).collect();
+    if paths.is_empty() {
+        return false;
+    }
+    for _ in 0..retries.max(1) {
+        let p = paths.choose(rng).expect("non-empty");
+        let sym = subtree_symbol(t, grammar, p);
+        let old_size = t.node(p).size();
+        // "similar size": within one node of the original, capped by budget.
+        let budget = max_size - (t.size() - old_size);
+        let target = old_size
+            .saturating_add(rng.gen_range(0..=2))
+            .saturating_sub(1)
+            .clamp(1, budget.max(1));
+        let Some(fresh) = grow_subtree(grammar, rng, sym, target) else {
+            continue;
+        };
+        let (addr, _old) = t.detach(p);
+        t.attach(&p[..p.len() - 1], addr, fresh);
+        return true;
+    }
+    false
+}
+
+/// Gaussian mutation: perturb the constant parameters of the individual.
+/// The current value is the mean of the draw; σ comes from the prior scaled
+/// by `sigma_scale` (the engine ramps this down over the final generations);
+/// out-of-range proposals clamp to the boundary.
+///
+/// `p_each` is the probability that any given constant is resampled. The
+/// paper's operator resamples *all* constants (`p_each = 1.0`); lower
+/// values turn the operator into a coordinate-wise random walk, which is
+/// far more sample-efficient at small population budgets (see DESIGN.md).
+/// At least one constant is always resampled so the operator never no-ops.
+pub fn gaussian_mutation<R: Rng>(
+    t: &mut DerivTree,
+    grammar: &Grammar,
+    priors: &ParamPriors,
+    sigma_scale: f64,
+    rng: &mut R,
+) {
+    gaussian_mutation_partial(t, grammar, priors, sigma_scale, 1.0, rng);
+}
+
+/// [`gaussian_mutation`] with a per-parameter resample probability.
+pub fn gaussian_mutation_partial<R: Rng>(
+    t: &mut DerivTree,
+    grammar: &Grammar,
+    priors: &ParamPriors,
+    sigma_scale: f64,
+    p_each: f64,
+    rng: &mut R,
+) {
+    let mut params = t.root.mutable_params(grammar);
+    if params.is_empty() {
+        return;
+    }
+    let forced = rng.gen_range(0..params.len());
+    for (i, (kind, v)) in params.iter_mut().enumerate() {
+        if i != forced && !rng.gen_bool(p_each.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let prior = priors.get(*kind);
+        let proposal = gauss(rng, **v, prior.sigma() * sigma_scale);
+        **v = prior.clamp(proposal);
+    }
+}
+
+/// Local-search parameter tweak: nudge one random constant with a
+/// fine-grained Gaussian step (σ/4 of its prior). Complements the paper's
+/// insertion/deletion moves for stochastic hill climbing; enabled by
+/// [`crate::GpConfig::ls_param_tweak`].
+pub fn param_tweak<R: Rng>(
+    t: &mut DerivTree,
+    grammar: &Grammar,
+    priors: &ParamPriors,
+    sigma_scale: f64,
+    rng: &mut R,
+) -> bool {
+    let mut params = t.root.mutable_params(grammar);
+    if params.is_empty() {
+        return false;
+    }
+    let i = rng.gen_range(0..params.len());
+    let (kind, v) = &mut params[i];
+    let prior = priors.get(*kind);
+    let proposal = gauss(rng, **v, prior.sigma() * 0.25 * sigma_scale);
+    **v = prior.clamp(proposal);
+    true
+}
+
+/// Local-search insertion: adjoin one random compatible β-tree at a random
+/// open address (Fig. 6(e–f)). Respects `max_size`.
+pub fn insertion<R: Rng>(
+    t: &mut DerivTree,
+    grammar: &Grammar,
+    rng: &mut R,
+    max_size: usize,
+) -> bool {
+    if t.size() >= max_size {
+        return false;
+    }
+    let open = t.open_addresses(grammar);
+    let Some((path, addr, sym)) = open.choose(rng).cloned() else {
+        return false;
+    };
+    let beta = *grammar.betas_for(sym).choose(rng).expect("open implies β");
+    let child = grammar.instantiate(beta, rng);
+    t.attach(&path, addr, child);
+    true
+}
+
+/// Local-search deletion: remove one random *leaf* derivation node — always
+/// valid, since removing a leaf adjunction cannot orphan anything
+/// (Fig. 6(g–h)). Respects `min_size` and never removes the root.
+pub fn deletion<R: Rng>(
+    t: &mut DerivTree,
+    grammar: &Grammar,
+    rng: &mut R,
+    min_size: usize,
+) -> bool {
+    let _ = grammar;
+    if t.size() <= min_size.max(1) {
+        return false;
+    }
+    let leaves: Vec<Path> = t
+        .paths()
+        .into_iter()
+        .filter(|p| !p.is_empty() && t.node(p).children.is_empty())
+        .collect();
+    let Some(p) = leaves.choose(rng) else {
+        return false;
+    };
+    let _ = t.detach(p);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_tag::grammar::test_fixtures::tiny_grammar;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn crossover_preserves_validity_and_total_size() {
+        let (g, _) = tiny_grammar();
+        let mut r = rng(1);
+        for trial in 0..100u64 {
+            let mut a = g.random_tree(&mut r, 2, 12);
+            let mut b = g.random_tree(&mut r, 2, 12);
+            let total = a.size() + b.size();
+            let swapped = crossover(&mut a, &mut b, &g, &mut r, 1, 20, 8);
+            assert_eq!(a.size() + b.size(), total, "trial {trial}");
+            a.validate(&g).unwrap();
+            b.validate(&g).unwrap();
+            let _ = swapped;
+        }
+    }
+
+    #[test]
+    fn crossover_respects_size_bounds() {
+        let (g, _) = tiny_grammar();
+        let mut r = rng(2);
+        for _ in 0..100 {
+            let mut a = g.random_tree(&mut r, 2, 10);
+            let mut b = g.random_tree(&mut r, 2, 10);
+            if crossover(&mut a, &mut b, &g, &mut r, 2, 10, 8) {
+                assert!(a.size() >= 2 && a.size() <= 10);
+                assert!(b.size() >= 2 && b.size() <= 10);
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_mutation_keeps_tree_valid() {
+        let (g, _) = tiny_grammar();
+        let mut r = rng(3);
+        for _ in 0..100 {
+            let mut t = g.random_tree(&mut r, 3, 12);
+            subtree_mutation(&mut t, &g, &mut r, 20, 8);
+            t.validate(&g).unwrap();
+            assert!(t.size() <= 20);
+        }
+    }
+
+    #[test]
+    fn gaussian_mutation_moves_params_within_bounds() {
+        let (g, mut t0) = tiny_grammar();
+        let priors = ParamPriors::new([(2.0, 0.0, 4.0), (0.5, 0.0, 1.0)]);
+        let mut r = rng(4);
+        let before: Vec<f64> = t0
+            .root
+            .mutable_params(&g)
+            .iter()
+            .map(|(_, v)| **v)
+            .collect();
+        let mut t = t0.clone();
+        gaussian_mutation(&mut t, &g, &priors, 1.0, &mut r);
+        let after: Vec<f64> = t.root.mutable_params(&g).iter().map(|(_, v)| **v).collect();
+        assert_eq!(before.len(), after.len());
+        assert_ne!(before, after, "at least one parameter should move");
+        for (kind, v) in t.root.mutable_params(&g) {
+            let p = priors.get(kind);
+            assert!(*v >= p.min && *v <= p.max);
+        }
+    }
+
+    #[test]
+    fn gaussian_mutation_with_zero_scale_is_identity_up_to_clamp() {
+        let (g, t0) = tiny_grammar();
+        let priors = ParamPriors::new([(2.0, 0.0, 4.0), (0.5, 0.0, 1.0)]);
+        let mut t = t0.clone();
+        let mut r = rng(5);
+        gaussian_mutation(&mut t, &g, &priors, 0.0, &mut r);
+        assert_eq!(t, t0);
+    }
+
+    #[test]
+    fn insertion_adds_exactly_one_node() {
+        let (g, _) = tiny_grammar();
+        let mut r = rng(6);
+        let mut t = g.random_tree(&mut r, 2, 5);
+        let before = t.size();
+        assert!(insertion(&mut t, &g, &mut r, 50));
+        assert_eq!(t.size(), before + 1);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn insertion_respects_max_size() {
+        let (g, _) = tiny_grammar();
+        let mut r = rng(7);
+        let mut t = g.random_tree(&mut r, 5, 5);
+        assert!(!insertion(&mut t, &g, &mut r, 5));
+        assert_eq!(t.size(), 5);
+    }
+
+    #[test]
+    fn deletion_removes_exactly_one_leaf() {
+        let (g, _) = tiny_grammar();
+        let mut r = rng(8);
+        let mut t = g.random_tree(&mut r, 4, 8);
+        let before = t.size();
+        assert!(deletion(&mut t, &g, &mut r, 1));
+        assert_eq!(t.size(), before - 1);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn deletion_respects_min_size_and_root() {
+        let (g, _) = tiny_grammar();
+        let mut r = rng(9);
+        let mut t = g.random_tree(&mut r, 1, 1);
+        assert!(!deletion(&mut t, &g, &mut r, 1));
+        assert_eq!(t.size(), 1);
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips_size() {
+        let (g, _) = tiny_grammar();
+        let mut r = rng(10);
+        let mut t = g.random_tree(&mut r, 3, 6);
+        let s = t.size();
+        assert!(insertion(&mut t, &g, &mut r, 50));
+        assert!(deletion(&mut t, &g, &mut r, 1));
+        assert_eq!(t.size(), s);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn grow_subtree_hits_target_size() {
+        let (g, _) = tiny_grammar();
+        let exp = g.symbol("Exp").unwrap();
+        let mut r = rng(11);
+        for target in 1..10 {
+            let sub = grow_subtree(&g, &mut r, exp, target).unwrap();
+            assert_eq!(sub.size(), target.max(1));
+        }
+    }
+
+    #[test]
+    fn grow_subtree_unknown_symbol_returns_none() {
+        let (g, _) = tiny_grammar();
+        let r_sym = g.symbol("R").unwrap();
+        let mut r = rng(12);
+        assert!(grow_subtree(&g, &mut r, r_sym, 3).is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! Parameter priors for Gaussian mutation.
+//!
+//! §III-B3, "Prior Knowledge about Model Parameters": each constant comes
+//! with an expected value and an allowed range; naturally occurring values
+//! are assumed truncated-Gaussian around the expectation. Mutation draws
+//! around the *current* value (the sampled value becomes the new mean), with
+//! σ initially mean/4 and ramped down linearly over the final k generations.
+
+/// Prior for one parameter kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prior {
+    /// Expected (initial) value.
+    pub mean: f64,
+    /// Lower bound (values clamp here).
+    pub min: f64,
+    /// Upper bound.
+    pub max: f64,
+}
+
+impl Prior {
+    /// The paper's default mutation σ: a quarter of the prior mean (with a
+    /// floor tied to the range so zero-mean parameters still move).
+    pub fn sigma(&self) -> f64 {
+        let base = self.mean.abs() / 4.0;
+        if base > 0.0 {
+            base
+        } else {
+            (self.max - self.min) / 8.0
+        }
+    }
+
+    /// Clamp a proposal into the allowed range ("if the sampled value lies
+    /// outside of the given range, the boundary value is used instead").
+    pub fn clamp(&self, v: f64) -> f64 {
+        v.clamp(self.min, self.max)
+    }
+}
+
+/// Priors for every parameter kind, indexed by kind.
+#[derive(Debug, Clone, Default)]
+pub struct ParamPriors {
+    priors: Vec<Prior>,
+}
+
+impl ParamPriors {
+    /// Build from `(mean, min, max)` triples in kind order.
+    pub fn new(triples: impl IntoIterator<Item = (f64, f64, f64)>) -> Self {
+        let priors = triples
+            .into_iter()
+            .map(|(mean, min, max)| {
+                assert!(
+                    min <= mean && mean <= max,
+                    "prior mean must lie in [min, max]"
+                );
+                Prior { mean, min, max }
+            })
+            .collect();
+        ParamPriors { priors }
+    }
+
+    /// Number of kinds covered.
+    pub fn len(&self) -> usize {
+        self.priors.len()
+    }
+
+    /// True when no priors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.priors.is_empty()
+    }
+
+    /// Prior for `kind`; unknown kinds fall back to a wide unit prior so an
+    /// engine misconfiguration degrades search quality rather than panicking
+    /// mid-run.
+    pub fn get(&self, kind: u16) -> Prior {
+        self.priors.get(kind as usize).copied().unwrap_or(Prior {
+            mean: 0.5,
+            min: -1e3,
+            max: 1e3,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_is_quarter_mean() {
+        let p = Prior {
+            mean: 1.89,
+            min: 0.1,
+            max: 4.0,
+        };
+        assert!((p.sigma() - 0.4725).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mean_gets_range_based_sigma() {
+        let p = Prior {
+            mean: 0.0,
+            min: 0.0,
+            max: 0.8,
+        };
+        assert!(p.sigma() > 0.0);
+        assert_eq!(p.sigma(), 0.1);
+    }
+
+    #[test]
+    fn clamping_to_bounds() {
+        let p = Prior {
+            mean: 0.5,
+            min: 0.0,
+            max: 1.0,
+        };
+        assert_eq!(p.clamp(1.5), 1.0);
+        assert_eq!(p.clamp(-0.2), 0.0);
+        assert_eq!(p.clamp(0.3), 0.3);
+    }
+
+    #[test]
+    fn lookup_and_fallback() {
+        let ps = ParamPriors::new([(1.0, 0.0, 2.0), (0.1, 0.0, 0.2)]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.get(1).mean, 0.1);
+        // Unknown kind: wide fallback, no panic.
+        let fb = ps.get(99);
+        assert!(fb.min < -100.0 && fb.max > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior mean must lie in")]
+    fn rejects_inconsistent_prior() {
+        let _ = ParamPriors::new([(5.0, 0.0, 1.0)]);
+    }
+}

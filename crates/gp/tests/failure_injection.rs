@@ -1,0 +1,147 @@
+//! Failure injection: the engine must stay well-behaved when the fitness
+//! problem misbehaves — lethal fitness everywhere, NaN fitness, a problem
+//! with zero fitness cases, and short-circuit controllers that always stop.
+
+use gmr_expr::Expr;
+use gmr_gp::{Engine, Evaluator, GpConfig, ParamPriors};
+use gmr_tag::grammar::test_fixtures::tiny_grammar;
+
+struct Hostile {
+    mode: Mode,
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    AlwaysInfinite,
+    AlwaysNan,
+    ZeroCases,
+    StopsImmediately,
+}
+
+impl Evaluator for Hostile {
+    fn num_equations(&self) -> usize {
+        1
+    }
+    fn num_cases(&self) -> usize {
+        match self.mode {
+            Mode::ZeroCases => 0,
+            _ => 64,
+        }
+    }
+    fn evaluate(
+        &self,
+        _eqs: &[Expr],
+        _compiled: bool,
+        ctl: &mut dyn FnMut(f64, usize) -> bool,
+    ) -> (f64, bool) {
+        match self.mode {
+            Mode::AlwaysInfinite => (f64::INFINITY, true),
+            Mode::AlwaysNan => (f64::NAN, true),
+            Mode::ZeroCases => (f64::INFINITY, true),
+            Mode::StopsImmediately => {
+                // Report a terrible running fitness right away.
+                if !ctl(1e30, 1) {
+                    return (1e30, false);
+                }
+                (1.0, true)
+            }
+        }
+    }
+}
+
+fn cfg(seed: u64) -> GpConfig {
+    GpConfig {
+        pop_size: 12,
+        max_gen: 3,
+        min_size: 1,
+        max_size: 8,
+        local_search_steps: 1,
+        threads: 2,
+        seed,
+        ..GpConfig::default()
+    }
+}
+
+fn priors() -> ParamPriors {
+    ParamPriors::new([(2.0, 0.0, 4.0), (0.5, 0.0, 1.0)])
+}
+
+#[test]
+fn survives_always_infinite_fitness() {
+    let (g, _) = tiny_grammar();
+    let problem = Hostile {
+        mode: Mode::AlwaysInfinite,
+    };
+    let report = Engine::new(&g, &problem, priors(), cfg(1)).run();
+    assert_eq!(report.best.fitness, f64::INFINITY);
+    assert!(report.best.tree.validate(&g).is_ok());
+    assert_eq!(report.history.len(), 4);
+}
+
+#[test]
+fn survives_nan_fitness() {
+    let (g, _) = tiny_grammar();
+    let problem = Hostile {
+        mode: Mode::AlwaysNan,
+    };
+    let report = Engine::new(&g, &problem, priors(), cfg(2)).run();
+    // NaN is treated as worst-possible by total ordering; the run completes
+    // and the champion is structurally valid.
+    assert!(report.best.tree.validate(&g).is_ok());
+    assert!(report.evaluations > 0);
+}
+
+#[test]
+fn survives_zero_fitness_cases() {
+    let (g, _) = tiny_grammar();
+    let problem = Hostile {
+        mode: Mode::ZeroCases,
+    };
+    let report = Engine::new(&g, &problem, priors(), cfg(3)).run();
+    assert!(report.best.tree.validate(&g).is_ok());
+}
+
+#[test]
+fn survives_controller_that_always_stops() {
+    let (g, _) = tiny_grammar();
+    let problem = Hostile {
+        mode: Mode::StopsImmediately,
+    };
+    let report = Engine::new(&g, &problem, priors(), cfg(4)).run();
+    // With ES active every evaluation may be short-circuited; the final
+    // champion is still re-evaluated fully at the end of the run.
+    assert!(report.best.fully_evaluated);
+    assert_eq!(report.best.fitness, 1.0);
+}
+
+#[test]
+fn zero_probability_operators_degenerate_to_replication() {
+    // All operator mass on replication: fitness can never improve beyond
+    // generation zero, but the run must still complete and stay sorted.
+    struct Constant;
+    impl Evaluator for Constant {
+        fn num_equations(&self) -> usize {
+            1
+        }
+        fn num_cases(&self) -> usize {
+            4
+        }
+        fn evaluate(
+            &self,
+            eqs: &[Expr],
+            _compiled: bool,
+            _ctl: &mut dyn FnMut(f64, usize) -> bool,
+        ) -> (f64, bool) {
+            (eqs[0].size() as f64, true) // smaller trees are fitter
+        }
+    }
+    let (g, _) = tiny_grammar();
+    let mut c = cfg(5);
+    c.p_crossover = 0.0;
+    c.p_subtree_mut = 0.0;
+    c.p_gauss_mut = 0.0;
+    c.local_search_steps = 0;
+    let report = Engine::new(&g, &Constant, priors(), c).run();
+    let gen0 = report.history[0].best;
+    assert_eq!(report.best.fitness, gen0, "replication-only cannot improve");
+}

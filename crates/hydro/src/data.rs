@@ -1,0 +1,259 @@
+//! Dataset containers, the temporal train/test split, and the measurement
+//! subsampling scheme.
+//!
+//! The paper's dataset is 13 years (1996–2008) of daily measurements at the
+//! nine physical stations, except nutrients and chlorophyll-a which were
+//! measured weekly at S1 and bi-weekly elsewhere and then **linearly
+//! interpolated** back to daily resolution (§IV-A). The split is temporal:
+//! 1996–2005 for training, 2006–2008 for testing.
+
+use crate::network::RiverNetwork;
+use crate::network::StationId;
+use crate::vars::NUM_VARS;
+use serde::{Deserialize, Serialize};
+
+/// Per-station observation record: daily forcing rows, flow and the
+/// biological target (chlorophyll-a as a proxy for phytoplankton biomass).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationSeries {
+    /// `vars[day][v]` — the ten temporal variables (see [`crate::vars`]).
+    pub vars: Vec<[f64; NUM_VARS]>,
+    /// Daily flow (m³/s).
+    pub flow: Vec<f64>,
+    /// Daily chlorophyll-a (µg/L), the observed algal biomass.
+    pub chla: Vec<f64>,
+}
+
+impl StationSeries {
+    /// A zeroed series of `days` length.
+    pub fn zeroed(days: usize) -> Self {
+        StationSeries {
+            vars: vec![[0.0; NUM_VARS]; days],
+            flow: vec![0.0; days],
+            chla: vec![0.0; days],
+        }
+    }
+
+    /// Number of days recorded.
+    pub fn days(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// One variable as a contiguous series (allocates).
+    pub fn var_series(&self, v: u8) -> Vec<f64> {
+        self.vars.iter().map(|row| row[v as usize]).collect()
+    }
+}
+
+/// A slice of the dataset in time: day range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// First day (inclusive).
+    pub start: usize,
+    /// One past the last day.
+    pub end: usize,
+}
+
+impl Split {
+    /// Number of days covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// The full multi-station dataset used by every experiment.
+#[derive(Debug, Clone)]
+pub struct RiverDataset {
+    /// Station topology.
+    pub network: RiverNetwork,
+    /// Number of days.
+    pub days: usize,
+    /// Calendar year of day 0 (1996 for the Nakdong study).
+    pub start_year: i32,
+    /// Per-station series, indexed by [`StationId`].
+    pub stations: Vec<StationSeries>,
+    /// The forecast target (S1).
+    pub target: StationId,
+    /// Day ranges of the train and test periods.
+    pub train: Split,
+    /// Test period.
+    pub test: Split,
+}
+
+impl RiverDataset {
+    /// Convenience: the target station's series.
+    pub fn target_series(&self) -> &StationSeries {
+        &self.stations[self.target.0]
+    }
+
+    /// Observed chlorophyll-a at the target over a split.
+    pub fn observed(&self, split: Split) -> &[f64] {
+        &self.stations[self.target.0].chla[split.start..split.end]
+    }
+
+    /// Forcing rows at the target over a split.
+    pub fn forcings(&self, split: Split) -> &[[f64; NUM_VARS]] {
+        &self.stations[self.target.0].vars[split.start..split.end]
+    }
+}
+
+/// Linearly interpolate a sparsely sampled series back to daily resolution.
+///
+/// `samples` are `(day, value)` pairs in increasing day order. Days before
+/// the first sample take the first value; days after the last take the last
+/// value (constant extrapolation, as any practical pre-processing does).
+///
+/// ```
+/// use gmr_hydro::data::linear_interpolate;
+/// assert_eq!(
+///     linear_interpolate(&[(0, 0.0), (2, 4.0)], 4),
+///     vec![0.0, 2.0, 4.0, 4.0],
+/// );
+/// ```
+pub fn linear_interpolate(samples: &[(usize, f64)], days: usize) -> Vec<f64> {
+    assert!(!samples.is_empty(), "need at least one sample");
+    debug_assert!(
+        samples.windows(2).all(|w| w[0].0 < w[1].0),
+        "samples must be sorted"
+    );
+    let mut out = Vec::with_capacity(days);
+    let mut seg = 0usize;
+    for day in 0..days {
+        while seg + 1 < samples.len() && samples[seg + 1].0 <= day {
+            seg += 1;
+        }
+        let (d0, v0) = samples[seg];
+        let v = if day <= d0 {
+            // At a sample, or before the first one: clamp left.
+            if day < d0 {
+                samples[0].1
+            } else {
+                v0
+            }
+        } else if seg + 1 >= samples.len() {
+            // Past the last sample: clamp right.
+            v0
+        } else {
+            let (d1, v1) = samples[seg + 1];
+            let t = (day - d0) as f64 / (d1 - d0) as f64;
+            v0 + t * (v1 - v0)
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// Subsample a daily series every `interval` days (starting at day 0) and
+/// linearly re-interpolate — reproducing the paper's weekly (S1) and
+/// bi-weekly (other stations) measurement cadence for nutrients and
+/// chlorophyll.
+pub fn subsample_and_interpolate(daily: &[f64], interval: usize) -> Vec<f64> {
+    assert!(interval >= 1);
+    let samples: Vec<(usize, f64)> = daily
+        .iter()
+        .enumerate()
+        .step_by(interval)
+        .map(|(d, &v)| (d, v))
+        .collect();
+    linear_interpolate(&samples, daily.len())
+}
+
+/// Number of days in `year` (proleptic Gregorian).
+pub fn days_in_year(year: i32) -> usize {
+    let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    if leap {
+        366
+    } else {
+        365
+    }
+}
+
+/// Total days spanned by `[start_year, end_year]` inclusive.
+pub fn days_in_range(start_year: i32, end_year: i32) -> usize {
+    (start_year..=end_year).map(days_in_year).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_hits_samples_exactly() {
+        let s = [(0usize, 10.0), (4, 50.0), (6, 30.0)];
+        let out = linear_interpolate(&s, 8);
+        assert_eq!(out[0], 10.0);
+        assert_eq!(out[4], 50.0);
+        assert_eq!(out[6], 30.0);
+    }
+
+    #[test]
+    fn interpolation_is_linear_between_samples() {
+        let s = [(0usize, 0.0), (4, 40.0)];
+        let out = linear_interpolate(&s, 5);
+        assert_eq!(out, vec![0.0, 10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn interpolation_clamps_past_last_sample() {
+        let s = [(2usize, 5.0)];
+        let out = linear_interpolate(&s, 5);
+        assert_eq!(out, vec![5.0; 5]);
+    }
+
+    #[test]
+    fn subsample_weekly_preserves_sampled_days() {
+        let daily: Vec<f64> = (0..30).map(|d| d as f64).collect();
+        let weekly = subsample_and_interpolate(&daily, 7);
+        for d in (0..30).step_by(7) {
+            assert_eq!(weekly[d], d as f64);
+        }
+        // A linear signal survives linear interpolation exactly.
+        for (d, v) in weekly.iter().enumerate().take(29) {
+            assert!((v - d as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn subsample_biweekly_smooths_high_frequency() {
+        // A 7-day oscillation disappears under 14-day sampling at phase 0.
+        let daily: Vec<f64> = (0..56)
+            .map(|d| if d % 14 < 7 { 0.0 } else { 1.0 })
+            .collect();
+        let biweekly = subsample_and_interpolate(&daily, 14);
+        assert!(biweekly.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn calendar_arithmetic() {
+        assert_eq!(days_in_year(1996), 366);
+        assert_eq!(days_in_year(1999), 365);
+        assert_eq!(days_in_year(2000), 366);
+        assert_eq!(days_in_year(1900), 365);
+        // 1996–2008: 13 years, 4 leap years (1996, 2000, 2004, 2008).
+        assert_eq!(days_in_range(1996, 2008), 13 * 365 + 4);
+        // Train 1996–2005, test 2006–2008.
+        assert_eq!(days_in_range(1996, 2005), 10 * 365 + 3);
+        assert_eq!(days_in_range(2006, 2008), 3 * 365 + 1);
+    }
+
+    #[test]
+    fn split_arithmetic() {
+        let s = Split { start: 10, end: 25 };
+        assert_eq!(s.len(), 15);
+        assert!(!s.is_empty());
+        assert!(Split { start: 5, end: 5 }.is_empty());
+    }
+
+    #[test]
+    fn station_series_accessors() {
+        let mut s = StationSeries::zeroed(3);
+        s.vars[1][4] = 17.0;
+        assert_eq!(s.days(), 3);
+        assert_eq!(s.var_series(4), vec![0.0, 17.0, 0.0]);
+    }
+}

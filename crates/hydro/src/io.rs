@@ -1,0 +1,332 @@
+//! Dataset import/export.
+//!
+//! The paper ships its data as flat files; this module does the same so a
+//! downstream user can (a) inspect the synthetic record with ordinary
+//! tools, and (b) swap in a *real* monitoring record without touching any
+//! code — the CSV schema is the only contract.
+//!
+//! Schema (one file per dataset):
+//!
+//! ```csv
+//! station,day,flow,chla,Vlgt,Vn,Vp,Vsi,Vtmp,Vdo,Vcd,Vph,Valk,Vsd
+//! S1,0,102.35,12.41,8.21,2.05,0.049,2.98,4.33,12.9,311.2,7.61,54.2,1.84
+//! ```
+//!
+//! Station rows may appear in any order; days must be dense (0..days) per
+//! station. Network topology, split boundaries and metadata travel in a
+//! small sidecar header (`# key=value` comment lines at the top).
+
+use crate::data::{RiverDataset, Split, StationSeries};
+use crate::network::RiverNetwork;
+use crate::vars::{NAMES, NUM_VARS};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors raised by dataset import.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Structural problem in the file.
+    Malformed { line: usize, msg: String },
+    /// The file's stations do not match the expected network.
+    StationMismatch(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Malformed { line, msg } => write!(f, "line {line}: {msg}"),
+            IoError::StationMismatch(name) => write!(f, "unknown station '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Serialise a dataset to the CSV schema (with the metadata header).
+pub fn to_csv(ds: &RiverDataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# start_year={}", ds.start_year);
+    let _ = writeln!(out, "# days={}", ds.days);
+    let _ = writeln!(out, "# train={}..{}", ds.train.start, ds.train.end);
+    let _ = writeln!(out, "# test={}..{}", ds.test.start, ds.test.end);
+    let _ = writeln!(out, "# target={}", ds.network.station(ds.target).name);
+    out.push_str("station,day,flow,chla");
+    for name in NAMES {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    for (sid, st) in ds.network.stations() {
+        let series = &ds.stations[sid.0];
+        for day in 0..ds.days {
+            let _ = write!(
+                out,
+                "{},{},{:.6},{:.6}",
+                st.name, day, series.flow[day], series.chla[day]
+            );
+            for v in 0..NUM_VARS {
+                let _ = write!(out, ",{:.6}", series.vars[day][v]);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Write a dataset to a file.
+pub fn save_csv(ds: &RiverDataset, path: impl AsRef<Path>) -> Result<(), IoError> {
+    fs::write(path, to_csv(ds))?;
+    Ok(())
+}
+
+/// Parse a dataset from the CSV schema, attaching it to `network` (the
+/// station names in the file must all resolve against it).
+pub fn from_csv(text: &str, network: RiverNetwork) -> Result<RiverDataset, IoError> {
+    let mut start_year = 1996i32;
+    let mut days = 0usize;
+    let mut train = Split { start: 0, end: 0 };
+    let mut test = Split { start: 0, end: 0 };
+    let mut target_name = String::from("S1");
+
+    let parse_range = |v: &str, line: usize| -> Result<Split, IoError> {
+        let (a, b) = v.split_once("..").ok_or_else(|| IoError::Malformed {
+            line,
+            msg: format!("bad range '{v}'"),
+        })?;
+        let parse = |s: &str| {
+            s.trim().parse::<usize>().map_err(|_| IoError::Malformed {
+                line,
+                msg: format!("bad number '{s}'"),
+            })
+        };
+        Ok(Split {
+            start: parse(a)?,
+            end: parse(b)?,
+        })
+    };
+
+    let mut header_seen = false;
+    let mut stations: Vec<StationSeries> = Vec::new();
+    let mut filled: Vec<Vec<bool>> = Vec::new();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix('#') {
+            if let Some((k, v)) = meta.split_once('=') {
+                match k.trim() {
+                    "start_year" => {
+                        start_year = v.trim().parse().map_err(|_| IoError::Malformed {
+                            line: line_no,
+                            msg: "bad start_year".into(),
+                        })?;
+                    }
+                    "days" => {
+                        days = v.trim().parse().map_err(|_| IoError::Malformed {
+                            line: line_no,
+                            msg: "bad days".into(),
+                        })?;
+                        stations = (0..network.len())
+                            .map(|_| StationSeries::zeroed(days))
+                            .collect();
+                        filled = vec![vec![false; days]; network.len()];
+                    }
+                    "train" => train = parse_range(v.trim(), line_no)?,
+                    "test" => test = parse_range(v.trim(), line_no)?,
+                    "target" => target_name = v.trim().to_string(),
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        if !header_seen {
+            // Column header row.
+            if !line.starts_with("station,") {
+                return Err(IoError::Malformed {
+                    line: line_no,
+                    msg: "expected column header".into(),
+                });
+            }
+            header_seen = true;
+            continue;
+        }
+        let mut fields = line.split(',');
+        let name = fields.next().ok_or_else(|| IoError::Malformed {
+            line: line_no,
+            msg: "missing station".into(),
+        })?;
+        let sid = network
+            .by_name(name)
+            .ok_or_else(|| IoError::StationMismatch(name.to_string()))?;
+        if stations.is_empty() {
+            return Err(IoError::Malformed {
+                line: line_no,
+                msg: "data row before the '# days=' header".into(),
+            });
+        }
+        let mut next_f64 = |what: &str| -> Result<f64, IoError> {
+            fields
+                .next()
+                .ok_or_else(|| IoError::Malformed {
+                    line: line_no,
+                    msg: format!("missing {what}"),
+                })?
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| IoError::Malformed {
+                    line: line_no,
+                    msg: format!("bad {what}"),
+                })
+        };
+        let day = next_f64("day")? as usize;
+        if day >= days {
+            return Err(IoError::Malformed {
+                line: line_no,
+                msg: format!("day {day} out of range (days={days})"),
+            });
+        }
+        let series = &mut stations[sid.0];
+        series.flow[day] = next_f64("flow")?;
+        series.chla[day] = next_f64("chla")?;
+        for (v, name) in NAMES.iter().enumerate() {
+            series.vars[day][v] = next_f64(name)?;
+        }
+        filled[sid.0][day] = true;
+    }
+
+    if days == 0 {
+        return Err(IoError::Malformed {
+            line: 0,
+            msg: "missing '# days=' header".into(),
+        });
+    }
+    for (sid, st) in network.stations() {
+        if let Some(day) = filled[sid.0].iter().position(|f| !f) {
+            return Err(IoError::Malformed {
+                line: 0,
+                msg: format!("station {} missing day {day}", st.name),
+            });
+        }
+    }
+    let target = network
+        .by_name(&target_name)
+        .ok_or(IoError::StationMismatch(target_name))?;
+    Ok(RiverDataset {
+        network,
+        days,
+        start_year,
+        stations,
+        target,
+        train,
+        test,
+    })
+}
+
+/// Read a dataset file.
+pub fn load_csv(path: impl AsRef<Path>, network: RiverNetwork) -> Result<RiverDataset, IoError> {
+    let text = fs::read_to_string(path)?;
+    from_csv(&text, network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticConfig};
+
+    fn small() -> RiverDataset {
+        generate(&SyntheticConfig {
+            start_year: 1996,
+            end_year: 1996,
+            train_end_year: 1996,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_within_precision() {
+        let ds = small();
+        let text = to_csv(&ds);
+        let back = from_csv(&text, RiverNetwork::nakdong()).expect("parses");
+        assert_eq!(back.days, ds.days);
+        assert_eq!(back.start_year, ds.start_year);
+        assert_eq!(back.train, ds.train);
+        assert_eq!(back.test, ds.test);
+        assert_eq!(back.target, ds.target);
+        for s in 0..ds.stations.len() {
+            for day in 0..ds.days {
+                assert!((back.stations[s].chla[day] - ds.stations[s].chla[day]).abs() < 1e-5);
+                assert!((back.stations[s].flow[day] - ds.stations[s].flow[day]).abs() < 1e-5);
+                for v in 0..NUM_VARS {
+                    assert!(
+                        (back.stations[s].vars[day][v] - ds.stations[s].vars[day][v]).abs() < 1e-5
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ds = small();
+        let dir = std::env::temp_dir().join("gmr-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nakdong.csv");
+        save_csv(&ds, &path).expect("writes");
+        let back = load_csv(&path, RiverNetwork::nakdong()).expect("reads");
+        assert_eq!(back.days, ds.days);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_unknown_station() {
+        let text =
+            "# days=1\nstation,day,flow,chla,a,b,c,d,e,f,g,h,i,j\nXX,0,1,1,0,0,0,0,0,0,0,0,0,0\n";
+        let err = from_csv(text, RiverNetwork::nakdong()).unwrap_err();
+        assert!(matches!(err, IoError::StationMismatch(_)));
+    }
+
+    #[test]
+    fn rejects_missing_days() {
+        let ds = small();
+        let text = to_csv(&ds);
+        // Drop the final data row: some station now misses a day.
+        let truncated: String = {
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.pop();
+            lines.join("\n")
+        };
+        let err = from_csv(&truncated, RiverNetwork::nakdong()).unwrap_err();
+        assert!(matches!(err, IoError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_headerless_input() {
+        let err = from_csv("S1,0,1,1", RiverNetwork::nakdong()).unwrap_err();
+        assert!(matches!(err, IoError::Malformed { .. }));
+    }
+
+    #[test]
+    fn rejects_day_out_of_range() {
+        let mut text = String::from("# days=1\nstation,day,flow,chla");
+        for n in NAMES {
+            text.push(',');
+            text.push_str(n);
+        }
+        text.push_str("\nS1,5,1,1,0,0,0,0,0,0,0,0,0,0\n");
+        let err = from_csv(&text, RiverNetwork::nakdong()).unwrap_err();
+        assert!(matches!(err, IoError::Malformed { .. }));
+    }
+}

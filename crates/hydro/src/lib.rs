@@ -1,0 +1,42 @@
+//! River-network substrate and dataset layer for the GMR reproduction.
+//!
+//! The paper models the Nakdong River catchment (Fig. 8): six stations on
+//! the main channel (S1–S6), three on major tributaries (T1–T3), and three
+//! *virtual stations* at the confluences. Two contemporaneous processes run
+//! over this network (Appendix A): the **hydrological process** — a flow
+//! mass balance routing water bodies between stations — and the
+//! **biological process** that lives one crate up in `gmr-bio`.
+//!
+//! This crate provides:
+//!
+//! * [`vars`] — the ten temporal variables of Table IV and their canonical
+//!   indices (shared with every other crate);
+//! * [`network`] — the station DAG with per-edge travel delays and
+//!   per-station retention ratios, including the exact Nakdong topology;
+//! * [`flow`] — the flow mass balance of eq. 9 and flow-weighted attribute
+//!   merging at confluences;
+//! * [`data`] — dataset containers, the train/test split, and the
+//!   weekly/bi-weekly subsample + linear re-interpolation the paper applies
+//!   to nutrient and chlorophyll measurements;
+//! * [`synthetic`] — the synthetic Nakdong dataset generator (the paper's
+//!   13-year observational dataset is not publicly retrievable; see
+//!   DESIGN.md for why this substitution preserves the evaluation's shape);
+//! * [`io`] — CSV import/export, the contract for swapping in a real
+//!   monitoring record;
+//! * [`metrics`] — RMSE and MAE exactly as defined in §IV-C.
+
+pub mod data;
+pub mod flow;
+pub mod io;
+pub mod metrics;
+pub mod network;
+pub mod synthetic;
+pub mod vars;
+
+pub use data::{RiverDataset, Split, StationSeries};
+pub use flow::{route_flows, WaterBody};
+pub use io::{from_csv, load_csv, save_csv, to_csv};
+pub use metrics::{mae, rmse};
+pub use network::{NetworkError, RiverNetwork, Station, StationId, StationKind};
+pub use synthetic::{generate, SyntheticConfig};
+pub use vars::NUM_VARS;

@@ -1,0 +1,97 @@
+//! Forecast accuracy metrics exactly as defined in §IV-C of the paper.
+
+/// Root mean square error: `sqrt(mean((ŷ − y)²))`. Quadratic score that
+/// weights large errors heavily; the paper's fitness function.
+///
+/// Returns `f64::INFINITY` for empty inputs or when any prediction is
+/// non-finite — the GP engine treats that as a lethal fitness.
+///
+/// ```
+/// assert_eq!(gmr_hydro::rmse(&[1.0, 3.0], &[1.0, 1.0]), (2.0f64).sqrt());
+/// ```
+pub fn rmse(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len(), "series lengths must match");
+    if predicted.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut acc = 0.0;
+    for (p, o) in predicted.iter().zip(observed) {
+        let d = p - o;
+        acc += d * d;
+    }
+    let v = (acc / predicted.len() as f64).sqrt();
+    if v.is_finite() {
+        v
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Mean absolute error: `mean(|ŷ − y|)`. Linear score weighting all errors
+/// equally.
+pub fn mae(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len(), "series lengths must match");
+    if predicted.is_empty() {
+        return f64::INFINITY;
+    }
+    let acc: f64 = predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, o)| (p - o).abs())
+        .sum();
+    let v = acc / predicted.len() as f64;
+    if v.is_finite() {
+        v
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_zero() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let p = [2.0, 2.0];
+        let o = [0.0, 0.0];
+        assert_eq!(rmse(&p, &o), 2.0);
+        assert_eq!(mae(&p, &o), 2.0);
+        // RMSE > MAE when errors are unequal.
+        let p2 = [3.0, 1.0];
+        assert!(rmse(&p2, &o) > mae(&p2, &o));
+    }
+
+    #[test]
+    fn rmse_upper_bounds_mae() {
+        let p = [1.0, -2.0, 4.0, 0.5];
+        let o = [0.0, 1.0, 2.0, 0.0];
+        assert!(rmse(&p, &o) >= mae(&p, &o));
+    }
+
+    #[test]
+    fn non_finite_predictions_are_lethal() {
+        assert_eq!(rmse(&[f64::NAN], &[0.0]), f64::INFINITY);
+        assert_eq!(rmse(&[f64::INFINITY], &[0.0]), f64::INFINITY);
+        assert_eq!(mae(&[f64::NAN], &[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_is_lethal() {
+        assert_eq!(rmse(&[], &[]), f64::INFINITY);
+        assert_eq!(mae(&[], &[]), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn length_mismatch_panics() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

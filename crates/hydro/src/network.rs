@@ -1,0 +1,402 @@
+//! The river network: stations and directed flow segments.
+//!
+//! Appendix A models a river system "as a directed acyclic graph where a
+//! node corresponds to a measuring station and an edge denotes a segment of
+//! a river between the two adjacent stations", with *virtual stations*
+//! inserted wherever two or more water bodies meet. We additionally require
+//! the realistic shape of a conservative, non-branching river (which the
+//! paper's Extensibility section states as the modelling assumption): every
+//! station drains to at most one downstream neighbour, and exactly one
+//! station — the outlet — drains nowhere.
+
+use std::fmt;
+
+/// Index of a station within its [`RiverNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StationId(pub usize);
+
+/// Whether a node is a physical measuring station or a virtual confluence
+/// node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StationKind {
+    /// A real station with instruments (S1–S6, T1–T3 in the Nakdong).
+    Measuring,
+    /// A synthetic node inserted at a confluence (VS1–VS3).
+    Virtual,
+}
+
+/// One node of the network.
+#[derive(Debug, Clone)]
+pub struct Station {
+    /// Display name (e.g. `"S1"`, `"VS2"`).
+    pub name: String,
+    /// Physical or virtual.
+    pub kind: StationKind,
+    /// The fraction of water retained at this station per step (`r_S` in
+    /// eq. 9): side pools, non-laminar flow, etc. In `[0, 1)`.
+    pub retention: f64,
+}
+
+/// A directed segment from one station to the next downstream.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Upstream endpoint.
+    pub from: StationId,
+    /// Downstream endpoint.
+    pub to: StationId,
+    /// Segment length in kilometres (from Fig. 8).
+    pub distance_km: f64,
+    /// Travel time of a water body along this segment, in whole days
+    /// (`Δ` in eq. 9).
+    pub delay_days: usize,
+}
+
+/// Validation failures for river networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// No stations.
+    Empty,
+    /// An edge endpoint is out of range.
+    BadEndpoint,
+    /// A station has more than one downstream edge (branching flow).
+    Branching { station: usize },
+    /// The graph has a cycle.
+    Cyclic,
+    /// There is not exactly one outlet.
+    OutletCount { found: usize },
+    /// A retention ratio is outside `[0, 1)`.
+    BadRetention { station: usize },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Empty => write!(f, "network has no stations"),
+            NetworkError::BadEndpoint => write!(f, "edge endpoint out of range"),
+            NetworkError::Branching { station } => {
+                write!(f, "station {station} has multiple downstream edges")
+            }
+            NetworkError::Cyclic => write!(f, "network contains a cycle"),
+            NetworkError::OutletCount { found } => {
+                write!(f, "expected exactly one outlet, found {found}")
+            }
+            NetworkError::BadRetention { station } => {
+                write!(f, "station {station} has retention outside [0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A validated river network.
+#[derive(Debug, Clone)]
+pub struct RiverNetwork {
+    stations: Vec<Station>,
+    edges: Vec<Edge>,
+    /// Stations in upstream-to-downstream topological order.
+    topo: Vec<StationId>,
+}
+
+impl RiverNetwork {
+    /// Build and validate a network.
+    pub fn new(stations: Vec<Station>, edges: Vec<Edge>) -> Result<Self, NetworkError> {
+        if stations.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        let n = stations.len();
+        for (i, s) in stations.iter().enumerate() {
+            if !(0.0..1.0).contains(&s.retention) {
+                return Err(NetworkError::BadRetention { station: i });
+            }
+        }
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; n];
+        for e in &edges {
+            if e.from.0 >= n || e.to.0 >= n || e.from == e.to {
+                return Err(NetworkError::BadEndpoint);
+            }
+            out_deg[e.from.0] += 1;
+            in_deg[e.to.0] += 1;
+        }
+        if let Some(i) = out_deg.iter().position(|&d| d > 1) {
+            return Err(NetworkError::Branching { station: i });
+        }
+        let outlets = out_deg.iter().filter(|&&d| d == 0).count();
+        if outlets != 1 {
+            return Err(NetworkError::OutletCount { found: outlets });
+        }
+        // Kahn's algorithm for topological order (upstream first).
+        let mut topo = Vec::with_capacity(n);
+        let mut indeg = in_deg.clone();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        while let Some(i) = queue.pop() {
+            topo.push(StationId(i));
+            for e in edges.iter().filter(|e| e.from.0 == i) {
+                indeg[e.to.0] -= 1;
+                if indeg[e.to.0] == 0 {
+                    queue.push(e.to.0);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(NetworkError::Cyclic);
+        }
+        Ok(RiverNetwork {
+            stations,
+            edges,
+            topo,
+        })
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// True when the network has no stations (never true once validated).
+    pub fn is_empty(&self) -> bool {
+        self.stations.is_empty()
+    }
+
+    /// Station accessor.
+    pub fn station(&self, id: StationId) -> &Station {
+        &self.stations[id.0]
+    }
+
+    /// All stations.
+    pub fn stations(&self) -> impl Iterator<Item = (StationId, &Station)> {
+        self.stations
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StationId(i), s))
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Resolve a station by name.
+    pub fn by_name(&self, name: &str) -> Option<StationId> {
+        self.stations
+            .iter()
+            .position(|s| s.name == name)
+            .map(StationId)
+    }
+
+    /// Incoming edges (upstream neighbours) of a station.
+    pub fn upstream_of(&self, id: StationId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.to == id)
+    }
+
+    /// The single outgoing edge, if any.
+    pub fn downstream_of(&self, id: StationId) -> Option<&Edge> {
+        self.edges.iter().find(|e| e.from == id)
+    }
+
+    /// The unique outlet (S1 in the Nakdong).
+    pub fn outlet(&self) -> StationId {
+        *self.topo.last().expect("validated network is non-empty")
+    }
+
+    /// Stations in upstream-to-downstream topological order.
+    pub fn topo_order(&self) -> &[StationId] {
+        &self.topo
+    }
+
+    /// The Nakdong River network of Fig. 8 / Appendix A: six main-channel
+    /// stations, three tributaries, three virtual confluence stations
+    /// (S6·T3, S4·T2, S3·T1), with the figure's segment distances. Travel
+    /// delays assume ~25 km/day mean water-body velocity; retention ratios
+    /// are modest on the free-flowing upper reaches and higher near the
+    /// estuarine barrage at S1.
+    pub fn nakdong() -> RiverNetwork {
+        let st = |name: &str, kind, retention| Station {
+            name: name.into(),
+            kind,
+            retention,
+        };
+        use StationKind::{Measuring as M, Virtual as V};
+        let stations = vec![
+            st("S1", M, 0.30), // 0: outlet (barrage; highest retention)
+            st("S2", M, 0.15), // 1
+            st("S3", M, 0.15), // 2
+            st("S4", M, 0.12), // 3
+            st("S5", M, 0.12), // 4
+            st("S6", M, 0.10), // 5
+            st("T1", M, 0.10), // 6
+            st("T2", M, 0.10), // 7
+            st("T3", M, 0.10), // 8
+            st("VS1", V, 0.0), // 9:  S3·T1 confluence
+            st("VS2", V, 0.0), // 10: S4·T2 confluence
+            st("VS3", V, 0.0), // 11: S6·T3 confluence
+        ];
+        let e = |from: usize, to: usize, km: f64| Edge {
+            from: StationId(from),
+            to: StationId(to),
+            distance_km: km,
+            // ~25 km/day; every segment at least one day of travel.
+            delay_days: ((km / 25.0).round() as usize).max(1),
+        };
+        let edges = vec![
+            e(5, 11, 3.0),  // S6 -> VS3 (T3 joins 3 km below S6)
+            e(8, 11, 3.0),  // T3 -> VS3
+            e(11, 4, 27.5), // VS3 -> S5 (S6–S5 segment)
+            e(4, 10, 42.0), // S5 -> VS2 (S5–S4 segment, T2 joins above S4)
+            e(7, 10, 7.1),  // T2 -> VS2
+            e(10, 3, 7.1),  // VS2 -> S4
+            e(3, 9, 28.5),  // S4 -> VS1 (S4–S3 segment, T1 joins above S3)
+            e(6, 9, 5.5),   // T1 -> VS1
+            e(9, 2, 5.5),   // VS1 -> S3
+            e(2, 1, 22.3),  // S3 -> S2
+            e(1, 0, 32.8),  // S2 -> S1
+        ];
+        RiverNetwork::new(stations, edges).expect("the Nakdong topology is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station(name: &str) -> Station {
+        Station {
+            name: name.into(),
+            kind: StationKind::Measuring,
+            retention: 0.1,
+        }
+    }
+
+    #[test]
+    fn nakdong_shape() {
+        let net = RiverNetwork::nakdong();
+        assert_eq!(net.len(), 12);
+        assert_eq!(net.edges().len(), 11);
+        assert_eq!(net.station(net.outlet()).name, "S1");
+        // Three virtual confluences with two upstream feeds each.
+        for vs in ["VS1", "VS2", "VS3"] {
+            let id = net.by_name(vs).unwrap();
+            assert_eq!(net.station(id).kind, StationKind::Virtual);
+            assert_eq!(net.upstream_of(id).count(), 2);
+        }
+        // Headwaters have no upstream edges.
+        for hw in ["S6", "T1", "T2", "T3"] {
+            assert_eq!(net.upstream_of(net.by_name(hw).unwrap()).count(), 0);
+        }
+    }
+
+    #[test]
+    fn topo_order_is_upstream_first() {
+        let net = RiverNetwork::nakdong();
+        let pos = |name: &str| {
+            let id = net.by_name(name).unwrap();
+            net.topo_order().iter().position(|&s| s == id).unwrap()
+        };
+        assert!(pos("S6") < pos("VS3"));
+        assert!(pos("VS3") < pos("S5"));
+        assert!(pos("S5") < pos("S4"));
+        assert!(pos("S2") < pos("S1"));
+        assert_eq!(pos("S1"), net.len() - 1);
+    }
+
+    #[test]
+    fn delays_positive_and_distance_scaled() {
+        let net = RiverNetwork::nakdong();
+        for e in net.edges() {
+            assert!(e.delay_days >= 1);
+        }
+        // The 42 km segment takes longer than the 3 km segment.
+        let long = net.edges().iter().find(|e| e.distance_km == 42.0).unwrap();
+        let short = net.edges().iter().find(|e| e.distance_km == 3.0).unwrap();
+        assert!(long.delay_days > short.delay_days);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            RiverNetwork::new(vec![], vec![]).unwrap_err(),
+            NetworkError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_branching() {
+        let stations = vec![station("a"), station("b"), station("c")];
+        let edges = vec![
+            Edge {
+                from: StationId(0),
+                to: StationId(1),
+                distance_km: 1.0,
+                delay_days: 1,
+            },
+            Edge {
+                from: StationId(0),
+                to: StationId(2),
+                distance_km: 1.0,
+                delay_days: 1,
+            },
+        ];
+        assert_eq!(
+            RiverNetwork::new(stations, edges).unwrap_err(),
+            NetworkError::Branching { station: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let stations = vec![station("a"), station("b"), station("c")];
+        let edges = vec![
+            Edge {
+                from: StationId(0),
+                to: StationId(1),
+                distance_km: 1.0,
+                delay_days: 1,
+            },
+            Edge {
+                from: StationId(1),
+                to: StationId(0),
+                distance_km: 1.0,
+                delay_days: 1,
+            },
+        ];
+        // a<->b is a cycle; also yields two components... outlet check first.
+        let err = RiverNetwork::new(stations, edges).unwrap_err();
+        assert!(matches!(
+            err,
+            NetworkError::Cyclic | NetworkError::OutletCount { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_multiple_outlets() {
+        let stations = vec![station("a"), station("b")];
+        let err = RiverNetwork::new(stations, vec![]).unwrap_err();
+        assert_eq!(err, NetworkError::OutletCount { found: 2 });
+    }
+
+    #[test]
+    fn rejects_bad_retention() {
+        let mut s = station("a");
+        s.retention = 1.0;
+        assert_eq!(
+            RiverNetwork::new(vec![s], vec![]).unwrap_err(),
+            NetworkError::BadRetention { station: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let stations = vec![station("a")];
+        let edges = vec![Edge {
+            from: StationId(0),
+            to: StationId(0),
+            distance_km: 1.0,
+            delay_days: 1,
+        }];
+        assert_eq!(
+            RiverNetwork::new(stations, edges).unwrap_err(),
+            NetworkError::BadEndpoint
+        );
+    }
+}

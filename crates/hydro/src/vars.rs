@@ -1,0 +1,84 @@
+//! The ten temporal variables of the river process (paper Table IV).
+//!
+//! Every crate in the workspace indexes forcing vectors with these
+//! constants, and `gmr_expr::Expr::Var(i)` uses the same indices — keeping
+//! one canonical ordering is what lets an evolved equation be evaluated
+//! directly against a dataset row.
+
+/// Number of temporal variables.
+pub const NUM_VARS: usize = 10;
+
+/// Irradiance (light intensity), MJ m⁻² d⁻¹.
+pub const VLGT: u8 = 0;
+/// Nitrogen concentration, mg L⁻¹.
+pub const VN: u8 = 1;
+/// Phosphorus concentration, mg L⁻¹.
+pub const VP: u8 = 2;
+/// Silica concentration, mg L⁻¹.
+pub const VSI: u8 = 3;
+/// Water temperature, °C.
+pub const VTMP: u8 = 4;
+/// Dissolved oxygen, mg L⁻¹.
+pub const VDO: u8 = 5;
+/// Electric conductivity, µS cm⁻¹.
+pub const VCD: u8 = 6;
+/// pH.
+pub const VPH: u8 = 7;
+/// Alkalinity, mg L⁻¹ CaCO₃.
+pub const VALK: u8 = 8;
+/// Water transparency (Secchi depth), m.
+pub const VSD: u8 = 9;
+
+/// Canonical names, indexed by variable id.
+pub const NAMES: [&str; NUM_VARS] = [
+    "Vlgt", "Vn", "Vp", "Vsi", "Vtmp", "Vdo", "Vcd", "Vph", "Valk", "Vsd",
+];
+
+/// Descriptions matching Table IV.
+pub const DESCRIPTIONS: [&str; NUM_VARS] = [
+    "Irradiance (light intensity)",
+    "Nitrogen concentration",
+    "Phosphorus concentration",
+    "Silica concentration",
+    "Water temperature",
+    "Dissolved oxygen",
+    "Electric conductivity",
+    "pH",
+    "Alkalinity",
+    "Water transparency",
+];
+
+/// Look up a variable index by name.
+pub fn index_of(name: &str) -> Option<u8> {
+    NAMES.iter().position(|n| *n == name).map(|i| i as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_align_with_constants() {
+        assert_eq!(NAMES[VLGT as usize], "Vlgt");
+        assert_eq!(NAMES[VTMP as usize], "Vtmp");
+        assert_eq!(NAMES[VSD as usize], "Vsd");
+        assert_eq!(NAMES.len(), NUM_VARS);
+        assert_eq!(DESCRIPTIONS.len(), NUM_VARS);
+    }
+
+    #[test]
+    fn index_lookup() {
+        assert_eq!(index_of("Vph"), Some(VPH));
+        assert_eq!(index_of("Valk"), Some(VALK));
+        assert_eq!(index_of("Vxx"), None);
+    }
+
+    #[test]
+    fn all_names_unique() {
+        for (i, a) in NAMES.iter().enumerate() {
+            for b in &NAMES[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

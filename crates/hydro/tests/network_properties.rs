@@ -1,0 +1,115 @@
+//! Property tests over *random* river networks: the flow mass balance and
+//! the topology machinery must hold on any valid tree-shaped network, not
+//! just the Nakdong.
+
+use gmr_hydro::flow::route_flows;
+use gmr_hydro::network::{Edge, RiverNetwork, Station, StationId, StationKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a random tree-shaped network: node 0 is the outlet; every other
+/// node drains to a random node with a smaller index (guaranteeing a DAG
+/// with a single outlet).
+fn random_network(seed: u64, n: usize) -> RiverNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stations: Vec<Station> = (0..n)
+        .map(|i| Station {
+            name: format!("N{i}"),
+            kind: if rng.gen_bool(0.2) && i != 0 {
+                StationKind::Virtual
+            } else {
+                StationKind::Measuring
+            },
+            retention: rng.gen_range(0.0..0.6),
+        })
+        .collect();
+    let edges: Vec<Edge> = (1..n)
+        .map(|i| Edge {
+            from: StationId(i),
+            to: StationId(rng.gen_range(0..i)),
+            distance_km: rng.gen_range(1.0..60.0),
+            delay_days: rng.gen_range(1..4),
+        })
+        .collect();
+    RiverNetwork::new(stations, edges).expect("construction guarantees validity")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_networks_validate_and_have_one_outlet(seed in any::<u64>(), n in 2usize..20) {
+        let net = random_network(seed, n);
+        prop_assert_eq!(net.len(), n);
+        prop_assert_eq!(net.outlet(), StationId(0));
+        // Topological order puts every station after all its upstreams.
+        let order = net.topo_order();
+        for e in net.edges() {
+            let pos = |id: StationId| order.iter().position(|&s| s == id).expect("in order");
+            prop_assert!(pos(e.from) < pos(e.to));
+        }
+    }
+
+    #[test]
+    fn flows_stay_nonnegative_and_finite(seed in any::<u64>(), n in 2usize..15) {
+        let net = random_network(seed, n);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF10);
+        let days = 50;
+        let runoff: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..days).map(|_| rng.gen_range(-5.0..40.0)).collect())
+            .collect();
+        let init: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let flows = route_flows(&net, &runoff, &init, days);
+        for series in &flows {
+            prop_assert_eq!(series.len(), days);
+            for &f in series {
+                prop_assert!(f.is_finite() && f >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_network_conserves_steady_state_inflow(seed in any::<u64>(), n in 2usize..12) {
+        // Zero retention + constant headwater inflow: total outlet flow
+        // converges to the sum of all runoff, regardless of topology.
+        let base = random_network(seed, n);
+        let stations: Vec<Station> = base
+            .stations()
+            .map(|(_, s)| Station { name: s.name.clone(), kind: s.kind, retention: 0.0 })
+            .collect();
+        let net = RiverNetwork::new(stations, base.edges().to_vec()).expect("still valid");
+        let days = 600;
+        let per_station = 3.0;
+        let runoff: Vec<Vec<f64>> = (0..n).map(|_| vec![per_station; days]).collect();
+        let flows = route_flows(&net, &runoff, &vec![0.0; n], days);
+        let outlet_flow = flows[net.outlet().0][days - 1];
+        let expected = per_station * n as f64;
+        prop_assert!(
+            (outlet_flow - expected).abs() < 1e-6,
+            "outlet {} != {}", outlet_flow, expected
+        );
+    }
+
+    #[test]
+    fn retention_reaches_the_analytic_steady_state(seed in any::<u64>(), n in 2usize..12) {
+        // Eq. 9's measured flow at a station includes its retained water, so
+        // at the outlet (which discharges nothing onward) the steady state is
+        // total_inflow / (1 − r_outlet): retained water recirculates into the
+        // next day's measurement. Interior retention only delays transport.
+        let net = random_network(seed, n);
+        let days = 3000;
+        let per_station = 2.0;
+        let runoff: Vec<Vec<f64>> = (0..n).map(|_| vec![per_station; days]).collect();
+        let flows = route_flows(&net, &runoff, &vec![0.0; n], days);
+        let outlet = net.outlet().0;
+        let r_out = net.station(net.outlet()).retention;
+        let expected = per_station * n as f64 / (1.0 - r_out);
+        prop_assert!(
+            (flows[outlet][days - 1] - expected).abs() / expected < 0.05,
+            "outlet {} vs analytic {}", flows[outlet][days - 1], expected
+        );
+        // Growth toward the fixed point from below — no overshoot.
+        prop_assert!(flows[outlet].iter().all(|&f| f <= expected * 1.01));
+    }
+}

@@ -1,0 +1,473 @@
+//! Derivation trees — the genotype of the evolutionary search.
+//!
+//! Following the paper's restricted-substitution formulation (§III-A2):
+//!
+//! 1. the root node is labelled with an α-tree whose root carries the start
+//!    symbol (the expert's input process);
+//! 2. every other node is labelled with a β-tree and the *address* (node
+//!    index within the parent's elementary tree) where it adjoins;
+//! 3. substituted α-trees are restricted to single tokens ("lexemes") stored
+//!    inside the node, one per open substitution slot ("lexicon") of its
+//!    elementary tree.
+//!
+//! Each derivation node additionally carries its own evolved copies of the
+//! `Param` anchor values of its elementary tree (`params`), because the same
+//! elementary tree is shared by many individuals while each individual's
+//! Gaussian mutation must move its own constants independently.
+
+use crate::grammar::{Grammar, TreeId};
+use crate::tree::{NodeIdx, NodeKind, SymId, Token};
+use std::fmt;
+
+/// Path from the root of a derivation tree to a node: a sequence of child
+/// positions. The empty path is the root.
+pub type Path = Vec<usize>;
+
+/// An adjunction edge: which child adjoined at which address of the parent's
+/// elementary tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adjunction {
+    /// Node index within the *parent's* elementary tree.
+    pub addr: NodeIdx,
+    /// The adjoined sub-derivation (labelled by a β-tree).
+    pub child: DerivNode,
+}
+
+/// One node of a derivation tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivNode {
+    /// The elementary tree this node is labelled with.
+    pub tree: TreeId,
+    /// Lexemes substituted into the open slots, aligned with
+    /// `ElemTree::subst_slots()` order.
+    pub lexemes: Vec<Token>,
+    /// Evolved values for the `Param` anchors of the elementary tree,
+    /// aligned with `ElemTree::param_anchors()` order.
+    pub params: Vec<f64>,
+    /// Adjunctions performed on this instance (at most one per address).
+    pub children: Vec<Adjunction>,
+}
+
+impl DerivNode {
+    /// Number of derivation nodes in this subtree (the paper's "chromosome
+    /// size").
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|a| a.child.size()).sum::<usize>()
+    }
+
+    /// Depth of the derivation subtree.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|a| a.child.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Addresses already occupied by an adjunction on this node.
+    pub fn occupied(&self) -> Vec<NodeIdx> {
+        self.children.iter().map(|a| a.addr).collect()
+    }
+
+    /// True if `addr` already hosts an adjunction.
+    pub fn is_occupied(&self, addr: NodeIdx) -> bool {
+        self.children.iter().any(|a| a.addr == addr)
+    }
+
+    fn visit_paths(&self, prefix: &mut Path, out: &mut Vec<Path>) {
+        out.push(prefix.clone());
+        for (i, adj) in self.children.iter().enumerate() {
+            prefix.push(i);
+            adj.child.visit_paths(prefix, out);
+            prefix.pop();
+        }
+    }
+
+    /// Mutable access to every Gaussian-mutable constant in this subtree:
+    /// anchor param values (with their kind from the elementary tree) and
+    /// `Param` lexemes.
+    pub fn mutable_params<'a>(&'a mut self, grammar: &Grammar) -> Vec<(u16, &'a mut f64)> {
+        let mut out = Vec::new();
+        self.collect_params(grammar, &mut out);
+        out
+    }
+
+    /// Open adjoining sites within this subtree; paths are relative to this
+    /// node. See [`DerivTree::open_addresses`].
+    pub fn open_addresses(&self, grammar: &Grammar) -> Vec<(Path, NodeIdx, SymId)> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.collect_open(grammar, &mut prefix, &mut out);
+        out
+    }
+
+    fn collect_open(
+        &self,
+        grammar: &Grammar,
+        prefix: &mut Path,
+        out: &mut Vec<(Path, NodeIdx, SymId)>,
+    ) {
+        let elem = grammar.tree(self.tree);
+        for (i, en) in elem.nodes.iter().enumerate() {
+            if let NodeKind::Interior(sym) = en.kind {
+                let addr = NodeIdx(i as u32);
+                if !self.is_occupied(addr) && !grammar.betas_for(sym).is_empty() {
+                    out.push((prefix.clone(), addr, sym));
+                }
+            }
+        }
+        for (i, adj) in self.children.iter().enumerate() {
+            prefix.push(i);
+            adj.child.collect_open(grammar, prefix, out);
+            prefix.pop();
+        }
+    }
+
+    /// Borrow the descendant at `path` (relative to this node).
+    pub fn descendant_mut(&mut self, path: &[usize]) -> &mut DerivNode {
+        let mut cur = self;
+        for &i in path {
+            cur = &mut cur.children[i].child;
+        }
+        cur
+    }
+
+    fn collect_params<'a>(&'a mut self, grammar: &Grammar, out: &mut Vec<(u16, &'a mut f64)>) {
+        let elem = grammar.tree(self.tree);
+        let kinds: Vec<u16> = elem
+            .nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Anchor(Token::Param { kind, .. }) => Some(kind),
+                _ => None,
+            })
+            .collect();
+        debug_assert_eq!(kinds.len(), self.params.len());
+        for (kind, v) in kinds.iter().zip(self.params.iter_mut()) {
+            out.push((*kind, v));
+        }
+        for lex in self.lexemes.iter_mut() {
+            if let Token::Param { kind, value } = lex {
+                out.push((*kind, value));
+            }
+        }
+        for adj in self.children.iter_mut() {
+            adj.child.collect_params(grammar, out);
+        }
+    }
+}
+
+/// A complete derivation tree (an individual).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivTree {
+    /// Root derivation node, labelled by an initial tree.
+    pub root: DerivNode,
+}
+
+/// Problems found by [`DerivTree::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DerivError {
+    /// The root's elementary tree is not an α-tree with the start symbol.
+    RootNotStartAlpha,
+    /// A non-root node is labelled by an initial tree.
+    InitialBelowRoot,
+    /// An adjunction address is out of range for the parent tree.
+    AddressOutOfRange,
+    /// An adjunction address does not name an interior node.
+    AddressNotInterior,
+    /// The β-tree's root symbol does not match the symbol at the address.
+    SymbolMismatch,
+    /// Two adjunctions share an address on the same node.
+    DuplicateAddress,
+    /// The lexeme vector length differs from the tree's slot count.
+    LexemeCountMismatch,
+    /// A lexeme is an operator where the slot expects an operand (or vice
+    /// versa, per the grammar's pool for that symbol).
+    LexemeNotInPool,
+    /// The params vector length differs from the tree's param-anchor count.
+    ParamCountMismatch,
+}
+
+impl fmt::Display for DerivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            DerivError::RootNotStartAlpha => "root must be an initial tree with the start symbol",
+            DerivError::InitialBelowRoot => "initial tree used below the root",
+            DerivError::AddressOutOfRange => "adjunction address out of range",
+            DerivError::AddressNotInterior => "adjunction address is not an interior node",
+            DerivError::SymbolMismatch => "β-tree root symbol does not match the adjoining site",
+            DerivError::DuplicateAddress => "two adjunctions at the same address",
+            DerivError::LexemeCountMismatch => "lexeme count does not match substitution slots",
+            DerivError::LexemeNotInPool => "lexeme is not in the grammar's pool for its slot",
+            DerivError::ParamCountMismatch => "param count does not match param anchors",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for DerivError {}
+
+impl DerivTree {
+    /// Number of derivation nodes.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// Depth of the derivation tree.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Preorder paths to every node; `paths()[0]` is the root.
+    pub fn paths(&self) -> Vec<Path> {
+        let mut out = Vec::with_capacity(self.size());
+        self.root.visit_paths(&mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Borrow the node at `path` (panics on an invalid path — paths come
+    /// from [`Self::paths`] on the same tree).
+    pub fn node(&self, path: &[usize]) -> &DerivNode {
+        let mut cur = &self.root;
+        for &i in path {
+            cur = &cur.children[i].child;
+        }
+        cur
+    }
+
+    /// Mutably borrow the node at `path`.
+    pub fn node_mut(&mut self, path: &[usize]) -> &mut DerivNode {
+        let mut cur = &mut self.root;
+        for &i in path {
+            cur = &mut cur.children[i].child;
+        }
+        cur
+    }
+
+    /// Detach the adjunction at `path` (which must be non-empty: the root
+    /// cannot be detached). Returns the address it occupied and the subtree.
+    pub fn detach(&mut self, path: &[usize]) -> (NodeIdx, DerivNode) {
+        let (last, parent_path) = path.split_last().expect("cannot detach the root");
+        let parent = self.node_mut(parent_path);
+        let adj = parent.children.remove(*last);
+        (adj.addr, adj.child)
+    }
+
+    /// Attach `child` under the node at `parent_path`, adjoining at `addr`.
+    pub fn attach(&mut self, parent_path: &[usize], addr: NodeIdx, child: DerivNode) {
+        let parent = self.node_mut(parent_path);
+        debug_assert!(!parent.is_occupied(addr), "address already occupied");
+        parent.children.push(Adjunction { addr, child });
+    }
+
+    /// Every open adjoining site: `(path to node, address, symbol at that
+    /// address)` for each interior node of each instance's elementary tree
+    /// that is not yet occupied **and** for which the grammar has at least
+    /// one compatible β-tree.
+    pub fn open_addresses(&self, grammar: &Grammar) -> Vec<(Path, NodeIdx, SymId)> {
+        self.root.open_addresses(grammar)
+    }
+
+    /// Render the derivation structure as an indented tree — the paper's
+    /// Fig. 4 view: which elementary tree each node is labelled with, the
+    /// adjunction address, and the substituted lexemes.
+    pub fn describe(&self, grammar: &Grammar) -> String {
+        let mut out = String::new();
+        fn go(
+            node: &DerivNode,
+            grammar: &Grammar,
+            depth: usize,
+            addr: Option<NodeIdx>,
+            out: &mut String,
+        ) {
+            let elem = grammar.tree(node.tree);
+            out.push_str(&"  ".repeat(depth));
+            match addr {
+                Some(a) => out.push_str(&format!("{a} ")),
+                None => out.push_str("root "),
+            }
+            out.push_str(&elem.name);
+            if !node.lexemes.is_empty() {
+                out.push_str(&format!(" lexemes={:?}", node.lexemes));
+            }
+            if !node.params.is_empty() {
+                out.push_str(&format!(" params={:?}", node.params));
+            }
+            out.push('\n');
+            for adj in &node.children {
+                go(&adj.child, grammar, depth + 1, Some(adj.addr), out);
+            }
+        }
+        go(&self.root, grammar, 0, None, &mut out);
+        out
+    }
+
+    /// Validate the whole derivation against `grammar`.
+    pub fn validate(&self, grammar: &Grammar) -> Result<(), DerivError> {
+        let root_elem = grammar.tree(self.root.tree);
+        if root_elem.kind != crate::tree::TreeKind::Initial
+            || root_elem.root_symbol() != grammar.start()
+        {
+            return Err(DerivError::RootNotStartAlpha);
+        }
+        validate_node(&self.root, grammar, true)
+    }
+}
+
+fn validate_node(node: &DerivNode, grammar: &Grammar, is_root: bool) -> Result<(), DerivError> {
+    let elem = grammar.tree(node.tree);
+    if !is_root && elem.kind != crate::tree::TreeKind::Auxiliary {
+        return Err(DerivError::InitialBelowRoot);
+    }
+    if node.lexemes.len() != elem.subst_slots().len() {
+        return Err(DerivError::LexemeCountMismatch);
+    }
+    for (tok, sym) in node.lexemes.iter().zip(elem.subst_symbols()) {
+        if !grammar.lexeme_in_pool(sym, tok) {
+            return Err(DerivError::LexemeNotInPool);
+        }
+    }
+    if node.params.len() != elem.param_anchors().len() {
+        return Err(DerivError::ParamCountMismatch);
+    }
+    let mut seen: Vec<NodeIdx> = Vec::with_capacity(node.children.len());
+    for adj in &node.children {
+        if adj.addr.0 as usize >= elem.len() {
+            return Err(DerivError::AddressOutOfRange);
+        }
+        let site = elem.node(adj.addr);
+        let site_sym = match site.kind {
+            NodeKind::Interior(s) => s,
+            _ => return Err(DerivError::AddressNotInterior),
+        };
+        let child_elem = grammar.tree(adj.child.tree);
+        if child_elem.root_symbol() != site_sym {
+            return Err(DerivError::SymbolMismatch);
+        }
+        if seen.contains(&adj.addr) {
+            return Err(DerivError::DuplicateAddress);
+        }
+        seen.push(adj.addr);
+        validate_node(&adj.child, grammar, false)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::test_fixtures::tiny_grammar;
+    use gmr_expr::BinOp;
+
+    #[test]
+    fn size_depth_paths() {
+        let (g, t) = tiny_grammar();
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.depth(), 3);
+        let paths = t.paths();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0], Vec::<usize>::new());
+        assert_eq!(paths[1], vec![0]);
+        assert_eq!(paths[2], vec![0, 0]);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn node_navigation() {
+        let (g, t) = tiny_grammar();
+        let child = t.node(&[0]);
+        assert_eq!(g.tree(child.tree).kind, crate::tree::TreeKind::Auxiliary);
+    }
+
+    #[test]
+    fn detach_attach_round_trip() {
+        let (g, mut t) = tiny_grammar();
+        let before = t.clone();
+        let (addr, sub) = t.detach(&[0]);
+        assert_eq!(t.size(), 1);
+        t.attach(&[], addr, sub);
+        assert_eq!(t, before);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn open_addresses_exclude_occupied() {
+        let (g, t) = tiny_grammar();
+        let open = t.open_addresses(&g);
+        // The root's only Exp interior (address 0) is occupied by the first
+        // β; each β instance exposes its own root address.
+        assert!(open.iter().all(|(p, a, _)| !(p.is_empty() && a.0 == 0)));
+        assert!(!open.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_address() {
+        let (g, mut t) = tiny_grammar();
+        let dup = t.root.children[0].clone();
+        t.root.children.push(dup);
+        assert_eq!(t.validate(&g), Err(DerivError::DuplicateAddress));
+    }
+
+    #[test]
+    fn validate_rejects_symbol_mismatch() {
+        let (g, mut t) = tiny_grammar();
+        // Point the child's adjunction at an address whose node is a
+        // frontier anchor.
+        t.root.children[0].addr = NodeIdx(1);
+        assert!(matches!(
+            t.validate(&g),
+            Err(DerivError::AddressNotInterior | DerivError::SymbolMismatch)
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_lexeme_count() {
+        let (g, mut t) = tiny_grammar();
+        t.node_mut(&[0]).lexemes.clear();
+        assert_eq!(t.validate(&g), Err(DerivError::LexemeCountMismatch));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_lexeme() {
+        let (g, mut t) = tiny_grammar();
+        // The tiny grammar's pool for the slot symbol holds operand tokens;
+        // an operator token is not in the pool.
+        t.node_mut(&[0]).lexemes[0] = Token::Bin(BinOp::Add);
+        assert_eq!(t.validate(&g), Err(DerivError::LexemeNotInPool));
+    }
+
+    #[test]
+    fn describe_renders_every_node_with_addresses() {
+        let (g, t) = tiny_grammar();
+        let text = t.describe(&g);
+        assert_eq!(text.lines().count(), t.size());
+        assert!(text.starts_with("root alpha"));
+        // Both β nodes carry their adjunction address.
+        assert_eq!(text.matches("@0 beta-sub").count(), 2);
+        assert!(text.contains("lexemes="));
+    }
+
+    #[test]
+    fn mutable_params_cover_anchors_and_lexemes() {
+        let (g, mut t) = tiny_grammar();
+        let params = t.root.mutable_params(&g);
+        // tiny_grammar: root α has one Param anchor; each β lexeme slot is
+        // filled with a Param lexeme.
+        assert!(
+            params.len() >= 2,
+            "expected anchor + lexeme params, got {}",
+            params.len()
+        );
+    }
+
+    #[test]
+    fn mutating_params_changes_only_this_individual() {
+        let (g, mut t) = tiny_grammar();
+        let t2 = t.clone();
+        for (_, v) in t.root.mutable_params(&g) {
+            *v += 1.0;
+        }
+        assert_ne!(t, t2);
+    }
+}

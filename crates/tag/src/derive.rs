@@ -1,0 +1,312 @@
+//! Constructing derived trees from derivation trees.
+//!
+//! This is the operational core of the TAG formalism (paper Fig. 2): given a
+//! derivation tree — "start from α, adjoin these β-trees at these addresses,
+//! substitute these lexemes" — produce the *derived tree*, the actual parse
+//! tree whose frontier spells out the revised process equation.
+//!
+//! Adjoining of β into τ at interior node *n* (all three steps of §III-A1):
+//!
+//! 1. the subtree of τ rooted at *n* is disconnected;
+//! 2. β is attached where *n* was;
+//! 3. the disconnected subtree is re-attached at β's foot node (the foot is
+//!    *identified with* the subtree's root — both carry the same symbol).
+//!
+//! Substitution is the restricted, in-node form: each substitution slot of
+//! an elementary tree is replaced by the corresponding lexeme token.
+
+use crate::derivation::{DerivNode, DerivTree};
+use crate::grammar::Grammar;
+use crate::tree::{NodeKind, SymId, Token, TreeKind};
+
+/// A node of a derived tree: either a non-terminal (interior or a foot that
+/// is still open, for partially derived auxiliary material) or a terminal
+/// token on the frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DKind {
+    /// Non-terminal node.
+    Sym(SymId),
+    /// Terminal token.
+    Tok(Token),
+}
+
+/// One node of a derived tree arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DNode {
+    /// Label.
+    pub kind: DKind,
+    /// Children indices (empty on the frontier).
+    pub children: Vec<usize>,
+}
+
+/// A derived tree. Nodes live in an arena; splicing during adjunction may
+/// leave unreachable entries, so always traverse from [`DerivedTree::root`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedTree {
+    /// Node arena.
+    pub nodes: Vec<DNode>,
+    /// Index of the root node.
+    pub root: usize,
+}
+
+impl DerivedTree {
+    /// Frontier tokens in left-to-right order — the yield of the tree.
+    pub fn frontier(&self) -> Vec<Token> {
+        let mut out = Vec::new();
+        self.collect_frontier(self.root, &mut out);
+        out
+    }
+
+    fn collect_frontier(&self, idx: usize, out: &mut Vec<Token>) {
+        let node = &self.nodes[idx];
+        if let DKind::Tok(t) = node.kind {
+            out.push(t);
+        }
+        for &c in &node.children {
+            self.collect_frontier(c, out);
+        }
+    }
+
+    /// Number of nodes reachable from the root.
+    pub fn reachable_len(&self) -> usize {
+        fn go(t: &DerivedTree, i: usize) -> usize {
+            1 + t.nodes[i].children.iter().map(|&c| go(t, c)).sum::<usize>()
+        }
+        go(self, self.root)
+    }
+
+    /// True if any reachable node is an un-filled non-terminal frontier
+    /// node (an open foot) — i.e. the tree is not *completed*.
+    pub fn has_open_nonterminals(&self) -> bool {
+        fn go(t: &DerivedTree, i: usize) -> bool {
+            let n = &t.nodes[i];
+            if n.children.is_empty() && matches!(n.kind, DKind::Sym(_)) {
+                return true;
+            }
+            n.children.iter().any(|&c| go(t, c))
+        }
+        go(self, self.root)
+    }
+}
+
+/// Internal: instantiate one derivation node (and recursively its
+/// adjunctions) into an arena. Returns (arena, foot index if auxiliary).
+fn instantiate(grammar: &Grammar, dnode: &DerivNode) -> (DerivedTree, Option<usize>) {
+    let elem = grammar.tree(dnode.tree);
+    let mut nodes: Vec<DNode> = Vec::with_capacity(elem.len());
+    let mut parent: Vec<Option<usize>> = Vec::with_capacity(elem.len());
+    let mut foot: Option<usize> = None;
+    let mut lex_iter = dnode.lexemes.iter();
+    let mut par_iter = dnode.params.iter();
+
+    // 1. Clone the elementary tree, substituting lexemes into slots and the
+    // instance's evolved values into Param anchors. Elementary-tree arenas
+    // index children by position, and we keep indices identical, so the
+    // original node index *is* the adjoining address.
+    for en in &elem.nodes {
+        let kind = match en.kind {
+            NodeKind::Interior(s) => DKind::Sym(s),
+            NodeKind::Foot(s) => DKind::Sym(s),
+            NodeKind::Subst(_) => {
+                let lex = lex_iter
+                    .next()
+                    .expect("lexeme count validated against slot count");
+                DKind::Tok(*lex)
+            }
+            NodeKind::Anchor(Token::Param { kind, .. }) => {
+                let value = *par_iter.next().expect("param count validated");
+                DKind::Tok(Token::Param { kind, value })
+            }
+            NodeKind::Anchor(t) => DKind::Tok(t),
+        };
+        nodes.push(DNode {
+            kind,
+            children: en.children.iter().map(|c| c.0 as usize).collect(),
+        });
+        parent.push(None);
+    }
+    for (i, en) in elem.nodes.iter().enumerate() {
+        for c in &en.children {
+            parent[c.0 as usize] = Some(i);
+        }
+        if matches!(en.kind, NodeKind::Foot(_)) {
+            foot = Some(i);
+        }
+    }
+
+    let mut tree = DerivedTree { nodes, root: 0 };
+
+    // 2. Apply each adjunction. Addresses are indices into the elementary
+    // tree, and step 1 preserved those indices, so the target is `addr`
+    // itself; later splices never remove original nodes, only re-parent
+    // them, so targets of sibling adjunctions stay valid.
+    for adj in &dnode.children {
+        let (child, child_foot) = instantiate(grammar, &adj.child);
+        let child_foot = child_foot.expect("adjoined derivation nodes are auxiliary");
+        let target = adj.addr.0 as usize;
+
+        // Splice the child's arena in, remapping indices.
+        let offset = tree.nodes.len();
+        for cn in &child.nodes {
+            tree.nodes.push(DNode {
+                kind: cn.kind.clone(),
+                children: cn.children.iter().map(|c| c + offset).collect(),
+            });
+            parent.push(None);
+        }
+        for (i, cn) in child.nodes.iter().enumerate() {
+            for &c in &cn.children {
+                parent[c + offset] = Some(i + offset);
+            }
+        }
+        let beta_root = child.root + offset;
+        let beta_foot = child_foot + offset;
+
+        // Step (2): β takes the place of the target node.
+        match parent[target] {
+            Some(p) => {
+                for slot in &mut tree.nodes[p].children {
+                    if *slot == target {
+                        *slot = beta_root;
+                    }
+                }
+                parent[beta_root] = Some(p);
+            }
+            None => {
+                debug_assert_eq!(target, tree.root);
+                tree.root = beta_root;
+            }
+        }
+
+        // Step (3): the excised subtree (rooted at `target`) is identified
+        // with β's foot node: the foot's parent now points at `target`.
+        let fp = parent[beta_foot].expect("foot is never the root of a validated β-tree");
+        for slot in &mut tree.nodes[fp].children {
+            if *slot == beta_foot {
+                *slot = target;
+            }
+        }
+        parent[target] = Some(fp);
+        // The foot DNode itself is now unreachable garbage in the arena.
+    }
+
+    // Track this instance's foot through the splices: it keeps its index
+    // because splicing re-parents but never re-indexes original nodes.
+    (tree, foot)
+}
+
+impl DerivTree {
+    /// Produce the derived tree for this derivation under `grammar`.
+    ///
+    /// The derivation must be rooted at an initial tree (guaranteed by
+    /// [`DerivTree::validate`]); the result is a completed tree whenever
+    /// every elementary tree's substitution slots are filled — which the
+    /// derivation-node representation makes true by construction.
+    pub fn derived(&self, grammar: &Grammar) -> DerivedTree {
+        debug_assert_eq!(
+            grammar.tree(self.root.tree).kind,
+            TreeKind::Initial,
+            "derivation root must be an initial tree"
+        );
+        let (tree, foot) = instantiate(grammar, &self.root);
+        debug_assert!(foot.is_none(), "initial trees have no foot");
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::test_fixtures::tiny_grammar;
+    use gmr_expr::BinOp;
+
+    #[test]
+    fn root_alpha_alone_derives_itself() {
+        let (g, mut t) = tiny_grammar();
+        t.root.children.clear();
+        let d = t.derived(&g);
+        assert_eq!(
+            d.frontier(),
+            vec![
+                Token::State(0),
+                Token::Bin(BinOp::Mul),
+                Token::Param {
+                    kind: 0,
+                    value: 2.0
+                }
+            ]
+        );
+        assert!(!d.has_open_nonterminals());
+    }
+
+    #[test]
+    fn single_adjunction_wraps_the_root() {
+        let (g, mut t) = tiny_grammar();
+        // Keep only the first-level β.
+        t.node_mut(&[0]).children.clear();
+        let d = t.derived(&g);
+        // (State0 * 2.0) - 0.5 : frontier reads left-to-right.
+        assert_eq!(
+            d.frontier(),
+            vec![
+                Token::State(0),
+                Token::Bin(BinOp::Mul),
+                Token::Param {
+                    kind: 0,
+                    value: 2.0
+                },
+                Token::Bin(BinOp::Sub),
+                Token::Param {
+                    kind: 1,
+                    value: 0.5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_adjunction_composes() {
+        let (g, t) = tiny_grammar();
+        let d = t.derived(&g);
+        // ((State0 * 2.0) - 0.5) - 0.5
+        let frontier = d.frontier();
+        assert_eq!(frontier.len(), 7);
+        assert_eq!(frontier[3], Token::Bin(BinOp::Sub));
+        assert_eq!(frontier[5], Token::Bin(BinOp::Sub));
+        assert!(!d.has_open_nonterminals());
+    }
+
+    #[test]
+    fn instance_param_values_flow_into_derived_tree() {
+        let (g, mut t) = tiny_grammar();
+        t.root.params[0] = 3.25;
+        let d = t.derived(&g);
+        assert!(d.frontier().contains(&Token::Param {
+            kind: 0,
+            value: 3.25
+        }));
+    }
+
+    #[test]
+    fn lexeme_values_flow_into_derived_tree() {
+        let (g, mut t) = tiny_grammar();
+        t.node_mut(&[0]).lexemes[0] = Token::Param {
+            kind: 1,
+            value: 0.75,
+        };
+        let d = t.derived(&g);
+        assert!(d.frontier().contains(&Token::Param {
+            kind: 1,
+            value: 0.75
+        }));
+    }
+
+    #[test]
+    fn reachable_len_excludes_spliced_out_feet() {
+        let (g, t) = tiny_grammar();
+        let d = t.derived(&g);
+        // Arena holds garbage foot nodes; reachable set must not.
+        assert!(d.reachable_len() < d.nodes.len());
+        assert_eq!(d.frontier().len(), 7);
+    }
+}

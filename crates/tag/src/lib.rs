@@ -1,0 +1,42 @@
+//! Tree-adjoining grammar (TAG) formalism for genetic model revision.
+//!
+//! This crate implements the representation layer of the paper's §III-A:
+//! dynamic processes and their potential revisions are expressed as a TAG —
+//! a quintuple (T, N, I, A, S) of terminals, non-terminals, initial
+//! (α) trees, auxiliary (β) trees and a start symbol — and an *individual*
+//! of the evolutionary search is a **derivation tree**: a record of which
+//! α-tree the derivation started from, which β-trees were adjoined at which
+//! addresses, and which lexemes were substituted into the open frontier
+//! nodes.
+//!
+//! The crate provides:
+//!
+//! * [`tree`] — elementary (α/β) trees as index-based arenas, with the
+//!   structural validation rules of the formalism (exactly one foot node per
+//!   auxiliary tree, foot label = root label, interior nodes non-terminal…);
+//! * [`derivation`] — derivation trees with per-instance parameter values
+//!   (the paper's restricted-substitution formulation, where substituted
+//!   α-trees are single lexemes living *inside* the derivation node);
+//! * [`mod@derive`] — the adjoining and substitution machinery that turns a
+//!   derivation tree into a **derived tree**;
+//! * [`mod@lower`] — lowering of a completed derived tree to a
+//!   [`gmr_expr::Expr`] for fitness evaluation;
+//! * [`grammar`] — grammars bundling elementary trees with lexeme pools and
+//!   the *connector/extender* symbol discipline of §III-B3, plus random
+//!   individual generation for population initialisation.
+//!
+//! The genetic operators that act on derivation trees (crossover, subtree
+//! mutation, insertion/deletion) live one layer up in `gmr-gp`; this crate
+//! deliberately contains only the formalism.
+
+pub mod derivation;
+pub mod derive;
+pub mod grammar;
+pub mod lower;
+pub mod tree;
+
+pub use derivation::{DerivNode, DerivTree};
+pub use derive::DerivedTree;
+pub use grammar::{Grammar, GrammarBuilder, GrammarError, TreeId};
+pub use lower::{lower, LowerError};
+pub use tree::{ElemTree, NodeIdx, NodeKind, SymId, Token, TreeError, TreeKind};

@@ -1,0 +1,246 @@
+//! Lowering completed derived trees to expression ASTs.
+//!
+//! A completed derived tree's frontier spells a process equation; its
+//! interior structure dictates the parse. Lowering walks the derived tree
+//! and maps the three shapes the grammar produces onto [`gmr_expr::Expr`]
+//! nodes:
+//!
+//! * a non-terminal with a single child — a pass-through level introduced by
+//!   adjunction — lowers to its child;
+//! * `[operand, BinOp, operand]` lowers to a binary node (infix);
+//! * `[UnOp, operand]` lowers to a unary node (prefix);
+//! * a frontier operand token lowers to the matching `Expr` leaf.
+//!
+//! Anything else is a malformed tree — which the grammar layer makes
+//! unrepresentable, but lowering still reports precise errors rather than
+//! panicking, since the GP engine treats a lowering failure as a lethal
+//! fitness (belt *and* braces).
+
+use crate::derive::{DKind, DerivedTree};
+use crate::tree::Token;
+use gmr_expr::{Expr, ParamSlot};
+use std::fmt;
+
+/// Lowering failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// An operator token appeared where an operand was required.
+    OperatorAsOperand,
+    /// An operand (or non-operator token) appeared in operator position.
+    OperandAsOperator,
+    /// A non-terminal frontier node (open foot / unfilled slot).
+    OpenNonTerminal,
+    /// An interior node whose child pattern matches none of the shapes.
+    MalformedShape { arity: usize },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::OperatorAsOperand => write!(f, "operator token in operand position"),
+            LowerError::OperandAsOperator => write!(f, "operand token in operator position"),
+            LowerError::OpenNonTerminal => write!(f, "open non-terminal on the frontier"),
+            LowerError::MalformedShape { arity } => {
+                write!(
+                    f,
+                    "interior node with unsupported child pattern (arity {arity})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn token_leaf(tok: Token) -> Result<Expr, LowerError> {
+    match tok {
+        Token::Num(v) => Ok(Expr::Num(v)),
+        Token::Param { kind, value } => Ok(Expr::Param(ParamSlot { kind, value })),
+        Token::Var(i) => Ok(Expr::Var(i)),
+        Token::State(i) => Ok(Expr::State(i)),
+        Token::Bin(_) | Token::Un(_) => Err(LowerError::OperatorAsOperand),
+    }
+}
+
+fn lower_node(tree: &DerivedTree, idx: usize) -> Result<Expr, LowerError> {
+    let node = &tree.nodes[idx];
+    match &node.kind {
+        DKind::Tok(tok) => token_leaf(*tok),
+        DKind::Sym(_) => match node.children.as_slice() {
+            [] => Err(LowerError::OpenNonTerminal),
+            [only] => lower_node(tree, *only),
+            [a, op, b] => {
+                let op = match &tree.nodes[*op].kind {
+                    DKind::Tok(Token::Bin(o)) => *o,
+                    _ => return Err(LowerError::OperandAsOperator),
+                };
+                Ok(Expr::bin(op, lower_node(tree, *a)?, lower_node(tree, *b)?))
+            }
+            [op, a] => {
+                let op = match &tree.nodes[*op].kind {
+                    DKind::Tok(Token::Un(o)) => *o,
+                    _ => return Err(LowerError::OperandAsOperator),
+                };
+                Ok(Expr::un(op, lower_node(tree, *a)?))
+            }
+            other => Err(LowerError::MalformedShape { arity: other.len() }),
+        },
+    }
+}
+
+/// Lower a completed derived tree to an expression.
+pub fn lower(tree: &DerivedTree) -> Result<Expr, LowerError> {
+    lower_node(tree, tree.root)
+}
+
+/// Lower a *system* of equations: the paper combines multiple differential
+/// equations into one α-tree "under a new, common root node" and decomposes
+/// them again at fitness-evaluation time. The root's children are the
+/// individual equations, lowered independently, in order.
+pub fn lower_system(tree: &DerivedTree, expected: usize) -> Result<Vec<Expr>, LowerError> {
+    let root = &tree.nodes[tree.root];
+    if root.children.len() != expected {
+        return Err(LowerError::MalformedShape {
+            arity: root.children.len(),
+        });
+    }
+    root.children.iter().map(|&c| lower_node(tree, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::DNode;
+    use crate::grammar::test_fixtures::tiny_grammar;
+    use crate::tree::SymId;
+    use gmr_expr::{BinOp, EvalContext, UnOp};
+
+    #[test]
+    fn lowers_tiny_fixture() {
+        let (g, t) = tiny_grammar();
+        let e = lower(&t.derived(&g)).unwrap();
+        // ((State0 * 2.0) - 0.5) - 0.5 at State0 = 3 → 5.0
+        let ctx = EvalContext {
+            vars: &[],
+            state: &[3.0],
+        };
+        assert_eq!(e.eval(&ctx), 3.0 * 2.0 - 0.5 - 0.5);
+    }
+
+    #[test]
+    fn pass_through_levels_collapse() {
+        // Sym -> Sym -> Tok(Num)
+        let tree = DerivedTree {
+            nodes: vec![
+                DNode {
+                    kind: DKind::Sym(SymId(0)),
+                    children: vec![1],
+                },
+                DNode {
+                    kind: DKind::Sym(SymId(0)),
+                    children: vec![2],
+                },
+                DNode {
+                    kind: DKind::Tok(Token::Num(4.0)),
+                    children: vec![],
+                },
+            ],
+            root: 0,
+        };
+        assert_eq!(lower(&tree).unwrap(), Expr::Num(4.0));
+    }
+
+    #[test]
+    fn unary_prefix_shape() {
+        let tree = DerivedTree {
+            nodes: vec![
+                DNode {
+                    kind: DKind::Sym(SymId(0)),
+                    children: vec![1, 2],
+                },
+                DNode {
+                    kind: DKind::Tok(Token::Un(UnOp::Log)),
+                    children: vec![],
+                },
+                DNode {
+                    kind: DKind::Tok(Token::Var(0)),
+                    children: vec![],
+                },
+            ],
+            root: 0,
+        };
+        assert_eq!(lower(&tree).unwrap(), Expr::un(UnOp::Log, Expr::Var(0)));
+    }
+
+    #[test]
+    fn rejects_operator_as_operand() {
+        let tree = DerivedTree {
+            nodes: vec![DNode {
+                kind: DKind::Tok(Token::Bin(BinOp::Add)),
+                children: vec![],
+            }],
+            root: 0,
+        };
+        assert_eq!(lower(&tree), Err(LowerError::OperatorAsOperand));
+    }
+
+    #[test]
+    fn rejects_operand_in_operator_position() {
+        let tree = DerivedTree {
+            nodes: vec![
+                DNode {
+                    kind: DKind::Sym(SymId(0)),
+                    children: vec![1, 2, 3],
+                },
+                DNode {
+                    kind: DKind::Tok(Token::Num(1.0)),
+                    children: vec![],
+                },
+                DNode {
+                    kind: DKind::Tok(Token::Num(2.0)),
+                    children: vec![],
+                },
+                DNode {
+                    kind: DKind::Tok(Token::Num(3.0)),
+                    children: vec![],
+                },
+            ],
+            root: 0,
+        };
+        assert_eq!(lower(&tree), Err(LowerError::OperandAsOperator));
+    }
+
+    #[test]
+    fn rejects_open_nonterminal() {
+        let tree = DerivedTree {
+            nodes: vec![DNode {
+                kind: DKind::Sym(SymId(0)),
+                children: vec![],
+            }],
+            root: 0,
+        };
+        assert_eq!(lower(&tree), Err(LowerError::OpenNonTerminal));
+    }
+
+    #[test]
+    fn rejects_malformed_arity() {
+        let leaf = DNode {
+            kind: DKind::Tok(Token::Num(1.0)),
+            children: vec![],
+        };
+        let tree = DerivedTree {
+            nodes: vec![
+                DNode {
+                    kind: DKind::Sym(SymId(0)),
+                    children: vec![1, 2, 3, 4],
+                },
+                leaf.clone(),
+                leaf.clone(),
+                leaf.clone(),
+                leaf,
+            ],
+            root: 0,
+        };
+        assert_eq!(lower(&tree), Err(LowerError::MalformedShape { arity: 4 }));
+    }
+}

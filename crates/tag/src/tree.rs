@@ -1,0 +1,587 @@
+//! Elementary trees: the α- and β-trees of the TAG quintuple.
+//!
+//! An elementary tree is stored as an index-based arena (`Vec<ENode>` with
+//! node 0 as root). Interior nodes carry non-terminal symbols; frontier
+//! nodes are either **anchors** (terminal tokens: operators, variables,
+//! constants), **substitution slots** (non-terminals marked ↓ in the paper's
+//! figures, filled by lexemes at derivation time), or — in auxiliary trees —
+//! the unique **foot node** (marked ∗), whose symbol must equal the root's.
+
+use gmr_expr::{BinOp, UnOp};
+use std::fmt;
+
+/// Interned non-terminal symbol. The symbol table lives in the
+/// [`crate::grammar::Grammar`]; elementary trees only store ids so they stay
+/// `Copy`-cheap to clone during derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub u16);
+
+/// Index of a node within an elementary tree's arena. Node 0 is the root.
+/// This doubles as the *adjoining address* in derivation trees (the paper's
+/// "address of the node at which the adjunction took place").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeIdx(pub u32);
+
+impl fmt::Display for NodeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A terminal token — the payload of anchor nodes and lexemes. Tokens are
+/// the bridge between the TAG layer and the expression layer: lowering maps
+/// them onto [`gmr_expr::Expr`] leaves and operators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Token {
+    /// Numeric literal.
+    Num(f64),
+    /// Mutable constant parameter (Gaussian-mutation target). `kind` indexes
+    /// the domain parameter table; `value` here is the *default* — each
+    /// derivation-node instance carries its own evolved copy.
+    Param { kind: u16, value: f64 },
+    /// Temporal variable index.
+    Var(u8),
+    /// State variable index.
+    State(u8),
+    /// Binary operator.
+    Bin(BinOp),
+    /// Unary operator.
+    Un(UnOp),
+}
+
+impl Token {
+    /// True for tokens that occupy an operand position when lowered.
+    pub fn is_operand(&self) -> bool {
+        matches!(
+            self,
+            Token::Num(_) | Token::Param { .. } | Token::Var(_) | Token::State(_)
+        )
+    }
+}
+
+/// The role of a node within an elementary tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind {
+    /// Interior node labelled with a non-terminal; candidate adjoining site.
+    Interior(SymId),
+    /// Frontier terminal with its token payload.
+    Anchor(Token),
+    /// Frontier non-terminal marked ↓: filled by a lexeme (restricted
+    /// substitution — the substituted α-tree is a single token).
+    Subst(SymId),
+    /// The foot node of an auxiliary tree (marked ∗). The excised subtree is
+    /// re-attached here during adjoining.
+    Foot(SymId),
+}
+
+/// Whether an elementary tree is initial (α) or auxiliary (β).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeKind {
+    /// α-tree: roots a derivation (or, in unrestricted TAG, substitutes).
+    Initial,
+    /// β-tree: adjoins into a matching interior node.
+    Auxiliary,
+}
+
+/// One node of an elementary tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ENode {
+    /// Role and label.
+    pub kind: NodeKind,
+    /// Child indices, in left-to-right order. Empty for frontier nodes.
+    pub children: Vec<NodeIdx>,
+}
+
+/// Structural problems detected by [`ElemTree::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The arena is empty.
+    Empty,
+    /// A child index points outside the arena or to itself.
+    BadChildIndex { node: u32, child: u32 },
+    /// A node is referenced as a child more than once (not a tree).
+    NotATree { node: u32 },
+    /// A frontier kind (anchor/subst/foot) has children.
+    FrontierWithChildren { node: u32 },
+    /// An interior node has no children.
+    InteriorWithoutChildren { node: u32 },
+    /// An initial tree contains a foot node.
+    FootInInitialTree { node: u32 },
+    /// An auxiliary tree has no foot node.
+    MissingFoot,
+    /// An auxiliary tree has more than one foot node.
+    MultipleFeet { first: u32, second: u32 },
+    /// Foot symbol differs from the root symbol.
+    FootSymbolMismatch,
+    /// The root is not an interior node.
+    RootNotInterior,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "elementary tree has no nodes"),
+            TreeError::BadChildIndex { node, child } => {
+                write!(f, "node {node} references invalid child {child}")
+            }
+            TreeError::NotATree { node } => write!(f, "node {node} has multiple parents"),
+            TreeError::FrontierWithChildren { node } => {
+                write!(f, "frontier node {node} has children")
+            }
+            TreeError::InteriorWithoutChildren { node } => {
+                write!(f, "interior node {node} has no children")
+            }
+            TreeError::FootInInitialTree { node } => {
+                write!(f, "initial tree contains foot node {node}")
+            }
+            TreeError::MissingFoot => write!(f, "auxiliary tree has no foot node"),
+            TreeError::MultipleFeet { first, second } => {
+                write!(f, "auxiliary tree has multiple feet ({first}, {second})")
+            }
+            TreeError::FootSymbolMismatch => {
+                write!(f, "foot node symbol differs from root symbol")
+            }
+            TreeError::RootNotInterior => write!(f, "root must be an interior node"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// An elementary tree (α or β) of the grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElemTree {
+    /// Human-readable name for display and debugging (e.g. `"β1-connector"`).
+    pub name: String,
+    /// α or β.
+    pub kind: TreeKind,
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<ENode>,
+}
+
+impl ElemTree {
+    /// Root node index.
+    pub const ROOT: NodeIdx = NodeIdx(0);
+
+    /// Create and validate.
+    pub fn new(
+        name: impl Into<String>,
+        kind: TreeKind,
+        nodes: Vec<ENode>,
+    ) -> Result<Self, TreeError> {
+        let t = ElemTree {
+            name: name.into(),
+            kind,
+            nodes,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// The root symbol.
+    pub fn root_symbol(&self) -> SymId {
+        match self.nodes[0].kind {
+            NodeKind::Interior(s) => s,
+            // validate() guarantees the root is interior.
+            _ => unreachable!("validated tree has interior root"),
+        }
+    }
+
+    /// Node accessor.
+    pub fn node(&self, idx: NodeIdx) -> &ENode {
+        &self.nodes[idx.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the arena is empty (never true for a validated tree).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Index of the foot node, if this is an auxiliary tree.
+    pub fn foot(&self) -> Option<NodeIdx> {
+        self.nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Foot(_)))
+            .map(|i| NodeIdx(i as u32))
+    }
+
+    /// Indices of substitution slots, in arena order. Lexeme vectors in
+    /// derivation nodes align with this ordering.
+    pub fn subst_slots(&self) -> Vec<NodeIdx> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Subst(_)))
+            .map(|(i, _)| NodeIdx(i as u32))
+            .collect()
+    }
+
+    /// Symbols of the substitution slots, aligned with [`Self::subst_slots`].
+    pub fn subst_symbols(&self) -> Vec<SymId> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Subst(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Indices of `Param` anchors, in arena order. Per-instance evolved
+    /// values in derivation nodes align with this ordering.
+    pub fn param_anchors(&self) -> Vec<NodeIdx> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Anchor(Token::Param { .. })))
+            .map(|(i, _)| NodeIdx(i as u32))
+            .collect()
+    }
+
+    /// Default values of the `Param` anchors, aligned with
+    /// [`Self::param_anchors`].
+    pub fn param_defaults(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Anchor(Token::Param { value, .. }) => Some(value),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Interior node indices whose symbol is `sym` — the candidate adjoining
+    /// addresses for a β-tree rooted at `sym`.
+    pub fn adjoinable_at(&self, sym: SymId) -> Vec<NodeIdx> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Interior(s) if s == sym))
+            .map(|(i, _)| NodeIdx(i as u32))
+            .collect()
+    }
+
+    /// All interior symbols present, deduplicated.
+    pub fn interior_symbols(&self) -> Vec<SymId> {
+        let mut syms: Vec<SymId> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Interior(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+
+    /// Full structural validation per the TAG formalism.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if self.nodes.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        if !matches!(self.nodes[0].kind, NodeKind::Interior(_)) {
+            return Err(TreeError::RootNotInterior);
+        }
+        let n = self.nodes.len() as u32;
+        let mut seen_parent = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let is_frontier = !matches!(node.kind, NodeKind::Interior(_));
+            if is_frontier && !node.children.is_empty() {
+                return Err(TreeError::FrontierWithChildren { node: i as u32 });
+            }
+            if !is_frontier && node.children.is_empty() {
+                return Err(TreeError::InteriorWithoutChildren { node: i as u32 });
+            }
+            for &c in &node.children {
+                if c.0 >= n || c.0 == i as u32 || c.0 == 0 {
+                    return Err(TreeError::BadChildIndex {
+                        node: i as u32,
+                        child: c.0,
+                    });
+                }
+                if seen_parent[c.0 as usize] {
+                    return Err(TreeError::NotATree { node: c.0 });
+                }
+                seen_parent[c.0 as usize] = true;
+            }
+        }
+        // Foot discipline.
+        let feet: Vec<u32> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| matches!(node.kind, NodeKind::Foot(_)))
+            .map(|(i, _)| i as u32)
+            .collect();
+        match self.kind {
+            TreeKind::Initial => {
+                if let Some(&f) = feet.first() {
+                    return Err(TreeError::FootInInitialTree { node: f });
+                }
+            }
+            TreeKind::Auxiliary => match feet.as_slice() {
+                [] => return Err(TreeError::MissingFoot),
+                [f] => {
+                    let foot_sym = match self.nodes[*f as usize].kind {
+                        NodeKind::Foot(s) => s,
+                        _ => unreachable!(),
+                    };
+                    let root_sym = match self.nodes[0].kind {
+                        NodeKind::Interior(s) => s,
+                        _ => unreachable!(),
+                    };
+                    if foot_sym != root_sym {
+                        return Err(TreeError::FootSymbolMismatch);
+                    }
+                }
+                [a, b, ..] => {
+                    return Err(TreeError::MultipleFeet {
+                        first: *a,
+                        second: *b,
+                    })
+                }
+            },
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for elementary trees, used heavily by the domain grammar.
+///
+/// ```
+/// use gmr_tag::tree::{ElemTreeBuilder, SymId, Token, TreeKind};
+/// use gmr_expr::BinOp;
+///
+/// let exp = SymId(0);
+/// // Exp -> Exp* "+" Var(0)    (a β-tree appending `+ V0`)
+/// let mut b = ElemTreeBuilder::new("beta", TreeKind::Auxiliary, exp);
+/// let root = b.root();
+/// b.foot(root, exp);
+/// b.anchor(root, Token::Bin(BinOp::Add));
+/// b.anchor(root, Token::Var(0));
+/// let tree = b.build().unwrap();
+/// assert_eq!(tree.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ElemTreeBuilder {
+    name: String,
+    kind: TreeKind,
+    nodes: Vec<ENode>,
+}
+
+impl ElemTreeBuilder {
+    /// Start a tree whose root is an interior node labelled `root_sym`.
+    pub fn new(name: impl Into<String>, kind: TreeKind, root_sym: SymId) -> Self {
+        ElemTreeBuilder {
+            name: name.into(),
+            kind,
+            nodes: vec![ENode {
+                kind: NodeKind::Interior(root_sym),
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root index.
+    pub fn root(&self) -> NodeIdx {
+        NodeIdx(0)
+    }
+
+    fn push(&mut self, parent: NodeIdx, kind: NodeKind) -> NodeIdx {
+        let idx = NodeIdx(self.nodes.len() as u32);
+        self.nodes.push(ENode {
+            kind,
+            children: Vec::new(),
+        });
+        self.nodes[parent.0 as usize].children.push(idx);
+        idx
+    }
+
+    /// Add an interior child.
+    pub fn interior(&mut self, parent: NodeIdx, sym: SymId) -> NodeIdx {
+        self.push(parent, NodeKind::Interior(sym))
+    }
+
+    /// Add an anchor (terminal) child.
+    pub fn anchor(&mut self, parent: NodeIdx, token: Token) -> NodeIdx {
+        self.push(parent, NodeKind::Anchor(token))
+    }
+
+    /// Add a substitution slot child.
+    pub fn subst(&mut self, parent: NodeIdx, sym: SymId) -> NodeIdx {
+        self.push(parent, NodeKind::Subst(sym))
+    }
+
+    /// Add the foot node child.
+    pub fn foot(&mut self, parent: NodeIdx, sym: SymId) -> NodeIdx {
+        self.push(parent, NodeKind::Foot(sym))
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> Result<ElemTree, TreeError> {
+        ElemTree::new(self.name, self.kind, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXP: SymId = SymId(0);
+    const OP: SymId = SymId(1);
+
+    fn alpha() -> ElemTree {
+        // Exp -> State(0) Mul Param
+        let mut b = ElemTreeBuilder::new("alpha", TreeKind::Initial, EXP);
+        let r = b.root();
+        b.anchor(r, Token::State(0));
+        b.anchor(r, Token::Bin(BinOp::Mul));
+        b.anchor(
+            r,
+            Token::Param {
+                kind: 0,
+                value: 1.89,
+            },
+        );
+        b.build().unwrap()
+    }
+
+    fn beta() -> ElemTree {
+        // Exp -> Exp* Minus Subst(R)
+        let mut b = ElemTreeBuilder::new("beta", TreeKind::Auxiliary, EXP);
+        let r = b.root();
+        b.foot(r, EXP);
+        b.anchor(r, Token::Bin(BinOp::Sub));
+        b.subst(r, OP);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_trees() {
+        assert_eq!(alpha().len(), 4);
+        assert_eq!(beta().len(), 4);
+    }
+
+    #[test]
+    fn root_symbol() {
+        assert_eq!(alpha().root_symbol(), EXP);
+    }
+
+    #[test]
+    fn foot_discovery() {
+        assert_eq!(alpha().foot(), None);
+        assert_eq!(beta().foot(), Some(NodeIdx(1)));
+    }
+
+    #[test]
+    fn subst_slots_in_order() {
+        let t = beta();
+        assert_eq!(t.subst_slots(), vec![NodeIdx(3)]);
+        assert_eq!(t.subst_symbols(), vec![OP]);
+    }
+
+    #[test]
+    fn param_anchors() {
+        let t = alpha();
+        assert_eq!(t.param_anchors(), vec![NodeIdx(3)]);
+        assert_eq!(t.param_defaults(), vec![1.89]);
+    }
+
+    #[test]
+    fn adjoinable_addresses() {
+        let t = alpha();
+        assert_eq!(t.adjoinable_at(EXP), vec![NodeIdx(0)]);
+        assert_eq!(t.adjoinable_at(OP), Vec::<NodeIdx>::new());
+    }
+
+    #[test]
+    fn rejects_missing_foot() {
+        let mut b = ElemTreeBuilder::new("bad", TreeKind::Auxiliary, EXP);
+        let r = b.root();
+        b.anchor(r, Token::Num(1.0));
+        assert_eq!(b.build().unwrap_err(), TreeError::MissingFoot);
+    }
+
+    #[test]
+    fn rejects_foot_in_initial() {
+        let mut b = ElemTreeBuilder::new("bad", TreeKind::Initial, EXP);
+        let r = b.root();
+        b.foot(r, EXP);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TreeError::FootInInitialTree { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_foot_symbol_mismatch() {
+        let mut b = ElemTreeBuilder::new("bad", TreeKind::Auxiliary, EXP);
+        let r = b.root();
+        b.foot(r, OP);
+        assert_eq!(b.build().unwrap_err(), TreeError::FootSymbolMismatch);
+    }
+
+    #[test]
+    fn rejects_multiple_feet() {
+        let mut b = ElemTreeBuilder::new("bad", TreeKind::Auxiliary, EXP);
+        let r = b.root();
+        b.foot(r, EXP);
+        b.foot(r, EXP);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TreeError::MultipleFeet { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_interior_leaf() {
+        let mut b = ElemTreeBuilder::new("bad", TreeKind::Initial, EXP);
+        let r = b.root();
+        b.interior(r, EXP);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TreeError::InteriorWithoutChildren { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_hand_rolled_cycles() {
+        // Bypass the builder to construct a malformed arena.
+        let nodes = vec![
+            ENode {
+                kind: NodeKind::Interior(EXP),
+                children: vec![NodeIdx(1)],
+            },
+            ENode {
+                kind: NodeKind::Interior(EXP),
+                children: vec![NodeIdx(1)],
+            },
+        ];
+        let err = ElemTree::new("cyclic", TreeKind::Initial, nodes).unwrap_err();
+        assert!(matches!(
+            err,
+            TreeError::BadChildIndex { .. } | TreeError::NotATree { .. }
+        ));
+    }
+
+    #[test]
+    fn token_operand_classification() {
+        assert!(Token::Num(1.0).is_operand());
+        assert!(Token::Var(0).is_operand());
+        assert!(Token::State(1).is_operand());
+        assert!(Token::Param {
+            kind: 0,
+            value: 0.0
+        }
+        .is_operand());
+        assert!(!Token::Bin(BinOp::Add).is_operand());
+        assert!(!Token::Un(gmr_expr::UnOp::Log).is_operand());
+    }
+}

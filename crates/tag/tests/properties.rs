@@ -1,0 +1,86 @@
+//! Property tests for the TAG layer: every random derivation the grammar can
+//! generate must validate, derive to a completed tree, and lower to an
+//! evaluable expression — this is the "TAG guarantees syntactic validity"
+//! invariant the whole evolutionary search relies on.
+
+use gmr_expr::EvalContext;
+use gmr_tag::grammar::test_fixtures::tiny_grammar;
+use gmr_tag::lower;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_trees_always_validate(seed in any::<u64>(), min in 1usize..5, extra in 0usize..20) {
+        let (g, _) = tiny_grammar();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = g.random_tree(&mut rng, min, min + extra);
+        prop_assert!(t.validate(&g).is_ok());
+        prop_assert!(t.size() >= min);
+        prop_assert!(t.size() <= min + extra);
+    }
+
+    #[test]
+    fn random_trees_derive_completed(seed in any::<u64>()) {
+        let (g, _) = tiny_grammar();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = g.random_tree(&mut rng, 1, 12);
+        let d = t.derived(&g);
+        prop_assert!(!d.has_open_nonterminals());
+    }
+
+    #[test]
+    fn random_trees_lower_and_evaluate(seed in any::<u64>(), s0 in -100.0_f64..100.0, v0 in -100.0_f64..100.0) {
+        let (g, _) = tiny_grammar();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = g.random_tree(&mut rng, 1, 12);
+        let e = lower(&t.derived(&g)).expect("grammar-generated trees always lower");
+        let ctx = EvalContext { vars: &[v0], state: &[s0] };
+        prop_assert!(e.eval(&ctx).is_finite());
+    }
+
+    #[test]
+    fn frontier_grows_with_chromosome_size(seed in any::<u64>()) {
+        // Each β adjunction adds exactly one operator and one operand to the
+        // tiny grammar's frontier: |frontier| = 3 + 2 * (size - 1).
+        let (g, _) = tiny_grammar();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = g.random_tree(&mut rng, 1, 15);
+        let d = t.derived(&g);
+        prop_assert_eq!(d.frontier().len(), 3 + 2 * (t.size() - 1));
+    }
+
+    #[test]
+    fn derivation_is_deterministic(seed in any::<u64>()) {
+        let (g, _) = tiny_grammar();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = g.random_tree(&mut rng, 1, 10);
+        prop_assert_eq!(t.derived(&g), t.derived(&g));
+    }
+
+    #[test]
+    fn detach_attach_preserves_derivation(seed in any::<u64>()) {
+        let (g, _) = tiny_grammar();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = g.random_tree(&mut rng, 2, 10);
+        let before = t.derived(&g);
+        // Detach the first child of the root and re-attach at the same spot.
+        let (addr, sub) = t.detach(&[0]);
+        t.attach(&[], addr, sub);
+        prop_assert_eq!(t.derived(&g), before);
+    }
+
+    #[test]
+    fn lowered_size_tracks_frontier(seed in any::<u64>()) {
+        let (g, _) = tiny_grammar();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = g.random_tree(&mut rng, 1, 10);
+        let d = t.derived(&g);
+        let e = lower(&d).unwrap();
+        // Every frontier token becomes exactly one Expr node.
+        prop_assert_eq!(e.size(), d.frontier().len());
+    }
+}

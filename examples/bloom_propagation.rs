@@ -1,0 +1,70 @@
+//! Watch an algal bloom propagate down the river network under the full
+//! Appendix A coupling: the biological process runs in *every* station's
+//! water body, and biomass rides the flow through confluences to the
+//! estuary.
+//!
+//! ```sh
+//! cargo run --release --example bloom_propagation
+//! ```
+
+use gmr_suite::baselines::objective::CalibrationProblem;
+use gmr_suite::baselines::Calibrator;
+use gmr_suite::bio::RiverProblem;
+use gmr_suite::bio::{network_rmse, simulate_network, NetworkSimOptions};
+use gmr_suite::hydro::{generate, SyntheticConfig};
+
+fn main() {
+    let ds = generate(&SyntheticConfig {
+        start_year: 1996,
+        end_year: 1998,
+        train_end_year: 1997,
+        ..SyntheticConfig::default()
+    });
+
+    // Calibrate the expert model first (the raw prior means diverge), then
+    // run it over the whole network.
+    println!("calibrating the expert model (SCE-UA, 1500 evaluations)…");
+    let train = RiverProblem::from_dataset(&ds, ds.train);
+    let cp = CalibrationProblem::new(train);
+    let out = gmr_suite::baselines::calibrators::SceUa::default().calibrate(&cp, 1500, 9);
+    println!("calibrated train RMSE at S1: {:.2}", out.value);
+    let eqs = cp.instantiate(&out.theta);
+
+    let res = simulate_network(&ds, ds.test, &eqs, NetworkSimOptions::default());
+
+    // Per-station accuracy of the single calibrated process, estuary to
+    // headwaters.
+    println!("\nper-station test RMSE of one calibrated process (Appendix A coupling):");
+    for (name, rmse) in network_rmse(&ds, ds.test, &res) {
+        println!("  {name:<4} {rmse:>8.2}");
+    }
+
+    // The biggest predicted bloom at the estuary, as seen along the main
+    // stem in the days around its peak.
+    let s1 = ds.network.by_name("S1").expect("station exists").0;
+    let peak = (0..res.bphy[s1].len())
+        .max_by(|&a, &b| res.bphy[s1][a].total_cmp(&res.bphy[s1][b]))
+        .expect("non-empty test period");
+    println!(
+        "\npredicted chlorophyll-a along the main channel around the S1 peak (test day {peak}):"
+    );
+    let stems = ["S6", "S5", "S4", "S3", "S2", "S1"];
+    print!("{:>6}", "day");
+    for s in stems {
+        print!("{s:>8}");
+    }
+    println!();
+    let start = peak.saturating_sub(40);
+    let end = (peak + 40).min(res.bphy[s1].len() - 1);
+    for day in (start..=end).step_by(10) {
+        print!("{day:>6}");
+        for s in stems {
+            let sid = ds.network.by_name(s).expect("station exists").0;
+            print!("{:>8.1}", res.bphy[sid][day]);
+        }
+        println!();
+    }
+    println!(
+        "\n(one set of constants serves the whole river: accuracy degrades away\n from S1, the station it was calibrated against — nutrient-rich\n tributaries T1–T3 are hit hardest)"
+    );
+}

@@ -1,0 +1,83 @@
+//! Drive the hydrological substrate directly: route a monsoon pulse through
+//! the Nakdong network and watch it arrive at the estuary.
+//!
+//! ```sh
+//! cargo run --release --example river_network
+//! ```
+//!
+//! This exercises the Appendix A machinery on its own — the station DAG
+//! with virtual confluence nodes, the eq. 9 flow mass balance, and
+//! flow-weighted attribute merging — independent of any model revision.
+
+use gmr_suite::hydro::flow::route_attributes;
+use gmr_suite::hydro::{route_flows, RiverNetwork, NUM_VARS};
+
+fn main() {
+    let net = RiverNetwork::nakdong();
+    println!(
+        "Nakdong network: {} stations, {} segments",
+        net.len(),
+        net.edges().len()
+    );
+    for (id, st) in net.stations() {
+        let ups: Vec<String> = net
+            .upstream_of(id)
+            .map(|e| net.station(e.from).name.clone())
+            .collect();
+        println!(
+            "  {:<4} ({:?}, retention {:.2}) <- [{}]",
+            st.name,
+            st.kind,
+            st.retention,
+            ups.join(", ")
+        );
+    }
+
+    // A 60-day window: dry except one monsoon burst at the headwaters on
+    // day 10.
+    let days = 60;
+    let mut runoff = vec![vec![0.0; days]; net.len()];
+    for hw in ["S6", "T1", "T2", "T3"] {
+        let id = net.by_name(hw).expect("station exists");
+        runoff[id.0] = vec![2.0; days];
+        runoff[id.0][10] = 500.0;
+    }
+    let init = vec![50.0; net.len()];
+    let flows = route_flows(&net, &runoff, &init, days);
+
+    let s1 = net.by_name("S1").expect("outlet exists");
+    let peak_day = (0..days)
+        .max_by(|&a, &b| flows[s1.0][a].total_cmp(&flows[s1.0][b]))
+        .expect("non-empty");
+    println!("\nmonsoon burst at headwaters on day 10; peak flow at S1 on day {peak_day}:");
+    for day in [9, 10, 12, 14, peak_day, peak_day + 5] {
+        if day < days {
+            println!(
+                "  day {:>2}: S6 {:>8.1}  S4 {:>8.1}  S2 {:>8.1}  S1 {:>8.1} m3/s",
+                day,
+                flows[net.by_name("S6").expect("exists").0][day],
+                flows[net.by_name("S4").expect("exists").0][day],
+                flows[net.by_name("S2").expect("exists").0][day],
+                flows[s1.0][day],
+            );
+        }
+    }
+
+    // Attribute routing: tributary T1 carries hot, nutrient-rich water
+    // (attribute 1 = nitrogen); watch the flow-weighted blend at the
+    // confluence VS1 and downstream at S1.
+    let mut local = vec![vec![[0.0f64; NUM_VARS]; days]; net.len()];
+    for (id, st) in net.stations() {
+        let n_level = if st.name == "T1" { 8.0 } else { 1.0 };
+        for row in &mut local[id.0] {
+            row[1] = n_level;
+        }
+    }
+    let attrs = route_attributes(&net, &flows, &local, days);
+    let vs1 = net.by_name("VS1").expect("exists");
+    println!(
+        "\nnitrogen after the T1 confluence (T1 feeds 8.0, main stem 1.0):\n  VS1 blend day 30: {:.2}   S1 day 40: {:.2}",
+        attrs[vs1.0][30][1], attrs[s1.0][40][1]
+    );
+    println!("(virtual stations mix by flow weight; the tributary signal dilutes downstream)");
+}

@@ -1,0 +1,29 @@
+//! # gmr-suite — Genetic Model Revision, end to end
+//!
+//! Meta-crate re-exporting the public API of the GMR reproduction
+//! (Park et al., *Knowledge-Guided Dynamic Systems Modeling: A Case Study on
+//! Modeling River Water Quality*, ICDE 2021). Depend on this crate to get
+//! the whole stack with coherent versions:
+//!
+//! * [`expr`] — expression trees, protected evaluation, simplification and
+//!   the bytecode compiler;
+//! * [`tag`] — the tree-adjoining-grammar formalism (elementary trees,
+//!   derivation trees, adjoining/substitution, grammars);
+//! * [`hydro`] — the river-network substrate and the synthetic Nakdong
+//!   dataset generator;
+//! * [`bio`] — the expert biological process, its parameter priors and
+//!   extension points;
+//! * [`gp`] — the TAG3P evolutionary engine with its speed-up techniques;
+//! * [`core`] — the knowledge-guided genetic model revision framework
+//!   itself;
+//! * [`baselines`] — every comparator from the paper's evaluation.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use gmr_baselines as baselines;
+pub use gmr_bio as bio;
+pub use gmr_core as core;
+pub use gmr_expr as expr;
+pub use gmr_gp as gp;
+pub use gmr_hydro as hydro;
+pub use gmr_tag as tag;

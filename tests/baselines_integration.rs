@@ -1,0 +1,123 @@
+//! Cross-crate integration for the comparator methods: each family must
+//! run against the real river problem and behave sanely relative to the
+//! others at smoke-test budgets.
+
+use gmr_suite::baselines::arimax::{ArimaxConfig, ArimaxModel};
+use gmr_suite::baselines::calibrators::all_calibrators;
+use gmr_suite::baselines::gggp::{Gggp, GggpConfig};
+use gmr_suite::baselines::lstm::{LstmConfig, LstmModel};
+use gmr_suite::baselines::objective::CalibrationProblem;
+use gmr_suite::baselines::{Calibrator, Objective};
+use gmr_suite::bio::manual::manual_system;
+use gmr_suite::bio::RiverProblem;
+use gmr_suite::hydro::{generate, RiverDataset, SyntheticConfig};
+
+fn dataset() -> RiverDataset {
+    generate(&SyntheticConfig {
+        start_year: 1996,
+        end_year: 1998,
+        train_end_year: 1997,
+        ..SyntheticConfig::default()
+    })
+}
+
+#[test]
+fn every_calibrator_improves_the_expert_model() {
+    let ds = dataset();
+    let train = RiverProblem::from_dataset(&ds, ds.train);
+    let manual_rmse = train.rmse(&manual_system());
+    let cp = CalibrationProblem::new(train.clone());
+    for c in all_calibrators() {
+        let out = c.calibrate(&cp, 400, 5);
+        assert!(
+            out.value < manual_rmse,
+            "{} failed to improve: {} vs {}",
+            c.name(),
+            out.value,
+            manual_rmse
+        );
+        // Calibration only touches parameters: structure must stay intact.
+        let eqs = cp.instantiate(&out.theta);
+        assert_eq!(eqs[0].size(), manual_system()[0].size());
+        // All parameters inside Table III bounds.
+        for (i, t) in out.theta.iter().enumerate() {
+            let (lo, hi) = cp.bounds(i);
+            assert!(
+                *t >= lo && *t <= hi,
+                "{}: theta[{i}] out of bounds",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn gggp_improves_and_respects_grammar() {
+    let ds = dataset();
+    let train = RiverProblem::from_dataset(&ds, ds.train);
+    let manual_rmse = train.rmse(&manual_system());
+    let cfg = GggpConfig {
+        pop_size: 24,
+        max_gen: 6,
+        seed: 2,
+        ..GggpConfig::default()
+    };
+    let res = Gggp::new(&train, cfg).run();
+    assert!(res.train_rmse < manual_rmse);
+    assert!(res.evaluations > 0);
+}
+
+#[test]
+fn arimax_fits_river_chlorophyll() {
+    let ds = dataset();
+    let y = ds.observed(ds.train).to_vec();
+    let x: Vec<Vec<f64>> = ds
+        .forcings(ds.train)
+        .iter()
+        .map(|row| row.to_vec())
+        .collect();
+    let m = ArimaxModel::fit(&y, &x, &ArimaxConfig::default()).expect("fits");
+    assert!(m.p >= 1 && m.p <= 7);
+    let x_test: Vec<Vec<f64>> = ds
+        .forcings(ds.test)
+        .iter()
+        .map(|row| row.to_vec())
+        .collect();
+    let f = m.forecast(&y, &x_test);
+    assert_eq!(f.len(), ds.test.len());
+    assert!(f.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn lstm_trains_on_river_features() {
+    let ds = dataset();
+    let y = ds.observed(ds.train).to_vec();
+    let x: Vec<Vec<f64>> = ds
+        .forcings(ds.train)
+        .iter()
+        .map(|row| row.to_vec())
+        .collect();
+    let cfg = LstmConfig {
+        epochs: 2,
+        ..LstmConfig::default()
+    };
+    let model = LstmModel::train(&x, &y, &cfg);
+    let pred = model.predict(&x);
+    assert_eq!(pred.len(), x.len());
+    assert!(pred.iter().all(|p| p.is_finite() && *p >= 0.0));
+    // Must beat an all-zeros predictor after even minimal training.
+    let zeros = vec![0.0; y.len()];
+    assert!(gmr_suite::hydro::rmse(&pred, &y) < gmr_suite::hydro::rmse(&zeros, &y));
+}
+
+#[test]
+fn calibration_beats_random_parameters_on_average() {
+    // The structured optimisers must outperform a tiny random-sampling
+    // budget given the same objective.
+    let ds = dataset();
+    let train = RiverProblem::from_dataset(&ds, ds.train);
+    let cp = CalibrationProblem::new(train);
+    let mc = gmr_suite::baselines::calibrators::MonteCarlo.calibrate(&cp, 30, 3);
+    let ga = gmr_suite::baselines::calibrators::GeneticAlgorithm::default().calibrate(&cp, 400, 3);
+    assert!(ga.value <= mc.value, "GA {} vs MC {}", ga.value, mc.value);
+}

@@ -1,0 +1,165 @@
+//! End-to-end integration: dataset → grammar → search → revised model →
+//! scoring → analysis, across crate boundaries.
+
+use gmr_suite::bio::manual::manual_system;
+use gmr_suite::bio::RiverProblem;
+use gmr_suite::core::{extension_usage, selectivity, Gmr, GmrConfig};
+use gmr_suite::gp::GpConfig;
+use gmr_suite::hydro::{generate, SyntheticConfig};
+
+fn small_dataset() -> gmr_suite::hydro::RiverDataset {
+    generate(&SyntheticConfig {
+        start_year: 1996,
+        end_year: 1998,
+        train_end_year: 1997,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn small_gp(seed: u64) -> GpConfig {
+    GpConfig {
+        pop_size: 30,
+        max_gen: 10,
+        local_search_steps: 2,
+        threads: 2,
+        seed,
+        ..GpConfig::default()
+    }
+}
+
+#[test]
+fn gmr_improves_on_the_expert_model() {
+    let ds = small_dataset();
+    let gmr = Gmr::new(&ds);
+    let manual_train = gmr.train.rmse(&manual_system());
+    let res = gmr.run(&small_gp(11));
+    assert!(
+        res.train_rmse < manual_train,
+        "revision must beat the seed: {} vs {}",
+        res.train_rmse,
+        manual_train
+    );
+    // On this synthetic world the uncalibrated expert model is catastrophic
+    // and any reasonable revision is orders of magnitude better.
+    assert!(res.train_rmse < manual_train / 10.0);
+    assert!(res.test_rmse.is_finite());
+}
+
+#[test]
+fn revised_models_are_valid_and_interpretable() {
+    let ds = small_dataset();
+    let gmr = Gmr::new(&ds);
+    let res = gmr.run(&small_gp(12));
+    // Genotype validates against the grammar.
+    res.tree.validate(&gmr.grammar.grammar).unwrap();
+    // The rendered equations parse back through the public parser.
+    let text = res.render(&gmr.grammar);
+    for line in text.lines() {
+        let (_, rhs) = line.split_once(" = ").expect("equation line");
+        let reparsed = gmr_suite::expr::parse(rhs, &gmr.grammar.names, |k| {
+            gmr_suite::bio::params::spec(k).mean
+        });
+        assert!(reparsed.is_ok(), "unparseable output: {line}");
+    }
+    // Extension bookkeeping is consistent with chromosome size.
+    let usage = extension_usage(&res.tree, &gmr.grammar.grammar);
+    let total: usize = usage.iter().map(|(_, c, e)| c + e).sum();
+    assert_eq!(total, res.tree.size() - 1);
+}
+
+#[test]
+fn revisions_respect_table_ii_vocabulary() {
+    use gmr_suite::hydro::vars::*;
+    let ds = small_dataset();
+    let gmr = Gmr::new(&ds);
+    let res = gmr.run(&small_gp(13));
+    let base: std::collections::BTreeSet<u8> =
+        manual_system().iter().flat_map(|e| e.variables()).collect();
+    let admissible: std::collections::BTreeSet<u8> =
+        [VCD, VPH, VALK, VSD, VDO, VTMP].into_iter().collect();
+    for eq in &res.equations {
+        for v in eq.variables() {
+            assert!(
+                base.contains(&v) || admissible.contains(&v),
+                "revision introduced inadmissible variable {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_run_protocol_sorted_and_deterministic() {
+    let ds = small_dataset();
+    let gmr = Gmr::new(&ds);
+    let mut gp = small_gp(14);
+    gp.threads = 1; // full determinism
+    gp.es_threshold = None; // remove the one nondeterministic interaction
+    let cfg = GmrConfig { gp, runs: 2 };
+    let a = gmr.run_many(&cfg);
+    let b = gmr.run_many(&cfg);
+    assert_eq!(a.len(), 2);
+    assert!(a[0].train_rmse <= a[1].train_rmse);
+    assert_eq!(a[0].train_rmse, b[0].train_rmse);
+    assert_eq!(a[0].tree, b[0].tree);
+}
+
+#[test]
+fn selectivity_analysis_over_finalists() {
+    use gmr_suite::hydro::vars::*;
+    let ds = small_dataset();
+    let gmr = Gmr::new(&ds);
+    let cfg = GmrConfig {
+        gp: small_gp(15),
+        runs: 2,
+    };
+    let results = gmr.run_many(&cfg);
+    let models: Vec<_> = results.iter().map(|r| r.equations.clone()).collect();
+    let sel = selectivity(&models, &[VLGT, VTMP, VPH, VALK, VCD, VDO]);
+    assert_eq!(sel.len(), 6);
+    // The expert model always contains light and temperature.
+    assert_eq!(sel[0], 100.0);
+    assert_eq!(sel[1], 100.0);
+    for s in sel {
+        assert!((0.0..=100.0).contains(&s));
+    }
+}
+
+#[test]
+fn speedup_toggles_do_not_change_scores_materially() {
+    // Tree caching and runtime compilation are pure optimisations: with ES
+    // off and a single thread, toggling them must not change the search
+    // trajectory at all.
+    let ds = small_dataset();
+    let gmr = Gmr::new(&ds);
+    let base = GpConfig {
+        pop_size: 16,
+        max_gen: 4,
+        local_search_steps: 1,
+        threads: 1,
+        es_threshold: None,
+        seed: 99,
+        ..GpConfig::default()
+    };
+    let plain = gmr.run(&GpConfig {
+        use_cache: false,
+        use_compiled: false,
+        ..base.clone()
+    });
+    let fast = gmr.run(&GpConfig {
+        use_cache: true,
+        use_compiled: true,
+        ..base
+    });
+    assert_eq!(plain.train_rmse, fast.train_rmse);
+    assert_eq!(plain.tree, fast.tree);
+}
+
+#[test]
+fn river_problem_round_trips_through_suite_reexports() {
+    let ds = small_dataset();
+    let train = RiverProblem::from_dataset(&ds, ds.train);
+    let eqs = manual_system();
+    let direct = train.rmse(&eqs);
+    let via_suite = gmr_suite::hydro::rmse(&train.simulate(&eqs), &train.observed);
+    assert_eq!(direct, via_suite);
+}
