@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI gate: formatting, lints, build, tests, and the gmr-lint battery.
+# Mirrors .github/workflows/ci.yml so the same checks run locally.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> gmr-lint --builtin (zero errors required)"
+cargo run --release -q -p gmr-lint -- --builtin
+
+echo "CI OK"

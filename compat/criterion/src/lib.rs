@@ -1,0 +1,273 @@
+//! Offline shim for `criterion` (API subset).
+//!
+//! Implements the measurement surface this workspace's benches use —
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `BenchmarkId`, `BatchSize`, `black_box`, and the two harness macros —
+//! with a simple median-of-samples wall-clock measurement instead of
+//! upstream's full statistical pipeline. Output is one line per benchmark:
+//!
+//! ```text
+//! bench-name              median   12.345 µs   (30 samples)
+//! ```
+//!
+//! Passing `--test` (what `cargo test` sends to harness-false targets)
+//! runs every routine exactly once, so benches double as smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The shim treats all variants
+/// identically (one setup per measured invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier with a parameter, e.g. `compile/depth-4`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Per-iteration measurement driver handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    smoke: bool,
+    /// Median per-invocation time of the last routine, for reporting.
+    last_median: Duration,
+}
+
+impl Bencher {
+    fn measure<F: FnMut() -> Duration>(&mut self, mut once: F) {
+        if self.smoke {
+            self.last_median = once();
+            return;
+        }
+        let mut times: Vec<Duration> = (0..self.samples.max(1)).map(|_| once()).collect();
+        times.sort_unstable();
+        self.last_median = times[times.len() / 2];
+    }
+
+    /// Measure a routine directly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Measure a routine with untimed per-invocation setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.measure(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            smoke,
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (upstream's builder method).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke: self.smoke,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "{label:<40} median {:>12}   ({} samples)",
+            human(b.last_median),
+            if self.smoke { 1 } else { self.sample_size }
+        );
+    }
+
+    /// Benchmark a routine under a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(name, f);
+        self
+    }
+
+    /// Open a named group; member benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmark a routine parameterised by an input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = id.label.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+}
+
+/// A set of related benchmarks sharing a label prefix (upstream's
+/// `Criterion::benchmark_group`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a routine as `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        self.criterion.run(&label, f);
+        self
+    }
+
+    /// Benchmark a routine parameterised by an input, as `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// End the group. The shim reports eagerly, so this is a no-op.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group: either `criterion_group!(name, target...)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            sample_size: 3,
+            smoke: false,
+        };
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion {
+            sample_size: 2,
+            smoke: false,
+        };
+        let mut setups = 0;
+        c.bench_with_input(BenchmarkId::new("b", 1), &10, |b, &n| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    n
+                },
+                |v| v * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 2);
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(human(Duration::from_micros(2)), "2.000 µs");
+        assert_eq!(human(Duration::from_millis(3)), "3.000 ms");
+    }
+}

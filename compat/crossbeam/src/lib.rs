@@ -1,0 +1,68 @@
+//! Offline shim for `crossbeam` (API subset).
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; it maps
+//! directly onto `std::thread::scope` (stable since 1.63). One semantic
+//! difference: a panicking child causes the *scope itself* to propagate the
+//! panic instead of surfacing it as `Err`, so the `Result` returned here is
+//! always `Ok`. Callers that `.expect(...)` the result behave identically —
+//! the process still aborts the evaluation with the panic payload.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Handle for spawning threads inside a scope. Mirrors
+    /// `crossbeam::thread::Scope`, but borrows the std scope.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again (as
+        /// upstream does) so nested spawns remain possible.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(scope))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; joins all of them before returning.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut items = vec![0u64; 64];
+        super::thread::scope(|s| {
+            for chunk in items.chunks_mut(16) {
+                s.spawn(move |_| {
+                    for it in chunk.iter_mut() {
+                        *it += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(items.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::thread::scope(|_| 7).unwrap();
+        assert_eq!(v, 7);
+    }
+}

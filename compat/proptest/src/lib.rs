@@ -1,0 +1,225 @@
+//! Offline shim for `proptest` (API subset, no shrinking).
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the slice of proptest the workspace's property tests rely on:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_recursive`, `boxed`; [`strategy::Just`]; ranges, tuples and
+//!   pattern strings as strategies; `prop_oneof!`;
+//! * [`collection::vec`] and [`arbitrary::any`];
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Differences from upstream: case generation is seeded deterministically
+//! from the test's fully-qualified name (stable across runs and machines,
+//! no persistence files), and failing inputs are reported **unshrunk** —
+//! the full generated value is printed instead of a minimised one.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a boolean property inside `proptest!`, failing the case (not
+/// panicking directly) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Discard the current case without failing it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Each `fn` body runs once per generated case; the
+/// bindings before `in` destructure values drawn from the strategy after it.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let qualified = concat!(module_path!(), "::", stringify!($name));
+                $crate::test_runner::run_property(qualified, &config, |rng| {
+                    let mut bindings = String::new();
+                    $(
+                        let value = $crate::strategy::Strategy::generate(&($strategy), rng);
+                        bindings.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($pat), &value,
+                        ));
+                        let $pat = value;
+                    )*
+                    let outcome: $crate::test_runner::TestCaseResult = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    (bindings, outcome)
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u8..10, 5usize..9), x in -1.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u8..3).prop_map(|x| x as u32),
+            Just(99u32),
+        ]) {
+            prop_assert!(v < 3 || v == 99);
+        }
+
+        #[test]
+        fn collections(v in prop::collection::vec(0u8..4, 3)) {
+            prop_assert_eq!(v.len(), 3);
+        }
+
+        #[test]
+        fn assume_discards(n in any::<u64>()) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_bound_depth() {
+        use crate::test_runner::TestRng;
+
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u8..16)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(5, 64, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::deterministic("recursive");
+        let mut max_seen = 0;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            max_seen = max_seen.max(depth(&t));
+            assert!(depth(&t) <= 6);
+        }
+        assert!(max_seen > 2, "recursion should actually recurse");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_bindings() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[allow(unused)]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

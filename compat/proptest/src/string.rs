@@ -1,0 +1,212 @@
+//! Pattern-string generation: the regex subset used as string strategies.
+//!
+//! Supported syntax: atoms `.` (printable char), `[...]` character classes
+//! (ranges `a-z`, `\` escapes, trailing/leading literal `-`), literal
+//! characters (with `\` escapes); quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`
+//! (unbounded quantifiers are capped at 8 repetitions).
+
+use crate::test_runner::TestRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Mostly-printable-ASCII alphabet for `.`, salted with a few multi-byte
+/// code points so byte-indexed consumers get exercised on char boundaries.
+const DOT_EXTRAS: [char; 4] = ['µ', 'λ', '→', 'é'];
+
+fn dot_char(rng: &mut TestRng) -> char {
+    if rng.rng().gen_bool(0.05) {
+        *DOT_EXTRAS.choose(rng.rng()).expect("non-empty")
+    } else {
+        rng.rng().gen_range(0x20u32..0x7F) as u8 as char
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Dot,
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Dot => dot_char(rng),
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut k = rng.rng().gen_range(0..total);
+                for (a, b) in ranges {
+                    let span = *b as u32 - *a as u32 + 1;
+                    if k < span {
+                        return char::from_u32(*a as u32 + k).expect("valid class char");
+                    }
+                    k -= span;
+                }
+                unreachable!("k < total")
+            }
+        }
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in class");
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(esc);
+            }
+            '-' => {
+                // A dash is a range operator only between two chars.
+                match (pending.take(), chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        let hi = if hi == '\\' {
+                            chars.next();
+                            chars.next().expect("dangling escape in class")
+                        } else {
+                            chars.next();
+                            hi
+                        };
+                        assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                        ranges.push((lo, hi));
+                    }
+                    (prev, _) => {
+                        if let Some(p) = prev {
+                            ranges.push((p, p));
+                        }
+                        pending = Some('-');
+                    }
+                }
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(other);
+            }
+        }
+    }
+    if let Some(p) = pending {
+        ranges.push((p, p));
+    }
+    assert!(!ranges.is_empty(), "empty character class");
+    ranges
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Option<(usize, usize)> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier lower bound"),
+                    hi.trim().parse().expect("bad quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            };
+            Some((lo, hi))
+        }
+        Some('*') => {
+            chars.next();
+            Some((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Some((1, 8))
+        }
+        Some('?') => {
+            chars.next();
+            Some((0, 1))
+        }
+        _ => None,
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars).unwrap_or((1, 1));
+        let n = rng.rng().gen_range(lo..=hi);
+        for _ in 0..n {
+            out.push(atom.generate(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn counted_dot_pattern_bounds_length() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern(".{0,64}", &mut r);
+            assert!(s.chars().count() <= 64);
+        }
+    }
+
+    #[test]
+    fn class_pattern_stays_in_class() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[ 0-9a-zA-Z_+*/().,\\[\\]-]{0,80}", &mut r);
+            assert!(s
+                .chars()
+                .all(|c| c == ' ' || c.is_ascii_alphanumeric() || "_+*/().,[]-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        let mut r = rng();
+        let s = generate_from_pattern("ab{3}c", &mut r);
+        assert_eq!(s, "abbbc");
+        let t = generate_from_pattern("[#$%&@^~]{1,8}", &mut r);
+        assert!((1..=8).contains(&t.chars().count()));
+        assert!(t.chars().all(|c| "#$%&@^~".contains(c)));
+    }
+
+    #[test]
+    fn star_plus_question_quantifiers() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_from_pattern("a*b+c?", &mut r);
+            assert!(s.contains('b'));
+            assert!(s.chars().all(|c| "abc".contains(c)));
+        }
+    }
+}

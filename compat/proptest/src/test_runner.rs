@@ -1,0 +1,158 @@
+//! The case-running machinery behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Per-test configuration. Only `cases` is honoured by the shim; the struct
+/// keeps upstream's constructor so annotations port unchanged. The
+/// `PROPTEST_CASES` environment variable overrides the case count globally.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Default configuration with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Effective case count after environment override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert*` failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the case does not apply.
+    Reject(String),
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result type the generated per-case closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic RNG driving strategy generation.
+///
+/// Seeded from the fully-qualified test name, so every property runs the
+/// same case sequence on every machine and every run — failures reproduce
+/// without persistence files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Derive a generator from a stable string label.
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label, then SplitMix in StdRng's seeding.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Access the underlying entropy source.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// Run `cases` generated cases of one property. `generate_and_run` produces
+/// the bound values' debug rendering and runs the body.
+pub fn run_property(
+    name: &str,
+    config: &ProptestConfig,
+    mut generate_and_run: impl FnMut(&mut TestRng) -> (String, TestCaseResult),
+) {
+    let mut rng = TestRng::deterministic(name);
+    let cases = config.effective_cases();
+    let mut ran: u32 = 0;
+    let mut rejected: u32 = 0;
+    while ran < cases {
+        let (bindings, outcome) = generate_and_run(&mut rng);
+        match outcome {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < cases.saturating_mul(8).max(1024),
+                    "property {name}: too many prop_assume! rejections \
+                     ({rejected} rejects for {ran} accepted cases)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {name} failed at case {ran} (of {cases}):\n  {msg}\n\
+                     minimal failing input (unshrunk):\n{bindings}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_rng_is_stable_per_label() {
+        use rand::Rng;
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.rng().gen::<u64>(), b.rng().gen::<u64>());
+        let mut c = TestRng::deterministic("y");
+        assert_ne!(a.rng().gen::<u64>(), c.rng().gen::<u64>());
+    }
+
+    #[test]
+    fn run_property_counts_only_accepted_cases() {
+        let mut calls = 0;
+        let mut accepted = 0;
+        run_property("toy", &ProptestConfig::with_cases(10), |_rng| {
+            calls += 1;
+            if calls % 2 == 0 {
+                (String::new(), Err(TestCaseError::Reject("even".into())))
+            } else {
+                accepted += 1;
+                (String::new(), Ok(()))
+            }
+        });
+        assert_eq!(accepted, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failing failed")]
+    fn run_property_panics_on_failure() {
+        run_property("failing", &ProptestConfig::with_cases(5), |_rng| {
+            (String::new(), Err(TestCaseError::Fail("nope".into())))
+        });
+    }
+}

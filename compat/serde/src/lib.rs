@@ -1,0 +1,16 @@
+//! Offline shim for `serde` (marker subset).
+//!
+//! See `compat/serde_derive` for the rationale: the workspace serializes
+//! through its own flat-file layer and uses serde derives purely as
+//! declarative markers. This crate supplies the two trait names and re-exports
+//! the no-op derives so `use serde::{Deserialize, Serialize}` keeps working
+//! unchanged. The `derive` feature is accepted (and ignored) for manifest
+//! compatibility with the upstream crate.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of dataset
+//! types but performs all (de)serialization through its own hand-rolled CSV
+//! layer (`gmr-hydro::io`), never through serde itself. The derives are
+//! therefore declarative markers, and this shim expands them to nothing —
+//! keeping the annotations (and the upstream migration path) while removing
+//! the network dependency.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

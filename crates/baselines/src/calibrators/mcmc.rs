@@ -42,7 +42,10 @@ impl Calibrator for Metropolis {
         let mut best_v = cur_v;
         // Burn-in from uniform pre-samples: chains started on a degenerate
         // plateau (the unstable prior-mean model) otherwise wander blind.
-        for _ in 0..budget / 10 {
+        // The count is fixed (not a budget fraction) so that two runs with
+        // the same seed share an evaluation prefix, which makes the best
+        // visited point monotone in the budget.
+        for _ in 0..32 {
             if evals >= budget {
                 break;
             }

@@ -68,7 +68,11 @@ fn main() {
         eprintln!("running {label}…");
         let mut gp = scale.gp_config(777);
         tweak(&mut gp);
-        let cfg = GmrConfig { gp, runs };
+        let cfg = GmrConfig {
+            gp,
+            runs,
+            ..GmrConfig::default()
+        };
         let results = gmr.run_many(&cfg);
         let n = results.len() as f64;
         let best = &results[0];

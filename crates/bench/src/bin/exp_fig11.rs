@@ -51,6 +51,7 @@ fn main() {
         let cfg = GmrConfig {
             gp,
             runs: scale.gmr_runs.clamp(1, 4),
+            ..GmrConfig::default()
         };
         let results = gmr.run_many(&cfg);
         let n = results.len() as f64;

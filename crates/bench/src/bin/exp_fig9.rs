@@ -22,6 +22,7 @@ fn main() {
     let cfg = GmrConfig {
         gp: scale.gp_config(909),
         runs,
+        ..GmrConfig::default()
     };
     let results = gmr.run_many(&cfg);
     let keep = results.len().min(50);

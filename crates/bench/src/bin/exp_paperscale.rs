@@ -35,7 +35,11 @@ fn main() {
         gp.pop_size, gp.max_gen, gp.local_search_steps, runs
     );
     let t0 = std::time::Instant::now();
-    let mut results = gmr.run_many(&GmrConfig { gp, runs });
+    let mut results = gmr.run_many(&GmrConfig {
+        gp,
+        runs,
+        ..GmrConfig::default()
+    });
     results.sort_by(|a, b| a.test_rmse.total_cmp(&b.test_rmse));
 
     println!("\n=== GMR at paper engine settings ({runs} runs) ===");

@@ -61,7 +61,11 @@ fn main() {
             ..gmr_gp::GpConfig::default()
         };
         gp.sigma_ramp_last = (gp.max_gen / 5).max(1);
-        let mut results = gmr.run_many(&GmrConfig { gp, runs });
+        let mut results = gmr.run_many(&GmrConfig {
+            gp,
+            runs,
+            ..GmrConfig::default()
+        });
         results.sort_by(|a, b| a.test_rmse.total_cmp(&b.test_rmse));
         let gmr_test = results[0].test_rmse;
 

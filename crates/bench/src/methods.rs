@@ -93,6 +93,7 @@ pub fn run_gmr(ds: &RiverDataset, scale: &Scale, seed: u64) -> (MethodScore, Vec
     let cfg = GmrConfig {
         gp: scale.gp_config(seed),
         runs: scale.gmr_runs,
+        ..GmrConfig::default()
     };
     let mut results = gmr.run_many(&cfg);
     results.sort_by(|a, b| a.test_rmse.total_cmp(&b.test_rmse));

@@ -204,6 +204,12 @@ pub const NUM_CALIBRATED: usize = 16;
 /// State-variable names: index 0 is phytoplankton biomass, 1 is zooplankton.
 pub const STATE_NAMES: [&str; 2] = ["BPhy", "BZoo"];
 
+/// State-variable units (chlorophyll-equivalent biomass concentration).
+/// Table III fixes these indirectly: `CFS + BPhy - CFmin` appears in the
+/// food-availability term, so the biomasses carry the `ug L^-1` of `CFS`
+/// and `CFmin`.
+pub const STATE_UNITS: [&str; 2] = ["ug L^-1", "ug L^-1"];
+
 /// Phytoplankton biomass state index.
 pub const STATE_BPHY: u8 = 0;
 /// Zooplankton biomass state index.

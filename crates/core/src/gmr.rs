@@ -5,6 +5,7 @@ use gmr_bio::{river_grammar, RiverGrammar, RiverProblem};
 use gmr_expr::Expr;
 use gmr_gp::{Engine, GpConfig, RunReport};
 use gmr_hydro::data::RiverDataset;
+use gmr_lint::{EquationLinter, Policy, Report};
 use gmr_tag::lower::lower_system;
 use gmr_tag::DerivTree;
 
@@ -16,6 +17,12 @@ pub struct GmrConfig {
     /// Independent runs with different seeds (paper: 60). The best model by
     /// *training* fitness is selected; all finalists are kept for analysis.
     pub runs: usize,
+    /// Run the `gmr-lint` battery over each generation's elite and panic on
+    /// `Error`-level findings (a constant escaping its Table III prior, a
+    /// lexeme the grammar should never produce). Cheap relative to fitness
+    /// evaluation but pure overhead in production, so it defaults to on
+    /// only in debug builds.
+    pub lint_elite: bool,
 }
 
 impl Default for GmrConfig {
@@ -23,6 +30,7 @@ impl Default for GmrConfig {
         GmrConfig {
             gp: GpConfig::default(),
             runs: 1,
+            lint_elite: cfg!(debug_assertions),
         }
     }
 }
@@ -69,15 +77,32 @@ pub struct Gmr {
     pub train: RiverProblem,
     /// Held-out test problem (reporting only — never touches the search).
     pub test: RiverProblem,
+    /// The `gmr-lint` report for the compiled grammar, recorded at
+    /// construction. Error-free for the built-in grammar; kept around so
+    /// callers customising grammars can inspect what the linter thought.
+    pub grammar_lints: Report,
 }
 
 impl Gmr {
     /// Bind the framework to a dataset's train/test splits.
+    ///
+    /// Construction runs the grammar-level lints (reachability, dead pools,
+    /// connector/extender discipline); `Error`-level findings are a
+    /// specification bug in the prior knowledge, so they panic in debug
+    /// builds.
     pub fn new(dataset: &RiverDataset) -> Self {
+        let grammar = river_grammar();
+        let grammar_lints = gmr_lint::lint_grammar(&grammar.grammar);
+        debug_assert!(
+            grammar_lints.is_clean(),
+            "compiled river grammar fails its own lints:\n{}",
+            grammar_lints.render_human()
+        );
         Gmr {
-            grammar: river_grammar(),
+            grammar,
             train: RiverProblem::from_dataset(dataset, dataset.train),
             test: RiverProblem::from_dataset(dataset, dataset.test),
+            grammar_lints,
         }
     }
 
@@ -95,15 +120,37 @@ impl Gmr {
         (eqs, scores)
     }
 
-    /// One GMR run with the given engine settings.
+    /// One GMR run with the given engine settings. Elite linting follows
+    /// the build profile (see [`GmrConfig::lint_elite`]); use
+    /// [`Self::run_with_lint`] to choose explicitly.
     pub fn run(&self, gp: &GpConfig) -> GmrResult {
+        self.run_with_lint(gp, cfg!(debug_assertions))
+    }
+
+    /// One GMR run. With `lint_elite`, each generation's elite phenotypes
+    /// pass through the `gmr-lint` battery under the revision policy — a
+    /// tripwire for search-layer bugs (a mutated constant escaping its
+    /// Table III prior, a lexeme that should never have grounded); an
+    /// `Error`-level finding panics.
+    pub fn run_with_lint(&self, gp: &GpConfig, lint_elite: bool) -> GmrResult {
         let evaluator = RiverEvaluator::new(self.train.clone());
-        let engine = Engine::new(
+        let mut engine = Engine::new(
             &self.grammar.grammar,
             &evaluator,
             river_priors(),
             gp.clone(),
         );
+        if lint_elite {
+            let linter = EquationLinter::river(Policy::Revision);
+            engine.set_invariant_hook(move |gen, _, eqs| {
+                let report = linter.lint(eqs);
+                assert!(
+                    report.is_clean(),
+                    "generation {gen}: elite phenotype fails static analysis:\n{}",
+                    report.render_human()
+                );
+            });
+        }
         let report = engine.run();
         let tree = report.best.tree.clone();
         let (equations, [train_rmse, train_mae, test_rmse, test_mae]) = self.score(&tree);
@@ -129,7 +176,7 @@ impl Gmr {
                     .gp
                     .seed
                     .wrapping_add(0x9e37_79b9u64.wrapping_mul(i as u64 + 1));
-                self.run(&gp)
+                self.run_with_lint(&gp, cfg.lint_elite)
             })
             .collect();
         results.sort_by(|a, b| a.train_rmse.total_cmp(&b.train_rmse));
@@ -196,12 +243,36 @@ mod tests {
         let cfg = GmrConfig {
             gp: tiny_gp(3),
             runs: 3,
+            ..GmrConfig::default()
         };
         let results = gmr.run_many(&cfg);
         assert_eq!(results.len(), 3);
         for w in results.windows(2) {
             assert!(w[0].train_rmse <= w[1].train_rmse);
         }
+    }
+
+    #[test]
+    fn grammar_lints_are_recorded_and_clean() {
+        let ds = small_dataset();
+        let gmr = Gmr::new(&ds);
+        assert!(
+            gmr.grammar_lints.is_clean(),
+            "{}",
+            gmr.grammar_lints.render_human()
+        );
+    }
+
+    #[test]
+    fn elite_linting_observes_without_perturbing_the_search() {
+        let ds = small_dataset();
+        let gmr = Gmr::new(&ds);
+        let mut gp = tiny_gp(5);
+        gp.threads = 1; // exact-trajectory comparison needs determinism
+        let linted = gmr.run_with_lint(&gp, true);
+        let plain = gmr.run_with_lint(&gp, false);
+        assert_eq!(linted.tree, plain.tree);
+        assert_eq!(linted.train_rmse, plain.train_rmse);
     }
 
     #[test]

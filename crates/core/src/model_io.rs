@@ -136,6 +136,7 @@ mod tests {
                 ..GpConfig::default()
             },
             runs: 1,
+            ..GmrConfig::default()
         };
         let res = gmr.run_many(&cfg).remove(0);
         (gmr, res)

@@ -201,6 +201,14 @@ impl RunReport {
     }
 }
 
+/// A per-generation invariant check over the elite: called after each
+/// generation's survivor selection with the generation index, an elite
+/// genotype and its lowered (simplified) phenotype. Used by `gmr-core` to
+/// run the `gmr-lint` battery over whatever the search currently believes in
+/// — a static-analysis tripwire for search-layer bugs (constants escaping
+/// their priors, lexemes the grammar should never have produced).
+pub type InvariantHook<'a> = Box<dyn Fn(usize, &DerivTree, &[Expr]) + Sync + 'a>;
+
 /// The TAG3P engine.
 pub struct Engine<'a, E: Evaluator> {
     grammar: &'a Grammar,
@@ -208,6 +216,7 @@ pub struct Engine<'a, E: Evaluator> {
     priors: ParamPriors,
     cfg: GpConfig,
     cache: TreeCache,
+    invariant_hook: Option<InvariantHook<'a>>,
     best_prev_full: AtomicF64,
     evals: AtomicU64,
     steps: AtomicU64,
@@ -258,6 +267,7 @@ impl<'a, E: Evaluator> Engine<'a, E> {
             priors,
             cfg,
             cache,
+            invariant_hook: None,
             best_prev_full: AtomicF64::new(f64::INFINITY),
             evals: AtomicU64::new(0),
             steps: AtomicU64::new(0),
@@ -269,6 +279,27 @@ impl<'a, E: Evaluator> Engine<'a, E> {
     /// The configuration in force.
     pub fn config(&self) -> &GpConfig {
         &self.cfg
+    }
+
+    /// Install a per-generation elite invariant check (see [`InvariantHook`]).
+    /// Must be called before [`Self::run`]; the hook observes every recorded
+    /// generation, including generation zero.
+    pub fn set_invariant_hook(&mut self, hook: impl Fn(usize, &DerivTree, &[Expr]) + Sync + 'a) {
+        self.invariant_hook = Some(Box::new(hook));
+    }
+
+    /// Run the installed invariant hook over the current elite.
+    fn check_invariants(&self, gen: usize, pop: &[Individual]) {
+        let Some(hook) = &self.invariant_hook else {
+            return;
+        };
+        for ind in pop.iter().take(self.cfg.elite.max(1)) {
+            // Corrupted genotypes already carry lethal fitness; the hook
+            // only sees what actually lowers.
+            if let Ok(eqs) = self.phenotype(&ind.tree) {
+                hook(gen, &ind.tree, &eqs);
+            }
+        }
     }
 
     /// Lower a genotype to its (simplified) equation system.
@@ -524,6 +555,7 @@ impl<'a, E: Evaluator> Engine<'a, E> {
         self.evaluate_population(&mut pop);
         pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
         record(0, &pop, t0, &mut history);
+        self.check_invariants(0, &pop);
         observer(history.last().expect("just recorded"));
 
         for gen in 1..=self.cfg.max_gen {
@@ -539,6 +571,7 @@ impl<'a, E: Evaluator> Engine<'a, E> {
             next.truncate(self.cfg.pop_size);
             pop = next;
             record(gen, &pop, t0, &mut history);
+            self.check_invariants(gen, &pop);
             observer(history.last().expect("just recorded"));
         }
 
@@ -785,6 +818,29 @@ mod tests {
         let report = engine.run_with_observer(|gs| seen.push(gs.generation));
         assert_eq!(seen.len(), report.history.len());
         assert_eq!(seen, (0..=engine.config().max_gen).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn invariant_hook_sees_every_generation_elite() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let cfg = small_cfg(17);
+        let elite = cfg.elite;
+        let max_gen = cfg.max_gen;
+        let calls = AtomicUsize::new(0);
+        let max_seen_gen = AtomicUsize::new(0);
+        let mut engine = Engine::new(&g, &problem, priors(), cfg);
+        engine.set_invariant_hook(|gen, tree, eqs| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            max_seen_gen.fetch_max(gen, Ordering::Relaxed);
+            assert!(!eqs.is_empty());
+            assert!(tree.size() >= 2);
+        });
+        engine.run();
+        // Generation 0 plus every evolved generation, elite individuals each.
+        assert_eq!(calls.load(Ordering::Relaxed), (max_gen + 1) * elite);
+        assert_eq!(max_seen_gen.load(Ordering::Relaxed), max_gen);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod priors;
 pub mod short_circuit;
 
 pub use cache::{CacheStats, TreeCache};
-pub use engine::{Engine, Evaluator, GenStats, GpConfig, RunReport};
+pub use engine::{Engine, Evaluator, GenStats, GpConfig, InvariantHook, RunReport};
 pub use individual::Individual;
 pub use operators::{
     crossover, deletion, gaussian_mutation, gaussian_mutation_partial, insertion, param_tweak,

@@ -34,6 +34,22 @@ pub const NAMES: [&str; NUM_VARS] = [
     "Vlgt", "Vn", "Vp", "Vsi", "Vtmp", "Vdo", "Vcd", "Vph", "Valk", "Vsd",
 ];
 
+/// Units matching Table IV, in the same compact notation Table III uses for
+/// parameters (`"-"` marks a dimensionless quantity). Consumed by the
+/// dimensional-analysis pass in `gmr-lint`.
+pub const UNITS: [&str; NUM_VARS] = [
+    "MJ m^-2 d^-1", // Vlgt
+    "mg L^-1",      // Vn
+    "mg L^-1",      // Vp
+    "mg L^-1",      // Vsi
+    "degC",         // Vtmp
+    "mg L^-1",      // Vdo
+    "uS cm^-1",     // Vcd
+    "-",            // Vph
+    "mg L^-1",      // Valk (as CaCO3)
+    "m",            // Vsd
+];
+
 /// Descriptions matching Table IV.
 pub const DESCRIPTIONS: [&str; NUM_VARS] = [
     "Irradiance (light intensity)",
@@ -64,6 +80,14 @@ mod tests {
         assert_eq!(NAMES[VSD as usize], "Vsd");
         assert_eq!(NAMES.len(), NUM_VARS);
         assert_eq!(DESCRIPTIONS.len(), NUM_VARS);
+    }
+
+    #[test]
+    fn units_align_with_constants() {
+        assert_eq!(UNITS[VLGT as usize], "MJ m^-2 d^-1");
+        assert_eq!(UNITS[VTMP as usize], "degC");
+        assert_eq!(UNITS[VPH as usize], "-");
+        assert_eq!(UNITS[VSD as usize], "m");
     }
 
     #[test]

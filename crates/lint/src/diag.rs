@@ -1,0 +1,278 @@
+//! The diagnostics framework: severities, locations, reports and rendering.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// * `Error` — the object under analysis violates an invariant the rest of
+///   the system relies on (an operator lexeme that can never ground, a
+///   constant outside its Table III exploration bounds, a dimension clash in
+///   the expert equations under the strict policy). The CLI exits non-zero.
+/// * `Warn` — almost certainly unintended, but nothing downstream breaks
+///   (a dead pool, a division whose denominator interval straddles zero).
+/// * `Info` — worth knowing (an inert adjunction site kept inert by design,
+///   a simplifiable subtree that will cost cache hits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational finding.
+    Info,
+    /// Suspicious but non-fatal.
+    Warn,
+    /// Invariant violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// A node inside an expression: the equation label plus the child-index
+    /// path from the root (`[]` is the root itself, `[0, 1]` is the right
+    /// child of the left child).
+    Expr {
+        /// Which equation (e.g. `"dBPhy/dt"`).
+        equation: String,
+        /// Child-index path from the root.
+        path: Vec<u8>,
+    },
+    /// An elementary tree of a grammar, by name.
+    Tree(String),
+    /// A grammar symbol, by name.
+    Symbol(String),
+    /// No finer location.
+    Global,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Expr { equation, path } => {
+                write!(f, "{equation}@root")?;
+                for p in path {
+                    write!(f, ".{p}")?;
+                }
+                Ok(())
+            }
+            Location::Tree(name) => write!(f, "tree '{name}'"),
+            Location::Symbol(name) => write!(f, "symbol '{name}'"),
+            Location::Global => write!(f, "<global>"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Severity level.
+    pub severity: Severity,
+    /// Stable rule code (e.g. `"unit-mismatch"`, `"dead-pool"`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Where it points.
+    pub location: Location,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic.
+    pub fn new(
+        severity: Severity,
+        rule: &'static str,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            rule,
+            message: message.into(),
+            location,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.location, self.message
+        )
+    }
+}
+
+/// A collection of diagnostics with rendering helpers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// The findings, in analysis order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Append a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Append every diagnostic of another report.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of findings at a given severity.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// True when no finding is `Error`-level.
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Human-readable rendering: one line per diagnostic (most severe
+    /// first, stable within a level) plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        let mut out = String::new();
+        for d in sorted {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} note(s)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// Machine-readable rendering: a JSON object with per-severity counts
+    /// and the full diagnostic list. Hand-rolled (stable key order, no
+    /// external dependencies).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"rule\":\"{}\",\"location\":\"{}\",\"message\":\"{}\"}}",
+                d.severity,
+                json_escape(d.rule),
+                json_escape(&d.location.to_string()),
+                json_escape(&d.message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Severity::Warn,
+            "dead-pool",
+            Location::Symbol("V9".into()),
+            "pool has 3 tokens but no reachable slot",
+        ));
+        r.push(Diagnostic::new(
+            Severity::Error,
+            "unit-mismatch",
+            Location::Expr {
+                equation: "dBPhy/dt".into(),
+                path: vec![0, 1],
+            },
+            "ug L^-1 + degC",
+        ));
+        r
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let r = sample();
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warn), 1);
+        assert_eq!(r.count(Severity::Info), 0);
+        assert!(!r.is_clean());
+        assert!(Report::new().is_clean());
+    }
+
+    #[test]
+    fn human_rendering_sorts_errors_first() {
+        let text = sample().render_human();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("error[unit-mismatch]"), "{first}");
+        assert!(text.contains("dBPhy/dt@root.0.1"));
+        assert!(text.contains("1 error(s), 1 warning(s), 0 note(s)"));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let json = sample().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.contains("\"rule\":\"unit-mismatch\""));
+        // Braces balance.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Severity::Info,
+            "x",
+            Location::Global,
+            "a \"quoted\"\nline",
+        ));
+        let json = r.render_json();
+        assert!(json.contains("a \\\"quoted\\\"\\nline"));
+    }
+}

@@ -1,0 +1,453 @@
+//! Grammar-level lints.
+//!
+//! Two layers:
+//!
+//! * [`grammar_diagnostics`] grades the formalism-agnostic structural notes
+//!   from `gmr_tag::analysis` (reachability, dead pools, inert adjunction
+//!   sites, operator lexemes) into levelled diagnostics;
+//! * [`river_discipline_diagnostics`] checks the river grammar's
+//!   connector/extender discipline against Table II: a β-tree rooted at an
+//!   `ExtC_k` symbol must use that extension's connector operator and wrap
+//!   its new material under `ExtE_k`; a β-tree rooted at `ExtE_k` must use
+//!   an admitted extender operator and must never reach back into a marked
+//!   site; the `V_k` lexeme pool must only hold Table II's admissible
+//!   variables. Violations mean the search can produce revisions the domain
+//!   expert never sanctioned, so they are errors.
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+use gmr_bio::extensions::{ExtOp, ExtensionSpec, EXTENSIONS};
+use gmr_tag::tree::NodeKind;
+use gmr_tag::{ElemTree, Grammar, GrammarNote, SymId, Token};
+
+/// Grade the structural analysis of a grammar into diagnostics.
+///
+/// * `non-operand-lexeme` → Error — lowering any derivation that draws the
+///   token fails, so the grammar can generate invalid individuals.
+/// * `unreachable-tree`, `dead-pool` → Warn — encoded knowledge is inert.
+/// * `inert-adjunction-site` → Info — often deliberate (the river grammar
+///   keeps plain `Exp` nodes untouchable by construction).
+pub fn grammar_diagnostics(grammar: &Grammar) -> Report {
+    let mut report = Report::new();
+    for note in grammar.analyze() {
+        let d = match note {
+            GrammarNote::NonOperandLexeme { name, token, .. } => Diagnostic::new(
+                Severity::Error,
+                "non-operand-lexeme",
+                Location::Symbol(name),
+                format!("pool holds operator token {token}; restricted substitution can never ground it"),
+            ),
+            GrammarNote::UnreachableTree { name, .. } => Diagnostic::new(
+                Severity::Warn,
+                "unreachable-tree",
+                Location::Tree(name),
+                "no derivation can ever use this elementary tree".to_string(),
+            ),
+            GrammarNote::DeadPool { name, tokens, .. } => Diagnostic::new(
+                Severity::Warn,
+                "dead-pool",
+                Location::Symbol(name),
+                format!("{tokens} lexeme(s) registered for a symbol no reachable tree substitutes"),
+            ),
+            GrammarNote::InertAdjunctionSite { name, sites, .. } => Diagnostic::new(
+                Severity::Info,
+                "inert-adjunction-site",
+                Location::Symbol(name),
+                format!("{sites} adjunction site(s) but no auxiliary tree roots here"),
+            ),
+        };
+        report.push(d);
+    }
+    report
+}
+
+/// Parse a symbol named `<prefix><digits>` into its extension id.
+fn ext_id(name: &str, prefix: &str) -> Option<u8> {
+    name.strip_prefix(prefix)?.parse().ok()
+}
+
+fn anchored_ops(tree: &ElemTree) -> Vec<ExtOp> {
+    tree.nodes
+        .iter()
+        .filter_map(|n| match n.kind {
+            NodeKind::Anchor(Token::Bin(op)) => Some(ExtOp::Bin(op)),
+            NodeKind::Anchor(Token::Un(op)) => Some(ExtOp::Un(op)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn op_name(op: ExtOp) -> String {
+    match op {
+        ExtOp::Bin(b) => format!("'{}'", b.symbol()),
+        ExtOp::Un(u) => format!("'{}'", u.symbol()),
+    }
+}
+
+fn check_connector(report: &mut Report, grammar: &Grammar, spec: &ExtensionSpec, tree: &ElemTree) {
+    // The connector operator must be Table II's, exactly.
+    for op in anchored_ops(tree) {
+        if op != ExtOp::Bin(spec.connector) {
+            report.push(Diagnostic::new(
+                Severity::Error,
+                "connector-op-mismatch",
+                Location::Tree(tree.name.clone()),
+                format!(
+                    "connector for Ext{} must use '{}', found {}",
+                    spec.id,
+                    spec.connector.symbol(),
+                    op_name(op)
+                ),
+            ));
+        }
+    }
+    // New material must grow under the ExtE_k wrap, not directly — otherwise
+    // the "greater freedom to extenders" discipline is lost.
+    let exte_name = format!("ExtE{}", spec.id);
+    let wraps = tree
+        .nodes
+        .iter()
+        .any(|n| matches!(n.kind, NodeKind::Interior(s) if grammar.symbol_name(s) == exte_name));
+    if !wraps {
+        report.push(Diagnostic::new(
+            Severity::Error,
+            "connector-missing-extender-wrap",
+            Location::Tree(tree.name.clone()),
+            format!(
+                "connector for Ext{} does not wrap its material under {exte_name}",
+                spec.id
+            ),
+        ));
+    }
+}
+
+fn check_extender(report: &mut Report, grammar: &Grammar, spec: &ExtensionSpec, tree: &ElemTree) {
+    for op in anchored_ops(tree) {
+        if !spec.extenders.contains(&op) {
+            report.push(Diagnostic::new(
+                Severity::Error,
+                "extender-op-mismatch",
+                Location::Tree(tree.name.clone()),
+                format!(
+                    "extender for Ext{} uses {} which Table II does not admit",
+                    spec.id,
+                    op_name(op)
+                ),
+            ));
+        }
+    }
+    // An extender reaching back into a marked site would let revisions
+    // rewrite the initial process.
+    for node in &tree.nodes {
+        if let NodeKind::Interior(s) = node.kind {
+            if ext_id(grammar.symbol_name(s), "ExtC").is_some() {
+                report.push(Diagnostic::new(
+                    Severity::Error,
+                    "extender-touches-marked-site",
+                    Location::Tree(tree.name.clone()),
+                    format!(
+                        "extender for Ext{} contains marked-site symbol '{}'",
+                        spec.id,
+                        grammar.symbol_name(s)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_pool(report: &mut Report, grammar: &Grammar, spec: &ExtensionSpec, sym: SymId) {
+    for tok in grammar.pool(sym) {
+        let admitted = spec.variables.iter().any(|v| match (v, tok) {
+            (Token::Param { kind: a, .. }, Token::Param { kind: b, .. }) => a == b,
+            (a, b) => a == b,
+        });
+        if !admitted {
+            report.push(Diagnostic::new(
+                Severity::Error,
+                "inadmissible-lexeme",
+                Location::Symbol(grammar.symbol_name(sym).to_string()),
+                format!(
+                    "pool for Ext{} holds a lexeme Table II does not admit: {tok:?}",
+                    spec.id
+                ),
+            ));
+        }
+    }
+}
+
+/// Check the connector/extender discipline of a river-style grammar.
+///
+/// The checks key off the `ExtC<k>` / `ExtE<k>` / `V<k>` symbol-naming
+/// convention of `gmr_bio::grammar::river_grammar`, so the function accepts
+/// any [`Grammar`] (tests build small adversarial ones).
+pub fn river_discipline_diagnostics(grammar: &Grammar) -> Report {
+    let mut report = Report::new();
+    for i in 0..grammar.symbol_count() {
+        let sym = SymId(i as u16);
+        let name = grammar.symbol_name(sym).to_string();
+
+        if let Some(k) = ext_id(&name, "ExtC") {
+            let Some(spec) = EXTENSIONS.get(k) else {
+                report.push(Diagnostic::new(
+                    Severity::Warn,
+                    "unknown-extension",
+                    Location::Symbol(name.clone()),
+                    format!("symbol refers to Ext{k}, which Table II does not define"),
+                ));
+                continue;
+            };
+            let betas = grammar.betas_for(sym);
+            if betas.len() > 1 {
+                report.push(Diagnostic::new(
+                    Severity::Warn,
+                    "multiple-connectors",
+                    Location::Symbol(name.clone()),
+                    format!(
+                        "{} connector trees root at Ext{k}; the discipline expects one",
+                        betas.len()
+                    ),
+                ));
+            }
+            for id in betas {
+                check_connector(&mut report, grammar, &spec, grammar.tree(*id));
+            }
+        } else if let Some(k) = ext_id(&name, "ExtE") {
+            if let Some(spec) = EXTENSIONS.get(k) {
+                for id in grammar.betas_for(sym) {
+                    check_extender(&mut report, grammar, &spec, grammar.tree(*id));
+                }
+            }
+        } else if let Some(k) = ext_id(&name, "V") {
+            if let Some(spec) = EXTENSIONS.get(k) {
+                check_pool(&mut report, grammar, &spec, sym);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_bio::river_grammar;
+    use gmr_expr::{BinOp, UnOp};
+    use gmr_hydro::vars::{VCD, VTMP};
+    use gmr_tag::tree::ElemTreeBuilder;
+    use gmr_tag::{GrammarBuilder, TreeKind};
+
+    #[test]
+    fn river_grammar_is_clean() {
+        let rg = river_grammar();
+        let structural = grammar_diagnostics(&rg.grammar);
+        // The only expected structural findings are the deliberately inert
+        // plain-Exp/S adjunction sites (Info).
+        assert!(structural.is_clean(), "{}", structural.render_human());
+        assert_eq!(
+            structural.count(Severity::Warn),
+            0,
+            "{}",
+            structural.render_human()
+        );
+        let discipline = river_discipline_diagnostics(&rg.grammar);
+        assert!(
+            discipline.diagnostics.is_empty(),
+            "{}",
+            discipline.render_human()
+        );
+    }
+
+    /// A minimal grammar mimicking one river extension point, with hooks to
+    /// seed violations.
+    fn ext1_grammar(
+        connector_op: BinOp,
+        wrap_exte: bool,
+        extender_op: BinOp,
+        pool_var: u8,
+    ) -> Grammar {
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let extc = gb.sym("ExtC1");
+        let exte = gb.sym("ExtE1");
+        let v = gb.sym("V1");
+        gb.start(s);
+
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        let c = a.interior(r, extc);
+        a.anchor(c, Token::Num(1.0));
+        gb.tree(a.build().unwrap());
+
+        let mut cb = ElemTreeBuilder::new("ext1-connector", TreeKind::Auxiliary, extc);
+        let r = cb.root();
+        cb.foot(r, extc);
+        cb.anchor(r, Token::Bin(connector_op));
+        if wrap_exte {
+            let w = cb.interior(r, exte);
+            cb.subst(w, v);
+        } else {
+            cb.subst(r, v);
+        }
+        gb.tree(cb.build().unwrap());
+
+        let mut eb = ElemTreeBuilder::new("ext1-extender", TreeKind::Auxiliary, exte);
+        let r = eb.root();
+        eb.foot(r, exte);
+        eb.anchor(r, Token::Bin(extender_op));
+        eb.subst(r, v);
+        gb.tree(eb.build().unwrap());
+
+        gb.pool(v, [Token::Var(pool_var)]);
+        gb.build().unwrap()
+    }
+
+    #[test]
+    fn clean_ext1_fixture_passes() {
+        // Ext1's connector is +; Vcd is admissible; * is an admitted extender.
+        let g = ext1_grammar(BinOp::Add, true, BinOp::Mul, VCD);
+        let report = river_discipline_diagnostics(&g);
+        assert!(report.diagnostics.is_empty(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn wrong_connector_op_is_an_error() {
+        // Ext1 connects with +, not *.
+        let g = ext1_grammar(BinOp::Mul, true, BinOp::Mul, VCD);
+        let report = river_discipline_diagnostics(&g);
+        assert_eq!(report.count(Severity::Error), 1);
+        assert_eq!(report.diagnostics[0].rule, "connector-op-mismatch");
+    }
+
+    #[test]
+    fn missing_extender_wrap_is_an_error() {
+        let g = ext1_grammar(BinOp::Add, false, BinOp::Mul, VCD);
+        let report = river_discipline_diagnostics(&g);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "connector-missing-extender-wrap" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn inadmissible_pool_variable_is_an_error() {
+        // Vtmp is not in Ext1's Table II row.
+        let g = ext1_grammar(BinOp::Add, true, BinOp::Mul, VTMP);
+        let report = river_discipline_diagnostics(&g);
+        assert_eq!(report.count(Severity::Error), 1);
+        assert_eq!(report.diagnostics[0].rule, "inadmissible-lexeme");
+    }
+
+    #[test]
+    fn extender_reaching_marked_site_is_an_error() {
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let extc = gb.sym("ExtC1");
+        let exte = gb.sym("ExtE1");
+        let v = gb.sym("V1");
+        gb.start(s);
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        let c = a.interior(r, extc);
+        a.anchor(c, Token::Num(1.0));
+        gb.tree(a.build().unwrap());
+        // A malicious extender that re-introduces a marked site.
+        let mut eb = ElemTreeBuilder::new("evil-extender", TreeKind::Auxiliary, exte);
+        let r = eb.root();
+        eb.foot(r, exte);
+        eb.anchor(r, Token::Bin(BinOp::Add));
+        let back = eb.interior(r, extc);
+        eb.subst(back, v);
+        gb.tree(eb.build().unwrap());
+        gb.pool(v, [Token::Var(VCD)]);
+        let g = gb.build().unwrap();
+        let report = river_discipline_diagnostics(&g);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "extender-touches-marked-site" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn unary_extenders_are_admitted() {
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let exte = gb.sym("ExtE5");
+        gb.start(s);
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        let w = a.interior(r, exte);
+        a.anchor(w, Token::Num(1.0));
+        gb.tree(a.build().unwrap());
+        let mut eb = ElemTreeBuilder::new("ext5-extender-log", TreeKind::Auxiliary, exte);
+        let r = eb.root();
+        eb.anchor(r, Token::Un(UnOp::Log));
+        eb.foot(r, exte);
+        gb.tree(eb.build().unwrap());
+        let g = gb.build().unwrap();
+        let report = river_discipline_diagnostics(&g);
+        assert!(report.diagnostics.is_empty(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn unknown_extension_id_warns() {
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let extc = gb.sym("ExtC4"); // Table II skips 4.
+        gb.start(s);
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        let c = a.interior(r, extc);
+        a.anchor(c, Token::Num(1.0));
+        gb.tree(a.build().unwrap());
+        let g = gb.build().unwrap();
+        let report = river_discipline_diagnostics(&g);
+        assert_eq!(report.count(Severity::Warn), 1);
+        assert_eq!(report.diagnostics[0].rule, "unknown-extension");
+    }
+
+    #[test]
+    fn operator_lexeme_is_graded_error() {
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let v = gb.sym("V");
+        gb.start(s);
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        a.subst(r, v);
+        gb.tree(a.build().unwrap());
+        gb.pool(v, [Token::Var(0), Token::Bin(BinOp::Mul)]);
+        let g = gb.build().unwrap();
+        let report = grammar_diagnostics(&g);
+        assert!(!report.is_clean());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "non-operand-lexeme" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn dead_pool_and_unreachable_tree_are_warnings() {
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let unused = gb.sym("Unused");
+        let ghost = gb.sym("Ghost");
+        gb.start(s);
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        a.anchor(r, Token::Num(1.0));
+        gb.tree(a.build().unwrap());
+        let mut b = ElemTreeBuilder::new("ghost-beta", TreeKind::Auxiliary, ghost);
+        let r = b.root();
+        b.foot(r, ghost);
+        b.anchor(r, Token::Bin(BinOp::Add));
+        b.anchor(r, Token::Num(2.0));
+        gb.tree(b.build().unwrap());
+        gb.pool(unused, [Token::Var(0)]);
+        let g = gb.build().unwrap();
+        let report = grammar_diagnostics(&g);
+        assert!(report.is_clean()); // warnings only
+        assert_eq!(report.count(Severity::Warn), 2);
+        let rules: Vec<_> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"dead-pool"));
+        assert!(rules.contains(&"unreachable-tree"));
+    }
+}

@@ -1,0 +1,419 @@
+//! Bottom-up dimensional inference over expression trees.
+//!
+//! Every leaf gets a unit from a [`UnitEnv`] (parameters from Table III,
+//! temporal variables from Table IV, states from the biomass convention);
+//! numeric literals are *polymorphic* — a bare `1.0` may stand for a count,
+//! a threshold in the surrounding unit, or a scale factor, so it unifies
+//! with anything. Units then propagate upward: `×`/`÷` combine exponent
+//! vectors, `+ − min max` demand agreement, `log`/`exp` demand (and yield)
+//! dimensionless arguments, `pow` needs a constant rational exponent.
+//!
+//! Disagreements become diagnostics. Under [`Policy::Strict`] a *dimension*
+//! clash is an `Error` (the expert equations must be consistent — that they
+//! are is an acceptance gate of this crate); under [`Policy::Revision`] it
+//! is a `Warn`, because the paper's revisions deliberately splice empirical
+//! terms (`… + Vcd`) whose units do not match the host equation — worth
+//! surfacing, not worth rejecting.
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+use crate::units::{Ratio, Unit};
+use gmr_expr::{BinOp, Expr, UnOp};
+
+/// How harshly dimensional findings are graded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Expert-equation mode: dimension clashes are errors.
+    Strict,
+    /// Evolved-model mode: dimension clashes are warnings.
+    Revision,
+}
+
+impl Policy {
+    fn mismatch(self) -> Severity {
+        match self {
+            Policy::Strict => Severity::Error,
+            Policy::Revision => Severity::Warn,
+        }
+    }
+    fn scale_mismatch(self) -> Severity {
+        match self {
+            Policy::Strict => Severity::Warn,
+            Policy::Revision => Severity::Info,
+        }
+    }
+    fn transcendental(self) -> Severity {
+        match self {
+            Policy::Strict => Severity::Warn,
+            Policy::Revision => Severity::Info,
+        }
+    }
+}
+
+/// Leaf-unit assignments.
+#[derive(Debug, Clone)]
+pub struct UnitEnv {
+    /// Unit per temporal-variable index.
+    pub vars: Vec<Unit>,
+    /// Unit per state-variable index.
+    pub states: Vec<Unit>,
+    /// Unit per parameter kind.
+    pub params: Vec<Unit>,
+}
+
+impl UnitEnv {
+    /// The river problem's environment: Table IV variable units, Table III
+    /// parameter units, `ug L^-1` biomass states.
+    pub fn river() -> UnitEnv {
+        let parse =
+            |s: &str| Unit::parse(s).unwrap_or_else(|e| panic!("table unit '{s}' must parse: {e}"));
+        UnitEnv {
+            vars: gmr_hydro::vars::UNITS.iter().map(|s| parse(s)).collect(),
+            states: gmr_bio::params::STATE_UNITS
+                .iter()
+                .map(|s| parse(s))
+                .collect(),
+            params: gmr_bio::params::PARAMS
+                .iter()
+                .map(|p| parse(p.unit))
+                .collect(),
+        }
+    }
+}
+
+/// The inferred unit of a subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inferred {
+    /// A definite unit.
+    Known(Unit),
+    /// A numeric literal — unifies with any unit.
+    Any,
+    /// Indeterminate (out-of-range leaf index, or downstream of a reported
+    /// conflict). Produces no further diagnostics.
+    Unknown,
+}
+
+impl Inferred {
+    /// The unit if definitely known.
+    pub fn unit(self) -> Option<Unit> {
+        match self {
+            Inferred::Known(u) => Some(u),
+            _ => None,
+        }
+    }
+}
+
+struct Ctx<'a> {
+    env: &'a UnitEnv,
+    policy: Policy,
+    equation: &'a str,
+    report: Report,
+    path: Vec<u8>,
+}
+
+impl Ctx<'_> {
+    fn here(&self) -> Location {
+        Location::Expr {
+            equation: self.equation.to_string(),
+            path: self.path.clone(),
+        }
+    }
+
+    fn diag(&mut self, severity: Severity, rule: &'static str, message: String) {
+        let loc = self.here();
+        self.report
+            .push(Diagnostic::new(severity, rule, loc, message));
+    }
+
+    /// Unify the operands of an additive/comparative operator.
+    fn unify_additive(&mut self, op: BinOp, l: Inferred, r: Inferred) -> Inferred {
+        match (l, r) {
+            (Inferred::Known(a), Inferred::Known(b)) => {
+                if a == b {
+                    Inferred::Known(a)
+                } else if a.same_dimension(&b) {
+                    self.diag(
+                        self.policy.scale_mismatch(),
+                        "unit-scale-mismatch",
+                        format!(
+                            "operands of '{}' share a dimension but differ in scale: {a} vs {b}",
+                            op.symbol()
+                        ),
+                    );
+                    Inferred::Known(a)
+                } else {
+                    self.diag(
+                        self.policy.mismatch(),
+                        "unit-mismatch",
+                        format!(
+                            "operands of '{}' have incompatible units: {a} vs {b}",
+                            op.symbol()
+                        ),
+                    );
+                    Inferred::Unknown
+                }
+            }
+            (Inferred::Known(a), Inferred::Any) | (Inferred::Any, Inferred::Known(a)) => {
+                Inferred::Known(a)
+            }
+            (Inferred::Any, Inferred::Any) => Inferred::Any,
+            _ => Inferred::Unknown,
+        }
+    }
+
+    fn infer(&mut self, e: &Expr) -> Inferred {
+        match e {
+            Expr::Num(_) => Inferred::Any,
+            Expr::Param(p) => match self.env.params.get(p.kind as usize) {
+                Some(u) => Inferred::Known(*u),
+                None => Inferred::Unknown,
+            },
+            Expr::Var(i) => match self.env.vars.get(*i as usize) {
+                Some(u) => Inferred::Known(*u),
+                None => Inferred::Unknown,
+            },
+            Expr::State(i) => match self.env.states.get(*i as usize) {
+                Some(u) => Inferred::Known(*u),
+                None => Inferred::Unknown,
+            },
+            Expr::Unary(op, a) => {
+                self.path.push(0);
+                let ia = self.infer(a);
+                self.path.pop();
+                match op {
+                    UnOp::Neg => ia,
+                    UnOp::Log | UnOp::Exp => {
+                        if let Inferred::Known(u) = ia {
+                            if !u.is_dimensionless() {
+                                self.diag(
+                                    self.policy.transcendental(),
+                                    "transcendental-of-dimensional",
+                                    format!("argument of '{}' carries units: {u}", op.symbol()),
+                                );
+                            }
+                        }
+                        match ia {
+                            Inferred::Unknown => Inferred::Unknown,
+                            _ => Inferred::Known(Unit::DIMENSIONLESS),
+                        }
+                    }
+                }
+            }
+            Expr::Binary(op, l, r) => {
+                self.path.push(0);
+                let il = self.infer(l);
+                self.path.pop();
+                self.path.push(1);
+                let ir = self.infer(r);
+                self.path.pop();
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Min | BinOp::Max => {
+                        self.unify_additive(*op, il, ir)
+                    }
+                    BinOp::Mul => match (il, ir) {
+                        (Inferred::Known(a), Inferred::Known(b)) => Inferred::Known(a.mul(&b)),
+                        (Inferred::Known(a), Inferred::Any)
+                        | (Inferred::Any, Inferred::Known(a)) => Inferred::Known(a),
+                        (Inferred::Any, Inferred::Any) => Inferred::Any,
+                        _ => Inferred::Unknown,
+                    },
+                    BinOp::Div => match (il, ir) {
+                        (Inferred::Known(a), Inferred::Known(b)) => Inferred::Known(a.div(&b)),
+                        (Inferred::Known(a), Inferred::Any) => Inferred::Known(a),
+                        (Inferred::Any, Inferred::Known(b)) => {
+                            Inferred::Known(Unit::DIMENSIONLESS.div(&b))
+                        }
+                        (Inferred::Any, Inferred::Any) => Inferred::Any,
+                        _ => Inferred::Unknown,
+                    },
+                    BinOp::Pow => self.infer_pow(il, r, ir),
+                }
+            }
+        }
+    }
+
+    /// `pow(base, exp)`: the exponent must be a dimensionless constant; a
+    /// rational literal exponent scales the base's exponent vector.
+    fn infer_pow(&mut self, base: Inferred, exp: &Expr, iexp: Inferred) -> Inferred {
+        if let Inferred::Known(u) = iexp {
+            if !u.is_dimensionless() {
+                self.diag(
+                    self.policy.transcendental(),
+                    "dimensional-exponent",
+                    format!("exponent of 'pow' carries units: {u}"),
+                );
+                return Inferred::Unknown;
+            }
+        }
+        match base {
+            Inferred::Any => Inferred::Any,
+            Inferred::Unknown => Inferred::Unknown,
+            Inferred::Known(b) if b.is_dimensionless() => Inferred::Known(b),
+            Inferred::Known(b) => match exp {
+                Expr::Num(v) => match Ratio::approx(*v) {
+                    Some(r) => Inferred::Known(b.powr(r)),
+                    None => {
+                        self.diag(
+                            self.policy.transcendental(),
+                            "irrational-exponent",
+                            format!("dimensional base {b} raised to non-rational exponent {v}"),
+                        );
+                        Inferred::Unknown
+                    }
+                },
+                _ => {
+                    self.diag(
+                        self.policy.transcendental(),
+                        "variable-exponent",
+                        format!("dimensional base {b} raised to a non-constant exponent"),
+                    );
+                    Inferred::Unknown
+                }
+            },
+        }
+    }
+}
+
+/// Infer the unit of `expr` and collect dimensional diagnostics.
+pub fn infer_units(
+    expr: &Expr,
+    env: &UnitEnv,
+    policy: Policy,
+    equation: &str,
+) -> (Inferred, Report) {
+    let mut ctx = Ctx {
+        env,
+        policy,
+        equation,
+        report: Report::new(),
+        path: Vec::new(),
+    };
+    let inferred = ctx.infer(expr);
+    (inferred, ctx.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_bio::params::{CFMIN, CFS};
+    use gmr_expr::ParamSlot;
+    use gmr_hydro::vars::{VCD, VTMP};
+
+    fn param(kind: u16) -> Expr {
+        Expr::Param(ParamSlot {
+            kind,
+            value: gmr_bio::params::spec(kind).mean,
+        })
+    }
+
+    #[test]
+    fn manual_equations_are_unit_consistent() {
+        let env = UnitEnv::river();
+        let [dbphy, dbzoo] = gmr_bio::manual_system();
+        for (label, eq) in [("dBPhy/dt", &dbphy), ("dBZoo/dt", &dbzoo)] {
+            let (inferred, report) = infer_units(eq, &env, Policy::Strict, label);
+            assert!(
+                report.is_clean(),
+                "{label} should be dimensionally clean:\n{}",
+                report.render_human()
+            );
+            // Both equations are biomass fluxes: ug L^-1 day^-1.
+            let expect = Unit::parse("ug L^-1 day^-1").unwrap();
+            assert_eq!(inferred.unit(), Some(expect), "{label}");
+        }
+    }
+
+    #[test]
+    fn dimension_clash_in_addition_is_caught() {
+        // BPhy + Vtmp: ug L^-1 + degC.
+        let e = Expr::bin(BinOp::Add, Expr::State(0), Expr::Var(VTMP));
+        let env = UnitEnv::river();
+        let (_, report) = infer_units(&e, &env, Policy::Strict, "test");
+        assert_eq!(report.count(Severity::Error), 1);
+        assert_eq!(report.diagnostics[0].rule, "unit-mismatch");
+        // The same clash is only a warning under the revision policy.
+        let (_, report) = infer_units(&e, &env, Policy::Revision, "test");
+        assert_eq!(report.count(Severity::Error), 0);
+        assert_eq!(report.count(Severity::Warn), 1);
+    }
+
+    #[test]
+    fn scale_clash_is_distinguished_from_dimension_clash() {
+        // Vn (mg/L) + CFS (ug/L): same dimension, factor-1000 scale bug.
+        let e = Expr::bin(BinOp::Add, Expr::Var(1), param(CFS));
+        let env = UnitEnv::river();
+        let (_, report) = infer_units(&e, &env, Policy::Strict, "test");
+        assert_eq!(report.count(Severity::Error), 0);
+        assert_eq!(report.count(Severity::Warn), 1);
+        assert_eq!(report.diagnostics[0].rule, "unit-scale-mismatch");
+    }
+
+    #[test]
+    fn clean_addition_passes() {
+        // CFS + BPhy - CFmin: all ug L^-1.
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Add, param(CFS), Expr::State(0)),
+            param(CFMIN),
+        );
+        let env = UnitEnv::river();
+        let (inferred, report) = infer_units(&e, &env, Policy::Strict, "test");
+        assert!(report.diagnostics.is_empty(), "{}", report.render_human());
+        assert_eq!(inferred.unit(), Some(Unit::parse("ug L^-1").unwrap()));
+    }
+
+    #[test]
+    fn log_of_dimensional_quantity_warns() {
+        let e = Expr::un(UnOp::Log, Expr::Var(VTMP));
+        let env = UnitEnv::river();
+        let (inferred, report) = infer_units(&e, &env, Policy::Strict, "test");
+        assert_eq!(report.count(Severity::Warn), 1);
+        assert_eq!(report.diagnostics[0].rule, "transcendental-of-dimensional");
+        assert_eq!(inferred.unit(), Some(Unit::DIMENSIONLESS));
+        // Location points at the log node's child path.
+        assert!(matches!(
+            &report.diagnostics[0].location,
+            Location::Expr { path, .. } if path.is_empty()
+        ));
+    }
+
+    #[test]
+    fn pow_with_rational_exponent_scales_dims() {
+        // pow(Vtmp - CBTP1, 2) is degC^2; times CPT (degC^-2) is clean.
+        let diff = Expr::bin(BinOp::Sub, Expr::Var(VTMP), param(gmr_bio::params::CBTP1));
+        let sq = Expr::bin(BinOp::Pow, diff, Expr::Num(2.0));
+        let e = Expr::bin(BinOp::Mul, param(gmr_bio::params::CPT), sq);
+        let env = UnitEnv::river();
+        let (inferred, report) = infer_units(&e, &env, Policy::Strict, "test");
+        assert!(report.diagnostics.is_empty(), "{}", report.render_human());
+        assert_eq!(inferred.unit(), Some(Unit::DIMENSIONLESS));
+    }
+
+    #[test]
+    fn numeric_literals_are_polymorphic() {
+        // 1 - Vlgt/CBL is fine: the literal adapts to the dimensionless ratio.
+        let ratio = Expr::bin(BinOp::Div, Expr::Var(0), param(gmr_bio::params::CBL));
+        let e = Expr::bin(BinOp::Sub, Expr::Num(1.0), ratio);
+        let env = UnitEnv::river();
+        let (inferred, report) = infer_units(&e, &env, Policy::Strict, "test");
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(inferred.unit(), Some(Unit::DIMENSIONLESS));
+    }
+
+    #[test]
+    fn revision_splice_is_flagged_with_path() {
+        // The Ext1 pattern: (manual flux) + Vcd.
+        let [dbphy, _] = gmr_bio::manual_system();
+        let e = Expr::bin(BinOp::Add, dbphy, Expr::Var(VCD));
+        let env = UnitEnv::river();
+        let (_, report) = infer_units(&e, &env, Policy::Revision, "dBPhy/dt");
+        assert_eq!(report.count(Severity::Warn), 1);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.rule, "unit-mismatch");
+        assert!(matches!(&d.location, Location::Expr { path, .. } if path.is_empty()));
+        assert!(
+            d.message.contains("S"),
+            "conductance should appear: {}",
+            d.message
+        );
+    }
+}

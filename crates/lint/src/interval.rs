@@ -1,0 +1,486 @@
+//! Interval analysis over expression trees, mirroring the protected
+//! evaluation semantics of `gmr_expr::eval`.
+//!
+//! Each leaf gets a closed interval from an [`IntervalEnv`] — parameters
+//! from their Table III exploration bounds, temporal variables from the
+//! observed ranges of the river data, states from plausible biomass ranges —
+//! and intervals propagate upward through the protected operators. The
+//! propagation is *outward-widened* after every step so that the enclosure
+//! stays sound under floating-point rounding (a property the crate's
+//! proptest exercises by evaluating random points).
+//!
+//! Findings:
+//!
+//! * `div-denominator-zero` (Warn) — a division whose denominator interval
+//!   contains the protected region `[-ε, ε]`: the protected evaluator maps
+//!   those points to 0, silently zeroing the term.
+//! * `exp-overflow` (Warn) — an `exp` argument interval escaping the clamp
+//!   `±50`: the evaluator saturates, flattening the model's response.
+//! * `constant-out-of-prior` (Error) — an embedded parameter value outside
+//!   its Table III `[min, max]` exploration bounds.
+//! * `simplifiable-subtree` (Info) — a non-trivial constant subtree that
+//!   `simplify` would fold; it costs cache misses and bloats genomes.
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+use gmr_expr::eval::{DIV_EPS, EXP_CLAMP, LOG_EPS};
+use gmr_expr::{simplify, BinOp, Expr, UnOp};
+
+/// Relative outward widening applied after every interval operation. Large
+/// enough to absorb the rounding of a single protected-operator step.
+const WIDEN_REL: f64 = 1e-9;
+
+/// A closed interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Construct `[lo, hi]`; the bounds are reordered if reversed.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Does the interval contain `v`?
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Outward widening: relax both bounds by a relative epsilon so the
+    /// enclosure survives floating-point rounding in the real evaluator.
+    fn widen(self) -> Interval {
+        let pad = |v: f64| WIDEN_REL * v.abs().max(1e-300);
+        Interval {
+            lo: self.lo - pad(self.lo),
+            hi: self.hi + pad(self.hi),
+        }
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        Interval::new(self.lo + o.lo, self.hi + o.hi).widen()
+    }
+
+    fn sub(self, o: Interval) -> Interval {
+        Interval::new(self.lo - o.hi, self.hi - o.lo).widen()
+    }
+
+    fn neg(self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        let c = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
+        let lo = c.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(lo, hi).widen()
+    }
+
+    fn min(self, o: Interval) -> Interval {
+        Interval::new(self.lo.min(o.lo), self.hi.min(o.hi)).widen()
+    }
+
+    fn max(self, o: Interval) -> Interval {
+        Interval::new(self.lo.max(o.lo), self.hi.max(o.hi)).widen()
+    }
+
+    /// Does the denominator interval intersect the protected region
+    /// `[-DIV_EPS, DIV_EPS]` that the evaluator maps to zero?
+    fn straddles_protected_zero(&self) -> bool {
+        self.lo <= DIV_EPS && self.hi >= -DIV_EPS
+    }
+
+    /// Protected division, matching `protected_div`: denominator values
+    /// inside `[-ε, ε]` yield exactly 0, so the result is the hull of the
+    /// ordinary quotient over the non-protected part plus `{0}` when the
+    /// protected region is hit.
+    fn div(self, o: Interval) -> Interval {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut cover = |d: Interval| {
+            for n in [self.lo, self.hi] {
+                for m in [d.lo, d.hi] {
+                    let q = n / m;
+                    lo = lo.min(q);
+                    hi = hi.max(q);
+                }
+            }
+        };
+        // Positive part of the denominator outside the protected band.
+        if o.hi > DIV_EPS {
+            cover(Interval::new(o.lo.max(DIV_EPS), o.hi));
+        }
+        // Negative part.
+        if o.lo < -DIV_EPS {
+            cover(Interval::new(o.lo, o.hi.min(-DIV_EPS)));
+        }
+        if o.straddles_protected_zero() {
+            lo = lo.min(0.0);
+            hi = hi.max(0.0);
+        }
+        if lo > hi {
+            // Denominator entirely inside the protected band.
+            return Interval::point(0.0);
+        }
+        Interval::new(lo, hi).widen()
+    }
+
+    /// Protected logarithm: `ln(max(|x|, ε))`, monotone in `|x|`.
+    fn log(self) -> Interval {
+        let abs_hi = self.lo.abs().max(self.hi.abs());
+        let abs_lo = if self.contains(0.0) {
+            0.0
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        };
+        Interval::new(abs_lo.max(LOG_EPS).ln(), abs_hi.max(LOG_EPS).ln()).widen()
+    }
+
+    /// Protected exponential: `exp(clamp(x, ±EXP_CLAMP))`.
+    fn exp(self) -> Interval {
+        let clamp = |v: f64| v.clamp(-EXP_CLAMP, EXP_CLAMP);
+        Interval::new(clamp(self.lo).exp(), clamp(self.hi).exp()).widen()
+    }
+
+    /// Protected power: `exp(y · ln(max(|x|, ε)))` per `protected_pow`.
+    fn pow(self, e: Interval) -> Interval {
+        self.log().mul(e).exp()
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Leaf-interval assignments.
+#[derive(Debug, Clone)]
+pub struct IntervalEnv {
+    /// Range per temporal-variable index.
+    pub vars: Vec<Interval>,
+    /// Range per state-variable index.
+    pub states: Vec<Interval>,
+    /// Range per parameter kind (Table III exploration bounds).
+    pub params: Vec<Interval>,
+}
+
+impl IntervalEnv {
+    /// The river problem's environment: Table III prior bounds for the
+    /// parameters, observed-range envelopes for the Table IV variables, and
+    /// plausible biomass ranges for the two states.
+    pub fn river() -> IntervalEnv {
+        // Envelopes of the variables' plausible observed ranges at the
+        // study sites (generous, so a Warn means genuinely reachable).
+        let vars = vec![
+            Interval::new(0.5, 35.0),    // Vlgt  MJ m^-2 d^-1
+            Interval::new(0.05, 8.0),    // Vn    mg L^-1
+            Interval::new(0.001, 0.5),   // Vp    mg L^-1
+            Interval::new(0.05, 20.0),   // Vsi   mg L^-1
+            Interval::new(-2.0, 35.0),   // Vtmp  degC
+            Interval::new(2.0, 20.0),    // Vdo   mg L^-1
+            Interval::new(50.0, 1500.0), // Vcd  uS cm^-1
+            Interval::new(5.5, 10.0),    // Vph   -
+            Interval::new(10.0, 300.0),  // Valk  mg L^-1
+            Interval::new(0.1, 10.0),    // Vsd   m
+        ];
+        let states = vec![
+            Interval::new(0.0, 500.0), // BPhy ug L^-1
+            Interval::new(0.0, 200.0), // BZoo ug L^-1
+        ];
+        let params = gmr_bio::params::PARAMS
+            .iter()
+            .map(|p| Interval::new(p.min, p.max))
+            .collect();
+        IntervalEnv {
+            vars,
+            states,
+            params,
+        }
+    }
+}
+
+struct Ctx<'a> {
+    env: &'a IntervalEnv,
+    equation: &'a str,
+    report: Report,
+    path: Vec<u8>,
+}
+
+impl Ctx<'_> {
+    fn here(&self) -> Location {
+        Location::Expr {
+            equation: self.equation.to_string(),
+            path: self.path.clone(),
+        }
+    }
+
+    fn diag(&mut self, severity: Severity, rule: &'static str, message: String) {
+        let loc = self.here();
+        self.report
+            .push(Diagnostic::new(severity, rule, loc, message));
+    }
+
+    fn analyze(&mut self, e: &Expr) -> Interval {
+        match e {
+            Expr::Num(v) => Interval::point(*v),
+            Expr::Param(p) => {
+                let iv = match self.env.params.get(p.kind as usize) {
+                    Some(iv) => *iv,
+                    None => return Interval::new(f64::NEG_INFINITY, f64::INFINITY),
+                };
+                if !iv.contains(p.value) {
+                    self.diag(
+                        Severity::Error,
+                        "constant-out-of-prior",
+                        format!(
+                            "parameter {} = {} lies outside its prior bounds {}",
+                            gmr_bio::params::spec(p.kind).name,
+                            p.value,
+                            iv
+                        ),
+                    );
+                }
+                // The concrete slot value is fixed for this individual;
+                // analyse with the point, not the whole prior.
+                Interval::point(p.value)
+            }
+            Expr::Var(i) => match self.env.vars.get(*i as usize) {
+                Some(iv) => *iv,
+                None => Interval::new(f64::NEG_INFINITY, f64::INFINITY),
+            },
+            Expr::State(i) => match self.env.states.get(*i as usize) {
+                Some(iv) => *iv,
+                None => Interval::new(f64::NEG_INFINITY, f64::INFINITY),
+            },
+            Expr::Unary(op, a) => {
+                self.path.push(0);
+                let ia = self.analyze(a);
+                self.path.pop();
+                match op {
+                    UnOp::Neg => ia.neg(),
+                    UnOp::Log => ia.log(),
+                    UnOp::Exp => {
+                        if ia.hi > EXP_CLAMP {
+                            self.diag(
+                                Severity::Warn,
+                                "exp-overflow",
+                                format!(
+                                    "exp argument range {ia} exceeds the clamp at {EXP_CLAMP}; \
+                                     the evaluator will saturate"
+                                ),
+                            );
+                        }
+                        ia.exp()
+                    }
+                }
+            }
+            Expr::Binary(op, l, r) => {
+                self.path.push(0);
+                let il = self.analyze(l);
+                self.path.pop();
+                self.path.push(1);
+                let ir = self.analyze(r);
+                self.path.pop();
+                match op {
+                    BinOp::Add => il.add(ir),
+                    BinOp::Sub => il.sub(ir),
+                    BinOp::Mul => il.mul(ir),
+                    BinOp::Min => il.min(ir),
+                    BinOp::Max => il.max(ir),
+                    BinOp::Div => {
+                        if ir.straddles_protected_zero() {
+                            self.diag(
+                                Severity::Warn,
+                                "div-denominator-zero",
+                                format!(
+                                    "denominator range {ir} contains zero; the protected \
+                                     evaluator silently zeroes the quotient there"
+                                ),
+                            );
+                        }
+                        il.div(ir)
+                    }
+                    BinOp::Pow => il.pow(ir),
+                }
+            }
+        }
+    }
+
+    /// Flag non-trivial constant subtrees that `simplify` would fold.
+    fn flag_simplifiable(&mut self, e: &Expr) {
+        if e.size() > 1 && e.is_constant() {
+            let folded = simplify(e);
+            if folded.size() < e.size() {
+                self.diag(
+                    Severity::Info,
+                    "simplifiable-subtree",
+                    format!(
+                        "constant subtree of {} nodes folds to {} node(s); \
+                         it bloats the genome and defeats the evaluation cache",
+                        e.size(),
+                        folded.size()
+                    ),
+                );
+            }
+            return; // Don't re-report inside an already-flagged subtree.
+        }
+        match e {
+            Expr::Unary(_, a) => {
+                self.path.push(0);
+                self.flag_simplifiable(a);
+                self.path.pop();
+            }
+            Expr::Binary(_, l, r) => {
+                self.path.push(0);
+                self.flag_simplifiable(l);
+                self.path.pop();
+                self.path.push(1);
+                self.flag_simplifiable(r);
+                self.path.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Compute the value enclosure of `expr` over `env` and collect
+/// numeric-domain diagnostics.
+pub fn analyze_intervals(expr: &Expr, env: &IntervalEnv, equation: &str) -> (Interval, Report) {
+    let mut ctx = Ctx {
+        env,
+        equation,
+        report: Report::new(),
+        path: Vec::new(),
+    };
+    let iv = ctx.analyze(expr);
+    ctx.flag_simplifiable(expr);
+    (iv, ctx.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_expr::ParamSlot;
+
+    fn env() -> IntervalEnv {
+        IntervalEnv::river()
+    }
+
+    #[test]
+    fn manual_equations_have_no_numeric_warnings() {
+        let [dbphy, dbzoo] = gmr_bio::manual_system();
+        for (label, eq) in [("dBPhy/dt", &dbphy), ("dBZoo/dt", &dbzoo)] {
+            let (iv, report) = analyze_intervals(eq, &env(), label);
+            assert!(
+                report.diagnostics.is_empty(),
+                "{label}:\n{}",
+                report.render_human()
+            );
+            assert!(iv.lo.is_finite() && iv.hi.is_finite(), "{label}: {iv}");
+        }
+    }
+
+    #[test]
+    fn zero_straddling_denominator_warns() {
+        // Vtmp spans [-2, 35], so 1 / Vtmp straddles the protected zero.
+        let e = Expr::bin(BinOp::Div, Expr::Num(1.0), Expr::Var(gmr_hydro::vars::VTMP));
+        let (iv, report) = analyze_intervals(&e, &env(), "test");
+        assert_eq!(report.count(Severity::Warn), 1);
+        assert_eq!(report.diagnostics[0].rule, "div-denominator-zero");
+        // The protected quotient includes 0 and both signs.
+        assert!(iv.contains(0.0));
+        assert!(iv.lo < 0.0 && iv.hi > 0.0);
+    }
+
+    #[test]
+    fn positive_denominator_does_not_warn() {
+        // Vcd spans [50, 1500]: safely away from zero.
+        let e = Expr::bin(BinOp::Div, Expr::Num(1.0), Expr::Var(gmr_hydro::vars::VCD));
+        let (iv, report) = analyze_intervals(&e, &env(), "test");
+        assert!(report.diagnostics.is_empty());
+        assert!(iv.lo > 0.0);
+    }
+
+    #[test]
+    fn exp_overflow_warns_and_clean_exp_does_not() {
+        // exp(Vcd) with Vcd up to 1500 saturates the clamp.
+        let hot = Expr::un(UnOp::Exp, Expr::Var(gmr_hydro::vars::VCD));
+        let (_, report) = analyze_intervals(&hot, &env(), "test");
+        assert_eq!(report.count(Severity::Warn), 1);
+        assert_eq!(report.diagnostics[0].rule, "exp-overflow");
+
+        // exp(Vph) stays inside the clamp.
+        let cool = Expr::un(UnOp::Exp, Expr::Var(gmr_hydro::vars::VPH));
+        let (_, report) = analyze_intervals(&cool, &env(), "test");
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn out_of_prior_constant_is_an_error() {
+        // CUA's prior is [0.5, 4.0]; 9.0 is outside.
+        let e = Expr::Param(ParamSlot {
+            kind: gmr_bio::params::CUA,
+            value: 9.0,
+        });
+        let (_, report) = analyze_intervals(&e, &env(), "test");
+        assert_eq!(report.count(Severity::Error), 1);
+        assert_eq!(report.diagnostics[0].rule, "constant-out-of-prior");
+
+        // A value inside the prior is clean.
+        let ok = Expr::Param(ParamSlot {
+            kind: gmr_bio::params::CUA,
+            value: gmr_bio::params::spec(gmr_bio::params::CUA).mean,
+        });
+        let (_, report) = analyze_intervals(&ok, &env(), "test");
+        assert!(report.is_clean());
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn simplifiable_constant_subtree_is_noted() {
+        // (2 + 3) * Vtmp: the left subtree folds to 5.
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Add, Expr::Num(2.0), Expr::Num(3.0)),
+            Expr::Var(gmr_hydro::vars::VTMP),
+        );
+        let (_, report) = analyze_intervals(&e, &env(), "test");
+        assert_eq!(report.count(Severity::Info), 1);
+        assert_eq!(report.diagnostics[0].rule, "simplifiable-subtree");
+        assert!(matches!(
+            &report.diagnostics[0].location,
+            Location::Expr { path, .. } if path == &vec![0]
+        ));
+    }
+
+    #[test]
+    fn interval_ops_enclose_sampled_points() {
+        // Hand-picked sanity checks before the proptest takes over.
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(0.5, 4.0);
+        assert!(a.add(b).contains(-1.5) && a.add(b).contains(7.0));
+        assert!(a.mul(b).contains(-8.0) && a.mul(b).contains(12.0));
+        assert!(a.sub(b).contains(-6.0) && a.sub(b).contains(2.5));
+        // Protected log of an interval through zero starts at ln(eps).
+        let l = a.log();
+        assert!(l.contains(LOG_EPS.ln()));
+        assert!(l.contains(3.0f64.ln()));
+    }
+}

@@ -1,0 +1,135 @@
+//! The `gmr-lint` command-line driver.
+//!
+//! ```text
+//! gmr-lint --builtin            lint the built-in river grammar + expert eqs
+//! gmr-lint --expr '<equation>'  lint one equation (canonical names)
+//! ```
+//!
+//! Options: `--json` for machine-readable output, `--revision` to grade
+//! dimensional findings under the evolved-model policy (default strict),
+//! `--quiet` to suppress output and only set the exit code.
+//!
+//! Exit status: 0 when no `Error`-level diagnostics, 1 when there are, 2 on
+//! usage errors.
+
+use gmr_lint::{lint_builtin, lint_grammar, EquationLinter, Policy, Report};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gmr-lint: static analysis for GMR grammars and evolved equations
+
+USAGE:
+    gmr-lint [MODE] [OPTIONS]
+
+MODES:
+    --builtin        Lint the built-in river grammar and expert equations
+                     (the default when no mode is given)
+    --expr <SRC>     Lint a single equation written with the canonical
+                     variable/parameter names (e.g. 'BPhy * CUA - Vtmp');
+                     repeatable, equations are labelled in order
+
+OPTIONS:
+    --json           Emit the report as JSON instead of human-readable text
+    --revision       Grade dimensional findings under the evolved-model
+                     policy (mismatches warn instead of erroring)
+    --quiet          No output; communicate through the exit status only
+    -h, --help       Show this help
+";
+
+struct Opts {
+    builtin: bool,
+    exprs: Vec<String>,
+    json: bool,
+    policy: Policy,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Opts>, String> {
+    let mut opts = Opts {
+        builtin: false,
+        exprs: Vec::new(),
+        json: false,
+        policy: Policy::Strict,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--builtin" => opts.builtin = true,
+            "--expr" => match it.next() {
+                Some(src) => opts.exprs.push(src.clone()),
+                None => return Err("--expr needs an argument".into()),
+            },
+            "--json" => opts.json = true,
+            "--revision" => opts.policy = Policy::Revision,
+            "--strict" => opts.policy = Policy::Strict,
+            "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if !opts.builtin && opts.exprs.is_empty() {
+        opts.builtin = true;
+    }
+    Ok(Some(opts))
+}
+
+fn run(opts: &Opts) -> Result<Report, String> {
+    let mut report = Report::new();
+    if opts.builtin {
+        if opts.policy == Policy::Strict {
+            report.extend(lint_builtin());
+        } else {
+            let rg = gmr_bio::river_grammar();
+            report.extend(lint_grammar(&rg.grammar));
+            let linter = EquationLinter::river(opts.policy);
+            report.extend(linter.lint(&gmr_bio::manual_system()));
+        }
+    }
+    if !opts.exprs.is_empty() {
+        let names = gmr_bio::name_table();
+        let linter = EquationLinter::river(opts.policy);
+        let mut eqs = Vec::new();
+        for src in &opts.exprs {
+            let eq = gmr_expr::parse(src, &names, |k| gmr_bio::params::spec(k).mean)
+                .map_err(|e| format!("cannot parse '{src}': {e}"))?;
+            eqs.push(eq);
+        }
+        report.extend(linter.lint(&eqs));
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&opts) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if !opts.quiet {
+        if opts.json {
+            println!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_human());
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,398 @@
+//! Units with rational exponents, parsed from the compact notation of
+//! Tables III and IV (`"ug L^-1"`, `"MJ m^-2 d^-1"`, `"degC^-2"`, `"-"`).
+//!
+//! A [`Unit`] is a vector of rational exponents over six base dimensions
+//! (mass, length, time, temperature, energy, conductance) plus a
+//! power-of-ten scale. Metric prefixes and the litre fold into the scale
+//! (`L = 10^-3 m^3`, `ug = 10^-6 g`), so `"ug L^-1"` and `"mg L^-1"` share
+//! a dimension vector and differ only in scale — which is exactly the
+//! distinction the dimensional lints need: adding quantities of different
+//! *dimension* is meaningless, adding the same dimension at different
+//! *scale* is a silent factor-of-1000 bug.
+
+use std::fmt;
+
+/// A reduced rational number. Denominator is always positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    /// Numerator (sign carrier).
+    pub num: i64,
+    /// Denominator, > 0.
+    pub den: i64,
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+impl Ratio {
+    /// The rational `num/den`, reduced. Panics on a zero denominator.
+    pub fn new(num: i64, den: i64) -> Ratio {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+
+    /// An integer as a ratio.
+    pub fn int(n: i64) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// True when zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// The nearest rational with a small denominator (≤ 12) to a float, if
+    /// one is within `1e-9`. Lets `pow(x, 2.0)` and `pow(x, 0.5)` take part
+    /// in dimensional inference.
+    pub fn approx(v: f64) -> Option<Ratio> {
+        if !v.is_finite() {
+            return None;
+        }
+        for den in 1..=12i64 {
+            let num = (v * den as f64).round();
+            if num.abs() > 1e6 {
+                return None;
+            }
+            if (num / den as f64 - v).abs() < 1e-9 {
+                return Some(Ratio::new(num as i64, den));
+            }
+        }
+        None
+    }
+}
+
+impl std::ops::Add for Ratio {
+    type Output = Ratio;
+    fn add(self, o: Ratio) -> Ratio {
+        Ratio::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+}
+
+impl std::ops::Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, o: Ratio) -> Ratio {
+        self + (-o)
+    }
+}
+
+impl std::ops::Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl std::ops::Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, o: Ratio) -> Ratio {
+        Ratio::new(self.num * o.num, self.den * o.den)
+    }
+}
+
+impl fmt::Display for Ratio {
+    // Integers render bare, fractions as `num/den`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Number of base dimensions.
+pub const NDIMS: usize = 6;
+
+/// Base-dimension names, indexing [`Unit::dims`]: gram, metre, day,
+/// degree-Celsius, joule, siemens.
+pub const DIM_NAMES: [&str; NDIMS] = ["g", "m", "d", "degC", "J", "S"];
+
+const DIM_G: usize = 0;
+const DIM_M: usize = 1;
+const DIM_D: usize = 2;
+const DIM_K: usize = 3;
+const DIM_J: usize = 4;
+const DIM_S: usize = 5;
+
+/// A physical unit: rational exponents over the base dimensions and a
+/// power-of-ten scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Unit {
+    /// Exponent per base dimension (order of [`DIM_NAMES`]).
+    pub dims: [Ratio; NDIMS],
+    /// Power-of-ten scale (e.g. `-6` for a bare `ug` relative to `g`).
+    pub pow10: Ratio,
+}
+
+/// Failure to parse a unit string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitParseError {
+    /// The atom that did not parse.
+    pub atom: String,
+}
+
+impl fmt::Display for UnitParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unparseable unit atom '{}'", self.atom)
+    }
+}
+
+impl std::error::Error for UnitParseError {}
+
+impl Unit {
+    /// The dimensionless unit with unit scale.
+    pub const DIMENSIONLESS: Unit = Unit {
+        dims: [Ratio::ZERO; NDIMS],
+        pow10: Ratio::ZERO,
+    };
+
+    /// True when every dimension exponent is zero (scale may differ).
+    pub fn is_dimensionless(&self) -> bool {
+        self.dims.iter().all(|r| r.is_zero())
+    }
+
+    /// Same dimension vector, ignoring scale.
+    pub fn same_dimension(&self, o: &Unit) -> bool {
+        self.dims == o.dims
+    }
+
+    /// Product of units.
+    pub fn mul(&self, o: &Unit) -> Unit {
+        let mut dims = self.dims;
+        for (d, &o) in dims.iter_mut().zip(&o.dims) {
+            *d = *d + o;
+        }
+        Unit {
+            dims,
+            pow10: self.pow10 + o.pow10,
+        }
+    }
+
+    /// Quotient of units.
+    pub fn div(&self, o: &Unit) -> Unit {
+        self.mul(&o.powr(Ratio::int(-1)))
+    }
+
+    /// Raise to a rational power.
+    pub fn powr(&self, e: Ratio) -> Unit {
+        let mut dims = self.dims;
+        for d in &mut dims {
+            *d = *d * e;
+        }
+        Unit {
+            dims,
+            pow10: self.pow10 * e,
+        }
+    }
+
+    /// Parse the compact table notation: whitespace-separated atoms
+    /// `[prefix]base[^exp]`, with `-` alone denoting dimensionless.
+    pub fn parse(s: &str) -> Result<Unit, UnitParseError> {
+        let s = s.trim();
+        if s.is_empty() || s == "-" {
+            return Ok(Unit::DIMENSIONLESS);
+        }
+        let mut unit = Unit::DIMENSIONLESS;
+        for atom in s.split_whitespace() {
+            unit = unit.mul(&parse_atom(atom)?);
+        }
+        Ok(unit)
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if !self.pow10.is_zero() {
+            write!(f, "10^{}", self.pow10)?;
+            wrote = true;
+        }
+        for (i, e) in self.dims.iter().enumerate() {
+            if e.is_zero() {
+                continue;
+            }
+            if wrote {
+                f.write_str(" ")?;
+            }
+            if e.num == 1 && e.den == 1 {
+                write!(f, "{}", DIM_NAMES[i])?;
+            } else {
+                write!(f, "{}^{}", DIM_NAMES[i], e)?;
+            }
+            wrote = true;
+        }
+        if !wrote {
+            f.write_str("1")?;
+        }
+        Ok(())
+    }
+}
+
+/// One base symbol as (dimension index or None for litre, extra pow10,
+/// extra m^3 marker).
+fn base_unit(sym: &str) -> Option<Unit> {
+    let mut u = Unit::DIMENSIONLESS;
+    match sym {
+        "g" => u.dims[DIM_G] = Ratio::int(1),
+        "m" => u.dims[DIM_M] = Ratio::int(1),
+        "d" | "day" => u.dims[DIM_D] = Ratio::int(1),
+        "degC" => u.dims[DIM_K] = Ratio::int(1),
+        "J" => u.dims[DIM_J] = Ratio::int(1),
+        "S" => u.dims[DIM_S] = Ratio::int(1),
+        // Litre = 10^-3 m^3.
+        "L" => {
+            u.dims[DIM_M] = Ratio::int(3);
+            u.pow10 = Ratio::int(-3);
+        }
+        _ => return None,
+    }
+    Some(u)
+}
+
+fn prefix_pow10(p: char) -> Option<i64> {
+    Some(match p {
+        'u' => -6, // micro (µ written as ASCII u in the tables)
+        'n' => -9,
+        'm' => -3, // milli — never reached by a bare "m", which is the metre
+        'c' => -2,
+        'k' => 3,
+        'M' => 6,
+        'G' => 9,
+        _ => return None,
+    })
+}
+
+fn parse_atom(atom: &str) -> Result<Unit, UnitParseError> {
+    let err = || UnitParseError {
+        atom: atom.to_string(),
+    };
+    let (body, exp) = match atom.split_once('^') {
+        Some((b, e)) => {
+            let e: i64 = e.parse().map_err(|_| err())?;
+            (b, Ratio::int(e))
+        }
+        None => (atom, Ratio::int(1)),
+    };
+    // Exact base symbols win over prefix decompositions, so that "m" is the
+    // metre (not milli-something) and "day" is a day.
+    let base = base_unit(body).or_else(|| {
+        let mut chars = body.chars();
+        let p = chars.next()?;
+        let rest = chars.as_str();
+        let pow = prefix_pow10(p)?;
+        let mut u = base_unit(rest)?;
+        u.pow10 = u.pow10 + Ratio::int(pow);
+        // A prefixed "day" ("mday"?) is noise, not a unit.
+        (rest != "day").then_some(u)
+    });
+    Ok(base.ok_or_else(err)?.powr(exp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_arithmetic_reduces() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(1, -2), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(1, 2) + Ratio::new(1, 3), Ratio::new(5, 6));
+        assert_eq!(Ratio::new(1, 2) * Ratio::int(4), Ratio::int(2));
+        assert!((Ratio::int(3) - Ratio::int(3)).is_zero());
+    }
+
+    #[test]
+    fn ratio_approx_recognises_small_fractions() {
+        assert_eq!(Ratio::approx(2.0), Some(Ratio::int(2)));
+        assert_eq!(Ratio::approx(0.5), Some(Ratio::new(1, 2)));
+        assert_eq!(Ratio::approx(-1.0 / 3.0), Some(Ratio::new(-1, 3)));
+        assert_eq!(Ratio::approx(0.123456789), None);
+        assert_eq!(Ratio::approx(f64::NAN), None);
+    }
+
+    #[test]
+    fn parses_every_table_unit() {
+        for s in [
+            "day^-1",
+            "ug L^-1",
+            "degC",
+            "MJ m^-2 d^-1",
+            "mg L^-1",
+            "-",
+            "degC^-2",
+            "uS cm^-1",
+            "m",
+        ] {
+            Unit::parse(s).unwrap_or_else(|e| panic!("'{s}': {e}"));
+        }
+    }
+
+    #[test]
+    fn ug_and_mg_share_dimension_but_not_scale() {
+        let ug = Unit::parse("ug L^-1").unwrap();
+        let mg = Unit::parse("mg L^-1").unwrap();
+        assert!(ug.same_dimension(&mg));
+        assert_ne!(ug, mg);
+        assert_eq!(ug.pow10, Ratio::int(-3)); // 10^-6 g / 10^-3 m^3
+        assert_eq!(mg.pow10, Ratio::int(0));
+    }
+
+    #[test]
+    fn concentration_dims() {
+        // g m^-3 with a scale.
+        let u = Unit::parse("mg L^-1").unwrap();
+        assert_eq!(u.dims[DIM_G], Ratio::int(1));
+        assert_eq!(u.dims[DIM_M], Ratio::int(-3));
+        assert_eq!(u.dims[DIM_D], Ratio::ZERO);
+    }
+
+    #[test]
+    fn mul_div_pow_roundtrip() {
+        let rate = Unit::parse("day^-1").unwrap();
+        let conc = Unit::parse("ug L^-1").unwrap();
+        let flux = conc.mul(&rate);
+        assert_eq!(flux.div(&rate), conc);
+        assert_eq!(rate.powr(Ratio::int(-1)).mul(&rate), Unit::DIMENSIONLESS);
+        let sq = Unit::parse("degC").unwrap().powr(Ratio::int(2));
+        assert_eq!(sq, Unit::parse("degC^2").unwrap());
+    }
+
+    #[test]
+    fn dimensionless_variants() {
+        assert!(Unit::parse("-").unwrap().is_dimensionless());
+        assert!(Unit::parse("").unwrap().is_dimensionless());
+        assert_eq!(Unit::parse("-").unwrap(), Unit::DIMENSIONLESS);
+    }
+
+    #[test]
+    fn bad_atoms_are_rejected() {
+        assert!(Unit::parse("parsec").is_err());
+        assert!(Unit::parse("m^x").is_err());
+        assert!(Unit::parse("qg").is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let u = Unit::parse("MJ m^-2 d^-1").unwrap();
+        let s = u.to_string();
+        assert!(s.contains("J"), "{s}");
+        assert!(s.contains("m^-2"), "{s}");
+        assert_eq!(Unit::DIMENSIONLESS.to_string(), "1");
+    }
+}

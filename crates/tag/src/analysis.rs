@@ -1,0 +1,333 @@
+//! Static structural analysis of grammars.
+//!
+//! A [`Grammar`] can be well-formed (every check in `GrammarBuilder::build`
+//! passes) and still contain material that no derivation will ever use: a
+//! β-tree rooted at a symbol that never labels an interior node, a lexeme
+//! pool for a symbol no reachable tree substitutes at, an operator token
+//! sitting in an operand pool. None of these make derivation *wrong* — they
+//! make the encoded prior knowledge silently inert, which for a
+//! knowledge-guided system is a specification bug worth surfacing.
+//!
+//! [`Grammar::analyze`] computes the reachable-tree fixpoint and reports
+//! everything dead or inert as [`GrammarNote`]s. The notes are purely
+//! informational here; `gmr-lint` converts them into levelled diagnostics
+//! and adds the domain-specific (connector/extender, dimensional) rules on
+//! top.
+
+use crate::grammar::{Grammar, TreeId};
+use crate::tree::{NodeKind, SymId, Token, TreeKind};
+use std::collections::BTreeSet;
+
+/// One finding of the structural analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GrammarNote {
+    /// The tree can never participate in a derivation: an α-tree not rooted
+    /// at the start symbol (restricted TAG never substitutes α-trees), or a
+    /// β-tree whose root symbol never labels an interior node of any
+    /// reachable tree.
+    UnreachableTree {
+        /// The dead tree.
+        tree: TreeId,
+        /// Its name, for display.
+        name: String,
+    },
+    /// A non-empty lexeme pool whose symbol is never used as a substitution
+    /// slot by any reachable tree — the encoded vocabulary is inert.
+    DeadPool {
+        /// The pool's symbol.
+        sym: SymId,
+        /// Symbol name.
+        name: String,
+        /// Number of inert tokens.
+        tokens: usize,
+    },
+    /// A symbol labels adjunction sites (interior nodes) in reachable trees
+    /// but no β-tree roots at it, so adjunction there can never fire. For
+    /// grammars using the connector/extender discipline this is often
+    /// deliberate (plain `Exp` nodes are untouchable by construction), hence
+    /// a note rather than an error.
+    InertAdjunctionSite {
+        /// The site symbol.
+        sym: SymId,
+        /// Symbol name.
+        name: String,
+        /// How many interior nodes across reachable trees carry it.
+        sites: usize,
+    },
+    /// A pool contains an operator token. Restricted substitution grounds a
+    /// slot with a single lexeme in operand position, so an operator lexeme
+    /// can never ground — lowering any derivation that drew it would fail.
+    NonOperandLexeme {
+        /// The pool's symbol.
+        sym: SymId,
+        /// Symbol name.
+        name: String,
+        /// Display form of the offending token.
+        token: String,
+    },
+}
+
+fn token_label(tok: &Token) -> String {
+    match tok {
+        Token::Num(v) => format!("Num({v})"),
+        Token::Param { kind, .. } => format!("Param(kind {kind})"),
+        Token::Var(i) => format!("Var({i})"),
+        Token::State(i) => format!("State({i})"),
+        Token::Bin(op) => format!("Bin({})", op.symbol()),
+        Token::Un(op) => format!("Un({})", op.symbol()),
+    }
+}
+
+impl Grammar {
+    /// Tree ids reachable from the start α-trees under adjunction: the least
+    /// fixpoint of "a β-tree is reachable iff its root symbol labels an
+    /// interior node of some reachable tree".
+    pub fn reachable_trees(&self) -> BTreeSet<TreeId> {
+        let mut reachable: BTreeSet<TreeId> = self.start_alphas().iter().copied().collect();
+        let mut interior: BTreeSet<SymId> = BTreeSet::new();
+        for id in &reachable {
+            interior.extend(self.tree(*id).interior_symbols());
+        }
+        loop {
+            let mut grew = false;
+            for (id, tree) in self.trees() {
+                if reachable.contains(&id) || tree.kind != TreeKind::Auxiliary {
+                    continue;
+                }
+                if interior.contains(&tree.root_symbol()) {
+                    reachable.insert(id);
+                    interior.extend(tree.interior_symbols());
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        reachable
+    }
+
+    /// Run the full structural analysis. Deterministic: notes are ordered by
+    /// rule, then by tree/symbol id.
+    pub fn analyze(&self) -> Vec<GrammarNote> {
+        let mut notes = Vec::new();
+        let reachable = self.reachable_trees();
+
+        // Unreachable trees.
+        for (id, tree) in self.trees() {
+            if !reachable.contains(&id) {
+                notes.push(GrammarNote::UnreachableTree {
+                    tree: id,
+                    name: tree.name.clone(),
+                });
+            }
+        }
+
+        // Substitution slots and adjunction sites of the reachable forest.
+        let mut live_slots: BTreeSet<SymId> = BTreeSet::new();
+        let mut site_counts = vec![0usize; self.symbol_count()];
+        for id in &reachable {
+            for node in &self.tree(*id).nodes {
+                match node.kind {
+                    NodeKind::Subst(s) => {
+                        live_slots.insert(s);
+                    }
+                    NodeKind::Interior(s) => site_counts[s.0 as usize] += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        // Dead pools.
+        for i in 0..self.symbol_count() {
+            let sym = SymId(i as u16);
+            if !self.pool(sym).is_empty() && !live_slots.contains(&sym) {
+                notes.push(GrammarNote::DeadPool {
+                    sym,
+                    name: self.symbol_name(sym).to_string(),
+                    tokens: self.pool(sym).len(),
+                });
+            }
+        }
+
+        // Adjunction sites that can never fire.
+        for (i, &sites) in site_counts.iter().enumerate() {
+            let sym = SymId(i as u16);
+            if sites > 0 && self.betas_for(sym).is_empty() {
+                notes.push(GrammarNote::InertAdjunctionSite {
+                    sym,
+                    name: self.symbol_name(sym).to_string(),
+                    sites,
+                });
+            }
+        }
+
+        // Operator tokens in operand pools.
+        for i in 0..self.symbol_count() {
+            let sym = SymId(i as u16);
+            for tok in self.pool(sym) {
+                if !tok.is_operand() {
+                    notes.push(GrammarNote::NonOperandLexeme {
+                        sym,
+                        name: self.symbol_name(sym).to_string(),
+                        token: token_label(tok),
+                    });
+                }
+            }
+        }
+
+        notes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::test_fixtures::tiny_grammar;
+    use crate::grammar::GrammarBuilder;
+    use crate::tree::{ElemTreeBuilder, Token, TreeKind};
+    use gmr_expr::BinOp;
+
+    #[test]
+    fn tiny_grammar_is_fully_live() {
+        let (g, _) = tiny_grammar();
+        let notes = g.analyze();
+        assert!(
+            notes.is_empty(),
+            "tiny grammar should be clean, got {notes:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_beta_is_reported() {
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let ghost = gb.sym("Ghost");
+        gb.start(s);
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        a.anchor(r, Token::Num(1.0));
+        gb.tree(a.build().unwrap());
+        // β rooted at a symbol no interior node carries.
+        let mut b = ElemTreeBuilder::new("ghost-beta", TreeKind::Auxiliary, ghost);
+        let r = b.root();
+        b.foot(r, ghost);
+        b.anchor(r, Token::Bin(BinOp::Add));
+        b.anchor(r, Token::Num(2.0));
+        gb.tree(b.build().unwrap());
+        let g = gb.build().unwrap();
+        let notes = g.analyze();
+        assert!(notes.iter().any(
+            |n| matches!(n, GrammarNote::UnreachableTree { name, .. } if name == "ghost-beta")
+        ));
+    }
+
+    #[test]
+    fn unreachable_alpha_is_reported() {
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let other = gb.sym("Other");
+        gb.start(s);
+        for (name, sym) in [("start-alpha", s), ("stray-alpha", other)] {
+            let mut a = ElemTreeBuilder::new(name, TreeKind::Initial, sym);
+            let r = a.root();
+            a.anchor(r, Token::Num(1.0));
+            gb.tree(a.build().unwrap());
+        }
+        let g = gb.build().unwrap();
+        let notes = g.analyze();
+        assert!(notes.iter().any(
+            |n| matches!(n, GrammarNote::UnreachableTree { name, .. } if name == "stray-alpha")
+        ));
+    }
+
+    #[test]
+    fn dead_pool_is_reported() {
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let unused = gb.sym("Unused");
+        gb.start(s);
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        a.anchor(r, Token::Num(1.0));
+        gb.tree(a.build().unwrap());
+        gb.pool(unused, [Token::Var(0)]);
+        let g = gb.build().unwrap();
+        let notes = g.analyze();
+        assert!(notes.iter().any(
+            |n| matches!(n, GrammarNote::DeadPool { name, tokens: 1, .. } if name == "Unused")
+        ));
+    }
+
+    #[test]
+    fn inert_site_is_reported_per_symbol() {
+        // The α has an interior "Inner" node, but no β roots at Inner.
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let inner = gb.sym("Inner");
+        gb.start(s);
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        let n = a.interior(r, inner);
+        a.anchor(n, Token::Num(1.0));
+        gb.tree(a.build().unwrap());
+        let g = gb.build().unwrap();
+        let notes = g.analyze();
+        let inert: Vec<_> = notes
+            .iter()
+            .filter(|n| matches!(n, GrammarNote::InertAdjunctionSite { .. }))
+            .collect();
+        // Both S (the root site) and Inner have no βs.
+        assert_eq!(inert.len(), 2);
+    }
+
+    #[test]
+    fn operator_lexeme_is_reported() {
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let v = gb.sym("V");
+        gb.start(s);
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        a.subst(r, v);
+        gb.tree(a.build().unwrap());
+        gb.pool(v, [Token::Var(0), Token::Bin(BinOp::Mul)]);
+        let g = gb.build().unwrap();
+        let notes = g.analyze();
+        assert!(notes.iter().any(
+            |n| matches!(n, GrammarNote::NonOperandLexeme { token, .. } if token == "Bin(*)")
+        ));
+    }
+
+    #[test]
+    fn reachability_fixpoint_chains_through_betas() {
+        // β1 roots at S and introduces interior "Mid"; β2 roots at Mid.
+        // β2 is only reachable *because* β1 is.
+        let mut gb = GrammarBuilder::new();
+        let s = gb.sym("S");
+        let mid = gb.sym("Mid");
+        gb.start(s);
+        let mut a = ElemTreeBuilder::new("alpha", TreeKind::Initial, s);
+        let r = a.root();
+        a.anchor(r, Token::Num(1.0));
+        gb.tree(a.build().unwrap());
+        let mut b1 = ElemTreeBuilder::new("b1", TreeKind::Auxiliary, s);
+        let r = b1.root();
+        b1.foot(r, s);
+        b1.anchor(r, Token::Bin(BinOp::Add));
+        let m = b1.interior(r, mid);
+        b1.anchor(m, Token::Num(2.0));
+        let b1_id = gb.tree(b1.build().unwrap());
+        let mut b2 = ElemTreeBuilder::new("b2", TreeKind::Auxiliary, mid);
+        let r = b2.root();
+        b2.foot(r, mid);
+        b2.anchor(r, Token::Bin(BinOp::Mul));
+        b2.anchor(r, Token::Num(3.0));
+        let b2_id = gb.tree(b2.build().unwrap());
+        let g = gb.build().unwrap();
+        let reachable = g.reachable_trees();
+        assert!(reachable.contains(&b1_id));
+        assert!(reachable.contains(&b2_id));
+        assert!(g.analyze().is_empty());
+    }
+}

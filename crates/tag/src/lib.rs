@@ -23,18 +23,23 @@
 //!   [`gmr_expr::Expr`] for fitness evaluation;
 //! * [`grammar`] — grammars bundling elementary trees with lexeme pools and
 //!   the *connector/extender* symbol discipline of §III-B3, plus random
-//!   individual generation for population initialisation.
+//!   individual generation for population initialisation;
+//! * [`analysis`] — static structural analysis (reachability of elementary
+//!   trees, dead lexeme pools, inert adjunction sites) consumed by the
+//!   `gmr-lint` diagnostics layer.
 //!
 //! The genetic operators that act on derivation trees (crossover, subtree
 //! mutation, insertion/deletion) live one layer up in `gmr-gp`; this crate
 //! deliberately contains only the formalism.
 
+pub mod analysis;
 pub mod derivation;
 pub mod derive;
 pub mod grammar;
 pub mod lower;
 pub mod tree;
 
+pub use analysis::GrammarNote;
 pub use derivation::{DerivNode, DerivTree};
 pub use derive::DerivedTree;
 pub use grammar::{Grammar, GrammarBuilder, GrammarError, TreeId};

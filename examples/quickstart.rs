@@ -57,6 +57,7 @@ fn main() {
             ..GpConfig::default()
         },
         runs: 2,
+        ..GmrConfig::default()
     };
     println!(
         "\nrevising ({} runs × {} generations)…",

@@ -14,6 +14,8 @@
 //! * [`bio`] — the expert biological process, its parameter priors and
 //!   extension points;
 //! * [`gp`] — the TAG3P evolutionary engine with its speed-up techniques;
+//! * [`lint`] — static analysis over grammars and evolved equations
+//!   (dimensional analysis, grammar lints, interval checks);
 //! * [`core`] — the knowledge-guided genetic model revision framework
 //!   itself;
 //! * [`baselines`] — every comparator from the paper's evaluation.
@@ -26,4 +28,5 @@ pub use gmr_core as core;
 pub use gmr_expr as expr;
 pub use gmr_gp as gp;
 pub use gmr_hydro as hydro;
+pub use gmr_lint as lint;
 pub use gmr_tag as tag;

@@ -94,7 +94,11 @@ fn multi_run_protocol_sorted_and_deterministic() {
     let mut gp = small_gp(14);
     gp.threads = 1; // full determinism
     gp.es_threshold = None; // remove the one nondeterministic interaction
-    let cfg = GmrConfig { gp, runs: 2 };
+    let cfg = GmrConfig {
+        gp,
+        runs: 2,
+        ..GmrConfig::default()
+    };
     let a = gmr.run_many(&cfg);
     let b = gmr.run_many(&cfg);
     assert_eq!(a.len(), 2);
@@ -111,6 +115,7 @@ fn selectivity_analysis_over_finalists() {
     let cfg = GmrConfig {
         gp: small_gp(15),
         runs: 2,
+        ..GmrConfig::default()
     };
     let results = gmr.run_many(&cfg);
     let models: Vec<_> = results.iter().map(|r| r.equations.clone()).collect();
