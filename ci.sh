@@ -18,4 +18,8 @@ cargo test --workspace -q
 echo "==> gmr-lint --builtin (zero errors required)"
 cargo run --release -q -p gmr-lint -- --builtin
 
+echo "==> bench_engine smoke (determinism + speedup gate)"
+cargo run --release -q -p gmr-bench --bin bench_engine -- --quick --out BENCH_engine.json
+cargo run --release -q -p gmr-bench --bin bench_engine -- --validate BENCH_engine.json
+
 echo "CI OK"

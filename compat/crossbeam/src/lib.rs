@@ -1,11 +1,18 @@
 //! Offline shim for `crossbeam` (API subset).
 //!
-//! Only `crossbeam::thread::scope` is used by this workspace; it maps
-//! directly onto `std::thread::scope` (stable since 1.63). One semantic
-//! difference: a panicking child causes the *scope itself* to propagate the
-//! panic instead of surfacing it as `Err`, so the `Result` returned here is
-//! always `Ok`. Callers that `.expect(...)` the result behave identically —
-//! the process still aborts the evaluation with the panic payload.
+//! Two surfaces are used by this workspace:
+//!
+//! * `crossbeam::thread::scope`, mapping directly onto `std::thread::scope`
+//!   (stable since 1.63). One semantic difference: a panicking child causes
+//!   the *scope itself* to propagate the panic instead of surfacing it as
+//!   `Err`, so the `Result` returned here is always `Ok`. Callers that
+//!   `.expect(...)` the result behave identically — the process still aborts
+//!   the evaluation with the panic payload.
+//! * `crossbeam::queue::{SegQueue, ArrayQueue}`, the concurrent queues the
+//!   GP evaluation pool uses for worker-record hand-off. Upstream's are
+//!   lock-free; these shims keep the exact API on a mutexed `VecDeque`,
+//!   which is plenty for the pool's low-frequency producer/consumer traffic
+//!   (one record per worker per run, not per candidate).
 
 pub mod thread {
     //! Scoped threads.
@@ -42,6 +49,132 @@ pub mod thread {
     }
 }
 
+pub mod queue {
+    //! Concurrent queues (API subset of `crossbeam-queue`).
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue. API mirror of `crossbeam::queue::SegQueue`.
+    #[derive(Debug)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            // Poisoning only matters mid-panic; the data is still coherent.
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Append an element at the back.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Pop the front element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+    }
+
+    /// Bounded MPMC FIFO queue. API mirror of `crossbeam::queue::ArrayQueue`.
+    #[derive(Debug)]
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        cap: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// A queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        /// Panics when `cap` is zero, matching upstream.
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(cap)),
+                cap,
+            }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Append at the back; returns the value back when full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.lock();
+            if q.len() >= self.cap {
+                return Err(value);
+            }
+            q.push_back(value);
+            Ok(())
+        }
+
+        /// Append at the back, evicting the front element when full (and
+        /// returning it).
+        pub fn force_push(&self, value: T) -> Option<T> {
+            let mut q = self.lock();
+            let evicted = if q.len() >= self.cap {
+                q.pop_front()
+            } else {
+                None
+            };
+            q.push_back(value);
+            evicted
+        }
+
+        /// Pop the front element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Maximum number of elements.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// True when at capacity.
+        pub fn is_full(&self) -> bool {
+            self.lock().len() >= self.cap
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -64,5 +197,57 @@ mod tests {
     fn scope_returns_closure_value() {
         let v = super::thread::scope(|_| 7).unwrap();
         assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn seg_queue_fifo_round_trip() {
+        let q = super::queue::SegQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn seg_queue_concurrent_producers() {
+        use std::sync::Arc;
+        let q = Arc::new(super::queue::SegQueue::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    q.push(t * 100 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut drained = Vec::new();
+        while let Some(v) = q.pop() {
+            drained.push(v);
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, (0..400).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn array_queue_bounded_semantics() {
+        let q = super::queue::ArrayQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert!(q.is_full());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.force_push(4), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert!(q.is_empty());
     }
 }

@@ -1,0 +1,380 @@
+//! Engine throughput benchmark: persistent evaluation pool + phenotype
+//! memo, measured end to end and emitted as machine-readable JSON.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p gmr-bench --bin bench_engine -- [--quick] [--out PATH]
+//! cargo run --release -p gmr-bench --bin bench_engine -- --validate PATH
+//! ```
+//!
+//! The workload is a *latency-bound* synthetic evaluator: each fitness
+//! evaluation sleeps a fixed interval per short-circuit block, modelling a
+//! forward integration whose cost is dominated by waiting on memory /
+//! solver latency rather than raw arithmetic. That choice is deliberate —
+//! CI containers often expose a single core, and a compute-bound workload
+//! cannot speed up there no matter how good the scheduler is. A
+//! latency-bound one can: sleeping candidates overlap, so the measured
+//! speed-up isolates what this benchmark is actually about — the pool's
+//! ability to keep `threads` candidates in flight concurrently and claim
+//! work dynamically. Compute-bound scaling on real hardware is covered by
+//! the Criterion benches (`benches/speedup.rs`).
+//!
+//! Every thread count runs the identical seeded workload, and the run
+//! aborts unless the per-generation best-fitness trajectories are
+//! bit-identical across thread counts — the pool's determinism contract,
+//! checked on every benchmark run, not just in the test suite.
+//!
+//! `--validate` re-opens an emitted JSON file and enforces the acceptance
+//! gate: schema tag present, determinism flag true, and threads=4 achieving
+//! at least 2× the threads=1 candidate throughput.
+
+use gmr_expr::EvalContext;
+use gmr_gp::{Engine, Evaluator, GpConfig, ParamPriors, Phenotype, PoolStats};
+use gmr_tag::grammar::test_fixtures::tiny_grammar;
+use std::time::{Duration, Instant};
+
+const SCHEMA: &str = "gmr-bench-engine/v1";
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const MIN_SPEEDUP_T4: f64 = 2.0;
+
+/// Fit `y = 2x - 1` with a fixed per-block latency. The short-circuit
+/// controller is consulted every `CHECK_EVERY` cases; one sleep precedes
+/// each block, so a full evaluation costs `blocks × sleep` wall time and a
+/// short-circuited one proportionally less — exactly the profile a
+/// forward-Euler integration with an expensive RHS would show.
+struct SleepyLineFit {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    sleep: Duration,
+}
+
+const CHECK_EVERY: usize = 8;
+
+impl SleepyLineFit {
+    fn new(cases: usize, sleep: Duration) -> Self {
+        let xs: Vec<f64> = (0..cases).map(|i| i as f64 / 4.0).collect();
+        let ys = xs.iter().map(|x| 2.0 * x - 1.0).collect();
+        SleepyLineFit { xs, ys, sleep }
+    }
+}
+
+impl Evaluator for SleepyLineFit {
+    fn num_equations(&self) -> usize {
+        1
+    }
+    fn num_cases(&self) -> usize {
+        self.xs.len()
+    }
+    fn evaluate(&self, ph: &Phenotype, ctl: &mut dyn FnMut(f64, usize) -> bool) -> (f64, bool) {
+        let eq = &ph.eqs()[0];
+        let comp = ph.compiled().map(|c| &c[0]);
+        let mut stack = Vec::new();
+        let mut sse = 0.0;
+        let n = self.xs.len();
+        for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
+            if i % CHECK_EVERY == 0 {
+                std::thread::sleep(self.sleep); // the modelled integration latency
+            }
+            let state = [x];
+            let ctx = EvalContext {
+                vars: &[],
+                state: &state,
+            };
+            let p = match &comp {
+                Some(c) => c.eval_with(&ctx, &mut stack),
+                None => eq.eval(&ctx),
+            };
+            let d = p - y;
+            sse += d * d;
+            let done = i + 1;
+            if done % CHECK_EVERY == 0 && done < n {
+                let running = (sse / done as f64).sqrt();
+                if !ctl(running, done) {
+                    return (running, false);
+                }
+            }
+        }
+        ((sse / n as f64).sqrt(), true)
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    pop_size: usize,
+    max_gen: usize,
+    cases: usize,
+    sleep_us: u64,
+    seed: u64,
+}
+
+impl Workload {
+    fn quick() -> Workload {
+        Workload {
+            name: "quick",
+            pop_size: 24,
+            max_gen: 6,
+            cases: 32,
+            sleep_us: 500,
+            seed: 11,
+        }
+    }
+    fn default_scale() -> Workload {
+        Workload {
+            name: "default",
+            pop_size: 40,
+            max_gen: 12,
+            cases: 64,
+            sleep_us: 800,
+            seed: 11,
+        }
+    }
+    fn cfg(&self, threads: usize) -> GpConfig {
+        GpConfig {
+            pop_size: self.pop_size,
+            max_gen: self.max_gen,
+            min_size: 2,
+            max_size: 10,
+            local_search_steps: 1,
+            es_threshold: Some(1.1),
+            threads,
+            seed: self.seed,
+            ..GpConfig::default()
+        }
+    }
+}
+
+struct RunResult {
+    threads: usize,
+    wall: Duration,
+    candidates: u64,
+    evaluations: u64,
+    short_circuited: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    pheno_builds: u64,
+    pheno_reuses: u64,
+    compiles: u64,
+    pool: PoolStats,
+    trajectory: Vec<u64>,
+}
+
+impl RunResult {
+    fn candidates_per_sec(&self) -> f64 {
+        self.candidates as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+fn run_once(w: &Workload, threads: usize) -> RunResult {
+    let (g, _) = tiny_grammar();
+    let problem = SleepyLineFit::new(w.cases, Duration::from_micros(w.sleep_us));
+    let priors = ParamPriors::new([(2.0, 0.0, 4.0), (0.5, 0.0, 1.0)]);
+    let engine = Engine::new(&g, &problem, priors, w.cfg(threads));
+    let start = Instant::now();
+    let report = engine.run();
+    let wall = start.elapsed();
+    RunResult {
+        threads,
+        wall,
+        candidates: report.pool.total_candidates(),
+        evaluations: report.evaluations,
+        short_circuited: report.short_circuited,
+        cache_hits: report.cache_hits,
+        cache_misses: report.cache_misses,
+        pheno_builds: report.pheno_builds,
+        pheno_reuses: report.pheno_reuses,
+        compiles: report.compiles,
+        pool: report.pool,
+        trajectory: report.history.iter().map(|s| s.best.to_bits()).collect(),
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn render_json(w: &Workload, runs: &[RunResult], deterministic: bool, speedup_t4: f64) -> String {
+    let base_cps = runs[0].candidates_per_sec();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"scale\": \"{}\",\n", w.name));
+    out.push_str(&format!(
+        "  \"workload\": {{\"pop_size\": {}, \"max_gen\": {}, \"cases\": {}, \"sleep_us_per_block\": {}, \"seed\": {}}},\n",
+        w.pop_size, w.max_gen, w.cases, w.sleep_us, w.seed
+    ));
+    out.push_str(&format!(
+        "  \"deterministic_across_threads\": {deterministic},\n"
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let cps = r.candidates_per_sec();
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_ms\": {:.3}, \"candidates\": {}, \
+             \"candidates_per_sec\": {:.3}, \"speedup_vs_1\": {:.3}, \
+             \"evaluations\": {}, \"short_circuited\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"pheno_builds\": {}, \"pheno_reuses\": {}, \"compiles\": {},\n",
+            r.threads,
+            ms(r.wall),
+            r.candidates,
+            cps,
+            cps / base_cps,
+            r.evaluations,
+            r.short_circuited,
+            r.cache_hits,
+            r.cache_misses,
+            r.pheno_builds,
+            r.pheno_reuses,
+            r.compiles,
+        ));
+        out.push_str(&format!(
+            "     \"pool\": {{\"rounds\": {}, \"steals\": {}, \"busy_ms\": {:.3}, \"idle_ms\": {:.3}, \"workers\": [",
+            r.pool.rounds,
+            r.pool.total_steals(),
+            ms(r.pool.total_busy()),
+            ms(r.pool.total_idle()),
+        ));
+        for (j, ws) in r.pool.workers.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"worker\": {}, \"candidates\": {}, \"claims\": {}, \"steals\": {}, \"busy_ms\": {:.3}, \"idle_ms\": {:.3}}}",
+                ws.worker, ws.candidates, ws.claims, ws.steals, ms(ws.busy), ms(ws.idle)
+            ));
+        }
+        out.push_str("]}}");
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"speedup_threads4\": {speedup_t4:.3}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Pull the first numeric value following `"key":` out of the emitted JSON.
+fn json_number(src: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = src.find(&pat)? + pat.len();
+    let rest = src[i..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Enforce the acceptance gate on an emitted file. Returns the failures.
+fn validate(src: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !src.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        errs.push(format!("missing schema tag {SCHEMA:?}"));
+    }
+    for key in [
+        "workload",
+        "runs",
+        "candidates_per_sec",
+        "speedup_vs_1",
+        "pool",
+        "workers",
+    ] {
+        if !src.contains(&format!("\"{key}\":")) {
+            errs.push(format!("missing key {key:?}"));
+        }
+    }
+    if !src.contains("\"deterministic_across_threads\": true") {
+        errs.push("deterministic_across_threads is not true".into());
+    }
+    match json_number(src, "speedup_threads4") {
+        Some(s) if s >= MIN_SPEEDUP_T4 => {}
+        Some(s) => errs.push(format!(
+            "speedup_threads4 {s:.3} below the {MIN_SPEEDUP_T4}x gate"
+        )),
+        None => errs.push("speedup_threads4 missing or not a number".into()),
+    }
+    for t in THREAD_COUNTS {
+        if !src.contains(&format!("\"threads\": {t},")) {
+            errs.push(format!("no run entry for threads={t}"));
+        }
+    }
+    errs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--validate requires a file path");
+            std::process::exit(2);
+        });
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let errs = validate(&src);
+        if errs.is_empty() {
+            println!("{path}: OK ({SCHEMA})");
+            return;
+        }
+        for e in &errs {
+            eprintln!("{path}: FAIL: {e}");
+        }
+        std::process::exit(1);
+    }
+
+    let w = if args.iter().any(|a| a == "--quick") {
+        Workload::quick()
+    } else {
+        Workload::default_scale()
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_engine.json");
+
+    eprintln!(
+        "bench_engine: scale={} pop={} gen={} cases={} sleep={}us threads={THREAD_COUNTS:?}",
+        w.name, w.pop_size, w.max_gen, w.cases, w.sleep_us
+    );
+    let runs: Vec<RunResult> = THREAD_COUNTS.iter().map(|&t| run_once(&w, t)).collect();
+
+    let deterministic = runs.iter().all(|r| r.trajectory == runs[0].trajectory);
+    let base = runs[0].candidates_per_sec();
+    let speedup_t4 = runs
+        .iter()
+        .find(|r| r.threads == 4)
+        .map(|r| r.candidates_per_sec() / base)
+        .unwrap_or(0.0);
+
+    for r in &runs {
+        eprintln!(
+            "  threads={}: {:.1} ms wall, {} candidates ({:.1}/s, {:.2}x), {} steals, {:.1} ms idle",
+            r.threads,
+            ms(r.wall),
+            r.candidates,
+            r.candidates_per_sec(),
+            r.candidates_per_sec() / base,
+            r.pool.total_steals(),
+            ms(r.pool.total_idle()),
+        );
+    }
+    if !deterministic {
+        eprintln!("FAIL: fitness trajectories diverged across thread counts");
+    }
+
+    let json = render_json(&w, &runs, deterministic, speedup_t4);
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {out_path} (speedup_threads4 = {speedup_t4:.2}x)");
+
+    let errs = validate(&json);
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("FAIL: {e}");
+        }
+        std::process::exit(1);
+    }
+}

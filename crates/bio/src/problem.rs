@@ -159,20 +159,36 @@ impl RiverProblem {
         compiled: bool,
         ctl: &mut dyn FnMut(f64, usize) -> bool,
     ) -> (f64, bool) {
+        let compiled_eqs = compiled.then(|| {
+            [
+                CompiledExpr::compile(&eqs[0]),
+                CompiledExpr::compile(&eqs[1]),
+            ]
+        });
+        let refs = compiled_eqs.as_ref().map(|c| [&c[0], &c[1]]);
+        self.evaluate_precompiled([&eqs[0], &eqs[1]], refs, ctl)
+    }
+
+    /// [`Self::evaluate_with`] taking already-compiled bytecode, so callers
+    /// that memoise the compiled system per genotype (the GP engine's
+    /// phenotype cache) pay the compile cost once instead of on every
+    /// evaluation.
+    pub fn evaluate_precompiled(
+        &self,
+        eqs: [&Expr; 2],
+        compiled: Option<[&CompiledExpr; 2]>,
+        ctl: &mut dyn FnMut(f64, usize) -> bool,
+    ) -> (f64, bool) {
         let cap = self.opts.state_cap;
         let dt = self.opts.dt;
         let (mut bphy, mut bzoo) = self.opts.init;
         let mut sse = 0.0f64;
         let n = self.num_cases();
-        let compiled_eqs = if compiled {
-            Some([
-                CompiledExpr::compile(&eqs[0]),
-                CompiledExpr::compile(&eqs[1]),
-            ])
-        } else {
-            None
-        };
-        let mut stack = Vec::new();
+        let mut stack = Vec::with_capacity(
+            compiled
+                .map(|[c0, c1]| c0.max_stack().max(c1.max_stack()))
+                .unwrap_or(0),
+        );
         for (i, row) in self.forcings.iter().enumerate() {
             let err = bphy - self.observed[i];
             sse += err * err;
@@ -181,7 +197,7 @@ impl RiverProblem {
                 vars: row,
                 state: &state,
             };
-            let (dphy, dzoo) = match &compiled_eqs {
+            let (dphy, dzoo) = match &compiled {
                 Some([c0, c1]) => (
                     c0.eval_with(&ctx, &mut stack),
                     c1.eval_with(&ctx, &mut stack),

@@ -2,8 +2,7 @@
 
 use gmr_bio::params::{NUM_CALIBRATED, PARAMS};
 use gmr_bio::RiverProblem;
-use gmr_expr::Expr;
-use gmr_gp::{Evaluator, ParamPriors};
+use gmr_gp::{Evaluator, ParamPriors, Phenotype};
 
 /// Table III (plus the `R` pseudo-parameter) as GP mutation priors.
 pub fn river_priors() -> ParamPriors {
@@ -39,15 +38,14 @@ impl Evaluator for RiverEvaluator {
         self.problem.num_cases()
     }
 
-    fn evaluate(
-        &self,
-        eqs: &[Expr],
-        compiled: bool,
-        ctl: &mut dyn FnMut(f64, usize) -> bool,
-    ) -> (f64, bool) {
+    fn evaluate(&self, ph: &Phenotype, ctl: &mut dyn FnMut(f64, usize) -> bool) -> (f64, bool) {
+        let eqs = ph.eqs();
         debug_assert_eq!(eqs.len(), 2);
-        let system = [eqs[0].clone(), eqs[1].clone()];
-        self.problem.evaluate_with(&system, compiled, ctl)
+        // The engine compiled the system once per genotype; reuse it here
+        // instead of recompiling per evaluation.
+        let compiled = ph.compiled().map(|c| [&c[0], &c[1]]);
+        self.problem
+            .evaluate_precompiled([&eqs[0], &eqs[1]], compiled, ctl)
     }
 }
 
@@ -79,7 +77,8 @@ mod tests {
     fn evaluator_matches_direct_rmse() {
         let ev = evaluator();
         let eqs = manual_system();
-        let (fit, full) = Evaluator::evaluate(&ev, &eqs, false, &mut |_, _| true);
+        let ph = Phenotype::build(eqs.to_vec(), false);
+        let (fit, full) = Evaluator::evaluate(&ev, &ph, &mut |_, _| true);
         assert!(full);
         let direct = ev.problem().rmse(&eqs);
         if direct.is_finite() {

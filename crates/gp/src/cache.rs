@@ -8,9 +8,12 @@
 //! numerics) share one entry.
 //!
 //! The map is sharded behind `parking_lot` mutexes for cheap concurrent
-//! access from the parallel evaluation pool, uses the identity hash (keys
-//! are already 128-bit mixes), and evicts by clearing the fullest shard when
-//! a shard exceeds its budget — fitness caching tolerates loss, never
+//! access from the parallel evaluation pool and uses the identity hash
+//! (keys are already 128-bit mixes). When a shard exceeds its budget it
+//! evicts incrementally — short-circuited (surrogate) entries first, then
+//! half the remainder — rather than clearing wholesale, so an eviction wave
+//! does not discard the hot fully-evaluated entries that elitism and
+//! replication keep hitting. Fitness caching tolerates loss, never
 //! staleness (keys are pure functions of the phenotype).
 
 use gmr_expr::TreeKey;
@@ -127,13 +130,28 @@ impl TreeCache {
     pub fn insert(&self, key: (u64, u64), value: CachedFitness) {
         let mut shard = self.shard(key).lock();
         if shard.len() >= self.per_shard_cap {
-            shard.clear();
+            Self::evict(&mut shard, self.per_shard_cap);
         }
         match shard.get(&key) {
             Some(existing) if existing.full && !value.full => {}
             _ => {
                 shard.insert(key, value);
             }
+        }
+    }
+
+    /// Shed load from an over-budget shard without discarding its hot set:
+    /// drop short-circuited (surrogate) entries first — they are cheap to
+    /// recompute and their fitness is approximate anyway — and only if that
+    /// leaves the shard still at budget thin the survivors to half.
+    fn evict(shard: &mut Shard, cap: usize) {
+        shard.retain(|_, v| v.full);
+        if shard.len() >= cap {
+            let mut i = 0usize;
+            shard.retain(|_, _| {
+                i += 1;
+                i.is_multiple_of(2)
+            });
         }
     }
 
@@ -258,6 +276,77 @@ mod tests {
             );
         }
         assert!(cache.len() <= SHARDS * 16 + SHARDS, "len {}", cache.len());
+    }
+
+    #[test]
+    fn eviction_sheds_surrogates_before_full_entries() {
+        // One shard's worth of entries: fill with full entries to just
+        // under the cap, pad with short-circuited surrogates, then
+        // overflow. The surrogates must go first; every full entry stays.
+        let per_shard = 16; // capacity SHARDS*16 → 16 per shard
+        let cache = TreeCache::new(SHARDS * per_shard);
+        let full_keys: Vec<(u64, u64)> = (0..10).map(|i| (i * SHARDS as u64, i)).collect();
+        for (n, &k) in full_keys.iter().enumerate() {
+            cache.insert(
+                k,
+                CachedFitness {
+                    fitness: n as f64,
+                    full: true,
+                },
+            );
+        }
+        for i in 10..per_shard as u64 + 1 {
+            cache.insert(
+                (i * SHARDS as u64, i),
+                CachedFitness {
+                    fitness: 999.0,
+                    full: false,
+                },
+            );
+        }
+        for (n, &k) in full_keys.iter().enumerate() {
+            assert_eq!(
+                cache.get(k).map(|v| v.fitness),
+                Some(n as f64),
+                "full entry {n} must survive the eviction wave"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_wave_keeps_roughly_half_the_hot_set() {
+        // All-full entries overflowing a single shard repeatedly: the old
+        // clear-the-shard policy left ~0 survivors after each wave; the
+        // halving policy must keep the shard at least half-populated.
+        let per_shard = 64;
+        let cache = TreeCache::new(SHARDS * per_shard);
+        for i in 0..(per_shard as u64 * 3) {
+            cache.insert(
+                (i * SHARDS as u64, i),
+                CachedFitness {
+                    fitness: i as f64,
+                    full: true,
+                },
+            );
+        }
+        let survivors = cache.len();
+        assert!(
+            survivors >= per_shard / 2,
+            "eviction should halve, not clear: {survivors} left"
+        );
+        // Hit rate over the most recent cap-worth of keys survives the
+        // wave (the clear-the-shard policy this replaces dropped the whole
+        // working set at once, zeroing the post-wave hit rate).
+        let mut hits = 0;
+        for i in (per_shard as u64 * 2)..(per_shard as u64 * 3) {
+            if cache.get((i * SHARDS as u64, i)).is_some() {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits >= per_shard / 4,
+            "recent keys should largely survive: {hits}/{per_shard}"
+        );
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! and runtime compilation — are independent switches in [`GpConfig`], which
 //! is exactly what the Fig. 10 experiment toggles.
 //!
-//! Determinism: with `threads = 1` a run is a pure function of the seed.
-//! With more threads, per-individual RNG streams keep *operators*
-//! deterministic, but the short-circuiting baseline (`bestPrevFull`) is
-//! updated concurrently, so ES decisions may vary across runs — the same
-//! trade-off the paper's 80-core setup makes.
+//! Determinism: a run's fitness trajectory is a pure function of the seed
+//! for **any** `threads` value. Per-individual RNG streams are derived from
+//! the global candidate index, evaluation rounds snapshot the
+//! short-circuiting baseline (`bestPrevFull`) at round boundaries, and the
+//! only cross-thread write — `fetch_min` on that baseline — is commutative,
+//! so thread interleaving can change *which worker* runs a candidate but
+//! never what the candidate computes. See DESIGN.md, "Evaluation pool".
 
 use crate::cache::{CachedFitness, TreeCache};
 use crate::individual::Individual;
@@ -20,6 +22,8 @@ use crate::operators::{
     crossover, deletion, gaussian_mutation_partial, insertion, param_tweak, subtree_mutation,
     DEFAULT_RETRIES,
 };
+use crate::phenotype::Phenotype;
+use crate::pool::{with_pool, EvalPool, PoolStats};
 use crate::priors::ParamPriors;
 use crate::short_circuit::{AtomicF64, EsController, EsOutcome, Extrapolate};
 use gmr_expr::{simplify, Expr};
@@ -28,6 +32,7 @@ use gmr_tag::{DerivTree, Grammar};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A fitness problem. Implementations integrate the lowered equation system
@@ -39,13 +44,12 @@ pub trait Evaluator: Sync {
     fn num_equations(&self) -> usize;
     /// Number of fitness cases (time steps).
     fn num_cases(&self) -> usize;
-    /// Evaluate; returns `(fitness, fully_evaluated)`.
-    fn evaluate(
-        &self,
-        eqs: &[Expr],
-        compiled: bool,
-        ctl: &mut dyn FnMut(f64, usize) -> bool,
-    ) -> (f64, bool);
+    /// Evaluate a derived phenotype; returns `(fitness, fully_evaluated)`.
+    ///
+    /// When [`Phenotype::compiled`] is `Some`, the engine compiled the
+    /// system once per genotype and the implementation should run the
+    /// bytecode instead of interpreting [`Phenotype::eqs`].
+    fn evaluate(&self, ph: &Phenotype, ctl: &mut dyn FnMut(f64, usize) -> bool) -> (f64, bool);
 }
 
 /// Engine configuration. Defaults are the paper's Appendix B settings.
@@ -174,6 +178,20 @@ pub struct RunReport {
     pub short_circuited: u64,
     /// Final cache hit rate.
     pub cache_hit_rate: f64,
+    /// Tree-cache hits.
+    pub cache_hits: u64,
+    /// Tree-cache misses.
+    pub cache_misses: u64,
+    /// Phenotypes derived (lower + simplify + hash, plus compile when
+    /// runtime compilation is on).
+    pub pheno_builds: u64,
+    /// Evaluations that reused a memoised phenotype instead of re-deriving.
+    pub pheno_reuses: u64,
+    /// `CompiledExpr` programs produced (one per equation per build when
+    /// runtime compilation is on).
+    pub compiles: u64,
+    /// Evaluation-pool statistics: per-worker candidates, steals, idle time.
+    pub pool: PoolStats,
     /// Fraction of the final population's top ten whose recorded fitness
     /// came from a full evaluation (Fig. 11's "% fully evaluated among
     /// best").
@@ -222,6 +240,9 @@ pub struct Engine<'a, E: Evaluator> {
     steps: AtomicU64,
     fulls: AtomicU64,
     shorts: AtomicU64,
+    pheno_builds: AtomicU64,
+    pheno_reuses: AtomicU64,
+    compiles: AtomicU64,
 }
 
 fn mix_seed(master: u64, gen: u64, idx: u64) -> u64 {
@@ -231,30 +252,6 @@ fn mix_seed(master: u64, gen: u64, idx: u64) -> u64 {
     x ^= x >> 27;
     x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
-}
-
-/// Run `f(index, item)` over `items`, splitting across `threads` scoped
-/// workers. Per-item work must be independent; `f` is given the global index
-/// so per-item RNG streams stay identical regardless of thread count.
-fn par_for_each_mut<T: Send>(items: &mut [T], threads: usize, f: impl Fn(usize, &mut T) + Sync) {
-    if threads <= 1 || items.len() <= 1 {
-        for (i, it) in items.iter_mut().enumerate() {
-            f(i, it);
-        }
-        return;
-    }
-    let chunk = items.len().div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (ci, ch) in items.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            s.spawn(move |_| {
-                for (j, it) in ch.iter_mut().enumerate() {
-                    f(ci * chunk + j, it);
-                }
-            });
-        }
-    })
-    .expect("evaluation worker panicked");
 }
 
 impl<'a, E: Evaluator> Engine<'a, E> {
@@ -273,6 +270,9 @@ impl<'a, E: Evaluator> Engine<'a, E> {
             steps: AtomicU64::new(0),
             fulls: AtomicU64::new(0),
             shorts: AtomicU64::new(0),
+            pheno_builds: AtomicU64::new(0),
+            pheno_reuses: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
         }
     }
 
@@ -295,8 +295,11 @@ impl<'a, E: Evaluator> Engine<'a, E> {
         };
         for ind in pop.iter().take(self.cfg.elite.max(1)) {
             // Corrupted genotypes already carry lethal fitness; the hook
-            // only sees what actually lowers.
-            if let Ok(eqs) = self.phenotype(&ind.tree) {
+            // only sees what actually lowers. The elite's memoised
+            // phenotype makes this a lookup, not a re-derivation.
+            if let Some(ph) = &ind.pheno {
+                hook(gen, &ind.tree, ph.eqs());
+            } else if let Ok(eqs) = self.phenotype(&ind.tree) {
                 hook(gen, &ind.tree, &eqs);
             }
         }
@@ -313,17 +316,39 @@ impl<'a, E: Evaluator> Engine<'a, E> {
         Ok(eqs.iter().map(simplify).collect())
     }
 
-    /// Evaluate one genotype with whichever §III-D techniques are enabled.
-    /// Returns `(fitness, fully_evaluated)`.
-    pub fn evaluate_tree(&self, tree: &DerivTree) -> (f64, bool) {
-        let Ok(eqs) = self.phenotype(tree) else {
-            // Grammar-generated trees always lower; a failure here is a
-            // corrupted genotype — lethal fitness, never a crash.
-            return (f64::INFINITY, true);
-        };
+    /// Derive the full phenotype (lower + simplify + hash + compile),
+    /// updating the build counters.
+    fn build_phenotype(&self, tree: &DerivTree) -> Result<Phenotype, gmr_tag::LowerError> {
+        let eqs = self.phenotype(tree)?;
+        self.pheno_builds.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.use_compiled {
+            self.compiles.fetch_add(eqs.len() as u64, Ordering::Relaxed);
+        }
+        Ok(Phenotype::build(eqs, self.cfg.use_compiled))
+    }
+
+    /// The individual's memoised phenotype, deriving (and storing) it on
+    /// first use. `None` for corrupted genotypes that fail to lower.
+    fn ensure_phenotype(&self, ind: &mut Individual) -> Option<Arc<Phenotype>> {
+        if let Some(ph) = &ind.pheno {
+            self.pheno_reuses.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(ph));
+        }
+        let ph = Arc::new(self.build_phenotype(&ind.tree).ok()?);
+        ind.pheno = Some(Arc::clone(&ph));
+        Some(ph)
+    }
+
+    /// Evaluate a derived phenotype against a short-circuiting baseline
+    /// snapshot, with whichever §III-D techniques are enabled. Returns
+    /// `(fitness, fully_evaluated)`.
+    ///
+    /// The result is a pure function of `(phenotype, baseline)` — that
+    /// purity is what makes round-snapshotted baselines yield bit-identical
+    /// fitness for any thread count.
+    fn evaluate_phenotype(&self, ph: &Phenotype, baseline: f64) -> (f64, bool) {
         let key = if self.cfg.use_cache {
-            let keys: Vec<_> = eqs.iter().map(|e| e.structural_hash()).collect();
-            let key = TreeCache::system_key(&keys);
+            let key = ph.key();
             if let Some(hit) = self.cache.get(key) {
                 return (hit.fitness, hit.full);
             }
@@ -335,7 +360,7 @@ impl<'a, E: Evaluator> Engine<'a, E> {
         let es = match self.cfg.es_threshold {
             Some(th) => EsController {
                 threshold: th,
-                best_prev_full: self.best_prev_full.load(),
+                best_prev_full: baseline,
                 extrapolate: self.cfg.extrapolate,
             },
             None => EsController::disabled(),
@@ -349,9 +374,7 @@ impl<'a, E: Evaluator> Engine<'a, E> {
                 EsOutcome::Stop(_) => false,
             }
         };
-        let (fitness, full) = self
-            .evaluator
-            .evaluate(&eqs, self.cfg.use_compiled, &mut ctl);
+        let (fitness, full) = self.evaluator.evaluate(ph, &mut ctl);
 
         self.evals.fetch_add(1, Ordering::Relaxed);
         if full {
@@ -372,12 +395,37 @@ impl<'a, E: Evaluator> Engine<'a, E> {
         (fitness, full)
     }
 
-    fn evaluate_population(&self, pop: &mut [Individual]) {
-        par_for_each_mut(pop, self.cfg.threads, |_, ind| {
-            if ind.fitness.is_infinite() {
-                let (f, full) = self.evaluate_tree(&ind.tree);
-                ind.fitness = f;
-                ind.fully_evaluated = full;
+    /// Evaluate one genotype with whichever §III-D techniques are enabled,
+    /// against the live short-circuiting baseline. Returns
+    /// `(fitness, fully_evaluated)`.
+    pub fn evaluate_tree(&self, tree: &DerivTree) -> (f64, bool) {
+        let Ok(ph) = self.build_phenotype(tree) else {
+            // Grammar-generated trees always lower; a failure here is a
+            // corrupted genotype — lethal fitness, never a crash.
+            return (f64::INFINITY, true);
+        };
+        self.evaluate_phenotype(&ph, self.best_prev_full.load())
+    }
+
+    fn evaluate_population(&self, pool: &EvalPool, pop: &mut [Individual]) {
+        // Snapshot the ES baseline at the round boundary: every candidate
+        // in the round sees the same value regardless of which worker runs
+        // it or in what order — the determinism contract.
+        let baseline = self.best_prev_full.load();
+        pool.for_each_mut(pop, |_, ind| {
+            if !ind.fitness.is_infinite() {
+                return;
+            }
+            match self.ensure_phenotype(ind) {
+                Some(ph) => {
+                    let (f, full) = self.evaluate_phenotype(&ph, baseline);
+                    ind.fitness = f;
+                    ind.fully_evaluated = full;
+                }
+                None => {
+                    ind.fitness = f64::INFINITY;
+                    ind.fully_evaluated = true;
+                }
             }
         });
     }
@@ -468,13 +516,15 @@ impl<'a, E: Evaluator> Engine<'a, E> {
     /// Stochastic hill-climbing local search (§III-D): propose insertion,
     /// deletion — and, when enabled, a fine parameter tweak — with equal
     /// probability; adopt on strict improvement.
-    fn local_search(&self, pop: &mut [Individual], gen: usize) {
+    fn local_search(&self, pool: &EvalPool, pop: &mut [Individual], gen: usize) {
         if self.cfg.local_search_steps == 0 {
             return;
         }
         let master = self.cfg.seed;
         let sigma = self.sigma_scale(gen.saturating_sub(1));
-        par_for_each_mut(pop, self.cfg.threads, |idx, ind| {
+        // Same round-boundary baseline snapshot as `evaluate_population`.
+        let baseline = self.best_prev_full.load();
+        pool.for_each_mut(pop, |idx, ind| {
             let mut rng = StdRng::seed_from_u64(mix_seed(master, gen as u64 ^ 0xA5, idx as u64));
             for _ in 0..self.cfg.local_search_steps {
                 let mut cand = ind.tree.clone();
@@ -487,11 +537,17 @@ impl<'a, E: Evaluator> Engine<'a, E> {
                 if !changed {
                     continue;
                 }
-                let (f, full) = self.evaluate_tree(&cand);
+                let Ok(ph) = self.build_phenotype(&cand) else {
+                    continue;
+                };
+                let (f, full) = self.evaluate_phenotype(&ph, baseline);
                 if f < ind.fitness {
                     ind.tree = cand;
                     ind.fitness = f;
                     ind.fully_evaluated = full;
+                    // The adopted candidate's phenotype is already derived —
+                    // memoise it so later generations skip the rebuild.
+                    ind.pheno = Some(Arc::new(ph));
                 }
             }
         });
@@ -505,7 +561,18 @@ impl<'a, E: Evaluator> Engine<'a, E> {
     /// [`Self::run`] with a per-generation callback — progress display for
     /// long searches. The callback receives each generation's stats right
     /// after it is recorded.
-    pub fn run_with_observer(&self, mut observer: impl FnMut(&GenStats)) -> RunReport {
+    pub fn run_with_observer(&self, observer: impl FnMut(&GenStats)) -> RunReport {
+        // One persistent pool for the whole run: workers are spawned here,
+        // parked between rounds, and joined when the run ends — never
+        // re-created per generation. Worker count is clamped to the most
+        // work a round can hold.
+        let threads = self.cfg.threads.clamp(1, self.cfg.pop_size.max(1));
+        let (mut report, pool_stats) = with_pool(threads, |pool| self.run_inner(pool, observer));
+        report.pool = pool_stats;
+        report
+    }
+
+    fn run_inner(&self, pool: &EvalPool, mut observer: impl FnMut(&GenStats)) -> RunReport {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut pop: Vec<Individual> = (0..self.cfg.pop_size)
             .map(|_| {
@@ -552,7 +619,7 @@ impl<'a, E: Evaluator> Engine<'a, E> {
         };
 
         let t0 = Instant::now();
-        self.evaluate_population(&mut pop);
+        self.evaluate_population(pool, &mut pop);
         pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
         record(0, &pop, t0, &mut history);
         self.check_invariants(0, &pop);
@@ -562,8 +629,8 @@ impl<'a, E: Evaluator> Engine<'a, E> {
             let t0 = Instant::now();
             let sigma = self.sigma_scale(gen - 1);
             let mut offspring = self.breed(&pop, &mut rng, sigma);
-            self.evaluate_population(&mut offspring);
-            self.local_search(&mut offspring, gen);
+            self.evaluate_population(pool, &mut offspring);
+            self.local_search(pool, &mut offspring, gen);
 
             let mut next: Vec<Individual> = pop.iter().take(self.cfg.elite).cloned().collect();
             next.append(&mut offspring);
@@ -587,13 +654,12 @@ impl<'a, E: Evaluator> Engine<'a, E> {
         let saved = self.cfg.es_threshold;
         if saved.is_some() {
             // A direct full evaluation, bypassing ES and the cache entry
-            // that may hold a surrogate.
-            let Ok(eqs) = self.phenotype(&best.tree) else {
+            // that may hold a surrogate. The champion's memoised phenotype
+            // usually makes this re-derivation-free.
+            let Some(ph) = self.ensure_phenotype(&mut best) else {
                 return self.report(best, history, top_full_fraction);
             };
-            let (f, _) = self
-                .evaluator
-                .evaluate(&eqs, self.cfg.use_compiled, &mut |_, _| true);
+            let (f, _) = self.evaluator.evaluate(&ph, &mut |_, _| true);
             best.fitness = f;
             best.fully_evaluated = true;
         }
@@ -614,6 +680,12 @@ impl<'a, E: Evaluator> Engine<'a, E> {
             full_evaluations: self.fulls.load(Ordering::Relaxed),
             short_circuited: self.shorts.load(Ordering::Relaxed),
             cache_hit_rate: self.cache.stats().hit_rate(),
+            cache_hits: self.cache.stats().hits(),
+            cache_misses: self.cache.stats().misses(),
+            pheno_builds: self.pheno_builds.load(Ordering::Relaxed),
+            pheno_reuses: self.pheno_reuses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            pool: PoolStats::default(),
             top_full_fraction,
         }
     }
@@ -647,14 +719,9 @@ mod tests {
         fn num_cases(&self) -> usize {
             self.xs.len()
         }
-        fn evaluate(
-            &self,
-            eqs: &[Expr],
-            compiled: bool,
-            ctl: &mut dyn FnMut(f64, usize) -> bool,
-        ) -> (f64, bool) {
-            let eq = &eqs[0];
-            let comp = compiled.then(|| gmr_expr::CompiledExpr::compile(eq));
+        fn evaluate(&self, ph: &Phenotype, ctl: &mut dyn FnMut(f64, usize) -> bool) -> (f64, bool) {
+            let eq = &ph.eqs()[0];
+            let comp = ph.compiled().map(|c| &c[0]);
             let mut stack = Vec::new();
             let mut sse = 0.0;
             for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
@@ -790,6 +857,49 @@ mod tests {
         cfg.threads = 4;
         let report = Engine::new(&g, &problem, priors(), cfg).run();
         assert!(report.best.fitness < report.history[0].best);
+        // The persistent pool saw both rounds of every generation.
+        assert!(report.pool.rounds > 0);
+        assert_eq!(
+            report.pool.workers.len(),
+            4,
+            "persistent workers: {:?}",
+            report.pool.workers
+        );
+    }
+
+    #[test]
+    fn phenotype_memo_is_reused() {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let report = Engine::new(&g, &problem, priors(), small_cfg(19)).run();
+        assert!(report.pheno_builds > 0);
+        assert!(
+            report.pheno_reuses > 0,
+            "elite/champion paths must reuse the memo"
+        );
+        // Runtime compilation on: one program per equation per build.
+        assert_eq!(report.compiles, report.pheno_builds);
+        assert!(report.cache_hits + report.cache_misses > 0);
+    }
+
+    #[test]
+    fn population_smaller_than_thread_count() {
+        // The pool clamps workers to pending work; a 3-individual
+        // population under threads=8 must complete and stay deterministic.
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let mut cfg = small_cfg(23);
+        cfg.pop_size = 3;
+        cfg.elite = 1;
+        cfg.max_gen = 4;
+        cfg.threads = 8;
+        let wide = Engine::new(&g, &problem, priors(), cfg.clone()).run();
+        cfg.threads = 1;
+        let narrow = Engine::new(&g, &problem, priors(), cfg).run();
+        assert!(wide.pool.workers.len() <= 3, "{:?}", wide.pool.workers);
+        let wide_best: Vec<u64> = wide.history.iter().map(|g| g.best.to_bits()).collect();
+        let narrow_best: Vec<u64> = narrow.history.iter().map(|g| g.best.to_bits()).collect();
+        assert_eq!(wide_best, narrow_best);
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! Individuals: a derivation-tree genotype plus its evaluation record.
+//! Individuals: a derivation-tree genotype plus its evaluation record and
+//! memoised phenotype.
 
+use crate::phenotype::Phenotype;
 use gmr_tag::DerivTree;
+use std::sync::Arc;
 
 /// One member of the population.
 #[derive(Debug, Clone)]
@@ -15,6 +18,10 @@ pub struct Individual {
     /// baseline, and Fig. 11 reports the fraction of best models that were
     /// fully evaluated.
     pub fully_evaluated: bool,
+    /// Memoised phenotype (lowered + simplified + compiled), shared across
+    /// clones; cleared by [`Self::invalidate`] when an operator touches the
+    /// genotype. `None` until first derived or for lethal genotypes.
+    pub pheno: Option<Arc<Phenotype>>,
 }
 
 impl Individual {
@@ -24,14 +31,17 @@ impl Individual {
             tree,
             fitness: f64::INFINITY,
             fully_evaluated: false,
+            pheno: None,
         }
     }
 
     /// Mark as needing re-evaluation (after a structural or parameter
-    /// change).
+    /// change). Drops the phenotype memo — parameter values are baked into
+    /// the simplified/compiled system, so any genotype touch stales it.
     pub fn invalidate(&mut self) {
         self.fitness = f64::INFINITY;
         self.fully_evaluated = false;
+        self.pheno = None;
     }
 
     /// Strictly-better comparison (lower RMSE wins; ties keep the incumbent).
@@ -59,9 +69,32 @@ mod tests {
         let mut ind = Individual::new(t);
         ind.fitness = 1.0;
         ind.fully_evaluated = true;
+        ind.pheno = Some(std::sync::Arc::new(crate::phenotype::Phenotype::build(
+            vec![gmr_expr::Expr::Num(1.0)],
+            true,
+        )));
         ind.invalidate();
         assert_eq!(ind.fitness, f64::INFINITY);
         assert!(!ind.fully_evaluated);
+        assert!(
+            ind.pheno.is_none(),
+            "memo must not survive a genotype touch"
+        );
+    }
+
+    #[test]
+    fn clones_share_the_phenotype_memo() {
+        let (_, t) = tiny_grammar();
+        let mut ind = Individual::new(t);
+        ind.pheno = Some(std::sync::Arc::new(crate::phenotype::Phenotype::build(
+            vec![gmr_expr::Expr::Num(2.0)],
+            false,
+        )));
+        let copy = ind.clone();
+        assert!(std::sync::Arc::ptr_eq(
+            ind.pheno.as_ref().unwrap(),
+            copy.pheno.as_ref().unwrap()
+        ));
     }
 
     #[test]

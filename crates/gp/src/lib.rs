@@ -16,14 +16,22 @@
 //!   hash of the lowered system;
 //! * [`short_circuit`] — evaluation short-circuiting (Algorithm 1) with a
 //!   tunable eagerness threshold;
+//! * [`phenotype`] — the memoised lowered + simplified + bytecode-compiled
+//!   system, cached per individual and invalidated only when an operator
+//!   touches the genotype;
+//! * [`pool`] — the persistent evaluation pool: workers spawned once per
+//!   run, candidates claimed dynamically in chunks over a shared index;
 //! * [`engine`] — the generational loop: tournament selection, elitism,
 //!   offspring production, stochastic hill-climbing local search, parallel
-//!   fitness evaluation via scoped threads.
+//!   fitness evaluation through the pool with a thread-count-invariant
+//!   determinism contract.
 
 pub mod cache;
 pub mod engine;
 pub mod individual;
 pub mod operators;
+pub mod phenotype;
+pub mod pool;
 pub mod priors;
 pub mod short_circuit;
 
@@ -34,5 +42,7 @@ pub use operators::{
     crossover, deletion, gaussian_mutation, gaussian_mutation_partial, insertion, param_tweak,
     subtree_mutation,
 };
+pub use phenotype::Phenotype;
+pub use pool::{PoolStats, WorkerStats};
 pub use priors::ParamPriors;
 pub use short_circuit::{EsController, EsOutcome};

@@ -1,0 +1,532 @@
+//! The persistent evaluation pool.
+//!
+//! Per-candidate fitness cost spans orders of magnitude — a cache hit is
+//! ~free, a short-circuited evaluation aborts after a few simulated days, a
+//! full evaluation integrates the whole training horizon — so static
+//! chunking leaves most workers idle behind the unluckiest chunk, and
+//! re-spawning threads twice per generation adds latency on top. This pool
+//! fixes both:
+//!
+//! * **Workers are created once per [`crate::Engine::run`]** (scoped over
+//!   the whole evolutionary loop) and parked on a condvar between rounds.
+//! * **Work is claimed dynamically**: each round exposes a shared index and
+//!   workers claim chunks of `K` candidates with a single atomic update —
+//!   work stealing over a shared index rather than fixed partitions. A fast
+//!   worker that drains its first chunk simply claims another ("steals"
+//!   work a static split would have assigned elsewhere).
+//!
+//! Determinism: the pool only decides *which worker* runs a candidate,
+//! never *what* the candidate computation sees — tasks receive the global
+//! candidate index, so index-derived RNG streams (and therefore fitness)
+//! are identical for any worker count. See DESIGN.md, "Evaluation pool".
+//!
+//! The claim word is epoch-tagged (epoch in the high 32 bits, next index in
+//! the low 32) so a worker that wakes late — or lingers around a round
+//! boundary — can never claim indices from a round it did not observe: its
+//! compare-exchange fails on the epoch and it goes back to sleep. That is
+//! what makes the borrowed round closure sound: a task pointer is only ever
+//! dereferenced for a successful claim of the matching epoch, and the
+//! coordinator does not return (dropping the borrow) until every index of
+//! that epoch is completed.
+
+use crossbeam::queue::SegQueue;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// What one worker did over the pool's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Worker index (0 is the coordinating thread).
+    pub worker: usize,
+    /// Candidates processed.
+    pub candidates: u64,
+    /// Chunk claims made.
+    pub claims: u64,
+    /// Claims beyond the first within a round — work a static split would
+    /// have parked behind a slower worker.
+    pub steals: u64,
+    /// Time spent running candidate evaluations.
+    pub busy: Duration,
+    /// Time spent parked between rounds or waiting for work.
+    pub idle: Duration,
+}
+
+/// Aggregate pool statistics for a run.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Per-worker records, sorted by worker index.
+    pub workers: Vec<WorkerStats>,
+    /// Rounds dispatched (two per generation: evaluation + local search).
+    pub rounds: u64,
+}
+
+impl PoolStats {
+    /// Total candidates processed across workers.
+    pub fn total_candidates(&self) -> u64 {
+        self.workers.iter().map(|w| w.candidates).sum()
+    }
+
+    /// Total steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total idle time across workers.
+    pub fn total_idle(&self) -> Duration {
+        self.workers.iter().map(|w| w.idle).sum()
+    }
+
+    /// Total busy time across workers.
+    pub fn total_busy(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+}
+
+/// Type-erased task pointer published to the workers. Sound to share
+/// because (a) claims are epoch-checked, so the pointer is only used while
+/// the owning round is in flight, and (b) the coordinator keeps the
+/// borrowed closure alive until the round completes.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// Round descriptor, updated under [`Shared::slot`]'s lock.
+struct JobSlot {
+    /// Monotone round counter; workers wake when it advances.
+    epoch: u32,
+    /// The current round's task (None between rounds).
+    task: Option<TaskPtr>,
+    /// Number of candidates in the current round.
+    len: usize,
+    /// Claim granularity for the current round.
+    chunk: usize,
+    /// Set once at the end of the run; workers exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<JobSlot>,
+    /// Workers park here between rounds.
+    work_cv: Condvar,
+    /// The coordinator parks here until `completed == len`.
+    done_cv: Condvar,
+    /// Epoch-tagged claim word: `(epoch << 32) | next_index`.
+    claim: AtomicU64,
+    /// Candidates completed in the current round.
+    completed: AtomicUsize,
+    /// A task panicked; payload parked in `panic_payload`.
+    panicked: AtomicBool,
+    /// First panic payload, re-raised by the coordinator.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Finished workers drop their stats here at shutdown.
+    records: SegQueue<WorkerStats>,
+}
+
+impl Shared {
+    fn lock_slot(&self) -> MutexGuard<'_, JobSlot> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Claim the next chunk for `epoch`; `None` when the round is drained
+    /// or the epoch has moved on.
+    fn claim_chunk(&self, epoch: u32, len: usize, chunk: usize) -> Option<(usize, usize)> {
+        let mut cur = self.claim.load(Ordering::Acquire);
+        loop {
+            if (cur >> 32) as u32 != epoch {
+                return None;
+            }
+            let next = (cur & 0xffff_ffff) as usize;
+            if next >= len {
+                return None;
+            }
+            let end = (next + chunk).min(len);
+            let new = (u64::from(epoch) << 32) | end as u64;
+            match self
+                .claim
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some((next, end)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Run the claim loop for one round. Returns candidates processed and
+    /// claims made by this participant.
+    fn drain_round(&self, epoch: u32, len: usize, chunk: usize, task: TaskPtr) -> (u64, u64) {
+        let mut candidates = 0u64;
+        let mut claims = 0u64;
+        while let Some((start, end)) = self.claim_chunk(epoch, len, chunk) {
+            claims += 1;
+            let f = unsafe { &*task.0 };
+            let ran = catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    f(i);
+                }
+            }));
+            if let Err(payload) = ran {
+                // Record the first payload; the round still drains (every
+                // index must be accounted for or the coordinator would wait
+                // forever) and the coordinator re-raises before any result
+                // is used.
+                if !self.panicked.swap(true, Ordering::AcqRel) {
+                    let mut slot = self.panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                    *slot = Some(payload);
+                }
+            }
+            candidates += (end - start) as u64;
+            let done = self.completed.fetch_add(end - start, Ordering::AcqRel) + (end - start);
+            if done >= len {
+                // Pair the notification with the slot lock so the
+                // coordinator cannot miss it between its check and wait.
+                drop(self.lock_slot());
+                self.done_cv.notify_all();
+            }
+        }
+        (candidates, claims)
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut stats = WorkerStats {
+        worker,
+        ..WorkerStats::default()
+    };
+    let mut my_epoch = 0u32;
+    loop {
+        let parked = Instant::now();
+        let (epoch, len, chunk, task) = {
+            let mut slot = shared.lock_slot();
+            loop {
+                if slot.shutdown {
+                    stats.idle += parked.elapsed();
+                    shared.records.push(stats);
+                    return;
+                }
+                if slot.epoch != my_epoch {
+                    if let Some(task) = slot.task {
+                        break (slot.epoch, slot.len, slot.chunk, task);
+                    }
+                    // Round already torn down; skip to its epoch so the
+                    // next wait is for genuinely new work.
+                    my_epoch = slot.epoch;
+                }
+                slot = shared.work_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        stats.idle += parked.elapsed();
+        my_epoch = epoch;
+        let t0 = Instant::now();
+        let (candidates, claims) = shared.drain_round(epoch, len, chunk, task);
+        stats.busy += t0.elapsed();
+        stats.candidates += candidates;
+        stats.claims += claims;
+        stats.steals += claims.saturating_sub(1);
+    }
+}
+
+/// Handle the engine's coordinator thread uses to dispatch rounds. Created
+/// by [`EvalPool::with`]; not `Sync` — only the coordinating thread drives
+/// it.
+pub struct EvalPool<'s> {
+    shared: &'s Shared,
+    /// Spawned workers (the coordinator participates as worker 0 on top).
+    extra_workers: usize,
+    own: std::cell::RefCell<WorkerStats>,
+    rounds: std::cell::Cell<u64>,
+}
+
+impl<'s> EvalPool<'s> {
+    /// Total worker count, counting the coordinating thread.
+    pub fn workers(&self) -> usize {
+        self.extra_workers + 1
+    }
+
+    /// Chunk size for a round: small enough to balance heterogeneous
+    /// candidate costs, large enough to amortise the atomic claim.
+    fn chunk_for(&self, len: usize) -> usize {
+        (len / (self.workers() * 8)).clamp(1, 16)
+    }
+
+    /// Run `f(index, item)` over `items`, one call per item, distributed
+    /// over the pool by dynamic chunk claiming. Blocks until every item is
+    /// processed; panics from worker tasks are re-raised here.
+    pub fn for_each_mut<T: Send>(&self, items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        let base = items.as_mut_ptr() as usize;
+        // Each index is claimed exactly once, so the per-index &mut aliases
+        // nothing. `base` travels as usize to keep the closure Sync.
+        let task = move |i: usize| {
+            let item = unsafe { &mut *(base as *mut T).add(i) };
+            f(i, item);
+        };
+        self.run_round(items.len(), &task);
+    }
+
+    /// Dispatch one round of `len` independent index-addressed tasks.
+    pub fn run_round(&self, len: usize, task: &(dyn Fn(usize) + Sync)) {
+        if len == 0 {
+            return;
+        }
+        self.rounds.set(self.rounds.get() + 1);
+        // Workers are clamped to pending work: rounds too small to split
+        // (or a pool with no spawned workers) run inline on the
+        // coordinator, and surplus workers claim nothing either way.
+        if self.extra_workers == 0 || len == 1 {
+            let own = &mut *self.own.borrow_mut();
+            let t0 = Instant::now();
+            for i in 0..len {
+                task(i);
+            }
+            own.busy += t0.elapsed();
+            own.candidates += len as u64;
+            own.claims += 1;
+            return;
+        }
+
+        let chunk = self.chunk_for(len);
+        let ptr = TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(task)
+        });
+        let epoch = {
+            let mut slot = self.shared.lock_slot();
+            let epoch = slot.epoch.wrapping_add(1);
+            slot.epoch = epoch;
+            slot.task = Some(ptr);
+            slot.len = len;
+            slot.chunk = chunk;
+            self.shared.completed.store(0, Ordering::Release);
+            self.shared
+                .claim
+                .store(u64::from(epoch) << 32, Ordering::Release);
+            self.shared.work_cv.notify_all();
+            epoch
+        };
+
+        // The coordinator claims chunks like any worker.
+        {
+            let own = &mut *self.own.borrow_mut();
+            let t0 = Instant::now();
+            let (candidates, claims) = self.shared.drain_round(epoch, len, chunk, ptr);
+            own.busy += t0.elapsed();
+            own.candidates += candidates;
+            own.claims += claims;
+            own.steals += claims.saturating_sub(1);
+        }
+
+        // Wait for stragglers still finishing claimed chunks.
+        let parked = Instant::now();
+        {
+            let mut slot = self.shared.lock_slot();
+            while self.shared.completed.load(Ordering::Acquire) < len {
+                slot = self
+                    .shared
+                    .done_cv
+                    .wait(slot)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            slot.task = None;
+        }
+        self.own.borrow_mut().idle += parked.elapsed();
+
+        if self.shared.panicked.load(Ordering::Acquire) {
+            let payload = self
+                .shared
+                .panic_payload
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take();
+            if let Some(payload) = payload {
+                std::panic::resume_unwind(payload);
+            }
+            panic!("evaluation worker panicked");
+        }
+    }
+}
+
+/// Spawn a pool of `threads` workers (counting the calling thread), run
+/// `f` with it, shut the workers down, and return `f`'s result plus the
+/// collected [`PoolStats`].
+pub fn with_pool<R>(threads: usize, f: impl FnOnce(&EvalPool) -> R) -> (R, PoolStats) {
+    let extra = threads.max(1) - 1;
+    let shared = Shared {
+        slot: Mutex::new(JobSlot {
+            epoch: 0,
+            task: None,
+            len: 0,
+            chunk: 1,
+            shutdown: false,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        claim: AtomicU64::new(0),
+        completed: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
+        records: SegQueue::new(),
+    };
+
+    /// Flags shutdown on drop, so workers are released even when `f` (or a
+    /// re-raised task panic) unwinds — otherwise the scope's implicit join
+    /// would deadlock on parked workers.
+    struct ShutdownGuard<'a>(&'a Shared);
+    impl Drop for ShutdownGuard<'_> {
+        fn drop(&mut self) {
+            let mut slot = self.0.lock_slot();
+            slot.shutdown = true;
+            self.0.work_cv.notify_all();
+        }
+    }
+
+    let (result, rounds, own) = crossbeam::thread::scope(|s| {
+        let _guard = ShutdownGuard(&shared);
+        for w in 1..=extra {
+            let shared = &shared;
+            s.spawn(move |_| worker_loop(shared, w));
+        }
+        let pool = EvalPool {
+            shared: &shared,
+            extra_workers: extra,
+            own: std::cell::RefCell::new(WorkerStats::default()),
+            rounds: std::cell::Cell::new(0),
+        };
+        let result = f(&pool);
+        (result, pool.rounds.get(), pool.own.into_inner())
+    })
+    .expect("evaluation worker panicked");
+
+    let mut workers = vec![own];
+    while let Some(rec) = shared.records.pop() {
+        workers.push(rec);
+    }
+    workers.sort_by_key(|w| w.worker);
+    (result, PoolStats { workers, rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn visit_counts(threads: usize, n: usize) -> Vec<u32> {
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let ((), stats) = with_pool(threads, |pool| {
+            let mut items: Vec<usize> = (0..n).collect();
+            pool.for_each_mut(&mut items, |i, it| {
+                assert_eq!(*it, i, "index/item pairing preserved");
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(stats.total_candidates(), n as u64);
+        counts.into_iter().map(|c| c.into_inner()).collect()
+    }
+
+    #[test]
+    fn empty_round_is_a_no_op() {
+        assert!(visit_counts(8, 0).is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(visit_counts(8, 1), vec![1]);
+    }
+
+    #[test]
+    fn fewer_items_than_threads_each_visited_once() {
+        assert_eq!(visit_counts(8, 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn every_index_visited_exactly_once() {
+        for threads in [1, 2, 4, 8] {
+            let counts = visit_counts(threads, 257);
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "threads={threads}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_reuse_the_same_workers() {
+        let (sum, stats) = with_pool(4, |pool| {
+            let mut total = 0u64;
+            for round in 0..10u64 {
+                let mut items = vec![0u64; 64];
+                pool.for_each_mut(&mut items, |i, it| *it = round * 1000 + i as u64);
+                total += items.iter().sum::<u64>();
+            }
+            total
+        });
+        let expected: u64 = (0..10u64)
+            .map(|r| (0..64u64).map(|i| r * 1000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(sum, expected);
+        assert_eq!(stats.rounds, 10);
+        assert_eq!(stats.total_candidates(), 640);
+        // Workers persist: at most `threads` records, not one per round.
+        assert!(stats.workers.len() <= 4, "{:?}", stats.workers);
+    }
+
+    #[test]
+    fn imbalanced_work_is_stolen() {
+        // One pathologically slow item at index 0; with static halves the
+        // second worker would finish ~immediately while the first serially
+        // grinds the rest. Dynamic claiming lets the free worker take them.
+        let ((), stats) = with_pool(2, |pool| {
+            let mut items = vec![0u8; 64];
+            pool.for_each_mut(&mut items, |i, _| {
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+            });
+        });
+        // The worker stuck on item 0 cannot have processed everything.
+        let max_share = stats
+            .workers
+            .iter()
+            .map(|w| w.candidates)
+            .max()
+            .unwrap_or(0);
+        assert!(max_share < 64, "one worker did all the work: {stats:?}");
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            with_pool(4, |pool| {
+                let mut items = vec![0u8; 32];
+                pool.for_each_mut(&mut items, |i, _| {
+                    if i == 17 {
+                        panic!("injected failure");
+                    }
+                });
+            });
+        });
+        let err = caught.expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("injected failure"), "{msg}");
+    }
+
+    #[test]
+    fn stats_account_claims_and_steals() {
+        let ((), stats) = with_pool(4, |pool| {
+            let mut items = vec![0u8; 512];
+            pool.for_each_mut(&mut items, |_, _| {
+                std::hint::black_box(());
+            });
+        });
+        let claims: u64 = stats.workers.iter().map(|w| w.claims).sum();
+        assert!(claims >= 2, "512 items must take several claims");
+        assert_eq!(
+            stats.total_steals(),
+            stats.workers.iter().map(|w| w.steals).sum::<u64>()
+        );
+    }
+}

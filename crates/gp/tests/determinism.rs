@@ -1,0 +1,148 @@
+//! Thread-count invariance: the per-generation best-fitness trajectory must
+//! be bit-identical for any `threads` setting at a fixed seed.
+//!
+//! The engine's determinism contract (see `engine.rs` module docs) is that
+//! parallelism only reorders *when* candidates are evaluated inside a
+//! round, never *what* they evaluate against: the short-circuit baseline is
+//! snapshotted at round boundaries, so each evaluation is a pure function
+//! of (phenotype, round baseline). These tests pin that contract: a single
+//! bit of fitness divergence between thread counts is a bug, not noise.
+
+use gmr_expr::EvalContext;
+use gmr_gp::short_circuit::Extrapolate;
+use gmr_gp::{Engine, Evaluator, GpConfig, ParamPriors, Phenotype};
+use gmr_tag::grammar::test_fixtures::tiny_grammar;
+
+/// Fit `y = 2x - 1` — same reachable target the engine's unit tests use,
+/// with a short-circuit checkpoint every 8 cases so ES actually engages.
+struct LineFit {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LineFit {
+    fn new() -> Self {
+        let xs: Vec<f64> = (0..64).map(|i| i as f64 / 4.0).collect();
+        let ys = xs.iter().map(|x| 2.0 * x - 1.0).collect();
+        LineFit { xs, ys }
+    }
+}
+
+impl Evaluator for LineFit {
+    fn num_equations(&self) -> usize {
+        1
+    }
+    fn num_cases(&self) -> usize {
+        self.xs.len()
+    }
+    fn evaluate(&self, ph: &Phenotype, ctl: &mut dyn FnMut(f64, usize) -> bool) -> (f64, bool) {
+        let eq = &ph.eqs()[0];
+        let comp = ph.compiled().map(|c| &c[0]);
+        let mut stack = Vec::new();
+        let mut sse = 0.0;
+        for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
+            let state = [x];
+            let ctx = EvalContext {
+                vars: &[],
+                state: &state,
+            };
+            let p = match &comp {
+                Some(c) => c.eval_with(&ctx, &mut stack),
+                None => eq.eval(&ctx),
+            };
+            let d = p - y;
+            sse += d * d;
+            let done = i + 1;
+            if done % 8 == 0 && done < self.xs.len() {
+                let running = (sse / done as f64).sqrt();
+                if !ctl(running, done) {
+                    return (running, false);
+                }
+            }
+        }
+        ((sse / self.xs.len() as f64).sqrt(), true)
+    }
+}
+
+fn cfg(threads: usize, extrapolate: Extrapolate, seed: u64) -> GpConfig {
+    GpConfig {
+        pop_size: 32,
+        max_gen: 12,
+        min_size: 2,
+        max_size: 10,
+        local_search_steps: 2,
+        es_threshold: Some(1.1),
+        extrapolate,
+        threads,
+        seed,
+        ..GpConfig::default()
+    }
+}
+
+/// Run once and return the (best, mean) fitness trajectory as raw bits.
+fn trajectory(threads: usize, extrapolate: Extrapolate, seed: u64) -> Vec<(u64, u64)> {
+    let (g, _) = tiny_grammar();
+    let problem = LineFit::new();
+    let priors = ParamPriors::new([(2.0, 0.0, 4.0), (0.5, 0.0, 1.0)]);
+    let report = Engine::new(&g, &problem, priors, cfg(threads, extrapolate, seed)).run();
+    assert_eq!(
+        report.history.len(),
+        13,
+        "one record per generation + gen 0"
+    );
+    report
+        .history
+        .iter()
+        .map(|s| (s.best.to_bits(), s.mean.to_bits()))
+        .collect()
+}
+
+fn assert_thread_invariant(extrapolate: Extrapolate, seed: u64) {
+    let reference = trajectory(1, extrapolate, seed);
+    for threads in [2usize, 4, 8] {
+        let t = trajectory(threads, extrapolate, seed);
+        assert_eq!(
+            reference, t,
+            "fitness trajectory diverged between threads=1 and threads={threads} \
+             (extrapolate {extrapolate:?}, seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn trajectories_bit_identical_across_thread_counts_optimistic() {
+    assert_thread_invariant(Extrapolate::Optimistic, 42);
+}
+
+#[test]
+fn trajectories_bit_identical_across_thread_counts_running_rmse() {
+    // The eager extrapolation mode short-circuits far more aggressively, so
+    // it exercises the baseline-snapshot path harder.
+    assert_thread_invariant(Extrapolate::RunningRmse, 43);
+}
+
+#[test]
+fn trajectories_bit_identical_with_cache_and_compilation_off() {
+    // Determinism must not depend on the memo layers masking divergence.
+    let run = |threads: usize| {
+        let (g, _) = tiny_grammar();
+        let problem = LineFit::new();
+        let priors = ParamPriors::new([(2.0, 0.0, 4.0), (0.5, 0.0, 1.0)]);
+        let mut c = cfg(threads, Extrapolate::RunningRmse, 44);
+        c.use_cache = false;
+        c.use_compiled = false;
+        let report = Engine::new(&g, &problem, priors, c).run();
+        (
+            report.best.fitness.to_bits(),
+            report
+                .history
+                .iter()
+                .map(|s| s.best.to_bits())
+                .collect::<Vec<_>>(),
+        )
+    };
+    let reference = run(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(reference, run(threads), "divergence at threads={threads}");
+    }
+}

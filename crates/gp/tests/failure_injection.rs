@@ -2,8 +2,7 @@
 //! problem misbehaves — lethal fitness everywhere, NaN fitness, a problem
 //! with zero fitness cases, and short-circuit controllers that always stop.
 
-use gmr_expr::Expr;
-use gmr_gp::{Engine, Evaluator, GpConfig, ParamPriors};
+use gmr_gp::{Engine, Evaluator, GpConfig, ParamPriors, Phenotype};
 use gmr_tag::grammar::test_fixtures::tiny_grammar;
 
 struct Hostile {
@@ -28,12 +27,7 @@ impl Evaluator for Hostile {
             _ => 64,
         }
     }
-    fn evaluate(
-        &self,
-        _eqs: &[Expr],
-        _compiled: bool,
-        ctl: &mut dyn FnMut(f64, usize) -> bool,
-    ) -> (f64, bool) {
+    fn evaluate(&self, _ph: &Phenotype, ctl: &mut dyn FnMut(f64, usize) -> bool) -> (f64, bool) {
         match self.mode {
             Mode::AlwaysInfinite => (f64::INFINITY, true),
             Mode::AlwaysNan => (f64::NAN, true),
@@ -128,11 +122,10 @@ fn zero_probability_operators_degenerate_to_replication() {
         }
         fn evaluate(
             &self,
-            eqs: &[Expr],
-            _compiled: bool,
+            ph: &Phenotype,
             _ctl: &mut dyn FnMut(f64, usize) -> bool,
         ) -> (f64, bool) {
-            (eqs[0].size() as f64, true) // smaller trees are fitter
+            (ph.eqs()[0].size() as f64, true) // smaller trees are fitter
         }
     }
     let (g, _) = tiny_grammar();

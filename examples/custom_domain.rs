@@ -13,7 +13,7 @@
 //! random constant as revision vocabulary, and let the TAG3P engine find
 //! the missing mechanism.
 
-use gmr_suite::expr::{BinOp, EvalContext, Expr};
+use gmr_suite::expr::{BinOp, EvalContext};
 use gmr_suite::gp::{Engine, Evaluator, GpConfig, ParamPriors};
 use gmr_suite::tag::tree::ElemTreeBuilder;
 use gmr_suite::tag::{GrammarBuilder, Token, TreeKind};
@@ -127,11 +127,11 @@ fn main() {
         }
         fn evaluate(
             &self,
-            eqs: &[Expr],
-            compiled: bool,
+            ph: &gmr_suite::gp::Phenotype,
             ctl: &mut dyn FnMut(f64, usize) -> bool,
         ) -> (f64, bool) {
-            let comp = compiled.then(|| gmr_suite::expr::CompiledExpr::compile(&eqs[0]));
+            let eqs = ph.eqs();
+            let comp = ph.compiled().map(|c| &c[0]);
             let mut stack = Vec::new();
             let mut n = self.observed[0];
             let mut sse = 0.0;
