@@ -22,4 +22,8 @@ echo "==> bench_engine smoke (determinism + speedup gate)"
 cargo run --release -q -p gmr-bench --bin bench_engine -- --quick --out BENCH_engine.json
 cargo run --release -q -p gmr-bench --bin bench_engine -- --validate BENCH_engine.json
 
+echo "==> bench_vm smoke (tier equivalence + 1.5x speedup gate)"
+cargo run --release -q -p gmr-bench --bin bench_vm -- --quick --out BENCH_vm.json
+cargo run --release -q -p gmr-bench --bin bench_vm -- --validate BENCH_vm.json
+
 echo "CI OK"

@@ -1,0 +1,427 @@
+//! Bytecode-pipeline benchmark: the per-tier cost of one Euler step,
+//! measured end to end over the river problem and emitted as
+//! machine-readable JSON.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p gmr-bench --bin bench_vm -- [--quick] [--out PATH]
+//! cargo run --release -p gmr-bench --bin bench_vm -- --validate PATH
+//! ```
+//!
+//! Four tiers of the same simulation are timed on the Table V expert model
+//! and three hand-authored "evolved elite" revisions of it (the shapes the
+//! GP engine actually produces: an added state-independent flux, a
+//! multiplicative modulation, a coupled second equation):
+//!
+//! * `naive_stack`   — one stack-bytecode program per equation, no
+//!   cross-equation sharing (the historical `CompiledExpr` path);
+//! * `register`      — whole-system register VM: constant folding,
+//!   peephole identities, cross-equation CSE, linear-scan registers;
+//! * `register_fused`— plus fused superinstructions (`VarBin`, `ConstBin`,
+//!   `MulAdd`) collapsing load/dispatch pairs;
+//! * `split`         — plus the state-independent prefix hoisted out of the
+//!   sequential loop and swept columnar over the forcing table in
+//!   32-lane chunks.
+//!
+//! Every tier must produce a bit-identical B_Phy trajectory to the tree
+//! interpreter — checked on every run, not just in the test suite; the
+//! emitted `tiers_bit_identical` flag records it.
+//!
+//! `--validate` re-opens an emitted JSON file and enforces the acceptance
+//! gate: schema tag present, equivalence flag true, and the full pipeline
+//! (`split` tier) reaching at least 1.5x the naive-stack steps/sec on the
+//! Table V model.
+
+use gmr_bio::{manual, name_table, RiverProblem};
+use gmr_expr::{parse, CompiledExpr, CompiledSystem, EvalContext, Expr, OptOptions, LANES};
+use gmr_hydro::{generate, SyntheticConfig};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SCHEMA: &str = "gmr-bench-vm/v1";
+const MIN_SPEEDUP_SPLIT: f64 = 1.5;
+const TIER_NAMES: [&str; 4] = ["naive_stack", "register", "register_fused", "split"];
+
+/// One benched model: a name plus its two-equation system.
+struct Model {
+    name: &'static str,
+    eqs: [Expr; 2],
+}
+
+fn parse_eq(src: &str) -> Expr {
+    let names = name_table();
+    parse(src, &names, |kind| gmr_bio::params::spec(kind).mean)
+        .unwrap_or_else(|e| panic!("bench model failed to parse: {e}\n{src}"))
+}
+
+/// Table V plus three evolved-elite shapes. The elites are hand-authored
+/// from the same building blocks the river grammar's connector/extender
+/// discipline produces, so the instruction mix matches what the engine
+/// compiles millions of times per run.
+fn models() -> Vec<Model> {
+    let manual = gmr_bio::manual_system();
+    let dbphy = manual::dbphy_src();
+    let dbzoo = manual::dbzoo_src();
+    // Elite 1: an additive state-independent flux (CO2-modulated light
+    // term) — the canonical Ext1 revision; maximises prefix work.
+    let elite_flux = [
+        parse_eq(&format!(
+            "({dbphy}) + R * (Vcd / (Vcd + 300)) * ({})",
+            manual::F_LIGHT
+        )),
+        parse_eq(&dbzoo),
+    ];
+    // Elite 2: multiplicative temperature modulation of the whole growth
+    // equation — duplicates the two-optimum response, so CSE must catch it.
+    let elite_mod = [
+        parse_eq(&format!("({dbphy}) * ({})", manual::H_TEMP)),
+        parse_eq(&dbzoo),
+    ];
+    // Elite 3: nutrient-coupled zooplankton — revision lands in the second
+    // equation, sharing λ/g across equations.
+    let elite_zoo = [
+        parse_eq(&dbphy),
+        parse_eq(&format!(
+            "({dbzoo}) + CUZ * ({}) * BZoo",
+            manual::G_NUTRIENT
+        )),
+    ];
+    vec![
+        Model {
+            name: "table_v_manual",
+            eqs: manual,
+        },
+        Model {
+            name: "elite_added_flux",
+            eqs: elite_flux,
+        },
+        Model {
+            name: "elite_temp_modulated",
+            eqs: elite_mod,
+        },
+        Model {
+            name: "elite_coupled_zoo",
+            eqs: elite_zoo,
+        },
+    ]
+}
+
+fn problem(quick: bool) -> RiverProblem {
+    let ds = generate(&SyntheticConfig {
+        start_year: 1996,
+        end_year: if quick { 1997 } else { 1999 },
+        train_end_year: if quick { 1996 } else { 1998 },
+        ..Default::default()
+    });
+    RiverProblem::from_dataset(&ds, ds.train)
+}
+
+#[inline(always)]
+fn sanitise(x: f64, cap: f64) -> f64 {
+    if x.is_nan() {
+        cap
+    } else {
+        x.clamp(0.0, cap)
+    }
+}
+
+/// The naive-stack tier: one independently compiled stack program per
+/// equation, evaluated per step — the pre-register-VM shape of the runtime
+/// compilation technique.
+fn simulate_naive(p: &RiverProblem, compiled: &[CompiledExpr; 2], out: &mut Vec<f64>) {
+    out.clear();
+    let cap = p.opts.state_cap;
+    let dt = p.opts.dt;
+    let (mut bphy, mut bzoo) = p.opts.init;
+    let mut stack = Vec::new();
+    for row in &p.forcings {
+        out.push(bphy);
+        let state = [bphy, bzoo];
+        let ctx = EvalContext {
+            vars: row,
+            state: &state,
+        };
+        let dphy = compiled[0].eval_with(&ctx, &mut stack);
+        let dzoo = compiled[1].eval_with(&ctx, &mut stack);
+        bphy = sanitise(bphy + dt * dphy, cap);
+        bzoo = sanitise(bzoo + dt * dzoo, cap);
+    }
+}
+
+/// All register-VM tiers run through the production path.
+fn simulate_vm(p: &RiverProblem, sys: &CompiledSystem, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(p.simulate_compiled(sys));
+}
+
+/// Opcode dispatches one full simulation costs at a given tier. The split
+/// tier dispatches each prefix instruction once per 32-lane *chunk* of the
+/// forcing table instead of once per row — that amortisation is the point.
+fn dispatches(days: usize, sys: &CompiledSystem) -> u64 {
+    let chunks = days.div_ceil(LANES);
+    (days * sys.core_len() + chunks * sys.prefix_len()) as u64
+}
+
+struct TierResult {
+    name: &'static str,
+    /// Straight-line instructions executed per Euler step (prefix counted
+    /// per-row, i.e. before chunk amortisation).
+    instrs_per_step: usize,
+    /// Opcode dispatches per full simulation (prefix counted per-chunk).
+    dispatch_per_sim: u64,
+    steps_per_sec: f64,
+    speedup_vs_naive: f64,
+}
+
+struct ModelResult {
+    name: &'static str,
+    days: usize,
+    tiers: Vec<TierResult>,
+    tiers_bit_identical: bool,
+}
+
+/// Time `sim` by running whole simulations until `min_time` elapses.
+fn time_sim(mut sim: impl FnMut(&mut Vec<f64>), days: usize, min_time: Duration) -> f64 {
+    let mut out = Vec::with_capacity(days);
+    // Warm-up: one untimed run to fault in buffers.
+    sim(&mut out);
+    let start = Instant::now();
+    let mut reps = 0u64;
+    while start.elapsed() < min_time {
+        sim(&mut out);
+        black_box(&out);
+        reps += 1;
+    }
+    (days as u64 * reps) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn bench_model(p: &RiverProblem, m: &Model, min_time: Duration) -> ModelResult {
+    let days = p.num_cases();
+    let reference = p.simulate(&m.eqs);
+
+    let naive = [
+        CompiledExpr::compile(&m.eqs[0]),
+        CompiledExpr::compile(&m.eqs[1]),
+    ];
+    let tiers_sys: Vec<CompiledSystem> = [
+        OptOptions::register(),
+        OptOptions::fused(),
+        OptOptions::full(),
+    ]
+    .into_iter()
+    .map(|o| CompiledSystem::compile(&m.eqs, o))
+    .collect();
+
+    // Equivalence first: every tier's trajectory must match the
+    // interpreter bit for bit.
+    let mut buf = Vec::with_capacity(days);
+    simulate_naive(p, &naive, &mut buf);
+    let mut identical = buf == reference;
+    for sys in &tiers_sys {
+        simulate_vm(p, sys, &mut buf);
+        identical &= buf == reference;
+    }
+
+    let naive_instrs = naive[0].len() + naive[1].len();
+    let naive_sps = time_sim(|out| simulate_naive(p, &naive, out), days, min_time);
+    let mut tiers = vec![TierResult {
+        name: TIER_NAMES[0],
+        instrs_per_step: naive_instrs,
+        dispatch_per_sim: (days * naive_instrs) as u64,
+        steps_per_sec: naive_sps,
+        speedup_vs_naive: 1.0,
+    }];
+    for (i, sys) in tiers_sys.iter().enumerate() {
+        let sps = time_sim(|out| simulate_vm(p, sys, out), days, min_time);
+        tiers.push(TierResult {
+            name: TIER_NAMES[i + 1],
+            instrs_per_step: sys.core_len() + sys.prefix_len(),
+            dispatch_per_sim: dispatches(days, sys),
+            steps_per_sec: sps,
+            speedup_vs_naive: sps / naive_sps,
+        });
+    }
+    ModelResult {
+        name: m.name,
+        days,
+        tiers,
+        tiers_bit_identical: identical,
+    }
+}
+
+fn render_json(results: &[ModelResult], quick: bool) -> String {
+    let all_identical = results.iter().all(|r| r.tiers_bit_identical);
+    let split_speedup_manual = results
+        .iter()
+        .find(|r| r.name == "table_v_manual")
+        .and_then(|r| r.tiers.iter().find(|t| t.name == "split"))
+        .map(|t| t.speedup_vs_naive)
+        .unwrap_or(0.0);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if quick { "quick" } else { "default" }
+    ));
+    out.push_str(&format!("  \"lanes\": {LANES},\n"));
+    out.push_str(&format!("  \"tiers_bit_identical\": {all_identical},\n"));
+    out.push_str("  \"models\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"days\": {}, \"bit_identical\": {}, \"tiers\": [\n",
+            r.name, r.days, r.tiers_bit_identical
+        ));
+        for (j, t) in r.tiers.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"tier\": \"{}\", \"instrs_per_step\": {}, \"dispatch_per_sim\": {}, \
+                 \"steps_per_sec\": {:.1}, \"speedup_vs_naive\": {:.3}}}{}\n",
+                t.name,
+                t.instrs_per_step,
+                t.dispatch_per_sim,
+                t.steps_per_sec,
+                t.speedup_vs_naive,
+                if j + 1 < r.tiers.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"split_speedup_table_v\": {split_speedup_manual:.3}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Pull the first numeric value following `"key":` out of the emitted JSON.
+fn json_number(src: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = src.find(&pat)? + pat.len();
+    let rest = src[i..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Enforce the acceptance gate on an emitted file. Returns the failures.
+fn validate(src: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !src.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        errs.push(format!("missing schema tag {SCHEMA:?}"));
+    }
+    for key in [
+        "models",
+        "tiers",
+        "instrs_per_step",
+        "dispatch_per_sim",
+        "steps_per_sec",
+        "speedup_vs_naive",
+    ] {
+        if !src.contains(&format!("\"{key}\":")) {
+            errs.push(format!("missing key {key:?}"));
+        }
+    }
+    if !src.contains("\"tiers_bit_identical\": true") {
+        errs.push("tiers_bit_identical is not true".into());
+    }
+    for tier in TIER_NAMES {
+        if !src.contains(&format!("\"tier\": \"{tier}\"")) {
+            errs.push(format!("no entry for tier {tier:?}"));
+        }
+    }
+    if !src.contains("\"model\": \"table_v_manual\"") {
+        errs.push("no entry for the Table V manual model".into());
+    }
+    match json_number(src, "split_speedup_table_v") {
+        Some(s) if s >= MIN_SPEEDUP_SPLIT => {}
+        Some(s) => errs.push(format!(
+            "split_speedup_table_v {s:.3} below the {MIN_SPEEDUP_SPLIT}x gate"
+        )),
+        None => errs.push("split_speedup_table_v missing or not a number".into()),
+    }
+    errs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--validate requires a file path");
+            std::process::exit(2);
+        });
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let errs = validate(&src);
+        if errs.is_empty() {
+            println!("{path}: OK ({SCHEMA})");
+            return;
+        }
+        for e in &errs {
+            eprintln!("{path}: FAIL: {e}");
+        }
+        std::process::exit(1);
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_vm.json");
+    let min_time = Duration::from_millis(if quick { 120 } else { 400 });
+
+    let p = problem(quick);
+    let models = models();
+    eprintln!(
+        "bench_vm: {} days, {} models, tiers {TIER_NAMES:?}",
+        p.num_cases(),
+        models.len()
+    );
+    let results: Vec<ModelResult> = models
+        .iter()
+        .map(|m| {
+            let r = bench_model(&p, m, min_time);
+            for t in &r.tiers {
+                eprintln!(
+                    "  {}/{}: {} instrs/step, {} dispatches/sim, {:.0} steps/s ({:.2}x)",
+                    r.name,
+                    t.name,
+                    t.instrs_per_step,
+                    t.dispatch_per_sim,
+                    t.steps_per_sec,
+                    t.speedup_vs_naive
+                );
+            }
+            if !r.tiers_bit_identical {
+                eprintln!("FAIL: {} trajectories diverged across tiers", r.name);
+            }
+            r
+        })
+        .collect();
+
+    let json = render_json(&results, quick);
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "wrote {out_path} (split_speedup_table_v = {:.2}x)",
+        json_number(&json, "split_speedup_table_v").unwrap_or(0.0)
+    );
+
+    let errs = validate(&json);
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("FAIL: {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -15,7 +15,7 @@
 //! at *every* station simultaneously, or to study how a bloom propagates
 //! down the main channel.
 
-use gmr_expr::{CompiledExpr, EvalContext, Expr};
+use gmr_expr::{CompiledSystem, Expr, OptOptions};
 use gmr_hydro::data::{RiverDataset, Split};
 use gmr_hydro::network::RiverNetwork;
 use gmr_hydro::NUM_VARS;
@@ -81,11 +81,17 @@ pub fn simulate_network(
     let net: &RiverNetwork = &ds.network;
     let n = net.len();
     let days = split.len();
-    let compiled = [
-        CompiledExpr::compile(&eqs[0]),
-        CompiledExpr::compile(&eqs[1]),
-    ];
-    let mut stack = Vec::with_capacity(compiled[0].max_stack().max(compiled[1].max_stack()));
+    // One optimized system shared by every station, checked against the
+    // forcing/state arities up front (an out-of-range index is a compile
+    // error here, not a silent zero mid-simulation), plus one register-VM
+    // session per station over that station's forcing rows — each station
+    // gets its own columnar prefix sweep and scratch registers.
+    let sys = CompiledSystem::compile_checked(eqs, NUM_VARS, 2, OptOptions::full())
+        .expect("network equations reference indices outside the name table");
+    let mut sessions: Vec<_> = (0..n)
+        .map(|s| sys.session(&ds.stations[s].vars[split.start..split.end]))
+        .collect();
+    let mut deriv = [0.0f64; 2];
 
     let mut bphy = vec![Vec::with_capacity(days); n];
     let mut bzoo = vec![Vec::with_capacity(days); n];
@@ -130,14 +136,9 @@ pub fn simulate_network(
                 z = acc_z / total_w;
             }
             // One Euler day with this station's local forcings.
-            let row: &[f64; NUM_VARS] = &ds.stations[s].vars[abs_day];
             let state = [p, z];
-            let ctx = EvalContext {
-                vars: row,
-                state: &state,
-            };
-            let dp = compiled[0].eval_with(&ctx, &mut stack);
-            let dz = compiled[1].eval_with(&ctx, &mut stack);
+            sessions[s].step(day, &state, &mut deriv);
+            let (dp, dz) = (deriv[0], deriv[1]);
             let p1 = sanitise(p + opts.dt * dp, opts.state_cap);
             let z1 = sanitise(z + opts.dt * dz, opts.state_cap);
             bphy[s].push(p1);

@@ -19,7 +19,7 @@
 //! row showing a 2.79e+9 training RMSE rather than a crash), and a NaN state
 //! is snapped to the cap.
 
-use gmr_expr::{CompiledExpr, EvalContext, Expr};
+use gmr_expr::{CompiledSystem, EvalContext, Expr, OptOptions};
 use gmr_hydro::data::{RiverDataset, Split};
 use gmr_hydro::{mae, rmse, NUM_VARS};
 
@@ -90,47 +90,82 @@ impl RiverProblem {
         self.observed.len()
     }
 
+    /// The one forward-Euler loop every entry point runs through.
+    ///
+    /// Per day `i`: `visit(i, bphy)` observes the *pre-step* phytoplankton
+    /// biomass (recording a prediction, accumulating an error, consulting
+    /// the short-circuit controller — returning `false` aborts); `rhs`
+    /// produces the derivative pair at `(forcings[i], state)`; the state is
+    /// advanced and sanitised. Returns whether the loop ran to completion.
+    fn integrate<R, V>(&self, mut rhs: R, mut visit: V) -> bool
+    where
+        R: FnMut(usize, &[f64; 2]) -> (f64, f64),
+        V: FnMut(usize, f64) -> bool,
+    {
+        let cap = self.opts.state_cap;
+        let dt = self.opts.dt;
+        let (mut bphy, mut bzoo) = self.opts.init;
+        for i in 0..self.forcings.len() {
+            if !visit(i, bphy) {
+                return false;
+            }
+            let state = [bphy, bzoo];
+            let (dphy, dzoo) = rhs(i, &state);
+            bphy = sanitise(bphy + dt * dphy, cap);
+            bzoo = sanitise(bzoo + dt * dzoo, cap);
+        }
+        true
+    }
+
+    /// Derivative closure backed by the tree-walking interpreter.
+    fn interp_rhs<'a>(
+        &'a self,
+        eqs: [&'a Expr; 2],
+    ) -> impl FnMut(usize, &[f64; 2]) -> (f64, f64) + 'a {
+        move |i, state| {
+            let ctx = EvalContext {
+                vars: &self.forcings[i],
+                state,
+            };
+            (eqs[0].eval(&ctx), eqs[1].eval(&ctx))
+        }
+    }
+
+    /// Derivative closure backed by a compiled system: one register-VM
+    /// session over the forcing table, so the state-independent prefix is
+    /// swept columnar and only the core runs sequentially.
+    fn compiled_rhs<'a>(
+        &'a self,
+        sys: &'a CompiledSystem,
+    ) -> impl FnMut(usize, &[f64; 2]) -> (f64, f64) + 'a {
+        assert_eq!(sys.n_eqs(), 2, "the river system has two equations");
+        let mut session = sys.session(&self.forcings);
+        let mut d = [0.0f64; 2];
+        move |i, state: &[f64; 2]| {
+            session.step(i, state, &mut d);
+            (d[0], d[1])
+        }
+    }
+
     /// Full simulation with the tree-walking interpreter. Returns the
     /// predicted B_Phy series.
     pub fn simulate(&self, eqs: &[Expr; 2]) -> Vec<f64> {
-        let cap = self.opts.state_cap;
-        let dt = self.opts.dt;
-        let (mut bphy, mut bzoo) = self.opts.init;
         let mut out = Vec::with_capacity(self.num_cases());
-        for row in &self.forcings {
+        self.integrate(self.interp_rhs([&eqs[0], &eqs[1]]), |_, bphy| {
             out.push(bphy);
-            let state = [bphy, bzoo];
-            let ctx = EvalContext {
-                vars: row,
-                state: &state,
-            };
-            let dphy = eqs[0].eval(&ctx);
-            let dzoo = eqs[1].eval(&ctx);
-            bphy = sanitise(bphy + dt * dphy, cap);
-            bzoo = sanitise(bzoo + dt * dzoo, cap);
-        }
+            true
+        });
         out
     }
 
-    /// Full simulation with compiled bytecode; allocation-free inner loop.
-    pub fn simulate_compiled(&self, eqs: &[CompiledExpr; 2]) -> Vec<f64> {
-        let cap = self.opts.state_cap;
-        let dt = self.opts.dt;
-        let (mut bphy, mut bzoo) = self.opts.init;
+    /// Full simulation through the optimizing register VM; the inner loop
+    /// is allocation-free after the session's one-time setup.
+    pub fn simulate_compiled(&self, sys: &CompiledSystem) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.num_cases());
-        let mut stack = Vec::with_capacity(eqs[0].max_stack().max(eqs[1].max_stack()));
-        for row in &self.forcings {
+        self.integrate(self.compiled_rhs(sys), |_, bphy| {
             out.push(bphy);
-            let state = [bphy, bzoo];
-            let ctx = EvalContext {
-                vars: row,
-                state: &state,
-            };
-            let dphy = eqs[0].eval_with(&ctx, &mut stack);
-            let dzoo = eqs[1].eval_with(&ctx, &mut stack);
-            bphy = sanitise(bphy + dt * dphy, cap);
-            bzoo = sanitise(bzoo + dt * dzoo, cap);
-        }
+            true
+        });
         out
     }
 
@@ -151,82 +186,59 @@ impl RiverProblem {
     /// and the running RMSE is returned as the (extrapolated) fitness. The
     /// second tuple element reports whether evaluation ran to completion.
     ///
-    /// `compiled` selects the bytecode VM (runtime compilation on) or the
-    /// interpreter (off) — the knob for the Fig. 10 experiment.
+    /// `compiled` selects the optimizing register VM (runtime compilation
+    /// on) or the interpreter (off) — the knob for the Fig. 10 experiment.
     pub fn evaluate_with(
         &self,
         eqs: &[Expr; 2],
         compiled: bool,
         ctl: &mut dyn FnMut(f64, usize) -> bool,
     ) -> (f64, bool) {
-        let compiled_eqs = compiled.then(|| {
-            [
-                CompiledExpr::compile(&eqs[0]),
-                CompiledExpr::compile(&eqs[1]),
-            ]
-        });
-        let refs = compiled_eqs.as_ref().map(|c| [&c[0], &c[1]]);
-        self.evaluate_precompiled([&eqs[0], &eqs[1]], refs, ctl)
+        let sys = compiled.then(|| CompiledSystem::compile(&eqs[..], OptOptions::full()));
+        self.evaluate_precompiled([&eqs[0], &eqs[1]], sys.as_ref(), ctl)
     }
 
-    /// [`Self::evaluate_with`] taking already-compiled bytecode, so callers
-    /// that memoise the compiled system per genotype (the GP engine's
-    /// phenotype cache) pay the compile cost once instead of on every
-    /// evaluation.
+    /// [`Self::evaluate_with`] taking an already-compiled system, so
+    /// callers that memoise the compiled artifact per genotype (the GP
+    /// engine's phenotype cache) pay the compile cost once instead of on
+    /// every evaluation.
     pub fn evaluate_precompiled(
         &self,
         eqs: [&Expr; 2],
-        compiled: Option<[&CompiledExpr; 2]>,
+        compiled: Option<&CompiledSystem>,
         ctl: &mut dyn FnMut(f64, usize) -> bool,
     ) -> (f64, bool) {
-        let cap = self.opts.state_cap;
-        let dt = self.opts.dt;
-        let (mut bphy, mut bzoo) = self.opts.init;
-        let mut sse = 0.0f64;
         let n = self.num_cases();
-        let mut stack = Vec::with_capacity(
-            compiled
-                .map(|[c0, c1]| c0.max_stack().max(c1.max_stack()))
-                .unwrap_or(0),
-        );
-        for (i, row) in self.forcings.iter().enumerate() {
-            let err = bphy - self.observed[i];
-            sse += err * err;
-            let state = [bphy, bzoo];
-            let ctx = EvalContext {
-                vars: row,
-                state: &state,
-            };
-            let (dphy, dzoo) = match &compiled {
-                Some([c0, c1]) => (
-                    c0.eval_with(&ctx, &mut stack),
-                    c1.eval_with(&ctx, &mut stack),
-                ),
-                None => (eqs[0].eval(&ctx), eqs[1].eval(&ctx)),
-            };
-            bphy = sanitise(bphy + dt * dphy, cap);
-            bzoo = sanitise(bzoo + dt * dzoo, cap);
-            let done = i + 1;
-            if done % self.opts.check_every == 0 && done < n {
-                let running = (sse / done as f64).sqrt();
-                if !ctl(
-                    if running.is_finite() {
-                        running
-                    } else {
-                        f64::INFINITY
-                    },
-                    done,
-                ) {
-                    return (
-                        if running.is_finite() {
-                            running
-                        } else {
-                            f64::INFINITY
-                        },
-                        false,
-                    );
+        let check = self.opts.check_every;
+        let mut sse = 0.0f64;
+        let mut aborted_fitness = f64::INFINITY;
+        // Checkpoints fire between cases: when `visit(i, ..)` runs, `i`
+        // cases are integrated and scored, which is exactly the historical
+        // end-of-iteration check with `done == i` (and `done < n` holds
+        // for free because case `i` is still pending).
+        let visit = |i: usize, bphy: f64| -> bool {
+            if i > 0 && i.is_multiple_of(check) {
+                let running = (sse / i as f64).sqrt();
+                let running = if running.is_finite() {
+                    running
+                } else {
+                    f64::INFINITY
+                };
+                if !ctl(running, i) {
+                    aborted_fitness = running;
+                    return false;
                 }
             }
+            let err = bphy - self.observed[i];
+            sse += err * err;
+            true
+        };
+        let completed = match compiled {
+            Some(sys) => self.integrate(self.compiled_rhs(sys), visit),
+            None => self.integrate(self.interp_rhs(eqs), visit),
+        };
+        if !completed {
+            return (aborted_fitness, false);
         }
         let full = (sse / n.max(1) as f64).sqrt();
         (
@@ -270,12 +282,15 @@ mod tests {
         let p = tiny_problem();
         let eqs = manual_system();
         let interp = p.simulate(&eqs);
-        let comp = [
-            CompiledExpr::compile(&eqs[0]),
-            CompiledExpr::compile(&eqs[1]),
-        ];
-        let compiled = p.simulate_compiled(&comp);
-        assert_eq!(interp, compiled);
+        for opts in [
+            OptOptions::register(),
+            OptOptions::fused(),
+            OptOptions::full(),
+        ] {
+            let sys = CompiledSystem::compile(&eqs, opts);
+            let compiled = p.simulate_compiled(&sys);
+            assert_eq!(interp, compiled, "tier {opts:?} diverged");
+        }
     }
 
     #[test]

@@ -43,9 +43,8 @@ impl Evaluator for RiverEvaluator {
         debug_assert_eq!(eqs.len(), 2);
         // The engine compiled the system once per genotype; reuse it here
         // instead of recompiling per evaluation.
-        let compiled = ph.compiled().map(|c| [&c[0], &c[1]]);
         self.problem
-            .evaluate_precompiled([&eqs[0], &eqs[1]], compiled, ctl)
+            .evaluate_precompiled([&eqs[0], &eqs[1]], ph.compiled(), ctl)
     }
 }
 

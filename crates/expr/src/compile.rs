@@ -20,6 +20,73 @@
 
 use crate::ast::{BinOp, Expr, UnOp};
 use crate::eval::{apply_bin, apply_un, EvalContext};
+use std::fmt;
+
+/// A variable or state index that cannot exist under the name-table
+/// arities the expression was compiled against. Historically the VMs
+/// papered over this with a silent `0.0` read; it is now a compile-time
+/// error (and a `debug_assert` at eval time), because a miscompiled index
+/// always indicates a mis-assembled grammar or context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileError {
+    /// `Var(index)` with only `arity` temporal variables available.
+    VarOutOfRange { index: u8, arity: usize },
+    /// `State(index)` with only `arity` state variables available.
+    StateOutOfRange { index: u8, arity: usize },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::VarOutOfRange { index, arity } => write!(
+                f,
+                "temporal variable index {index} out of range (arity {arity})"
+            ),
+            CompileError::StateOutOfRange { index, arity } => {
+                write!(
+                    f,
+                    "state variable index {index} out of range (arity {arity})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Walk `expr` and verify every `Var`/`State` index against the name-table
+/// arities. Shared by [`CompiledExpr::compile_checked`], the register VM's
+/// `CompiledSystem::compile_checked`, and the `gmr-lint` arity lint.
+pub fn check_arity(expr: &Expr, n_vars: usize, n_states: usize) -> Result<(), CompileError> {
+    match expr {
+        Expr::Num(_) | Expr::Param(_) => Ok(()),
+        Expr::Var(i) => {
+            if (*i as usize) < n_vars {
+                Ok(())
+            } else {
+                Err(CompileError::VarOutOfRange {
+                    index: *i,
+                    arity: n_vars,
+                })
+            }
+        }
+        Expr::State(i) => {
+            if (*i as usize) < n_states {
+                Ok(())
+            } else {
+                Err(CompileError::StateOutOfRange {
+                    index: *i,
+                    arity: n_states,
+                })
+            }
+        }
+        Expr::Unary(_, a) => check_arity(a, n_vars, n_states),
+        Expr::Binary(_, a, b) => {
+            check_arity(a, n_vars, n_states)?;
+            check_arity(b, n_vars, n_states)
+        }
+    }
+}
 
 /// One VM instruction. Operands are inlined so execution is a single linear
 /// scan.
@@ -44,6 +111,10 @@ pub enum Instr {
 pub struct CompiledExpr {
     code: Vec<Instr>,
     max_stack: usize,
+    /// Minimum `vars` slice length any `LoadVar` reads.
+    needs_vars: usize,
+    /// Minimum `state` slice length any `LoadState` reads.
+    needs_states: usize,
 }
 
 impl CompiledExpr {
@@ -99,7 +170,43 @@ impl CompiledExpr {
             depth, 1,
             "a well-formed expression leaves exactly one value"
         );
-        CompiledExpr { code, max_stack }
+        let mut needs_vars = 0usize;
+        let mut needs_states = 0usize;
+        for instr in &code {
+            match *instr {
+                Instr::LoadVar(i) => needs_vars = needs_vars.max(i as usize + 1),
+                Instr::LoadState(i) => needs_states = needs_states.max(i as usize + 1),
+                _ => {}
+            }
+        }
+        CompiledExpr {
+            code,
+            max_stack,
+            needs_vars,
+            needs_states,
+        }
+    }
+
+    /// [`compile`](Self::compile) with an up-front bounds check of every
+    /// `Var`/`State` index against the name-table arities, so a
+    /// miscompiled index surfaces as an error instead of a silent zero.
+    pub fn compile_checked(
+        expr: &Expr,
+        n_vars: usize,
+        n_states: usize,
+    ) -> Result<CompiledExpr, CompileError> {
+        check_arity(expr, n_vars, n_states)?;
+        Ok(CompiledExpr::compile(expr))
+    }
+
+    /// Minimum `ctx.vars` length [`eval_with`](Self::eval_with) requires.
+    pub fn needs_vars(&self) -> usize {
+        self.needs_vars
+    }
+
+    /// Minimum `ctx.state` length [`eval_with`](Self::eval_with) requires.
+    pub fn needs_states(&self) -> usize {
+        self.needs_states
     }
 
     /// Number of instructions.
@@ -128,15 +235,28 @@ impl CompiledExpr {
     /// entry; no allocation occurs if `stack.capacity() >= self.max_stack()`.
     #[inline]
     pub fn eval_with(&self, ctx: &EvalContext<'_>, stack: &mut Vec<f64>) -> f64 {
+        debug_assert!(
+            ctx.vars.len() >= self.needs_vars,
+            "context provides {} vars, program reads {}",
+            ctx.vars.len(),
+            self.needs_vars
+        );
+        debug_assert!(
+            ctx.state.len() >= self.needs_states,
+            "context provides {} states, program reads {}",
+            ctx.state.len(),
+            self.needs_states
+        );
         stack.clear();
         stack.reserve(self.max_stack);
         for instr in &self.code {
             match *instr {
                 Instr::Push(v) => stack.push(v),
-                Instr::LoadVar(i) => stack.push(ctx.vars.get(i as usize).copied().unwrap_or(0.0)),
-                Instr::LoadState(i) => {
-                    stack.push(ctx.state.get(i as usize).copied().unwrap_or(0.0))
-                }
+                // Direct indexing: an out-of-range index panics instead of
+                // silently reading zero. `compile_checked` (and the
+                // `gmr-lint` arity lint) reject such programs up front.
+                Instr::LoadVar(i) => stack.push(ctx.vars[i as usize]),
+                Instr::LoadState(i) => stack.push(ctx.state[i as usize]),
                 Instr::Un(op) => {
                     let a = stack.last_mut().expect("unary on empty stack");
                     *a = apply_un(op, *a);
@@ -235,6 +355,31 @@ mod tests {
         let c2 = CompiledExpr::compile(&e);
         assert_ne!(c2.eval(&CTX), before);
         assert_eq!(c2.eval(&CTX), e.eval(&CTX));
+    }
+
+    #[test]
+    fn compile_checked_enforces_arity() {
+        let e = sample(); // reads Var(0), Var(1), State(0)
+        assert!(CompiledExpr::compile_checked(&e, 2, 1).is_ok());
+        assert_eq!(
+            CompiledExpr::compile_checked(&e, 1, 1),
+            Err(CompileError::VarOutOfRange { index: 1, arity: 1 })
+        );
+        assert_eq!(
+            CompiledExpr::compile_checked(&e, 2, 0),
+            Err(CompileError::StateOutOfRange { index: 0, arity: 0 })
+        );
+        let c = CompiledExpr::compile(&e);
+        assert_eq!(c.needs_vars(), 2);
+        assert_eq!(c.needs_states(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_load_panics_instead_of_reading_zero() {
+        let e = Expr::Var(7);
+        let c = CompiledExpr::compile(&e);
+        let _ = c.eval(&CTX); // CTX has only 3 vars
     }
 
     #[test]

@@ -39,11 +39,13 @@ pub mod eval;
 pub mod hash;
 pub mod parse;
 pub mod simplify;
+pub mod vm;
 
 pub use ast::{BinOp, Expr, ParamSlot, UnOp};
-pub use compile::{CompiledExpr, Instr};
+pub use compile::{check_arity, CompileError, CompiledExpr, Instr};
 pub use display::NameTable;
 pub use eval::{protected_div, protected_exp, protected_log, EvalContext};
 pub use hash::TreeKey;
 pub use parse::{parse, ParseError};
 pub use simplify::simplify;
+pub use vm::{CompiledSystem, OptOptions, SystemScratch, SystemSession, LANES};

@@ -1,0 +1,1698 @@
+//! Optimizing register-VM pipeline — the per-candidate successor to the
+//! naive stack VM in [`crate::compile`].
+//!
+//! The stack VM removes pointer chasing, but every one of a river
+//! simulation's ~4700 daily steps still pays one dispatch per tree node,
+//! bounds-checked `Vec` push/pop traffic, and — because the two equations
+//! of a system share growth/limitation terms by construction of the
+//! revision grammar — the same subexpressions evaluated twice per step.
+//! This module compiles a *system* of equations through a small optimizing
+//! pipeline instead:
+//!
+//! 1. **Lowering passes.** The equations are hash-consed into one DAG
+//!    shared across *all* equations, which performs common-subexpression
+//!    elimination for free (structurally identical subtrees intern to the
+//!    same node, across equation boundaries). During interning,
+//!    fully-constant subtrees fold (parameter values are frozen at compile
+//!    time, exactly like the stack VM), and a peephole rewrites the
+//!    identities that are sound under protected semantics: `x*1 → x`,
+//!    `x+0 → x`, `x-0 → x`, `0-x → -x`, `x/1 → x`, `--x → x`,
+//!    `min(x,x) → x`, `max(x,x) → x`, and `pow(x,1) → exp(log(x))`. The
+//!    last one deserves a note: `protected_pow(x, 1)` is *defined* as
+//!    `protected_exp(1 · protected_log(x))`, so the textbook `x^1 → x`
+//!    would change values (`exp(ln(max(|x|,ε)))` is not `x`); the rewrite
+//!    we apply drops only the exactly-neutral `1 ·` factor. `x*0 → 0` and
+//!    `x-x → 0` are deliberately absent (wrong for NaN/∞ operands).
+//!
+//! 2. **Register code generation.** DAG nodes are scheduled in demand
+//!    order (postorder over the roots) into three-address code over a
+//!    fixed register file sized at compile time — no push/pop. Constants
+//!    live in *pinned* registers written once per scratch buffer, so the
+//!    steady state of the inner loop never dispatches a "push literal". A
+//!    fusion peephole collapses common pairs into superinstructions —
+//!    `VarBin{L,R}` (forcing-variable load folded into a binary op),
+//!    `ConstBin{L,R}` (binary op with an inline immediate) and `MulAdd` —
+//!    cutting dispatch count. A linear-scan allocator with a LIFO free
+//!    list then compacts the SSA temporaries into a small reusable file.
+//!
+//! 3. **State-independent split.** Each equation is partitioned into a
+//!    *prefix* (maximal subexpressions depending only on forcing variables
+//!    and constants — e.g. the entire light/nutrient/temperature
+//!    productivity factor of the expert model) and a state-dependent
+//!    *core*. The prefix is evaluated **once per candidate** as a columnar
+//!    sweep over the forcing rows, [`LANES`] rows per dispatch over
+//!    structure-of-arrays lane registers, so its dispatch cost is
+//!    amortized `LANES`-fold and the per-lane loops auto-vectorize; the
+//!    sequential Euler recurrence executes only the core, reading the
+//!    precomputed prefix values through a pinned register window. The
+//!    sweep is chunked and computed on demand, so a short-circuited
+//!    evaluation (paper Alg. 1) never pays for rows it does not visit.
+//!
+//! The hard invariant, shared with the stack VM and property-tested in
+//! `tests/properties.rs`: every pipeline configuration produces values
+//! `==`-equal (NaN tolerated as equal) to the tree-walking interpreter on
+//! every input. All rewrites are chosen to be exact under the *protected*
+//! operator semantics of [`crate::eval`]; the only tolerated differences
+//! are the sign of a zero (`0-x → -x` on `x = +0`) and NaN payloads,
+//! neither of which is observable through `==`, through any protected
+//! operator, or through the squared-error fitness pipeline.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::compile::{check_arity, CompileError};
+use crate::eval::{
+    apply_bin, apply_un, protected_div, protected_exp, protected_log, protected_pow, EvalContext,
+};
+use std::collections::HashMap;
+
+/// Rows evaluated per dispatch in the columnar prefix sweep. 32 keeps the
+/// lane register file L1-resident for realistic programs (a 50-register
+/// prefix occupies 12.5 KiB of lanes) while amortizing dispatch 32-fold,
+/// and it matches the engine's default short-circuit check interval, so an
+/// aborted candidate sweeps no further than its last fitness checkpoint.
+pub const LANES: usize = 32;
+
+/// Which optimization stages to run. The lowering passes (folding, the
+/// algebraic peephole, cross-equation CSE) are always on; the knobs select
+/// the VM tiers that `bench_vm` compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptOptions {
+    /// Emit fused superinstructions (`VarBin`, `ConstBin`, `MulAdd`).
+    pub fuse: bool,
+    /// Split out the state-independent prefix for the columnar sweep.
+    pub split: bool,
+}
+
+impl OptOptions {
+    /// Plain register VM: lowering passes only, one op per instruction.
+    pub fn register() -> OptOptions {
+        OptOptions {
+            fuse: false,
+            split: false,
+        }
+    }
+
+    /// Register VM plus fused superinstructions.
+    pub fn fused() -> OptOptions {
+        OptOptions {
+            fuse: true,
+            split: false,
+        }
+    }
+
+    /// The full pipeline: fusion and the state-independent split.
+    pub fn full() -> OptOptions {
+        OptOptions {
+            fuse: true,
+            split: true,
+        }
+    }
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions::full()
+    }
+}
+
+/// One register-VM instruction. `dst`/`a`/`b`/`c` index the register file;
+/// `idx` indexes the forcing (`vars`) or state vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RInstr {
+    /// `r[dst] = vars[idx]`
+    LoadVar { dst: u16, idx: u8 },
+    /// `r[dst] = state[idx]`
+    LoadState { dst: u16, idx: u8 },
+    /// `r[dst] = un(op, r[a])`
+    Un { op: UnOp, dst: u16, a: u16 },
+    /// `r[dst] = bin(op, r[a], r[b])`
+    Bin { op: BinOp, dst: u16, a: u16, b: u16 },
+    /// Fused: `r[dst] = bin(op, vars[idx], r[b])`
+    VarBinL {
+        op: BinOp,
+        dst: u16,
+        idx: u8,
+        b: u16,
+    },
+    /// Fused: `r[dst] = bin(op, r[a], vars[idx])`
+    VarBinR {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        idx: u8,
+    },
+    /// Fused: `r[dst] = bin(op, c, r[b])` with an inline immediate.
+    ConstBinL { op: BinOp, dst: u16, c: f64, b: u16 },
+    /// Fused: `r[dst] = bin(op, r[a], c)` with an inline immediate.
+    ConstBinR { op: BinOp, dst: u16, a: u16, c: f64 },
+    /// Fused: `r[dst] = r[a] * r[b] + r[c]`, multiply and add rounded
+    /// separately (NOT an FMA — equivalence with the interpreter forbids
+    /// contracting the intermediate rounding).
+    MulAdd { dst: u16, a: u16, b: u16, c: u16 },
+}
+
+impl RInstr {
+    fn set_dst(&mut self, r: u16) {
+        match self {
+            RInstr::LoadVar { dst, .. }
+            | RInstr::LoadState { dst, .. }
+            | RInstr::Un { dst, .. }
+            | RInstr::Bin { dst, .. }
+            | RInstr::VarBinL { dst, .. }
+            | RInstr::VarBinR { dst, .. }
+            | RInstr::ConstBinL { dst, .. }
+            | RInstr::ConstBinR { dst, .. }
+            | RInstr::MulAdd { dst, .. } => *dst = r,
+        }
+    }
+}
+
+/// A linear register program. Register-file layout:
+///
+/// ```text
+/// [0 .. nc)              pinned constants, written once per scratch buffer
+/// [nc .. nc + n_pre)     pinned prefix-row window (core programs only)
+/// [nc + n_pre .. n_regs) temporaries, reused via linear-scan allocation
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegProgram {
+    code: Vec<RInstr>,
+    /// Values of the pinned constant registers `[0 .. consts.len())`.
+    consts: Vec<f64>,
+    /// Width of the pinned prefix-row window.
+    n_pre: u16,
+    /// Total register-file size (pinned + temporaries).
+    n_regs: u16,
+    /// Registers holding the program's outputs after a run (may point into
+    /// the pinned region when an output folded to a constant or lives in
+    /// the prefix window).
+    outputs: Vec<u16>,
+    /// Minimum `vars` slice length any instruction reads.
+    needs_vars: usize,
+    /// Minimum `state` slice length any instruction reads.
+    needs_states: usize,
+}
+
+impl RegProgram {
+    fn empty() -> RegProgram {
+        RegProgram {
+            code: Vec::new(),
+            consts: Vec::new(),
+            n_pre: 0,
+            n_regs: 0,
+            outputs: Vec::new(),
+            needs_vars: 0,
+            needs_states: 0,
+        }
+    }
+
+    /// Number of instructions (= dispatches per run).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Register-file size.
+    pub fn n_regs(&self) -> usize {
+        self.n_regs as usize
+    }
+
+    /// Raw instruction stream (tests and the bench harness).
+    pub fn instructions(&self) -> &[RInstr] {
+        &self.code
+    }
+
+    /// Check every register operand against the file size once at
+    /// construction, so the unchecked register accesses in the
+    /// interpreters below are in bounds for any scratch buffer of
+    /// `n_regs` (or `n_regs * LANES`) length.
+    fn validate(&self) {
+        let n = self.n_regs;
+        let base = self.consts.len() as u16 + self.n_pre;
+        let ck = |r: u16| assert!(r < n, "register {r} out of file of {n}");
+        let ckd = |r: u16| {
+            ck(r);
+            assert!(r >= base, "write into pinned region");
+        };
+        for ins in &self.code {
+            match *ins {
+                RInstr::LoadVar { dst, .. } | RInstr::LoadState { dst, .. } => ckd(dst),
+                RInstr::Un { dst, a, .. } => {
+                    ckd(dst);
+                    ck(a);
+                }
+                RInstr::Bin { dst, a, b, .. } => {
+                    ckd(dst);
+                    ck(a);
+                    ck(b);
+                }
+                RInstr::VarBinL { dst, b, .. } => {
+                    ckd(dst);
+                    ck(b);
+                }
+                RInstr::VarBinR { dst, a, .. } => {
+                    ckd(dst);
+                    ck(a);
+                }
+                RInstr::ConstBinL { dst, b, .. } => {
+                    ckd(dst);
+                    ck(b);
+                }
+                RInstr::ConstBinR { dst, a, .. } => {
+                    ckd(dst);
+                    ck(a);
+                }
+                RInstr::MulAdd { dst, a, b, c } => {
+                    ckd(dst);
+                    ck(a);
+                    ck(b);
+                    ck(c);
+                }
+            }
+        }
+        for &o in &self.outputs {
+            ck(o);
+        }
+    }
+
+    /// Write the pinned constants into a scalar register file.
+    fn init_consts(&self, regs: &mut [f64]) {
+        regs[..self.consts.len()].copy_from_slice(&self.consts);
+    }
+
+    /// Broadcast the pinned constants into a lane register file.
+    fn init_consts_lanes(&self, regs: &mut [f64]) {
+        for (k, &c) in self.consts.iter().enumerate() {
+            regs[k * LANES..(k + 1) * LANES].fill(c);
+        }
+    }
+
+    /// Run over scalar registers. `regs` must be exactly `n_regs` long
+    /// with constants pinned by [`init_consts`](Self::init_consts) and the
+    /// prefix window (if any) holding the current row's prefix values.
+    #[inline]
+    fn run_scalar(&self, vars: &[f64], state: &[f64], regs: &mut [f64]) {
+        assert_eq!(regs.len(), self.n_regs as usize);
+        debug_assert!(vars.len() >= self.needs_vars);
+        debug_assert!(state.len() >= self.needs_states);
+        // SAFETY for every register `get_unchecked` below: `validate()`
+        // proved each register operand < n_regs at construction time, and
+        // the assert above pins `regs.len() == n_regs`. The `vars`/`state`
+        // accesses stay bounds-checked (they are caller data, and tiny).
+        for ins in &self.code {
+            unsafe {
+                match *ins {
+                    RInstr::LoadVar { dst, idx } => {
+                        *regs.get_unchecked_mut(dst as usize) = vars[idx as usize];
+                    }
+                    RInstr::LoadState { dst, idx } => {
+                        *regs.get_unchecked_mut(dst as usize) = state[idx as usize];
+                    }
+                    RInstr::Un { op, dst, a } => {
+                        let av = *regs.get_unchecked(a as usize);
+                        *regs.get_unchecked_mut(dst as usize) = apply_un(op, av);
+                    }
+                    RInstr::Bin { op, dst, a, b } => {
+                        let av = *regs.get_unchecked(a as usize);
+                        let bv = *regs.get_unchecked(b as usize);
+                        *regs.get_unchecked_mut(dst as usize) = apply_bin(op, av, bv);
+                    }
+                    RInstr::VarBinL { op, dst, idx, b } => {
+                        let bv = *regs.get_unchecked(b as usize);
+                        *regs.get_unchecked_mut(dst as usize) =
+                            apply_bin(op, vars[idx as usize], bv);
+                    }
+                    RInstr::VarBinR { op, dst, a, idx } => {
+                        let av = *regs.get_unchecked(a as usize);
+                        *regs.get_unchecked_mut(dst as usize) =
+                            apply_bin(op, av, vars[idx as usize]);
+                    }
+                    RInstr::ConstBinL { op, dst, c, b } => {
+                        let bv = *regs.get_unchecked(b as usize);
+                        *regs.get_unchecked_mut(dst as usize) = apply_bin(op, c, bv);
+                    }
+                    RInstr::ConstBinR { op, dst, a, c } => {
+                        let av = *regs.get_unchecked(a as usize);
+                        *regs.get_unchecked_mut(dst as usize) = apply_bin(op, av, c);
+                    }
+                    RInstr::MulAdd { dst, a, b, c } => {
+                        let av = *regs.get_unchecked(a as usize);
+                        let bv = *regs.get_unchecked(b as usize);
+                        let cv = *regs.get_unchecked(c as usize);
+                        // Two roundings on purpose; see `RInstr::MulAdd`.
+                        *regs.get_unchecked_mut(dst as usize) = av * bv + cv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run columnar over `m <= LANES` consecutive forcing rows starting at
+    /// `base`. Each register is a `[f64; LANES]` stripe in the flat `regs`
+    /// buffer; one dispatch covers all `m` lanes and the per-lane loops are
+    /// plain indexed f64 kernels with the operator matched *outside* the
+    /// loop, so the compiler can auto-vectorize them. State loads are
+    /// impossible here by construction (the prefix is state-independent).
+    fn run_lanes<R: AsRef<[f64]>>(&self, rows: &[R], base: usize, m: usize, regs: &mut [f64]) {
+        assert_eq!(regs.len(), self.n_regs as usize * LANES);
+        assert!(m <= LANES && base + m <= rows.len());
+        // SAFETY throughout: register stripes are `[r*LANES .. r*LANES+m)`
+        // with `r < n_regs` (validated at construction) and `m <= LANES`,
+        // so every lane index is `< n_regs * LANES == regs.len()`. Row
+        // accesses stay bounds-checked.
+        #[inline(always)]
+        fn k_un(f: impl Fn(f64) -> f64, regs: &mut [f64], d: usize, a: usize, m: usize) {
+            for l in 0..m {
+                unsafe {
+                    let av = *regs.get_unchecked(a + l);
+                    *regs.get_unchecked_mut(d + l) = f(av);
+                }
+            }
+        }
+        #[inline(always)]
+        fn k_bin(
+            f: impl Fn(f64, f64) -> f64,
+            regs: &mut [f64],
+            d: usize,
+            a: usize,
+            b: usize,
+            m: usize,
+        ) {
+            for l in 0..m {
+                unsafe {
+                    let av = *regs.get_unchecked(a + l);
+                    let bv = *regs.get_unchecked(b + l);
+                    *regs.get_unchecked_mut(d + l) = f(av, bv);
+                }
+            }
+        }
+        #[inline(always)]
+        fn k_bin_cl(
+            f: impl Fn(f64, f64) -> f64,
+            regs: &mut [f64],
+            d: usize,
+            c: f64,
+            b: usize,
+            m: usize,
+        ) {
+            for l in 0..m {
+                unsafe {
+                    let bv = *regs.get_unchecked(b + l);
+                    *regs.get_unchecked_mut(d + l) = f(c, bv);
+                }
+            }
+        }
+        #[inline(always)]
+        fn k_bin_cr(
+            f: impl Fn(f64, f64) -> f64,
+            regs: &mut [f64],
+            d: usize,
+            a: usize,
+            c: f64,
+            m: usize,
+        ) {
+            for l in 0..m {
+                unsafe {
+                    let av = *regs.get_unchecked(a + l);
+                    *regs.get_unchecked_mut(d + l) = f(av, c);
+                }
+            }
+        }
+        let off = |r: u16| r as usize * LANES;
+        for ins in &self.code {
+            match *ins {
+                RInstr::LoadVar { dst, idx } => {
+                    let d = off(dst);
+                    for l in 0..m {
+                        regs[d + l] = rows[base + l].as_ref()[idx as usize];
+                    }
+                }
+                RInstr::LoadState { .. } => {
+                    unreachable!("state load in a state-independent prefix")
+                }
+                RInstr::Un { op, dst, a } => {
+                    let (d, a) = (off(dst), off(a));
+                    match op {
+                        UnOp::Neg => k_un(|x| -x, regs, d, a, m),
+                        UnOp::Log => k_un(protected_log, regs, d, a, m),
+                        UnOp::Exp => k_un(protected_exp, regs, d, a, m),
+                    }
+                }
+                RInstr::Bin { op, dst, a, b } => {
+                    let (d, a, b) = (off(dst), off(a), off(b));
+                    match op {
+                        BinOp::Add => k_bin(|x, y| x + y, regs, d, a, b, m),
+                        BinOp::Sub => k_bin(|x, y| x - y, regs, d, a, b, m),
+                        BinOp::Mul => k_bin(|x, y| x * y, regs, d, a, b, m),
+                        BinOp::Div => k_bin(protected_div, regs, d, a, b, m),
+                        BinOp::Min => k_bin(f64::min, regs, d, a, b, m),
+                        BinOp::Max => k_bin(f64::max, regs, d, a, b, m),
+                        BinOp::Pow => k_bin(protected_pow, regs, d, a, b, m),
+                    }
+                }
+                RInstr::VarBinL { op, dst, idx, b } => {
+                    let (d, b) = (off(dst), off(b));
+                    for l in 0..m {
+                        let v = rows[base + l].as_ref()[idx as usize];
+                        regs[d + l] = apply_bin(op, v, regs[b + l]);
+                    }
+                }
+                RInstr::VarBinR { op, dst, a, idx } => {
+                    let (d, a) = (off(dst), off(a));
+                    for l in 0..m {
+                        let v = rows[base + l].as_ref()[idx as usize];
+                        regs[d + l] = apply_bin(op, regs[a + l], v);
+                    }
+                }
+                RInstr::ConstBinL { op, dst, c, b } => {
+                    let (d, b) = (off(dst), off(b));
+                    match op {
+                        BinOp::Add => k_bin_cl(|x, y| x + y, regs, d, c, b, m),
+                        BinOp::Sub => k_bin_cl(|x, y| x - y, regs, d, c, b, m),
+                        BinOp::Mul => k_bin_cl(|x, y| x * y, regs, d, c, b, m),
+                        BinOp::Div => k_bin_cl(protected_div, regs, d, c, b, m),
+                        BinOp::Min => k_bin_cl(f64::min, regs, d, c, b, m),
+                        BinOp::Max => k_bin_cl(f64::max, regs, d, c, b, m),
+                        BinOp::Pow => k_bin_cl(protected_pow, regs, d, c, b, m),
+                    }
+                }
+                RInstr::ConstBinR { op, dst, a, c } => {
+                    let (d, a) = (off(dst), off(a));
+                    match op {
+                        BinOp::Add => k_bin_cr(|x, y| x + y, regs, d, a, c, m),
+                        BinOp::Sub => k_bin_cr(|x, y| x - y, regs, d, a, c, m),
+                        BinOp::Mul => k_bin_cr(|x, y| x * y, regs, d, a, c, m),
+                        BinOp::Div => k_bin_cr(protected_div, regs, d, a, c, m),
+                        BinOp::Min => k_bin_cr(f64::min, regs, d, a, c, m),
+                        BinOp::Max => k_bin_cr(f64::max, regs, d, a, c, m),
+                        BinOp::Pow => k_bin_cr(protected_pow, regs, d, a, c, m),
+                    }
+                }
+                RInstr::MulAdd { dst, a, b, c } => {
+                    let (d, a, b, c) = (off(dst), off(a), off(b), off(c));
+                    for l in 0..m {
+                        unsafe {
+                            let av = *regs.get_unchecked(a + l);
+                            let bv = *regs.get_unchecked(b + l);
+                            let cv = *regs.get_unchecked(c + l);
+                            *regs.get_unchecked_mut(d + l) = av * bv + cv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DAG construction: hash-consed CSE + constant folding + peephole
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Node {
+    Const(f64),
+    Var(u8),
+    State(u8),
+    Un(UnOp, u32),
+    Bin(BinOp, u32, u32),
+}
+
+/// Hashable identity of a node; floats hash by bit pattern so `-0.0` and
+/// `0.0` intern to distinct nodes.
+#[derive(Hash, PartialEq, Eq)]
+enum Key {
+    Const(u64),
+    Var(u8),
+    State(u8),
+    Un(UnOp, u32),
+    Bin(BinOp, u32, u32),
+}
+
+/// The hash-consed expression DAG. Node ids are assigned in deterministic
+/// first-intern order (driven by the left-to-right postorder of `lower`);
+/// the `interned` map is only ever *probed*, never iterated, so nothing
+/// downstream depends on hash order — a requirement of the engine's
+/// thread-count-invariance contract.
+struct Dag {
+    nodes: Vec<Node>,
+    /// Whether the node (transitively) reads a state variable.
+    state_dep: Vec<bool>,
+    interned: HashMap<Key, u32>,
+}
+
+impl Dag {
+    fn new() -> Dag {
+        Dag {
+            nodes: Vec::new(),
+            state_dep: Vec::new(),
+            interned: HashMap::new(),
+        }
+    }
+
+    fn node(&self, id: u32) -> Node {
+        self.nodes[id as usize]
+    }
+
+    fn cnum(&self, id: u32) -> Option<f64> {
+        match self.node(id) {
+            Node::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn intern(&mut self, n: Node) -> u32 {
+        let key = match n {
+            Node::Const(v) => Key::Const(v.to_bits()),
+            Node::Var(i) => Key::Var(i),
+            Node::State(i) => Key::State(i),
+            Node::Un(op, a) => Key::Un(op, a),
+            Node::Bin(op, a, b) => Key::Bin(op, a, b),
+        };
+        if let Some(&id) = self.interned.get(&key) {
+            return id;
+        }
+        let dep = match n {
+            Node::State(_) => true,
+            Node::Un(_, a) => self.state_dep[a as usize],
+            Node::Bin(_, a, b) => self.state_dep[a as usize] || self.state_dep[b as usize],
+            _ => false,
+        };
+        let id = u32::try_from(self.nodes.len()).expect("expression DAG exceeds u32 nodes");
+        self.nodes.push(n);
+        self.state_dep.push(dep);
+        self.interned.insert(key, id);
+        id
+    }
+
+    fn unary(&mut self, op: UnOp, a: u32) -> u32 {
+        // Constant folding through the protected operator.
+        if let Some(v) = self.cnum(a) {
+            return self.intern(Node::Const(apply_un(op, v)));
+        }
+        // --x → x (exact: negation is an involution on every f64).
+        if op == UnOp::Neg {
+            if let Node::Un(UnOp::Neg, inner) = self.node(a) {
+                return inner;
+            }
+        }
+        self.intern(Node::Un(op, a))
+    }
+
+    fn binary(&mut self, op: BinOp, a: u32, b: u32) -> u32 {
+        if let (Some(x), Some(y)) = (self.cnum(a), self.cnum(b)) {
+            return self.intern(Node::Const(apply_bin(op, x, y)));
+        }
+        // Identity peephole — every rule is value-preserving under the
+        // protected semantics (see the module docs for the pow caveat and
+        // the sign-of-zero note). `a_is`/`b_is` use `==`, so `-0.0`
+        // matches `0.0`, which is fine for the rules below.
+        let a_is = |v: f64| self.cnum(a) == Some(v);
+        let b_is = |v: f64| self.cnum(b) == Some(v);
+        match op {
+            BinOp::Add => {
+                if a_is(0.0) {
+                    return b;
+                }
+                if b_is(0.0) {
+                    return a;
+                }
+            }
+            BinOp::Sub => {
+                if b_is(0.0) {
+                    return a;
+                }
+                if a_is(0.0) {
+                    return self.unary(UnOp::Neg, b);
+                }
+            }
+            BinOp::Mul => {
+                if a_is(1.0) {
+                    return b;
+                }
+                if b_is(1.0) {
+                    return a;
+                }
+            }
+            BinOp::Div => {
+                if b_is(1.0) {
+                    return a;
+                }
+            }
+            BinOp::Pow => {
+                // protected_pow(x, 1) ≡ protected_exp(1 · protected_log(x));
+                // dropping the neutral multiply is exact, dropping the
+                // exp∘log round-trip would not be.
+                if b_is(1.0) {
+                    let l = self.unary(UnOp::Log, a);
+                    return self.unary(UnOp::Exp, l);
+                }
+            }
+            BinOp::Min | BinOp::Max => {
+                // Hash-consing makes structural identity pointer identity:
+                // min(x, x) → x even for compound x.
+                if a == b {
+                    return a;
+                }
+            }
+        }
+        self.intern(Node::Bin(op, a, b))
+    }
+
+    fn lower(&mut self, e: &Expr) -> u32 {
+        match e {
+            Expr::Num(v) => self.intern(Node::Const(*v)),
+            // Parameter values are frozen at compile time; recompile after
+            // Gaussian mutation (same cost profile as the stack VM).
+            Expr::Param(p) => self.intern(Node::Const(p.value)),
+            Expr::Var(i) => self.intern(Node::Var(*i)),
+            Expr::State(i) => self.intern(Node::State(*i)),
+            Expr::Unary(op, a) => {
+                let a = self.lower(a);
+                self.unary(*op, a)
+            }
+            Expr::Binary(op, a, b) => {
+                let a = self.lower(a);
+                let b = self.lower(b);
+                self.binary(*op, a, b)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-code emission
+// ---------------------------------------------------------------------------
+
+/// A value reference in virtual (pre-allocation) code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VR {
+    /// SSA temporary.
+    Temp(u32),
+    /// Pinned constant, identified by its DAG node id.
+    Const(u32),
+    /// Pinned prefix-window slot (core programs only).
+    Pre(u16),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VOp {
+    LoadVar(u8),
+    LoadState(u8),
+    Un(UnOp, VR),
+    Bin(BinOp, VR, VR),
+    VarBinL(BinOp, u8, VR),
+    VarBinR(BinOp, VR, u8),
+    ConstBinL(BinOp, f64, VR),
+    ConstBinR(BinOp, VR, f64),
+    MulAdd(VR, VR, VR),
+}
+
+impl VOp {
+    /// Visit every operand.
+    fn operands(&self, mut f: impl FnMut(&VR)) {
+        match self {
+            VOp::LoadVar(_) | VOp::LoadState(_) => {}
+            VOp::Un(_, a) | VOp::VarBinR(_, a, _) | VOp::ConstBinR(_, a, _) => f(a),
+            VOp::VarBinL(_, _, b) | VOp::ConstBinL(_, _, b) => f(b),
+            VOp::Bin(_, a, b) => {
+                f(a);
+                f(b);
+            }
+            VOp::MulAdd(a, b, c) => {
+                f(a);
+                f(b);
+                f(c);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VIns {
+    dst: u32,
+    op: VOp,
+    dead: bool,
+}
+
+/// Demand-driven emitter: walking `value(root)` emits each needed DAG node
+/// exactly once, in deterministic postorder.
+struct Emitter<'d> {
+    dag: &'d Dag,
+    /// Prefix-output slot per DAG node (`Some` ⇒ the *core* program reads
+    /// the value through the pinned window instead of recomputing it).
+    pre_slot: &'d [Option<u16>],
+    /// Emitting the prefix program itself (slot nodes are computed inline,
+    /// state loads are unreachable)?
+    in_prefix: bool,
+    value_of: Vec<Option<VR>>,
+    code: Vec<VIns>,
+    next_temp: u32,
+}
+
+impl<'d> Emitter<'d> {
+    fn new(dag: &'d Dag, pre_slot: &'d [Option<u16>], in_prefix: bool) -> Emitter<'d> {
+        Emitter {
+            dag,
+            pre_slot,
+            in_prefix,
+            value_of: vec![None; dag.nodes.len()],
+            code: Vec::new(),
+            next_temp: 0,
+        }
+    }
+
+    fn def(&mut self, op: VOp) -> VR {
+        let t = self.next_temp;
+        self.next_temp += 1;
+        self.code.push(VIns {
+            dst: t,
+            op,
+            dead: false,
+        });
+        VR::Temp(t)
+    }
+
+    fn value(&mut self, id: u32) -> VR {
+        if let Some(v) = self.value_of[id as usize] {
+            return v;
+        }
+        if !self.in_prefix {
+            if let Some(slot) = self.pre_slot[id as usize] {
+                let v = VR::Pre(slot);
+                self.value_of[id as usize] = Some(v);
+                return v;
+            }
+        }
+        let v = match self.dag.node(id) {
+            Node::Const(_) => VR::Const(id),
+            Node::Var(i) => self.def(VOp::LoadVar(i)),
+            Node::State(i) => {
+                debug_assert!(!self.in_prefix, "state leaf in prefix");
+                self.def(VOp::LoadState(i))
+            }
+            Node::Un(op, a) => {
+                let av = self.value(a);
+                self.def(VOp::Un(op, av))
+            }
+            Node::Bin(op, a, b) => {
+                let av = self.value(a);
+                let bv = self.value(b);
+                self.def(VOp::Bin(op, av, bv))
+            }
+        };
+        self.value_of[id as usize] = Some(v);
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Superinstruction fusion
+// ---------------------------------------------------------------------------
+
+/// Fusion peephole over virtual code. Priority per binary instruction:
+/// `MulAdd` (erases a whole instruction) over `VarBin` (erases a load and
+/// its dispatch) over `ConstBin` (inlines an immediate, freeing a pinned
+/// register read). Multi-use temporaries are never destroyed: a `LoadVar`
+/// feeding several consumers fuses into each, and its defining instruction
+/// dies only when no uses remain. Output references count as uses, so an
+/// output definition never fuses away.
+fn fuse(code: &mut Vec<VIns>, outputs: &[VR], dag: &Dag) {
+    let mut def_idx: HashMap<u32, usize> = HashMap::with_capacity(code.len());
+    for (i, ins) in code.iter().enumerate() {
+        def_idx.insert(ins.dst, i);
+    }
+    let mut uses: HashMap<u32, u32> = HashMap::with_capacity(code.len());
+    for ins in code.iter() {
+        ins.op.operands(|v| {
+            if let VR::Temp(t) = v {
+                *uses.entry(*t).or_insert(0) += 1;
+            }
+        });
+    }
+    for o in outputs {
+        if let VR::Temp(t) = o {
+            *uses.entry(*t).or_insert(0) += 1;
+        }
+    }
+
+    for i in 0..code.len() {
+        let VOp::Bin(op, a, b) = code[i].op else {
+            continue;
+        };
+        // MulAdd: a single-use Mul feeding either Add operand.
+        if op == BinOp::Add {
+            let try_mul = |v: VR| -> Option<(u32, usize, VR, VR)> {
+                let VR::Temp(t) = v else { return None };
+                if uses.get(&t) != Some(&1) {
+                    return None;
+                }
+                let j = def_idx[&t];
+                match code[j].op {
+                    VOp::Bin(BinOp::Mul, x, y) => Some((t, j, x, y)),
+                    _ => None,
+                }
+            };
+            if let Some((t, j, x, y)) = try_mul(a) {
+                code[i].op = VOp::MulAdd(x, y, b);
+                code[j].dead = true;
+                uses.insert(t, 0);
+                continue;
+            }
+            if let Some((t, j, x, y)) = try_mul(b) {
+                code[i].op = VOp::MulAdd(x, y, a);
+                code[j].dead = true;
+                uses.insert(t, 0);
+                continue;
+            }
+        }
+        // VarBin: fold a forcing-variable load into the consumer. The
+        // load's definition survives while other consumers still need it.
+        let load_of = |v: VR| -> Option<(u32, usize, u8)> {
+            let VR::Temp(t) = v else { return None };
+            let j = def_idx[&t];
+            match code[j].op {
+                VOp::LoadVar(idx) => Some((t, j, idx)),
+                _ => None,
+            }
+        };
+        if let Some((t, j, idx)) = load_of(a) {
+            code[i].op = VOp::VarBinL(op, idx, b);
+            let u = uses.get_mut(&t).expect("use count for operand");
+            *u -= 1;
+            if *u == 0 {
+                code[j].dead = true;
+            }
+            continue;
+        }
+        if let Some((t, j, idx)) = load_of(b) {
+            code[i].op = VOp::VarBinR(op, a, idx);
+            let u = uses.get_mut(&t).expect("use count for operand");
+            *u -= 1;
+            if *u == 0 {
+                code[j].dead = true;
+            }
+            continue;
+        }
+        // ConstBin: inline a pinned constant as an immediate. (Both sides
+        // constant is impossible — the DAG folded that.)
+        if let VR::Const(c) = a {
+            code[i].op = VOp::ConstBinL(op, dag.cnum(c).expect("const node"), b);
+            continue;
+        }
+        if let VR::Const(c) = b {
+            code[i].op = VOp::ConstBinR(op, a, dag.cnum(c).expect("const node"));
+        }
+    }
+    code.retain(|ins| !ins.dead);
+}
+
+// ---------------------------------------------------------------------------
+// Linear-scan register allocation
+// ---------------------------------------------------------------------------
+
+/// Allocate the (fused) virtual code onto a compact register file and
+/// produce the final [`RegProgram`]. Pinned layout first — constants still
+/// referenced as registers (in deterministic first-reference order), then
+/// the `n_pre`-wide prefix window — temporaries after, reused via a LIFO
+/// free list as their live ranges end. An operand register whose live
+/// range ends at an instruction is freed *before* the destination is
+/// assigned, so `r3 = f(r3, r2)`-style in-place reuse falls out naturally
+/// (both interpreters read operands into locals before writing `dst`).
+fn allocate(code: &[VIns], outputs: &[VR], dag: &Dag, n_pre: u16) -> RegProgram {
+    // Constant pool: DAG constants referenced as `VR::Const` by surviving
+    // code or outputs, in first-reference order.
+    let mut const_pool: Vec<u32> = Vec::new();
+    let mut const_reg: HashMap<u32, u16> = HashMap::new();
+    {
+        let mut note = |v: &VR| {
+            if let VR::Const(c) = v {
+                if !const_reg.contains_key(c) {
+                    let r = u16::try_from(const_pool.len()).expect("constant pool exceeds u16");
+                    const_reg.insert(*c, r);
+                    const_pool.push(*c);
+                }
+            }
+        };
+        for ins in code {
+            ins.op.operands(&mut note);
+        }
+        for o in outputs {
+            note(o);
+        }
+    }
+    let nc = u16::try_from(const_pool.len()).expect("constant pool exceeds u16");
+    let temp_base = nc + n_pre;
+
+    // Live ranges: last instruction index reading each temporary; output
+    // temporaries live to the end of the program.
+    let mut last_use: HashMap<u32, usize> = HashMap::new();
+    for (i, ins) in code.iter().enumerate() {
+        ins.op.operands(|v| {
+            if let VR::Temp(t) = v {
+                last_use.insert(*t, i);
+            }
+        });
+    }
+    for o in outputs {
+        if let VR::Temp(t) = o {
+            last_use.insert(*t, usize::MAX);
+        }
+    }
+
+    let mut reg_of: HashMap<u32, u16> = HashMap::new();
+    let mut free: Vec<u16> = Vec::new();
+    let mut next_reg = temp_base;
+    let mut out_code: Vec<RInstr> = Vec::with_capacity(code.len());
+    let mut needs_vars = 0usize;
+    let mut needs_states = 0usize;
+    let mut used: Vec<u32> = Vec::with_capacity(3);
+
+    for (i, ins) in code.iter().enumerate() {
+        // A value nobody reads (possible only for fused-away corner cases)
+        // is simply not emitted.
+        if !last_use.contains_key(&ins.dst) {
+            continue;
+        }
+        used.clear();
+        // Resolve operands against the *current* mapping, recording which
+        // temporaries this instruction reads.
+        let mut resolved = {
+            let mut resolve = |v: &VR| -> u16 {
+                match *v {
+                    VR::Temp(t) => {
+                        used.push(t);
+                        reg_of[&t]
+                    }
+                    VR::Const(c) => const_reg[&c],
+                    VR::Pre(s) => nc + s,
+                }
+            };
+            match ins.op {
+                VOp::LoadVar(idx) => {
+                    needs_vars = needs_vars.max(idx as usize + 1);
+                    RInstr::LoadVar { dst: 0, idx }
+                }
+                VOp::LoadState(idx) => {
+                    needs_states = needs_states.max(idx as usize + 1);
+                    RInstr::LoadState { dst: 0, idx }
+                }
+                VOp::Un(op, a) => RInstr::Un {
+                    op,
+                    dst: 0,
+                    a: resolve(&a),
+                },
+                VOp::Bin(op, a, b) => RInstr::Bin {
+                    op,
+                    dst: 0,
+                    a: resolve(&a),
+                    b: resolve(&b),
+                },
+                VOp::VarBinL(op, idx, b) => {
+                    needs_vars = needs_vars.max(idx as usize + 1);
+                    RInstr::VarBinL {
+                        op,
+                        dst: 0,
+                        idx,
+                        b: resolve(&b),
+                    }
+                }
+                VOp::VarBinR(op, a, idx) => {
+                    needs_vars = needs_vars.max(idx as usize + 1);
+                    RInstr::VarBinR {
+                        op,
+                        dst: 0,
+                        a: resolve(&a),
+                        idx,
+                    }
+                }
+                VOp::ConstBinL(op, c, b) => RInstr::ConstBinL {
+                    op,
+                    dst: 0,
+                    c,
+                    b: resolve(&b),
+                },
+                VOp::ConstBinR(op, a, c) => RInstr::ConstBinR {
+                    op,
+                    dst: 0,
+                    a: resolve(&a),
+                    c,
+                },
+                VOp::MulAdd(a, b, c) => RInstr::MulAdd {
+                    dst: 0,
+                    a: resolve(&a),
+                    b: resolve(&b),
+                    c: resolve(&c),
+                },
+            }
+        };
+        // Free temporaries whose live range ends here (a temp read twice
+        // by the same instruction frees once: `remove` is idempotent).
+        for t in &used {
+            if last_use.get(t) == Some(&i) {
+                if let Some(r) = reg_of.remove(t) {
+                    free.push(r);
+                }
+            }
+        }
+        let dst = free.pop().unwrap_or_else(|| {
+            let r = next_reg;
+            next_reg = next_reg.checked_add(1).expect("register file exceeds u16");
+            r
+        });
+        reg_of.insert(ins.dst, dst);
+        resolved.set_dst(dst);
+        out_code.push(resolved);
+    }
+
+    let out_regs: Vec<u16> = outputs
+        .iter()
+        .map(|o| match *o {
+            VR::Temp(t) => reg_of[&t],
+            VR::Const(c) => const_reg[&c],
+            VR::Pre(s) => nc + s,
+        })
+        .collect();
+    let consts: Vec<f64> = const_pool
+        .iter()
+        .map(|&c| dag.cnum(c).expect("const node"))
+        .collect();
+    let prog = RegProgram {
+        code: out_code,
+        consts,
+        n_pre,
+        n_regs: next_reg,
+        outputs: out_regs,
+        needs_vars,
+        needs_states,
+    };
+    prog.validate();
+    prog
+}
+
+// ---------------------------------------------------------------------------
+// CompiledSystem: the public pipeline entry point
+// ---------------------------------------------------------------------------
+
+/// A system of equations compiled through the optimizing pipeline: one
+/// shared DAG, an optional state-independent prefix program, and a core
+/// program producing one output per equation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledSystem {
+    /// Columnar-swept prefix; empty when `opts.split` is off or nothing is
+    /// state-independent. Its outputs fill the core's pinned window.
+    prefix: RegProgram,
+    /// Sequential per-step program; reads the prefix window when split.
+    core: RegProgram,
+    n_eqs: usize,
+    opts: OptOptions,
+}
+
+impl CompiledSystem {
+    /// Compile `eqs` as one system. Panics on an empty slice.
+    pub fn compile(eqs: &[Expr], opts: OptOptions) -> CompiledSystem {
+        assert!(!eqs.is_empty(), "cannot compile an empty system");
+        let mut dag = Dag::new();
+        let roots: Vec<u32> = eqs.iter().map(|e| dag.lower(e)).collect();
+
+        // Reachability from the (post-peephole) roots.
+        let n = dag.nodes.len();
+        let mut reachable = vec![false; n];
+        let mut stack: Vec<u32> = roots.clone();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut reachable[id as usize], true) {
+                continue;
+            }
+            match dag.node(id) {
+                Node::Un(_, a) => stack.push(a),
+                Node::Bin(_, a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                _ => {}
+            }
+        }
+
+        // Prefix slots: maximal state-independent op nodes, i.e. those
+        // consumed by a state-dependent parent or serving as an equation
+        // root. Slot order follows ascending node id — deterministic.
+        let mut pre_slot: Vec<Option<u16>> = vec![None; n];
+        let mut n_pre = 0u16;
+        if opts.split {
+            let is_candidate = |id: u32| {
+                reachable[id as usize]
+                    && !dag.state_dep[id as usize]
+                    && matches!(dag.node(id), Node::Un(..) | Node::Bin(..))
+            };
+            let mut wanted = vec![false; n];
+            for &r in &roots {
+                if is_candidate(r) {
+                    wanted[r as usize] = true;
+                }
+            }
+            for id in 0..n as u32 {
+                if !reachable[id as usize] || !dag.state_dep[id as usize] {
+                    continue;
+                }
+                let (a, b) = match dag.node(id) {
+                    Node::Un(_, a) => (Some(a), None),
+                    Node::Bin(_, a, b) => (Some(a), Some(b)),
+                    _ => (None, None),
+                };
+                for operand in [a, b].into_iter().flatten() {
+                    if is_candidate(operand) {
+                        wanted[operand as usize] = true;
+                    }
+                }
+            }
+            for (id, w) in wanted.iter().enumerate() {
+                if *w {
+                    pre_slot[id] = Some(n_pre);
+                    n_pre = n_pre.checked_add(1).expect("prefix window exceeds u16");
+                }
+            }
+        }
+
+        let prefix = if n_pre > 0 {
+            let mut em = Emitter::new(&dag, &pre_slot, true);
+            // Outputs in slot order = ascending node id.
+            let outs: Vec<VR> = (0..n)
+                .filter(|&id| pre_slot[id].is_some())
+                .map(|id| em.value(id as u32))
+                .collect();
+            let mut code = em.code;
+            if opts.fuse {
+                fuse(&mut code, &outs, &dag);
+            }
+            allocate(&code, &outs, &dag, 0)
+        } else {
+            RegProgram::empty()
+        };
+
+        let mut em = Emitter::new(&dag, &pre_slot, false);
+        let outs: Vec<VR> = roots.iter().map(|&r| em.value(r)).collect();
+        let mut code = em.code;
+        if opts.fuse {
+            fuse(&mut code, &outs, &dag);
+        }
+        let core = allocate(&code, &outs, &dag, n_pre);
+        debug_assert_eq!(prefix.outputs.len(), n_pre as usize);
+
+        CompiledSystem {
+            prefix,
+            core,
+            n_eqs: eqs.len(),
+            opts,
+        }
+    }
+
+    /// [`compile`](Self::compile) with an up-front arity check: every
+    /// `Var`/`State` index in `eqs` must be in range for the name-table
+    /// arities, so a miscompiled index is a compile-time error rather than
+    /// a silent zero at run time.
+    pub fn compile_checked(
+        eqs: &[Expr],
+        n_vars: usize,
+        n_states: usize,
+        opts: OptOptions,
+    ) -> Result<CompiledSystem, CompileError> {
+        for eq in eqs {
+            check_arity(eq, n_vars, n_states)?;
+        }
+        Ok(CompiledSystem::compile(eqs, opts))
+    }
+
+    /// Number of equations (= outputs per step).
+    pub fn n_eqs(&self) -> usize {
+        self.n_eqs
+    }
+
+    /// The options this system was compiled with.
+    pub fn options(&self) -> OptOptions {
+        self.opts
+    }
+
+    /// Instructions in the sequential core program.
+    pub fn core_len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// Instructions in the columnar prefix program.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Width of the state-independent prefix window.
+    pub fn n_pre(&self) -> usize {
+        self.prefix.outputs.len()
+    }
+
+    /// The core program (bench introspection).
+    pub fn core(&self) -> &RegProgram {
+        &self.core
+    }
+
+    /// The prefix program (bench introspection).
+    pub fn prefix(&self) -> &RegProgram {
+        &self.prefix
+    }
+
+    /// Minimum forcing-vector length required at every step.
+    pub fn needs_vars(&self) -> usize {
+        self.core.needs_vars.max(self.prefix.needs_vars)
+    }
+
+    /// Minimum state-vector length required at every step.
+    pub fn needs_states(&self) -> usize {
+        self.core.needs_states
+    }
+
+    /// Allocate a reusable scratch buffer (constants pre-pinned).
+    pub fn scratch(&self) -> SystemScratch {
+        let mut core_regs = vec![0.0; self.core.n_regs as usize];
+        self.core.init_consts(&mut core_regs);
+        let mut prefix_regs = vec![0.0; self.prefix.n_regs as usize];
+        self.prefix.init_consts(&mut prefix_regs);
+        SystemScratch {
+            core_regs,
+            prefix_regs,
+        }
+    }
+
+    /// Evaluate one step standalone (no row session): runs the prefix
+    /// program scalar on `ctx.vars`, then the core. `out` receives one
+    /// value per equation.
+    pub fn eval_step(&self, ctx: &EvalContext<'_>, scratch: &mut SystemScratch, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n_eqs);
+        let window = self.core.consts.len();
+        if !self.prefix.outputs.is_empty() {
+            self.prefix
+                .run_scalar(ctx.vars, &[], &mut scratch.prefix_regs);
+            for (k, &r) in self.prefix.outputs.iter().enumerate() {
+                scratch.core_regs[window + k] = scratch.prefix_regs[r as usize];
+            }
+        }
+        self.core
+            .run_scalar(ctx.vars, ctx.state, &mut scratch.core_regs);
+        for (e, &r) in self.core.outputs.iter().enumerate() {
+            out[e] = scratch.core_regs[r as usize];
+        }
+    }
+
+    /// Open a session over a fixed table of forcing rows (`rows[t]` is the
+    /// forcing vector of step `t`). The session owns the columnar prefix
+    /// buffers; [`SystemSession::step`] sweeps prefix chunks on demand.
+    pub fn session<'a, R: AsRef<[f64]>>(&'a self, rows: &'a [R]) -> SystemSession<'a, R> {
+        let n_pre = self.prefix.outputs.len();
+        let mut lane_regs = if n_pre > 0 {
+            vec![0.0; self.prefix.n_regs as usize * LANES]
+        } else {
+            Vec::new()
+        };
+        self.prefix.init_consts_lanes(&mut lane_regs);
+        SystemSession {
+            sys: self,
+            rows,
+            prefix_buf: vec![0.0; n_pre * rows.len()],
+            filled: 0,
+            lane_regs,
+            scratch: self.scratch(),
+        }
+    }
+}
+
+/// Reusable register buffers for [`CompiledSystem::eval_step`].
+#[derive(Debug, Clone)]
+pub struct SystemScratch {
+    core_regs: Vec<f64>,
+    prefix_regs: Vec<f64>,
+}
+
+/// A per-candidate evaluation session over a fixed forcing table. Prefix
+/// values are computed columnar ([`LANES`] rows per dispatch) in on-demand
+/// chunks, then the sequential core consumes them row by row.
+pub struct SystemSession<'a, R: AsRef<[f64]>> {
+    sys: &'a CompiledSystem,
+    rows: &'a [R],
+    /// Row-major prefix values: `prefix_buf[t * n_pre + slot]`.
+    prefix_buf: Vec<f64>,
+    /// Rows of `prefix_buf` materialized so far.
+    filled: usize,
+    lane_regs: Vec<f64>,
+    scratch: SystemScratch,
+}
+
+impl<R: AsRef<[f64]>> SystemSession<'_, R> {
+    /// Evaluate step `t` under `state`; `out` receives one value per
+    /// equation.
+    pub fn step(&mut self, t: usize, state: &[f64], out: &mut [f64]) {
+        assert!(
+            t < self.rows.len(),
+            "step {t} out of {} rows",
+            self.rows.len()
+        );
+        assert_eq!(out.len(), self.sys.n_eqs);
+        let n_pre = self.sys.prefix.outputs.len();
+        let window = self.sys.core.consts.len();
+        if n_pre > 0 {
+            while self.filled <= t {
+                let m = LANES.min(self.rows.len() - self.filled);
+                self.sys
+                    .prefix
+                    .run_lanes(self.rows, self.filled, m, &mut self.lane_regs);
+                for l in 0..m {
+                    let row = (self.filled + l) * n_pre;
+                    for (k, &r) in self.sys.prefix.outputs.iter().enumerate() {
+                        self.prefix_buf[row + k] = self.lane_regs[r as usize * LANES + l];
+                    }
+                }
+                self.filled += m;
+            }
+            self.scratch.core_regs[window..window + n_pre]
+                .copy_from_slice(&self.prefix_buf[t * n_pre..(t + 1) * n_pre]);
+        }
+        self.sys
+            .core
+            .run_scalar(self.rows[t].as_ref(), state, &mut self.scratch.core_regs);
+        for (e, &r) in self.sys.core.outputs.iter().enumerate() {
+            out[e] = self.scratch.core_regs[r as usize];
+        }
+    }
+
+    /// Forcing rows materialized in the prefix buffer so far (tests).
+    pub fn rows_swept(&self) -> usize {
+        self.filled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ParamSlot;
+
+    fn feq(a: f64, b: f64) -> bool {
+        (a.is_nan() && b.is_nan()) || a == b
+    }
+
+    fn p(kind: u16, value: f64) -> Expr {
+        Expr::Param(ParamSlot { kind, value })
+    }
+
+    /// A miniature river-like pair: shared growth term, state-dependent
+    /// couplings, a state-independent forcing factor.
+    fn sample_system() -> [Expr; 2] {
+        // prefix-able factor: (v0 / 40) * max(v1, 0.5)
+        let forcing = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Div, Expr::Var(0), Expr::Num(40.0)),
+            Expr::bin(BinOp::Max, Expr::Var(1), Expr::Num(0.5)),
+        );
+        // shared term: s0 * forcing
+        let growth = Expr::bin(BinOp::Mul, Expr::State(0), forcing.clone());
+        let eq0 = Expr::bin(
+            BinOp::Sub,
+            growth.clone(),
+            Expr::bin(
+                BinOp::Mul,
+                p(0, 0.2),
+                Expr::bin(BinOp::Mul, Expr::State(0), Expr::State(1)),
+            ),
+        );
+        let eq1 = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Mul, p(1, 0.6), growth),
+            Expr::bin(BinOp::Mul, p(2, 0.1), Expr::State(1)),
+        );
+        [eq0, eq1]
+    }
+
+    fn check_equivalence(eqs: &[Expr], vars: &[f64], state: &[f64], opts: OptOptions) {
+        let sys = CompiledSystem::compile(eqs, opts);
+        let mut scratch = sys.scratch();
+        let ctx = EvalContext { vars, state };
+        let mut got = vec![0.0; eqs.len()];
+        sys.eval_step(&ctx, &mut scratch, &mut got);
+        for (e, eq) in eqs.iter().enumerate() {
+            let want = eq.eval(&ctx);
+            assert!(
+                feq(got[e], want),
+                "{opts:?} eq{e}: got {} want {}",
+                got[e],
+                want
+            );
+        }
+    }
+
+    const TIERS: [fn() -> OptOptions; 3] =
+        [OptOptions::register, OptOptions::fused, OptOptions::full];
+
+    #[test]
+    fn all_tiers_match_interpreter_on_sample() {
+        let eqs = sample_system();
+        for tier in TIERS {
+            check_equivalence(&eqs, &[20.0, 1.4], &[8.0, 1.2], tier());
+            check_equivalence(&eqs, &[0.0, 0.0], &[0.0, 0.0], tier());
+            check_equivalence(&eqs, &[-3.0, 1e9], &[1e9, -1e9], tier());
+        }
+    }
+
+    #[test]
+    fn cse_shares_subexpressions_across_equations() {
+        let eqs = sample_system();
+        let sys = CompiledSystem::compile(&eqs, OptOptions::register());
+        let separate: usize = eqs.iter().map(|e| e.size()).sum();
+        // The shared growth term and forcing factor must be emitted once.
+        assert!(
+            sys.core_len() + sys.prefix_len() < separate,
+            "CSE failed: {} + {} !< {}",
+            sys.core_len(),
+            sys.prefix_len(),
+            separate
+        );
+    }
+
+    #[test]
+    fn peephole_identities_are_value_preserving() {
+        let x = || Expr::bin(BinOp::Add, Expr::Var(0), Expr::State(0));
+        let cases = [
+            Expr::bin(BinOp::Mul, x(), Expr::Num(1.0)),
+            Expr::bin(BinOp::Mul, Expr::Num(1.0), x()),
+            Expr::bin(BinOp::Add, x(), Expr::Num(0.0)),
+            Expr::bin(BinOp::Sub, x(), Expr::Num(0.0)),
+            Expr::bin(BinOp::Sub, Expr::Num(0.0), x()),
+            Expr::bin(BinOp::Div, x(), Expr::Num(1.0)),
+            Expr::bin(BinOp::Pow, x(), Expr::Num(1.0)),
+            Expr::bin(BinOp::Min, x(), x()),
+            Expr::bin(BinOp::Max, x(), x()),
+            Expr::un(UnOp::Neg, Expr::un(UnOp::Neg, x())),
+        ];
+        for (vars, state) in [
+            (vec![2.5, 0.0], vec![-1.5]),
+            (vec![0.0, 0.0], vec![0.0]),
+            (vec![-7.0, 0.0], vec![7.0]),
+            (vec![1e12, 0.0], vec![-1e12]),
+        ] {
+            for (i, eq) in cases.iter().enumerate() {
+                for tier in TIERS {
+                    let sys = CompiledSystem::compile(std::slice::from_ref(eq), tier());
+                    let ctx = EvalContext {
+                        vars: &vars,
+                        state: &state,
+                    };
+                    let mut out = [0.0];
+                    sys.eval_step(&ctx, &mut sys.scratch(), &mut out);
+                    assert!(
+                        feq(out[0], eq.eval(&ctx)),
+                        "case {i} tier {:?} diverged",
+                        tier()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_one_rewrites_but_keeps_protected_value() {
+        // pow(x, 1) is NOT x under protected semantics; the peephole must
+        // preserve exp(log(|x| max ε)) exactly.
+        let eq = Expr::bin(BinOp::Pow, Expr::Var(0), Expr::Num(1.0));
+        for v in [-3.0, 0.0, 2.0, 1e-30] {
+            let ctx = EvalContext {
+                vars: &[v],
+                state: &[],
+            };
+            let sys = CompiledSystem::compile(std::slice::from_ref(&eq), OptOptions::full());
+            let mut out = [0.0];
+            sys.eval_step(&ctx, &mut sys.scratch(), &mut out);
+            assert!(feq(out[0], eq.eval(&ctx)), "pow(x,1) diverged at x={v}");
+        }
+    }
+
+    #[test]
+    fn constant_system_folds_to_pinned_output() {
+        let eq = Expr::bin(
+            BinOp::Add,
+            Expr::Num(2.0),
+            Expr::bin(BinOp::Mul, Expr::Num(3.0), p(0, 4.0)),
+        );
+        let sys = CompiledSystem::compile(std::slice::from_ref(&eq), OptOptions::full());
+        assert_eq!(sys.core_len(), 0, "constant equation should emit no code");
+        let mut out = [0.0];
+        sys.eval_step(
+            &EvalContext {
+                vars: &[],
+                state: &[],
+            },
+            &mut sys.scratch(),
+            &mut out,
+        );
+        assert_eq!(out[0], 14.0);
+    }
+
+    #[test]
+    fn fusion_reduces_dispatch_count() {
+        let eqs = sample_system();
+        let plain = CompiledSystem::compile(&eqs, OptOptions::register());
+        let fused = CompiledSystem::compile(&eqs, OptOptions::fused());
+        assert!(
+            fused.core_len() < plain.core_len(),
+            "fusion did not shrink the program: {} !< {}",
+            fused.core_len(),
+            plain.core_len()
+        );
+    }
+
+    #[test]
+    fn split_moves_state_independent_work_to_prefix() {
+        let eqs = sample_system();
+        let full = CompiledSystem::compile(&eqs, OptOptions::full());
+        assert!(full.n_pre() > 0, "sample system has a forcing-only factor");
+        let fused = CompiledSystem::compile(&eqs, OptOptions::fused());
+        assert!(
+            full.core_len() < fused.core_len(),
+            "split did not shrink the sequential core"
+        );
+    }
+
+    #[test]
+    fn session_matches_eval_step_across_chunk_boundaries() {
+        let eqs = sample_system();
+        // 3 chunks incl. a ragged tail.
+        let n_rows = LANES * 2 + 7;
+        let rows: Vec<Vec<f64>> = (0..n_rows)
+            .map(|t| {
+                vec![
+                    (t as f64 * 0.37).sin() * 30.0,
+                    (t as f64 * 0.11).cos() * 2.0,
+                ]
+            })
+            .collect();
+        for tier in TIERS {
+            let sys = CompiledSystem::compile(&eqs, tier());
+            let mut session = sys.session(&rows);
+            let mut scratch = sys.scratch();
+            let mut state = [8.0, 1.2];
+            for (t, row) in rows.iter().enumerate() {
+                let ctx = EvalContext {
+                    vars: row,
+                    state: &state,
+                };
+                let mut want = [0.0, 0.0];
+                sys.eval_step(&ctx, &mut scratch, &mut want);
+                let mut got = [0.0, 0.0];
+                session.step(t, &state, &mut got);
+                assert!(
+                    feq(got[0], want[0]) && feq(got[1], want[1]),
+                    "session diverged at t={t} for {:?}",
+                    tier()
+                );
+                // Drive a state recurrence so core really is sequential.
+                state[0] = (state[0] + 0.1 * got[0]).clamp(0.0, 1e6);
+                state[1] = (state[1] + 0.1 * got[1]).clamp(0.0, 1e6);
+            }
+        }
+    }
+
+    #[test]
+    fn session_sweeps_prefix_lazily() {
+        let eqs = sample_system();
+        let rows: Vec<Vec<f64>> = (0..LANES * 4).map(|t| vec![t as f64, 1.0]).collect();
+        let sys = CompiledSystem::compile(&eqs, OptOptions::full());
+        let mut session = sys.session(&rows);
+        let mut out = [0.0, 0.0];
+        session.step(0, &[1.0, 1.0], &mut out);
+        assert_eq!(session.rows_swept(), LANES, "one chunk per first step");
+        session.step(LANES - 1, &[1.0, 1.0], &mut out);
+        assert_eq!(session.rows_swept(), LANES, "no re-sweep inside chunk");
+        session.step(LANES, &[1.0, 1.0], &mut out);
+        assert_eq!(session.rows_swept(), 2 * LANES);
+    }
+
+    #[test]
+    fn params_are_frozen_until_recompile() {
+        let mut eq = Expr::bin(BinOp::Mul, Expr::State(0), p(0, 0.5));
+        let ctx = EvalContext {
+            vars: &[],
+            state: &[4.0],
+        };
+        let sys = CompiledSystem::compile(std::slice::from_ref(&eq), OptOptions::full());
+        let mut out = [0.0];
+        sys.eval_step(&ctx, &mut sys.scratch(), &mut out);
+        assert_eq!(out[0], 2.0);
+        for s in eq.param_slots_mut() {
+            s.value = 2.0;
+        }
+        sys.eval_step(&ctx, &mut sys.scratch(), &mut out);
+        assert_eq!(out[0], 2.0, "compiled artifact must not see the mutation");
+        let sys2 = CompiledSystem::compile(std::slice::from_ref(&eq), OptOptions::full());
+        sys2.eval_step(&ctx, &mut sys2.scratch(), &mut out);
+        assert_eq!(out[0], 8.0);
+    }
+
+    #[test]
+    fn compile_checked_rejects_out_of_range_indices() {
+        let bad_var = Expr::bin(BinOp::Add, Expr::Var(3), Expr::State(0));
+        let err = CompiledSystem::compile_checked(
+            std::slice::from_ref(&bad_var),
+            2,
+            1,
+            OptOptions::full(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::VarOutOfRange { index: 3, arity: 2 }
+        ));
+        let bad_state = Expr::State(1);
+        let err = CompiledSystem::compile_checked(
+            std::slice::from_ref(&bad_state),
+            2,
+            1,
+            OptOptions::full(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::StateOutOfRange { index: 1, arity: 1 }
+        ));
+        assert!(
+            CompiledSystem::compile_checked(&sample_system(), 2, 2, OptOptions::full()).is_ok()
+        );
+    }
+
+    #[test]
+    fn register_file_stays_compact() {
+        let eqs = sample_system();
+        let sys = CompiledSystem::compile(&eqs, OptOptions::full());
+        // Linear scan with a free list should need far fewer registers
+        // than SSA temporaries; the sample system fits comfortably in 16.
+        assert!(
+            sys.core().n_regs() <= 16,
+            "core file: {}",
+            sys.core().n_regs()
+        );
+        assert!(sys.prefix().n_regs() <= 16);
+    }
+}

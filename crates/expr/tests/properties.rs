@@ -9,7 +9,7 @@
 //!    runtime-compilation speedup would change search trajectories).
 
 use gmr_expr::ast::{BinOp, Expr, ParamSlot, UnOp};
-use gmr_expr::{simplify, CompiledExpr, EvalContext, NameTable};
+use gmr_expr::{simplify, CompiledExpr, CompiledSystem, EvalContext, NameTable, OptOptions};
 use proptest::prelude::*;
 
 /// Strategy for arbitrary expressions over 4 vars, 2 states, 3 param kinds.
@@ -51,6 +51,76 @@ fn arb_ctx() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
         prop::collection::vec(-1e3_f64..1e3, 4),
         prop::collection::vec(-1e3_f64..1e3, 2),
     )
+}
+
+/// Like [`arb_expr`] but with non-finite literals mixed into the leaves, so
+/// the optimizer's NaN/±inf paths get exercised too.
+fn arb_wild_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1e3_f64..1e3).prop_map(Expr::Num),
+        prop_oneof![
+            Just(Expr::Num(f64::NAN)),
+            Just(Expr::Num(f64::INFINITY)),
+            Just(Expr::Num(f64::NEG_INFINITY)),
+            Just(Expr::Num(0.0)),
+            Just(Expr::Num(-0.0)),
+        ],
+        (0u8..4).prop_map(Expr::Var),
+        (0u8..2).prop_map(Expr::State),
+    ];
+    leaf.prop_recursive(5, 48, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Min),
+                    Just(BinOp::Max),
+                    Just(BinOp::Pow),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (
+                prop_oneof![Just(UnOp::Neg), Just(UnOp::Log), Just(UnOp::Exp)],
+                inner
+            )
+                .prop_map(|(op, a)| Expr::un(op, a)),
+        ]
+    })
+}
+
+/// Contexts whose forcings/states may be non-finite.
+fn arb_wild_ctx() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    let wild = prop_oneof![
+        4 => -1e3_f64..1e3,
+        1 => prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+        ],
+    ];
+    (
+        prop::collection::vec(wild.clone(), 4),
+        prop::collection::vec(wild, 2),
+    )
+}
+
+/// Shift every mutable parameter slot by `delta`, leaving structure intact —
+/// the shape of a local-search parameter mutation.
+fn shift_params(e: &Expr, delta: f64) -> Expr {
+    match e {
+        Expr::Param(p) => Expr::Param(ParamSlot {
+            kind: p.kind,
+            value: p.value + delta,
+        }),
+        Expr::Num(_) | Expr::Var(_) | Expr::State(_) => e.clone(),
+        Expr::Unary(op, a) => Expr::un(*op, shift_params(a, delta)),
+        Expr::Binary(op, a, b) => Expr::bin(*op, shift_params(a, delta), shift_params(b, delta)),
+    }
 }
 
 /// Bitwise equality that treats any-NaN == any-NaN (the protected operators
@@ -120,6 +190,98 @@ proptest! {
             let x = simplify(&Expr::bin(op, a.clone(), b.clone()));
             let y = simplify(&Expr::bin(op, b.clone(), a.clone()));
             prop_assert_eq!(x.structural_hash(), y.structural_hash());
+        }
+    }
+
+    #[test]
+    fn optimized_system_matches_interpreter_at_every_tier(
+        eqs in prop::collection::vec(arb_expr(), 1..3),
+        (vars, state) in arb_ctx(),
+    ) {
+        // The tentpole invariant: constant folding, peephole rewrites,
+        // cross-equation CSE, register allocation, fusion and the prefix
+        // split must all be bit-exact under protected semantics.
+        let ctx = EvalContext { vars: &vars, state: &state };
+        let expect: Vec<f64> = eqs.iter().map(|e| e.eval(&ctx)).collect();
+        for opts in [OptOptions::register(), OptOptions::fused(), OptOptions::full()] {
+            let sys = CompiledSystem::compile(&eqs, opts);
+            let mut scratch = sys.scratch();
+            let mut out = vec![0.0; sys.n_eqs()];
+            sys.eval_step(&ctx, &mut scratch, &mut out);
+            for (i, (&want, &got)) in expect.iter().zip(&out).enumerate() {
+                prop_assert!(feq(want, got),
+                    "tier {opts:?} eq {i}: interpreter {want} vs VM {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_system_matches_on_non_finite_inputs(
+        eqs in prop::collection::vec(arb_wild_expr(), 1..3),
+        (vars, state) in arb_wild_ctx(),
+    ) {
+        // NaN / ±inf forcings and literals: the peepholes and CSE must not
+        // assume finiteness anywhere (this is why x*0 → 0 is NOT a rewrite).
+        let ctx = EvalContext { vars: &vars, state: &state };
+        let expect: Vec<f64> = eqs.iter().map(|e| e.eval(&ctx)).collect();
+        for opts in [OptOptions::register(), OptOptions::fused(), OptOptions::full()] {
+            let sys = CompiledSystem::compile(&eqs, opts);
+            let mut scratch = sys.scratch();
+            let mut out = vec![0.0; sys.n_eqs()];
+            sys.eval_step(&ctx, &mut scratch, &mut out);
+            for (i, (&want, &got)) in expect.iter().zip(&out).enumerate() {
+                prop_assert!(feq(want, got),
+                    "tier {opts:?} eq {i}: interpreter {want} vs VM {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_session_matches_interpreter_over_forcing_rows(
+        eqs in prop::collection::vec(arb_expr(), 2..3),
+        rows in prop::collection::vec(prop::collection::vec(-1e3_f64..1e3, 4), 1..80),
+        states in prop::collection::vec(prop::collection::vec(-1e3_f64..1e3, 2), 1..4),
+    ) {
+        // The columnar prefix sweep: a session over up to 80 rows (crossing
+        // the 32-lane chunk boundary twice) must agree with per-row
+        // interpretation at every (row, state) pair, including revisits of
+        // the same row with a different state.
+        let sys = CompiledSystem::compile(&eqs, OptOptions::full());
+        let mut session = sys.session(&rows);
+        let mut out = vec![0.0; sys.n_eqs()];
+        for (t, row) in rows.iter().enumerate() {
+            for state in &states {
+                let ctx = EvalContext { vars: row, state };
+                session.step(t, state, &mut out);
+                for (i, (eq, &got)) in eqs.iter().zip(&out).enumerate() {
+                    let want = eq.eval(&ctx);
+                    prop_assert!(feq(want, got),
+                        "row {t} eq {i}: interpreter {want} vs session {got}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn param_mutation_plus_recompile_tracks_interpreter(
+        eqs in prop::collection::vec(arb_expr(), 1..3),
+        (vars, state) in arb_ctx(),
+        delta in -5.0_f64..5.0,
+    ) {
+        // The local-search loop: mutate every parameter slot, recompile,
+        // and the new programs must track the mutated interpreter exactly
+        // (compiled constants are frozen at compile time, so recompilation
+        // is the only legal way to observe a mutation).
+        let mutated: Vec<Expr> = eqs.iter().map(|e| shift_params(e, delta)).collect();
+        let ctx = EvalContext { vars: &vars, state: &state };
+        let sys = CompiledSystem::compile(&mutated, OptOptions::full());
+        let mut scratch = sys.scratch();
+        let mut out = vec![0.0; sys.n_eqs()];
+        sys.eval_step(&ctx, &mut scratch, &mut out);
+        for (i, (eq, &got)) in mutated.iter().zip(&out).enumerate() {
+            let want = eq.eval(&ctx);
+            prop_assert!(feq(want, got),
+                "eq {i} after mutation: interpreter {want} vs VM {got}");
         }
     }
 

@@ -187,8 +187,9 @@ pub struct RunReport {
     pub pheno_builds: u64,
     /// Evaluations that reused a memoised phenotype instead of re-deriving.
     pub pheno_reuses: u64,
-    /// `CompiledExpr` programs produced (one per equation per build when
-    /// runtime compilation is on).
+    /// Register-VM equations compiled (one per equation per build when
+    /// runtime compilation is on; equations of one system compile together
+    /// so cross-equation CSE can share work).
     pub compiles: u64,
     /// Evaluation-pool statistics: per-worker candidates, steals, idle time.
     pub pool: PoolStats,
@@ -721,18 +722,24 @@ mod tests {
         }
         fn evaluate(&self, ph: &Phenotype, ctl: &mut dyn FnMut(f64, usize) -> bool) -> (f64, bool) {
             let eq = &ph.eqs()[0];
-            let comp = ph.compiled().map(|c| &c[0]);
-            let mut stack = Vec::new();
+            let comp = ph.compiled();
+            let mut scratch = comp.map(|sys| sys.scratch());
+            let mut out = [0.0f64];
             let mut sse = 0.0;
             for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
                 let state = [x];
+                // The tiny grammar's pool includes Var(0); provide its slot
+                // (always 0.0) so arity-checked compiled programs accept it.
                 let ctx = EvalContext {
-                    vars: &[],
+                    vars: &[0.0],
                     state: &state,
                 };
-                let p = match &comp {
-                    Some(c) => c.eval_with(&ctx, &mut stack),
-                    None => eq.eval(&ctx),
+                let p = match (&comp, &mut scratch) {
+                    (Some(sys), Some(scratch)) => {
+                        sys.eval_step(&ctx, scratch, &mut out);
+                        out[0]
+                    }
+                    _ => eq.eval(&ctx),
                 };
                 let d = p - y;
                 sse += d * d;

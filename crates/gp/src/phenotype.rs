@@ -1,38 +1,38 @@
-//! The compiled phenotype: lowered + simplified + bytecode-compiled system.
+//! The compiled phenotype: lowered + simplified + register-VM-compiled
+//! system.
 //!
 //! Deriving a phenotype from a genotype is the fixed per-candidate overhead
 //! of every §III-D technique: the cache key requires lowering and algebraic
 //! simplification, and runtime compilation requires lowering the simplified
-//! system again into bytecode. None of that work depends on anything but
-//! the genotype, so the engine memoises the result on the
-//! [`Individual`](crate::Individual) and invalidates it only when a genetic
-//! operator actually touches the tree — elite survivors, replicated
-//! offspring and the end-of-run champion re-evaluation all reuse the memo
-//! instead of re-running simplify/hash/compile every generation.
+//! system again — now through the optimizing register-VM pipeline
+//! ([`gmr_expr::vm`]): cross-equation CSE, constant folding, fused
+//! superinstructions and the state-independent prefix split. None of that
+//! work depends on anything but the genotype, so the engine memoises the
+//! result on the [`Individual`](crate::Individual) and invalidates it only
+//! when a genetic operator actually touches the tree — elite survivors,
+//! replicated offspring and the end-of-run champion re-evaluation all reuse
+//! the memo instead of re-running simplify/hash/compile every generation.
 
 use crate::cache::TreeCache;
-use gmr_expr::{CompiledExpr, Expr};
+use gmr_expr::{CompiledSystem, Expr, OptOptions};
 
 /// A fully derived phenotype, ready to evaluate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Phenotype {
     eqs: Vec<Expr>,
-    /// Bytecode for each equation; empty when runtime compilation is off.
-    compiled: Vec<CompiledExpr>,
+    /// The whole system compiled as one unit (cross-equation CSE needs to
+    /// see both equations); `None` when runtime compilation is off.
+    compiled: Option<CompiledSystem>,
     key: (u64, u64),
 }
 
 impl Phenotype {
-    /// Build from an already lowered + simplified system, compiling to
-    /// bytecode when `compile` is set.
+    /// Build from an already lowered + simplified system, compiling
+    /// through the full optimizing pipeline when `compile` is set.
     pub fn build(eqs: Vec<Expr>, compile: bool) -> Self {
         let keys: Vec<_> = eqs.iter().map(|e| e.structural_hash()).collect();
         let key = TreeCache::system_key(&keys);
-        let compiled = if compile {
-            eqs.iter().map(CompiledExpr::compile).collect()
-        } else {
-            Vec::new()
-        };
+        let compiled = compile.then(|| CompiledSystem::compile(&eqs, OptOptions::full()));
         Phenotype { eqs, compiled, key }
     }
 
@@ -41,14 +41,10 @@ impl Phenotype {
         &self.eqs
     }
 
-    /// The compiled bytecode, one program per equation — `None` when the
-    /// phenotype was built with runtime compilation off.
-    pub fn compiled(&self) -> Option<&[CompiledExpr]> {
-        if self.compiled.is_empty() {
-            None
-        } else {
-            Some(&self.compiled)
-        }
+    /// The compiled system — `None` when the phenotype was built with
+    /// runtime compilation off.
+    pub fn compiled(&self) -> Option<&CompiledSystem> {
+        self.compiled.as_ref()
     }
 
     /// The tree-cache key of the system (combined structural hash of the
@@ -73,14 +69,16 @@ mod tests {
     #[test]
     fn compiled_matches_interpreter() {
         let ph = Phenotype::build(system(), true);
-        let compiled = ph.compiled().expect("compiled on");
+        let sys = ph.compiled().expect("compiled on");
         let ctx = EvalContext {
             vars: &[3.0],
             state: &[5.0],
         };
-        let mut stack = Vec::new();
-        for (eq, c) in ph.eqs().iter().zip(compiled) {
-            assert_eq!(eq.eval(&ctx), c.eval_with(&ctx, &mut stack));
+        let mut scratch = sys.scratch();
+        let mut out = vec![0.0; sys.n_eqs()];
+        sys.eval_step(&ctx, &mut scratch, &mut out);
+        for (eq, got) in ph.eqs().iter().zip(&out) {
+            assert_eq!(eq.eval(&ctx), *got);
         }
     }
 

@@ -37,18 +37,24 @@ impl Evaluator for LineFit {
     }
     fn evaluate(&self, ph: &Phenotype, ctl: &mut dyn FnMut(f64, usize) -> bool) -> (f64, bool) {
         let eq = &ph.eqs()[0];
-        let comp = ph.compiled().map(|c| &c[0]);
-        let mut stack = Vec::new();
+        let comp = ph.compiled();
+        let mut scratch = comp.map(|sys| sys.scratch());
+        let mut out = [0.0f64];
         let mut sse = 0.0;
         for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
             let state = [x];
+            // tiny_grammar's pool includes Var(0); supply its (constant 0.0)
+            // slot so arity-checked compiled programs accept the system.
             let ctx = EvalContext {
-                vars: &[],
+                vars: &[0.0],
                 state: &state,
             };
-            let p = match &comp {
-                Some(c) => c.eval_with(&ctx, &mut stack),
-                None => eq.eval(&ctx),
+            let p = match (&comp, &mut scratch) {
+                (Some(sys), Some(scratch)) => {
+                    sys.eval_step(&ctx, scratch, &mut out);
+                    out[0]
+                }
+                _ => eq.eval(&ctx),
             };
             let d = p - y;
             sse += d * d;

@@ -1,0 +1,118 @@
+//! Arity lint: every `Var`/`State` index must exist under the name-table
+//! arities the equations are evaluated against.
+//!
+//! Historically the evaluators papered over an out-of-range index with a
+//! silent `0.0` read, so a mis-assembled grammar produced *plausible but
+//! wrong* dynamics instead of an error. The VMs now enforce arity at
+//! compile time ([`gmr_expr::check_arity`]); this lint surfaces the same
+//! violation as a static-analysis error with a node-accurate location, so
+//! a broken grammar or hand-written revision is caught before any
+//! simulation runs.
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+use gmr_expr::Expr;
+
+/// Recursively check `expr` against the arities, appending one error per
+/// out-of-range leaf.
+fn walk(
+    expr: &Expr,
+    n_vars: usize,
+    n_states: usize,
+    equation: &str,
+    path: &mut Vec<u8>,
+    report: &mut Report,
+) {
+    match expr {
+        Expr::Num(_) | Expr::Param(_) => {}
+        Expr::Var(i) => {
+            if (*i as usize) >= n_vars {
+                report.push(Diagnostic::new(
+                    Severity::Error,
+                    "var-out-of-range",
+                    Location::Expr {
+                        equation: equation.to_string(),
+                        path: path.clone(),
+                    },
+                    format!(
+                        "temporal variable index {i} out of range: the name table \
+                         provides {n_vars} variable(s)"
+                    ),
+                ));
+            }
+        }
+        Expr::State(i) => {
+            if (*i as usize) >= n_states {
+                report.push(Diagnostic::new(
+                    Severity::Error,
+                    "state-out-of-range",
+                    Location::Expr {
+                        equation: equation.to_string(),
+                        path: path.clone(),
+                    },
+                    format!(
+                        "state variable index {i} out of range: the name table \
+                         provides {n_states} state(s)"
+                    ),
+                ));
+            }
+        }
+        Expr::Unary(_, a) => {
+            path.push(0);
+            walk(a, n_vars, n_states, equation, path, report);
+            path.pop();
+        }
+        Expr::Binary(_, a, b) => {
+            path.push(0);
+            walk(a, n_vars, n_states, equation, path, report);
+            path.pop();
+            path.push(1);
+            walk(b, n_vars, n_states, equation, path, report);
+            path.pop();
+        }
+    }
+}
+
+/// Lint one equation's leaf indices against the given arities.
+pub fn check_expr_arity(expr: &Expr, n_vars: usize, n_states: usize, equation: &str) -> Report {
+    let mut report = Report::new();
+    let mut path = Vec::new();
+    walk(expr, n_vars, n_states, equation, &mut path, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_expr::BinOp;
+
+    #[test]
+    fn in_range_indices_are_clean() {
+        let e = Expr::bin(BinOp::Add, Expr::Var(1), Expr::State(0));
+        assert!(check_expr_arity(&e, 2, 1, "eq0").diagnostics.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_var_is_an_error_with_path() {
+        let e = Expr::bin(BinOp::Add, Expr::Num(1.0), Expr::Var(5));
+        let report = check_expr_arity(&e, 2, 1, "dBPhy/dt");
+        assert_eq!(report.diagnostics.len(), 1);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.rule, "var-out-of-range");
+        assert_eq!(
+            d.location,
+            Location::Expr {
+                equation: "dBPhy/dt".into(),
+                path: vec![1],
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_state_is_an_error() {
+        let e = Expr::un(gmr_expr::UnOp::Neg, Expr::State(2));
+        let report = check_expr_arity(&e, 0, 2, "eq0");
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].rule, "state-out-of-range");
+    }
+}

@@ -23,12 +23,14 @@
 //!   locations, human and JSON rendering). The `gmr-lint` binary runs the
 //! whole battery on the built-in river grammar and expert equations.
 
+pub mod arity;
 pub mod diag;
 pub mod grammar_lints;
 pub mod infer;
 pub mod interval;
 pub mod units;
 
+pub use arity::check_expr_arity;
 pub use diag::{Diagnostic, Location, Report, Severity};
 pub use grammar_lints::{grammar_diagnostics, river_discipline_diagnostics};
 pub use infer::{infer_units, Inferred, Policy, UnitEnv};
@@ -81,6 +83,15 @@ impl EquationLinter {
                 .get(i)
                 .map(|s| s.to_string())
                 .unwrap_or_else(|| format!("eq{i}"));
+            // Arity first: the unit environments double as the name-table
+            // arities, and an out-of-range index would previously read a
+            // silent 0.0 — now a compile error in the VMs and an Error here.
+            report.extend(check_expr_arity(
+                eq,
+                self.units.vars.len(),
+                self.units.states.len(),
+                &label,
+            ));
             let (_, units) = infer_units(eq, &self.units, self.policy, &label);
             report.extend(units);
             let (_, domain) = analyze_intervals(eq, &self.intervals, &label);

@@ -131,8 +131,9 @@ fn main() {
             ctl: &mut dyn FnMut(f64, usize) -> bool,
         ) -> (f64, bool) {
             let eqs = ph.eqs();
-            let comp = ph.compiled().map(|c| &c[0]);
-            let mut stack = Vec::new();
+            let comp = ph.compiled();
+            let mut scratch = comp.map(|sys| sys.scratch());
+            let mut out = [0.0f64];
             let mut n = self.observed[0];
             let mut sse = 0.0;
             let total = self.observed.len();
@@ -145,9 +146,12 @@ fn main() {
                     vars: &vars,
                     state: &state,
                 };
-                let dn = match &comp {
-                    Some(c) => c.eval_with(&ctx, &mut stack),
-                    None => eqs[0].eval(&ctx),
+                let dn = match (&comp, &mut scratch) {
+                    (Some(sys), Some(scratch)) => {
+                        sys.eval_step(&ctx, scratch, &mut out);
+                        out[0]
+                    }
+                    _ => eqs[0].eval(&ctx),
                 };
                 n = (n + dn).clamp(0.0, 1e9);
                 if (i + 1) % 32 == 0 && i + 1 < total {
