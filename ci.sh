@@ -15,12 +15,20 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> determinism with observability compiled out"
+cargo test -q -p gmr-gp --no-default-features --test determinism --test obsv_determinism
+
 echo "==> gmr-lint --builtin (zero errors required)"
 cargo run --release -q -p gmr-lint -- --builtin
 
-echo "==> bench_engine smoke (determinism + speedup gate)"
-cargo run --release -q -p gmr-bench --bin bench_engine -- --quick --out BENCH_engine.json
+echo "==> bench_engine smoke (determinism + speedup + obsv overhead gates)"
+cargo run --release -q -p gmr-bench --bin bench_engine -- --quick --out BENCH_engine.json --journal BENCH_engine.jsonl
 cargo run --release -q -p gmr-bench --bin bench_engine -- --validate BENCH_engine.json
+
+echo "==> run journal round-trip (gmr-trace validate + summary + chrome)"
+cargo run --release -q -p gmr-obsv --bin gmr-trace -- validate BENCH_engine.jsonl
+cargo run --release -q -p gmr-obsv --bin gmr-trace -- summary BENCH_engine.jsonl
+cargo run --release -q -p gmr-obsv --bin gmr-trace -- chrome BENCH_engine.jsonl --out BENCH_engine.chrome.json
 
 echo "==> bench_vm smoke (tier equivalence + 1.5x speedup gate)"
 cargo run --release -q -p gmr-bench --bin bench_vm -- --quick --out BENCH_vm.json

@@ -25,9 +25,18 @@
 //! bit-identical across thread counts — the pool's determinism contract,
 //! checked on every benchmark run, not just in the test suite.
 //!
+//! The benchmark doubles as the observability overhead gate: the
+//! threads=1 workload runs first with the journal *uninstalled* (every
+//! span is one relaxed atomic load) and again with it recording, and the
+//! emitted JSON carries the throughput delta as `obsv.overhead_pct`.
+//! Trajectories must stay bit-identical across that switch too — the
+//! instrumentation reads clocks, never the search state.
+//!
 //! `--validate` re-opens an emitted JSON file and enforces the acceptance
-//! gate: schema tag present, determinism flag true, and threads=4 achieving
-//! at least 2× the threads=1 candidate throughput.
+//! gate: schema tag present, determinism flag true, threads=4 achieving
+//! at least 2× the threads=1 candidate throughput, and journal-on
+//! overhead within 2%. `--journal PATH` flushes the run journal to
+//! `gmr-journal/v1` JSONL for `gmr-trace`.
 
 use gmr_expr::EvalContext;
 use gmr_gp::{Engine, Evaluator, GpConfig, ParamPriors, Phenotype, PoolStats};
@@ -37,6 +46,10 @@ use std::time::{Duration, Instant};
 const SCHEMA: &str = "gmr-bench-engine/v1";
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 const MIN_SPEEDUP_T4: f64 = 2.0;
+/// Acceptance ceiling on journal-on vs journal-off throughput loss.
+const MAX_OVERHEAD_PCT: f64 = 2.0;
+/// Threads=1 repetitions per arm of the overhead comparison (best-of).
+const OVERHEAD_REPS: usize = 2;
 
 /// Fit `y = 2x - 1` with a fixed per-block latency. The short-circuit
 /// controller is consulted every `CHECK_EVERY` cases; one sleep precedes
@@ -150,6 +163,7 @@ impl Workload {
     }
 }
 
+#[derive(Clone)]
 struct RunResult {
     threads: usize,
     wall: Duration,
@@ -199,7 +213,22 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-fn render_json(w: &Workload, runs: &[RunResult], deterministic: bool, speedup_t4: f64) -> String {
+/// The journal-on vs journal-off comparison at threads=1.
+struct ObsvSection {
+    overhead_pct: f64,
+    disabled_cps: f64,
+    enabled_cps: f64,
+    journal_events: usize,
+    journal_dropped: u64,
+}
+
+fn render_json(
+    w: &Workload,
+    runs: &[RunResult],
+    deterministic: bool,
+    speedup_t4: f64,
+    obsv: &ObsvSection,
+) -> String {
     let base_cps = runs[0].candidates_per_sec();
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
@@ -253,6 +282,15 @@ fn render_json(w: &Workload, runs: &[RunResult], deterministic: bool, speedup_t4
         out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"obsv\": {{\"overhead_pct\": {:.3}, \"disabled_candidates_per_sec\": {:.3}, \
+         \"enabled_candidates_per_sec\": {:.3}, \"journal_events\": {}, \"journal_dropped\": {}}},\n",
+        obsv.overhead_pct,
+        obsv.disabled_cps,
+        obsv.enabled_cps,
+        obsv.journal_events,
+        obsv.journal_dropped,
+    ));
     out.push_str(&format!("  \"speedup_threads4\": {speedup_t4:.3}\n"));
     out.push_str("}\n");
     out
@@ -297,6 +335,16 @@ fn validate(src: &str) -> Vec<String> {
         )),
         None => errs.push("speedup_threads4 missing or not a number".into()),
     }
+    if !src.contains("\"obsv\":") {
+        errs.push("missing key \"obsv\"".into());
+    }
+    match json_number(src, "overhead_pct") {
+        Some(o) if o <= MAX_OVERHEAD_PCT => {}
+        Some(o) => errs.push(format!(
+            "obsv overhead {o:.3}% above the {MAX_OVERHEAD_PCT}% gate"
+        )),
+        None => errs.push("obsv.overhead_pct missing or not a number".into()),
+    }
     for t in THREAD_COUNTS {
         if !src.contains(&format!("\"threads\": {t},")) {
             errs.push(format!("no run entry for threads={t}"));
@@ -338,14 +386,70 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
         .unwrap_or("BENCH_engine.json");
+    let journal_path = args
+        .iter()
+        .position(|a| a == "--journal")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    gmr_obsv::log::set_level(gmr_obsv::log::level_from_args(&args));
 
-    eprintln!(
+    gmr_obsv::info!(
         "bench_engine: scale={} pop={} gen={} cases={} sleep={}us threads={THREAD_COUNTS:?}",
-        w.name, w.pop_size, w.max_gen, w.cases, w.sleep_us
+        w.name,
+        w.pop_size,
+        w.max_gen,
+        w.cases,
+        w.sleep_us
     );
-    let runs: Vec<RunResult> = THREAD_COUNTS.iter().map(|&t| run_once(&w, t)).collect();
 
-    let deterministic = runs.iter().all(|r| r.trajectory == runs[0].trajectory);
+    // Overhead arm 1: journal uninstalled — the compiled-in spans cost one
+    // relaxed atomic load each. Must run before `gmr_obsv::init`.
+    let disabled: Vec<RunResult> = (0..OVERHEAD_REPS).map(|_| run_once(&w, 1)).collect();
+
+    // Everything from here on records into the journal.
+    gmr_obsv::init(gmr_obsv::DEFAULT_CAPACITY);
+    gmr_obsv::emit(gmr_obsv::Event::Note {
+        name: "bench_engine",
+        msg: format!(
+            "scale={} pop={} gen={} cases={} sleep_us={}",
+            w.name, w.pop_size, w.max_gen, w.cases, w.sleep_us
+        ),
+    });
+
+    // Overhead arm 2: same threads=1 workload with the journal recording.
+    let enabled_t1: Vec<RunResult> = (0..OVERHEAD_REPS).map(|_| run_once(&w, 1)).collect();
+    let best_cps = |rs: &[RunResult]| {
+        rs.iter()
+            .map(RunResult::candidates_per_sec)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let disabled_cps = best_cps(&disabled);
+    let enabled_cps = best_cps(&enabled_t1);
+    let overhead_pct = 100.0 * (disabled_cps / enabled_cps - 1.0);
+
+    let mut runs: Vec<RunResult> = Vec::with_capacity(THREAD_COUNTS.len());
+    for &t in &THREAD_COUNTS {
+        if t == 1 {
+            // Reuse the faster journal-on threads=1 run as the baseline row.
+            let best = enabled_t1
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.candidates_per_sec().total_cmp(&b.candidates_per_sec()))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            runs.push(enabled_t1[best].clone());
+        } else {
+            runs.push(run_once(&w, t));
+        }
+    }
+
+    // The determinism contract covers the obsv switch too: journal-off and
+    // journal-on runs at every thread count must agree bit for bit.
+    let deterministic = runs
+        .iter()
+        .chain(&disabled)
+        .chain(&enabled_t1)
+        .all(|r| r.trajectory == runs[0].trajectory);
     let base = runs[0].candidates_per_sec();
     let speedup_t4 = runs
         .iter()
@@ -354,7 +458,7 @@ fn main() {
         .unwrap_or(0.0);
 
     for r in &runs {
-        eprintln!(
+        gmr_obsv::info!(
             "  threads={}: {:.1} ms wall, {} candidates ({:.1}/s, {:.2}x), {} steals, {:.1} ms idle",
             r.threads,
             ms(r.wall),
@@ -365,16 +469,39 @@ fn main() {
             ms(r.pool.total_idle()),
         );
     }
+    gmr_obsv::info!(
+        "  obsv overhead at threads=1: {overhead_pct:+.2}% ({disabled_cps:.1}/s off, {enabled_cps:.1}/s on)"
+    );
     if !deterministic {
-        eprintln!("FAIL: fitness trajectories diverged across thread counts");
+        gmr_obsv::warn!("FAIL: fitness trajectories diverged across thread counts / obsv");
     }
 
-    let json = render_json(&w, &runs, deterministic, speedup_t4);
+    let (journal_events, journal_dropped) = gmr_obsv::global()
+        .map(|j| (j.len(), j.dropped()))
+        .unwrap_or((0, 0));
+    let obsv = ObsvSection {
+        overhead_pct,
+        disabled_cps,
+        enabled_cps,
+        journal_events,
+        journal_dropped,
+    };
+    let json = render_json(&w, &runs, deterministic, speedup_t4, &obsv);
     std::fs::write(out_path, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(2);
     });
-    eprintln!("wrote {out_path} (speedup_threads4 = {speedup_t4:.2}x)");
+    gmr_obsv::info!("wrote {out_path} (speedup_threads4 = {speedup_t4:.2}x)");
+
+    if let Some(path) = &journal_path {
+        match gmr_obsv::write_jsonl(path) {
+            Ok(()) => gmr_obsv::info!("wrote journal {path} ({journal_events} events)"),
+            Err(e) => {
+                eprintln!("cannot write journal {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let errs = validate(&json);
     if !errs.is_empty() {

@@ -16,7 +16,7 @@
 //! * `paper-letter` — all four at once (the paper's exact operator set at
 //!   this budget).
 
-use gmr_bench::{dataset, Scale};
+use gmr_bench::{cli, dataset, Scale};
 use gmr_core::{Gmr, GmrConfig};
 use gmr_gp::short_circuit::Extrapolate;
 use gmr_gp::GpConfig;
@@ -24,8 +24,9 @@ use gmr_gp::GpConfig;
 type Tweak = Box<dyn Fn(&mut GpConfig)>;
 
 fn main() {
+    let obsv = cli::init_obsv();
     let scale = Scale::from_args();
-    eprintln!("scale: {} (use --quick / --full to change)", scale.name);
+    gmr_obsv::info!("scale: {} (use --quick / --full to change)", scale.name);
     let ds = dataset(&scale);
     let gmr = Gmr::new(&ds);
     let runs = scale.gmr_runs.clamp(2, 4);
@@ -65,7 +66,7 @@ fn main() {
         "Variant", "best train", "best test", "mean train", "mean test"
     );
     for (label, tweak) in variants {
-        eprintln!("running {label}…");
+        gmr_obsv::info!("running {label}…");
         let mut gp = scale.gp_config(777);
         tweak(&mut gp);
         let cfg = GmrConfig {
@@ -76,6 +77,10 @@ fn main() {
         let results = gmr.run_many(&cfg);
         let n = results.len() as f64;
         let best = &results[0];
+        cli::write_report(
+            &format!("ablation-{}-{}", scale.name, cli::slug(label)),
+            &best.report,
+        );
         let mean_train = results.iter().map(|r| r.train_rmse).sum::<f64>() / n;
         let mean_test = results.iter().map(|r| r.test_rmse).sum::<f64>() / n;
         println!(
@@ -89,4 +94,5 @@ fn main() {
          this budget; 'paper-letter' is the paper's exact operator set, which\n\
          needs its original 7.2M-evaluation budget to shine."
     );
+    cli::finish_obsv(&obsv);
 }

@@ -15,7 +15,7 @@
 //! is each technique helping and the three composing.
 
 use gmr_bench::table::render_kv;
-use gmr_bench::{dataset, Scale};
+use gmr_bench::{cli, dataset, Scale};
 use gmr_core::{river_priors, Gmr, RiverEvaluator};
 use gmr_gp::short_circuit::Extrapolate;
 use gmr_gp::{Engine, GpConfig};
@@ -83,8 +83,9 @@ const COMBOS: [Combo; 8] = [
 ];
 
 fn main() {
+    let obsv = cli::init_obsv();
     let scale = Scale::from_args();
-    eprintln!("scale: {} (use --quick / --full to change)", scale.name);
+    gmr_obsv::info!("scale: {} (use --quick / --full to change)", scale.name);
     let ds = dataset(&scale);
     let gmr = Gmr::new(&ds);
     let evaluator = RiverEvaluator::new(gmr.train.clone());
@@ -108,7 +109,7 @@ fn main() {
             }
         })
         .collect();
-    eprintln!(
+    gmr_obsv::info!(
         "workload: {} evaluations over {} unique individuals, {} fitness cases each",
         workload.len(),
         pool_size,
@@ -149,7 +150,7 @@ fn main() {
             combo.label.to_string(),
             format!("{:>10.3} ms/ind   {:>7.1}x speedup", 1e3 * per_ind, speedup),
         ));
-        eprintln!(
+        gmr_obsv::info!(
             "{}: {:.3} ms/ind (checksum {:.1})",
             combo.label,
             1e3 * per_ind,
@@ -162,4 +163,5 @@ fn main() {
          reports 607x for TC+ES+RC at full scale on an 80-core server. The shape —\n\
          every technique helps, the three compose — is what this reproduces."
     );
+    cli::finish_obsv(&obsv);
 }

@@ -16,7 +16,7 @@
 //! all of the step savings without that bias, which is why it is the
 //! library default.
 
-use gmr_bench::{dataset, Scale};
+use gmr_bench::{cli, dataset, Scale};
 use gmr_core::{Gmr, GmrConfig};
 use gmr_gp::short_circuit::Extrapolate;
 
@@ -29,8 +29,9 @@ struct Row {
 }
 
 fn main() {
+    let obsv = cli::init_obsv();
     let scale = Scale::from_args();
-    eprintln!("scale: {} (use --quick / --full to change)", scale.name);
+    gmr_obsv::info!("scale: {} (use --quick / --full to change)", scale.name);
     let ds = dataset(&scale);
     let gmr = Gmr::new(&ds);
 
@@ -44,7 +45,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, th, extrapolate) in settings {
-        eprintln!("running {label}…");
+        gmr_obsv::info!("running {label}…");
         let mut gp = scale.gp_config(4242);
         gp.es_threshold = th;
         gp.extrapolate = extrapolate;
@@ -67,6 +68,15 @@ fn main() {
             .map(|r| r.report.top_full_fraction)
             .sum::<f64>()
             / n;
+        if let Some(best) = results
+            .iter()
+            .min_by(|a, b| a.test_rmse.total_cmp(&b.test_rmse))
+        {
+            cli::write_report(
+                &format!("fig11-{}-{}", scale.name, cli::slug(label)),
+                &best.report,
+            );
+        }
         rows.push(Row {
             label,
             steps,
@@ -110,4 +120,5 @@ fn main() {
          budgets — see the reproduction note in EXPERIMENTS.md); nearly 100%\n\
          of the best models are fully evaluated."
     );
+    cli::finish_obsv(&obsv);
 }

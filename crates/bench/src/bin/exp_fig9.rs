@@ -4,21 +4,22 @@
 //!
 //! Usage: `cargo run --release -p gmr-bench --bin exp_fig9 [--quick|--full]`
 
-use gmr_bench::{dataset, Scale};
+use gmr_bench::{cli, dataset, Scale};
 use gmr_bio::RiverProblem;
 use gmr_core::{extension_usage, perturb_correlation, selectivity, Correlation, Gmr, GmrConfig};
 use gmr_hydro::vars::{self, VALK, VCD, VDO, VLGT, VPH, VTMP};
 
 fn main() {
+    let obsv = cli::init_obsv();
     let scale = Scale::from_args();
-    eprintln!("scale: {} (use --quick / --full to change)", scale.name);
+    gmr_obsv::info!("scale: {} (use --quick / --full to change)", scale.name);
     let ds = dataset(&scale);
     let gmr = Gmr::new(&ds);
 
     // The paper analyses the 50 best models from its 60 runs; we analyse
     // however many finalists the scale affords.
     let runs = scale.gmr_runs.max(2);
-    eprintln!("running GMR {} times…", runs);
+    gmr_obsv::info!("running GMR {} times…", runs);
     let cfg = GmrConfig {
         gp: scale.gp_config(909),
         runs,
@@ -86,4 +87,6 @@ fn main() {
     print!("{}", best.render(&gmr.grammar));
     println!("\nderivation structure (Fig. 4 view):");
     print!("{}", best.tree.describe(&gmr.grammar.grammar));
+    cli::write_report(&format!("fig9-{}", scale.name), &best.report);
+    cli::finish_obsv(&obsv);
 }

@@ -4,11 +4,12 @@
 //!
 //! Usage: `cargo run --release -p gmr-bench --bin exp_paperscale -- [--runs N]`
 
-use gmr_bench::{dataset, Scale};
+use gmr_bench::{cli, dataset, Scale};
 use gmr_core::{Gmr, GmrConfig};
 use gmr_gp::GpConfig;
 
 fn main() {
+    let obsv = cli::init_obsv();
     let args: Vec<String> = std::env::args().collect();
     let runs = args
         .iter()
@@ -30,9 +31,12 @@ fn main() {
         seed: 20260708,
         ..GpConfig::default()
     };
-    eprintln!(
+    gmr_obsv::info!(
         "paper-scale GMR: pop {} × gen {} × LS {} × {} runs (paper: 60 runs)",
-        gp.pop_size, gp.max_gen, gp.local_search_steps, runs
+        gp.pop_size,
+        gp.max_gen,
+        gp.local_search_steps,
+        runs
     );
     let t0 = std::time::Instant::now();
     let mut results = gmr.run_many(&GmrConfig {
@@ -67,4 +71,6 @@ fn main() {
     println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
     println!("\n=== Best revised model ===");
     print!("{}", best.render(&gmr.grammar));
+    cli::write_report("paperscale", &best.report);
+    cli::finish_obsv(&obsv);
 }

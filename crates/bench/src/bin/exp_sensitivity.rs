@@ -16,11 +16,13 @@
 use gmr_baselines::calibrators::SceUa;
 use gmr_baselines::objective::CalibrationProblem;
 use gmr_baselines::Calibrator;
+use gmr_bench::cli;
 use gmr_bio::RiverProblem;
 use gmr_core::{Gmr, GmrConfig};
 use gmr_hydro::{generate, SyntheticConfig};
 
 fn main() {
+    let obsv = cli::init_obsv();
     let quick = std::env::args().any(|a| a == "--quick");
     let (end_year, train_end, runs, budget) = if quick {
         (1999, 1998, 2, 400)
@@ -41,7 +43,7 @@ fn main() {
         "Regime", "obs sd", "proc sd", "GMR test", "SCE-UA test", "margin"
     );
     for (label, obs, proc) in cells {
-        eprintln!("regime {label}…");
+        gmr_obsv::info!("regime {label}…");
         let ds = generate(&SyntheticConfig {
             end_year,
             train_end_year: train_end,
@@ -68,6 +70,10 @@ fn main() {
         });
         results.sort_by(|a, b| a.test_rmse.total_cmp(&b.test_rmse));
         let gmr_test = results[0].test_rmse;
+        cli::write_report(
+            &format!("sensitivity-{}", cli::slug(label)),
+            &results[0].report,
+        );
 
         let train = RiverProblem::from_dataset(&ds, ds.train);
         let test = RiverProblem::from_dataset(&ds, ds.test);
@@ -90,4 +96,5 @@ fn main() {
          expert model's; positive across the sweep = the headline ordering\n\
          is not an artifact of one generator configuration."
     );
+    cli::finish_obsv(&obsv);
 }

@@ -9,13 +9,14 @@
 
 use gmr_bench::methods::run_all;
 use gmr_bench::table::{render_csv, render_fig1, render_table5};
-use gmr_bench::{dataset, Scale};
+use gmr_bench::{cli, dataset, Scale};
 
 fn main() {
+    let obsv = cli::init_obsv();
     let scale = Scale::from_args();
-    eprintln!("scale: {} (use --quick / --full to change)", scale.name);
+    gmr_obsv::info!("scale: {} (use --quick / --full to change)", scale.name);
     let ds = dataset(&scale);
-    eprintln!(
+    gmr_obsv::info!(
         "dataset: {} days over {} stations, train {} days, test {} days",
         ds.days,
         ds.stations.len(),
@@ -30,12 +31,14 @@ fn main() {
     if std::fs::create_dir_all("results").is_ok() {
         let path = format!("results/table5-{}.csv", scale.name);
         if std::fs::write(&path, render_csv(&rows)).is_ok() {
-            eprintln!("wrote {path}");
+            gmr_obsv::info!("wrote {path}");
         }
     }
     if let Some(best) = finalists.first() {
+        cli::write_report(&format!("table5-{}", scale.name), &best.report);
         println!("\n=== Best revised model (GMR) ===");
         let gmr = gmr_core::Gmr::new(&ds);
         print!("{}", best.render(&gmr.grammar));
     }
+    cli::finish_obsv(&obsv);
 }

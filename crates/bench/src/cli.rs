@@ -1,0 +1,110 @@
+//! Shared CLI plumbing for the experiment binaries.
+//!
+//! Every `exp_*` binary agrees on three flags, parsed in exactly one
+//! place:
+//!
+//! * `--quiet` / `-q` — warnings only;
+//! * `-v` / `--verbose` — diagnostic logging *and* fine span detail
+//!   (per-candidate VM spans, per-station network timings);
+//! * `--journal PATH` — flush the run journal to `gmr-journal/v1` JSONL
+//!   at exit, ready for `gmr-trace summary|chrome|validate`.
+//!
+//! Binaries call [`init_obsv`] first thing in `main` and [`finish_obsv`]
+//! last; [`write_report`] drops a full [`RunReport`] (pool statistics and
+//! metric snapshot included) next to an experiment's other `results/`
+//! outputs.
+
+use gmr_gp::RunReport;
+use gmr_obsv::log::Level;
+
+/// Observability state shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Obsv {
+    /// Where `--journal` asked the run journal to be flushed.
+    pub journal: Option<String>,
+    /// The verbosity the shared flags resolved to.
+    pub level: Level,
+}
+
+/// Parse the shared observability flags from `std::env::args` and install
+/// the global state: log level, journal ring, and span detail (raised to
+/// [`gmr_obsv::Detail::Fine`] under `-v`).
+pub fn init_obsv() -> Obsv {
+    let args: Vec<String> = std::env::args().collect();
+    init_obsv_from(&args)
+}
+
+/// [`init_obsv`] over an explicit argument list (testable).
+pub fn init_obsv_from<S: AsRef<str>>(args: &[S]) -> Obsv {
+    let level = gmr_obsv::log::level_from_args(args);
+    gmr_obsv::log::set_level(level);
+    gmr_obsv::init(gmr_obsv::DEFAULT_CAPACITY);
+    if level == Level::Debug {
+        gmr_obsv::span::set_detail(gmr_obsv::Detail::Fine);
+    }
+    let journal = args
+        .iter()
+        .position(|a| a.as_ref() == "--journal")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_ref().to_string());
+    Obsv { journal, level }
+}
+
+/// Flush the journal to the `--journal` path, if one was given. Call at
+/// the end of `main`, after the last run completed.
+pub fn finish_obsv(obsv: &Obsv) {
+    let Some(path) = &obsv.journal else { return };
+    match gmr_obsv::write_jsonl(path) {
+        Ok(()) => gmr_obsv::info!("wrote journal {path}"),
+        Err(e) => gmr_obsv::warn!("cannot write journal {path}: {e}"),
+    }
+}
+
+/// Serialize a [`RunReport`] to `results/<stem>-report.json` — the full
+/// picture (per-generation history, pool worker statistics, metric
+/// snapshot) behind a table's summary row. Best-effort: experiments never
+/// fail over a results directory.
+pub fn write_report(stem: &str, report: &RunReport) {
+    if std::fs::create_dir_all("results").is_err() {
+        return;
+    }
+    let path = format!("results/{stem}-report.json");
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => gmr_obsv::info!("wrote {path}"),
+        Err(e) => gmr_obsv::warn!("cannot write {path}: {e}"),
+    }
+}
+
+/// Lower-case a variant label into a filename stem chunk: alphanumerics
+/// kept, everything else collapsed to single dashes.
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_flag_takes_the_following_argument() {
+        let o = init_obsv_from(&["exp", "--journal", "run.jsonl", "--quick"]);
+        assert_eq!(o.journal.as_deref(), Some("run.jsonl"));
+        let o = init_obsv_from(&["exp", "--quick"]);
+        assert_eq!(o.journal, None);
+    }
+
+    #[test]
+    fn slug_collapses_punctuation() {
+        assert_eq!(slug("ES opt-1.0"), "es-opt-1-0");
+        assert_eq!(slug("paper-letter"), "paper-letter");
+        assert_eq!(slug("  TH 0.7  "), "th-0-7");
+    }
+}

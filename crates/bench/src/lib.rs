@@ -8,6 +8,7 @@
 //! hours). Shapes — method ordering, who wins, roughly by how much — are
 //! stable across scales; absolute numbers tighten as the budget grows.
 
+pub mod cli;
 pub mod methods;
 pub mod table;
 

@@ -203,17 +203,17 @@ pub fn run_all(ds: &RiverDataset, scale: &Scale, seed: u64) -> (Vec<MethodScore>
     let train = RiverProblem::from_dataset(ds, ds.train);
     let test = RiverProblem::from_dataset(ds, ds.test);
     let mut rows = Vec::new();
-    eprintln!("[{}] Manual…", scale.name);
+    gmr_obsv::info!("[{}] Manual…", scale.name);
     rows.push(run_manual(&train, &test));
-    eprintln!("[{}] RNN-S1…", scale.name);
+    gmr_obsv::info!("[{}] RNN-S1…", scale.name);
     rows.push(run_rnn(ds, false, scale.lstm_epochs_s1, seed));
-    eprintln!("[{}] RNN-All…", scale.name);
+    gmr_obsv::info!("[{}] RNN-All…", scale.name);
     rows.push(run_rnn(ds, true, scale.lstm_epochs_all, seed));
-    eprintln!("[{}] ARIMAX-S1…", scale.name);
+    gmr_obsv::info!("[{}] ARIMAX-S1…", scale.name);
     rows.push(run_arimax(ds, false));
-    eprintln!("[{}] ARIMAX-All…", scale.name);
+    gmr_obsv::info!("[{}] ARIMAX-All…", scale.name);
     rows.push(run_arimax(ds, true));
-    eprintln!("[{}] calibration ×9…", scale.name);
+    gmr_obsv::info!("[{}] calibration ×9…", scale.name);
     rows.extend(run_calibrators(
         &train,
         &test,
@@ -221,9 +221,9 @@ pub fn run_all(ds: &RiverDataset, scale: &Scale, seed: u64) -> (Vec<MethodScore>
         scale.calib_seeds,
         seed,
     ));
-    eprintln!("[{}] GGGP…", scale.name);
+    gmr_obsv::info!("[{}] GGGP…", scale.name);
     rows.push(run_gggp(&train, &test, scale, seed));
-    eprintln!("[{}] GMR ({} runs)…", scale.name, scale.gmr_runs);
+    gmr_obsv::info!("[{}] GMR ({} runs)…", scale.name, scale.gmr_runs);
     let (gmr_row, finalists) = run_gmr(ds, scale, seed);
     rows.push(gmr_row);
     (rows, finalists)

@@ -81,17 +81,30 @@ pub fn simulate_network(
     let net: &RiverNetwork = &ds.network;
     let n = net.len();
     let days = split.len();
+    let _sp = gmr_obsv::span!("netsim.simulate", days as u64);
     // One optimized system shared by every station, checked against the
     // forcing/state arities up front (an out-of-range index is a compile
     // error here, not a silent zero mid-simulation), plus one register-VM
     // session per station over that station's forcing rows — each station
     // gets its own columnar prefix sweep and scratch registers.
-    let sys = CompiledSystem::compile_checked(eqs, NUM_VARS, 2, OptOptions::full())
-        .expect("network equations reference indices outside the name table");
+    let sys = {
+        let _sp = gmr_obsv::span_fine!("vm.compile", 2);
+        CompiledSystem::compile_checked(eqs, NUM_VARS, 2, OptOptions::full())
+            .expect("network equations reference indices outside the name table")
+    };
     let mut sessions: Vec<_> = (0..n)
         .map(|s| sys.session(&ds.stations[s].vars[split.start..split.end]))
         .collect();
     let mut deriv = [0.0f64; 2];
+
+    // Per-station integration time, accumulated across the day loop and
+    // emitted as one `netsim.station` span per station at the end — the
+    // day-major loop visits each station `days` times, so scoped spans
+    // would be per-step volume. Fine detail only: the inner-loop clock
+    // reads are exactly the cost coarse runs must not pay.
+    let timing = gmr_obsv::enabled() && gmr_obsv::span::detail() == gmr_obsv::Detail::Fine;
+    let sim_start_us = gmr_obsv::now_us();
+    let mut station_ns = vec![0u64; if timing { n } else { 0 }];
 
     let mut bphy = vec![Vec::with_capacity(days); n];
     let mut bzoo = vec![Vec::with_capacity(days); n];
@@ -136,15 +149,22 @@ pub fn simulate_network(
                 z = acc_z / total_w;
             }
             // One Euler day with this station's local forcings.
+            let t_step = timing.then(std::time::Instant::now);
             let state = [p, z];
             sessions[s].step(day, &state, &mut deriv);
             let (dp, dz) = (deriv[0], deriv[1]);
             let p1 = sanitise(p + opts.dt * dp, opts.state_cap);
             let z1 = sanitise(z + opts.dt * dz, opts.state_cap);
+            if let Some(t) = t_step {
+                station_ns[s] += t.elapsed().as_nanos() as u64;
+            }
             bphy[s].push(p1);
             bzoo[s].push(z1);
             cur[s] = (p1, z1);
         }
+    }
+    for (s, ns) in station_ns.iter().enumerate() {
+        gmr_obsv::span::record_external("netsim.station", sim_start_us, ns / 1_000, Some(s as u64));
     }
     NetworkSimResult { bphy, bzoo }
 }

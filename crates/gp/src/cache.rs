@@ -145,12 +145,21 @@ impl TreeCache {
     /// recompute and their fitness is approximate anyway — and only if that
     /// leaves the shard still at budget thin the survivors to half.
     fn evict(shard: &mut Shard, cap: usize) {
+        let before = shard.len();
         shard.retain(|_, v| v.full);
+        let after_surrogates = shard.len();
         if shard.len() >= cap {
             let mut i = 0usize;
             shard.retain(|_, _| {
                 i += 1;
                 i.is_multiple_of(2)
+            });
+        }
+        if gmr_obsv::enabled() {
+            gmr_obsv::emit(gmr_obsv::Event::CacheEvict {
+                shed_surrogate: (before - after_surrogates) as u64,
+                shed_full: (after_surrogates - shard.len()) as u64,
+                len_after: shard.len() as u64,
             });
         }
     }

@@ -27,11 +27,12 @@ use crate::pool::{with_pool, EvalPool, PoolStats};
 use crate::priors::ParamPriors;
 use crate::short_circuit::{AtomicF64, EsController, EsOutcome, Extrapolate};
 use gmr_expr::{simplify, Expr};
+use gmr_obsv::metrics::{Counter, Registry, Sample};
+use gmr_obsv::Event;
 use gmr_tag::lower::{lower, lower_system};
 use gmr_tag::{DerivTree, Grammar};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -197,6 +198,10 @@ pub struct RunReport {
     /// came from a full evaluation (Fig. 11's "% fully evaluated among
     /// best").
     pub top_full_fraction: f64,
+    /// Snapshot of the engine's metric registry at the end of the run —
+    /// the same counters the scalar fields above are read from, plus
+    /// whatever else was registered during the run.
+    pub metrics: Vec<(String, Sample)>,
 }
 
 impl RunReport {
@@ -218,6 +223,73 @@ impl RunReport {
         }
         out
     }
+
+    /// The full report as a JSON object: champion summary, the §III-D
+    /// counters, per-worker pool accounting, the metric-registry snapshot
+    /// and the per-generation history. Written next to each experiment's
+    /// CSV output so runs stay machine-inspectable after the process exits.
+    pub fn to_json(&self) -> String {
+        use gmr_obsv::json::{push_escaped, push_f64};
+        let mut o = String::from("{\n  \"best\": {\"fitness\": ");
+        push_f64(&mut o, self.best.fitness);
+        o.push_str(&format!(
+            ", \"size\": {}, \"fully_evaluated\": {}, \"origin\": ",
+            self.best.tree.size(),
+            self.best.fully_evaluated
+        ));
+        push_escaped(&mut o, self.best.origin);
+        o.push_str("},\n");
+        o.push_str(&format!(
+            "  \"evaluations\": {}, \"evaluated_steps\": {}, \"full_evaluations\": {}, \"short_circuited\": {},\n",
+            self.evaluations, self.evaluated_steps, self.full_evaluations, self.short_circuited
+        ));
+        o.push_str("  \"cache_hit_rate\": ");
+        push_f64(&mut o, self.cache_hit_rate);
+        o.push_str(&format!(
+            ", \"cache_hits\": {}, \"cache_misses\": {},\n  \"pheno_builds\": {}, \"pheno_reuses\": {}, \"compiles\": {},\n",
+            self.cache_hits, self.cache_misses, self.pheno_builds, self.pheno_reuses, self.compiles
+        ));
+        o.push_str("  \"top_full_fraction\": ");
+        push_f64(&mut o, self.top_full_fraction);
+        o.push_str(&format!(
+            ",\n  \"pool\": {{\"rounds\": {}, \"workers\": [",
+            self.pool.rounds
+        ));
+        for (i, w) in self.pool.workers.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push_str(&format!(
+                "{{\"worker\": {}, \"candidates\": {}, \"claims\": {}, \"steals\": {}, \"busy_ms\": {:.3}, \"idle_ms\": {:.3}}}",
+                w.worker,
+                w.candidates,
+                w.claims,
+                w.steals,
+                w.busy.as_secs_f64() * 1e3,
+                w.idle.as_secs_f64() * 1e3
+            ));
+        }
+        o.push_str("]},\n  \"metrics\": ");
+        o.push_str(&gmr_obsv::metrics::snapshot_json(&self.metrics));
+        o.push_str(",\n  \"history\": [");
+        for (i, g) in self.history.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push_str(&format!("{{\"generation\": {}, \"best\": ", g.generation));
+            push_f64(&mut o, g.best);
+            o.push_str(", \"mean\": ");
+            push_f64(&mut o, g.mean);
+            o.push_str(&format!(
+                ", \"evaluations\": {}, \"evaluated_steps\": {}, \"elapsed_ms\": {:.3}}}",
+                g.evaluations,
+                g.evaluated_steps,
+                g.elapsed.as_secs_f64() * 1e3
+            ));
+        }
+        o.push_str("]\n}\n");
+        o
+    }
 }
 
 /// A per-generation invariant check over the elite: called after each
@@ -237,13 +309,29 @@ pub struct Engine<'a, E: Evaluator> {
     cache: TreeCache,
     invariant_hook: Option<InvariantHook<'a>>,
     best_prev_full: AtomicF64,
-    evals: AtomicU64,
-    steps: AtomicU64,
-    fulls: AtomicU64,
-    shorts: AtomicU64,
-    pheno_builds: AtomicU64,
-    pheno_reuses: AtomicU64,
-    compiles: AtomicU64,
+    /// The engine's metric sheet. The counters below are registered in it
+    /// under `engine.*` names, so one snapshot carries everything the
+    /// scalar `RunReport` fields report (plus anything registered later).
+    metrics: Registry,
+    evals: Arc<Counter>,
+    steps: Arc<Counter>,
+    fulls: Arc<Counter>,
+    shorts: Arc<Counter>,
+    pheno_builds: Arc<Counter>,
+    pheno_reuses: Arc<Counter>,
+    compiles: Arc<Counter>,
+}
+
+/// Cumulative counter values at a generation boundary; consecutive
+/// snapshots give the per-generation deltas reported in `gen` journal
+/// events.
+#[derive(Clone, Copy, Default)]
+struct CounterSnap {
+    evals: u64,
+    fulls: u64,
+    shorts: u64,
+    hits: u64,
+    misses: u64,
 }
 
 fn mix_seed(master: u64, gen: u64, idx: u64) -> u64 {
@@ -259,6 +347,14 @@ impl<'a, E: Evaluator> Engine<'a, E> {
     /// Assemble an engine.
     pub fn new(grammar: &'a Grammar, evaluator: &'a E, priors: ParamPriors, cfg: GpConfig) -> Self {
         let cache = TreeCache::new(cfg.cache_capacity);
+        let metrics = Registry::new();
+        let evals = metrics.counter("engine.evals");
+        let steps = metrics.counter("engine.steps");
+        let fulls = metrics.counter("engine.full_evals");
+        let shorts = metrics.counter("engine.short_circuits");
+        let pheno_builds = metrics.counter("engine.pheno_builds");
+        let pheno_reuses = metrics.counter("engine.pheno_reuses");
+        let compiles = metrics.counter("engine.compiles");
         Engine {
             grammar,
             evaluator,
@@ -267,14 +363,22 @@ impl<'a, E: Evaluator> Engine<'a, E> {
             cache,
             invariant_hook: None,
             best_prev_full: AtomicF64::new(f64::INFINITY),
-            evals: AtomicU64::new(0),
-            steps: AtomicU64::new(0),
-            fulls: AtomicU64::new(0),
-            shorts: AtomicU64::new(0),
-            pheno_builds: AtomicU64::new(0),
-            pheno_reuses: AtomicU64::new(0),
-            compiles: AtomicU64::new(0),
+            metrics,
+            evals,
+            steps,
+            fulls,
+            shorts,
+            pheno_builds,
+            pheno_reuses,
+            compiles,
         }
+    }
+
+    /// The engine's metric registry — counters/gauges/histograms
+    /// snapshotted into every [`RunReport`]. Callers may register their own
+    /// instruments here before [`Self::run`].
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// The configuration in force.
@@ -321,9 +425,9 @@ impl<'a, E: Evaluator> Engine<'a, E> {
     /// updating the build counters.
     fn build_phenotype(&self, tree: &DerivTree) -> Result<Phenotype, gmr_tag::LowerError> {
         let eqs = self.phenotype(tree)?;
-        self.pheno_builds.fetch_add(1, Ordering::Relaxed);
+        self.pheno_builds.inc();
         if self.cfg.use_compiled {
-            self.compiles.fetch_add(eqs.len() as u64, Ordering::Relaxed);
+            self.compiles.add(eqs.len() as u64);
         }
         Ok(Phenotype::build(eqs, self.cfg.use_compiled))
     }
@@ -332,7 +436,7 @@ impl<'a, E: Evaluator> Engine<'a, E> {
     /// first use. `None` for corrupted genotypes that fail to lower.
     fn ensure_phenotype(&self, ind: &mut Individual) -> Option<Arc<Phenotype>> {
         if let Some(ph) = &ind.pheno {
-            self.pheno_reuses.fetch_add(1, Ordering::Relaxed);
+            self.pheno_reuses.inc();
             return Some(Arc::clone(ph));
         }
         let ph = Arc::new(self.build_phenotype(&ind.tree).ok()?);
@@ -375,20 +479,23 @@ impl<'a, E: Evaluator> Engine<'a, E> {
                 EsOutcome::Stop(_) => false,
             }
         };
-        let (fitness, full) = self.evaluator.evaluate(ph, &mut ctl);
+        let (fitness, full) = {
+            let _sp = gmr_obsv::span_fine!("vm.simulate");
+            self.evaluator.evaluate(ph, &mut ctl)
+        };
 
-        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.evals.inc();
         if full {
-            self.steps.fetch_add(total as u64, Ordering::Relaxed);
-            self.fulls.fetch_add(1, Ordering::Relaxed);
+            self.steps.add(total as u64);
+            self.fulls.inc();
             // A NaN from a misbehaving evaluator must not poison the ES
             // baseline (NaN wins every fetch_min comparison from then on).
             if !fitness.is_nan() {
                 self.best_prev_full.fetch_min(fitness);
             }
         } else {
-            self.steps.fetch_add(last_done as u64, Ordering::Relaxed);
-            self.shorts.fetch_add(1, Ordering::Relaxed);
+            self.steps.add(last_done as u64);
+            self.shorts.inc();
         }
         if let Some(key) = key {
             self.cache.insert(key, CachedFitness { fitness, full });
@@ -406,6 +513,78 @@ impl<'a, E: Evaluator> Engine<'a, E> {
             return (f64::INFINITY, true);
         };
         self.evaluate_phenotype(&ph, self.best_prev_full.load())
+    }
+
+    fn counter_snap(&self) -> CounterSnap {
+        CounterSnap {
+            evals: self.evals.get(),
+            fulls: self.fulls.get(),
+            shorts: self.shorts.get(),
+            hits: self.cache.stats().hits(),
+            misses: self.cache.stats().misses(),
+        }
+    }
+
+    /// Journal one generation's statistics with counter deltas since the
+    /// previous boundary. Pure observation — reads counters, never fitness
+    /// state.
+    fn emit_gen_event(&self, gs: &GenStats, prev: &mut CounterSnap) {
+        let cur = self.counter_snap();
+        if gmr_obsv::enabled() {
+            gmr_obsv::emit(Event::Gen {
+                seed: self.cfg.seed,
+                generation: gs.generation as u64,
+                best: gs.best,
+                mean: gs.mean,
+                evaluations: gs.evaluations,
+                steps: gs.evaluated_steps,
+                elapsed_us: gs.elapsed.as_micros() as u64,
+                d_evals: cur.evals - prev.evals,
+                d_fulls: cur.fulls - prev.fulls,
+                d_shorts: cur.shorts - prev.shorts,
+                d_cache_hits: cur.hits - prev.hits,
+                d_cache_misses: cur.misses - prev.misses,
+            });
+        }
+        *prev = cur;
+    }
+
+    /// Journal an elite change (strict improvement of the population's
+    /// best), carrying the revision operator that produced the new elite.
+    fn emit_elite_event(&self, gen: usize, pop: &[Individual], prev_best: &mut f64) {
+        let Some(best) = pop.first() else { return };
+        if best.fitness < *prev_best {
+            *prev_best = best.fitness;
+            if gmr_obsv::enabled() {
+                gmr_obsv::emit(Event::EliteChange {
+                    seed: self.cfg.seed,
+                    generation: gen as u64,
+                    fitness: best.fitness,
+                    size: best.tree.size() as u64,
+                    origin: best.origin,
+                });
+            }
+        }
+    }
+
+    /// Journal the pool's cumulative accounting at a round boundary — the
+    /// mid-run visibility the shutdown-only stats collection used to lack.
+    fn emit_round_event(&self, pool: &EvalPool, kind: &'static str, len: usize) {
+        if !gmr_obsv::enabled() {
+            return;
+        }
+        let snap = pool.snapshot();
+        gmr_obsv::emit(Event::Round {
+            seed: self.cfg.seed,
+            round: snap.rounds,
+            kind,
+            len: len as u64,
+            workers: snap.workers.len() as u64,
+            candidates: snap.total_candidates(),
+            steals: snap.total_steals(),
+            busy_us: snap.total_busy().as_micros() as u64,
+            idle_us: snap.total_idle().as_micros() as u64,
+        });
     }
 
     fn evaluate_population(&self, pool: &EvalPool, pop: &mut [Individual]) {
@@ -477,6 +656,8 @@ impl<'a, E: Evaluator> Engine<'a, E> {
                 ) {
                     a.invalidate();
                     b.invalidate();
+                    a.origin = "crossover";
+                    b.origin = "crossover";
                 }
                 out.push(a);
                 if out.len() < n {
@@ -492,6 +673,7 @@ impl<'a, E: Evaluator> Engine<'a, E> {
                     DEFAULT_RETRIES,
                 ) {
                     a.invalidate();
+                    a.origin = "subtree-mut";
                 }
                 out.push(a);
             } else if roll < c + s + g {
@@ -505,10 +687,13 @@ impl<'a, E: Evaluator> Engine<'a, E> {
                     rng,
                 );
                 a.invalidate();
+                a.origin = "gauss-mut";
                 out.push(a);
             } else {
                 // Replication: fitness carries over.
-                out.push(self.tournament(pop, rng).clone());
+                let mut a = self.tournament(pop, rng).clone();
+                a.origin = "replicate";
+                out.push(a);
             }
         }
         out
@@ -530,7 +715,8 @@ impl<'a, E: Evaluator> Engine<'a, E> {
             for _ in 0..self.cfg.local_search_steps {
                 let mut cand = ind.tree.clone();
                 let moves = if self.cfg.ls_param_tweak { 3 } else { 2 };
-                let changed = match rng.gen_range(0..moves) {
+                let mv = rng.gen_range(0..moves);
+                let changed = match mv {
                     0 => insertion(&mut cand, self.grammar, &mut rng, self.cfg.max_size),
                     1 => deletion(&mut cand, self.grammar, &mut rng, self.cfg.min_size),
                     _ => param_tweak(&mut cand, self.grammar, &self.priors, sigma, &mut rng),
@@ -546,6 +732,11 @@ impl<'a, E: Evaluator> Engine<'a, E> {
                     ind.tree = cand;
                     ind.fitness = f;
                     ind.fully_evaluated = full;
+                    ind.origin = match mv {
+                        0 => "ls-insert",
+                        1 => "ls-delete",
+                        _ => "ls-tweak",
+                    };
                     // The adopted candidate's phenotype is already derived —
                     // memoise it so later generations skip the rebuild.
                     ind.pheno = Some(Arc::new(ph));
@@ -575,26 +766,29 @@ impl<'a, E: Evaluator> Engine<'a, E> {
 
     fn run_inner(&self, pool: &EvalPool, mut observer: impl FnMut(&GenStats)) -> RunReport {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-        let mut pop: Vec<Individual> = (0..self.cfg.pop_size)
-            .map(|_| {
-                let mut tree =
-                    self.grammar
-                        .random_tree(&mut rng, self.cfg.min_size, self.cfg.max_size);
-                if self.cfg.init_params_from_prior {
-                    // Sample generation zero's constants from the truncated
-                    // Gaussian priors rather than pinning them at the means.
-                    gaussian_mutation_partial(
-                        &mut tree,
-                        self.grammar,
-                        &self.priors,
-                        1.0,
-                        1.0,
-                        &mut rng,
-                    );
-                }
-                Individual::new(tree)
-            })
-            .collect();
+        let mut pop: Vec<Individual> = {
+            let _sp = gmr_obsv::span!("gen.init");
+            (0..self.cfg.pop_size)
+                .map(|_| {
+                    let mut tree =
+                        self.grammar
+                            .random_tree(&mut rng, self.cfg.min_size, self.cfg.max_size);
+                    if self.cfg.init_params_from_prior {
+                        // Sample generation zero's constants from the truncated
+                        // Gaussian priors rather than pinning them at the means.
+                        gaussian_mutation_partial(
+                            &mut tree,
+                            self.grammar,
+                            &self.priors,
+                            1.0,
+                            1.0,
+                            &mut rng,
+                        );
+                    }
+                    Individual::new(tree)
+                })
+                .collect()
+        };
 
         let mut history = Vec::with_capacity(self.cfg.max_gen + 1);
         let record = |gen: usize, pop: &[Individual], t0: Instant, hist: &mut Vec<GenStats>| {
@@ -613,32 +807,58 @@ impl<'a, E: Evaluator> Engine<'a, E> {
                 generation: gen,
                 best,
                 mean,
-                evaluations: self.evals.load(Ordering::Relaxed),
-                evaluated_steps: self.steps.load(Ordering::Relaxed),
+                evaluations: self.evals.get(),
+                evaluated_steps: self.steps.get(),
                 elapsed: t0.elapsed(),
             });
         };
 
+        let mut prev_counters = self.counter_snap();
+        let mut prev_best = f64::INFINITY;
+
         let t0 = Instant::now();
-        self.evaluate_population(pool, &mut pop);
+        {
+            let _sp = gmr_obsv::span!("gen.evaluate", 0);
+            self.evaluate_population(pool, &mut pop);
+        }
+        self.emit_round_event(pool, "evaluate", pop.len());
         pop.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
         record(0, &pop, t0, &mut history);
+        self.emit_gen_event(history.last().expect("just recorded"), &mut prev_counters);
+        self.emit_elite_event(0, &pop, &mut prev_best);
         self.check_invariants(0, &pop);
         observer(history.last().expect("just recorded"));
 
         for gen in 1..=self.cfg.max_gen {
             let t0 = Instant::now();
             let sigma = self.sigma_scale(gen - 1);
-            let mut offspring = self.breed(&pop, &mut rng, sigma);
-            self.evaluate_population(pool, &mut offspring);
-            self.local_search(pool, &mut offspring, gen);
+            let mut offspring = {
+                let _sp = gmr_obsv::span!("gen.breed", gen as u64);
+                self.breed(&pop, &mut rng, sigma)
+            };
+            {
+                let _sp = gmr_obsv::span!("gen.evaluate", gen as u64);
+                self.evaluate_population(pool, &mut offspring);
+            }
+            self.emit_round_event(pool, "evaluate", offspring.len());
+            if self.cfg.local_search_steps > 0 {
+                let _sp = gmr_obsv::span!("gen.local_search", gen as u64);
+                self.local_search(pool, &mut offspring, gen);
+                drop(_sp);
+                self.emit_round_event(pool, "local-search", offspring.len());
+            }
 
-            let mut next: Vec<Individual> = pop.iter().take(self.cfg.elite).cloned().collect();
-            next.append(&mut offspring);
-            next.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
-            next.truncate(self.cfg.pop_size);
-            pop = next;
+            {
+                let _sp = gmr_obsv::span!("gen.select", gen as u64);
+                let mut next: Vec<Individual> = pop.iter().take(self.cfg.elite).cloned().collect();
+                next.append(&mut offspring);
+                next.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+                next.truncate(self.cfg.pop_size);
+                pop = next;
+            }
             record(gen, &pop, t0, &mut history);
+            self.emit_gen_event(history.last().expect("just recorded"), &mut prev_counters);
+            self.emit_elite_event(gen, &pop, &mut prev_best);
             self.check_invariants(gen, &pop);
             observer(history.last().expect("just recorded"));
         }
@@ -657,6 +877,7 @@ impl<'a, E: Evaluator> Engine<'a, E> {
             // A direct full evaluation, bypassing ES and the cache entry
             // that may hold a surrogate. The champion's memoised phenotype
             // usually makes this re-derivation-free.
+            let _sp = gmr_obsv::span!("gen.champion");
             let Some(ph) = self.ensure_phenotype(&mut best) else {
                 return self.report(best, history, top_full_fraction);
             };
@@ -676,18 +897,19 @@ impl<'a, E: Evaluator> Engine<'a, E> {
         RunReport {
             best,
             history,
-            evaluations: self.evals.load(Ordering::Relaxed),
-            evaluated_steps: self.steps.load(Ordering::Relaxed),
-            full_evaluations: self.fulls.load(Ordering::Relaxed),
-            short_circuited: self.shorts.load(Ordering::Relaxed),
+            evaluations: self.evals.get(),
+            evaluated_steps: self.steps.get(),
+            full_evaluations: self.fulls.get(),
+            short_circuited: self.shorts.get(),
             cache_hit_rate: self.cache.stats().hit_rate(),
             cache_hits: self.cache.stats().hits(),
             cache_misses: self.cache.stats().misses(),
-            pheno_builds: self.pheno_builds.load(Ordering::Relaxed),
-            pheno_reuses: self.pheno_reuses.load(Ordering::Relaxed),
-            compiles: self.compiles.load(Ordering::Relaxed),
+            pheno_builds: self.pheno_builds.get(),
+            pheno_reuses: self.pheno_reuses.get(),
+            compiles: self.compiles.get(),
             pool: PoolStats::default(),
             top_full_fraction,
+            metrics: self.metrics.snapshot(),
         }
     }
 }

@@ -22,6 +22,11 @@ pub struct Individual {
     /// clones; cleared by [`Self::invalidate`] when an operator touches the
     /// genotype. `None` until first derived or for lethal genotypes.
     pub pheno: Option<Arc<Phenotype>>,
+    /// The operator that last revised this genotype (`init`, `crossover`,
+    /// `subtree-mut`, `gauss-mut`, `replicate`, `ls-insert`, `ls-delete`,
+    /// `ls-tweak`) — elite-change journal events report it as the lineage
+    /// of each improvement.
+    pub origin: &'static str,
 }
 
 impl Individual {
@@ -32,6 +37,7 @@ impl Individual {
             fitness: f64::INFINITY,
             fully_evaluated: false,
             pheno: None,
+            origin: "init",
         }
     }
 

@@ -32,7 +32,10 @@ impl Phenotype {
     pub fn build(eqs: Vec<Expr>, compile: bool) -> Self {
         let keys: Vec<_> = eqs.iter().map(|e| e.structural_hash()).collect();
         let key = TreeCache::system_key(&keys);
-        let compiled = compile.then(|| CompiledSystem::compile(&eqs, OptOptions::full()));
+        let compiled = compile.then(|| {
+            let _sp = gmr_obsv::span_fine!("vm.compile", eqs.len() as u64);
+            CompiledSystem::compile(&eqs, OptOptions::full())
+        });
         Phenotype { eqs, compiled, key }
     }
 

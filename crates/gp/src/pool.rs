@@ -29,7 +29,6 @@
 //! coordinator does not return (dropping the borrow) until every index of
 //! that epoch is completed.
 
-use crossbeam::queue::SegQueue;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -60,6 +59,34 @@ pub struct PoolStats {
     pub workers: Vec<WorkerStats>,
     /// Rounds dispatched (two per generation: evaluation + local search).
     pub rounds: u64,
+}
+
+/// Live per-worker accounting: plain atomics every worker updates as it
+/// goes, so the coordinator can snapshot pool state at any round boundary —
+/// not only at shutdown. Candidate/claim counts are flushed before the
+/// round's completion notification (they are exact at every boundary);
+/// busy/idle time is flushed as each worker re-parks (bounded by one round
+/// of skew).
+#[derive(Default)]
+struct LiveStats {
+    candidates: AtomicU64,
+    claims: AtomicU64,
+    steals: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+impl LiveStats {
+    fn to_worker_stats(&self, worker: usize) -> WorkerStats {
+        WorkerStats {
+            worker,
+            candidates: self.candidates.load(Ordering::Relaxed),
+            claims: self.claims.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
+            idle: Duration::from_nanos(self.idle_ns.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl PoolStats {
@@ -122,8 +149,8 @@ struct Shared {
     panicked: AtomicBool,
     /// First panic payload, re-raised by the coordinator.
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
-    /// Finished workers drop their stats here at shutdown.
-    records: SegQueue<WorkerStats>,
+    /// Live per-worker accounting, index = worker (0 is the coordinator).
+    live: Vec<LiveStats>,
 }
 
 impl Shared {
@@ -155,13 +182,16 @@ impl Shared {
         }
     }
 
-    /// Run the claim loop for one round. Returns candidates processed and
-    /// claims made by this participant.
-    fn drain_round(&self, epoch: u32, len: usize, chunk: usize, task: TaskPtr) -> (u64, u64) {
-        let mut candidates = 0u64;
-        let mut claims = 0u64;
+    /// Run the claim loop for one round as `worker`, flushing candidate,
+    /// claim and steal counts into the worker's live accounting *before*
+    /// signalling completion — a round-boundary snapshot therefore sees
+    /// exact counts for every round it follows.
+    fn drain_round(&self, epoch: u32, len: usize, chunk: usize, task: TaskPtr, worker: usize) {
+        let _sp = gmr_obsv::span_fine!("pool.drain", u64::from(epoch));
+        let live = &self.live[worker];
+        let mut claims_this_round = 0u64;
         while let Some((start, end)) = self.claim_chunk(epoch, len, chunk) {
-            claims += 1;
+            claims_this_round += 1;
             let f = unsafe { &*task.0 };
             let ran = catch_unwind(AssertUnwindSafe(|| {
                 for i in start..end {
@@ -178,7 +208,12 @@ impl Shared {
                     *slot = Some(payload);
                 }
             }
-            candidates += (end - start) as u64;
+            live.candidates
+                .fetch_add((end - start) as u64, Ordering::Relaxed);
+            live.claims.fetch_add(1, Ordering::Relaxed);
+            if claims_this_round > 1 {
+                live.steals.fetch_add(1, Ordering::Relaxed);
+            }
             let done = self.completed.fetch_add(end - start, Ordering::AcqRel) + (end - start);
             if done >= len {
                 // Pair the notification with the slot lock so the
@@ -187,15 +222,11 @@ impl Shared {
                 self.done_cv.notify_all();
             }
         }
-        (candidates, claims)
     }
 }
 
 fn worker_loop(shared: &Shared, worker: usize) {
-    let mut stats = WorkerStats {
-        worker,
-        ..WorkerStats::default()
-    };
+    let live = &shared.live[worker];
     let mut my_epoch = 0u32;
     loop {
         let parked = Instant::now();
@@ -203,8 +234,8 @@ fn worker_loop(shared: &Shared, worker: usize) {
             let mut slot = shared.lock_slot();
             loop {
                 if slot.shutdown {
-                    stats.idle += parked.elapsed();
-                    shared.records.push(stats);
+                    live.idle_ns
+                        .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     return;
                 }
                 if slot.epoch != my_epoch {
@@ -218,14 +249,13 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 slot = shared.work_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
             }
         };
-        stats.idle += parked.elapsed();
+        live.idle_ns
+            .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
         my_epoch = epoch;
         let t0 = Instant::now();
-        let (candidates, claims) = shared.drain_round(epoch, len, chunk, task);
-        stats.busy += t0.elapsed();
-        stats.candidates += candidates;
-        stats.claims += claims;
-        stats.steals += claims.saturating_sub(1);
+        shared.drain_round(epoch, len, chunk, task, worker);
+        live.busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -236,14 +266,39 @@ pub struct EvalPool<'s> {
     shared: &'s Shared,
     /// Spawned workers (the coordinator participates as worker 0 on top).
     extra_workers: usize,
-    own: std::cell::RefCell<WorkerStats>,
     rounds: std::cell::Cell<u64>,
 }
+
+/// A round must at least outlast this before an idle worker counts as
+/// stalled — fast rounds legitimately finish before parked workers wake.
+const STALL_MIN_ROUND: Duration = Duration::from_millis(20);
 
 impl<'s> EvalPool<'s> {
     /// Total worker count, counting the coordinating thread.
     pub fn workers(&self) -> usize {
         self.extra_workers + 1
+    }
+
+    /// Rounds dispatched so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.get()
+    }
+
+    /// Snapshot the pool's cumulative statistics *now*, mid-run — the
+    /// numbers previously only available after shutdown. Candidate/claim/
+    /// steal counts are exact at round boundaries; busy/idle lag by at most
+    /// the round in flight (each worker flushes them as it re-parks).
+    pub fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            workers: self
+                .shared
+                .live
+                .iter()
+                .enumerate()
+                .map(|(w, live)| live.to_worker_stats(w))
+                .collect(),
+            rounds: self.rounds.get(),
+        }
     }
 
     /// Chunk size for a round: small enough to balance heterogeneous
@@ -276,16 +331,31 @@ impl<'s> EvalPool<'s> {
         // (or a pool with no spawned workers) run inline on the
         // coordinator, and surplus workers claim nothing either way.
         if self.extra_workers == 0 || len == 1 {
-            let own = &mut *self.own.borrow_mut();
+            let own = &self.shared.live[0];
             let t0 = Instant::now();
             for i in 0..len {
                 task(i);
             }
-            own.busy += t0.elapsed();
-            own.candidates += len as u64;
-            own.claims += 1;
+            own.busy_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            own.candidates.fetch_add(len as u64, Ordering::Relaxed);
+            own.claims.fetch_add(1, Ordering::Relaxed);
             return;
         }
+
+        // Per-worker candidate counts before dispatch — a worker whose
+        // count does not move across a long, well-stocked round stalled.
+        let watch_stalls = gmr_obsv::enabled() && len >= 2 * self.workers();
+        let before: Vec<u64> = if watch_stalls {
+            self.shared
+                .live
+                .iter()
+                .map(|l| l.candidates.load(Ordering::Relaxed))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let round_t0 = Instant::now();
 
         let chunk = self.chunk_for(len);
         let ptr = TaskPtr(unsafe {
@@ -308,13 +378,11 @@ impl<'s> EvalPool<'s> {
 
         // The coordinator claims chunks like any worker.
         {
-            let own = &mut *self.own.borrow_mut();
             let t0 = Instant::now();
-            let (candidates, claims) = self.shared.drain_round(epoch, len, chunk, ptr);
-            own.busy += t0.elapsed();
-            own.candidates += candidates;
-            own.claims += claims;
-            own.steals += claims.saturating_sub(1);
+            self.shared.drain_round(epoch, len, chunk, ptr, 0);
+            self.shared.live[0]
+                .busy_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
 
         // Wait for stragglers still finishing claimed chunks.
@@ -330,7 +398,26 @@ impl<'s> EvalPool<'s> {
             }
             slot.task = None;
         }
-        self.own.borrow_mut().idle += parked.elapsed();
+        self.shared.live[0]
+            .idle_ns
+            .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        if watch_stalls {
+            let round_us = round_t0.elapsed().as_micros() as u64;
+            if round_t0.elapsed() >= STALL_MIN_ROUND {
+                // Worker 0 is the coordinator and always participates;
+                // check only the spawned workers.
+                for (w, b) in before.iter().enumerate().skip(1) {
+                    if self.shared.live[w].candidates.load(Ordering::Relaxed) == *b {
+                        gmr_obsv::emit(gmr_obsv::Event::Stall {
+                            round: self.rounds.get(),
+                            worker: w as u32,
+                            round_us,
+                        });
+                    }
+                }
+            }
+        }
 
         if self.shared.panicked.load(Ordering::Acquire) {
             let payload = self
@@ -366,7 +453,7 @@ pub fn with_pool<R>(threads: usize, f: impl FnOnce(&EvalPool) -> R) -> (R, PoolS
         completed: AtomicUsize::new(0),
         panicked: AtomicBool::new(false),
         panic_payload: Mutex::new(None),
-        records: SegQueue::new(),
+        live: (0..=extra).map(|_| LiveStats::default()).collect(),
     };
 
     /// Flags shutdown on drop, so workers are released even when `f` (or a
@@ -381,7 +468,7 @@ pub fn with_pool<R>(threads: usize, f: impl FnOnce(&EvalPool) -> R) -> (R, PoolS
         }
     }
 
-    let (result, rounds, own) = crossbeam::thread::scope(|s| {
+    let (result, rounds) = crossbeam::thread::scope(|s| {
         let _guard = ShutdownGuard(&shared);
         for w in 1..=extra {
             let shared = &shared;
@@ -390,19 +477,20 @@ pub fn with_pool<R>(threads: usize, f: impl FnOnce(&EvalPool) -> R) -> (R, PoolS
         let pool = EvalPool {
             shared: &shared,
             extra_workers: extra,
-            own: std::cell::RefCell::new(WorkerStats::default()),
             rounds: std::cell::Cell::new(0),
         };
         let result = f(&pool);
-        (result, pool.rounds.get(), pool.own.into_inner())
+        (result, pool.rounds.get())
     })
     .expect("evaluation worker panicked");
 
-    let mut workers = vec![own];
-    while let Some(rec) = shared.records.pop() {
-        workers.push(rec);
-    }
-    workers.sort_by_key(|w| w.worker);
+    // Workers are joined (scope ended), so the live accounting is final.
+    let workers = shared
+        .live
+        .iter()
+        .enumerate()
+        .map(|(w, live)| live.to_worker_stats(w))
+        .collect();
     (result, PoolStats { workers, rounds })
 }
 
@@ -492,6 +580,25 @@ mod tests {
             .max()
             .unwrap_or(0);
         assert!(max_share < 64, "one worker did all the work: {stats:?}");
+    }
+
+    #[test]
+    fn snapshot_is_exact_at_round_boundaries() {
+        // The old stats path only materialised numbers at shutdown; the
+        // live accounting must be readable — and exact for candidates —
+        // after every round.
+        with_pool(4, |pool| {
+            for round in 1..=3u64 {
+                let mut items = vec![0u8; 128];
+                pool.for_each_mut(&mut items, |_, _| {
+                    std::hint::black_box(());
+                });
+                let snap = pool.snapshot();
+                assert_eq!(snap.rounds, round);
+                assert_eq!(snap.total_candidates(), 128 * round);
+                assert_eq!(snap.workers.len(), 4);
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! `gmr-trace` — inspect `gmr-journal/v1` JSONL files.
+//!
+//! ```text
+//! gmr-trace summary RUN.jsonl          # human summary: spans, gens, pool
+//! gmr-trace chrome RUN.jsonl [--out T] # Chrome trace-event JSON (Perfetto)
+//! gmr-trace validate RUN.jsonl         # schema check; exit 1 on failure
+//! gmr-trace --validate RUN.jsonl       # same, flag spelling
+//! ```
+
+use gmr_obsv::trace;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gmr-trace <summary|chrome|validate> JOURNAL.jsonl [--out FILE]\n\
+         \n\
+         summary    print spans / generations / pool utilization / lineage\n\
+         chrome     convert to Chrome trace-event JSON (load in Perfetto)\n\
+         validate   check the gmr-journal/v1 schema; exit 1 when invalid\n\
+         \n\
+         `--validate` is accepted as a flag spelling of `validate`."
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("gmr-trace: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut journal = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "summary" | "chrome" | "validate" if cmd.is_none() => cmd = Some(a.as_str()),
+            "--validate" if cmd.is_none() => cmd = Some("validate"),
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("gmr-trace: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => return usage(),
+            _ if journal.is_none() && !a.starts_with('-') => journal = Some(a.clone()),
+            _ => {
+                eprintln!("gmr-trace: unexpected argument {a:?}");
+                return usage();
+            }
+        }
+    }
+    let (Some(cmd), Some(journal)) = (cmd, journal) else {
+        return usage();
+    };
+    let src = match read(&journal) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match cmd {
+        "validate" => {
+            let errs = trace::validate(&src);
+            if errs.is_empty() {
+                println!("{journal}: valid {}", gmr_obsv::SCHEMA);
+                ExitCode::SUCCESS
+            } else {
+                for e in &errs {
+                    eprintln!("{journal}: {e}");
+                }
+                eprintln!("{journal}: INVALID ({} problems)", errs.len());
+                ExitCode::FAILURE
+            }
+        }
+        "summary" => match trace::summary(&src) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gmr-trace: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "chrome" => match trace::to_chrome(&src) {
+            Ok(json) => match out_path {
+                Some(p) => match std::fs::write(&p, json) {
+                    Ok(()) => {
+                        eprintln!("wrote {p}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("gmr-trace: cannot write {p}: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+                None => {
+                    print!("{json}");
+                    ExitCode::SUCCESS
+                }
+            },
+            Err(e) => {
+                eprintln!("gmr-trace: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,369 @@
+//! Lock-free metric primitives and a named registry.
+//!
+//! Counters, gauges and histograms are plain atomics — safe to hammer from
+//! every evaluation-pool worker without locks — and a [`Registry`] names
+//! them so a whole sheet can be snapshotted at round boundaries and dumped
+//! into run reports or the journal.
+//!
+//! Unlike spans and the journal, this module is **not** gated by the
+//! `enabled` feature: the engine's own counters (`evals`, `pheno_builds`,
+//! cache hits, …) are program semantics — `RunReport` reads them — so they
+//! must exist even in a build with observability compiled out. The cost is
+//! identical to the ad-hoc `AtomicU64` fields they replace.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins float gauge (stored as bits).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values `v`
+/// with `ilog2(v+1) == i`, so bucket 0 is `{0}`, bucket 1 is `{1, 2}`, …
+pub const HIST_BUCKETS: usize = 40;
+
+/// A lock-free power-of-two histogram for non-negative integer samples
+/// (durations in microseconds, sizes, counts).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = ((v + 1).ilog2() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Bucket counts (index = `ilog2(v+1)`).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0,1]`): the
+    /// inclusive upper edge of the bucket holding that rank.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return (1u64 << (i + 1)) - 2; // upper edge: 2^(i+1) - 2
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// One snapshotted metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sample {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram: count, sum, and non-empty `(bucket_index, count)` pairs.
+    Histogram {
+        /// Sample count.
+        count: u64,
+        /// Sample sum.
+        sum: u64,
+        /// Sparse bucket counts.
+        buckets: Vec<(usize, u64)>,
+    },
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named sheet of metrics. Registration takes a lock; the returned
+/// handles are lock-free atomics, so the hot path never contends.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Snapshot every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, Sample)> {
+        self.lock()
+            .iter()
+            .map(|(name, m)| {
+                let sample = match m {
+                    Metric::Counter(c) => Sample::Counter(c.get()),
+                    Metric::Gauge(g) => Sample::Gauge(g.get()),
+                    Metric::Histogram(h) => Sample::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h
+                            .bucket_counts()
+                            .into_iter()
+                            .enumerate()
+                            .filter(|&(_, c)| c > 0)
+                            .collect(),
+                    },
+                };
+                (name.clone(), sample)
+            })
+            .collect()
+    }
+}
+
+/// Render a snapshot as a JSON object string (counters and gauges as
+/// numbers; histograms as `{count, sum, mean, buckets}`).
+pub fn snapshot_json(snapshot: &[(String, Sample)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, sample)) in snapshot.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        crate::json::push_escaped(&mut out, name);
+        out.push_str(": ");
+        match sample {
+            Sample::Counter(v) => out.push_str(&v.to_string()),
+            Sample::Gauge(v) => crate::json::push_f64(&mut out, *v),
+            Sample::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                out.push_str(&format!(
+                    "{{\"count\": {count}, \"sum\": {sum}, \"buckets\": ["
+                ));
+                for (j, (idx, c)) in buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("[{idx}, {c}]"));
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("evals");
+        c.inc();
+        c.add(4);
+        let g = r.gauge("hit_rate");
+        g.set(0.75);
+        // Same name returns the same underlying metric.
+        assert_eq!(r.counter("evals").get(), 5);
+        assert_eq!(r.gauge("hit_rate").get(), 0.75);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 7, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 112);
+        assert!((h.mean() - 112.0 / 6.0).abs() < 1e-12);
+        // Median falls in the {1,2} bucket.
+        assert!(h.quantile(0.5) >= 1 && h.quantile(0.5) < 7);
+        assert!(h.quantile(1.0) >= 100);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("z").add(1);
+        r.gauge("a").set(2.0);
+        r.histogram("m").record(3);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+        let json = snapshot_json(&snap);
+        let parsed = crate::json::parse(&json).unwrap();
+        assert_eq!(parsed.get("z").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            parsed
+                .get("m")
+                .and_then(|m| m.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}
