@@ -34,4 +34,50 @@ echo "==> bench_vm smoke (tier equivalence + 1.5x speedup gate)"
 cargo run --release -q -p gmr-bench --bin bench_vm -- --quick --out BENCH_vm.json
 cargo run --release -q -p gmr-bench --bin bench_vm -- --validate BENCH_vm.json
 
+echo "==> bench_serve smoke (bit-identity + 3x batched-throughput gate)"
+cargo run --release -q -p gmr-bench --bin bench_serve -- --quick --out BENCH_serve.json
+cargo run --release -q -p gmr-bench --bin bench_serve -- --validate BENCH_serve.json
+
+echo "==> gmr-serve smoke (artifact load, concurrent requests, SIGTERM drain)"
+rm -rf smoke-serve
+mkdir -p smoke-serve/artifacts
+./target/release/gmr-serve export --out smoke-serve/artifacts/table5.json
+./target/release/gmr-serve serve --no-builtin --artifacts smoke-serve/artifacts \
+    --days 1461 --port-file smoke-serve/port --journal smoke-serve/journal.jsonl &
+SERVE_PID=$!
+i=0
+while [ ! -f smoke-serve/port ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        echo "FAIL: gmr-serve never wrote its port file"
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat smoke-serve/port)
+./target/release/gmr-serve request "$ADDR" GET /healthz > smoke-serve/healthz.json
+REQ_PIDS=""
+for n in 1 2 3 4; do
+    ./target/release/gmr-serve request "$ADDR" POST /simulate --data \
+        "{\"model\": \"table5-manual\", \"forcings_ref\": \"target\", \"mode\": \"summary\", \"init\": [$n, 1.0]}" \
+        > "smoke-serve/sim-$n.json" &
+    REQ_PIDS="$REQ_PIDS $!"
+done
+for p in $REQ_PIDS; do
+    wait "$p" || { echo "FAIL: concurrent simulate request failed"; exit 1; }
+done
+./target/release/gmr-serve request "$ADDR" GET /metrics > smoke-serve/metrics.json
+for f in smoke-serve/healthz.json smoke-serve/sim-1.json smoke-serve/sim-2.json \
+         smoke-serve/sim-3.json smoke-serve/sim-4.json smoke-serve/metrics.json; do
+    cargo run --release -q -p gmr-obsv --bin gmr-trace -- json "$f"
+done
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "FAIL: gmr-serve did not drain cleanly on SIGTERM"; exit 1; }
+cargo run --release -q -p gmr-obsv --bin gmr-trace -- validate smoke-serve/journal.jsonl
+grep -q '"type": "request"' smoke-serve/journal.jsonl || {
+    echo "FAIL: journal carries no request events"
+    exit 1
+}
+
 echo "CI OK"

@@ -1,0 +1,380 @@
+//! Serving-stack benchmark: batched vs sequential `/simulate` throughput
+//! over real loopback HTTP, emitted as machine-readable JSON.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p gmr-bench --bin bench_serve -- [--quick] [--out PATH]
+//! cargo run --release -p gmr-bench --bin bench_serve -- --validate PATH
+//! ```
+//!
+//! Two client shapes hit one in-process `gmr-serve` server hosting the
+//! Table V model and a synthetic forcing table:
+//!
+//! * `sequential` — one keep-alive connection issuing summary-mode
+//!   `forcings_ref` requests back to back (each simulation runs solo);
+//! * `batched` — the same request mix from 16 concurrent keep-alive
+//!   connections, which the batcher coalesces into multi-trajectory
+//!   register-VM sweeps (shared state-independent prefix, one instruction
+//!   dispatch per batch instead of per request).
+//!
+//! The server runs with a **zero** coalescing window so the comparison
+//! isolates work-sharing: jobs batch only when they genuinely queued
+//! while a sweep was running, and the sequential baseline pays no
+//! deliberate linger latency. The target machines are single-core, so the
+//! measured speedup is algorithmic (instruction-dispatch and prefix
+//! amortisation), not thread parallelism.
+//!
+//! Every benched response is checked against in-process evaluation: one
+//! series-mode request per phase must be *bit-identical* to
+//! `simulate_single`, and each summary response must carry the exact
+//! final state of its init's solo trajectory. `--validate` re-opens an
+//! emitted file and enforces the gate: schema tag, `bit_identical` true,
+//! zero shed/error responses, and batched throughput at least 3x
+//! sequential.
+
+use gmr_hydro::{generate, SyntheticConfig, NUM_VARS};
+use gmr_json::{push_f64, Value};
+use gmr_serve::batch::{simulate_single, HostedTable, Tables};
+use gmr_serve::server::{read_response, write_request};
+use gmr_serve::{ModelArtifact, ModelRegistry, Server, ServerConfig, ServerHandle};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const SCHEMA: &str = "gmr-bench-serve/v1";
+const MIN_SPEEDUP_BATCHED: f64 = 3.0;
+const CLIENTS: usize = 16;
+
+struct BenchResult {
+    days: usize,
+    seq_requests: usize,
+    seq_secs: f64,
+    con_requests: usize,
+    con_secs: f64,
+    mean_batch: f64,
+    max_batch: u64,
+    bit_identical: bool,
+    errors: u64,
+}
+
+impl BenchResult {
+    fn seq_rps(&self) -> f64 {
+        self.seq_requests as f64 / self.seq_secs
+    }
+    fn con_rps(&self) -> f64 {
+        self.con_requests as f64 / self.con_secs
+    }
+    fn speedup(&self) -> f64 {
+        self.con_rps() / self.seq_rps()
+    }
+}
+
+fn forcing_rows(days: usize) -> Vec<[f64; NUM_VARS]> {
+    let ds = generate(&SyntheticConfig::default());
+    let mut rows = ds.target_series().vars.clone();
+    // Tile if the requested horizon outruns the dataset (it never does at
+    // the shipped scales, but the flag is user-settable).
+    while rows.len() < days {
+        rows.extend_from_within(..);
+    }
+    rows.truncate(days);
+    rows
+}
+
+fn client_init(c: usize) -> (f64, f64) {
+    (4.0 + c as f64 * 0.73, 0.8 + c as f64 * 0.11)
+}
+
+fn summary_body(init: (f64, f64)) -> String {
+    let mut b = String::from(
+        "{\"model\": \"table5-manual\", \"forcings_ref\": \"t\", \"mode\": \"summary\", \"init\": [",
+    );
+    push_f64(&mut b, init.0);
+    b.push_str(", ");
+    push_f64(&mut b, init.1);
+    b.push_str("]}");
+    b
+}
+
+/// One keep-alive client issuing `n` summary requests; returns
+/// `(batch_sum, max_batch, errors, finals)` where `finals` is the last
+/// response's `"final"` pair.
+fn run_client(addr: SocketAddr, init: (f64, f64), n: usize) -> (u64, u64, u64, Option<(f64, f64)>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let body = summary_body(init);
+    let (mut batch_sum, mut max_batch, mut errors) = (0u64, 0u64, 0u64);
+    let mut last_final = None;
+    for i in 0..n {
+        let close = i + 1 == n;
+        write_request(&mut writer, "POST", "/simulate", body.as_bytes(), close).expect("write");
+        let (status, bytes) = read_response(&mut reader).expect("read");
+        if status != 200 {
+            errors += 1;
+            continue;
+        }
+        let v = gmr_json::parse(std::str::from_utf8(&bytes).expect("utf8")).expect("json");
+        let b = v.get("batch").and_then(Value::as_u64).unwrap_or(0);
+        batch_sum += b;
+        max_batch = max_batch.max(b);
+        if let Some(f) = v.get("final").and_then(Value::as_arr) {
+            if let (Some(p), Some(z)) = (f[0].as_f64(), f[1].as_f64()) {
+                last_final = Some((p, z));
+            }
+        }
+    }
+    (batch_sum, max_batch, errors, last_final)
+}
+
+/// Full-series request checked bit-for-bit against in-process evaluation.
+fn check_bit_identity(
+    addr: SocketAddr,
+    rows: &[[f64; NUM_VARS]],
+    sys: &gmr_expr::CompiledSystem,
+) -> bool {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let init = client_init(3);
+    let mut body =
+        String::from("{\"model\": \"table5-manual\", \"forcings_ref\": \"t\", \"init\": [");
+    push_f64(&mut body, init.0);
+    body.push_str(", ");
+    push_f64(&mut body, init.1);
+    body.push_str("]}");
+    write_request(&mut writer, "POST", "/simulate", body.as_bytes(), true).expect("write");
+    let (status, bytes) = read_response(&mut reader).expect("read");
+    if status != 200 {
+        return false;
+    }
+    let v = gmr_json::parse(std::str::from_utf8(&bytes).expect("utf8")).expect("json");
+    let got: Vec<f64> = v
+        .get("bphy")
+        .and_then(Value::as_arr)
+        .map(|a| a.iter().filter_map(Value::as_f64).collect())
+        .unwrap_or_default();
+    let (want, _) = simulate_single(sys, rows, init, 1.0, 1e9);
+    got == want
+}
+
+fn bench(days: usize, seq_requests: usize, per_client: usize) -> BenchResult {
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert(ModelArtifact::builtin_manual())
+        .expect("builtin admits");
+    let sys = registry.get("table5-manual").unwrap().system.clone();
+    let rows = forcing_rows(days);
+    let mut tables = Tables::new();
+    tables.insert("t", HostedTable::Single(rows.clone()));
+    let config = ServerConfig {
+        workers: CLIENTS,
+        sim_queue: CLIENTS * 4,
+        batch_window: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let handle: ServerHandle = Server::new(config, registry, tables)
+        .start()
+        .expect("start");
+    let addr = handle.addr();
+
+    let mut bit_identical = check_bit_identity(addr, &rows, &sys);
+    let mut errors = 0u64;
+
+    // Warm-up.
+    run_client(addr, client_init(0), 5);
+
+    // Phase 1: single-connection sequential.
+    let t0 = Instant::now();
+    let (_, seq_max_batch, seq_errors, seq_final) = run_client(addr, client_init(0), seq_requests);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    errors += seq_errors;
+    let (want_p, want_z) = {
+        let (p, z) = simulate_single(&sys, &rows, client_init(0), 1.0, 1e9);
+        (*p.last().unwrap(), *z.last().unwrap())
+    };
+    if seq_final != Some((want_p, want_z)) {
+        bit_identical = false;
+    }
+    if seq_max_batch > 1 {
+        // A lone client must never be held for co-batching.
+        errors += 1;
+    }
+
+    // Phase 2: concurrent clients, coalesced by the batcher.
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| std::thread::spawn(move || run_client(addr, client_init(c), per_client)))
+        .collect();
+    let mut batch_sum = 0u64;
+    let mut max_batch = 0u64;
+    let mut answered = 0u64;
+    for (c, t) in threads.into_iter().enumerate() {
+        let (bs, mb, errs, last_final) = t.join().expect("client thread");
+        batch_sum += bs;
+        max_batch = max_batch.max(mb);
+        errors += errs;
+        answered += per_client as u64 - errs;
+        let (p, z) = simulate_single(&sys, &rows, client_init(c), 1.0, 1e9);
+        if last_final != Some((*p.last().unwrap(), *z.last().unwrap())) {
+            bit_identical = false;
+        }
+    }
+    let con_secs = t0.elapsed().as_secs_f64();
+    bit_identical &= check_bit_identity(addr, &rows, &sys);
+    handle.shutdown();
+
+    BenchResult {
+        days,
+        seq_requests,
+        seq_secs,
+        con_requests: CLIENTS * per_client,
+        con_secs,
+        mean_batch: batch_sum as f64 / answered.max(1) as f64,
+        max_batch,
+        bit_identical,
+        errors,
+    }
+}
+
+fn render_json(r: &BenchResult, quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if quick { "quick" } else { "default" }
+    ));
+    out.push_str("  \"model\": \"table5-manual\",\n");
+    out.push_str(&format!("  \"days\": {},\n", r.days));
+    out.push_str(&format!("  \"clients\": {CLIENTS},\n"));
+    out.push_str(&format!("  \"bit_identical\": {},\n", r.bit_identical));
+    out.push_str(&format!("  \"errors\": {},\n", r.errors));
+    out.push_str(&format!(
+        "  \"sequential\": {{\"requests\": {}, \"secs\": {:.4}, \"rps\": {:.1}}},\n",
+        r.seq_requests,
+        r.seq_secs,
+        r.seq_rps()
+    ));
+    out.push_str(&format!(
+        "  \"batched\": {{\"requests\": {}, \"secs\": {:.4}, \"rps\": {:.1}, \
+         \"mean_batch\": {:.2}, \"max_batch\": {}}},\n",
+        r.con_requests,
+        r.con_secs,
+        r.con_rps(),
+        r.mean_batch,
+        r.max_batch
+    ));
+    out.push_str(&format!("  \"batched_speedup\": {:.3}\n", r.speedup()));
+    out.push_str("}\n");
+    out
+}
+
+/// Pull the first numeric value following `"key":` out of the emitted JSON.
+fn json_number(src: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = src.find(&pat)? + pat.len();
+    let rest = src[i..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Enforce the acceptance gate on an emitted file. Returns the failures.
+fn validate(src: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !src.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        errs.push(format!("missing schema tag {SCHEMA:?}"));
+    }
+    for key in ["sequential", "batched", "mean_batch", "batched_speedup"] {
+        if !src.contains(&format!("\"{key}\":")) {
+            errs.push(format!("missing key {key:?}"));
+        }
+    }
+    if !src.contains("\"bit_identical\": true") {
+        errs.push("bit_identical is not true — served responses diverged from in-process".into());
+    }
+    match json_number(src, "errors") {
+        Some(0.0) => {}
+        Some(e) => errs.push(format!(
+            "{e} non-200 or mis-batched responses during the bench"
+        )),
+        None => errs.push("errors missing".into()),
+    }
+    match json_number(src, "batched_speedup") {
+        Some(s) if s >= MIN_SPEEDUP_BATCHED => {}
+        Some(s) => errs.push(format!(
+            "batched_speedup {s:.3} below the {MIN_SPEEDUP_BATCHED}x gate"
+        )),
+        None => errs.push("batched_speedup missing or not a number".into()),
+    }
+    errs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--validate requires a file path");
+            std::process::exit(2);
+        });
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let errs = validate(&src);
+        if errs.is_empty() {
+            println!("{path}: OK ({SCHEMA})");
+            return;
+        }
+        for e in &errs {
+            eprintln!("{path}: FAIL: {e}");
+        }
+        std::process::exit(1);
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json");
+    // Both scales keep the full 13-year horizon: the gate measures
+    // work-sharing, which only shows when simulation dominates the
+    // per-request cost. `--quick` trims the request counts, not the days.
+    let (days, seq_requests, per_client) = if quick {
+        (4748, 120, 20)
+    } else {
+        (4748, 400, 50)
+    };
+    eprintln!(
+        "bench_serve: {days} days, {seq_requests} sequential, {CLIENTS}x{per_client} batched"
+    );
+    let r = bench(days, seq_requests, per_client);
+    eprintln!(
+        "  sequential: {:.1} req/s | batched: {:.1} req/s (mean batch {:.1}, max {}) | {:.2}x",
+        r.seq_rps(),
+        r.con_rps(),
+        r.mean_batch,
+        r.max_batch,
+        r.speedup()
+    );
+
+    let json = render_json(&r, quick);
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {out_path} (batched_speedup = {:.2}x)", r.speedup());
+
+    let errs = validate(&json);
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("FAIL: {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -72,5 +72,6 @@ fn main() {
     println!("\n=== Best revised model ===");
     print!("{}", best.render(&gmr.grammar));
     cli::write_report("paperscale", &best.report);
+    cli::write_artifact("paperscale", best, 20260708);
     cli::finish_obsv(&obsv);
 }

@@ -36,6 +36,7 @@ fn main() {
     }
     if let Some(best) = finalists.first() {
         cli::write_report(&format!("table5-{}", scale.name), &best.report);
+        cli::write_artifact(&format!("table5-{}", scale.name), best, 20260708);
         println!("\n=== Best revised model (GMR) ===");
         let gmr = gmr_core::Gmr::new(&ds);
         print!("{}", best.render(&gmr.grammar));

@@ -75,6 +75,23 @@ pub fn write_report(stem: &str, report: &RunReport) {
     }
 }
 
+/// Export a finished GMR champion as a `gmr-model/v1` serving artifact at
+/// `results/<stem>-model.json` — equations with constants embedded,
+/// train/test scores and the journal hash as provenance — ready for
+/// `gmr-serve serve --artifacts results/`. Best-effort like
+/// [`write_report`].
+pub fn write_artifact(stem: &str, result: &gmr_core::GmrResult, seed: u64) {
+    if std::fs::create_dir_all("results").is_err() {
+        return;
+    }
+    let artifact = gmr_serve::ModelArtifact::from_gmr(stem, result, seed);
+    let path = format!("results/{stem}-model.json");
+    match artifact.save(&path) {
+        Ok(()) => gmr_obsv::info!("wrote {path}"),
+        Err(e) => gmr_obsv::warn!("cannot write {path}: {e}"),
+    }
+}
+
 /// Lower-case a variant label into a filename stem chunk: alphanumerics
 /// kept, everything else collapsed to single dashes.
 pub fn slug(label: &str) -> String {

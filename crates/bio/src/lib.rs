@@ -36,6 +36,9 @@ pub use extensions::{ExtOp, ExtensionSpec, EXTENSIONS};
 pub use grammar::{river_grammar, RiverGrammar};
 pub use manual::{manual_system, name_table};
 pub use mexpr::MExpr;
-pub use network_sim::{network_rmse, simulate_network, NetworkSimOptions, NetworkSimResult};
+pub use network_sim::{
+    network_rmse, simulate_network, simulate_network_compiled, NetworkSimOptions, NetworkSimResult,
+    StationSeries,
+};
 pub use params::{ParamSpec, PARAMS, R_KIND, STATE_NAMES};
-pub use problem::{RiverProblem, SimOptions};
+pub use problem::{sanitise_state, RiverProblem, SimOptions};

@@ -57,13 +57,19 @@ impl NetworkSimResult {
     }
 }
 
-#[inline(always)]
-fn sanitise(x: f64, cap: f64) -> f64 {
-    if x.is_nan() {
-        cap
-    } else {
-        x.clamp(0.0, cap)
-    }
+use crate::problem::sanitise_state as sanitise;
+
+/// One station's input series for [`simulate_network_compiled`]: the
+/// forcing rows the equations read and the flow series the routing
+/// weights come from. Both are *absolute* series — the simulated window
+/// is selected by the `start`/`days` arguments, and flows are indexed by
+/// absolute day so lagged upstream reads can reach before the window.
+#[derive(Debug, Clone, Copy)]
+pub struct StationSeries<'a> {
+    /// Forcing rows, `vars[abs_day]` (Table IV layout).
+    pub vars: &'a [[f64; NUM_VARS]],
+    /// Daily flow, `flow[abs_day]`.
+    pub flow: &'a [f64],
 }
 
 /// Simulate a two-equation biological system over every station of the
@@ -78,22 +84,53 @@ pub fn simulate_network(
     eqs: &[Expr; 2],
     opts: NetworkSimOptions,
 ) -> NetworkSimResult {
-    let net: &RiverNetwork = &ds.network;
-    let n = net.len();
-    let days = split.len();
-    let _sp = gmr_obsv::span!("netsim.simulate", days as u64);
     // One optimized system shared by every station, checked against the
     // forcing/state arities up front (an out-of-range index is a compile
-    // error here, not a silent zero mid-simulation), plus one register-VM
-    // session per station over that station's forcing rows — each station
-    // gets its own columnar prefix sweep and scratch registers.
+    // error here, not a silent zero mid-simulation).
     let sys = {
         let _sp = gmr_obsv::span_fine!("vm.compile", 2);
         CompiledSystem::compile_checked(eqs, NUM_VARS, 2, OptOptions::full())
             .expect("network equations reference indices outside the name table")
     };
+    let series: Vec<StationSeries<'_>> = ds
+        .stations
+        .iter()
+        .map(|st| StationSeries {
+            vars: &st.vars,
+            flow: &st.flow,
+        })
+        .collect();
+    simulate_network_compiled(&ds.network, &series, split.start, split.len(), &sys, opts)
+}
+
+/// [`simulate_network`] with the forcings and compiled system supplied by
+/// the caller instead of a [`RiverDataset`] — the entry point the serving
+/// stack uses, where the system is compiled once per artifact and the
+/// forcing tables arrive over the wire (or are hosted server-side). Given
+/// the same series a dataset would provide, trajectories are bit-identical
+/// to [`simulate_network`].
+pub fn simulate_network_compiled(
+    net: &RiverNetwork,
+    stations: &[StationSeries<'_>],
+    start: usize,
+    days: usize,
+    sys: &CompiledSystem,
+    opts: NetworkSimOptions,
+) -> NetworkSimResult {
+    let n = net.len();
+    assert_eq!(stations.len(), n, "one series per station");
+    for (s, st) in stations.iter().enumerate() {
+        assert!(
+            st.vars.len() >= start + days && st.flow.len() >= start + days,
+            "station {s} series shorter than start+days"
+        );
+    }
+    let _sp = gmr_obsv::span!("netsim.simulate", days as u64);
+    // One register-VM session per station over that station's forcing rows
+    // — each station gets its own columnar prefix sweep and scratch
+    // registers.
     let mut sessions: Vec<_> = (0..n)
-        .map(|s| sys.session(&ds.stations[s].vars[split.start..split.end]))
+        .map(|s| sys.session(&stations[s].vars[start..start + days]))
         .collect();
     let mut deriv = [0.0f64; 2];
 
@@ -112,7 +149,7 @@ pub fn simulate_network(
     let mut cur: Vec<(f64, f64)> = vec![opts.init; n];
 
     for day in 0..days {
-        let abs_day = split.start + day;
+        let abs_day = start + day;
         // Snapshot of yesterday's states for lagged upstream reads.
         for &sid in net.topo_order() {
             let s = sid.0;
@@ -123,9 +160,9 @@ pub fn simulate_network(
             let (mut p, mut z) = cur[s];
             if has_upstream {
                 let prev_flow = if abs_day > 0 {
-                    ds.stations[s].flow[abs_day - 1]
+                    stations[s].flow[abs_day - 1]
                 } else {
-                    ds.stations[s].flow[abs_day]
+                    stations[s].flow[abs_day]
                 };
                 let mut total_w = station.retention * prev_flow + 1e-9;
                 let mut acc_p = total_w * p;
@@ -139,8 +176,8 @@ pub fn simulate_network(
                         opts.init
                     };
                     let lag_abs = abs_day.saturating_sub(e.delay_days);
-                    let w = (1.0 - net.station(e.from).retention)
-                        * ds.stations[a].flow[lag_abs].max(0.0);
+                    let w =
+                        (1.0 - net.station(e.from).retention) * stations[a].flow[lag_abs].max(0.0);
                     acc_p += w * up_p;
                     acc_z += w * up_z;
                     total_w += w;
@@ -273,6 +310,119 @@ mod tests {
         let s1 = ds.network.by_name("S1").unwrap().0;
         assert!(res.bphy[s1][t] < expect);
         assert!(res.bphy[s1][t] > opts.init.0);
+    }
+
+    #[test]
+    fn compiled_entry_point_is_bit_identical_to_dataset_wrapper() {
+        let ds = dataset();
+        let eqs = manual_system();
+        let opts = NetworkSimOptions::default();
+        let want = simulate_network(&ds, ds.test, &eqs, opts);
+        let sys = CompiledSystem::compile_checked(&eqs, NUM_VARS, 2, OptOptions::full()).unwrap();
+        let series: Vec<StationSeries<'_>> = ds
+            .stations
+            .iter()
+            .map(|st| StationSeries {
+                vars: &st.vars,
+                flow: &st.flow,
+            })
+            .collect();
+        let got = simulate_network_compiled(
+            &ds.network,
+            &series,
+            ds.test.start,
+            ds.test.len(),
+            &sys,
+            opts,
+        );
+        for s in 0..ds.network.len() {
+            assert_eq!(want.bphy[s], got.bphy[s], "bphy differs at station {s}");
+            assert_eq!(want.bzoo[s], got.bzoo[s], "bzoo differs at station {s}");
+        }
+    }
+
+    /// A confluence with zero flow everywhere (total inflow 0) must not
+    /// divide by zero: the `1e-9` retention floor keeps the merge a no-op
+    /// on the local state, and trajectories stay finite.
+    #[test]
+    fn zero_total_inflow_at_confluence_stays_finite() {
+        let mut ds = dataset();
+        for st in &mut ds.stations {
+            st.flow.fill(0.0);
+        }
+        let opts = NetworkSimOptions::default();
+        let res = simulate_network(&ds, ds.train, &manual_system(), opts);
+        for series in res.bphy.iter().chain(res.bzoo.iter()) {
+            for &v in series {
+                assert!(v.is_finite());
+                assert!((0.0..=opts.state_cap).contains(&v));
+            }
+        }
+        // With zero inflow weight, the confluence VS1 behaves like an
+        // isolated station: frozen dynamics hold its initial state.
+        let frozen = [Expr::Num(0.0), Expr::Num(0.0)];
+        let res = simulate_network(&ds, ds.train, &frozen, opts);
+        let vs1 = ds.network.by_name("VS1").unwrap().0;
+        assert!(res.bphy[vs1].iter().all(|&v| v == opts.init.0));
+    }
+
+    /// A virtual station with a single upstream parent is a pass-through
+    /// merge (its own retention share plus one inflow), not a confluence:
+    /// with zero local retention weight its biomass must track the lagged
+    /// parent value exactly.
+    #[test]
+    fn single_parent_virtual_station_passes_biomass_through() {
+        use gmr_hydro::network::{Edge, Station, StationId, StationKind};
+        let net = RiverNetwork::new(
+            vec![
+                Station {
+                    name: "UP".into(),
+                    kind: StationKind::Measuring,
+                    retention: 0.0,
+                },
+                Station {
+                    name: "MID".into(),
+                    kind: StationKind::Virtual,
+                    retention: 0.0,
+                },
+            ],
+            vec![Edge {
+                from: StationId(0),
+                to: StationId(1),
+                distance_km: 10.0,
+                delay_days: 1,
+            }],
+        )
+        .unwrap();
+        let days = 40;
+        let vars = vec![[0.0; NUM_VARS]; days];
+        let flow = vec![100.0; days];
+        let series = vec![
+            StationSeries {
+                vars: &vars,
+                flow: &flow,
+            };
+            2
+        ];
+        // Grow only via BPhy so the two stations diverge over time.
+        let grow = [
+            Expr::bin(BinOp::Mul, Expr::Num(0.05), Expr::State(0)),
+            Expr::Num(0.0),
+        ];
+        let sys = CompiledSystem::compile_checked(&grow, NUM_VARS, 2, OptOptions::full()).unwrap();
+        let opts = NetworkSimOptions::default();
+        let res = simulate_network_compiled(&net, &series, 0, days, &sys, opts);
+        // MID's merged pre-step state is its lagged parent (retention share
+        // is only the 1e-9 floor), so after the shared local growth step:
+        // mid[t] = up[t-1] * 1.05 = up[t] exactly (same growth factor).
+        for t in 1..days {
+            let expect = res.bphy[0][t - 1] * 1.05;
+            let got = res.bphy[1][t];
+            assert!(
+                (got - expect).abs() < 1e-12 * expect.max(1.0),
+                "t={t}: {got} vs {expect}"
+            );
+        }
     }
 
     #[test]

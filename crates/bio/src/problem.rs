@@ -59,14 +59,22 @@ pub struct RiverProblem {
     pub opts: SimOptions,
 }
 
+/// Post-step state repair used by every integrator in the workspace:
+/// `NaN` becomes the cap (a diverged candidate saturates rather than
+/// poisoning downstream arithmetic), anything else clamps to `[0, cap]`.
+/// Exported so out-of-crate integration loops (the network simulator, the
+/// serving stack) apply *exactly* this rule — bit-identical trajectories
+/// depend on it.
 #[inline(always)]
-fn sanitise(x: f64, cap: f64) -> f64 {
+pub fn sanitise_state(x: f64, cap: f64) -> f64 {
     if x.is_nan() {
         cap
     } else {
         x.clamp(0.0, cap)
     }
 }
+
+use sanitise_state as sanitise;
 
 impl RiverProblem {
     /// Build the problem for a dataset split, seeding the initial biomass

@@ -23,6 +23,11 @@ pub mod evaluator;
 pub mod gmr;
 pub mod model_io;
 
+/// The workspace's shared zero-dependency JSON module ([`gmr_json`]),
+/// re-exported so artifact tooling built on `gmr-core` reaches the same
+/// parser the observability and serving layers use.
+pub use gmr_json as json;
+
 pub use analysis::{extension_usage, perturb_correlation, selectivity, Correlation};
 pub use evaluator::{river_priors, RiverEvaluator};
 pub use gmr::{Gmr, GmrConfig, GmrResult};

@@ -48,4 +48,4 @@ pub use eval::{protected_div, protected_exp, protected_log, EvalContext};
 pub use hash::TreeKey;
 pub use parse::{parse, ParseError};
 pub use simplify::simplify;
-pub use vm::{CompiledSystem, OptOptions, SystemScratch, SystemSession, LANES};
+pub use vm::{CompiledSystem, MultiSession, OptOptions, SystemScratch, SystemSession, LANES};

@@ -279,7 +279,7 @@ impl RegProgram {
     }
 
     /// Write the pinned constants into a scalar register file.
-    fn init_consts(&self, regs: &mut [f64]) {
+    pub(crate) fn init_consts(&self, regs: &mut [f64]) {
         regs[..self.consts.len()].copy_from_slice(&self.consts);
     }
 
@@ -363,64 +363,6 @@ impl RegProgram {
         // with `r < n_regs` (validated at construction) and `m <= LANES`,
         // so every lane index is `< n_regs * LANES == regs.len()`. Row
         // accesses stay bounds-checked.
-        #[inline(always)]
-        fn k_un(f: impl Fn(f64) -> f64, regs: &mut [f64], d: usize, a: usize, m: usize) {
-            for l in 0..m {
-                unsafe {
-                    let av = *regs.get_unchecked(a + l);
-                    *regs.get_unchecked_mut(d + l) = f(av);
-                }
-            }
-        }
-        #[inline(always)]
-        fn k_bin(
-            f: impl Fn(f64, f64) -> f64,
-            regs: &mut [f64],
-            d: usize,
-            a: usize,
-            b: usize,
-            m: usize,
-        ) {
-            for l in 0..m {
-                unsafe {
-                    let av = *regs.get_unchecked(a + l);
-                    let bv = *regs.get_unchecked(b + l);
-                    *regs.get_unchecked_mut(d + l) = f(av, bv);
-                }
-            }
-        }
-        #[inline(always)]
-        fn k_bin_cl(
-            f: impl Fn(f64, f64) -> f64,
-            regs: &mut [f64],
-            d: usize,
-            c: f64,
-            b: usize,
-            m: usize,
-        ) {
-            for l in 0..m {
-                unsafe {
-                    let bv = *regs.get_unchecked(b + l);
-                    *regs.get_unchecked_mut(d + l) = f(c, bv);
-                }
-            }
-        }
-        #[inline(always)]
-        fn k_bin_cr(
-            f: impl Fn(f64, f64) -> f64,
-            regs: &mut [f64],
-            d: usize,
-            a: usize,
-            c: f64,
-            m: usize,
-        ) {
-            for l in 0..m {
-                unsafe {
-                    let av = *regs.get_unchecked(a + l);
-                    *regs.get_unchecked_mut(d + l) = f(av, c);
-                }
-            }
-        }
         let off = |r: u16| r as usize * LANES;
         for ins in &self.code {
             match *ins {
@@ -503,6 +445,181 @@ impl RegProgram {
                     }
                 }
             }
+        }
+    }
+
+    /// Run `m <= LANES` *trajectories* through one step sharing a single
+    /// forcing row. The dual of [`run_lanes`](Self::run_lanes): there the
+    /// lanes are consecutive rows of one trajectory (so state loads are
+    /// forbidden); here every lane reads the *same* `vars` row but its own
+    /// state vector (`states[l * state_stride + idx]`, lane-major), which
+    /// is what lets a batching server amortize instruction dispatch across
+    /// concurrent simulations of one model. Per-lane arithmetic is the
+    /// same scalar protected-op sequence as [`run_scalar`]
+    /// (Self::run_scalar), so each lane's outputs are bit-identical to a
+    /// solo scalar evaluation.
+    pub(crate) fn run_lanes_one_row(
+        &self,
+        vars: &[f64],
+        states: &[f64],
+        state_stride: usize,
+        m: usize,
+        regs: &mut [f64],
+    ) {
+        assert_eq!(regs.len(), self.n_regs as usize * LANES);
+        assert!(m <= LANES && states.len() >= m * state_stride);
+        assert!(state_stride >= self.needs_states);
+        debug_assert!(vars.len() >= self.needs_vars);
+        // SAFETY throughout: same argument as `run_lanes` — stripes are
+        // `[r*LANES .. r*LANES+m)` with `r < n_regs` proved by `validate()`
+        // and `m <= LANES` asserted above. `vars`/`states` accesses stay
+        // bounds-checked.
+        let off = |r: u16| r as usize * LANES;
+        for ins in &self.code {
+            match *ins {
+                RInstr::LoadVar { dst, idx } => {
+                    let d = off(dst);
+                    regs[d..d + m].fill(vars[idx as usize]);
+                }
+                RInstr::LoadState { dst, idx } => {
+                    let d = off(dst);
+                    for l in 0..m {
+                        regs[d + l] = states[l * state_stride + idx as usize];
+                    }
+                }
+                RInstr::Un { op, dst, a } => {
+                    let (d, a) = (off(dst), off(a));
+                    match op {
+                        UnOp::Neg => k_un(|x| -x, regs, d, a, m),
+                        UnOp::Log => k_un(protected_log, regs, d, a, m),
+                        UnOp::Exp => k_un(protected_exp, regs, d, a, m),
+                    }
+                }
+                RInstr::Bin { op, dst, a, b } => {
+                    let (d, a, b) = (off(dst), off(a), off(b));
+                    match op {
+                        BinOp::Add => k_bin(|x, y| x + y, regs, d, a, b, m),
+                        BinOp::Sub => k_bin(|x, y| x - y, regs, d, a, b, m),
+                        BinOp::Mul => k_bin(|x, y| x * y, regs, d, a, b, m),
+                        BinOp::Div => k_bin(protected_div, regs, d, a, b, m),
+                        BinOp::Min => k_bin(f64::min, regs, d, a, b, m),
+                        BinOp::Max => k_bin(f64::max, regs, d, a, b, m),
+                        BinOp::Pow => k_bin(protected_pow, regs, d, a, b, m),
+                    }
+                }
+                RInstr::VarBinL { op, dst, idx, b } => {
+                    let (d, b) = (off(dst), off(b));
+                    let v = vars[idx as usize];
+                    match op {
+                        BinOp::Add => k_bin_cl(|x, y| x + y, regs, d, v, b, m),
+                        BinOp::Sub => k_bin_cl(|x, y| x - y, regs, d, v, b, m),
+                        BinOp::Mul => k_bin_cl(|x, y| x * y, regs, d, v, b, m),
+                        BinOp::Div => k_bin_cl(protected_div, regs, d, v, b, m),
+                        BinOp::Min => k_bin_cl(f64::min, regs, d, v, b, m),
+                        BinOp::Max => k_bin_cl(f64::max, regs, d, v, b, m),
+                        BinOp::Pow => k_bin_cl(protected_pow, regs, d, v, b, m),
+                    }
+                }
+                RInstr::VarBinR { op, dst, a, idx } => {
+                    let (d, a) = (off(dst), off(a));
+                    let v = vars[idx as usize];
+                    match op {
+                        BinOp::Add => k_bin_cr(|x, y| x + y, regs, d, a, v, m),
+                        BinOp::Sub => k_bin_cr(|x, y| x - y, regs, d, a, v, m),
+                        BinOp::Mul => k_bin_cr(|x, y| x * y, regs, d, a, v, m),
+                        BinOp::Div => k_bin_cr(protected_div, regs, d, a, v, m),
+                        BinOp::Min => k_bin_cr(f64::min, regs, d, a, v, m),
+                        BinOp::Max => k_bin_cr(f64::max, regs, d, a, v, m),
+                        BinOp::Pow => k_bin_cr(protected_pow, regs, d, a, v, m),
+                    }
+                }
+                RInstr::ConstBinL { op, dst, c, b } => {
+                    let (d, b) = (off(dst), off(b));
+                    match op {
+                        BinOp::Add => k_bin_cl(|x, y| x + y, regs, d, c, b, m),
+                        BinOp::Sub => k_bin_cl(|x, y| x - y, regs, d, c, b, m),
+                        BinOp::Mul => k_bin_cl(|x, y| x * y, regs, d, c, b, m),
+                        BinOp::Div => k_bin_cl(protected_div, regs, d, c, b, m),
+                        BinOp::Min => k_bin_cl(f64::min, regs, d, c, b, m),
+                        BinOp::Max => k_bin_cl(f64::max, regs, d, c, b, m),
+                        BinOp::Pow => k_bin_cl(protected_pow, regs, d, c, b, m),
+                    }
+                }
+                RInstr::ConstBinR { op, dst, a, c } => {
+                    let (d, a) = (off(dst), off(a));
+                    match op {
+                        BinOp::Add => k_bin_cr(|x, y| x + y, regs, d, a, c, m),
+                        BinOp::Sub => k_bin_cr(|x, y| x - y, regs, d, a, c, m),
+                        BinOp::Mul => k_bin_cr(|x, y| x * y, regs, d, a, c, m),
+                        BinOp::Div => k_bin_cr(protected_div, regs, d, a, c, m),
+                        BinOp::Min => k_bin_cr(f64::min, regs, d, a, c, m),
+                        BinOp::Max => k_bin_cr(f64::max, regs, d, a, c, m),
+                        BinOp::Pow => k_bin_cr(protected_pow, regs, d, a, c, m),
+                    }
+                }
+                RInstr::MulAdd { dst, a, b, c } => {
+                    let (d, a, b, c) = (off(dst), off(a), off(b), off(c));
+                    for l in 0..m {
+                        unsafe {
+                            let av = *regs.get_unchecked(a + l);
+                            let bv = *regs.get_unchecked(b + l);
+                            let cv = *regs.get_unchecked(c + l);
+                            // Two roundings on purpose; see `RInstr::MulAdd`.
+                            *regs.get_unchecked_mut(d + l) = av * bv + cv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// Per-lane interpreter kernels shared by `run_lanes` (rows-as-lanes) and
+// `run_lanes_one_row` (trajectories-as-lanes). The operator closure is
+// resolved *outside* the lane loop so the loop body is a plain indexed f64
+// kernel the compiler can auto-vectorize.
+//
+// SAFETY (all four): callers pass stripe offsets `r as usize * LANES` for
+// registers proved `< n_regs` by `RegProgram::validate()`, and `m <= LANES`,
+// against a buffer asserted to be exactly `n_regs * LANES` long — so every
+// `offset + l` is in bounds.
+#[inline(always)]
+fn k_un(f: impl Fn(f64) -> f64, regs: &mut [f64], d: usize, a: usize, m: usize) {
+    for l in 0..m {
+        unsafe {
+            let av = *regs.get_unchecked(a + l);
+            *regs.get_unchecked_mut(d + l) = f(av);
+        }
+    }
+}
+
+#[inline(always)]
+fn k_bin(f: impl Fn(f64, f64) -> f64, regs: &mut [f64], d: usize, a: usize, b: usize, m: usize) {
+    for l in 0..m {
+        unsafe {
+            let av = *regs.get_unchecked(a + l);
+            let bv = *regs.get_unchecked(b + l);
+            *regs.get_unchecked_mut(d + l) = f(av, bv);
+        }
+    }
+}
+
+#[inline(always)]
+fn k_bin_cl(f: impl Fn(f64, f64) -> f64, regs: &mut [f64], d: usize, c: f64, b: usize, m: usize) {
+    for l in 0..m {
+        unsafe {
+            let bv = *regs.get_unchecked(b + l);
+            *regs.get_unchecked_mut(d + l) = f(c, bv);
+        }
+    }
+}
+
+#[inline(always)]
+fn k_bin_cr(f: impl Fn(f64, f64) -> f64, regs: &mut [f64], d: usize, a: usize, c: f64, m: usize) {
+    for l in 0..m {
+        unsafe {
+            let av = *regs.get_unchecked(a + l);
+            *regs.get_unchecked_mut(d + l) = f(av, c);
         }
     }
 }
@@ -1321,6 +1438,45 @@ impl CompiledSystem {
             scratch: self.scratch(),
         }
     }
+
+    /// Open a *multi-trajectory* session: up to [`LANES`] concurrent
+    /// simulations of this system over one shared forcing table, stepped
+    /// in lock-step. Each [`MultiSession::step`] dispatches the core
+    /// program once for all trajectories (lanes carry per-trajectory
+    /// state), and the state-independent prefix is computed once per row
+    /// and shared by every trajectory — the work-sharing that lets a
+    /// batching server answer K concurrent requests for one model at far
+    /// below K× the single-request cost. Per-lane results are
+    /// bit-identical to running each trajectory through its own
+    /// [`session`](Self::session).
+    pub fn multi_session<'a, R: AsRef<[f64]>>(
+        &'a self,
+        rows: &'a [R],
+        k: usize,
+    ) -> MultiSession<'a, R> {
+        assert!(
+            (1..=LANES).contains(&k),
+            "trajectory count {k} out of 1..={LANES}"
+        );
+        let n_pre = self.prefix.outputs.len();
+        let mut prefix_lane_regs = if n_pre > 0 {
+            vec![0.0; self.prefix.n_regs as usize * LANES]
+        } else {
+            Vec::new()
+        };
+        self.prefix.init_consts_lanes(&mut prefix_lane_regs);
+        let mut core_lane_regs = vec![0.0; self.core.n_regs as usize * LANES];
+        self.core.init_consts_lanes(&mut core_lane_regs);
+        MultiSession {
+            sys: self,
+            rows,
+            k,
+            prefix_buf: vec![0.0; n_pre * rows.len()],
+            filled: 0,
+            prefix_lane_regs,
+            core_lane_regs,
+        }
+    }
 }
 
 /// Reusable register buffers for [`CompiledSystem::eval_step`].
@@ -1378,6 +1534,90 @@ impl<R: AsRef<[f64]>> SystemSession<'_, R> {
             .run_scalar(self.rows[t].as_ref(), state, &mut self.scratch.core_regs);
         for (e, &r) in self.sys.core.outputs.iter().enumerate() {
             out[e] = self.scratch.core_regs[r as usize];
+        }
+    }
+
+    /// Forcing rows materialized in the prefix buffer so far (tests).
+    pub fn rows_swept(&self) -> usize {
+        self.filled
+    }
+}
+
+/// K concurrent trajectories of one system over a shared forcing table,
+/// stepped in lock-step with one core dispatch per step for all of them.
+/// See [`CompiledSystem::multi_session`].
+pub struct MultiSession<'a, R: AsRef<[f64]>> {
+    sys: &'a CompiledSystem,
+    rows: &'a [R],
+    k: usize,
+    /// Row-major prefix values: `prefix_buf[t * n_pre + slot]` — shared by
+    /// every trajectory (the prefix is state-independent).
+    prefix_buf: Vec<f64>,
+    /// Rows of `prefix_buf` materialized so far.
+    filled: usize,
+    prefix_lane_regs: Vec<f64>,
+    core_lane_regs: Vec<f64>,
+}
+
+impl<R: AsRef<[f64]>> MultiSession<'_, R> {
+    /// Number of trajectories in lock-step.
+    pub fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// Evaluate step `t` for all `k` trajectories. `states` is lane-major
+    /// (`states[l * stride + idx]`, `stride = states.len() / k`); `out`
+    /// receives `k * n_eqs` values, trajectory-major
+    /// (`out[l * n_eqs + e]`).
+    pub fn step(&mut self, t: usize, states: &[f64], out: &mut [f64]) {
+        let k = self.k;
+        assert!(
+            t < self.rows.len(),
+            "step {t} out of {} rows",
+            self.rows.len()
+        );
+        assert!(
+            k > 0 && states.len().is_multiple_of(k),
+            "states not lane-major"
+        );
+        let stride = states.len() / k;
+        let n_eqs = self.sys.n_eqs;
+        assert_eq!(out.len(), k * n_eqs);
+        let n_pre = self.sys.prefix.outputs.len();
+        let window = self.sys.core.consts.len();
+        if n_pre > 0 {
+            while self.filled <= t {
+                let m = LANES.min(self.rows.len() - self.filled);
+                self.sys
+                    .prefix
+                    .run_lanes(self.rows, self.filled, m, &mut self.prefix_lane_regs);
+                for l in 0..m {
+                    let row = (self.filled + l) * n_pre;
+                    for (j, &r) in self.sys.prefix.outputs.iter().enumerate() {
+                        self.prefix_buf[row + j] = self.prefix_lane_regs[r as usize * LANES + l];
+                    }
+                }
+                self.filled += m;
+            }
+            // Broadcast this row's prefix values across the live lanes of
+            // the core's pinned window.
+            for j in 0..n_pre {
+                let v = self.prefix_buf[t * n_pre + j];
+                let d = (window + j) * LANES;
+                self.core_lane_regs[d..d + k].fill(v);
+            }
+        }
+        self.sys.core.run_lanes_one_row(
+            self.rows[t].as_ref(),
+            states,
+            stride,
+            k,
+            &mut self.core_lane_regs,
+        );
+        for l in 0..k {
+            for (e, &r) in self.sys.core.outputs.iter().enumerate() {
+                out[l * n_eqs + e] = self.core_lane_regs[r as usize * LANES + l];
+            }
         }
     }
 
@@ -1628,6 +1868,81 @@ mod tests {
         assert_eq!(session.rows_swept(), LANES, "no re-sweep inside chunk");
         session.step(LANES, &[1.0, 1.0], &mut out);
         assert_eq!(session.rows_swept(), 2 * LANES);
+    }
+
+    #[test]
+    fn multi_session_matches_solo_sessions_bitwise() {
+        let eqs = sample_system();
+        let n_rows = LANES + 9;
+        let rows: Vec<Vec<f64>> = (0..n_rows)
+            .map(|t| {
+                vec![
+                    (t as f64 * 0.53).sin() * 25.0,
+                    (t as f64 * 0.19).cos() * 1.5,
+                ]
+            })
+            .collect();
+        let k = 5;
+        let inits: Vec<[f64; 2]> = (0..k)
+            .map(|l| [4.0 + l as f64 * 1.7, 0.3 + l as f64 * 0.41])
+            .collect();
+        for tier in TIERS {
+            let sys = CompiledSystem::compile(&eqs, tier());
+
+            // Reference: each trajectory through its own solo session.
+            let mut want = vec![vec![[0.0f64; 2]; n_rows]; k];
+            for l in 0..k {
+                let mut session = sys.session(&rows);
+                let mut state = inits[l];
+                #[allow(clippy::needless_range_loop)]
+                for t in 0..n_rows {
+                    let mut d = [0.0, 0.0];
+                    session.step(t, &state, &mut d);
+                    want[l][t] = d;
+                    state[0] = (state[0] + 0.1 * d[0]).clamp(0.0, 1e6);
+                    state[1] = (state[1] + 0.1 * d[1]).clamp(0.0, 1e6);
+                }
+            }
+
+            // Batched: all k trajectories in lock-step, lane-major states.
+            let mut multi = sys.multi_session(&rows, k);
+            let mut states: Vec<f64> = inits.iter().flatten().copied().collect();
+            let mut out = vec![0.0; k * 2];
+            #[allow(clippy::needless_range_loop)]
+            for t in 0..n_rows {
+                multi.step(t, &states, &mut out);
+                for l in 0..k {
+                    for e in 0..2 {
+                        assert!(
+                            feq(out[l * 2 + e], want[l][t][e]),
+                            "lane {l} eq {e} diverged at t={t} for {:?}: {} vs {}",
+                            tier(),
+                            out[l * 2 + e],
+                            want[l][t][e],
+                        );
+                    }
+                }
+                for l in 0..k {
+                    for e in 0..2 {
+                        states[l * 2 + e] =
+                            (states[l * 2 + e] + 0.1 * out[l * 2 + e]).clamp(0.0, 1e6);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_session_shares_one_prefix_sweep_across_lanes() {
+        let eqs = sample_system();
+        let rows: Vec<Vec<f64>> = (0..LANES * 2).map(|t| vec![t as f64, 1.0]).collect();
+        let sys = CompiledSystem::compile(&eqs, OptOptions::full());
+        assert!(sys.n_pre() > 0, "sample system must have a prefix");
+        let mut multi = sys.multi_session(&rows, 8);
+        let mut out = vec![0.0; 8 * 2];
+        multi.step(0, &[1.0; 16], &mut out);
+        // One chunk sweep covers all 8 trajectories, not 8 sweeps.
+        assert_eq!(multi.rows_swept(), LANES);
     }
 
     #[test]

@@ -205,6 +205,18 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// The generation at which the champion's fitness was first reached —
+    /// the earliest history entry whose per-generation best matches the
+    /// final best. Artifact provenance records this so a served model can
+    /// be traced to the point in the run that produced it.
+    pub fn champion_generation(&self) -> u64 {
+        self.history
+            .iter()
+            .find(|g| g.best <= self.best.fitness)
+            .map(|g| g.generation as u64)
+            .unwrap_or(self.history.len().saturating_sub(1) as u64)
+    }
+
     /// The per-generation history as CSV (`generation,best,mean,evaluations,
     /// evaluated_steps,elapsed_ms`) — convenient for plotting convergence
     /// curves without further tooling.

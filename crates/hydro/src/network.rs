@@ -26,7 +26,7 @@ pub enum StationKind {
 }
 
 /// One node of the network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Station {
     /// Display name (e.g. `"S1"`, `"VS2"`).
     pub name: String,
@@ -38,7 +38,7 @@ pub struct Station {
 }
 
 /// A directed segment from one station to the next downstream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Edge {
     /// Upstream endpoint.
     pub from: StationId,
@@ -90,7 +90,7 @@ impl fmt::Display for NetworkError {
 impl std::error::Error for NetworkError {}
 
 /// A validated river network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RiverNetwork {
     stations: Vec<Station>,
     edges: Vec<Edge>,

@@ -1,11 +1,22 @@
 //! A minimal JSON value model, parser and string escaper.
 //!
-//! The workspace is air-gapped (no `serde_json`), and observability needs
-//! both directions: the journal *writes* JSONL and `gmr-trace` *reads* it
-//! back for validation, summaries and Chrome-trace conversion. This module
-//! implements the subset of JSON those paths need — no comments, no
-//! trailing commas, `f64` numbers — with precise error positions so
-//! `gmr-trace --validate` can point at the corrupt byte.
+//! The workspace is air-gapped (no `serde_json`), and three layers need
+//! JSON in both directions: the observability journal *writes* JSONL and
+//! `gmr-trace` *reads* it back for validation and Chrome-trace conversion;
+//! the `gmr-model/v1` artifact format round-trips revised models through
+//! disk; and the serving stack parses request bodies and emits responses.
+//! This crate implements the subset of JSON those paths need — no
+//! comments, no trailing commas, `f64` numbers — with precise error
+//! positions so strict validators can point at the corrupt byte. It began
+//! life as a private module of `gmr-obsv` (which still re-exports it as
+//! `gmr_obsv::json`); it was promoted to its own bottom-layer crate so the
+//! serving and artifact code share one parser instead of growing a third
+//! hand-rolled one.
+//!
+//! Numbers render through [`push_f64`] with Rust's shortest-round-trip
+//! `f64` formatting, so a value survives serialize → parse bit-identically
+//! — the property the serving stack's "responses match in-process
+//! evaluation exactly" contract rests on.
 
 use std::collections::BTreeMap;
 use std::fmt;

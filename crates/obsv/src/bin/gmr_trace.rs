@@ -5,6 +5,8 @@
 //! gmr-trace chrome RUN.jsonl [--out T] # Chrome trace-event JSON (Perfetto)
 //! gmr-trace validate RUN.jsonl         # schema check; exit 1 on failure
 //! gmr-trace --validate RUN.jsonl       # same, flag spelling
+//! gmr-trace json FILE.json             # strict-parse any JSON document;
+//!                                      # exit 1 on malformed input
 //! ```
 
 use gmr_obsv::trace;
@@ -12,11 +14,13 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gmr-trace <summary|chrome|validate> JOURNAL.jsonl [--out FILE]\n\
+        "usage: gmr-trace <summary|chrome|validate|json> FILE [--out FILE]\n\
          \n\
          summary    print spans / generations / pool utilization / lineage\n\
          chrome     convert to Chrome trace-event JSON (load in Perfetto)\n\
          validate   check the gmr-journal/v1 schema; exit 1 when invalid\n\
+         json       strict-parse a standalone JSON document (reports the\n\
+                    byte offset of the first error); exit 1 when malformed\n\
          \n\
          `--validate` is accepted as a flag spelling of `validate`."
     );
@@ -38,7 +42,7 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "summary" | "chrome" | "validate" if cmd.is_none() => cmd = Some(a.as_str()),
+            "summary" | "chrome" | "validate" | "json" if cmd.is_none() => cmd = Some(a.as_str()),
             "--validate" if cmd.is_none() => cmd = Some("validate"),
             "--out" => match it.next() {
                 Some(p) => out_path = Some(p.clone()),
@@ -76,6 +80,16 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "json" => match gmr_obsv::json::parse(&src) {
+            Ok(_) => {
+                println!("{journal}: valid JSON");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{journal}: INVALID JSON: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "summary" => match trace::summary(&src) {
             Ok(text) => {
                 print!("{text}");

@@ -136,6 +136,18 @@ pub enum Event {
         /// Message.
         msg: String,
     },
+    /// One served HTTP request (the serving stack's access log).
+    Request {
+        /// Endpoint path (`/simulate`, `/models`…).
+        endpoint: &'static str,
+        /// HTTP status returned.
+        status: u16,
+        /// Wall time from dequeue to response written, µs.
+        dur_us: u64,
+        /// Simulations coalesced into the batch that served this request
+        /// (1 = unbatched; 0 = no simulation ran).
+        batch: u64,
+    },
 }
 
 impl Event {
@@ -150,6 +162,7 @@ impl Event {
             Event::Stall { .. } => "stall",
             Event::Metrics { .. } => "metrics",
             Event::Note { .. } => "note",
+            Event::Request { .. } => "request",
         }
     }
 }
@@ -377,6 +390,18 @@ fn write_record(out: &mut String, rec: &Record) {
             push_escaped(out, name);
             out.push_str(", \"msg\": ");
             push_escaped(out, msg);
+        }
+        Event::Request {
+            endpoint,
+            status,
+            dur_us,
+            batch,
+        } => {
+            out.push_str(", \"endpoint\": ");
+            push_escaped(out, endpoint);
+            out.push_str(&format!(
+                ", \"status\": {status}, \"dur_us\": {dur_us}, \"batch\": {batch}"
+            ));
         }
     }
     out.push('}');

@@ -32,11 +32,15 @@
 //!    crates.io access, and observability must never constrain the build.
 
 pub mod journal;
-pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod span;
 pub mod trace;
+
+/// The shared zero-dependency JSON module, re-exported from [`gmr_json`]
+/// under its historical path (`gmr_obsv::json::{parse, Value, …}`) — the
+/// module lived here before the serving/artifact layers needed it too.
+pub use gmr_json as json;
 
 pub use journal::{Event, Journal, Record, SCHEMA};
 pub use span::{Detail, Span};

@@ -7,7 +7,7 @@ use crate::json::{parse, Value};
 use std::collections::BTreeMap;
 
 /// Event `type` tags the validator accepts.
-pub const KNOWN_TYPES: [&str; 8] = [
+pub const KNOWN_TYPES: [&str; 9] = [
     "span",
     "gen",
     "elite",
@@ -16,6 +16,7 @@ pub const KNOWN_TYPES: [&str; 8] = [
     "stall",
     "metrics",
     "note",
+    "request",
 ];
 
 /// A parsed journal: the header object and one [`Value`] per event line.
@@ -195,6 +196,12 @@ pub fn validate(src: &str) -> Vec<String> {
                 require_str(&obj, "name", lineno, &mut errs);
                 require_str(&obj, "msg", lineno, &mut errs);
             }
+            Some("request") => {
+                require_str(&obj, "endpoint", lineno, &mut errs);
+                for key in ["status", "dur_us", "batch"] {
+                    require_u64(&obj, key, lineno, &mut errs);
+                }
+            }
             _ => {}
         }
     }
@@ -364,6 +371,39 @@ pub fn summary(src: &str) -> Result<String, String> {
         }
     }
 
+    // --- served requests (the serving stack's access log) ---
+    let mut req_agg: BTreeMap<(String, u64), (u64, u64, u64)> = BTreeMap::new();
+    for e in &j.events {
+        if e.get("type").and_then(Value::as_str) != Some("request") {
+            continue;
+        }
+        let endpoint = e
+            .get("endpoint")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let status = e.get("status").and_then(Value::as_u64).unwrap_or(0);
+        let dur = e.get("dur_us").and_then(Value::as_u64).unwrap_or(0);
+        let batch = e.get("batch").and_then(Value::as_u64).unwrap_or(0);
+        let slot = req_agg.entry((endpoint, status)).or_insert((0, 0, 0));
+        slot.0 += 1;
+        slot.1 += dur;
+        slot.2 += batch;
+    }
+    if !req_agg.is_empty() {
+        out.push_str(&format!(
+            "\n{:<16} {:>6} {:>8} {:>10} {:>10}\n",
+            "endpoint", "status", "count", "mean ms", "mean batch"
+        ));
+        for ((endpoint, status), (count, dur_us, batch)) in &req_agg {
+            out.push_str(&format!(
+                "{endpoint:<16} {status:>6} {count:>8} {:>10.3} {:>10.2}\n",
+                ms(*dur_us / (*count).max(1)),
+                *batch as f64 / (*count).max(1) as f64,
+            ));
+        }
+    }
+
     let count_of = |tag: &str| {
         j.events
             .iter()
@@ -514,6 +554,12 @@ mod tests {
             steals: 3,
             busy_us: 800,
             idle_us: 100,
+        });
+        j.push(Event::Request {
+            endpoint: "/simulate",
+            status: 200,
+            dur_us: 350,
+            batch: 4,
         });
         j.to_jsonl()
     }

@@ -1,0 +1,231 @@
+//! `gmr-serve` — run, probe and provision the model-serving stack.
+//!
+//! ```sh
+//! # Serve the built-in Table V model plus any artifact directory:
+//! gmr-serve serve [--addr 127.0.0.1:0] [--artifacts DIR] [--port-file P]
+//!                 [--journal PATH] [--workers N] [--days N] [--seed S]
+//!                 [--no-builtin]
+//!
+//! # Export the built-in expert model as a gmr-model/v1 artifact:
+//! gmr-serve export --out models/table5-manual.json
+//!
+//! # One HTTP request from the shell (no curl in the CI container):
+//! gmr-serve request 127.0.0.1:8080 GET /healthz
+//! gmr-serve request 127.0.0.1:8080 POST /simulate --data '{...}'
+//! ```
+//!
+//! `serve` hosts two forcing tables generated from the synthetic Nakdong
+//! dataset: `"target"` (the S1 forcing rows, for single-trajectory
+//! `forcings_ref` requests — these coalesce into batched sweeps) and
+//! `"network"` (all stations' forcings + flows, for `"network": true`
+//! requests against topology-carrying models).
+
+use gmr_hydro::{generate, SyntheticConfig};
+use gmr_serve::batch::{HostedTable, NetStation, Tables};
+use gmr_serve::server::http_request;
+use gmr_serve::{sig, ModelArtifact, ModelRegistry, Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gmr-serve serve [--addr A] [--artifacts DIR] [--port-file P] [--journal P]
+                       [--workers N] [--conn-queue N] [--sim-queue N] [--window-ms MS]
+                       [--days N] [--seed S] [--no-builtin]
+       gmr-serve export --out PATH
+       gmr-serve request ADDR METHOD PATH [--data JSON | --body FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("request") => cmd_request(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Pull `--flag value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+    }
+}
+
+/// Build the hosted forcing tables from the synthetic Nakdong dataset.
+fn hosted_tables(seed: u64, days: Option<usize>) -> Tables {
+    let ds = generate(&SyntheticConfig {
+        seed,
+        ..SyntheticConfig::default()
+    });
+    let cut = days.map_or(ds.days, |d| d.min(ds.days)).max(1);
+    let mut tables = Tables::new();
+    tables.insert(
+        "target",
+        HostedTable::Single(ds.target_series().vars[..cut].to_vec()),
+    );
+    tables.insert(
+        "network",
+        HostedTable::Network(
+            ds.stations
+                .iter()
+                .map(|s| NetStation {
+                    vars: s.vars[..cut].to_vec(),
+                    flow: s.flow[..cut].to_vec(),
+                })
+                .collect(),
+        ),
+    );
+    tables
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    sig::install();
+    gmr_obsv::init(gmr_obsv::DEFAULT_CAPACITY);
+    let mut registry = ModelRegistry::new();
+    if !args.iter().any(|a| a == "--no-builtin") {
+        if let Err(e) = registry.insert(ModelArtifact::builtin_manual()) {
+            eprintln!("builtin model rejected: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = flag(args, "--artifacts") {
+        match registry.load_dir(&dir) {
+            Ok(n) => eprintln!("loaded {n} artifact(s) from {dir}"),
+            Err(e) => {
+                eprintln!("artifact load failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (seed, days, workers, conn_queue, sim_queue, window_ms) = match (|| {
+        Ok::<_, String>((
+            parse_flag(args, "--seed", SyntheticConfig::default().seed)?,
+            flag(args, "--days")
+                .map(|v| v.parse::<usize>().map_err(|_| format!("bad --days: {v}")))
+                .transpose()?,
+            parse_flag(args, "--workers", ServerConfig::default().workers)?,
+            parse_flag(args, "--conn-queue", ServerConfig::default().conn_queue)?,
+            parse_flag(args, "--sim-queue", ServerConfig::default().sim_queue)?,
+            parse_flag(args, "--window-ms", 2u64)?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let tables = hosted_tables(seed, days);
+    let config = ServerConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        workers,
+        conn_queue,
+        sim_queue,
+        batch_window: Duration::from_millis(window_ms),
+        ..ServerConfig::default()
+    };
+    let handle = match Server::new(config, registry, tables).start() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.addr();
+    if let Some(path) = flag(args, "--port-file") {
+        // The port file is how ci.sh discovers the ephemeral port; write
+        // it atomically (rename) so a polling reader never sees a prefix.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .is_err()
+        {
+            eprintln!("cannot write port file {path}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("gmr-serve listening on {addr}");
+    while !sig::terminated() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("termination signal observed; draining");
+    handle.shutdown();
+    if let Some(path) = flag(args, "--journal") {
+        if let Err(e) = gmr_obsv::write_jsonl(&path) {
+            eprintln!("journal write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("drained cleanly");
+    ExitCode::SUCCESS
+}
+
+fn cmd_export(args: &[String]) -> ExitCode {
+    let Some(out) = flag(args, "--out") else {
+        eprintln!("export needs --out PATH");
+        return ExitCode::from(2);
+    };
+    let artifact = ModelArtifact::builtin_manual();
+    match artifact.save(&out) {
+        Ok(()) => {
+            println!("wrote {} ({})", out, artifact.name);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("export failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_request(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(method), Some(path)) = (args.first(), args.get(1), args.get(2)) else {
+        return usage();
+    };
+    let body = if let Some(data) = flag(args, "--data") {
+        data.into_bytes()
+    } else if let Some(file) = flag(args, "--body") {
+        match std::fs::read(&file) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    let addr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("bad address {addr:?} (want HOST:PORT)");
+            return ExitCode::from(2);
+        }
+    };
+    match http_request(addr, method, path, &body) {
+        Ok((status, body)) => {
+            eprintln!("HTTP {status}");
+            print!("{}", String::from_utf8_lossy(&body));
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

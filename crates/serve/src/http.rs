@@ -1,0 +1,253 @@
+//! A deliberately small HTTP/1.1 implementation on `std::io`.
+//!
+//! The build environment has no crates.io access, so the server speaks
+//! the protocol subset its endpoints need and nothing more: request-line,
+//! headers and `Content-Length`-framed bodies in; status-line, headers
+//! and `Content-Length`-framed bodies out; `keep-alive` connection reuse.
+//! No chunked transfer encoding, no continuation lines, no pipelining
+//! guarantees beyond strict request/response alternation — clients that
+//! need more are out of scope for a model-inference sidecar.
+//!
+//! Size limits are enforced while *reading* (a client cannot balloon
+//! memory by declaring a huge `Content-Length`), and every malformed
+//! input is an [`HttpError::Malformed`] the caller maps to `400` rather
+//! than a dropped connection.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted header block (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body, bytes. Generous enough for a full
+/// multi-year inline forcing table (~3000 rows × 10 floats ≈ 600 KB).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure (including read timeouts, surfaced as the
+    /// underlying `WouldBlock`/`TimedOut` error).
+    Io(io::Error),
+    /// Syntactically invalid or over-limit request; the message is safe to
+    /// echo to the client in a `400` body.
+    Malformed(&'static str),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb, uppercased as received (`GET`, `POST`…).
+    pub method: String,
+    /// Request target path (query string retained verbatim).
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value under `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// Read one request from a buffered stream. `Ok(None)` means the client
+/// closed the connection cleanly between requests (normal keep-alive
+/// termination).
+pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut head = 0usize;
+    let mut line = String::new();
+    // Request line; tolerate one leading CRLF (robust clients send them).
+    let request_line = loop {
+        line.clear();
+        let n = stream.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        head += n;
+        if head > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large"));
+        }
+        let t = line.trim_end_matches(['\r', '\n']);
+        if !t.is_empty() {
+            break t.to_string();
+        }
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if parts.next().is_none() => (m, p, v),
+        _ => return Err(HttpError::Malformed("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        let n = stream.read_line(&mut line)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-headers"));
+        }
+        head += n;
+        if head > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large"));
+        }
+        let t = line.trim_end_matches(['\r', '\n']);
+        if t.is_empty() {
+            break;
+        }
+        let Some((name, value)) = t.split_once(':') else {
+            return Err(HttpError::Malformed("malformed header line"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(HttpError::Malformed("body too large"));
+            }
+        }
+        if name == "transfer-encoding" {
+            return Err(HttpError::Malformed("chunked bodies not supported"));
+        }
+        headers.push((name, value));
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        io::Read::read_exact(stream, &mut body)?;
+    }
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one `Content-Length`-framed response. `close` adds
+/// `Connection: close`; otherwise the connection stays reusable.
+pub fn write_response(
+    stream: &mut impl Write,
+    code: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        status_text(code),
+        body.len()
+    );
+    if code == 429 {
+        // Shed load explicitly: tell well-behaved clients when to retry.
+        head.push_str("Retry-After: 1\r\n");
+    }
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Convenience: a JSON error body `{"error": "..."}`.
+pub fn error_body(msg: &str) -> Vec<u8> {
+    let mut o = String::from("{\"error\": ");
+    gmr_json::push_escaped(&mut o, msg);
+    o.push_str("}\n");
+    o.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_post_with_body_and_keep_alive() {
+        let raw = b"POST /simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcdGET /healthz HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(&raw[..]);
+        let req = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/simulate");
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close());
+        // Second request on the same connection.
+        let req2 = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(req2.method, "GET");
+        assert_eq!(req2.path, "/healthz");
+        assert!(req2.body.is_empty());
+        // Clean EOF afterwards.
+        assert!(read_request(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let mut r = BufReader::new(&b"GARBAGE\r\n\r\n"[..]);
+        assert!(matches!(
+            read_request(&mut r),
+            Err(HttpError::Malformed("malformed request line"))
+        ));
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        let mut r = BufReader::new(huge.as_bytes());
+        assert!(matches!(read_request(&mut r), Err(HttpError::Malformed(_))));
+        let mut r = BufReader::new(&b"GET / HTTP/2\r\n\r\n"[..]);
+        assert!(matches!(
+            read_request(&mut r),
+            Err(HttpError::Malformed("unsupported HTTP version"))
+        ));
+    }
+
+    #[test]
+    fn response_is_parseable_and_framed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "application/json", b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,43 @@
+//! `gmr-serve` — the serving subsystem: model artifacts, a lint-gated
+//! registry, and a batching HTTP inference server.
+//!
+//! Four PRs of this reproduction can *train* revised river models; this
+//! crate is the layer that cashes in on the result. Symbolic-regression
+//! models' cheap evaluation is their key operational advantage (Kronberger
+//! et al., arXiv:2107.06131) — a calibrated champion is two short
+//! equations, so a prediction query is microseconds of register-VM work.
+//! The stack has three layers:
+//!
+//! * [`artifact`] — the versioned `gmr-model/v1` JSON interchange format:
+//!   equations as canonical re-parseable expression text (constants
+//!   embedded), the variable/state/parameter schema, optional station
+//!   topology for network models, and provenance (seed, generation,
+//!   fitness, journal hash). Round-trips through the `gmr-expr` parser
+//!   bit-identically.
+//! * [`registry`] — loads artifacts from disk, re-lints them with the
+//!   `gmr-lint` battery (Error-severity findings reject the artifact),
+//!   recompiles through `CompiledSystem::compile_checked`, and memoises
+//!   the compiled system behind an `Arc` exactly like `gp::Phenotype`.
+//! * [`server`] — an HTTP/1.1 server hand-rolled on `std::net` (the
+//!   build environment has no crates.io access — same constraint that
+//!   produced `compat/`): a fixed worker pool, bounded accept/simulation
+//!   queues with explicit `429` load-shedding, request batching that
+//!   coalesces concurrent simulations of one model into a single columnar
+//!   sweep (see [`batch`]), graceful drain on SIGTERM, and the
+//!   `/healthz`, `/models`, `/simulate`, `/metrics` endpoints.
+//!
+//! Everything is `std`-only; JSON goes through the shared [`gmr_json`]
+//! crate, whose shortest-round-trip float rendering is what makes the
+//! "served responses are bit-identical to in-process evaluation" contract
+//! (pinned by `tests/server.rs`) possible over a text protocol.
+
+pub mod artifact;
+pub mod batch;
+pub mod http;
+pub mod registry;
+pub mod server;
+pub mod sig;
+
+pub use artifact::{ModelArtifact, Provenance, SCHEMA};
+pub use registry::{ModelRegistry, RegistryError, ServableModel};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,616 @@
+//! The HTTP serving loop: acceptor, worker pool, bounded queues, drain.
+//!
+//! Threading model (all `std`, no async runtime):
+//!
+//! ```text
+//!   acceptor ──► conn queue (bounded, Mutex+Condvar) ──► N workers
+//!                                                         │ try_send
+//!                                                         ▼
+//!                                   sim queue (bounded, sync_channel)
+//!                                                         │
+//!                                                         ▼
+//!                                              batcher (coalesces)
+//! ```
+//!
+//! Backpressure is explicit at both queues: a full connection queue gets
+//! an immediate `429` written by the acceptor itself, and a full
+//! simulation queue turns into a `429` from the worker. The server sheds
+//! load; it never silently drops or indefinitely parks a request.
+//!
+//! Graceful drain: [`ServerHandle::shutdown`] (or a SIGTERM observed by
+//! the binary) flips one atomic. The acceptor stops accepting, workers
+//! finish the connections already queued plus whatever request is
+//! mid-flight, the batcher flushes its final batch once every worker has
+//! dropped its queue handle, and `shutdown` joins every thread before
+//! returning.
+
+use crate::batch::{run_batcher, BatcherConfig, Mode, SimJob, SimOutcome, SimOutput, Tables};
+use crate::http::{self, HttpError, Request};
+use crate::registry::ModelRegistry;
+use gmr_json::{push_escaped, push_f64};
+use gmr_obsv::journal::Event;
+use gmr_obsv::metrics::{snapshot_json, Counter, Histogram, Registry};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server tuning. The defaults suit the single-core CI boxes this repo
+/// targets: a small worker pool (workers mostly block on I/O or on the
+/// batcher, so they outnumber cores without thrashing) and a coalescing
+/// window a couple of orders below human-visible latency.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accepted-connection queue bound; beyond it the acceptor sheds with
+    /// an immediate `429`.
+    pub conn_queue: usize,
+    /// Simulation queue bound; a full queue turns the request into `429`.
+    pub sim_queue: usize,
+    /// Batcher coalescing window.
+    pub batch_window: Duration,
+    /// Per-read socket timeout. Bounds how long a worker can ignore the
+    /// shutdown flag while parked on an idle keep-alive connection.
+    pub read_timeout: Duration,
+    /// Consecutive idle read timeouts tolerated on one connection before
+    /// it is closed with `408`.
+    pub max_idle_reads: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            conn_queue: 64,
+            sim_queue: 128,
+            batch_window: Duration::from_millis(2),
+            read_timeout: Duration::from_millis(250),
+            max_idle_reads: 40,
+        }
+    }
+}
+
+/// Serving-stack metrics, exposed verbatim by `/metrics`.
+pub struct ServeMetrics {
+    /// The registry `/metrics` snapshots.
+    pub registry: Registry,
+    /// Total requests answered (any status).
+    pub requests: Arc<Counter>,
+    /// Requests shed with `429` (either queue).
+    pub shed: Arc<Counter>,
+    /// Coalesced sweep width per `/simulate` response.
+    pub batch: Arc<Histogram>,
+    /// End-to-end request service time, microseconds.
+    pub latency_us: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let registry = Registry::new();
+        ServeMetrics {
+            requests: registry.counter("serve.requests_total"),
+            shed: registry.counter("serve.shed_total"),
+            batch: registry.histogram("serve.batch_size"),
+            latency_us: registry.histogram("serve.latency_us"),
+            registry,
+        }
+    }
+}
+
+/// Everything the worker threads share.
+struct Shared {
+    registry: ModelRegistry,
+    tables: Arc<Tables>,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conns_ready: Condvar,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A configured server, ready to start.
+pub struct Server {
+    config: ServerConfig,
+    registry: ModelRegistry,
+    tables: Tables,
+}
+
+/// A running server: its bound address plus the join handles `shutdown`
+/// drains.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bundle a registry and hosted tables under a config.
+    pub fn new(config: ServerConfig, registry: ModelRegistry, tables: Tables) -> Server {
+        Server {
+            config,
+            registry,
+            tables,
+        }
+    }
+
+    /// Bind, spawn the acceptor/worker/batcher threads, return a handle.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&self.config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = self.config.workers.max(1);
+        let shared = Arc::new(Shared {
+            registry: self.registry,
+            tables: Arc::new(self.tables),
+            metrics: ServeMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(VecDeque::new()),
+            conns_ready: Condvar::new(),
+            config: self.config,
+        });
+        let (sim_tx, sim_rx) = mpsc::sync_channel::<SimJob>(shared.config.sim_queue.max(1));
+        let mut threads = Vec::with_capacity(workers + 2);
+
+        let batcher_tables = Arc::clone(&shared.tables);
+        let batcher_cfg = BatcherConfig {
+            window: shared.config.batch_window,
+            max_batch: 256,
+        };
+        threads.push(
+            thread::Builder::new()
+                .name("serve-batcher".into())
+                .spawn(move || run_batcher(sim_rx, batcher_tables, batcher_cfg))?,
+        );
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let sim_tx = sim_tx.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, sim_tx))?,
+            );
+        }
+        // `sim_tx` originals all live in workers now; dropping ours means
+        // the batcher exits exactly when the last worker does.
+        drop(sim_tx);
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("serve-acceptor".into())
+                    .spawn(move || accept_loop(listener, &shared))?,
+            );
+        }
+        gmr_obsv::emit(Event::Note {
+            name: "serve.listen",
+            msg: format!("gmr-serve listening on {addr}"),
+        });
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (real port even when config said `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot the serving metrics as JSON (same body `/metrics` serves).
+    pub fn metrics_json(&self) -> String {
+        snapshot_json(&self.shared.metrics.registry.snapshot())
+    }
+
+    /// Begin a graceful drain and block until every thread has exited:
+    /// stop accepting, serve what is queued and in flight, flush the
+    /// batcher, join.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.conns_ready.notify_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        if shared.draining() {
+            // Wake every parked worker so they observe the flag.
+            shared.conns_ready.notify_all();
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut q = shared.conns.lock().unwrap();
+                if q.len() >= shared.config.conn_queue {
+                    drop(q);
+                    // Shed at the door: an explicit 429, never a hang.
+                    shared.metrics.shed.inc();
+                    shared.metrics.requests.inc();
+                    let mut stream = stream;
+                    let _ = stream.set_nodelay(true);
+                    let _ = http::write_response(
+                        &mut stream,
+                        429,
+                        "application/json",
+                        &http::error_body("connection queue full"),
+                        true,
+                    );
+                    gmr_obsv::emit(Event::Request {
+                        endpoint: "(accept)",
+                        status: 429,
+                        dur_us: 0,
+                        batch: 0,
+                    });
+                } else {
+                    q.push_back(stream);
+                    drop(q);
+                    shared.conns_ready.notify_one();
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, sim_tx: SyncSender<SimJob>) {
+    loop {
+        let stream = {
+            let mut q = shared.conns.lock().unwrap();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .conns_ready
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        handle_connection(stream, shared, &sim_tx);
+    }
+}
+
+/// Serve one (possibly keep-alive) connection to completion.
+fn handle_connection(stream: TcpStream, shared: &Shared, sim_tx: &SyncSender<SimJob>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut idle = 0u32;
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(req)) => {
+                idle = 0;
+                let close = req.wants_close() || shared.draining();
+                let t0 = Instant::now();
+                let (status, body, batch) = dispatch(&req, shared, sim_tx);
+                let dur_us = t0.elapsed().as_micros() as u64;
+                shared.metrics.requests.inc();
+                if status == 429 {
+                    shared.metrics.shed.inc();
+                }
+                shared.metrics.latency_us.record(dur_us);
+                if batch > 0 {
+                    shared.metrics.batch.record(batch);
+                }
+                gmr_obsv::emit(Event::Request {
+                    endpoint: endpoint_tag(&req.path),
+                    status,
+                    dur_us,
+                    batch,
+                });
+                if http::write_response(&mut writer, status, "application/json", &body, close)
+                    .is_err()
+                    || close
+                {
+                    return;
+                }
+            }
+            Err(HttpError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                // Idle keep-alive connection. During a drain, or after the
+                // idle budget, close it; a timeout that interrupted a
+                // half-sent request will surface as a parse error on the
+                // next round and be answered with 400.
+                idle += 1;
+                if shared.draining() {
+                    return;
+                }
+                if idle >= shared.config.max_idle_reads {
+                    let _ = http::write_response(
+                        &mut writer,
+                        408,
+                        "application/json",
+                        &http::error_body("idle timeout"),
+                        true,
+                    );
+                    return;
+                }
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Malformed(msg)) => {
+                shared.metrics.requests.inc();
+                gmr_obsv::emit(Event::Request {
+                    endpoint: "(malformed)",
+                    status: 400,
+                    dur_us: 0,
+                    batch: 0,
+                });
+                let _ = http::write_response(
+                    &mut writer,
+                    400,
+                    "application/json",
+                    &http::error_body(msg),
+                    true,
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Stable endpoint label for journal events.
+fn endpoint_tag(path: &str) -> &'static str {
+    let bare = path.split('?').next().unwrap_or(path);
+    match bare {
+        "/healthz" => "/healthz",
+        "/models" => "/models",
+        "/simulate" => "/simulate",
+        "/metrics" => "/metrics",
+        _ => "(other)",
+    }
+}
+
+/// Route one request. Returns `(status, body, batch)`; `batch` is 0 for
+/// non-simulation endpoints.
+fn dispatch(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>) -> (u16, Vec<u8>, u64) {
+    let _sp = gmr_obsv::span_fine!("serve.dispatch");
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"ok\": true, \"models\": {}, \"draining\": {}}}\n",
+                shared.registry.len(),
+                shared.draining()
+            );
+            (200, body.into_bytes(), 0)
+        }
+        ("GET", "/models") => (200, shared.registry.render_json().into_bytes(), 0),
+        ("GET", "/metrics") => {
+            let body = snapshot_json(&shared.metrics.registry.snapshot());
+            (200, body.into_bytes(), 0)
+        }
+        ("POST", "/simulate") => simulate(req, shared, sim_tx),
+        ("GET", "/simulate") | ("POST", "/healthz" | "/models" | "/metrics") => (
+            405,
+            http::error_body("method not allowed for this endpoint"),
+            0,
+        ),
+        _ => (404, http::error_body("no such endpoint"), 0),
+    }
+}
+
+fn simulate(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>) -> (u16, Vec<u8>, u64) {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return (400, http::error_body("body is not UTF-8"), 0),
+    };
+    let value = match gmr_json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return (400, http::error_body(&format!("invalid JSON: {e}")), 0),
+    };
+    let request = match crate::batch::parse_sim_request(&value) {
+        Ok(r) => r,
+        Err(msg) => return (400, http::error_body(&msg), 0),
+    };
+    let Some(model) = shared.registry.get(&request.model) else {
+        return (
+            404,
+            http::error_body(&format!("no model {:?}", request.model)),
+            0,
+        );
+    };
+    let model_name = request.model.clone();
+    let mode = request.mode;
+    let (reply, outcome_rx) = mpsc::channel::<SimOutcome>();
+    let job = SimJob {
+        model,
+        request,
+        reply,
+    };
+    match sim_tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            // Bounded queue full: shed explicitly rather than park the
+            // client behind an unbounded backlog.
+            return (429, http::error_body("simulation queue full"), 0);
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return (503, http::error_body("simulator is shut down"), 0);
+        }
+    }
+    match outcome_rx.recv() {
+        Ok(SimOutcome { result, batch }) => match result {
+            Ok(output) => (
+                200,
+                render_output(&model_name, &output, mode, batch),
+                batch as u64,
+            ),
+            Err((status, msg)) => (status, http::error_body(&msg), 0),
+        },
+        Err(_) => (503, http::error_body("simulator dropped the job"), 0),
+    }
+}
+
+fn push_series(o: &mut String, key: &str, xs: &[f64]) {
+    o.push('"');
+    o.push_str(key);
+    o.push_str("\": [");
+    for (i, &x) in xs.iter().enumerate() {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        push_f64(o, x);
+    }
+    o.push(']');
+}
+
+fn push_summary(o: &mut String, bphy: &[f64], bzoo: &[f64]) {
+    let n = bphy.len().max(1) as f64;
+    let mean = bphy.iter().sum::<f64>() / n;
+    let max = bphy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    o.push_str("\"final\": [");
+    push_f64(o, bphy.last().copied().unwrap_or(f64::NAN));
+    o.push_str(", ");
+    push_f64(o, bzoo.last().copied().unwrap_or(f64::NAN));
+    o.push_str("], \"mean_bphy\": ");
+    push_f64(o, mean);
+    o.push_str(", \"max_bphy\": ");
+    push_f64(o, max);
+}
+
+/// Render the `/simulate` response body.
+fn render_output(model: &str, output: &SimOutput, mode: Mode, batch: usize) -> Vec<u8> {
+    let mut o = String::from("{\"model\": ");
+    push_escaped(&mut o, model);
+    o.push_str(&format!(", \"batch\": {batch}, "));
+    match output {
+        SimOutput::Single { bphy, bzoo } => {
+            o.push_str(&format!("\"days\": {}, ", bphy.len()));
+            match mode {
+                Mode::Series => {
+                    push_series(&mut o, "bphy", bphy);
+                    o.push_str(", ");
+                    push_series(&mut o, "bzoo", bzoo);
+                }
+                Mode::Summary => push_summary(&mut o, bphy, bzoo),
+            }
+        }
+        SimOutput::Network {
+            stations,
+            bphy,
+            bzoo,
+        } => {
+            let days = bphy.first().map(Vec::len).unwrap_or(0);
+            o.push_str(&format!("\"days\": {days}, \"stations\": ["));
+            for (i, name) in stations.iter().enumerate() {
+                if i > 0 {
+                    o.push_str(", ");
+                }
+                o.push_str("{\"name\": ");
+                push_escaped(&mut o, name);
+                o.push_str(", ");
+                match mode {
+                    Mode::Series => {
+                        push_series(&mut o, "bphy", &bphy[i]);
+                        o.push_str(", ");
+                        push_series(&mut o, "bzoo", &bzoo[i]);
+                    }
+                    Mode::Summary => push_summary(&mut o, &bphy[i], &bzoo[i]),
+                }
+                o.push('}');
+            }
+            o.push(']');
+        }
+    }
+    o.push_str("}\n");
+    o.into_bytes()
+}
+
+/// Tiny blocking client for tests, the bench harness and `ci.sh` smoke
+/// checks: one request per call over a fresh connection.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_request(&mut stream, method, path, body, true)?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Write one request on an open connection (keep-alive unless `close`).
+pub fn write_request(
+    stream: &mut impl Write,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: gmr-serve\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Read one `Content-Length`-framed response; returns `(status, body)`.
+pub fn read_response(reader: &mut impl io::BufRead) -> io::Result<(u16, Vec<u8>)> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let t = line.trim_end_matches(['\r', '\n']);
+        if t.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = t.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| io::Error::new(ErrorKind::InvalidData, "bad content-length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    io::Read::read_exact(reader, &mut body)?;
+    Ok((status, body))
+}

@@ -1,0 +1,73 @@
+//! SIGTERM/SIGINT observation without a signal-handling crate.
+//!
+//! The workspace is air-gapped (no `libc`, no `signal-hook`), so the
+//! handler is installed through a hand-declared binding to the C
+//! `signal(2)` entry point. The handler itself only stores to a static
+//! atomic — the one action that is async-signal-safe — and the server's
+//! accept loop polls [`terminated`] to begin its graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// C library `signal(2)`. Handler addresses are passed as `usize`
+        /// so we need no `sighandler_t` typedef.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the termination handler (idempotent). After this, SIGTERM and
+/// SIGINT set the flag instead of killing the process, and the serving
+/// loop drains cleanly.
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a termination signal has been observed (or [`request`] called).
+pub fn terminated() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+/// Set the termination flag programmatically — same path a real SIGTERM
+/// takes, used by tests and by in-process shutdown.
+pub fn request() {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_terminated() {
+        // Note: the flag is process-global; tests that need isolation use
+        // the ServerHandle's own flag, not this one.
+        request();
+        assert!(terminated());
+    }
+}

@@ -1,0 +1,402 @@
+//! End-to-end serving-stack tests over real sockets.
+//!
+//! The load-bearing contract: a `/simulate` response — batched or not —
+//! carries trajectories *bit-identical* to in-process evaluation of the
+//! same compiled system. JSON is a text protocol, so this only holds
+//! because `gmr_json::push_f64` renders shortest-round-trip floats; these
+//! tests pin the whole chain (artifact → registry → HTTP → batcher → VM →
+//! JSON → parse) end to end.
+
+use gmr_bio::{RiverProblem, SimOptions};
+use gmr_core::Gmr;
+use gmr_expr::{CompiledSystem, OptOptions};
+use gmr_gp::GpConfig;
+use gmr_hydro::{generate, SyntheticConfig, NUM_VARS};
+use gmr_json::{push_f64, Value};
+use gmr_serve::batch::{simulate_single, HostedTable, Tables};
+use gmr_serve::server::{http_request, read_response, write_request};
+use gmr_serve::{ModelArtifact, ModelRegistry, Server, ServerConfig, ServerHandle};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn rows(n: usize) -> Vec<[f64; NUM_VARS]> {
+    (0..n)
+        .map(|t| {
+            let mut r = [0.0; NUM_VARS];
+            for (j, cell) in r.iter_mut().enumerate() {
+                *cell = ((t * 11 + j * 5) as f64 * 0.07).sin().abs() * 25.0 + 0.2;
+            }
+            r
+        })
+        .collect()
+}
+
+fn start(
+    table_days: usize,
+    tweak: impl FnOnce(&mut ServerConfig),
+) -> (ServerHandle, Vec<[f64; NUM_VARS]>) {
+    let mut registry = ModelRegistry::new();
+    registry.insert(ModelArtifact::builtin_manual()).unwrap();
+    let table = rows(table_days);
+    let mut tables = Tables::new();
+    tables.insert("t", HostedTable::Single(table.clone()));
+    let mut config = ServerConfig {
+        workers: 3,
+        ..ServerConfig::default()
+    };
+    tweak(&mut config);
+    let handle = Server::new(config, registry, tables).start().unwrap();
+    (handle, table)
+}
+
+fn json_series(v: &Value, key: &str) -> Vec<f64> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| panic!("response missing {key}: {v:?}"))
+        .iter()
+        .map(|x| x.as_f64().unwrap())
+        .collect()
+}
+
+fn post_simulate(handle: &ServerHandle, body: &str) -> (u16, Value) {
+    let (status, bytes) =
+        http_request(handle.addr(), "POST", "/simulate", body.as_bytes()).unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+    (
+        status,
+        gmr_json::parse(&text).expect("response must be strict JSON"),
+    )
+}
+
+#[test]
+fn simulate_is_bit_identical_to_in_process_evaluation() {
+    let (handle, table) = start(140, |_| {});
+    let opts = SimOptions::default();
+    let problem = RiverProblem {
+        forcings: table.clone(),
+        observed: vec![0.0; table.len()],
+        opts,
+    };
+    let reg = {
+        let mut r = ModelRegistry::new();
+        r.insert(ModelArtifact::builtin_manual()).unwrap();
+        r
+    };
+    let system = reg.get("table5-manual").unwrap().system.clone();
+    let want_bphy = problem.simulate_compiled(&system);
+    let (_, want_bzoo) = simulate_single(&system, &table, opts.init, opts.dt, opts.state_cap);
+
+    // Via the hosted table.
+    let (status, v) = post_simulate(
+        &handle,
+        r#"{"model": "table5-manual", "forcings_ref": "t"}"#,
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(
+        json_series(&v, "bphy"),
+        want_bphy,
+        "ref-table bphy must be bit-identical"
+    );
+    assert_eq!(json_series(&v, "bzoo"), want_bzoo);
+
+    // And via inline forcings (floats round-tripped through JSON text).
+    let mut body = String::from(r#"{"model": "table5-manual", "forcings": ["#);
+    for (i, row) in table.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push('[');
+        for (j, &x) in row.iter().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            push_f64(&mut body, x);
+        }
+        body.push(']');
+    }
+    body.push_str("]}");
+    let (status, v) = post_simulate(&handle, &body);
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(
+        json_series(&v, "bphy"),
+        want_bphy,
+        "inline bphy must be bit-identical"
+    );
+    assert_eq!(json_series(&v, "bzoo"), want_bzoo);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_same_model_requests_coalesce_and_stay_exact() {
+    let (handle, table) = start(200, |c| {
+        c.batch_window = Duration::from_millis(50);
+        c.workers = 8;
+    });
+    let reg = {
+        let mut r = ModelRegistry::new();
+        r.insert(ModelArtifact::builtin_manual()).unwrap();
+        r
+    };
+    let system = reg.get("table5-manual").unwrap().system.clone();
+    let inits = [
+        (8.0, 1.2),
+        (2.0, 0.3),
+        (12.5, 2.5),
+        (0.5, 0.05),
+        (30.0, 4.0),
+        (5.0, 1.0),
+    ];
+    let addr = handle.addr();
+    let threads: Vec<_> = inits
+        .iter()
+        .map(|&(p, z)| {
+            std::thread::spawn(move || {
+                let body = format!(
+                    r#"{{"model": "table5-manual", "forcings_ref": "t", "init": [{p}, {z}]}}"#
+                );
+                let (status, bytes) =
+                    http_request(addr, "POST", "/simulate", body.as_bytes()).unwrap();
+                (status, String::from_utf8(bytes).unwrap())
+            })
+        })
+        .collect();
+    let mut max_batch = 0u64;
+    for (t, &init) in threads.into_iter().zip(&inits) {
+        let (status, text) = t.join().unwrap();
+        assert_eq!(status, 200, "{text}");
+        let v = gmr_json::parse(&text).unwrap();
+        let want = simulate_single(&system, &table, init, 1.0, 1e9);
+        assert_eq!(
+            json_series(&v, "bphy"),
+            want.0,
+            "init {init:?} diverged under batching"
+        );
+        assert_eq!(json_series(&v, "bzoo"), want.1);
+        max_batch = max_batch.max(v.get("batch").and_then(Value::as_u64).unwrap());
+    }
+    // Six concurrent requests inside a 50 ms window: at least two must
+    // have shared a sweep (each still bit-exact, asserted above).
+    assert!(
+        max_batch >= 2,
+        "no coalescing observed (max batch {max_batch})"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn bad_inputs_get_4xx_and_the_server_stays_healthy() {
+    let (handle, _) = start(30, |_| {});
+    // NaN forcings arrive as JSON null under a strict parser: 400.
+    let (status, v) = post_simulate(
+        &handle,
+        r#"{"model": "table5-manual", "forcings": [[1,2,3,4,null,6,7,8,9,10]]}"#,
+    );
+    assert_eq!(status, 400, "{v:?}");
+    // Wrong arity row: 400.
+    let (status, _) = post_simulate(
+        &handle,
+        r#"{"model": "table5-manual", "forcings": [[1,2]]}"#,
+    );
+    assert_eq!(status, 400);
+    // Unknown model: 404.
+    let (status, _) = post_simulate(&handle, r#"{"model": "nope", "forcings_ref": "t"}"#);
+    assert_eq!(status, 404);
+    // Unknown hosted table: 404.
+    let (status, _) = post_simulate(
+        &handle,
+        r#"{"model": "table5-manual", "forcings_ref": "x"}"#,
+    );
+    assert_eq!(status, 404);
+    // days beyond the table: 400.
+    let (status, _) = post_simulate(
+        &handle,
+        r#"{"model": "table5-manual", "forcings_ref": "t", "days": 4000}"#,
+    );
+    assert_eq!(status, 400);
+    // Garbage body: 400.
+    let (status, bytes) = http_request(handle.addr(), "POST", "/simulate", b"{not json").unwrap();
+    assert_eq!(status, 400);
+    gmr_json::parse(std::str::from_utf8(&bytes).unwrap()).expect("error body is strict JSON");
+    // Unknown endpoint / wrong method.
+    let (status, _) = http_request(handle.addr(), "GET", "/nope", b"").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_request(handle.addr(), "POST", "/healthz", b"").unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = http_request(handle.addr(), "GET", "/simulate", b"").unwrap();
+    assert_eq!(status, 405);
+    // After all of that, a good request still succeeds: nothing poisoned.
+    let (status, v) = post_simulate(
+        &handle,
+        r#"{"model": "table5-manual", "forcings_ref": "t", "mode": "summary"}"#,
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert!(v.get("final").is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn full_connection_queue_sheds_429_and_recovers() {
+    // One worker and a one-slot queue make the shed path deterministic:
+    // park the worker on a silent connection, queue a second, and the
+    // third must be answered 429 at the door — never hung, never dropped.
+    let (handle, _) = start(30, |c| {
+        c.workers = 1;
+        c.conn_queue = 1;
+    });
+    let addr = handle.addr();
+    let holder = TcpStream::connect(addr).unwrap(); // worker parks here
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = TcpStream::connect(addr).unwrap(); // fills the queue
+    std::thread::sleep(Duration::from_millis(150));
+    let mut shed = TcpStream::connect(addr).unwrap(); // must be shed
+    let (status, body) = read_response(&mut BufReader::new(&mut shed)).unwrap();
+    assert_eq!(status, 429, "{}", String::from_utf8_lossy(&body));
+    // Release the worker; the queued connection must then be served.
+    drop(holder);
+    let mut queued_w = queued.try_clone().unwrap();
+    write_request(&mut queued_w, "GET", "/healthz", b"", true).unwrap();
+    let (status, _) = read_response(&mut BufReader::new(queued)).unwrap();
+    assert_eq!(status, 200);
+    // The shed shows up in the metrics.
+    let m = gmr_json::parse(&handle.metrics_json()).unwrap();
+    let shed_total = m.get("serve.shed_total").and_then(Value::as_u64).unwrap();
+    assert!(shed_total >= 1, "shed counter: {shed_total}");
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_work_then_refuses() {
+    let (handle, _) = start(400, |_| {});
+    let addr = handle.addr();
+    let worker = std::thread::spawn(move || {
+        http_request(
+            addr,
+            "POST",
+            "/simulate",
+            br#"{"model": "table5-manual", "forcings_ref": "t"}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    handle.shutdown(); // joins acceptor, workers, batcher
+    let (status, _) = worker
+        .join()
+        .unwrap()
+        .expect("in-flight request must be answered");
+    assert_eq!(status, 200, "drain must not abort in-flight work");
+    // After the drain the port is closed.
+    assert!(http_request(addr, "GET", "/healthz", b"").is_err());
+}
+
+#[test]
+fn introspection_endpoints_are_strict_json() {
+    let (handle, _) = start(30, |_| {});
+    let (status, body) = http_request(handle.addr(), "GET", "/healthz", b"").unwrap();
+    assert_eq!(status, 200);
+    let v = gmr_json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+    let (status, body) = http_request(handle.addr(), "GET", "/models", b"").unwrap();
+    assert_eq!(status, 200);
+    let v = gmr_json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let names: Vec<&str> = v
+        .get("models")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|m| m.get("name").and_then(Value::as_str))
+        .collect();
+    assert_eq!(names, ["table5-manual"]);
+    let _ = post_simulate(
+        &handle,
+        r#"{"model": "table5-manual", "forcings_ref": "t"}"#,
+    );
+    let (status, body) = http_request(handle.addr(), "GET", "/metrics", b"").unwrap();
+    assert_eq!(status, 200);
+    let v = gmr_json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let served = v
+        .get("serve.requests_total")
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(served >= 3, "requests_total: {served}");
+    handle.shutdown();
+}
+
+/// Satellite (b): a *searched* champion — not just the built-in expert
+/// model — survives export → reload → re-lint → recompile with its
+/// trajectories bit-identical to in-process evaluation, both at the
+/// registry level and through the full HTTP path.
+#[test]
+fn champion_export_round_trip_is_bit_identical() {
+    let dataset = generate(&SyntheticConfig {
+        start_year: 1996,
+        end_year: 1998,
+        train_end_year: 1997,
+        ..SyntheticConfig::default()
+    });
+    let gmr = Gmr::new(&dataset);
+    let gp = GpConfig {
+        pop_size: 10,
+        max_gen: 2,
+        local_search_steps: 1,
+        threads: 1,
+        seed: 17,
+        ..GpConfig::default()
+    };
+    let result = gmr.run_with_lint(&gp, false);
+    let artifact = ModelArtifact::from_gmr("champion", &result, gp.seed);
+    assert_eq!(artifact.provenance.source, "search");
+    assert_eq!(artifact.provenance.fitness, result.report.best.fitness);
+
+    // Disk round trip.
+    let dir = std::env::temp_dir().join(format!("gmr-serve-champ-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("champion.json");
+    artifact.save(&path).unwrap();
+    let reloaded = ModelArtifact::load(&path).unwrap();
+    assert_eq!(reloaded, artifact, "artifact must round-trip exactly");
+
+    // Registry admission (re-parse + lint + recompile) of the reloaded
+    // artifact, vs compiling the champion equations in-process.
+    let mut registry = ModelRegistry::new();
+    registry.insert(reloaded).unwrap();
+    let served = registry.get("champion").unwrap();
+    let inproc =
+        CompiledSystem::compile_checked(&result.equations, NUM_VARS, 2, OptOptions::full())
+            .unwrap();
+    let want = gmr.train.simulate_compiled(&inproc);
+    let got = gmr.train.simulate_compiled(&served.system);
+    assert_eq!(
+        got, want,
+        "reloaded champion must reproduce training trajectories bitwise"
+    );
+
+    // And through the server: inline forcings (the training split's rows,
+    // round-tripped through JSON) with the problem's own init must come
+    // back bit-identical to simulate_compiled.
+    let mut tables = Tables::new();
+    tables.insert("train", HostedTable::Single(gmr.train.forcings.clone()));
+    let handle = Server::new(ServerConfig::default(), registry, tables)
+        .start()
+        .unwrap();
+    let opts = gmr.train.opts;
+    let mut body = r#"{"model": "champion", "forcings_ref": "train", "init": ["#.to_string();
+    push_f64(&mut body, opts.init.0);
+    body.push_str(", ");
+    push_f64(&mut body, opts.init.1);
+    body.push_str("], \"dt\": ");
+    push_f64(&mut body, opts.dt);
+    body.push_str(", \"state_cap\": ");
+    push_f64(&mut body, opts.state_cap);
+    body.push('}');
+    let (status, bytes) =
+        http_request(handle.addr(), "POST", "/simulate", body.as_bytes()).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+    let v = gmr_json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    assert_eq!(
+        json_series(&v, "bphy"),
+        want,
+        "served champion trajectories must be bit-identical to in-process evaluation"
+    );
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
