@@ -6,6 +6,21 @@ set -eu
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> unsafe blocks carry SAFETY comments"
+# Every `unsafe` in source must have a `SAFETY` comment within the 12
+# preceding lines (block comments count once, at their first line).
+find crates -name '*.rs' -path '*/src/*' -exec awk '
+    FNR == 1 { last = -100 }
+    /SAFETY/ { last = FNR }
+    /unsafe (impl|fn)|unsafe \{/ {
+        if (FNR - last > 12) {
+            printf "%s:%d: unsafe without a SAFETY comment\n", FILENAME, FNR
+            bad = 1
+        }
+    }
+    END { exit bad }
+' {} + || { echo "FAIL: undocumented unsafe"; exit 1; }
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -20,6 +35,15 @@ cargo test -q -p gmr-gp --no-default-features --test determinism --test obsv_det
 
 echo "==> gmr-lint --builtin (zero errors required)"
 cargo run --release -q -p gmr-lint -- --builtin
+
+echo "==> gmr-lint --bytecode (abstract interpretation + unsafe-bounds proof)"
+cargo run --release -q -p gmr-lint -- --builtin --bytecode --json \
+    --safety-out SAFETY_bytecode.json > LINT_bytecode.json
+diff -u results/SAFETY_bytecode.json SAFETY_bytecode.json || {
+    echo "FAIL: SafetyReport drifted from the committed baseline"
+    echo "      (review and copy SAFETY_bytecode.json to results/ if intended)"
+    exit 1
+}
 
 echo "==> bench_engine smoke (determinism + speedup + obsv overhead gates)"
 cargo run --release -q -p gmr-bench --bin bench_engine -- --quick --out BENCH_engine.json --journal BENCH_engine.jsonl
@@ -42,6 +66,8 @@ echo "==> gmr-serve smoke (artifact load, concurrent requests, SIGTERM drain)"
 rm -rf smoke-serve
 mkdir -p smoke-serve/artifacts
 ./target/release/gmr-serve export --out smoke-serve/artifacts/table5.json
+echo "==> gmr-lint --bytecode over the exported artifact"
+./target/release/gmr-lint --artifact smoke-serve/artifacts/table5.json --bytecode
 ./target/release/gmr-serve serve --no-builtin --artifacts smoke-serve/artifacts \
     --days 1461 --port-file smoke-serve/port --journal smoke-serve/journal.jsonl &
 SERVE_PID=$!

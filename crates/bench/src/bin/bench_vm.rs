@@ -385,6 +385,32 @@ fn main() {
         p.num_cases(),
         models.len()
     );
+
+    // Verify every benched model's bytecode before timing it: an unsound
+    // pipeline would make the speedup numbers meaningless, so Error-level
+    // abstract-interpretation findings (or an unproved register bound) are
+    // a hard failure, same gate the serving registry applies.
+    let env = gmr_lint::IntervalEnv::river();
+    for m in &models {
+        for opts in [
+            OptOptions::register(),
+            OptOptions::fused(),
+            OptOptions::full(),
+        ] {
+            let sys = CompiledSystem::compile_checked(&m.eqs, 10, 2, opts)
+                .unwrap_or_else(|e| panic!("{}: does not compile: {e:?}", m.name));
+            let analysis = gmr_lint::analyze_system(&sys, &env, m.name);
+            if !analysis.report.is_clean() || !analysis.safety.proved() {
+                eprintln!(
+                    "FAIL: {} refused by bytecode verification:\n{}",
+                    m.name,
+                    analysis.report.render_human()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("bench_vm: bytecode verification clean for all models/tiers");
     let results: Vec<ModelResult> = models
         .iter()
         .map(|m| {

@@ -130,7 +130,11 @@ impl Gmr {
     /// One GMR run. With `lint_elite`, each generation's elite phenotypes
     /// pass through the `gmr-lint` battery under the revision policy — a
     /// tripwire for search-layer bugs (a mutated constant escaping its
-    /// Table III prior, a lexeme that should never have grounded); an
+    /// Table III prior, a lexeme that should never have grounded) — and the
+    /// elite's *compiled bytecode* through the abstract interpreter
+    /// (`gmr_lint::analyze_system`), so a miscompilation the pipeline's own
+    /// debug asserts miss (an unprovable register bound, a state load
+    /// hoisted into the prefix) is caught at the generation it appears; an
     /// `Error`-level finding panics.
     pub fn run_with_lint(&self, gp: &GpConfig, lint_elite: bool) -> GmrResult {
         let evaluator = RiverEvaluator::new(self.train.clone());
@@ -148,6 +152,21 @@ impl Gmr {
                     report.is_clean(),
                     "generation {gen}: elite phenotype fails static analysis:\n{}",
                     report.render_human()
+                );
+                let n_vars = linter.intervals.vars.len();
+                let n_states = linter.intervals.states.len();
+                let sys = gmr_expr::CompiledSystem::compile_checked(
+                    eqs,
+                    n_vars,
+                    n_states,
+                    gmr_expr::OptOptions::full(),
+                )
+                .unwrap_or_else(|e| panic!("generation {gen}: elite does not compile: {e:?}"));
+                let analysis = gmr_lint::analyze_system(&sys, &linter.intervals, "elite");
+                assert!(
+                    analysis.report.is_clean() && analysis.safety.proved(),
+                    "generation {gen}: elite bytecode fails verification:\n{}",
+                    analysis.report.render_human()
                 );
             });
         }

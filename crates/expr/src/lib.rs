@@ -48,4 +48,7 @@ pub use eval::{protected_div, protected_exp, protected_log, EvalContext};
 pub use hash::TreeKey;
 pub use parse::{parse, ParseError};
 pub use simplify::simplify;
-pub use vm::{CompiledSystem, MultiSession, OptOptions, SystemScratch, SystemSession, LANES};
+pub use vm::{
+    CompiledSystem, MultiSession, OptOptions, RInstr, RegProgram, SystemScratch, SystemSession,
+    LANES,
+};

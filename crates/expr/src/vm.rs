@@ -164,6 +164,59 @@ impl RInstr {
             | RInstr::MulAdd { dst, .. } => *dst = r,
         }
     }
+
+    /// The destination register this instruction writes.
+    pub fn dst(&self) -> u16 {
+        match *self {
+            RInstr::LoadVar { dst, .. }
+            | RInstr::LoadState { dst, .. }
+            | RInstr::Un { dst, .. }
+            | RInstr::Bin { dst, .. }
+            | RInstr::VarBinL { dst, .. }
+            | RInstr::VarBinR { dst, .. }
+            | RInstr::ConstBinL { dst, .. }
+            | RInstr::ConstBinR { dst, .. }
+            | RInstr::MulAdd { dst, .. } => dst,
+        }
+    }
+
+    /// Visit every register this instruction *reads* (not the destination,
+    /// not the forcing/state indices). The visit order matches operand
+    /// order, so analyses over it are deterministic.
+    pub fn reads(&self, mut f: impl FnMut(u16)) {
+        match *self {
+            RInstr::LoadVar { .. } | RInstr::LoadState { .. } => {}
+            RInstr::Un { a, .. } | RInstr::VarBinR { a, .. } | RInstr::ConstBinR { a, .. } => f(a),
+            RInstr::VarBinL { b, .. } | RInstr::ConstBinL { b, .. } => f(b),
+            RInstr::Bin { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            RInstr::MulAdd { a, b, c, .. } => {
+                f(a);
+                f(b);
+                f(c);
+            }
+        }
+    }
+
+    /// The forcing-variable (`vars`) index this instruction reads, if any.
+    pub fn var_index(&self) -> Option<u8> {
+        match *self {
+            RInstr::LoadVar { idx, .. }
+            | RInstr::VarBinL { idx, .. }
+            | RInstr::VarBinR { idx, .. } => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// The state-vector index this instruction reads, if any.
+    pub fn state_index(&self) -> Option<u8> {
+        match *self {
+            RInstr::LoadState { idx, .. } => Some(idx),
+            _ => None,
+        }
+    }
 }
 
 /// A linear register program. Register-file layout:
@@ -225,56 +278,159 @@ impl RegProgram {
         &self.code
     }
 
-    /// Check every register operand against the file size once at
-    /// construction, so the unchecked register accesses in the
-    /// interpreters below are in bounds for any scratch buffer of
-    /// `n_regs` (or `n_regs * LANES`) length.
-    fn validate(&self) {
+    /// Values of the pinned constant registers `[0 .. consts.len())`.
+    pub fn consts(&self) -> &[f64] {
+        &self.consts
+    }
+
+    /// Width of the pinned prefix-row window (`[consts.len() ..
+    /// consts.len() + n_pre)`); non-zero only for core programs of a
+    /// split-tier system.
+    pub fn n_pre(&self) -> usize {
+        self.n_pre as usize
+    }
+
+    /// Registers holding the program's outputs after a run.
+    pub fn outputs(&self) -> &[u16] {
+        &self.outputs
+    }
+
+    /// Minimum `vars` slice length any instruction reads.
+    pub fn needs_vars(&self) -> usize {
+        self.needs_vars
+    }
+
+    /// Minimum `state` slice length any instruction reads.
+    pub fn needs_states(&self) -> usize {
+        self.needs_states
+    }
+
+    /// Check every register operand against the file size — the machine
+    /// argument behind the unchecked register accesses in the interpreters
+    /// below: once this passes, every access is in bounds for any scratch
+    /// buffer of `n_regs` (or `n_regs * LANES`) length. Returns the first
+    /// violation as an error string; [`validate`](Self::validate) panics on
+    /// it at construction time, and `lint::absint` re-proves the same facts
+    /// independently over the public accessors.
+    pub fn check(&self) -> Result<(), String> {
         let n = self.n_regs;
         let base = self.consts.len() as u16 + self.n_pre;
-        let ck = |r: u16| assert!(r < n, "register {r} out of file of {n}");
-        let ckd = |r: u16| {
-            ck(r);
-            assert!(r >= base, "write into pinned region");
+        let ck = |r: u16| {
+            if r < n {
+                Ok(())
+            } else {
+                Err(format!("register {r} out of file of {n}"))
+            }
         };
-        for ins in &self.code {
-            match *ins {
-                RInstr::LoadVar { dst, .. } | RInstr::LoadState { dst, .. } => ckd(dst),
-                RInstr::Un { dst, a, .. } => {
-                    ckd(dst);
-                    ck(a);
+        let ckd = |r: u16| {
+            ck(r)?;
+            if r >= base {
+                Ok(())
+            } else {
+                Err(format!(
+                    "write into pinned register {r} (pinned base {base})"
+                ))
+            }
+        };
+        for (i, ins) in self.code.iter().enumerate() {
+            ckd(ins.dst()).map_err(|e| format!("instruction {i}: {e}"))?;
+            let mut err = None;
+            ins.reads(|r| {
+                if err.is_none() {
+                    err = ck(r).err();
                 }
-                RInstr::Bin { dst, a, b, .. } => {
-                    ckd(dst);
-                    ck(a);
-                    ck(b);
-                }
-                RInstr::VarBinL { dst, b, .. } => {
-                    ckd(dst);
-                    ck(b);
-                }
-                RInstr::VarBinR { dst, a, .. } => {
-                    ckd(dst);
-                    ck(a);
-                }
-                RInstr::ConstBinL { dst, b, .. } => {
-                    ckd(dst);
-                    ck(b);
-                }
-                RInstr::ConstBinR { dst, a, .. } => {
-                    ckd(dst);
-                    ck(a);
-                }
-                RInstr::MulAdd { dst, a, b, c } => {
-                    ckd(dst);
-                    ck(a);
-                    ck(b);
-                    ck(c);
-                }
+            });
+            if let Some(e) = err {
+                return Err(format!("instruction {i}: {e}"));
             }
         }
         for &o in &self.outputs {
-            ck(o);
+            ck(o).map_err(|e| format!("output {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Panicking [`check`](Self::check), run once at construction.
+    fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("invalid register program: {e}");
+        }
+    }
+
+    /// Indices of instructions whose destination is never observed — not
+    /// read by a later instruction before being overwritten, and not an
+    /// output register at program end. Computed by a backward liveness
+    /// sweep over the register file; the emitter and fusion passes should
+    /// never produce such code, and [`allocate`] runs
+    /// [`eliminate_dead`](Self::eliminate_dead) so a finished program has
+    /// none — `lint::absint` independently verifies that.
+    pub fn dead_instructions(&self) -> Vec<usize> {
+        let mut live = vec![false; self.n_regs as usize];
+        for &o in &self.outputs {
+            if let Some(slot) = live.get_mut(o as usize) {
+                *slot = true;
+            }
+        }
+        let mut dead = Vec::new();
+        for (i, ins) in self.code.iter().enumerate().rev() {
+            let dst = ins.dst() as usize;
+            if dst < live.len() && live[dst] {
+                live[dst] = false; // killed by this write
+                ins.reads(|r| {
+                    if let Some(slot) = live.get_mut(r as usize) {
+                        *slot = true;
+                    }
+                });
+            } else {
+                dead.push(i);
+            }
+        }
+        dead.reverse();
+        dead
+    }
+
+    /// Remove every dead instruction (see
+    /// [`dead_instructions`](Self::dead_instructions)); returns how many
+    /// were removed. Register assignments stay valid: deleting a write
+    /// nobody observes cannot change any observed register value.
+    fn eliminate_dead(&mut self) -> usize {
+        let dead = self.dead_instructions();
+        if dead.is_empty() {
+            return 0;
+        }
+        let mut keep = vec![true; self.code.len()];
+        for &i in &dead {
+            keep[i] = false;
+        }
+        let mut it = keep.iter();
+        self.code.retain(|_| *it.next().expect("keep mask length"));
+        dead.len()
+    }
+
+    /// Construct a program directly from its parts, **bypassing**
+    /// [`check`](Self::check). Exists so static-analysis tests can build
+    /// deliberately corrupted programs (out-of-bounds registers, state
+    /// loads in a prefix) and prove the analyzer refuses them. Running a
+    /// program that fails `check()` through the interpreters is undefined
+    /// behaviour — never run one, only analyze it.
+    #[doc(hidden)]
+    pub fn from_raw_unchecked(
+        code: Vec<RInstr>,
+        consts: Vec<f64>,
+        n_pre: u16,
+        n_regs: u16,
+        outputs: Vec<u16>,
+        needs_vars: usize,
+        needs_states: usize,
+    ) -> RegProgram {
+        RegProgram {
+            code,
+            consts,
+            n_pre,
+            n_regs,
+            outputs,
+            needs_vars,
+            needs_states,
         }
     }
 
@@ -436,6 +592,8 @@ impl RegProgram {
                 RInstr::MulAdd { dst, a, b, c } => {
                     let (d, a, b, c) = (off(dst), off(a), off(b), off(c));
                     for l in 0..m {
+                        // SAFETY: stripe offsets of validated registers
+                        // plus `l < m <= LANES`; see the function header.
                         unsafe {
                             let av = *regs.get_unchecked(a + l);
                             let bv = *regs.get_unchecked(b + l);
@@ -560,6 +718,8 @@ impl RegProgram {
                 RInstr::MulAdd { dst, a, b, c } => {
                     let (d, a, b, c) = (off(dst), off(a), off(b), off(c));
                     for l in 0..m {
+                        // SAFETY: stripe offsets of validated registers
+                        // plus `l < m <= LANES`; see the function header.
                         unsafe {
                             let av = *regs.get_unchecked(a + l);
                             let bv = *regs.get_unchecked(b + l);
@@ -586,6 +746,7 @@ impl RegProgram {
 #[inline(always)]
 fn k_un(f: impl Fn(f64) -> f64, regs: &mut [f64], d: usize, a: usize, m: usize) {
     for l in 0..m {
+        // SAFETY: see the shared argument above.
         unsafe {
             let av = *regs.get_unchecked(a + l);
             *regs.get_unchecked_mut(d + l) = f(av);
@@ -596,6 +757,7 @@ fn k_un(f: impl Fn(f64) -> f64, regs: &mut [f64], d: usize, a: usize, m: usize) 
 #[inline(always)]
 fn k_bin(f: impl Fn(f64, f64) -> f64, regs: &mut [f64], d: usize, a: usize, b: usize, m: usize) {
     for l in 0..m {
+        // SAFETY: see the shared argument above.
         unsafe {
             let av = *regs.get_unchecked(a + l);
             let bv = *regs.get_unchecked(b + l);
@@ -607,6 +769,7 @@ fn k_bin(f: impl Fn(f64, f64) -> f64, regs: &mut [f64], d: usize, a: usize, b: u
 #[inline(always)]
 fn k_bin_cl(f: impl Fn(f64, f64) -> f64, regs: &mut [f64], d: usize, c: f64, b: usize, m: usize) {
     for l in 0..m {
+        // SAFETY: see the shared argument above.
         unsafe {
             let bv = *regs.get_unchecked(b + l);
             *regs.get_unchecked_mut(d + l) = f(c, bv);
@@ -617,6 +780,7 @@ fn k_bin_cl(f: impl Fn(f64, f64) -> f64, regs: &mut [f64], d: usize, c: f64, b: 
 #[inline(always)]
 fn k_bin_cr(f: impl Fn(f64, f64) -> f64, regs: &mut [f64], d: usize, a: usize, c: f64, m: usize) {
     for l in 0..m {
+        // SAFETY: see the shared argument above.
         unsafe {
             let av = *regs.get_unchecked(a + l);
             *regs.get_unchecked_mut(d + l) = f(av, c);
@@ -1196,7 +1360,7 @@ fn allocate(code: &[VIns], outputs: &[VR], dag: &Dag, n_pre: u16) -> RegProgram 
         .iter()
         .map(|&c| dag.cnum(c).expect("const node"))
         .collect();
-    let prog = RegProgram {
+    let mut prog = RegProgram {
         code: out_code,
         consts,
         n_pre,
@@ -1205,6 +1369,13 @@ fn allocate(code: &[VIns], outputs: &[VR], dag: &Dag, n_pre: u16) -> RegProgram 
         needs_vars,
         needs_states,
     };
+    // Verified DCE: the demand-driven emitter and the fusion peephole
+    // should leave nothing dead (fusion retires orphaned definitions
+    // itself), so this sweep is a guarantee, not an optimization — and
+    // `lint::absint` re-runs the same liveness analysis independently to
+    // prove the guarantee held.
+    let removed = prog.eliminate_dead();
+    debug_assert_eq!(removed, 0, "emitter produced {removed} dead instruction(s)");
     prog.validate();
     prog
 }
@@ -1338,7 +1509,79 @@ impl CompiledSystem {
         for eq in eqs {
             check_arity(eq, n_vars, n_states)?;
         }
-        Ok(CompiledSystem::compile(eqs, opts))
+        let sys = CompiledSystem::compile(eqs, opts);
+        #[cfg(debug_assertions)]
+        if let Err(e) = sys.self_check() {
+            panic!("compile_checked: structural self-check failed: {e}");
+        }
+        Ok(sys)
+    }
+
+    /// Structural invariants every compilation must satisfy, checked
+    /// without running anything: both programs pass
+    /// [`RegProgram::check`], the prefix is genuinely state-independent
+    /// (no `LoadState`, zero state arity, no pinned window of its own),
+    /// its output count matches the core's pinned window width, the core
+    /// produces one output per equation, and neither program carries dead
+    /// instructions. `compile_checked` debug-asserts this; `lint::absint`
+    /// proves the same facts (and more) for artifacts crossing a trust
+    /// boundary.
+    pub fn self_check(&self) -> Result<(), String> {
+        self.prefix.check().map_err(|e| format!("prefix: {e}"))?;
+        self.core.check().map_err(|e| format!("core: {e}"))?;
+        if self.prefix.n_pre != 0 {
+            return Err("prefix program has a pinned prefix window".into());
+        }
+        if self.prefix.needs_states != 0 {
+            return Err("prefix program declares a state arity".into());
+        }
+        if let Some(i) = self
+            .prefix
+            .code
+            .iter()
+            .position(|ins| ins.state_index().is_some())
+        {
+            return Err(format!("prefix instruction {i} loads a state variable"));
+        }
+        if self.prefix.outputs.len() != self.core.n_pre as usize {
+            return Err(format!(
+                "prefix produces {} value(s) but the core window is {} wide",
+                self.prefix.outputs.len(),
+                self.core.n_pre
+            ));
+        }
+        if self.core.outputs.len() != self.n_eqs {
+            return Err(format!(
+                "core produces {} output(s) for {} equation(s)",
+                self.core.outputs.len(),
+                self.n_eqs
+            ));
+        }
+        let dead = self.prefix.dead_instructions().len() + self.core.dead_instructions().len();
+        if dead != 0 {
+            return Err(format!("{dead} dead instruction(s) survived DCE"));
+        }
+        Ok(())
+    }
+
+    /// Assemble a system directly from pre-built programs, **bypassing**
+    /// every pipeline check. For static-analysis tests that need a
+    /// deliberately corrupted [`CompiledSystem`] (see
+    /// [`RegProgram::from_raw_unchecked`]); such a system must only ever
+    /// be analyzed, never evaluated.
+    #[doc(hidden)]
+    pub fn from_raw_parts(
+        prefix: RegProgram,
+        core: RegProgram,
+        n_eqs: usize,
+        opts: OptOptions,
+    ) -> CompiledSystem {
+        CompiledSystem {
+            prefix,
+            core,
+            n_eqs,
+            opts,
+        }
     }
 
     /// Number of equations (= outputs per step).
@@ -1995,6 +2238,97 @@ mod tests {
         assert!(
             CompiledSystem::compile_checked(&sample_system(), 2, 2, OptOptions::full()).is_ok()
         );
+    }
+
+    #[test]
+    fn compiled_systems_pass_self_check_with_no_dead_code() {
+        let eqs = sample_system();
+        for tier in TIERS {
+            let sys = CompiledSystem::compile(&eqs, tier());
+            sys.self_check()
+                .unwrap_or_else(|e| panic!("{:?}: {e}", tier()));
+            assert!(sys.core().dead_instructions().is_empty());
+            assert!(sys.prefix().dead_instructions().is_empty());
+        }
+    }
+
+    #[test]
+    fn check_rejects_raw_corruption() {
+        // Out-of-bounds read register.
+        let oob = RegProgram::from_raw_unchecked(
+            vec![RInstr::Un {
+                op: UnOp::Neg,
+                dst: 1,
+                a: 9,
+            }],
+            vec![],
+            0,
+            2,
+            vec![1],
+            0,
+            0,
+        );
+        assert!(oob.check().unwrap_err().contains("register 9"));
+        // Write into the pinned constant region.
+        let pinned = RegProgram::from_raw_unchecked(
+            vec![RInstr::LoadVar { dst: 0, idx: 0 }],
+            vec![1.0],
+            0,
+            2,
+            vec![0],
+            1,
+            0,
+        );
+        assert!(pinned.check().unwrap_err().contains("pinned"));
+    }
+
+    #[test]
+    fn dead_instruction_detection_and_elimination() {
+        // r1 = vars[0] (dead: overwritten before any read), r1 = state[0].
+        let mut prog = RegProgram::from_raw_unchecked(
+            vec![
+                RInstr::LoadVar { dst: 1, idx: 0 },
+                RInstr::LoadState { dst: 1, idx: 0 },
+            ],
+            vec![0.5],
+            0,
+            2,
+            vec![1],
+            1,
+            1,
+        );
+        assert_eq!(prog.dead_instructions(), vec![0]);
+        assert_eq!(prog.eliminate_dead(), 1);
+        assert_eq!(prog.len(), 1);
+        assert!(prog.dead_instructions().is_empty());
+    }
+
+    #[test]
+    fn self_check_catches_state_load_in_prefix() {
+        let eqs = sample_system();
+        let sys = CompiledSystem::compile(&eqs, OptOptions::full());
+        assert!(sys.n_pre() > 0);
+        // Graft a LoadState into the (state-independent) prefix program.
+        let mut code = sys.prefix().instructions().to_vec();
+        let dst = code.last().expect("prefix has instructions").dst();
+        code.push(RInstr::LoadState { dst, idx: 0 });
+        let corrupt_prefix = RegProgram::from_raw_unchecked(
+            code,
+            sys.prefix().consts().to_vec(),
+            0,
+            sys.prefix().n_regs() as u16,
+            sys.prefix().outputs().to_vec(),
+            sys.prefix().needs_vars(),
+            0,
+        );
+        let corrupt = CompiledSystem::from_raw_parts(
+            corrupt_prefix,
+            sys.core().clone(),
+            sys.n_eqs(),
+            sys.options(),
+        );
+        let err = corrupt.self_check().unwrap_err();
+        assert!(err.contains("state"), "{err}");
     }
 
     #[test]

@@ -118,7 +118,13 @@ impl PoolStats {
 #[derive(Clone, Copy)]
 struct TaskPtr(*const (dyn Fn(usize) + Sync));
 
+// SAFETY: the raw pointer is only a capability token — workers never use it
+// without first winning an epoch-checked claim (`claim_chunk`), and
+// `run_round` borrows the closure for the whole round, so every dereference
+// happens while the pointee is alive; the pointee itself is `Sync`, so
+// concurrent `&`-calls from several workers are sound.
 unsafe impl Send for TaskPtr {}
+// SAFETY: as above — shared access is `&dyn Fn(usize) + Sync`.
 unsafe impl Sync for TaskPtr {}
 
 /// Round descriptor, updated under [`Shared::slot`]'s lock.
@@ -192,6 +198,10 @@ impl Shared {
         let mut claims_this_round = 0u64;
         while let Some((start, end)) = self.claim_chunk(epoch, len, chunk) {
             claims_this_round += 1;
+            // SAFETY: a successful `claim_chunk` for `epoch` proves this
+            // round is still in flight, and the coordinator keeps the
+            // borrowed closure behind `task` alive until `completed == len`
+            // — which cannot happen before this chunk is accounted for.
             let f = unsafe { &*task.0 };
             let ran = catch_unwind(AssertUnwindSafe(|| {
                 for i in start..end {
@@ -312,9 +322,13 @@ impl<'s> EvalPool<'s> {
     /// processed; panics from worker tasks are re-raised here.
     pub fn for_each_mut<T: Send>(&self, items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
         let base = items.as_mut_ptr() as usize;
-        // Each index is claimed exactly once, so the per-index &mut aliases
-        // nothing. `base` travels as usize to keep the closure Sync.
         let task = move |i: usize| {
+            // SAFETY: `i < items.len()` (claim indices come from the round's
+            // `len`, which is `items.len()`), and each index is claimed
+            // exactly once per round, so this `&mut` aliases neither another
+            // task's element nor the caller's slice borrow, which
+            // `run_round` holds inactive until the round completes. `base`
+            // travels as usize only to keep the closure `Sync`.
             let item = unsafe { &mut *(base as *mut T).add(i) };
             f(i, item);
         };
@@ -358,6 +372,12 @@ impl<'s> EvalPool<'s> {
         let round_t0 = Instant::now();
 
         let chunk = self.chunk_for(len);
+        // SAFETY: lifetime erasure only — the fat pointer is bit-identical
+        // to the borrow it came from. The borrow of `task` outlives every
+        // use: this function publishes the pointer, then blocks in
+        // `drain_round`/`done_cv` until all `len` indices complete, and the
+        // next round's epoch bump invalidates any late claim before a stale
+        // dereference could occur.
         let ptr = TaskPtr(unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(task)
         });

@@ -48,6 +48,16 @@ pub enum Location {
     Tree(String),
     /// A grammar symbol, by name.
     Symbol(String),
+    /// A register-bytecode instruction: which program of a
+    /// [`CompiledSystem`](gmr_expr::CompiledSystem) (`"core"` or
+    /// `"prefix"`), and the instruction index when the finding points at
+    /// one instruction rather than the program as a whole.
+    Instr {
+        /// Program name (`"core"` / `"prefix"`).
+        program: &'static str,
+        /// Instruction index, when applicable.
+        index: Option<usize>,
+    },
     /// No finer location.
     Global,
 }
@@ -64,6 +74,10 @@ impl fmt::Display for Location {
             }
             Location::Tree(name) => write!(f, "tree '{name}'"),
             Location::Symbol(name) => write!(f, "symbol '{name}'"),
+            Location::Instr { program, index } => match index {
+                Some(i) => write!(f, "{program}[{i}]"),
+                None => write!(f, "{program}"),
+            },
             Location::Global => write!(f, "<global>"),
         }
     }
@@ -116,22 +130,6 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 impl Report {
     /// Empty report.
     pub fn new() -> Self {
@@ -181,9 +179,12 @@ impl Report {
     }
 
     /// Machine-readable rendering: a JSON object with per-severity counts
-    /// and the full diagnostic list. Hand-rolled (stable key order, no
-    /// external dependencies).
+    /// and the full diagnostic list. Escaping goes through the shared
+    /// [`gmr_json`] emitter (the same one the artifact and serving layers
+    /// use), so the output strictly re-parses with [`gmr_json::parse`];
+    /// key order is fixed for byte-stable diffs.
     pub fn render_json(&self) -> String {
+        use gmr_json::push_escaped;
         let mut out = String::from("{");
         out.push_str(&format!(
             "\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[",
@@ -195,13 +196,15 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "{{\"severity\":\"{}\",\"rule\":\"{}\",\"location\":\"{}\",\"message\":\"{}\"}}",
-                d.severity,
-                json_escape(d.rule),
-                json_escape(&d.location.to_string()),
-                json_escape(&d.message),
-            ));
+            out.push_str("{\"severity\":");
+            push_escaped(&mut out, &d.severity.to_string());
+            out.push_str(",\"rule\":");
+            push_escaped(&mut out, d.rule);
+            out.push_str(",\"location\":");
+            push_escaped(&mut out, &d.location.to_string());
+            out.push_str(",\"message\":");
+            push_escaped(&mut out, &d.message);
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -274,5 +277,34 @@ mod tests {
         ));
         let json = r.render_json();
         assert!(json.contains("a \\\"quoted\\\"\\nline"));
+    }
+
+    #[test]
+    fn json_rendering_reparses_strictly() {
+        let mut r = sample();
+        r.push(Diagnostic::new(
+            Severity::Info,
+            "x",
+            Location::Instr {
+                program: "core",
+                index: Some(3),
+            },
+            "control chars \u{1} and a \"quote\"",
+        ));
+        let v = gmr_json::parse(&r.render_json()).expect("lint JSON re-parses strictly");
+        assert_eq!(v.get("errors").and_then(|n| n.as_u64()), Some(1));
+        let diags = v
+            .get("diagnostics")
+            .and_then(|d| d.as_arr())
+            .expect("diagnostics array");
+        assert_eq!(diags.len(), 3);
+        assert_eq!(
+            diags[2].get("location").and_then(|l| l.as_str()),
+            Some("core[3]")
+        );
+        assert_eq!(
+            diags[2].get("message").and_then(|m| m.as_str()),
+            Some("control chars \u{1} and a \"quote\"")
+        );
     }
 }

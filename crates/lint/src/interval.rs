@@ -38,6 +38,9 @@ pub struct Interval {
     pub hi: f64,
 }
 
+// Not `std::ops`: these are outward-widened interval transfers, not exact
+// arithmetic, and operator sugar would hide that every call loosens bounds.
+#[allow(clippy::should_implement_trait)]
 impl Interval {
     /// Construct `[lo, hi]`; the bounds are reordered if reversed.
     pub fn new(lo: f64, hi: f64) -> Interval {
@@ -68,19 +71,23 @@ impl Interval {
         }
     }
 
-    fn add(self, o: Interval) -> Interval {
+    /// Interval sum (outward-widened).
+    pub fn add(self, o: Interval) -> Interval {
         Interval::new(self.lo + o.lo, self.hi + o.hi).widen()
     }
 
-    fn sub(self, o: Interval) -> Interval {
+    /// Interval difference (outward-widened).
+    pub fn sub(self, o: Interval) -> Interval {
         Interval::new(self.lo - o.hi, self.hi - o.lo).widen()
     }
 
-    fn neg(self) -> Interval {
+    /// Interval negation (exact).
+    pub fn neg(self) -> Interval {
         Interval::new(-self.hi, -self.lo)
     }
 
-    fn mul(self, o: Interval) -> Interval {
+    /// Interval product: hull of the four corner products, widened.
+    pub fn mul(self, o: Interval) -> Interval {
         let c = [
             self.lo * o.lo,
             self.lo * o.hi,
@@ -92,17 +99,19 @@ impl Interval {
         Interval::new(lo, hi).widen()
     }
 
-    fn min(self, o: Interval) -> Interval {
+    /// Pointwise minimum (outward-widened).
+    pub fn min(self, o: Interval) -> Interval {
         Interval::new(self.lo.min(o.lo), self.hi.min(o.hi)).widen()
     }
 
-    fn max(self, o: Interval) -> Interval {
+    /// Pointwise maximum (outward-widened).
+    pub fn max(self, o: Interval) -> Interval {
         Interval::new(self.lo.max(o.lo), self.hi.max(o.hi)).widen()
     }
 
     /// Does the denominator interval intersect the protected region
     /// `[-DIV_EPS, DIV_EPS]` that the evaluator maps to zero?
-    fn straddles_protected_zero(&self) -> bool {
+    pub fn straddles_protected_zero(&self) -> bool {
         self.lo <= DIV_EPS && self.hi >= -DIV_EPS
     }
 
@@ -110,7 +119,7 @@ impl Interval {
     /// inside `[-ε, ε]` yield exactly 0, so the result is the hull of the
     /// ordinary quotient over the non-protected part plus `{0}` when the
     /// protected region is hit.
-    fn div(self, o: Interval) -> Interval {
+    pub fn div(self, o: Interval) -> Interval {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         let mut cover = |d: Interval| {
@@ -142,7 +151,7 @@ impl Interval {
     }
 
     /// Protected logarithm: `ln(max(|x|, ε))`, monotone in `|x|`.
-    fn log(self) -> Interval {
+    pub fn log(self) -> Interval {
         let abs_hi = self.lo.abs().max(self.hi.abs());
         let abs_lo = if self.contains(0.0) {
             0.0
@@ -153,13 +162,13 @@ impl Interval {
     }
 
     /// Protected exponential: `exp(clamp(x, ±EXP_CLAMP))`.
-    fn exp(self) -> Interval {
+    pub fn exp(self) -> Interval {
         let clamp = |v: f64| v.clamp(-EXP_CLAMP, EXP_CLAMP);
         Interval::new(clamp(self.lo).exp(), clamp(self.hi).exp()).widen()
     }
 
     /// Protected power: `exp(y · ln(max(|x|, ε)))` per `protected_pow`.
-    fn pow(self, e: Interval) -> Interval {
+    pub fn pow(self, e: Interval) -> Interval {
         self.log().mul(e).exp()
     }
 }

@@ -17,12 +17,20 @@
 //! * [`interval`] — **numeric-domain lints**: interval analysis over the
 //!   protected evaluation semantics, flagging divisions whose denominator
 //!   range straddles zero, `exp` overflow into the clamp, constants outside
-//!   their Table III priors, and simplifiable constant subtrees.
+//!   their Table III priors, and simplifiable constant subtrees;
+//! * [`absint`] — **bytecode verification**: abstract interpretation over
+//!   the compiled register programs of a
+//!   [`CompiledSystem`](gmr_expr::CompiledSystem) — interval + non-finite
+//!   taint, a state-independence proof for the split tier's prefix,
+//!   independent dead-code detection, and machine-checked bounds proofs for
+//!   the VM's `unsafe` register accesses (emitted as a
+//!   [`SafetyReport`](absint::SafetyReport)).
 //!
 //! Everything funnels into the [`diag`] framework (severities, node-path
 //!   locations, human and JSON rendering). The `gmr-lint` binary runs the
 //! whole battery on the built-in river grammar and expert equations.
 
+pub mod absint;
 pub mod arity;
 pub mod diag;
 pub mod grammar_lints;
@@ -30,6 +38,9 @@ pub mod infer;
 pub mod interval;
 pub mod units;
 
+pub use absint::{
+    analyze_system, env_for_arity, AbsVal, SafetyObligation, SafetyReport, SystemAnalysis,
+};
 pub use arity::check_expr_arity;
 pub use diag::{Diagnostic, Location, Report, Severity};
 pub use grammar_lints::{grammar_diagnostics, river_discipline_diagnostics};

@@ -5,14 +5,20 @@
 //! acceptance path: the equations must re-parse, pass the `gmr-lint`
 //! battery without Error-severity findings (arity errors, malformed
 //! structure — under [`Policy::Revision`] a dimensional mismatch a GP
-//! champion legitimately carries is a warning, not a rejection), and
-//! compile through [`CompiledSystem::compile_checked`]. The compiled
-//! system is memoised behind an `Arc` exactly like the GP engine's
-//! phenotype cache, so every request for a model shares one compilation.
+//! champion legitimately carries is a warning, not a rejection), compile
+//! through [`CompiledSystem::compile_checked`], and the *compiled
+//! bytecode itself* must pass the abstract interpreter
+//! ([`gmr_lint::analyze_system`]): register bounds proved for the VM's
+//! unchecked accesses, the split prefix proved state-independent, no dead
+//! or uninitialized code. Every verification is journaled as a
+//! `serve.lint` note, pass or fail. The compiled system is memoised
+//! behind an `Arc` exactly like the GP engine's phenotype cache, so every
+//! request for a model shares one compilation.
 
 use crate::artifact::{ArtifactError, ModelArtifact};
 use gmr_expr::{CompiledSystem, OptOptions};
-use gmr_lint::{EquationLinter, Policy, Severity};
+use gmr_lint::{analyze_system, env_for_arity, EquationLinter, Policy, Severity};
+use gmr_obsv::Event;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
@@ -27,6 +33,9 @@ pub struct ServableModel {
     pub system: Arc<CompiledSystem>,
     /// Human-readable lint findings below Error severity (empty = clean).
     pub lint_warnings: String,
+    /// Warning-severity findings from bytecode verification (the compiled
+    /// system was still admitted; Error findings refuse admission).
+    pub bytecode_warnings: usize,
 }
 
 /// Why an artifact was refused admission.
@@ -45,6 +54,18 @@ pub enum RegistryError {
     },
     /// The equations reference indices outside the artifact's own schema.
     Compile(String),
+    /// The compiled bytecode failed abstract-interpretation verification
+    /// (unprovable register bounds, a state-dependent prefix instruction,
+    /// uninitialized reads — anything the VM's `unsafe` fast path must
+    /// never execute).
+    Bytecode {
+        /// Model name.
+        model: String,
+        /// Error-severity findings.
+        errors: usize,
+        /// Human rendering of the analyzer report.
+        report: String,
+    },
     /// A different artifact already holds this name.
     Duplicate(String),
 }
@@ -57,6 +78,12 @@ impl fmt::Display for RegistryError {
                 write!(f, "model {model:?} rejected by lint: {errors} error(s)")
             }
             RegistryError::Compile(msg) => write!(f, "compile failed: {msg}"),
+            RegistryError::Bytecode { model, errors, .. } => {
+                write!(
+                    f,
+                    "model {model:?} rejected by bytecode verification: {errors} error(s)"
+                )
+            }
             RegistryError::Duplicate(name) => write!(f, "model {name:?} already registered"),
         }
     }
@@ -111,6 +138,62 @@ impl ModelRegistry {
             OptOptions::full(),
         )
         .map_err(|e| RegistryError::Compile(format!("{e:?}")))?;
+        self.admit(artifact, system, lint_warnings)
+    }
+
+    /// Admit a pre-compiled system through the bytecode verification gate,
+    /// skipping the AST-level path. Exists so tests can prove that a
+    /// corrupted [`CompiledSystem`] — one the pipeline can never produce —
+    /// is refused at this trust boundary; production admission always goes
+    /// through [`insert`](Self::insert).
+    #[doc(hidden)]
+    pub fn insert_prepared(
+        &mut self,
+        artifact: ModelArtifact,
+        system: CompiledSystem,
+    ) -> Result<(), RegistryError> {
+        self.admit(artifact, system, String::new())
+    }
+
+    /// The shared bytecode-verification gate: analyze the compiled
+    /// programs, journal the verdict as a `serve.lint` note, refuse on any
+    /// Error-severity finding, memoise otherwise.
+    fn admit(
+        &mut self,
+        artifact: ModelArtifact,
+        system: CompiledSystem,
+        lint_warnings: String,
+    ) -> Result<(), RegistryError> {
+        if self.models.contains_key(&artifact.name) {
+            return Err(RegistryError::Duplicate(artifact.name.clone()));
+        }
+        let env = env_for_arity(artifact.vars.len(), artifact.states.len());
+        let analysis = analyze_system(&system, &env, &artifact.name);
+        let errors = analysis.report.count(Severity::Error);
+        let bytecode_warnings = analysis.report.count(Severity::Warn);
+        gmr_obsv::emit(Event::Note {
+            name: "serve.lint",
+            msg: format!(
+                "model {:?}: bytecode verification {} — {} error(s), {} warning(s), \
+                 unsafe bounds {}",
+                artifact.name,
+                if errors == 0 { "passed" } else { "failed" },
+                errors,
+                bytecode_warnings,
+                if analysis.safety.proved() {
+                    "proved"
+                } else {
+                    "UNPROVED"
+                },
+            ),
+        });
+        if errors > 0 {
+            return Err(RegistryError::Bytecode {
+                model: artifact.name.clone(),
+                errors,
+                report: analysis.report.render_human(),
+            });
+        }
         let name = artifact.name.clone();
         self.models.insert(
             name,
@@ -118,6 +201,7 @@ impl ModelRegistry {
                 artifact,
                 system: Arc::new(system),
                 lint_warnings,
+                bytecode_warnings,
             }),
         );
         Ok(())
@@ -177,9 +261,10 @@ impl ModelRegistry {
             o.push_str(", \"fitness\": ");
             push_f64(&mut o, m.artifact.provenance.fitness);
             o.push_str(&format!(
-                ", \"equations\": {}, \"network\": {}}}",
+                ", \"equations\": {}, \"network\": {}, \"bytecode_warnings\": {}}}",
                 m.artifact.equations.len(),
-                m.artifact.topology.is_some()
+                m.artifact.topology.is_some(),
+                m.bytecode_warnings
             ));
         }
         o.push_str("\n]}\n");
@@ -202,6 +287,108 @@ mod tests {
         assert!(Arc::ptr_eq(&a.system, &b.system));
         assert_eq!(a.system.n_eqs(), 2);
         assert!(a.lint_warnings.is_empty(), "{}", a.lint_warnings);
+        assert_eq!(a.bytecode_warnings, 0);
+        assert!(reg.render_json().contains("\"bytecode_warnings\": 0"));
+    }
+
+    #[test]
+    fn corrupted_bytecode_is_refused_and_journaled() {
+        use gmr_expr::{RInstr, RegProgram};
+        gmr_obsv::init(gmr_obsv::DEFAULT_CAPACITY);
+        let good = ModelArtifact::builtin_manual();
+        let eqs = good.parse_equations().unwrap();
+        let sys = CompiledSystem::compile_checked(
+            &eqs,
+            good.vars.len(),
+            good.states.len(),
+            OptOptions::full(),
+        )
+        .unwrap();
+        let mut reg = ModelRegistry::new();
+
+        // Corruption 1: a state-dependent instruction moved into the
+        // hoisted prefix — the columnar sweep would freeze its value.
+        let mut code = sys.prefix().instructions().to_vec();
+        let dst = code.last().expect("manual system hoists a prefix").dst();
+        code.push(RInstr::LoadState { dst, idx: 0 });
+        let corrupt_prefix = CompiledSystem::from_raw_parts(
+            RegProgram::from_raw_unchecked(
+                code,
+                sys.prefix().consts().to_vec(),
+                0,
+                sys.prefix().n_regs() as u16,
+                sys.prefix().outputs().to_vec(),
+                sys.prefix().needs_vars(),
+                0,
+            ),
+            sys.core().clone(),
+            sys.n_eqs(),
+            sys.options(),
+        );
+        let mut art = good.clone();
+        art.name = "corrupt-prefix".into();
+        let err = reg.insert_prepared(art, corrupt_prefix);
+        assert!(
+            matches!(err, Err(RegistryError::Bytecode { .. })),
+            "{err:?}"
+        );
+
+        // Corruption 2: an out-of-bounds register index — exactly what the
+        // VM's `get_unchecked` fast path must never see.
+        let mut code = sys.core().instructions().to_vec();
+        let oob = sys.core().n_regs() as u16 + 7;
+        code[0] = RInstr::LoadVar { dst: oob, idx: 0 };
+        let corrupt_core = CompiledSystem::from_raw_parts(
+            sys.prefix().clone(),
+            RegProgram::from_raw_unchecked(
+                code,
+                sys.core().consts().to_vec(),
+                sys.core().n_pre() as u16,
+                sys.core().n_regs() as u16,
+                sys.core().outputs().to_vec(),
+                sys.core().needs_vars(),
+                sys.core().needs_states(),
+            ),
+            sys.n_eqs(),
+            sys.options(),
+        );
+        let mut art = good.clone();
+        art.name = "corrupt-oob".into();
+        let err = reg.insert_prepared(art, corrupt_core);
+        match err {
+            Err(RegistryError::Bytecode { errors, report, .. }) => {
+                assert!(errors > 0);
+                assert!(report.contains("unsafe-bound-unproved"), "{report}");
+            }
+            other => panic!("expected Bytecode refusal, got {other:?}"),
+        }
+        assert!(reg.is_empty(), "no corrupted artifact may be admitted");
+
+        // Both refusals are journaled as Error-carrying serve.lint notes.
+        let notes: Vec<String> = gmr_obsv::global()
+            .expect("journal installed")
+            .snapshot()
+            .iter()
+            .filter_map(|r| match &r.event {
+                gmr_obsv::Event::Note {
+                    name: "serve.lint",
+                    msg,
+                } => Some(msg.clone()),
+                _ => None,
+            })
+            .collect();
+        for model in ["corrupt-prefix", "corrupt-oob"] {
+            assert!(
+                notes
+                    .iter()
+                    .any(|m| m.contains(model) && m.contains("failed")),
+                "no failed serve.lint note for {model}: {notes:?}"
+            );
+        }
+
+        // The untampered compilation still passes the same gate.
+        reg.insert_prepared(good, sys).unwrap();
+        assert_eq!(reg.len(), 1);
     }
 
     #[test]

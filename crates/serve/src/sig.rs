@@ -29,6 +29,14 @@ mod imp {
     }
 
     pub fn install() {
+        // SAFETY: FFI into the C library's `signal(2)`. The declaration
+        // matches the C prototype on every unix libc this builds against
+        // (both arguments and the return value are pointer-sized), the
+        // handler is a plain `extern "C" fn(i32)` whose address stays valid
+        // for the life of the process, and the handler body performs only
+        // the one async-signal-safe action (a relaxed-free atomic store) —
+        // no allocation, locking, or Rust unwinding can occur in signal
+        // context.
         unsafe {
             signal(SIGTERM, on_signal as *const () as usize);
             signal(SIGINT, on_signal as *const () as usize);
