@@ -9,10 +9,13 @@ cargo fmt --all -- --check
 echo "==> unsafe blocks carry SAFETY comments"
 # Every `unsafe` in source must have a `SAFETY` comment within the 12
 # preceding lines (block comments count once, at their first line).
+# `unsafe fn`/`unsafe impl` are matched only as declarations (line-start,
+# optional visibility) so `unsafe fn` *pointer types* — thunk tables and
+# kernel-table entries in threaded.rs/simd.rs — don't false-positive.
 find crates -name '*.rs' -path '*/src/*' -exec awk '
     FNR == 1 { last = -100 }
     /SAFETY/ { last = FNR }
-    /unsafe (impl|fn)|unsafe \{/ {
+    /^[ \t]*(pub(\([a-z]+\))? )?unsafe (impl|fn)|unsafe \{/ {
         if (FNR - last > 12) {
             printf "%s:%d: unsafe without a SAFETY comment\n", FILENAME, FNR
             bad = 1
@@ -32,6 +35,15 @@ cargo test --workspace -q
 
 echo "==> determinism with observability compiled out"
 cargo test -q -p gmr-gp --no-default-features --test determinism --test obsv_determinism
+
+echo "==> fusion table is exactly what the committed opcode corpus derives"
+cargo run --release -q -p gmr-obsv --bin gmr-trace -- opcodes \
+    --from-corpus results/OPCODE_corpus.json --fusion-table-out FUSION_gen.rs
+diff -u crates/expr/src/fusion_gen.rs FUSION_gen.rs || {
+    echo "FAIL: crates/expr/src/fusion_gen.rs drifted from results/OPCODE_corpus.json"
+    echo "      (regenerate with gmr-trace opcodes --from-corpus ... --fusion-table-out)"
+    exit 1
+}
 
 echo "==> gmr-lint --builtin (zero errors required)"
 cargo run --release -q -p gmr-lint -- --builtin
@@ -54,7 +66,12 @@ cargo run --release -q -p gmr-obsv --bin gmr-trace -- validate BENCH_engine.json
 cargo run --release -q -p gmr-obsv --bin gmr-trace -- summary BENCH_engine.jsonl
 cargo run --release -q -p gmr-obsv --bin gmr-trace -- chrome BENCH_engine.jsonl --out BENCH_engine.chrome.json
 
-echo "==> bench_vm smoke (tier equivalence + 1.5x speedup gate)"
+echo "==> committed benchmark baselines re-validate against current gates"
+cargo run --release -q -p gmr-bench --bin bench_vm -- --validate results/BENCH_vm.json
+cargo run --release -q -p gmr-bench --bin bench_engine -- --validate results/BENCH_engine.json
+cargo run --release -q -p gmr-bench --bin bench_serve -- --validate results/BENCH_serve.json
+
+echo "==> bench_vm smoke, scalar build (tier bit-identity + per-tier floors)"
 cargo run --release -q -p gmr-bench --bin bench_vm -- --quick --out BENCH_vm.json
 cargo run --release -q -p gmr-bench --bin bench_vm -- --validate BENCH_vm.json
 
@@ -105,5 +122,12 @@ grep -q '"type": "request"' smoke-serve/journal.jsonl || {
     echo "FAIL: journal carries no request events"
     exit 1
 }
+
+echo "==> SIMD tier tests (vector kernels live where the host has AVX2+FMA)"
+cargo test -q -p gmr-expr --features simd
+
+echo "==> bench_vm smoke, simd build (relaxed fidelity + headline gates)"
+cargo run --release -q -p gmr-bench --features simd --bin bench_vm -- --quick --out BENCH_vm_simd.json
+cargo run --release -q -p gmr-bench --features simd --bin bench_vm -- --validate BENCH_vm_simd.json
 
 echo "CI OK"

@@ -308,8 +308,14 @@ fn json_number(src: &str, key: &str) -> Option<f64> {
 }
 
 /// Enforce the acceptance gate on an emitted file. Returns the failures.
+/// The document must strict-reparse under `gmr_json` before any gate is
+/// read — a truncated or hand-mangled baseline fails loudly, not by
+/// accidentally missing a `contains` probe.
 fn validate(src: &str) -> Vec<String> {
     let mut errs = Vec::new();
+    if let Err(e) = gmr_json::parse(src) {
+        return vec![format!("not strict JSON: {e}")];
+    }
     if !src.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
         errs.push(format!("missing schema tag {SCHEMA:?}"));
     }
@@ -509,5 +515,56 @@ fn main() {
             eprintln!("FAIL: {e}");
         }
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_run(threads: usize) -> RunResult {
+        RunResult {
+            threads,
+            wall: Duration::from_millis(100),
+            candidates: 960 * threads as u64,
+            evaluations: 800,
+            short_circuited: 120,
+            cache_hits: 40,
+            cache_misses: 760,
+            pheno_builds: 700,
+            pheno_reuses: 260,
+            compiles: 700,
+            pool: PoolStats {
+                workers: (0..threads)
+                    .map(|worker| gmr_gp::WorkerStats {
+                        worker,
+                        candidates: 960,
+                        claims: 12,
+                        steals: 2,
+                        ..Default::default()
+                    })
+                    .collect(),
+                rounds: 24,
+            },
+            trajectory: vec![1.0f64.to_bits(); 6],
+        }
+    }
+
+    #[test]
+    fn rendered_json_strict_reparses_and_validates() {
+        let runs: Vec<RunResult> = THREAD_COUNTS.iter().map(|&t| tiny_run(t)).collect();
+        let obsv = ObsvSection {
+            overhead_pct: 0.4,
+            disabled_cps: 9600.0,
+            enabled_cps: 9560.0,
+            journal_events: 512,
+            journal_dropped: 0,
+        };
+        let json = render_json(&Workload::quick(), &runs, true, 3.2, &obsv);
+        gmr_json::parse(&json).expect("strict parse");
+        assert_eq!(validate(&json), Vec::<String>::new());
+        assert!(validate("{\"schema\": ")
+            .iter()
+            .any(|e| e.contains("not strict JSON")));
     }
 }

@@ -283,8 +283,14 @@ fn json_number(src: &str, key: &str) -> Option<f64> {
 }
 
 /// Enforce the acceptance gate on an emitted file. Returns the failures.
+/// The document must strict-reparse under `gmr_json` before any gate is
+/// read — a truncated or hand-mangled baseline fails loudly, not by
+/// accidentally missing a `contains` probe.
 fn validate(src: &str) -> Vec<String> {
     let mut errs = Vec::new();
+    if let Err(e) = gmr_json::parse(src) {
+        return vec![format!("not strict JSON: {e}")];
+    }
     if !src.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
         errs.push(format!("missing schema tag {SCHEMA:?}"));
     }
@@ -376,5 +382,31 @@ fn main() {
             eprintln!("FAIL: {e}");
         }
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_json_strict_reparses_and_validates() {
+        let r = BenchResult {
+            days: 365,
+            seq_requests: 40,
+            seq_secs: 0.8,
+            con_requests: 160,
+            con_secs: 0.8,
+            mean_batch: 5.2,
+            max_batch: 8,
+            bit_identical: true,
+            errors: 0,
+        };
+        let json = render_json(&r, true);
+        gmr_json::parse(&json).expect("strict parse");
+        assert_eq!(validate(&json), Vec::<String>::new());
+        assert!(validate("[1, 2")
+            .iter()
+            .any(|e| e.contains("not strict JSON")));
     }
 }

@@ -1,0 +1,92 @@
+//! Generator test: the checked-in `crates/expr/src/fusion_gen.rs` must be
+//! exactly what the committed opcode corpus derives — both through the
+//! `gmr-expr` selection rule (`FusionTable::from_pair_counts`) and through
+//! the `gmr-trace` sibling renderer (`render_fusion_gen`). A drift in
+//! either copy of the rule, a hand-edit of the generated file, or a stale
+//! corpus all fail here before CI's regenerate-and-diff step runs.
+
+use gmr_expr::fusion::FusionTable;
+use gmr_expr::fusion_gen;
+use gmr_obsv::opcodes::{render_fusion_gen, OpcodeCorpus, Selection};
+use std::path::Path;
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn committed_corpus() -> OpcodeCorpus {
+    let src = std::fs::read_to_string(repo_path("results/OPCODE_corpus.json"))
+        .expect("results/OPCODE_corpus.json is committed");
+    OpcodeCorpus::parse_json(&src).expect("committed corpus parses as gmr-opcodes/v1")
+}
+
+#[test]
+fn selected_table_rederives_from_committed_corpus() {
+    let corpus = committed_corpus();
+    assert_eq!(corpus.total, fusion_gen::CORPUS_TOTAL);
+    let pairs: Vec<(&str, &str, char, u64)> = corpus
+        .pairs
+        .iter()
+        .map(|(p, c, pos, n)| (p.as_str(), c.as_str(), *pos, *n))
+        .collect();
+    let rederived = FusionTable::from_pair_counts(&pairs, corpus.total);
+    assert_eq!(
+        rederived,
+        fusion_gen::SELECTED,
+        "fusion_gen::SELECTED no longer matches the committed corpus — \
+         regenerate with `gmr-trace opcodes --from-corpus results/OPCODE_corpus.json \
+         --fusion-table-out crates/expr/src/fusion_gen.rs`"
+    );
+}
+
+#[test]
+fn generated_file_is_byte_identical_to_both_renderers() {
+    let corpus = committed_corpus();
+    let committed = std::fs::read_to_string(repo_path("crates/expr/src/fusion_gen.rs"))
+        .expect("crates/expr/src/fusion_gen.rs is committed");
+
+    // The gmr-trace renderer (what `--fusion-table-out` writes).
+    let via_trace = render_fusion_gen(&corpus, "results/OPCODE_corpus.json");
+    assert_eq!(
+        via_trace, committed,
+        "gmr-trace renderer drifted from the checked-in file"
+    );
+
+    // The gmr-expr renderer (the byte-for-byte sibling).
+    let pairs: Vec<(&str, &str, char, u64)> = corpus
+        .pairs
+        .iter()
+        .map(|(p, c, pos, n)| (p.as_str(), c.as_str(), *pos, *n))
+        .collect();
+    let table = FusionTable::from_pair_counts(&pairs, corpus.total);
+    let via_expr = table.render_generated(
+        "results/OPCODE_corpus.json",
+        corpus.elites,
+        corpus.total,
+        &pairs,
+    );
+    assert_eq!(
+        via_expr, committed,
+        "gmr-expr renderer drifted from the checked-in file"
+    );
+}
+
+#[test]
+fn trace_selection_matches_expr_selection() {
+    let corpus = committed_corpus();
+    let sel = Selection::from_corpus(&corpus);
+    let s = fusion_gen::SELECTED;
+    assert_eq!(
+        (
+            sel.mul_add,
+            sel.mul_sub,
+            sel.sub_mul,
+            sel.var_bin,
+            sel.const_bin
+        ),
+        (s.mul_add, s.mul_sub, s.sub_mul, s.var_bin, s.const_bin),
+        "gmr-trace's Selection and gmr-expr's FusionTable disagree on the same corpus"
+    );
+}

@@ -36,19 +36,27 @@ pub mod ast;
 pub mod compile;
 pub mod display;
 pub mod eval;
+pub mod fastmath;
+pub mod fusion;
+pub mod fusion_gen;
 pub mod hash;
+pub mod opstats;
 pub mod parse;
+pub mod simd;
 pub mod simplify;
+mod threaded;
 pub mod vm;
 
 pub use ast::{BinOp, Expr, ParamSlot, UnOp};
 pub use compile::{check_arity, CompileError, CompiledExpr, Instr};
 pub use display::NameTable;
 pub use eval::{protected_div, protected_exp, protected_log, EvalContext};
+pub use fusion::FusionTable;
 pub use hash::TreeKey;
+pub use opstats::{pair_counts, total_pairs, PairCount};
 pub use parse::{parse, ParseError};
 pub use simplify::simplify;
 pub use vm::{
-    CompiledSystem, MultiSession, OptOptions, RInstr, RegProgram, SystemScratch, SystemSession,
-    LANES,
+    CompiledSystem, Exec, Fidelity, FidelityPolicy, MultiSession, OptOptions, RInstr, RegProgram,
+    SystemScratch, SystemSession, Tier, LANES,
 };

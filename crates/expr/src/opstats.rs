@@ -1,0 +1,163 @@
+//! Operator-pair co-occurrence statistics over expression trees.
+//!
+//! The fuel for corpus-driven superinstruction selection
+//! ([`crate::fusion`]): for every operator node in an elite's equations,
+//! count the `(parent op, child label, position)` pair of each operand.
+//! The GP engine journals these counts per elite (pre-aggregated, so the
+//! journal stays expression-free), `gmr-trace opcodes` sums them across
+//! runs into a `gmr-opcodes/v1` corpus, and the fuser's peephole table
+//! is regenerated from that corpus.
+//!
+//! Child labels are the parent-facing identity of the operand: another
+//! operator's name, or one of the leaf kinds `"var"`, `"state"`,
+//! `"const"` (numeric literals and parameters alike — both lower to
+//! pinned constants in the VM). Positions are `'l'`/`'r'` for binary
+//! operands and `'u'` for the unary operand. Output order is
+//! deterministic (sorted by parent, child, position), independent of
+//! traversal order and hash state.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use std::collections::HashMap;
+
+/// Operator name used in opcode-pair statistics (lower-case, matches the
+/// `gmr-opcodes/v1` schema and the fusion selection rule).
+pub fn bin_op_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::Pow => "pow",
+    }
+}
+
+/// Operator name for unary ops (see [`bin_op_name`]).
+pub fn un_op_name(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Log => "log",
+        UnOp::Exp => "exp",
+    }
+}
+
+fn label(e: &Expr) -> &'static str {
+    match e {
+        Expr::Num(_) | Expr::Param(_) => "const",
+        Expr::Var(_) => "var",
+        Expr::State(_) => "state",
+        Expr::Unary(op, _) => un_op_name(*op),
+        Expr::Binary(op, ..) => bin_op_name(*op),
+    }
+}
+
+/// One aggregated operand pair: `parent` operator, `child` label,
+/// operand `pos` (`'l'`/`'r'`/`'u'`) and its occurrence `count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairCount {
+    pub parent: &'static str,
+    pub child: &'static str,
+    pub pos: char,
+    pub count: u64,
+}
+
+/// Count operand pairs over a system of equations. Deterministic order:
+/// sorted by `(parent, child, pos)`.
+pub fn pair_counts(eqs: &[Expr]) -> Vec<PairCount> {
+    let mut acc: HashMap<(&'static str, &'static str, char), u64> = HashMap::new();
+    fn walk(e: &Expr, acc: &mut HashMap<(&'static str, &'static str, char), u64>) {
+        match e {
+            Expr::Unary(op, a) => {
+                *acc.entry((un_op_name(*op), label(a), 'u')).or_insert(0) += 1;
+                walk(a, acc);
+            }
+            Expr::Binary(op, a, b) => {
+                *acc.entry((bin_op_name(*op), label(a), 'l')).or_insert(0) += 1;
+                *acc.entry((bin_op_name(*op), label(b), 'r')).or_insert(0) += 1;
+                walk(a, acc);
+                walk(b, acc);
+            }
+            _ => {}
+        }
+    }
+    for eq in eqs {
+        walk(eq, &mut acc);
+    }
+    let mut out: Vec<PairCount> = acc
+        .into_iter()
+        .map(|((parent, child, pos), count)| PairCount {
+            parent,
+            child,
+            pos,
+            count,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.parent
+            .cmp(b.parent)
+            .then(a.child.cmp(b.child))
+            .then(a.pos.cmp(&b.pos))
+    });
+    out
+}
+
+/// Total operand pairs (the denominator of the fusion support rule).
+pub fn total_pairs(counts: &[PairCount]) -> u64 {
+    counts.iter().map(|c| c.count).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ParamSlot;
+
+    #[test]
+    fn counts_pairs_with_positions() {
+        // add(mul(var, const), state) + neg(var)
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(
+                BinOp::Mul,
+                Expr::Var(0),
+                Expr::Param(ParamSlot {
+                    kind: 0,
+                    value: 2.0,
+                }),
+            ),
+            Expr::State(0),
+        );
+        let e2 = Expr::un(UnOp::Neg, Expr::Var(1));
+        let counts = pair_counts(&[e, e2]);
+        let get = |p: &str, c: &str, pos: char| {
+            counts
+                .iter()
+                .find(|x| x.parent == p && x.child == c && x.pos == pos)
+                .map(|x| x.count)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("add", "mul", 'l'), 1);
+        assert_eq!(get("add", "state", 'r'), 1);
+        assert_eq!(get("mul", "var", 'l'), 1);
+        assert_eq!(get("mul", "const", 'r'), 1);
+        assert_eq!(get("neg", "var", 'u'), 1);
+        assert_eq!(total_pairs(&counts), 5);
+        // Deterministic order.
+        let again = pair_counts(&[
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(
+                    BinOp::Mul,
+                    Expr::Var(0),
+                    Expr::Param(ParamSlot {
+                        kind: 0,
+                        value: 2.0,
+                    }),
+                ),
+                Expr::State(0),
+            ),
+            Expr::un(UnOp::Neg, Expr::Var(1)),
+        ]);
+        assert_eq!(counts, again);
+    }
+}

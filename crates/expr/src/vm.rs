@@ -62,6 +62,9 @@ use crate::compile::{check_arity, CompileError};
 use crate::eval::{
     apply_bin, apply_un, protected_div, protected_exp, protected_log, protected_pow, EvalContext,
 };
+use crate::fastmath::{fast_exp, fast_log, fast_pow};
+use crate::fusion::FusionTable;
+use crate::threaded::ThreadedProgram;
 use std::collections::HashMap;
 
 /// Rows evaluated per dispatch in the columnar prefix sweep. 32 keeps the
@@ -71,15 +74,39 @@ use std::collections::HashMap;
 /// aborted candidate sweeps no further than its last fitness checkpoint.
 pub const LANES: usize = 32;
 
+/// How the sequential programs of a compiled system execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exec {
+    /// Match-per-instruction interpreter loop (`run_scalar`).
+    Match,
+    /// Threaded code: each instruction pre-resolved at compile time into a
+    /// monomorphized thunk, so the steady-state inner loop is one indirect
+    /// call per instruction with no operator dispatch. Bit-exact.
+    Threaded,
+    /// Threaded code with relaxed-fidelity fast transcendentals
+    /// ([`crate::fastmath`]) plus vectorized lane kernels
+    /// ([`crate::simd`]) where the hardware supports them. Degrades to
+    /// exactly [`Exec::Threaded`] semantics when the `simd` cargo feature
+    /// is off or the CPU lacks AVX2+FMA.
+    Simd,
+}
+
 /// Which optimization stages to run. The lowering passes (folding, the
 /// algebraic peephole, cross-equation CSE) are always on; the knobs select
 /// the VM tiers that `bench_vm` compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptOptions {
-    /// Emit fused superinstructions (`VarBin`, `ConstBin`, `MulAdd`).
+    /// Emit fused superinstructions (`VarBin`, `ConstBin`, `MulAdd`,
+    /// `MulSub`, `SubMul`), as permitted by `table`.
     pub fuse: bool,
     /// Split out the state-independent prefix for the columnar sweep.
     pub split: bool,
+    /// Which superinstruction patterns the fuser may emit (ignored when
+    /// `fuse` is off). Defaults to the corpus-selected table
+    /// ([`crate::fusion_gen::SELECTED`]).
+    pub table: FusionTable,
+    /// Execution backend for the sequential core (and scalar prefix).
+    pub exec: Exec,
 }
 
 impl OptOptions {
@@ -88,6 +115,8 @@ impl OptOptions {
         OptOptions {
             fuse: false,
             split: false,
+            table: FusionTable::NONE,
+            exec: Exec::Match,
         }
     }
 
@@ -96,14 +125,36 @@ impl OptOptions {
         OptOptions {
             fuse: true,
             split: false,
+            table: FusionTable::default(),
+            exec: Exec::Match,
         }
     }
 
-    /// The full pipeline: fusion and the state-independent split.
+    /// The full match-dispatch pipeline: fusion and the state-independent
+    /// split (the `split` tier).
     pub fn full() -> OptOptions {
         OptOptions {
             fuse: true,
             split: true,
+            table: FusionTable::default(),
+            exec: Exec::Match,
+        }
+    }
+
+    /// The full pipeline compiled to threaded code (bit-exact).
+    pub fn threaded() -> OptOptions {
+        OptOptions {
+            exec: Exec::Threaded,
+            ..OptOptions::full()
+        }
+    }
+
+    /// The full pipeline with relaxed-fidelity SIMD kernels where
+    /// available (see [`Exec::Simd`] for the fallback behaviour).
+    pub fn simd() -> OptOptions {
+        OptOptions {
+            exec: Exec::Simd,
+            ..OptOptions::full()
         }
     }
 }
@@ -111,6 +162,151 @@ impl OptOptions {
 impl Default for OptOptions {
     fn default() -> Self {
         OptOptions::full()
+    }
+}
+
+/// The named VM tiers compared by `bench_vm` and selectable with the
+/// `--tier` flags across the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Lowering passes only, one op per instruction.
+    Register,
+    /// Register VM plus fused superinstructions.
+    Fused,
+    /// Fusion plus the state-independent split (historically `full`).
+    Split,
+    /// Split pipeline compiled to threaded code. Bit-exact.
+    Threaded,
+    /// Threaded code plus relaxed-fidelity SIMD kernels where available.
+    Simd,
+}
+
+impl Tier {
+    /// Every tier, slowest first — the order bench tables print in.
+    pub const ALL: [Tier; 5] = [
+        Tier::Register,
+        Tier::Fused,
+        Tier::Split,
+        Tier::Threaded,
+        Tier::Simd,
+    ];
+
+    /// Canonical name (accepted by [`parse`](Self::parse)).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Register => "register",
+            Tier::Fused => "fused",
+            Tier::Split => "split",
+            Tier::Threaded => "threaded",
+            Tier::Simd => "simd",
+        }
+    }
+
+    /// Parse a tier name; `"full"` is accepted as the historical alias of
+    /// the split tier.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "register" => Some(Tier::Register),
+            "fused" => Some(Tier::Fused),
+            "split" | "full" => Some(Tier::Split),
+            "threaded" => Some(Tier::Threaded),
+            "simd" => Some(Tier::Simd),
+            _ => None,
+        }
+    }
+
+    /// The pipeline options that compile this tier.
+    pub fn options(self) -> OptOptions {
+        match self {
+            Tier::Register => OptOptions::register(),
+            Tier::Fused => OptOptions::fused(),
+            Tier::Split => OptOptions::full(),
+            Tier::Threaded => OptOptions::threaded(),
+            Tier::Simd => OptOptions::simd(),
+        }
+    }
+
+    /// The fidelity this tier delivers **on this machine right now**: the
+    /// `simd` tier is relaxed only when its vector kernels are actually
+    /// live (feature compiled in and AVX2+FMA detected); in the fallback
+    /// it is bit-exact threaded code.
+    pub fn fidelity(self) -> Fidelity {
+        if self == Tier::Simd && crate::simd::active() {
+            Fidelity::RelaxedSimd
+        } else {
+            Fidelity::BitExact
+        }
+    }
+
+    /// The fastest tier whose fidelity `policy` admits. Property-tested
+    /// and bench-gated: `threaded` is the fastest bit-exact tier, `simd`
+    /// the fastest overall where its kernels are live.
+    pub fn fastest(policy: FidelityPolicy) -> Tier {
+        match policy {
+            FidelityPolicy::AllowRelaxed if crate::simd::active() => Tier::Simd,
+            _ => Tier::Threaded,
+        }
+    }
+}
+
+/// Numerical fidelity of a compiled artifact's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Values are `==`-identical to the tree-walking interpreter on every
+    /// input (NaN tolerated as equal) — the contract every tier except a
+    /// live `simd` tier satisfies.
+    BitExact,
+    /// Transcendentals (`exp`, `log`, `pow`) use the fast rational
+    /// approximations (~1e-13 relative error over the protected domains);
+    /// all other operators remain bit-exact.
+    RelaxedSimd,
+}
+
+impl Fidelity {
+    /// Stable string used in `/models` JSON and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::BitExact => "bit-exact",
+            Fidelity::RelaxedSimd => "relaxed-simd",
+        }
+    }
+}
+
+/// What fidelity a consumer of compiled artifacts is willing to accept.
+/// The serving registry refuses to load a relaxed artifact under the
+/// default [`BitExact`](FidelityPolicy::BitExact) policy, and `bench_vm
+/// --validate` checks relaxed tiers against a tolerance instead of
+/// bit-equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FidelityPolicy {
+    /// Only bit-exact execution is acceptable.
+    #[default]
+    BitExact,
+    /// Relaxed-fidelity execution is acceptable where it is faster.
+    AllowRelaxed,
+}
+
+impl FidelityPolicy {
+    /// Stable string used by `--fidelity` flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            FidelityPolicy::BitExact => "bit-exact",
+            FidelityPolicy::AllowRelaxed => "allow-relaxed",
+        }
+    }
+
+    /// Parse a `--fidelity` flag value.
+    pub fn parse(s: &str) -> Option<FidelityPolicy> {
+        match s {
+            "bit-exact" => Some(FidelityPolicy::BitExact),
+            "allow-relaxed" => Some(FidelityPolicy::AllowRelaxed),
+            _ => None,
+        }
+    }
+
+    /// Does this policy admit an artifact of fidelity `f`?
+    pub fn allows(self, f: Fidelity) -> bool {
+        self == FidelityPolicy::AllowRelaxed || f == Fidelity::BitExact
     }
 }
 
@@ -148,6 +344,10 @@ pub enum RInstr {
     /// separately (NOT an FMA — equivalence with the interpreter forbids
     /// contracting the intermediate rounding).
     MulAdd { dst: u16, a: u16, b: u16, c: u16 },
+    /// Fused: `r[dst] = r[a] * r[b] - r[c]`, two roundings like `MulAdd`.
+    MulSub { dst: u16, a: u16, b: u16, c: u16 },
+    /// Fused: `r[dst] = r[a] - r[b] * r[c]`, two roundings like `MulAdd`.
+    SubMul { dst: u16, a: u16, b: u16, c: u16 },
 }
 
 impl RInstr {
@@ -161,7 +361,9 @@ impl RInstr {
             | RInstr::VarBinR { dst, .. }
             | RInstr::ConstBinL { dst, .. }
             | RInstr::ConstBinR { dst, .. }
-            | RInstr::MulAdd { dst, .. } => *dst = r,
+            | RInstr::MulAdd { dst, .. }
+            | RInstr::MulSub { dst, .. }
+            | RInstr::SubMul { dst, .. } => *dst = r,
         }
     }
 
@@ -176,7 +378,9 @@ impl RInstr {
             | RInstr::VarBinR { dst, .. }
             | RInstr::ConstBinL { dst, .. }
             | RInstr::ConstBinR { dst, .. }
-            | RInstr::MulAdd { dst, .. } => dst,
+            | RInstr::MulAdd { dst, .. }
+            | RInstr::MulSub { dst, .. }
+            | RInstr::SubMul { dst, .. } => dst,
         }
     }
 
@@ -192,7 +396,9 @@ impl RInstr {
                 f(a);
                 f(b);
             }
-            RInstr::MulAdd { a, b, c, .. } => {
+            RInstr::MulAdd { a, b, c, .. }
+            | RInstr::MulSub { a, b, c, .. }
+            | RInstr::SubMul { a, b, c, .. } => {
                 f(a);
                 f(b);
                 f(c);
@@ -501,6 +707,20 @@ impl RegProgram {
                         // Two roundings on purpose; see `RInstr::MulAdd`.
                         *regs.get_unchecked_mut(dst as usize) = av * bv + cv;
                     }
+                    RInstr::MulSub { dst, a, b, c } => {
+                        let av = *regs.get_unchecked(a as usize);
+                        let bv = *regs.get_unchecked(b as usize);
+                        let cv = *regs.get_unchecked(c as usize);
+                        // Two roundings on purpose; see `RInstr::MulAdd`.
+                        *regs.get_unchecked_mut(dst as usize) = av * bv - cv;
+                    }
+                    RInstr::SubMul { dst, a, b, c } => {
+                        let av = *regs.get_unchecked(a as usize);
+                        let bv = *regs.get_unchecked(b as usize);
+                        let cv = *regs.get_unchecked(c as usize);
+                        // Two roundings on purpose; see `RInstr::MulAdd`.
+                        *regs.get_unchecked_mut(dst as usize) = av - bv * cv;
+                    }
                 }
             }
         }
@@ -512,13 +732,20 @@ impl RegProgram {
     /// plain indexed f64 kernels with the operator matched *outside* the
     /// loop, so the compiler can auto-vectorize them. State loads are
     /// impossible here by construction (the prefix is state-independent).
-    fn run_lanes<R: AsRef<[f64]>>(&self, rows: &[R], base: usize, m: usize, regs: &mut [f64]) {
+    fn run_lanes<R: AsRef<[f64]>>(
+        &self,
+        rows: &[R],
+        base: usize,
+        m: usize,
+        regs: &mut [f64],
+        fast: bool,
+    ) {
         assert_eq!(regs.len(), self.n_regs as usize * LANES);
         assert!(m <= LANES && base + m <= rows.len());
-        // SAFETY throughout: register stripes are `[r*LANES .. r*LANES+m)`
-        // with `r < n_regs` (validated at construction) and `m <= LANES`,
-        // so every lane index is `< n_regs * LANES == regs.len()`. Row
-        // accesses stay bounds-checked.
+        // Register stripes are `[r*LANES .. r*LANES+m)` with `r < n_regs`
+        // (validated at construction) and `m <= LANES`, so every lane index
+        // is `< n_regs * LANES == regs.len()` — the shared argument of the
+        // `k_*`/`l_*` kernels below. Row accesses stay bounds-checked.
         let off = |r: u16| r as usize * LANES;
         for ins in &self.code {
             match *ins {
@@ -532,75 +759,56 @@ impl RegProgram {
                     unreachable!("state load in a state-independent prefix")
                 }
                 RInstr::Un { op, dst, a } => {
-                    let (d, a) = (off(dst), off(a));
-                    match op {
-                        UnOp::Neg => k_un(|x| -x, regs, d, a, m),
-                        UnOp::Log => k_un(protected_log, regs, d, a, m),
-                        UnOp::Exp => k_un(protected_exp, regs, d, a, m),
-                    }
+                    l_un(op, fast, regs, off(dst), off(a), m);
                 }
                 RInstr::Bin { op, dst, a, b } => {
-                    let (d, a, b) = (off(dst), off(a), off(b));
-                    match op {
-                        BinOp::Add => k_bin(|x, y| x + y, regs, d, a, b, m),
-                        BinOp::Sub => k_bin(|x, y| x - y, regs, d, a, b, m),
-                        BinOp::Mul => k_bin(|x, y| x * y, regs, d, a, b, m),
-                        BinOp::Div => k_bin(protected_div, regs, d, a, b, m),
-                        BinOp::Min => k_bin(f64::min, regs, d, a, b, m),
-                        BinOp::Max => k_bin(f64::max, regs, d, a, b, m),
-                        BinOp::Pow => k_bin(protected_pow, regs, d, a, b, m),
-                    }
+                    l_bin(op, fast, regs, off(dst), off(a), off(b), m);
                 }
                 RInstr::VarBinL { op, dst, idx, b } => {
                     let (d, b) = (off(dst), off(b));
-                    for l in 0..m {
-                        let v = rows[base + l].as_ref()[idx as usize];
-                        regs[d + l] = apply_bin(op, v, regs[b + l]);
+                    // The variable operand differs per lane here (lanes are
+                    // consecutive rows), so no broadcast kernel applies;
+                    // only the relaxed pow needs its fast form.
+                    if fast && op == BinOp::Pow {
+                        for l in 0..m {
+                            let v = rows[base + l].as_ref()[idx as usize];
+                            regs[d + l] = fast_pow(v, regs[b + l]);
+                        }
+                    } else {
+                        for l in 0..m {
+                            let v = rows[base + l].as_ref()[idx as usize];
+                            regs[d + l] = apply_bin(op, v, regs[b + l]);
+                        }
                     }
                 }
                 RInstr::VarBinR { op, dst, a, idx } => {
                     let (d, a) = (off(dst), off(a));
-                    for l in 0..m {
-                        let v = rows[base + l].as_ref()[idx as usize];
-                        regs[d + l] = apply_bin(op, regs[a + l], v);
+                    if fast && op == BinOp::Pow {
+                        for l in 0..m {
+                            let v = rows[base + l].as_ref()[idx as usize];
+                            regs[d + l] = fast_pow(regs[a + l], v);
+                        }
+                    } else {
+                        for l in 0..m {
+                            let v = rows[base + l].as_ref()[idx as usize];
+                            regs[d + l] = apply_bin(op, regs[a + l], v);
+                        }
                     }
                 }
                 RInstr::ConstBinL { op, dst, c, b } => {
-                    let (d, b) = (off(dst), off(b));
-                    match op {
-                        BinOp::Add => k_bin_cl(|x, y| x + y, regs, d, c, b, m),
-                        BinOp::Sub => k_bin_cl(|x, y| x - y, regs, d, c, b, m),
-                        BinOp::Mul => k_bin_cl(|x, y| x * y, regs, d, c, b, m),
-                        BinOp::Div => k_bin_cl(protected_div, regs, d, c, b, m),
-                        BinOp::Min => k_bin_cl(f64::min, regs, d, c, b, m),
-                        BinOp::Max => k_bin_cl(f64::max, regs, d, c, b, m),
-                        BinOp::Pow => k_bin_cl(protected_pow, regs, d, c, b, m),
-                    }
+                    l_bin_cl(op, fast, regs, off(dst), c, off(b), m);
                 }
                 RInstr::ConstBinR { op, dst, a, c } => {
-                    let (d, a) = (off(dst), off(a));
-                    match op {
-                        BinOp::Add => k_bin_cr(|x, y| x + y, regs, d, a, c, m),
-                        BinOp::Sub => k_bin_cr(|x, y| x - y, regs, d, a, c, m),
-                        BinOp::Mul => k_bin_cr(|x, y| x * y, regs, d, a, c, m),
-                        BinOp::Div => k_bin_cr(protected_div, regs, d, a, c, m),
-                        BinOp::Min => k_bin_cr(f64::min, regs, d, a, c, m),
-                        BinOp::Max => k_bin_cr(f64::max, regs, d, a, c, m),
-                        BinOp::Pow => k_bin_cr(protected_pow, regs, d, a, c, m),
-                    }
+                    l_bin_cr(op, fast, regs, off(dst), off(a), c, m);
                 }
                 RInstr::MulAdd { dst, a, b, c } => {
-                    let (d, a, b, c) = (off(dst), off(a), off(b), off(c));
-                    for l in 0..m {
-                        // SAFETY: stripe offsets of validated registers
-                        // plus `l < m <= LANES`; see the function header.
-                        unsafe {
-                            let av = *regs.get_unchecked(a + l);
-                            let bv = *regs.get_unchecked(b + l);
-                            let cv = *regs.get_unchecked(c + l);
-                            *regs.get_unchecked_mut(d + l) = av * bv + cv;
-                        }
-                    }
+                    l_fused3(F3::MulAdd, regs, off(dst), off(a), off(b), off(c), m);
+                }
+                RInstr::MulSub { dst, a, b, c } => {
+                    l_fused3(F3::MulSub, regs, off(dst), off(a), off(b), off(c), m);
+                }
+                RInstr::SubMul { dst, a, b, c } => {
+                    l_fused3(F3::SubMul, regs, off(dst), off(a), off(b), off(c), m);
                 }
             }
         }
@@ -623,12 +831,13 @@ impl RegProgram {
         state_stride: usize,
         m: usize,
         regs: &mut [f64],
+        fast: bool,
     ) {
         assert_eq!(regs.len(), self.n_regs as usize * LANES);
         assert!(m <= LANES && states.len() >= m * state_stride);
         assert!(state_stride >= self.needs_states);
         debug_assert!(vars.len() >= self.needs_vars);
-        // SAFETY throughout: same argument as `run_lanes` — stripes are
+        // Same stripe-bounds argument as `run_lanes`: stripes are
         // `[r*LANES .. r*LANES+m)` with `r < n_regs` proved by `validate()`
         // and `m <= LANES` asserted above. `vars`/`states` accesses stay
         // bounds-checked.
@@ -646,88 +855,33 @@ impl RegProgram {
                     }
                 }
                 RInstr::Un { op, dst, a } => {
-                    let (d, a) = (off(dst), off(a));
-                    match op {
-                        UnOp::Neg => k_un(|x| -x, regs, d, a, m),
-                        UnOp::Log => k_un(protected_log, regs, d, a, m),
-                        UnOp::Exp => k_un(protected_exp, regs, d, a, m),
-                    }
+                    l_un(op, fast, regs, off(dst), off(a), m);
                 }
                 RInstr::Bin { op, dst, a, b } => {
-                    let (d, a, b) = (off(dst), off(a), off(b));
-                    match op {
-                        BinOp::Add => k_bin(|x, y| x + y, regs, d, a, b, m),
-                        BinOp::Sub => k_bin(|x, y| x - y, regs, d, a, b, m),
-                        BinOp::Mul => k_bin(|x, y| x * y, regs, d, a, b, m),
-                        BinOp::Div => k_bin(protected_div, regs, d, a, b, m),
-                        BinOp::Min => k_bin(f64::min, regs, d, a, b, m),
-                        BinOp::Max => k_bin(f64::max, regs, d, a, b, m),
-                        BinOp::Pow => k_bin(protected_pow, regs, d, a, b, m),
-                    }
+                    l_bin(op, fast, regs, off(dst), off(a), off(b), m);
                 }
                 RInstr::VarBinL { op, dst, idx, b } => {
-                    let (d, b) = (off(dst), off(b));
-                    let v = vars[idx as usize];
-                    match op {
-                        BinOp::Add => k_bin_cl(|x, y| x + y, regs, d, v, b, m),
-                        BinOp::Sub => k_bin_cl(|x, y| x - y, regs, d, v, b, m),
-                        BinOp::Mul => k_bin_cl(|x, y| x * y, regs, d, v, b, m),
-                        BinOp::Div => k_bin_cl(protected_div, regs, d, v, b, m),
-                        BinOp::Min => k_bin_cl(f64::min, regs, d, v, b, m),
-                        BinOp::Max => k_bin_cl(f64::max, regs, d, v, b, m),
-                        BinOp::Pow => k_bin_cl(protected_pow, regs, d, v, b, m),
-                    }
+                    // One shared row: the variable operand is a broadcast
+                    // constant for every lane.
+                    l_bin_cl(op, fast, regs, off(dst), vars[idx as usize], off(b), m);
                 }
                 RInstr::VarBinR { op, dst, a, idx } => {
-                    let (d, a) = (off(dst), off(a));
-                    let v = vars[idx as usize];
-                    match op {
-                        BinOp::Add => k_bin_cr(|x, y| x + y, regs, d, a, v, m),
-                        BinOp::Sub => k_bin_cr(|x, y| x - y, regs, d, a, v, m),
-                        BinOp::Mul => k_bin_cr(|x, y| x * y, regs, d, a, v, m),
-                        BinOp::Div => k_bin_cr(protected_div, regs, d, a, v, m),
-                        BinOp::Min => k_bin_cr(f64::min, regs, d, a, v, m),
-                        BinOp::Max => k_bin_cr(f64::max, regs, d, a, v, m),
-                        BinOp::Pow => k_bin_cr(protected_pow, regs, d, a, v, m),
-                    }
+                    l_bin_cr(op, fast, regs, off(dst), off(a), vars[idx as usize], m);
                 }
                 RInstr::ConstBinL { op, dst, c, b } => {
-                    let (d, b) = (off(dst), off(b));
-                    match op {
-                        BinOp::Add => k_bin_cl(|x, y| x + y, regs, d, c, b, m),
-                        BinOp::Sub => k_bin_cl(|x, y| x - y, regs, d, c, b, m),
-                        BinOp::Mul => k_bin_cl(|x, y| x * y, regs, d, c, b, m),
-                        BinOp::Div => k_bin_cl(protected_div, regs, d, c, b, m),
-                        BinOp::Min => k_bin_cl(f64::min, regs, d, c, b, m),
-                        BinOp::Max => k_bin_cl(f64::max, regs, d, c, b, m),
-                        BinOp::Pow => k_bin_cl(protected_pow, regs, d, c, b, m),
-                    }
+                    l_bin_cl(op, fast, regs, off(dst), c, off(b), m);
                 }
                 RInstr::ConstBinR { op, dst, a, c } => {
-                    let (d, a) = (off(dst), off(a));
-                    match op {
-                        BinOp::Add => k_bin_cr(|x, y| x + y, regs, d, a, c, m),
-                        BinOp::Sub => k_bin_cr(|x, y| x - y, regs, d, a, c, m),
-                        BinOp::Mul => k_bin_cr(|x, y| x * y, regs, d, a, c, m),
-                        BinOp::Div => k_bin_cr(protected_div, regs, d, a, c, m),
-                        BinOp::Min => k_bin_cr(f64::min, regs, d, a, c, m),
-                        BinOp::Max => k_bin_cr(f64::max, regs, d, a, c, m),
-                        BinOp::Pow => k_bin_cr(protected_pow, regs, d, a, c, m),
-                    }
+                    l_bin_cr(op, fast, regs, off(dst), off(a), c, m);
                 }
                 RInstr::MulAdd { dst, a, b, c } => {
-                    let (d, a, b, c) = (off(dst), off(a), off(b), off(c));
-                    for l in 0..m {
-                        // SAFETY: stripe offsets of validated registers
-                        // plus `l < m <= LANES`; see the function header.
-                        unsafe {
-                            let av = *regs.get_unchecked(a + l);
-                            let bv = *regs.get_unchecked(b + l);
-                            let cv = *regs.get_unchecked(c + l);
-                            // Two roundings on purpose; see `RInstr::MulAdd`.
-                            *regs.get_unchecked_mut(d + l) = av * bv + cv;
-                        }
-                    }
+                    l_fused3(F3::MulAdd, regs, off(dst), off(a), off(b), off(c), m);
+                }
+                RInstr::MulSub { dst, a, b, c } => {
+                    l_fused3(F3::MulSub, regs, off(dst), off(a), off(b), off(c), m);
+                }
+                RInstr::SubMul { dst, a, b, c } => {
+                    l_fused3(F3::SubMul, regs, off(dst), off(a), off(b), off(c), m);
                 }
             }
         }
@@ -784,6 +938,177 @@ fn k_bin_cr(f: impl Fn(f64, f64) -> f64, regs: &mut [f64], d: usize, a: usize, c
         unsafe {
             let av = *regs.get_unchecked(a + l);
             *regs.get_unchecked_mut(d + l) = f(av, c);
+        }
+    }
+}
+
+/// The three-operand fused shapes (all two separate roundings, never FMA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum F3 {
+    /// `a*b + c`
+    MulAdd,
+    /// `a*b - c`
+    MulSub,
+    /// `a - b*c`
+    SubMul,
+}
+
+// Lane-kernel dispatchers: resolve `(op, fast)` to the right kernel once
+// per instruction, outside the lane loop. On a full stripe (`m == LANES`)
+// with live SIMD support these call the `__m256d` kernels in
+// `crate::simd`; otherwise (ragged tail, feature off, no AVX2+FMA) the
+// scalar `k_*` kernels run. Fast transcendentals are chosen only when
+// `fast` (the relaxed `simd` tier); both paths compute bit-identical
+// per-lane values, so chunk alignment never changes a trajectory.
+//
+// SAFETY (the `unsafe` blocks below): `crate::simd::active()` verified
+// AVX2+FMA at run time, and the offsets are full `LANES`-wide stripes of
+// registers proved `< n_regs` by `RegProgram::validate()` against a buffer
+// asserted `n_regs * LANES` long — the exact contract the kernels state.
+#[inline]
+fn l_un(op: UnOp, fast: bool, regs: &mut [f64], d: usize, a: usize, m: usize) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if m == LANES && crate::simd::active() {
+        // SAFETY: see the shared dispatcher argument above.
+        unsafe {
+            match (op, fast) {
+                (UnOp::Neg, _) => return crate::simd::neg_k(regs, d, a),
+                (UnOp::Exp, true) => return crate::simd::exp_k(regs, d, a),
+                (UnOp::Log, true) => return crate::simd::log_k(regs, d, a),
+                _ => {}
+            }
+        }
+    }
+    match (op, fast) {
+        (UnOp::Neg, _) => k_un(|x| -x, regs, d, a, m),
+        (UnOp::Log, false) => k_un(protected_log, regs, d, a, m),
+        (UnOp::Exp, false) => k_un(protected_exp, regs, d, a, m),
+        (UnOp::Log, true) => k_un(fast_log, regs, d, a, m),
+        (UnOp::Exp, true) => k_un(fast_exp, regs, d, a, m),
+    }
+}
+
+#[inline]
+fn l_bin(op: BinOp, fast: bool, regs: &mut [f64], d: usize, a: usize, b: usize, m: usize) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if m == LANES && crate::simd::active() {
+        // SAFETY: see the shared dispatcher argument above.
+        unsafe {
+            match op {
+                BinOp::Add => return crate::simd::add_rr(regs, d, a, b),
+                BinOp::Sub => return crate::simd::sub_rr(regs, d, a, b),
+                BinOp::Mul => return crate::simd::mul_rr(regs, d, a, b),
+                BinOp::Div => return crate::simd::div_rr(regs, d, a, b),
+                BinOp::Min => return crate::simd::min_rr(regs, d, a, b),
+                BinOp::Max => return crate::simd::max_rr(regs, d, a, b),
+                BinOp::Pow if fast => return crate::simd::pow_rr(regs, d, a, b),
+                BinOp::Pow => {}
+            }
+        }
+    }
+    match op {
+        BinOp::Add => k_bin(|x, y| x + y, regs, d, a, b, m),
+        BinOp::Sub => k_bin(|x, y| x - y, regs, d, a, b, m),
+        BinOp::Mul => k_bin(|x, y| x * y, regs, d, a, b, m),
+        BinOp::Div => k_bin(protected_div, regs, d, a, b, m),
+        BinOp::Min => k_bin(f64::min, regs, d, a, b, m),
+        BinOp::Max => k_bin(f64::max, regs, d, a, b, m),
+        BinOp::Pow => {
+            let f: fn(f64, f64) -> f64 = if fast { fast_pow } else { protected_pow };
+            k_bin(f, regs, d, a, b, m)
+        }
+    }
+}
+
+#[inline]
+fn l_bin_cl(op: BinOp, fast: bool, regs: &mut [f64], d: usize, c: f64, b: usize, m: usize) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if m == LANES && crate::simd::active() {
+        // SAFETY: see the shared dispatcher argument above.
+        unsafe {
+            match op {
+                BinOp::Add => return crate::simd::add_cl(regs, d, c, b),
+                BinOp::Sub => return crate::simd::sub_cl(regs, d, c, b),
+                BinOp::Mul => return crate::simd::mul_cl(regs, d, c, b),
+                BinOp::Div => return crate::simd::div_cl(regs, d, c, b),
+                BinOp::Min => return crate::simd::min_cl(regs, d, c, b),
+                BinOp::Max => return crate::simd::max_cl(regs, d, c, b),
+                BinOp::Pow if fast => return crate::simd::pow_cl(regs, d, c, b),
+                BinOp::Pow => {}
+            }
+        }
+    }
+    match op {
+        BinOp::Add => k_bin_cl(|x, y| x + y, regs, d, c, b, m),
+        BinOp::Sub => k_bin_cl(|x, y| x - y, regs, d, c, b, m),
+        BinOp::Mul => k_bin_cl(|x, y| x * y, regs, d, c, b, m),
+        BinOp::Div => k_bin_cl(protected_div, regs, d, c, b, m),
+        BinOp::Min => k_bin_cl(f64::min, regs, d, c, b, m),
+        BinOp::Max => k_bin_cl(f64::max, regs, d, c, b, m),
+        BinOp::Pow => {
+            let f: fn(f64, f64) -> f64 = if fast { fast_pow } else { protected_pow };
+            k_bin_cl(f, regs, d, c, b, m)
+        }
+    }
+}
+
+#[inline]
+fn l_bin_cr(op: BinOp, fast: bool, regs: &mut [f64], d: usize, a: usize, c: f64, m: usize) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if m == LANES && crate::simd::active() {
+        // SAFETY: see the shared dispatcher argument above.
+        unsafe {
+            match op {
+                BinOp::Add => return crate::simd::add_cr(regs, d, a, c),
+                BinOp::Sub => return crate::simd::sub_cr(regs, d, a, c),
+                BinOp::Mul => return crate::simd::mul_cr(regs, d, a, c),
+                BinOp::Div => return crate::simd::div_cr(regs, d, a, c),
+                BinOp::Min => return crate::simd::min_cr(regs, d, a, c),
+                BinOp::Max => return crate::simd::max_cr(regs, d, a, c),
+                BinOp::Pow if fast => return crate::simd::pow_cr(regs, d, a, c),
+                BinOp::Pow => {}
+            }
+        }
+    }
+    match op {
+        BinOp::Add => k_bin_cr(|x, y| x + y, regs, d, a, c, m),
+        BinOp::Sub => k_bin_cr(|x, y| x - y, regs, d, a, c, m),
+        BinOp::Mul => k_bin_cr(|x, y| x * y, regs, d, a, c, m),
+        BinOp::Div => k_bin_cr(protected_div, regs, d, a, c, m),
+        BinOp::Min => k_bin_cr(f64::min, regs, d, a, c, m),
+        BinOp::Max => k_bin_cr(f64::max, regs, d, a, c, m),
+        BinOp::Pow => {
+            let f: fn(f64, f64) -> f64 = if fast { fast_pow } else { protected_pow };
+            k_bin_cr(f, regs, d, a, c, m)
+        }
+    }
+}
+
+#[inline]
+fn l_fused3(kind: F3, regs: &mut [f64], d: usize, a: usize, b: usize, c: usize, m: usize) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if m == LANES && crate::simd::active() {
+        // SAFETY: see the shared dispatcher argument above.
+        unsafe {
+            return match kind {
+                F3::MulAdd => crate::simd::mul_add_k(regs, d, a, b, c),
+                F3::MulSub => crate::simd::mul_sub_k(regs, d, a, b, c),
+                F3::SubMul => crate::simd::sub_mul_k(regs, d, a, b, c),
+            };
+        }
+    }
+    for l in 0..m {
+        // SAFETY: see the shared argument above (`k_*` kernels).
+        unsafe {
+            let av = *regs.get_unchecked(a + l);
+            let bv = *regs.get_unchecked(b + l);
+            let cv = *regs.get_unchecked(c + l);
+            // Two roundings on purpose; see `RInstr::MulAdd`.
+            *regs.get_unchecked_mut(d + l) = match kind {
+                F3::MulAdd => av * bv + cv,
+                F3::MulSub => av * bv - cv,
+                F3::SubMul => av - bv * cv,
+            };
         }
     }
 }
@@ -989,6 +1314,8 @@ enum VOp {
     ConstBinL(BinOp, f64, VR),
     ConstBinR(BinOp, VR, f64),
     MulAdd(VR, VR, VR),
+    MulSub(VR, VR, VR),
+    SubMul(VR, VR, VR),
 }
 
 impl VOp {
@@ -1002,7 +1329,7 @@ impl VOp {
                 f(a);
                 f(b);
             }
-            VOp::MulAdd(a, b, c) => {
+            VOp::MulAdd(a, b, c) | VOp::MulSub(a, b, c) | VOp::SubMul(a, b, c) => {
                 f(a);
                 f(b);
                 f(c);
@@ -1094,13 +1421,15 @@ impl<'d> Emitter<'d> {
 // ---------------------------------------------------------------------------
 
 /// Fusion peephole over virtual code. Priority per binary instruction:
-/// `MulAdd` (erases a whole instruction) over `VarBin` (erases a load and
-/// its dispatch) over `ConstBin` (inlines an immediate, freeing a pinned
-/// register read). Multi-use temporaries are never destroyed: a `LoadVar`
-/// feeding several consumers fuses into each, and its defining instruction
-/// dies only when no uses remain. Output references count as uses, so an
-/// output definition never fuses away.
-fn fuse(code: &mut Vec<VIns>, outputs: &[VR], dag: &Dag) {
+/// the three-operand shapes (`MulAdd`/`MulSub`/`SubMul`, erasing a whole
+/// instruction) over `VarBin` (erases a load and its dispatch) over
+/// `ConstBin` (inlines an immediate, freeing a pinned register read).
+/// Which patterns may fire at all is governed by `table` — the
+/// corpus-selected [`FusionTable`] by default. Multi-use temporaries are
+/// never destroyed: a `LoadVar` feeding several consumers fuses into each,
+/// and its defining instruction dies only when no uses remain. Output
+/// references count as uses, so an output definition never fuses away.
+fn fuse(code: &mut Vec<VIns>, outputs: &[VR], dag: &Dag, table: FusionTable) {
     let mut def_idx: HashMap<u32, usize> = HashMap::with_capacity(code.len());
     for (i, ins) in code.iter().enumerate() {
         def_idx.insert(ins.dst, i);
@@ -1123,8 +1452,11 @@ fn fuse(code: &mut Vec<VIns>, outputs: &[VR], dag: &Dag) {
         let VOp::Bin(op, a, b) = code[i].op else {
             continue;
         };
-        // MulAdd: a single-use Mul feeding either Add operand.
-        if op == BinOp::Add {
+        // Three-operand shapes: a single-use Mul feeding an Add operand
+        // (either side) or a Sub operand (left → MulSub, right → SubMul).
+        // The decision is computed first and applied after, so the
+        // immutable probe of `code`/`uses` ends before the mutation.
+        let fused3 = {
             let try_mul = |v: VR| -> Option<(u32, usize, VR, VR)> {
                 let VR::Temp(t) = v else { return None };
                 if uses.get(&t) != Some(&1) {
@@ -1136,55 +1468,73 @@ fn fuse(code: &mut Vec<VIns>, outputs: &[VR], dag: &Dag) {
                     _ => None,
                 }
             };
-            if let Some((t, j, x, y)) = try_mul(a) {
-                code[i].op = VOp::MulAdd(x, y, b);
-                code[j].dead = true;
-                uses.insert(t, 0);
-                continue;
-            }
-            if let Some((t, j, x, y)) = try_mul(b) {
-                code[i].op = VOp::MulAdd(x, y, a);
-                code[j].dead = true;
-                uses.insert(t, 0);
-                continue;
-            }
-        }
-        // VarBin: fold a forcing-variable load into the consumer. The
-        // load's definition survives while other consumers still need it.
-        let load_of = |v: VR| -> Option<(u32, usize, u8)> {
-            let VR::Temp(t) = v else { return None };
-            let j = def_idx[&t];
-            match code[j].op {
-                VOp::LoadVar(idx) => Some((t, j, idx)),
+            match op {
+                BinOp::Add if table.mul_add => try_mul(a)
+                    .map(|(t, j, x, y)| (t, j, VOp::MulAdd(x, y, b)))
+                    .or_else(|| try_mul(b).map(|(t, j, x, y)| (t, j, VOp::MulAdd(x, y, a)))),
+                BinOp::Sub => {
+                    let ms = if table.mul_sub {
+                        try_mul(a).map(|(t, j, x, y)| (t, j, VOp::MulSub(x, y, b)))
+                    } else {
+                        None
+                    };
+                    ms.or_else(|| {
+                        if table.sub_mul {
+                            try_mul(b).map(|(t, j, x, y)| (t, j, VOp::SubMul(a, x, y)))
+                        } else {
+                            None
+                        }
+                    })
+                }
                 _ => None,
             }
         };
-        if let Some((t, j, idx)) = load_of(a) {
-            code[i].op = VOp::VarBinL(op, idx, b);
-            let u = uses.get_mut(&t).expect("use count for operand");
-            *u -= 1;
-            if *u == 0 {
-                code[j].dead = true;
-            }
+        if let Some((t, j, new_op)) = fused3 {
+            code[i].op = new_op;
+            code[j].dead = true;
+            uses.insert(t, 0);
             continue;
         }
-        if let Some((t, j, idx)) = load_of(b) {
-            code[i].op = VOp::VarBinR(op, a, idx);
-            let u = uses.get_mut(&t).expect("use count for operand");
-            *u -= 1;
-            if *u == 0 {
-                code[j].dead = true;
+        // VarBin: fold a forcing-variable load into the consumer. The
+        // load's definition survives while other consumers still need it.
+        if table.var_bin {
+            let load_of = |v: VR| -> Option<(u32, usize, u8)> {
+                let VR::Temp(t) = v else { return None };
+                let j = def_idx[&t];
+                match code[j].op {
+                    VOp::LoadVar(idx) => Some((t, j, idx)),
+                    _ => None,
+                }
+            };
+            if let Some((t, j, idx)) = load_of(a) {
+                code[i].op = VOp::VarBinL(op, idx, b);
+                let u = uses.get_mut(&t).expect("use count for operand");
+                *u -= 1;
+                if *u == 0 {
+                    code[j].dead = true;
+                }
+                continue;
             }
-            continue;
+            if let Some((t, j, idx)) = load_of(b) {
+                code[i].op = VOp::VarBinR(op, a, idx);
+                let u = uses.get_mut(&t).expect("use count for operand");
+                *u -= 1;
+                if *u == 0 {
+                    code[j].dead = true;
+                }
+                continue;
+            }
         }
         // ConstBin: inline a pinned constant as an immediate. (Both sides
         // constant is impossible — the DAG folded that.)
-        if let VR::Const(c) = a {
-            code[i].op = VOp::ConstBinL(op, dag.cnum(c).expect("const node"), b);
-            continue;
-        }
-        if let VR::Const(c) = b {
-            code[i].op = VOp::ConstBinR(op, a, dag.cnum(c).expect("const node"));
+        if table.const_bin {
+            if let VR::Const(c) = a {
+                code[i].op = VOp::ConstBinL(op, dag.cnum(c).expect("const node"), b);
+                continue;
+            }
+            if let VR::Const(c) = b {
+                code[i].op = VOp::ConstBinR(op, a, dag.cnum(c).expect("const node"));
+            }
         }
     }
     code.retain(|ins| !ins.dead);
@@ -1327,6 +1677,18 @@ fn allocate(code: &[VIns], outputs: &[VR], dag: &Dag, n_pre: u16) -> RegProgram 
                     b: resolve(&b),
                     c: resolve(&c),
                 },
+                VOp::MulSub(a, b, c) => RInstr::MulSub {
+                    dst: 0,
+                    a: resolve(&a),
+                    b: resolve(&b),
+                    c: resolve(&c),
+                },
+                VOp::SubMul(a, b, c) => RInstr::SubMul {
+                    dst: 0,
+                    a: resolve(&a),
+                    b: resolve(&b),
+                    c: resolve(&c),
+                },
             }
         };
         // Free temporaries whose live range ends here (a temp read twice
@@ -1387,7 +1749,7 @@ fn allocate(code: &[VIns], outputs: &[VR], dag: &Dag, n_pre: u16) -> RegProgram 
 /// A system of equations compiled through the optimizing pipeline: one
 /// shared DAG, an optional state-independent prefix program, and a core
 /// program producing one output per equation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CompiledSystem {
     /// Columnar-swept prefix; empty when `opts.split` is off or nothing is
     /// state-independent. Its outputs fill the core's pinned window.
@@ -1396,6 +1758,24 @@ pub struct CompiledSystem {
     core: RegProgram,
     n_eqs: usize,
     opts: OptOptions,
+    /// Threaded-code images of `prefix`/`core`, built by
+    /// [`compile`](Self::compile) when `opts.exec` is not [`Exec::Match`].
+    /// Systems assembled by [`from_raw_parts`](Self::from_raw_parts) never
+    /// carry thunks (they may be deliberately corrupt and must only ever
+    /// be analyzed); scalar execution then falls back to `run_scalar`.
+    prefix_thunks: Option<ThreadedProgram>,
+    core_thunks: Option<ThreadedProgram>,
+}
+
+impl PartialEq for CompiledSystem {
+    /// Thunk arrays are derived data (a pure function of the programs and
+    /// options), so equality compares the programs themselves.
+    fn eq(&self, other: &Self) -> bool {
+        self.prefix == other.prefix
+            && self.core == other.core
+            && self.n_eqs == other.n_eqs
+            && self.opts == other.opts
+    }
 }
 
 impl CompiledSystem {
@@ -1472,7 +1852,7 @@ impl CompiledSystem {
                 .collect();
             let mut code = em.code;
             if opts.fuse {
-                fuse(&mut code, &outs, &dag);
+                fuse(&mut code, &outs, &dag, opts.table);
             }
             allocate(&code, &outs, &dag, 0)
         } else {
@@ -1483,16 +1863,32 @@ impl CompiledSystem {
         let outs: Vec<VR> = roots.iter().map(|&r| em.value(r)).collect();
         let mut code = em.code;
         if opts.fuse {
-            fuse(&mut code, &outs, &dag);
+            fuse(&mut code, &outs, &dag, opts.table);
         }
         let core = allocate(&code, &outs, &dag, n_pre);
         debug_assert_eq!(prefix.outputs.len(), n_pre as usize);
+
+        // Threaded-code images: every instruction pre-resolved to a
+        // monomorphized thunk. `fast` (relaxed transcendentals) only when
+        // the simd tier's kernels are actually live, so the scalar and
+        // columnar paths of one system always agree per lane.
+        let fast = opts.exec == Exec::Simd && crate::simd::active();
+        let (prefix_thunks, core_thunks) = if opts.exec == Exec::Match {
+            (None, None)
+        } else {
+            (
+                (!prefix.is_empty()).then(|| ThreadedProgram::build(&prefix, fast)),
+                Some(ThreadedProgram::build(&core, fast)),
+            )
+        };
 
         CompiledSystem {
             prefix,
             core,
             n_eqs: eqs.len(),
             opts,
+            prefix_thunks,
+            core_thunks,
         }
     }
 
@@ -1581,6 +1977,8 @@ impl CompiledSystem {
             core,
             n_eqs,
             opts,
+            prefix_thunks: None,
+            core_thunks: None,
         }
     }
 
@@ -1592,6 +1990,55 @@ impl CompiledSystem {
     /// The options this system was compiled with.
     pub fn options(&self) -> OptOptions {
         self.opts
+    }
+
+    /// The named tier these options compile to.
+    pub fn tier(&self) -> Tier {
+        match (self.opts.exec, self.opts.split, self.opts.fuse) {
+            (Exec::Simd, ..) => Tier::Simd,
+            (Exec::Threaded, ..) => Tier::Threaded,
+            (Exec::Match, true, _) => Tier::Split,
+            (Exec::Match, false, true) => Tier::Fused,
+            (Exec::Match, false, false) => Tier::Register,
+        }
+    }
+
+    /// True when this system executes with relaxed fidelity **on this
+    /// machine right now**: simd exec with the vector kernels live. A
+    /// simd-tier system on a machine without AVX2+FMA (or with the `simd`
+    /// feature off) is bit-exact threaded code.
+    pub fn relaxed(&self) -> bool {
+        self.opts.exec == Exec::Simd && crate::simd::active()
+    }
+
+    /// The fidelity this system's execution delivers (see
+    /// [`relaxed`](Self::relaxed)).
+    pub fn fidelity(&self) -> Fidelity {
+        if self.relaxed() {
+            Fidelity::RelaxedSimd
+        } else {
+            Fidelity::BitExact
+        }
+    }
+
+    /// Run the core for one row: threaded thunks when built, otherwise the
+    /// match interpreter.
+    #[inline]
+    fn run_core_scalar(&self, vars: &[f64], state: &[f64], regs: &mut [f64]) {
+        match &self.core_thunks {
+            Some(t) => t.run(vars, state, regs),
+            None => self.core.run_scalar(vars, state, regs),
+        }
+    }
+
+    /// Run the prefix scalar for one row (see
+    /// [`run_core_scalar`](Self::run_core_scalar)).
+    #[inline]
+    fn run_prefix_scalar(&self, vars: &[f64], regs: &mut [f64]) {
+        match &self.prefix_thunks {
+            Some(t) => t.run(vars, &[], regs),
+            None => self.prefix.run_scalar(vars, &[], regs),
+        }
     }
 
     /// Instructions in the sequential core program.
@@ -1648,14 +2095,12 @@ impl CompiledSystem {
         assert_eq!(out.len(), self.n_eqs);
         let window = self.core.consts.len();
         if !self.prefix.outputs.is_empty() {
-            self.prefix
-                .run_scalar(ctx.vars, &[], &mut scratch.prefix_regs);
+            self.run_prefix_scalar(ctx.vars, &mut scratch.prefix_regs);
             for (k, &r) in self.prefix.outputs.iter().enumerate() {
                 scratch.core_regs[window + k] = scratch.prefix_regs[r as usize];
             }
         }
-        self.core
-            .run_scalar(ctx.vars, ctx.state, &mut scratch.core_regs);
+        self.run_core_scalar(ctx.vars, ctx.state, &mut scratch.core_regs);
         for (e, &r) in self.core.outputs.iter().enumerate() {
             out[e] = scratch.core_regs[r as usize];
         }
@@ -1758,9 +2203,13 @@ impl<R: AsRef<[f64]>> SystemSession<'_, R> {
         if n_pre > 0 {
             while self.filled <= t {
                 let m = LANES.min(self.rows.len() - self.filled);
-                self.sys
-                    .prefix
-                    .run_lanes(self.rows, self.filled, m, &mut self.lane_regs);
+                self.sys.prefix.run_lanes(
+                    self.rows,
+                    self.filled,
+                    m,
+                    &mut self.lane_regs,
+                    self.sys.relaxed(),
+                );
                 for l in 0..m {
                     let row = (self.filled + l) * n_pre;
                     for (k, &r) in self.sys.prefix.outputs.iter().enumerate() {
@@ -1773,8 +2222,7 @@ impl<R: AsRef<[f64]>> SystemSession<'_, R> {
                 .copy_from_slice(&self.prefix_buf[t * n_pre..(t + 1) * n_pre]);
         }
         self.sys
-            .core
-            .run_scalar(self.rows[t].as_ref(), state, &mut self.scratch.core_regs);
+            .run_core_scalar(self.rows[t].as_ref(), state, &mut self.scratch.core_regs);
         for (e, &r) in self.sys.core.outputs.iter().enumerate() {
             out[e] = self.scratch.core_regs[r as usize];
         }
@@ -1831,9 +2279,13 @@ impl<R: AsRef<[f64]>> MultiSession<'_, R> {
         if n_pre > 0 {
             while self.filled <= t {
                 let m = LANES.min(self.rows.len() - self.filled);
-                self.sys
-                    .prefix
-                    .run_lanes(self.rows, self.filled, m, &mut self.prefix_lane_regs);
+                self.sys.prefix.run_lanes(
+                    self.rows,
+                    self.filled,
+                    m,
+                    &mut self.prefix_lane_regs,
+                    self.sys.relaxed(),
+                );
                 for l in 0..m {
                     let row = (self.filled + l) * n_pre;
                     for (j, &r) in self.sys.prefix.outputs.iter().enumerate() {
@@ -1856,6 +2308,7 @@ impl<R: AsRef<[f64]>> MultiSession<'_, R> {
             stride,
             k,
             &mut self.core_lane_regs,
+            self.sys.relaxed(),
         );
         for l in 0..k {
             for (e, &r) in self.sys.core.outputs.iter().enumerate() {
@@ -1928,16 +2381,42 @@ mod tests {
         }
     }
 
-    const TIERS: [fn() -> OptOptions; 3] =
-        [OptOptions::register, OptOptions::fused, OptOptions::full];
+    /// Every tier whose execution is bit-exact on this machine. The simd
+    /// tier joins only where its vector kernels are *not* live (feature
+    /// off or no AVX2+FMA), i.e. exactly when it degrades to threaded.
+    fn exact_tiers() -> Vec<OptOptions> {
+        let mut tiers = vec![
+            OptOptions::register(),
+            OptOptions::fused(),
+            OptOptions::full(),
+            OptOptions::threaded(),
+        ];
+        if !crate::simd::active() {
+            tiers.push(OptOptions::simd());
+        }
+        tiers
+    }
+
+    /// Every tier, the simd tier possibly relaxed — for tests comparing
+    /// the VM's own execution paths against each other, which must agree
+    /// bitwise regardless of fidelity.
+    fn all_tiers() -> Vec<OptOptions> {
+        vec![
+            OptOptions::register(),
+            OptOptions::fused(),
+            OptOptions::full(),
+            OptOptions::threaded(),
+            OptOptions::simd(),
+        ]
+    }
 
     #[test]
     fn all_tiers_match_interpreter_on_sample() {
         let eqs = sample_system();
-        for tier in TIERS {
-            check_equivalence(&eqs, &[20.0, 1.4], &[8.0, 1.2], tier());
-            check_equivalence(&eqs, &[0.0, 0.0], &[0.0, 0.0], tier());
-            check_equivalence(&eqs, &[-3.0, 1e9], &[1e9, -1e9], tier());
+        for opts in exact_tiers() {
+            check_equivalence(&eqs, &[20.0, 1.4], &[8.0, 1.2], opts);
+            check_equivalence(&eqs, &[0.0, 0.0], &[0.0, 0.0], opts);
+            check_equivalence(&eqs, &[-3.0, 1e9], &[1e9, -1e9], opts);
         }
     }
 
@@ -1978,8 +2457,8 @@ mod tests {
             (vec![1e12, 0.0], vec![-1e12]),
         ] {
             for (i, eq) in cases.iter().enumerate() {
-                for tier in TIERS {
-                    let sys = CompiledSystem::compile(std::slice::from_ref(eq), tier());
+                for opts in exact_tiers() {
+                    let sys = CompiledSystem::compile(std::slice::from_ref(eq), opts);
                     let ctx = EvalContext {
                         vars: &vars,
                         state: &state,
@@ -1988,8 +2467,7 @@ mod tests {
                     sys.eval_step(&ctx, &mut sys.scratch(), &mut out);
                     assert!(
                         feq(out[0], eq.eval(&ctx)),
-                        "case {i} tier {:?} diverged",
-                        tier()
+                        "case {i} tier {opts:?} diverged"
                     );
                 }
             }
@@ -2072,8 +2550,8 @@ mod tests {
                 ]
             })
             .collect();
-        for tier in TIERS {
-            let sys = CompiledSystem::compile(&eqs, tier());
+        for opts in all_tiers() {
+            let sys = CompiledSystem::compile(&eqs, opts);
             let mut session = sys.session(&rows);
             let mut scratch = sys.scratch();
             let mut state = [8.0, 1.2];
@@ -2088,8 +2566,7 @@ mod tests {
                 session.step(t, &state, &mut got);
                 assert!(
                     feq(got[0], want[0]) && feq(got[1], want[1]),
-                    "session diverged at t={t} for {:?}",
-                    tier()
+                    "session diverged at t={t} for {opts:?}"
                 );
                 // Drive a state recurrence so core really is sequential.
                 state[0] = (state[0] + 0.1 * got[0]).clamp(0.0, 1e6);
@@ -2129,8 +2606,8 @@ mod tests {
         let inits: Vec<[f64; 2]> = (0..k)
             .map(|l| [4.0 + l as f64 * 1.7, 0.3 + l as f64 * 0.41])
             .collect();
-        for tier in TIERS {
-            let sys = CompiledSystem::compile(&eqs, tier());
+        for opts in all_tiers() {
+            let sys = CompiledSystem::compile(&eqs, opts);
 
             // Reference: each trajectory through its own solo session.
             let mut want = vec![vec![[0.0f64; 2]; n_rows]; k];
@@ -2158,8 +2635,7 @@ mod tests {
                     for e in 0..2 {
                         assert!(
                             feq(out[l * 2 + e], want[l][t][e]),
-                            "lane {l} eq {e} diverged at t={t} for {:?}: {} vs {}",
-                            tier(),
+                            "lane {l} eq {e} diverged at t={t} for {opts:?}: {} vs {}",
                             out[l * 2 + e],
                             want[l][t][e],
                         );
@@ -2243,10 +2719,9 @@ mod tests {
     #[test]
     fn compiled_systems_pass_self_check_with_no_dead_code() {
         let eqs = sample_system();
-        for tier in TIERS {
-            let sys = CompiledSystem::compile(&eqs, tier());
-            sys.self_check()
-                .unwrap_or_else(|e| panic!("{:?}: {e}", tier()));
+        for opts in all_tiers() {
+            let sys = CompiledSystem::compile(&eqs, opts);
+            sys.self_check().unwrap_or_else(|e| panic!("{opts:?}: {e}"));
             assert!(sys.core().dead_instructions().is_empty());
             assert!(sys.prefix().dead_instructions().is_empty());
         }
@@ -2343,5 +2818,144 @@ mod tests {
             sys.core().n_regs()
         );
         assert!(sys.prefix().n_regs() <= 16);
+    }
+
+    #[test]
+    fn sub_patterns_fuse_and_stay_exact() {
+        // s0*s1 - s0  → MulSub;  s0 - s1*s1 → SubMul.
+        let mul_sub = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Mul, Expr::State(0), Expr::State(1)),
+            Expr::State(0),
+        );
+        let sub_mul = Expr::bin(
+            BinOp::Sub,
+            Expr::State(0),
+            Expr::bin(BinOp::Mul, Expr::State(1), Expr::State(1)),
+        );
+        // Pin the table to ALL: this test is about the *patterns* firing
+        // and staying exact, independent of what the current corpus selects.
+        let opts = OptOptions {
+            table: FusionTable::ALL,
+            ..OptOptions::fused()
+        };
+        for eq in [&mul_sub, &sub_mul] {
+            let sys = CompiledSystem::compile(std::slice::from_ref(eq), opts);
+            let fused_shapes = sys
+                .core()
+                .instructions()
+                .iter()
+                .filter(|i| matches!(i, RInstr::MulSub { .. } | RInstr::SubMul { .. }))
+                .count();
+            assert!(fused_shapes >= 1, "no Sub-shape fused for {eq:?}");
+            for state in [[2.0, 3.0], [0.0, 0.0], [-1.5, 1e9], [f64::NAN, 1.0]] {
+                let ctx = EvalContext {
+                    vars: &[],
+                    state: &state,
+                };
+                let mut out = [0.0];
+                sys.eval_step(&ctx, &mut sys.scratch(), &mut out);
+                assert!(feq(out[0], eq.eval(&ctx)), "diverged at {state:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_table_gates_patterns() {
+        let eqs = sample_system();
+        let all = CompiledSystem::compile(
+            &eqs,
+            OptOptions {
+                table: FusionTable::ALL,
+                ..OptOptions::fused()
+            },
+        );
+        // fuse=true with an empty table must equal the register tier's
+        // instruction stream (nothing is permitted to fire).
+        let none = CompiledSystem::compile(
+            &eqs,
+            OptOptions {
+                table: FusionTable::NONE,
+                ..OptOptions::fused()
+            },
+        );
+        let register = CompiledSystem::compile(&eqs, OptOptions::register());
+        assert_eq!(none.core().instructions(), register.core().instructions());
+        assert!(all.core_len() < none.core_len());
+    }
+
+    #[test]
+    fn tier_names_round_trip_and_map_to_options() {
+        for tier in Tier::ALL {
+            assert_eq!(Tier::parse(tier.name()), Some(tier));
+            let sys = CompiledSystem::compile(&sample_system(), tier.options());
+            assert_eq!(sys.tier(), tier, "options round-trip for {tier:?}");
+        }
+        assert_eq!(Tier::parse("full"), Some(Tier::Split), "historical alias");
+        assert_eq!(Tier::parse("bogus"), None);
+    }
+
+    #[test]
+    fn fidelity_policy_gates_relaxed_tiers() {
+        assert_eq!(Tier::fastest(FidelityPolicy::BitExact), Tier::Threaded);
+        let fast = Tier::fastest(FidelityPolicy::AllowRelaxed);
+        assert!(FidelityPolicy::AllowRelaxed.allows(fast.fidelity()));
+        assert!(FidelityPolicy::BitExact.allows(Fidelity::BitExact));
+        assert!(!FidelityPolicy::BitExact.allows(Fidelity::RelaxedSimd));
+        for tier in [Tier::Register, Tier::Fused, Tier::Split, Tier::Threaded] {
+            assert_eq!(tier.fidelity(), Fidelity::BitExact);
+        }
+        let sys = CompiledSystem::compile(&sample_system(), OptOptions::simd());
+        assert_eq!(sys.relaxed(), crate::simd::active());
+        assert_eq!(sys.fidelity(), Tier::Simd.fidelity());
+    }
+
+    /// With live SIMD kernels the simd tier is *relaxed*: transcendentals
+    /// track the interpreter to ~1e-12 relative error instead of bitwise.
+    #[cfg(feature = "simd")]
+    #[test]
+    fn relaxed_simd_tier_tracks_interpreter_within_tolerance() {
+        if !crate::simd::active() {
+            return; // no AVX2+FMA: the tier is bit-exact, covered above
+        }
+        // Transcendental-heavy equation: exp/log/pow in prefix and core.
+        let eq = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(
+                BinOp::Mul,
+                Expr::State(0),
+                Expr::un(
+                    UnOp::Exp,
+                    Expr::bin(BinOp::Div, Expr::Var(0), Expr::Num(30.0)),
+                ),
+            ),
+            Expr::bin(
+                BinOp::Pow,
+                Expr::un(
+                    UnOp::Log,
+                    Expr::bin(BinOp::Add, Expr::Var(1), Expr::Num(1.0)),
+                ),
+                Expr::Num(1.7),
+            ),
+        );
+        let sys = CompiledSystem::compile(std::slice::from_ref(&eq), OptOptions::simd());
+        assert!(sys.relaxed());
+        let rows: Vec<Vec<f64>> = (0..LANES + 5)
+            .map(|t| vec![(t as f64 * 0.7).sin() * 25.0, t as f64 * 0.3 + 0.1])
+            .collect();
+        let mut session = sys.session(&rows);
+        let mut state = [4.0];
+        for (t, row) in rows.iter().enumerate() {
+            let ctx = EvalContext {
+                vars: row,
+                state: &state,
+            };
+            let want = eq.eval(&ctx);
+            let mut got = [0.0];
+            session.step(t, &state, &mut got);
+            let rel = (got[0] - want).abs() / want.abs().max(1e-300);
+            assert!(rel < 1e-11, "t={t}: rel err {rel:e} ({} vs {want})", got[0]);
+            state[0] = (state[0] + 0.05 * got[0]).clamp(0.1, 1e6);
+        }
     }
 }

@@ -130,6 +130,33 @@ fn feq(a: f64, b: f64) -> bool {
     (a.is_nan() && b.is_nan()) || a == b
 }
 
+/// Every tier whose contract is bit-exactness vs the interpreter. The
+/// threaded tier is always bit-exact; the simd tier is bit-exact exactly
+/// when its vector kernels are dormant (feature off, or no AVX2+FMA at
+/// runtime) and it falls back to the threaded thunks.
+fn exact_tiers() -> Vec<OptOptions> {
+    let mut tiers = vec![
+        OptOptions::register(),
+        OptOptions::fused(),
+        OptOptions::full(),
+        OptOptions::threaded(),
+    ];
+    if !gmr_expr::simd::active() {
+        tiers.push(OptOptions::simd());
+    }
+    tiers
+}
+
+/// Relative closeness for the relaxed-simd fidelity class: the vector
+/// transcendentals are allowed to differ from libm in the last few ulps.
+#[cfg(feature = "simd")]
+fn close(a: f64, b: f64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return a.is_nan() && b.is_nan();
+    }
+    (a - b).abs() <= 1e-12 + 1e-9 * a.abs().max(b.abs())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -199,11 +226,13 @@ proptest! {
         (vars, state) in arb_ctx(),
     ) {
         // The tentpole invariant: constant folding, peephole rewrites,
-        // cross-equation CSE, register allocation, fusion and the prefix
-        // split must all be bit-exact under protected semantics.
+        // cross-equation CSE, register allocation, fusion, the prefix
+        // split, and the threaded-code thunks must all be bit-exact under
+        // protected semantics (the simd tier too, whenever its vector
+        // kernels are dormant and it runs the scalar fallback).
         let ctx = EvalContext { vars: &vars, state: &state };
         let expect: Vec<f64> = eqs.iter().map(|e| e.eval(&ctx)).collect();
-        for opts in [OptOptions::register(), OptOptions::fused(), OptOptions::full()] {
+        for opts in exact_tiers() {
             let sys = CompiledSystem::compile(&eqs, opts);
             let mut scratch = sys.scratch();
             let mut out = vec![0.0; sys.n_eqs()];
@@ -224,7 +253,7 @@ proptest! {
         // assume finiteness anywhere (this is why x*0 → 0 is NOT a rewrite).
         let ctx = EvalContext { vars: &vars, state: &state };
         let expect: Vec<f64> = eqs.iter().map(|e| e.eval(&ctx)).collect();
-        for opts in [OptOptions::register(), OptOptions::fused(), OptOptions::full()] {
+        for opts in exact_tiers() {
             let sys = CompiledSystem::compile(&eqs, opts);
             let mut scratch = sys.scratch();
             let mut out = vec![0.0; sys.n_eqs()];
@@ -245,8 +274,79 @@ proptest! {
         // The columnar prefix sweep: a session over up to 80 rows (crossing
         // the 32-lane chunk boundary twice) must agree with per-row
         // interpretation at every (row, state) pair, including revisits of
-        // the same row with a different state.
-        let sys = CompiledSystem::compile(&eqs, OptOptions::full());
+        // the same row with a different state. Holds for every tier with a
+        // split prefix: interpreted split, threaded thunks, and the simd
+        // tier on its scalar fallback.
+        let mut tiers = vec![OptOptions::full(), OptOptions::threaded()];
+        if !gmr_expr::simd::active() {
+            tiers.push(OptOptions::simd());
+        }
+        for opts in tiers {
+            let sys = CompiledSystem::compile(&eqs, opts);
+            let mut session = sys.session(&rows);
+            let mut out = vec![0.0; sys.n_eqs()];
+            for (t, row) in rows.iter().enumerate() {
+                for state in &states {
+                    let ctx = EvalContext { vars: row, state };
+                    session.step(t, state, &mut out);
+                    for (i, (eq, &got)) in eqs.iter().zip(&out).enumerate() {
+                        let want = eq.eval(&ctx);
+                        prop_assert!(feq(want, got),
+                            "tier {opts:?} row {t} eq {i}: interpreter {want} vs session {got}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_session_lanes_match_solo_sessions(
+        eqs in prop::collection::vec(arb_expr(), 1..3),
+        rows in prop::collection::vec(prop::collection::vec(-1e3_f64..1e3, 4), 1..80),
+        inits in prop::collection::vec(prop::collection::vec(-1e3_f64..1e3, 2), 1..6),
+    ) {
+        // Lock-step lane stepping (the batching server's and the SIMD
+        // backend's execution shape) is bit-identical to running each
+        // trajectory through its own solo session — for every tier,
+        // including an *active* simd tier, where both sides take the same
+        // vector paths. Rows cross the 32-lane chunk boundary twice.
+        let k = inits.len();
+        for opts in [OptOptions::full(), OptOptions::threaded(), OptOptions::simd()] {
+            let sys = CompiledSystem::compile(&eqs, opts);
+            let n_eqs = sys.n_eqs();
+            let mut want = vec![0.0; k * n_eqs];
+            let mut solo: Vec<_> = (0..k).map(|_| sys.session(&rows)).collect();
+            let mut multi = sys.multi_session(&rows, k);
+            let states: Vec<f64> = inits.iter().flatten().copied().collect();
+            let mut out = vec![0.0; k * n_eqs];
+            for t in 0..rows.len() {
+                for (l, session) in solo.iter_mut().enumerate() {
+                    session.step(t, &states[l * 2..l * 2 + 2], &mut want[l * n_eqs..(l + 1) * n_eqs]);
+                }
+                multi.step(t, &states, &mut out);
+                for l in 0..k {
+                    for e in 0..n_eqs {
+                        prop_assert!(feq(out[l * n_eqs + e], want[l * n_eqs + e]),
+                            "tier {opts:?} lane {l} eq {e} at t={t}: solo {} vs multi {}",
+                            want[l * n_eqs + e], out[l * n_eqs + e]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "simd")]
+    fn simd_session_stays_within_relaxed_tolerance(
+        eqs in prop::collection::vec(arb_expr(), 2..3),
+        rows in prop::collection::vec(prop::collection::vec(-1e3_f64..1e3, 4), 1..80),
+        states in prop::collection::vec(prop::collection::vec(-1e3_f64..1e3, 2), 1..4),
+    ) {
+        // With the vector kernels live, the simd tier's fidelity class is
+        // relaxed-simd: outputs may differ from libm in the last ulps of
+        // the vector transcendentals but must stay relatively close, and
+        // finite inputs must never produce NaN the interpreter doesn't.
+        let sys = CompiledSystem::compile(&eqs, OptOptions::simd());
         let mut session = sys.session(&rows);
         let mut out = vec![0.0; sys.n_eqs()];
         for (t, row) in rows.iter().enumerate() {
@@ -255,8 +355,8 @@ proptest! {
                 session.step(t, state, &mut out);
                 for (i, (eq, &got)) in eqs.iter().zip(&out).enumerate() {
                     let want = eq.eval(&ctx);
-                    prop_assert!(feq(want, got),
-                        "row {t} eq {i}: interpreter {want} vs session {got}");
+                    prop_assert!(close(want, got),
+                        "row {t} eq {i}: interpreter {want} vs simd session {got}");
                 }
             }
         }

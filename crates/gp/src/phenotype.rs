@@ -14,7 +14,7 @@
 //! the memo instead of re-running simplify/hash/compile every generation.
 
 use crate::cache::TreeCache;
-use gmr_expr::{CompiledSystem, Expr, OptOptions};
+use gmr_expr::{CompiledSystem, Expr, FidelityPolicy, Tier};
 
 /// A fully derived phenotype, ready to evaluate.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +34,9 @@ impl Phenotype {
         let key = TreeCache::system_key(&keys);
         let compiled = compile.then(|| {
             let _sp = gmr_obsv::span_fine!("vm.compile", eqs.len() as u64);
-            CompiledSystem::compile(&eqs, OptOptions::full())
+            // Fastest tier whose results are bit-identical to the
+            // interpreter: fitness must not depend on the execution tier.
+            CompiledSystem::compile(&eqs, Tier::fastest(FidelityPolicy::BitExact).options())
         });
         Phenotype { eqs, compiled, key }
     }

@@ -33,12 +33,15 @@
 //!    this module re-derives it independently from the public instruction
 //!    stream, so a surviving dead instruction — impossible for pipeline
 //!    output, possible for a corrupted artifact — is reported.
-//! 4. **Bounds proof.** The VM's unchecked register accesses (its 7
-//!    `unsafe` sites) are each discharged by a machine-checked max-index
-//!    argument: the analysis computes the maximum register index any
-//!    instruction or output touches, per program, and proves it below the
-//!    register-file bound the interpreter asserts (`n_regs` for scalar
-//!    access, `n_regs · LANES` for lane stripes). The obligations are
+//! 4. **Bounds proof.** The VM's unchecked register accesses — the scalar
+//!    interpreter, the threaded tier's raw-pointer thunks, and the five
+//!    lane dispatchers (each forwarding identical stripe offsets to the
+//!    scalar `k_*` kernels or the AVX2 `simd` kernels) — are each
+//!    discharged by a machine-checked max-index argument: the analysis
+//!    computes the maximum register index any instruction or output
+//!    touches, per program, and proves it below the register-file bound
+//!    the interpreter asserts (`n_regs` for scalar and threaded access,
+//!    `n_regs · LANES` for lane stripes). The obligations are
 //!    emitted as a [`SafetyReport`] (JSON schema `gmr-safety/v1`) that CI
 //!    diffs against a committed baseline; an unproved obligation is an
 //!    Error finding.
@@ -131,12 +134,29 @@ fn bin_transfer(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
     })
 }
 
-/// `a * b + c` with two roundings, as the fused `MulAdd` executes it.
-fn muladd_transfer(a: AbsVal, b: AbsVal, c: AbsVal) -> AbsVal {
+/// Which three-operand superinstruction a fused transfer models.
+#[derive(Clone, Copy)]
+enum Fused3 {
+    /// `a·b + c` (`RInstr::MulAdd`).
+    MulAdd,
+    /// `a·b − c` (`RInstr::MulSub`).
+    MulSub,
+    /// `a − b·c` (`RInstr::SubMul`).
+    SubMul,
+}
+
+/// Transfer for the fused three-operand superinstructions. Each executes
+/// as two separately-rounded IEEE ops (never an FMA contraction), so the
+/// abstract image is exactly the composition of the two interval ops.
+fn fused3_transfer(shape: Fused3, a: AbsVal, b: AbsVal, c: AbsVal) -> AbsVal {
     if a.nonfinite || b.nonfinite || c.nonfinite {
         return AbsVal::top();
     }
-    AbsVal::from_interval(a.iv.mul(b.iv).add(c.iv))
+    AbsVal::from_interval(match shape {
+        Fused3::MulAdd => a.iv.mul(b.iv).add(c.iv),
+        Fused3::MulSub => a.iv.mul(b.iv).sub(c.iv),
+        Fused3::SubMul => a.iv.sub(b.iv.mul(c.iv)),
+    })
 }
 
 /// The river environment when the arities match the river schema, a fully
@@ -188,7 +208,7 @@ pub struct SafetyObligation {
 pub struct SafetyReport {
     /// Model name the system was compiled from.
     pub model: String,
-    /// Optimization tier (`"register"`, `"fused"`, `"full"`).
+    /// Optimization tier ([`gmr_expr::Tier::name`]).
     pub tier: &'static str,
     /// One entry per (site, program) pair.
     pub obligations: Vec<SafetyObligation>,
@@ -254,36 +274,51 @@ struct Cell {
 #[derive(Clone, Copy, PartialEq)]
 enum Site {
     Scalar,
-    MulAddLanes,
+    Threaded,
+    Fused3Lanes,
     KUn,
     KBin,
     KBinCl,
     KBinCr,
 }
 
+const N_SITES: usize = 7;
+
 fn sites_of(ins: &RInstr) -> &'static [Site] {
-    // Every instruction goes through `run_scalar`; the lane interpreters
-    // additionally route it to one of the unchecked kernels (VarBin uses
-    // the same `k_bin_cl`/`k_bin_cr` kernels in `run_lanes_one_row` and
+    // Every instruction goes through `run_scalar` and is compiled into a
+    // threaded-tier thunk (raw-pointer access with the same indices); the
+    // lane interpreters additionally route it to one of the unchecked
+    // dispatchers `l_un`/`l_bin`/`l_bin_cl`/`l_bin_cr`/`l_fused3`, each
+    // of which forwards the same stripe offsets to either the scalar
+    // `k_*` kernels or the `simd` AVX2 kernels (VarBin uses the same
+    // `l_bin_cl`/`l_bin_cr` dispatchers in `run_lanes_one_row` and
     // checked indexing in `run_lanes` — the stripe bound covers both).
     match ins {
-        RInstr::LoadVar { .. } | RInstr::LoadState { .. } => &[Site::Scalar],
-        RInstr::Un { .. } => &[Site::Scalar, Site::KUn],
-        RInstr::Bin { .. } => &[Site::Scalar, Site::KBin],
-        RInstr::VarBinL { .. } | RInstr::ConstBinL { .. } => &[Site::Scalar, Site::KBinCl],
-        RInstr::VarBinR { .. } | RInstr::ConstBinR { .. } => &[Site::Scalar, Site::KBinCr],
-        RInstr::MulAdd { .. } => &[Site::Scalar, Site::MulAddLanes],
+        RInstr::LoadVar { .. } | RInstr::LoadState { .. } => &[Site::Scalar, Site::Threaded],
+        RInstr::Un { .. } => &[Site::Scalar, Site::Threaded, Site::KUn],
+        RInstr::Bin { .. } => &[Site::Scalar, Site::Threaded, Site::KBin],
+        RInstr::VarBinL { .. } | RInstr::ConstBinL { .. } => {
+            &[Site::Scalar, Site::Threaded, Site::KBinCl]
+        }
+        RInstr::VarBinR { .. } | RInstr::ConstBinR { .. } => {
+            &[Site::Scalar, Site::Threaded, Site::KBinCr]
+        }
+        RInstr::MulAdd { .. } | RInstr::MulSub { .. } | RInstr::SubMul { .. } => {
+            &[Site::Scalar, Site::Threaded, Site::Fused3Lanes]
+        }
     }
 }
 
 /// Max register index (and access count) per site, for one program.
 struct SiteBounds {
-    max: [Option<u16>; 6],
+    max: [Option<u16>; N_SITES],
 }
 
 impl SiteBounds {
     fn new() -> SiteBounds {
-        SiteBounds { max: [None; 6] }
+        SiteBounds {
+            max: [None; N_SITES],
+        }
     }
 
     fn note(&mut self, site: Site, r: u16) {
@@ -561,7 +596,19 @@ fn analyze_program(
                 let (av, at) = ctx.read(i, a);
                 let (bv, bt) = ctx.read(i, b);
                 let (cv, ct) = ctx.read(i, c);
-                (muladd_transfer(av, bv, cv), at || bt || ct)
+                (fused3_transfer(Fused3::MulAdd, av, bv, cv), at || bt || ct)
+            }
+            RInstr::MulSub { a, b, c, .. } => {
+                let (av, at) = ctx.read(i, a);
+                let (bv, bt) = ctx.read(i, b);
+                let (cv, ct) = ctx.read(i, c);
+                (fused3_transfer(Fused3::MulSub, av, bv, cv), at || bt || ct)
+            }
+            RInstr::SubMul { a, b, c, .. } => {
+                let (av, at) = ctx.read(i, a);
+                let (bv, bt) = ctx.read(i, b);
+                let (cv, ct) = ctx.read(i, c);
+                (fused3_transfer(Fused3::SubMul, av, bv, cv), at || bt || ct)
             }
         };
         ctx.write(i, ins.dst(), val, tainted);
@@ -571,6 +618,7 @@ fn analyze_program(
     let mut outs = Vec::with_capacity(prog.outputs().len());
     for (k, &o) in prog.outputs().iter().enumerate() {
         ctx.bounds.note(Site::Scalar, o);
+        ctx.bounds.note(Site::Threaded, o);
         if o as usize >= prog.n_regs() {
             ctx.diag(
                 Severity::Error,
@@ -637,41 +685,31 @@ fn obligations_for(
              `get_unchecked` into a scalar file of n_regs is in bounds",
         ),
         (
-            Site::MulAddLanes,
-            "vm.rs run_lanes/run_lanes_one_row MulAdd",
-            "max MulAdd register stripe offset + (LANES-1) is < n_regs*LANES, \
-             so unchecked lane access is in bounds",
+            Site::Threaded,
+            "threaded.rs ThreadedProgram::run",
+            "every thunk argument index is < n_regs and run() asserts the \
+             register file length, so the raw-pointer thunk access is in \
+             bounds",
         ),
     ];
-    let kernel_sites: [(Site, &'static str); 4] = [
-        (Site::KUn, "vm.rs k_un"),
-        (Site::KBin, "vm.rs k_bin"),
-        (Site::KBinCl, "vm.rs k_bin_cl"),
-        (Site::KBinCr, "vm.rs k_bin_cr"),
+    let kernel_sites: [(Site, &'static str); 5] = [
+        (Site::KUn, "vm.rs l_un (k_un / simd kern1)"),
+        (Site::KBin, "vm.rs l_bin (k_bin / simd kern2)"),
+        (Site::KBinCl, "vm.rs l_bin_cl (k_bin_cl / simd kern2)"),
+        (Site::KBinCr, "vm.rs l_bin_cr (k_bin_cr / simd kern2)"),
+        (Site::Fused3Lanes, "vm.rs l_fused3 (scalar / simd kern3)"),
     ];
     for (site, site_name, claim) in scalar_sites {
-        let (accesses, max_index, bound) = match site {
-            Site::Scalar => (
-                bounds.get(site).map_or(0, |_| 1),
-                bounds.get(site).unwrap_or(0) as usize,
-                n_regs,
-            ),
-            _ => (
-                bounds.get(site).map_or(0, |_| 1),
-                bounds
-                    .get(site)
-                    .map_or(0, |m| m as usize * LANES + (LANES - 1)),
-                n_regs * LANES,
-            ),
-        };
+        let accesses = bounds.get(site).map_or(0, |_| 1);
+        let max_index = bounds.get(site).unwrap_or(0) as usize;
         out.push(SafetyObligation {
             site: site_name,
             program: name,
             claim,
             accesses,
             max_index,
-            bound,
-            proved: accesses == 0 || max_index < bound,
+            bound: n_regs,
+            proved: accesses == 0 || max_index < n_regs,
         });
     }
     for (site, site_name) in kernel_sites {
@@ -683,8 +721,9 @@ fn obligations_for(
         out.push(SafetyObligation {
             site: site_name,
             program: name,
-            claim: "max kernel stripe offset + (LANES-1) is < n_regs*LANES, \
-                    so the shared lane kernels' unchecked access is in bounds",
+            claim: "max dispatcher stripe offset + (LANES-1) is < n_regs*LANES, \
+                    so the shared lane kernels' (scalar and AVX2) unchecked \
+                    access is in bounds",
             accesses,
             max_index,
             bound,
@@ -769,7 +808,7 @@ pub fn analyze_system(sys: &CompiledSystem, env: &IntervalEnv, model: &str) -> S
         }
     }
 
-    let mut obligations = Vec::with_capacity(12);
+    let mut obligations = Vec::with_capacity(2 * N_SITES);
     obligations_for(
         "prefix",
         &pre_bounds,
@@ -794,12 +833,7 @@ pub fn analyze_system(sys: &CompiledSystem, env: &IntervalEnv, model: &str) -> S
         }
     }
 
-    let opts = sys.options();
-    let tier = match (opts.fuse, opts.split) {
-        (false, _) => "register",
-        (true, false) => "fused",
-        (true, true) => "full",
-    };
+    let tier = sys.tier().name();
     SystemAnalysis {
         report,
         outputs,
@@ -828,6 +862,8 @@ mod tests {
             OptOptions::register(),
             OptOptions::fused(),
             OptOptions::full(),
+            OptOptions::threaded(),
+            OptOptions::simd(),
         ] {
             let sys = compile_manual(opts);
             let analysis = analyze_system(&sys, &env, "table5-manual");
@@ -859,7 +895,7 @@ mod tests {
             v.get("obligations")
                 .and_then(|o| o.as_arr())
                 .map(|a| a.len()),
-            Some(12)
+            Some(14)
         );
         // Deterministic: a second analysis renders byte-identically.
         let again = analyze_system(&sys, &IntervalEnv::river(), "table5-manual");

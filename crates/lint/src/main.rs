@@ -45,8 +45,8 @@ OPTIONS:
     --bytecode       Also compile each input system through the register-VM
                      pipeline and verify the compiled bytecode (intervals,
                      prefix state-independence, dead code, unsafe bounds)
-    --tier <T>       Pipeline tier for --bytecode: register, fused or full
-                     (default full)
+    --tier <T>       Pipeline tier for --bytecode: register, fused, full
+                     (alias of split), threaded or simd (default full)
     --safety-out <F> Write the --bytecode SafetyReport ('gmr-safety/v1'
                      JSON; an array when several systems are analyzed)
     --json           Emit the report as JSON instead of human-readable text
@@ -94,11 +94,13 @@ fn parse_args(args: &[String]) -> Result<Option<Opts>, String> {
             },
             "--bytecode" => opts.bytecode = true,
             "--tier" => match it.next().map(String::as_str) {
-                Some("register") => opts.tier = OptOptions::register(),
-                Some("fused") => opts.tier = OptOptions::fused(),
-                Some("full") => opts.tier = OptOptions::full(),
-                Some(other) => return Err(format!("unknown tier '{other}'")),
-                None => return Err("--tier needs register|fused|full".into()),
+                Some(name) => match gmr_expr::Tier::parse(name) {
+                    Some(tier) => opts.tier = tier.options(),
+                    None => return Err(format!("unknown tier '{name}'")),
+                },
+                None => {
+                    return Err("--tier needs register|fused|full|threaded|simd".into());
+                }
             },
             "--safety-out" => match it.next() {
                 Some(path) => opts.safety_out = Some(path.clone()),

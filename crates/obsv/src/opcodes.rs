@@ -1,0 +1,312 @@
+//! The `gmr-opcodes/v1` corpus: opcode-pair statistics aggregated from
+//! run journals, driving the VM's superinstruction selection.
+//!
+//! The GP engine journals pre-aggregated operand-pair counts on every
+//! elite change (`Event::Opcodes`). `gmr-trace opcodes` sums those events
+//! across one or more journals into an [`OpcodeCorpus`], renders it as
+//! `gmr-opcodes/v1` JSON (`results/OPCODE_corpus.json`), and — via
+//! `--fusion-table-out` — regenerates the `fusion_gen.rs` peephole table
+//! the expression VM compiles in.
+//!
+//! The selection rule ([`Selection::from_corpus`]) and the generated-file
+//! renderer ([`render_fusion_gen`]) are deliberate byte-for-byte siblings
+//! of `FusionTable::from_pair_counts` / `render_generated` in `gmr-expr`:
+//! this crate must stay expression-free, so the rule is implemented twice
+//! and both copies are pinned to the same checked-in artifact — the bench
+//! generator test re-derives through the `gmr-expr` copy, CI diffs the
+//! file this copy writes.
+
+use crate::json::{parse, push_escaped, Value};
+use std::collections::BTreeMap;
+
+/// Schema tag of the corpus document.
+pub const SCHEMA: &str = "gmr-opcodes/v1";
+
+/// Minimum corpus support in thousandths of all operand pairs — must
+/// match `FusionTable::SUPPORT_PERMILLE` in `gmr-expr`.
+pub const SUPPORT_PERMILLE: u64 = 5;
+
+/// Aggregated operand-pair statistics over every elite snapshot seen.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpcodeCorpus {
+    /// Elite snapshots (`opcodes` events) aggregated.
+    pub elites: u64,
+    /// Total operand pairs — the support denominator.
+    pub total: u64,
+    /// `(parent op, child label, position, count)`, sorted by
+    /// `(parent, child, pos)` for deterministic output.
+    pub pairs: Vec<(String, String, char, u64)>,
+}
+
+impl OpcodeCorpus {
+    /// Aggregate the `opcodes` events of one or more `gmr-journal/v1`
+    /// texts. Journals without opcode events contribute nothing (not an
+    /// error — a run whose elite never changed after generation 0 still
+    /// has one event; an empty ring has none).
+    pub fn aggregate<S: AsRef<str>>(journals: &[S]) -> Result<OpcodeCorpus, String> {
+        let mut acc: BTreeMap<(String, String, char), u64> = BTreeMap::new();
+        let mut elites = 0u64;
+        let mut total = 0u64;
+        for (ji, src) in journals.iter().enumerate() {
+            let j = crate::trace::parse_journal(src.as_ref())
+                .map_err(|e| format!("journal {}: {e}", ji + 1))?;
+            for e in &j.events {
+                if e.get("type").and_then(Value::as_str) != Some("opcodes") {
+                    continue;
+                }
+                elites += 1;
+                total += e.get("total").and_then(Value::as_u64).ok_or_else(|| {
+                    format!("journal {}: opcodes event without \"total\"", ji + 1)
+                })?;
+                let pairs = e.get("pairs").and_then(Value::as_arr).ok_or_else(|| {
+                    format!("journal {}: opcodes event without \"pairs\"", ji + 1)
+                })?;
+                for p in pairs {
+                    let q = p.as_arr().filter(|q| q.len() == 4);
+                    let parsed = q.and_then(|q| {
+                        Some((
+                            q[0].as_str()?.to_string(),
+                            q[1].as_str()?.to_string(),
+                            q[2].as_str().and_then(|s| s.chars().next())?,
+                            q[3].as_u64()?,
+                        ))
+                    });
+                    let (parent, child, pos, count) = parsed.ok_or_else(|| {
+                        format!("journal {}: malformed opcodes pair entry", ji + 1)
+                    })?;
+                    *acc.entry((parent, child, pos)).or_insert(0) += count;
+                }
+            }
+        }
+        Ok(OpcodeCorpus {
+            elites,
+            total,
+            pairs: acc
+                .into_iter()
+                .map(|((parent, child, pos), count)| (parent, child, pos, count))
+                .collect(),
+        })
+    }
+
+    /// Render as `gmr-opcodes/v1` JSON (stable order — byte-diffable).
+    pub fn render_json(&self) -> String {
+        let mut o = String::from("{\n  \"schema\": ");
+        push_escaped(&mut o, SCHEMA);
+        o.push_str(&format!(
+            ",\n  \"elites\": {},\n  \"total\": {},\n  \"pairs\": [",
+            self.elites, self.total
+        ));
+        for (i, (parent, child, pos, count)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("\n    [");
+            push_escaped(&mut o, parent);
+            o.push_str(", ");
+            push_escaped(&mut o, child);
+            o.push_str(", ");
+            push_escaped(&mut o, &pos.to_string());
+            o.push_str(&format!(", {count}]"));
+        }
+        o.push_str("\n  ]\n}\n");
+        o
+    }
+
+    /// Strict-parse a `gmr-opcodes/v1` document.
+    pub fn parse_json(src: &str) -> Result<OpcodeCorpus, String> {
+        let v = parse(src).map_err(|e| format!("not valid JSON: {e}"))?;
+        match v.get("schema").and_then(Value::as_str) {
+            Some(s) if s == SCHEMA => {}
+            other => return Err(format!("schema tag is {other:?}, expected {SCHEMA:?}")),
+        }
+        let req = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing integer field {key:?}"))
+        };
+        let pairs = v
+            .get("pairs")
+            .and_then(Value::as_arr)
+            .ok_or("missing array field \"pairs\"")?
+            .iter()
+            .map(|p| {
+                let q = p.as_arr().filter(|q| q.len() == 4);
+                q.and_then(|q| {
+                    Some((
+                        q[0].as_str()?.to_string(),
+                        q[1].as_str()?.to_string(),
+                        q[2].as_str().and_then(|s| s.chars().next())?,
+                        q[3].as_u64()?,
+                    ))
+                })
+                .ok_or_else(|| "malformed pair entry".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(OpcodeCorpus {
+            elites: req("elites")?,
+            total: req("total")?,
+            pairs,
+        })
+    }
+}
+
+/// The five fusion permissions the corpus selects — field-for-field the
+/// shape of `FusionTable` in `gmr-expr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    pub mul_add: bool,
+    pub mul_sub: bool,
+    pub sub_mul: bool,
+    pub var_bin: bool,
+    pub const_bin: bool,
+}
+
+impl Selection {
+    /// The selection rule — must stay in lockstep with
+    /// `FusionTable::from_pair_counts` in `gmr-expr` (see module docs).
+    pub fn from_corpus(c: &OpcodeCorpus) -> Selection {
+        let thresh = (c.total * SUPPORT_PERMILLE / 1000).max(1);
+        let count = |f: &dyn Fn(&str, &str, char) -> bool| -> u64 {
+            c.pairs
+                .iter()
+                .filter(|(p, ch, pos, _)| f(p, ch, *pos))
+                .map(|&(_, _, _, n)| n)
+                .sum()
+        };
+        let is_bin = |p: &str| matches!(p, "add" | "sub" | "mul" | "div" | "min" | "max" | "pow");
+        Selection {
+            mul_add: count(&|p, c, _| p == "add" && c == "mul") >= thresh,
+            mul_sub: count(&|p, c, pos| p == "sub" && c == "mul" && pos == 'l') >= thresh,
+            sub_mul: count(&|p, c, pos| p == "sub" && c == "mul" && pos == 'r') >= thresh,
+            var_bin: count(&|p, c, _| is_bin(p) && c == "var") >= thresh,
+            const_bin: count(&|p, c, _| is_bin(p) && c == "const") >= thresh,
+        }
+    }
+}
+
+/// Render the `fusion_gen.rs` source for a corpus — byte-for-byte the
+/// text `FusionTable::render_generated` produces in `gmr-expr`, so CI can
+/// diff this writer's output against the checked-in file.
+pub fn render_fusion_gen(c: &OpcodeCorpus, corpus_path: &str) -> String {
+    let sel = Selection::from_corpus(c);
+    let mut s = String::new();
+    s.push_str("//! @generated by `gmr-trace opcodes --fusion-table-out` — do not edit.\n");
+    s.push_str("//!\n");
+    s.push_str(&format!(
+        "//! Corpus: {corpus_path} (gmr-opcodes/v1), {} elite(s), {} operand pair(s).\n",
+        c.elites, c.total
+    ));
+    s.push_str(
+        "//! Selection rule: `FusionTable::from_pair_counts` (support ≥ 5‰ of all pairs).\n",
+    );
+    s.push_str("\nuse crate::fusion::FusionTable;\n\n");
+    s.push_str("/// Operand-pair support counts the selection was derived from:\n");
+    s.push_str("/// `(parent op, child label, position, count)`, descending count.\n");
+    s.push_str("pub const CORPUS_PAIRS: &[(&str, &str, char, u64)] = &[\n");
+    let mut sorted: Vec<_> = c.pairs.clone();
+    sorted.sort_by(|a, b| {
+        b.3.cmp(&a.3)
+            .then(a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    for (p, c, pos, n) in &sorted {
+        s.push_str(&format!("    (\"{p}\", \"{c}\", '{pos}', {n}),\n"));
+    }
+    s.push_str("];\n\n");
+    s.push_str("/// Total operand pairs in the corpus.\n");
+    s.push_str(&format!("pub const CORPUS_TOTAL: u64 = {};\n\n", c.total));
+    s.push_str("/// The corpus-selected fusion table.\n");
+    s.push_str("pub const SELECTED: FusionTable = FusionTable {\n");
+    s.push_str(&format!("    mul_add: {},\n", sel.mul_add));
+    s.push_str(&format!("    mul_sub: {},\n", sel.mul_sub));
+    s.push_str(&format!("    sub_mul: {},\n", sel.sub_mul));
+    s.push_str(&format!("    var_bin: {},\n", sel.var_bin));
+    s.push_str(&format!("    const_bin: {},\n", sel.const_bin));
+    s.push_str("};\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Event, Journal};
+
+    fn journal_with_opcodes(seed: u64, counts: &[(&str, &str, char, u64)]) -> String {
+        let j = Journal::new(64);
+        let total = counts.iter().map(|c| c.3).sum();
+        j.push(Event::Opcodes {
+            seed,
+            generation: 3,
+            pairs: counts
+                .iter()
+                .map(|(p, c, pos, n)| (p.to_string(), c.to_string(), *pos, *n))
+                .collect(),
+            total,
+        });
+        j.to_jsonl()
+    }
+
+    #[test]
+    fn aggregates_across_journals_and_round_trips() {
+        let a = journal_with_opcodes(1, &[("add", "mul", 'l', 10), ("mul", "var", 'l', 5)]);
+        let b = journal_with_opcodes(2, &[("add", "mul", 'l', 7), ("sub", "mul", 'r', 2)]);
+        let corpus = OpcodeCorpus::aggregate(&[a, b]).unwrap();
+        assert_eq!(corpus.elites, 2);
+        assert_eq!(corpus.total, 24);
+        assert_eq!(
+            corpus.pairs,
+            vec![
+                ("add".into(), "mul".into(), 'l', 17),
+                ("mul".into(), "var".into(), 'l', 5),
+                ("sub".into(), "mul".into(), 'r', 2),
+            ]
+        );
+        let json = corpus.render_json();
+        let back = OpcodeCorpus::parse_json(&json).unwrap();
+        assert_eq!(back, corpus);
+        // Journal events validate under the journal schema too.
+        assert!(
+            crate::trace::validate(&journal_with_opcodes(1, &[("add", "mul", 'l', 1)])).is_empty()
+        );
+    }
+
+    #[test]
+    fn selection_rule_applies_support_threshold() {
+        let corpus = OpcodeCorpus {
+            elites: 1,
+            total: 1000,
+            pairs: vec![
+                ("add".into(), "mul".into(), 'l', 120),
+                ("sub".into(), "mul".into(), 'l', 4),
+                ("sub".into(), "mul".into(), 'r', 2),
+                ("mul".into(), "var".into(), 'l', 1),
+                ("add".into(), "const".into(), 'r', 3),
+            ],
+        };
+        let sel = Selection::from_corpus(&corpus);
+        assert!(sel.mul_add);
+        assert!(!sel.mul_sub && !sel.sub_mul && !sel.var_bin && !sel.const_bin);
+    }
+
+    #[test]
+    fn rendered_fusion_gen_has_generated_header_and_table() {
+        let corpus = OpcodeCorpus {
+            elites: 1,
+            total: 100,
+            pairs: vec![
+                ("add".into(), "mul".into(), 'l', 20),
+                ("mul".into(), "var".into(), 'l', 30),
+            ],
+        };
+        let text = render_fusion_gen(&corpus, "results/OPCODE_corpus.json");
+        assert!(text.starts_with("//! @generated"));
+        assert!(text.contains("pub const CORPUS_TOTAL: u64 = 100;"));
+        assert!(text.contains("mul_add: true"));
+        assert!(text.contains("const_bin: false"));
+        // Descending count order in the embedded corpus.
+        let mul_var = text.find("(\"mul\", \"var\", 'l', 30)").unwrap();
+        let add_mul = text.find("(\"add\", \"mul\", 'l', 20)").unwrap();
+        assert!(mul_var < add_mul);
+    }
+}

@@ -32,6 +32,7 @@ fn usage() -> ExitCode {
         "usage: gmr-serve serve [--addr A] [--artifacts DIR] [--port-file P] [--journal P]
                        [--workers N] [--conn-queue N] [--sim-queue N] [--window-ms MS]
                        [--days N] [--seed S] [--no-builtin]
+                       [--fidelity bit-exact|allow-relaxed]
        gmr-serve export --out PATH
        gmr-serve request ADDR METHOD PATH [--data JSON | --body FILE]"
     );
@@ -92,7 +93,17 @@ fn hosted_tables(seed: u64, days: Option<usize>) -> Tables {
 fn cmd_serve(args: &[String]) -> ExitCode {
     sig::install();
     gmr_obsv::init(gmr_obsv::DEFAULT_CAPACITY);
-    let mut registry = ModelRegistry::new();
+    let policy = match flag(args, "--fidelity") {
+        None => gmr_expr::FidelityPolicy::default(),
+        Some(name) => match gmr_expr::FidelityPolicy::parse(&name) {
+            Some(p) => p,
+            None => {
+                eprintln!("bad --fidelity: {name} (expected bit-exact|allow-relaxed)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let mut registry = ModelRegistry::with_policy(policy);
     if !args.iter().any(|a| a == "--no-builtin") {
         if let Err(e) = registry.insert(ModelArtifact::builtin_manual()) {
             eprintln!("builtin model rejected: {e}");

@@ -16,7 +16,7 @@
 //! request for a model shares one compilation.
 
 use crate::artifact::{ArtifactError, ModelArtifact};
-use gmr_expr::{CompiledSystem, OptOptions};
+use gmr_expr::{CompiledSystem, FidelityPolicy, Tier};
 use gmr_lint::{analyze_system, env_for_arity, EquationLinter, Policy, Severity};
 use gmr_obsv::Event;
 use std::collections::BTreeMap;
@@ -66,6 +66,15 @@ pub enum RegistryError {
         /// Human rendering of the analyzer report.
         report: String,
     },
+    /// The compiled system's numeric fidelity is outside the registry's
+    /// policy — e.g. a relaxed-SIMD compilation offered to a registry
+    /// serving bit-exact results.
+    Fidelity {
+        /// Model name.
+        model: String,
+        /// The offered system's fidelity ([`gmr_expr::Fidelity::name`]).
+        fidelity: &'static str,
+    },
     /// A different artifact already holds this name.
     Duplicate(String),
 }
@@ -84,6 +93,13 @@ impl fmt::Display for RegistryError {
                     "model {model:?} rejected by bytecode verification: {errors} error(s)"
                 )
             }
+            RegistryError::Fidelity { model, fidelity } => {
+                write!(
+                    f,
+                    "model {model:?} rejected: {fidelity} results are outside \
+                     the registry's fidelity policy"
+                )
+            }
             RegistryError::Duplicate(name) => write!(f, "model {name:?} already registered"),
         }
     }
@@ -97,16 +113,34 @@ impl From<ArtifactError> for RegistryError {
     }
 }
 
-/// The registry: admitted models by name.
+/// The registry: admitted models by name, compiled at the fastest tier
+/// the registry's [`FidelityPolicy`] allows.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     models: BTreeMap<String, Arc<ServableModel>>,
+    policy: FidelityPolicy,
 }
 
 impl ModelRegistry {
-    /// An empty registry.
+    /// An empty registry serving bit-exact results
+    /// ([`FidelityPolicy::BitExact`], the default).
     pub fn new() -> ModelRegistry {
         ModelRegistry::default()
+    }
+
+    /// An empty registry under an explicit fidelity policy. Admission
+    /// compiles at [`Tier::fastest`] for the policy, and any pre-compiled
+    /// system offered through the test-only gate is checked against it.
+    pub fn with_policy(policy: FidelityPolicy) -> ModelRegistry {
+        ModelRegistry {
+            models: BTreeMap::new(),
+            policy,
+        }
+    }
+
+    /// The fidelity policy admissions are gated on.
+    pub fn policy(&self) -> FidelityPolicy {
+        self.policy
     }
 
     /// Admit one artifact: re-parse, lint (Error severity rejects),
@@ -135,7 +169,7 @@ impl ModelRegistry {
             &eqs,
             artifact.vars.len(),
             artifact.states.len(),
-            OptOptions::full(),
+            Tier::fastest(self.policy).options(),
         )
         .map_err(|e| RegistryError::Compile(format!("{e:?}")))?;
         self.admit(artifact, system, lint_warnings)
@@ -166,6 +200,12 @@ impl ModelRegistry {
     ) -> Result<(), RegistryError> {
         if self.models.contains_key(&artifact.name) {
             return Err(RegistryError::Duplicate(artifact.name.clone()));
+        }
+        if !self.policy.allows(system.fidelity()) {
+            return Err(RegistryError::Fidelity {
+                model: artifact.name.clone(),
+                fidelity: system.fidelity().name(),
+            });
         }
         let env = env_for_arity(artifact.vars.len(), artifact.states.len());
         let analysis = analyze_system(&system, &env, &artifact.name);
@@ -261,11 +301,16 @@ impl ModelRegistry {
             o.push_str(", \"fitness\": ");
             push_f64(&mut o, m.artifact.provenance.fitness);
             o.push_str(&format!(
-                ", \"equations\": {}, \"network\": {}, \"bytecode_warnings\": {}}}",
+                ", \"equations\": {}, \"network\": {}, \"bytecode_warnings\": {}",
                 m.artifact.equations.len(),
                 m.artifact.topology.is_some(),
                 m.bytecode_warnings
             ));
+            o.push_str(", \"tier\": ");
+            push_escaped(&mut o, m.system.tier().name());
+            o.push_str(", \"fidelity\": ");
+            push_escaped(&mut o, m.system.fidelity().name());
+            o.push('}');
         }
         o.push_str("\n]}\n");
         o
@@ -293,7 +338,7 @@ mod tests {
 
     #[test]
     fn corrupted_bytecode_is_refused_and_journaled() {
-        use gmr_expr::{RInstr, RegProgram};
+        use gmr_expr::{OptOptions, RInstr, RegProgram};
         gmr_obsv::init(gmr_obsv::DEFAULT_CAPACITY);
         let good = ModelArtifact::builtin_manual();
         let eqs = good.parse_equations().unwrap();
@@ -389,6 +434,52 @@ mod tests {
         // The untampered compilation still passes the same gate.
         reg.insert_prepared(good, sys).unwrap();
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn fidelity_policy_gates_admission_and_is_reported() {
+        use gmr_expr::OptOptions;
+        // Default registry: bit-exact; the served tier is the fastest
+        // bit-exact tier and /models says so.
+        let mut reg = ModelRegistry::new();
+        reg.insert(ModelArtifact::builtin_manual()).unwrap();
+        let m = reg.get("table5-manual").unwrap();
+        assert_eq!(m.system.tier(), Tier::fastest(FidelityPolicy::BitExact));
+        assert_eq!(m.system.fidelity().name(), "bit-exact");
+        let json = reg.render_json();
+        assert!(json.contains("\"tier\": \"threaded\""), "{json}");
+        assert!(json.contains("\"fidelity\": \"bit-exact\""), "{json}");
+
+        // A relaxed-SIMD compilation is refused by a bit-exact registry —
+        // but only where SIMD kernels are actually live; otherwise the
+        // simd tier *is* bit-exact and admission is correct.
+        let good = ModelArtifact::builtin_manual();
+        let eqs = good.parse_equations().unwrap();
+        let simd_sys = CompiledSystem::compile_checked(
+            &eqs,
+            good.vars.len(),
+            good.states.len(),
+            OptOptions::simd(),
+        )
+        .unwrap();
+        let mut reg = ModelRegistry::new();
+        let relaxed = simd_sys.fidelity() == gmr_expr::Fidelity::RelaxedSimd;
+        let res = reg.insert_prepared(good, simd_sys);
+        if relaxed {
+            assert!(
+                matches!(res, Err(RegistryError::Fidelity { .. })),
+                "{res:?}"
+            );
+            assert!(reg.is_empty());
+        } else {
+            res.unwrap();
+        }
+
+        // An allow-relaxed registry admits it either way.
+        let mut reg = ModelRegistry::with_policy(FidelityPolicy::AllowRelaxed);
+        reg.insert(ModelArtifact::builtin_manual()).unwrap();
+        let m = reg.get("table5-manual").unwrap();
+        assert_eq!(m.system.tier(), Tier::fastest(FidelityPolicy::AllowRelaxed));
     }
 
     #[test]
