@@ -75,9 +75,13 @@ echo "==> bench_vm smoke, scalar build (tier bit-identity + per-tier floors)"
 cargo run --release -q -p gmr-bench --bin bench_vm -- --quick --out BENCH_vm.json
 cargo run --release -q -p gmr-bench --bin bench_vm -- --validate BENCH_vm.json
 
-echo "==> bench_serve smoke (bit-identity + 3x batched-throughput gate)"
-cargo run --release -q -p gmr-bench --bin bench_serve -- --quick --out BENCH_serve.json
+echo "==> bench_serve solo smoke (bit-identity + batched work-sharing gate)"
+cargo run --release -q -p gmr-bench --bin bench_serve -- --solo --quick --out BENCH_serve.json
 cargo run --release -q -p gmr-bench --bin bench_serve -- --validate BENCH_serve.json
+
+echo "==> bench_serve cluster smoke (2 backends: scaling floor, bit-identity, 429 propagation)"
+cargo run --release -q -p gmr-bench --bin bench_serve -- --cluster --quick --backends 2 --out BENCH_cluster.json
+cargo run --release -q -p gmr-bench --bin bench_serve -- --validate BENCH_cluster.json
 
 echo "==> gmr-serve smoke (artifact load, concurrent requests, SIGTERM drain)"
 rm -rf smoke-serve
@@ -122,6 +126,46 @@ grep -q '"type": "request"' smoke-serve/journal.jsonl || {
     echo "FAIL: journal carries no request events"
     exit 1
 }
+
+echo "==> gmr-serve cluster smoke (2 supervised backends, gateway rollup, SIGTERM drain)"
+rm -rf smoke-cluster
+mkdir -p smoke-cluster
+./target/release/gmr-serve cluster --backends 2 --days 365 \
+    --dir smoke-cluster/scratch --port-file smoke-cluster/port &
+CLUSTER_PID=$!
+i=0
+while [ ! -f smoke-cluster/port ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "FAIL: gmr-serve cluster never wrote its gateway port file"
+        kill "$CLUSTER_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+GW_ADDR=$(cat smoke-cluster/port)
+./target/release/gmr-serve request "$GW_ADDR" GET /healthz > smoke-cluster/healthz.json
+grep -q '"alive": 2' smoke-cluster/healthz.json || {
+    echo "FAIL: gateway does not see 2 live backends"
+    exit 1
+}
+./target/release/gmr-serve request "$GW_ADDR" POST /simulate --data \
+    '{"model": "table5-manual", "forcings_ref": "target", "mode": "summary", "init": [4.0, 1.0]}' \
+    > smoke-cluster/sim.json
+./target/release/gmr-serve request "$GW_ADDR" GET /metrics > smoke-cluster/metrics.json
+for f in smoke-cluster/healthz.json smoke-cluster/sim.json smoke-cluster/metrics.json; do
+    cargo run --release -q -p gmr-obsv --bin gmr-trace -- json "$f"
+done
+grep -q '"backends"' smoke-cluster/metrics.json || {
+    echo "FAIL: cluster /metrics rollup carries no backends array"
+    exit 1
+}
+kill -TERM "$CLUSTER_PID"
+wait "$CLUSTER_PID" || { echo "FAIL: gmr-serve cluster did not drain cleanly on SIGTERM"; exit 1; }
+for j in smoke-cluster/scratch/backend-0.jsonl smoke-cluster/scratch/backend-1.jsonl; do
+    [ -f "$j" ] || { echo "FAIL: missing backend journal $j"; exit 1; }
+    cargo run --release -q -p gmr-obsv --bin gmr-trace -- validate "$j"
+done
 
 echo "==> SIMD tier tests (vector kernels live where the host has AVX2+FMA)"
 cargo test -q -p gmr-expr --features simd

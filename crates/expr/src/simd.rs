@@ -126,6 +126,42 @@ mod imp {
         };
     }
 
+    // SAFETY: same shared argument as `kern2` above for the register
+    // stripe; the gathered operand is a caller-owned `[f64; LANES]`
+    // stack array, so its `i + 4 <= LANES` loads are in bounds by the
+    // loop shape alone.
+    macro_rules! kern2v {
+        ($vl:ident, $vr:ident, $op:ident) => {
+            #[target_feature(enable = "avx2,fma")]
+            pub(crate) unsafe fn $vl(regs: &mut [f64], d: usize, v: &[f64; LANES], b: usize) {
+                debug_assert!(d + LANES <= regs.len() && b + LANES <= regs.len());
+                let p = regs.as_mut_ptr();
+                for i in (0..LANES).step_by(4) {
+                    // SAFETY: see the shared kernel argument above.
+                    unsafe {
+                        let x = _mm256_loadu_pd(v.as_ptr().add(i));
+                        let y = _mm256_loadu_pd(p.add(b + i));
+                        _mm256_storeu_pd(p.add(d + i), $op(x, y));
+                    }
+                }
+            }
+
+            #[target_feature(enable = "avx2,fma")]
+            pub(crate) unsafe fn $vr(regs: &mut [f64], d: usize, a: usize, v: &[f64; LANES]) {
+                debug_assert!(d + LANES <= regs.len() && a + LANES <= regs.len());
+                let p = regs.as_mut_ptr();
+                for i in (0..LANES).step_by(4) {
+                    // SAFETY: see the shared kernel argument above.
+                    unsafe {
+                        let x = _mm256_loadu_pd(p.add(a + i));
+                        let y = _mm256_loadu_pd(v.as_ptr().add(i));
+                        _mm256_storeu_pd(p.add(d + i), $op(x, y));
+                    }
+                }
+            }
+        };
+    }
+
     // SAFETY: same shared argument as `kern2` above (one input stripe).
     macro_rules! kern1 {
         ($name:ident, $op:ident) => {
@@ -375,6 +411,14 @@ mod imp {
     kern2!(min_rr, min_cl, min_cr, e_min_p);
     kern2!(max_rr, max_cl, max_cr, e_max_p);
     kern2!(pow_rr, pow_cl, pow_cr, e_pow);
+    // Gathered-operand variants for the `VarBinL`/`VarBinR` row sweep,
+    // where the variable side differs per lane (consecutive rows) and is
+    // gathered into a stack array at the call site. Only the protected
+    // division (whose guard branch defeats auto-vectorization) and the
+    // relaxed pow (a function call per lane otherwise) pay for explicit
+    // kernels; the remaining ops auto-vectorize fine as scalar loops.
+    kern2v!(div_vl, div_vr, e_div_p);
+    kern2v!(pow_vl, pow_vr, e_pow);
     kern1!(neg_k, e_neg);
     kern1!(exp_k, e_exp);
     kern1!(log_k, e_log);
@@ -386,7 +430,7 @@ mod imp {
     mod tests {
         use super::*;
         use crate::eval::{protected_div, protected_log};
-        use crate::fastmath::{fast_exp, fast_log};
+        use crate::fastmath::{fast_exp, fast_log, fast_pow};
 
         fn feq(a: f64, b: f64) -> bool {
             (a.is_nan() && b.is_nan()) || a == b
@@ -464,6 +508,47 @@ mod imp {
                 }
             }
             let _ = protected_log; // silence unused when cfg combinations shift
+        }
+
+        #[test]
+        fn gathered_operand_kernels_match_scalar() {
+            let mut v = [0.0; LANES];
+            let mut b = [0.0; LANES];
+            for i in 0..LANES {
+                v[i] = (i as f64 * 1.37 - 20.0) * 1e2;
+                b[i] = i as f64 * 0.31 - 4.0;
+            }
+            v[0] = f64::NAN;
+            b[1] = 0.0;
+            b[2] = 1e-13;
+            v[3] = f64::INFINITY;
+            v[4] = 0.0;
+            let mut regs = vec![0.0; 2 * LANES];
+            regs[LANES..].copy_from_slice(&b);
+            assert!(active(), "test host must have avx2+fma");
+            // SAFETY (all four calls): stripes 0 and 1 of a 2-stripe
+            // buffer plus a stack-owned gathered operand; avx2+fma
+            // asserted above. Stripe 1 (the register operand) is never a
+            // destination, so each call sees the same inputs.
+            unsafe { div_vl(&mut regs, 0, &v, LANES) };
+            for l in 0..LANES {
+                assert!(feq(regs[l], protected_div(v[l], b[l])), "div_vl lane {l}");
+            }
+            // SAFETY: see above.
+            unsafe { div_vr(&mut regs, 0, LANES, &v) };
+            for l in 0..LANES {
+                assert!(feq(regs[l], protected_div(b[l], v[l])), "div_vr lane {l}");
+            }
+            // SAFETY: see above.
+            unsafe { pow_vl(&mut regs, 0, &v, LANES) };
+            for l in 0..LANES {
+                assert!(feq(regs[l], fast_pow(v[l], b[l])), "pow_vl lane {l}");
+            }
+            // SAFETY: see above.
+            unsafe { pow_vr(&mut regs, 0, LANES, &v) };
+            for l in 0..LANES {
+                assert!(feq(regs[l], fast_pow(b[l], v[l])), "pow_vr lane {l}");
+            }
         }
     }
 }

@@ -765,35 +765,23 @@ impl RegProgram {
                     l_bin(op, fast, regs, off(dst), off(a), off(b), m);
                 }
                 RInstr::VarBinL { op, dst, idx, b } => {
-                    let (d, b) = (off(dst), off(b));
-                    // The variable operand differs per lane here (lanes are
-                    // consecutive rows), so no broadcast kernel applies;
-                    // only the relaxed pow needs its fast form.
-                    if fast && op == BinOp::Pow {
-                        for l in 0..m {
-                            let v = rows[base + l].as_ref()[idx as usize];
-                            regs[d + l] = fast_pow(v, regs[b + l]);
-                        }
-                    } else {
-                        for l in 0..m {
-                            let v = rows[base + l].as_ref()[idx as usize];
-                            regs[d + l] = apply_bin(op, v, regs[b + l]);
-                        }
+                    // The variable operand differs per lane here (lanes
+                    // are consecutive rows), so no broadcast kernel
+                    // applies; gather it into a stack stripe and let the
+                    // dispatcher pick the gathered-operand vector kernel
+                    // (pow/div) or the scalar loop.
+                    let mut v = [0.0; LANES];
+                    for (l, slot) in v[..m].iter_mut().enumerate() {
+                        *slot = rows[base + l].as_ref()[idx as usize];
                     }
+                    l_bin_vl(op, fast, regs, off(dst), &v, off(b), m);
                 }
                 RInstr::VarBinR { op, dst, a, idx } => {
-                    let (d, a) = (off(dst), off(a));
-                    if fast && op == BinOp::Pow {
-                        for l in 0..m {
-                            let v = rows[base + l].as_ref()[idx as usize];
-                            regs[d + l] = fast_pow(regs[a + l], v);
-                        }
-                    } else {
-                        for l in 0..m {
-                            let v = rows[base + l].as_ref()[idx as usize];
-                            regs[d + l] = apply_bin(op, regs[a + l], v);
-                        }
+                    let mut v = [0.0; LANES];
+                    for (l, slot) in v[..m].iter_mut().enumerate() {
+                        *slot = rows[base + l].as_ref()[idx as usize];
                     }
+                    l_bin_vr(op, fast, regs, off(dst), off(a), &v, m);
                 }
                 RInstr::ConstBinL { op, dst, c, b } => {
                     l_bin_cl(op, fast, regs, off(dst), c, off(b), m);
@@ -1080,6 +1068,72 @@ fn l_bin_cr(op: BinOp, fast: bool, regs: &mut [f64], d: usize, a: usize, c: f64,
         BinOp::Pow => {
             let f: fn(f64, f64) -> f64 = if fast { fast_pow } else { protected_pow };
             k_bin_cr(f, regs, d, a, c, m)
+        }
+    }
+}
+
+#[inline]
+fn l_bin_vl(
+    op: BinOp,
+    fast: bool,
+    regs: &mut [f64],
+    d: usize,
+    v: &[f64; LANES],
+    b: usize,
+    m: usize,
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if m == LANES && crate::simd::active() {
+        // SAFETY: see the shared dispatcher argument above; the gathered
+        // operand is a full stack-owned stripe.
+        unsafe {
+            match op {
+                BinOp::Div => return crate::simd::div_vl(regs, d, v, b),
+                BinOp::Pow if fast => return crate::simd::pow_vl(regs, d, v, b),
+                _ => {}
+            }
+        }
+    }
+    if fast && op == BinOp::Pow {
+        for l in 0..m {
+            regs[d + l] = fast_pow(v[l], regs[b + l]);
+        }
+    } else {
+        for l in 0..m {
+            regs[d + l] = apply_bin(op, v[l], regs[b + l]);
+        }
+    }
+}
+
+#[inline]
+fn l_bin_vr(
+    op: BinOp,
+    fast: bool,
+    regs: &mut [f64],
+    d: usize,
+    a: usize,
+    v: &[f64; LANES],
+    m: usize,
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if m == LANES && crate::simd::active() {
+        // SAFETY: see the shared dispatcher argument above; the gathered
+        // operand is a full stack-owned stripe.
+        unsafe {
+            match op {
+                BinOp::Div => return crate::simd::div_vr(regs, d, a, v),
+                BinOp::Pow if fast => return crate::simd::pow_vr(regs, d, a, v),
+                _ => {}
+            }
+        }
+    }
+    if fast && op == BinOp::Pow {
+        for l in 0..m {
+            regs[d + l] = fast_pow(regs[a + l], v[l]);
+        }
+    } else {
+        for l in 0..m {
+            regs[d + l] = apply_bin(op, regs[a + l], v[l]);
         }
     }
 }
@@ -2159,11 +2213,106 @@ impl CompiledSystem {
             sys: self,
             rows,
             k,
-            prefix_buf: vec![0.0; n_pre * rows.len()],
-            filled: 0,
-            prefix_lane_regs,
+            prefix: PrefixRows::Owned {
+                buf: vec![0.0; n_pre * rows.len()],
+                filled: 0,
+                lane_regs: prefix_lane_regs,
+            },
             core_lane_regs,
         }
+    }
+
+    /// Like [`multi_session`](Self::multi_session), but reading prefix
+    /// values from a pre-materialized [`PrefixTable`] instead of sweeping
+    /// them on demand — the serving hot path, where a registry caches one
+    /// table per (model, forcing table) and repeat traffic skips the
+    /// columnar sweep entirely. The table must come from
+    /// [`sweep_prefix`](Self::sweep_prefix) on this same system over a
+    /// forcing table of which `rows` is a prefix (width is asserted;
+    /// provenance is the caller's contract).
+    pub fn multi_session_with_prefix<'a, R: AsRef<[f64]>>(
+        &'a self,
+        rows: &'a [R],
+        k: usize,
+        prefix: &'a PrefixTable,
+    ) -> MultiSession<'a, R> {
+        assert!(
+            (1..=LANES).contains(&k),
+            "trajectory count {k} out of 1..={LANES}"
+        );
+        assert_eq!(
+            prefix.n_pre,
+            self.prefix.outputs.len(),
+            "prefix table width does not match this system"
+        );
+        assert!(
+            self.prefix.outputs.is_empty() || prefix.rows() >= rows.len(),
+            "prefix table covers {} rows, session needs {}",
+            prefix.rows(),
+            rows.len()
+        );
+        let mut core_lane_regs = vec![0.0; self.core.n_regs as usize * LANES];
+        self.core.init_consts_lanes(&mut core_lane_regs);
+        MultiSession {
+            sys: self,
+            rows,
+            k,
+            prefix: PrefixRows::Shared(prefix),
+            core_lane_regs,
+        }
+    }
+
+    /// Materialize the state-independent prefix columns for every row of
+    /// a forcing table, for reuse across sessions via
+    /// [`multi_session_with_prefix`](Self::multi_session_with_prefix).
+    /// Produced by the same [`LANES`]-chunked columnar sweep from row 0
+    /// that an on-demand session runs, so the values are bit-identical to
+    /// what any session over `rows` (or a prefix of it) would compute.
+    pub fn sweep_prefix<R: AsRef<[f64]>>(&self, rows: &[R]) -> PrefixTable {
+        let n_pre = self.prefix.outputs.len();
+        let mut values = vec![0.0; n_pre * rows.len()];
+        if n_pre > 0 {
+            let mut lane_regs = vec![0.0; self.prefix.n_regs as usize * LANES];
+            self.prefix.init_consts_lanes(&mut lane_regs);
+            let mut filled = 0;
+            while filled < rows.len() {
+                let m = LANES.min(rows.len() - filled);
+                self.prefix
+                    .run_lanes(rows, filled, m, &mut lane_regs, self.relaxed());
+                for l in 0..m {
+                    let row = (filled + l) * n_pre;
+                    for (j, &r) in self.prefix.outputs.iter().enumerate() {
+                        values[row + j] = lane_regs[r as usize * LANES + l];
+                    }
+                }
+                filled += m;
+            }
+        }
+        PrefixTable { values, n_pre }
+    }
+}
+
+/// Materialized state-independent prefix columns over a fixed forcing
+/// table (`values[t * n_pre + slot]`), produced by
+/// [`CompiledSystem::sweep_prefix`] and shared across
+/// [`MultiSession`]s — the unit a serving registry caches (and an LRU
+/// eviction destroys) per (model, forcing table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixTable {
+    values: Vec<f64>,
+    n_pre: usize,
+}
+
+impl PrefixTable {
+    /// Forcing rows covered.
+    pub fn rows(&self) -> usize {
+        self.values.len().checked_div(self.n_pre).unwrap_or(0)
+    }
+
+    /// Resident size of the materialized columns in bytes (the LRU
+    /// accounting unit).
+    pub fn bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
     }
 }
 
@@ -2241,13 +2390,22 @@ pub struct MultiSession<'a, R: AsRef<[f64]>> {
     sys: &'a CompiledSystem,
     rows: &'a [R],
     k: usize,
-    /// Row-major prefix values: `prefix_buf[t * n_pre + slot]` — shared by
-    /// every trajectory (the prefix is state-independent).
-    prefix_buf: Vec<f64>,
-    /// Rows of `prefix_buf` materialized so far.
-    filled: usize,
-    prefix_lane_regs: Vec<f64>,
+    prefix: PrefixRows<'a>,
     core_lane_regs: Vec<f64>,
+}
+
+/// Where a [`MultiSession`] reads its row-major prefix values from:
+/// either its own on-demand sweep buffer (`buf[t * n_pre + slot]`,
+/// shared by every trajectory — the prefix is state-independent), or a
+/// caller-cached [`PrefixTable`].
+enum PrefixRows<'a> {
+    Owned {
+        buf: Vec<f64>,
+        /// Rows of `buf` materialized so far.
+        filled: usize,
+        lane_regs: Vec<f64>,
+    },
+    Shared(&'a PrefixTable),
 }
 
 impl<R: AsRef<[f64]>> MultiSession<'_, R> {
@@ -2277,27 +2435,36 @@ impl<R: AsRef<[f64]>> MultiSession<'_, R> {
         let n_pre = self.sys.prefix.outputs.len();
         let window = self.sys.core.consts.len();
         if n_pre > 0 {
-            while self.filled <= t {
-                let m = LANES.min(self.rows.len() - self.filled);
-                self.sys.prefix.run_lanes(
-                    self.rows,
-                    self.filled,
-                    m,
-                    &mut self.prefix_lane_regs,
-                    self.sys.relaxed(),
-                );
-                for l in 0..m {
-                    let row = (self.filled + l) * n_pre;
-                    for (j, &r) in self.sys.prefix.outputs.iter().enumerate() {
-                        self.prefix_buf[row + j] = self.prefix_lane_regs[r as usize * LANES + l];
+            let pre_row: &[f64] = match &mut self.prefix {
+                PrefixRows::Owned {
+                    buf,
+                    filled,
+                    lane_regs,
+                } => {
+                    while *filled <= t {
+                        let m = LANES.min(self.rows.len() - *filled);
+                        self.sys.prefix.run_lanes(
+                            self.rows,
+                            *filled,
+                            m,
+                            lane_regs,
+                            self.sys.relaxed(),
+                        );
+                        for l in 0..m {
+                            let row = (*filled + l) * n_pre;
+                            for (j, &r) in self.sys.prefix.outputs.iter().enumerate() {
+                                buf[row + j] = lane_regs[r as usize * LANES + l];
+                            }
+                        }
+                        *filled += m;
                     }
+                    &buf[t * n_pre..(t + 1) * n_pre]
                 }
-                self.filled += m;
-            }
+                PrefixRows::Shared(table) => &table.values[t * n_pre..(t + 1) * n_pre],
+            };
             // Broadcast this row's prefix values across the live lanes of
             // the core's pinned window.
-            for j in 0..n_pre {
-                let v = self.prefix_buf[t * n_pre + j];
+            for (j, &v) in pre_row.iter().enumerate() {
                 let d = (window + j) * LANES;
                 self.core_lane_regs[d..d + k].fill(v);
             }
@@ -2318,8 +2485,12 @@ impl<R: AsRef<[f64]>> MultiSession<'_, R> {
     }
 
     /// Forcing rows materialized in the prefix buffer so far (tests).
+    /// A shared [`PrefixTable`] arrives fully materialized.
     pub fn rows_swept(&self) -> usize {
-        self.filled
+        match &self.prefix {
+            PrefixRows::Owned { filled, .. } => *filled,
+            PrefixRows::Shared(table) => table.rows(),
+        }
     }
 }
 

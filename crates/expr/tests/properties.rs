@@ -363,6 +363,102 @@ proptest! {
     }
 
     #[test]
+    fn var_operand_pow_div_prefix_matches_interpreter(
+        rows in prop::collection::vec(prop::collection::vec(0.1_f64..50.0, 4), 33..80),
+        states in prop::collection::vec(prop::collection::vec(-1e2_f64..1e2, 2), 1..3),
+    ) {
+        // VarBinL/VarBinR pow and div inside the state-independent prefix
+        // — the shapes the gathered-operand vector kernels cover. Rows
+        // cross the 32-lane chunk boundary so both the full-stripe and
+        // ragged-tail paths run. Bit-exact whenever the vector kernels
+        // are dormant; with them live, div stays bit-exact (protected
+        // kernel) and pow is relaxed to relative closeness.
+        let inner = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::Var(2), Expr::Num(0.05)),
+            Expr::Num(1.25),
+        );
+        let eqs = vec![
+            // pow: var base (VarBinL), var exponent (VarBinR)
+            Expr::bin(BinOp::Mul, Expr::bin(BinOp::Pow, Expr::Var(0), inner.clone()), Expr::State(0)),
+            Expr::bin(BinOp::Add, Expr::bin(BinOp::Pow, inner.clone(), Expr::Var(3)), Expr::State(1)),
+            // div: var numerator (VarBinL), var divisor (VarBinR)
+            Expr::bin(BinOp::Mul, Expr::bin(BinOp::Div, Expr::Var(0), inner.clone()), Expr::State(0)),
+            Expr::bin(BinOp::Add, Expr::bin(BinOp::Div, inner, Expr::Var(1)), Expr::State(1)),
+        ];
+        for opts in exact_tiers() {
+            let sys = CompiledSystem::compile(&eqs, opts);
+            let mut session = sys.session(&rows);
+            let mut out = vec![0.0; sys.n_eqs()];
+            for (t, row) in rows.iter().enumerate() {
+                for state in &states {
+                    let ctx = EvalContext { vars: row, state };
+                    session.step(t, state, &mut out);
+                    for (i, (eq, &got)) in eqs.iter().zip(&out).enumerate() {
+                        let want = eq.eval(&ctx);
+                        prop_assert!(feq(want, got),
+                            "tier {opts:?} row {t} eq {i}: interpreter {want} vs session {got}");
+                    }
+                }
+            }
+        }
+        #[cfg(feature = "simd")]
+        if gmr_expr::simd::active() {
+            let sys = CompiledSystem::compile(&eqs, OptOptions::simd());
+            let mut session = sys.session(&rows);
+            let mut out = vec![0.0; sys.n_eqs()];
+            for (t, row) in rows.iter().enumerate() {
+                for state in &states {
+                    let ctx = EvalContext { vars: row, state };
+                    session.step(t, state, &mut out);
+                    for (i, (eq, &got)) in eqs.iter().zip(&out).enumerate() {
+                        let want = eq.eval(&ctx);
+                        // eqs 0/1 are the relaxed pow shapes; 2/3 divide.
+                        let ok = if i < 2 { close(want, got) } else { feq(want, got) };
+                        prop_assert!(ok,
+                            "live simd row {t} eq {i}: interpreter {want} vs session {got}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_table_matches_on_demand_sweep(
+        eqs in prop::collection::vec(arb_expr(), 1..3),
+        rows in prop::collection::vec(prop::collection::vec(-1e3_f64..1e3, 4), 2..80),
+        inits in prop::collection::vec(prop::collection::vec(-1e3_f64..1e3, 2), 1..4),
+        take in 0.1_f64..1.0,
+    ) {
+        // A cached `PrefixTable` swept once over the full forcing table
+        // must reproduce the on-demand sweep bit-for-bit — including for
+        // sessions over a *prefix* of the table (the serving shape: one
+        // cached table per (model, forcing table), arbitrary per-request
+        // horizons), where the on-demand sweep ends in a ragged tail
+        // chunk the full-table sweep computed as part of a full stripe.
+        let k = inits.len();
+        let days = ((rows.len() as f64 * take).ceil() as usize).clamp(1, rows.len());
+        for opts in [OptOptions::full(), OptOptions::threaded(), OptOptions::simd()] {
+            let sys = CompiledSystem::compile(&eqs, opts);
+            let table = sys.sweep_prefix(&rows);
+            let states: Vec<f64> = inits.iter().flatten().copied().collect();
+            let head = &rows[..days];
+            let mut on_demand = sys.multi_session(head, k);
+            let mut shared = sys.multi_session_with_prefix(head, k, &table);
+            let mut out_a = vec![0.0; k * sys.n_eqs()];
+            let mut out_b = vec![0.0; k * sys.n_eqs()];
+            for t in 0..days {
+                on_demand.step(t, &states, &mut out_a);
+                shared.step(t, &states, &mut out_b);
+                for (i, (&x, &y)) in out_a.iter().zip(&out_b).enumerate() {
+                    prop_assert!(feq(x, y),
+                        "tier {opts:?} t={t} slot {i}: on-demand {x} vs shared {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn param_mutation_plus_recompile_tracks_interpreter(
         eqs in prop::collection::vec(arb_expr(), 1..3),
         (vars, state) in arb_ctx(),

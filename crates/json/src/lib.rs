@@ -66,6 +66,14 @@ impl Value {
         }
     }
 
+    /// This value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// This value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -329,6 +337,67 @@ pub fn push_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Serialize a [`Value`] back to JSON text. Objects render in key order
+/// (their storage order), so output is deterministic; non-finite numbers
+/// become `null`, mirroring [`push_f64`].
+pub fn render(v: &Value) -> String {
+    let mut out = String::new();
+    push_value(&mut out, v);
+    out
+}
+
+/// Append a JSON rendering of `v` to `out`.
+pub fn push_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(x) => push_f64(out, *x),
+        Value::Str(s) => push_escaped(out, s),
+        Value::Arr(xs) => {
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                push_value(out, x);
+            }
+            out.push(']');
+        }
+        Value::Obj(m) => {
+            out.push('{');
+            for (i, (k, x)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                push_escaped(out, k);
+                out.push_str(": ");
+                push_value(out, x);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Field-wise sum of the numeric top-level fields of several objects —
+/// the cluster `/metrics` rollup: each backend reports a flat object of
+/// counters, the gateway serves their sum. Non-numeric fields (nested
+/// histogram objects, strings) are skipped; non-objects contribute
+/// nothing. Keys missing from some objects sum over those present.
+pub fn sum_numeric<'a>(objs: impl IntoIterator<Item = &'a Value>) -> Value {
+    let mut acc: BTreeMap<String, Value> = BTreeMap::new();
+    for obj in objs {
+        let Value::Obj(m) = obj else { continue };
+        for (k, v) in m {
+            let Value::Num(x) = v else { continue };
+            match acc.entry(k.clone()).or_insert(Value::Num(0.0)) {
+                Value::Num(total) => *total += x,
+                _ => unreachable!("accumulator only holds Num"),
+            }
+        }
+    }
+    Value::Obj(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,5 +449,25 @@ mod tests {
         assert_eq!(parse("7").unwrap().as_u64(), Some(7));
         assert_eq!(parse("-1").unwrap().as_u64(), None);
         assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let src = r#"{"a": [1, {"b": "x\ny"}], "c": false, "d": null}"#;
+        let v = parse(src).unwrap();
+        let text = render(&v);
+        assert_eq!(parse(&text).unwrap(), v, "render must parse back equal");
+    }
+
+    #[test]
+    fn sum_numeric_is_fieldwise_over_present_keys() {
+        let a = parse(r#"{"hits": 3, "lat": 1.5, "name": "b0", "h": {"count": 2}}"#).unwrap();
+        let b = parse(r#"{"hits": 4, "misses": 2, "name": "b1"}"#).unwrap();
+        let sum = sum_numeric([&a, &b]);
+        assert_eq!(sum.get("hits").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(sum.get("misses").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(sum.get("lat").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(sum.get("name"), None, "strings are not summable");
+        assert_eq!(sum.get("h"), None, "nested objects are skipped");
     }
 }

@@ -164,6 +164,18 @@ pub enum Event {
         /// (1 = unbatched; 0 = no simulation ran).
         batch: u64,
     },
+    /// A cluster backend lifecycle transition (the supervisor's log).
+    Backend {
+        /// Backend slot index.
+        idx: u32,
+        /// Bound address, when known (empty before first spawn succeeds).
+        addr: String,
+        /// Transition: `spawned`, `up`, `down`, `restarted`, `gave-up`,
+        /// `drained`.
+        state: &'static str,
+        /// Restarts consumed so far for this slot.
+        restarts: u32,
+    },
 }
 
 impl Event {
@@ -180,6 +192,7 @@ impl Event {
             Event::Metrics { .. } => "metrics",
             Event::Note { .. } => "note",
             Event::Request { .. } => "request",
+            Event::Backend { .. } => "backend",
         }
     }
 }
@@ -442,6 +455,18 @@ fn write_record(out: &mut String, rec: &Record) {
             out.push_str(&format!(
                 ", \"status\": {status}, \"dur_us\": {dur_us}, \"batch\": {batch}"
             ));
+        }
+        Event::Backend {
+            idx,
+            addr,
+            state,
+            restarts,
+        } => {
+            out.push_str(&format!(", \"idx\": {idx}, \"addr\": "));
+            push_escaped(out, addr);
+            out.push_str(", \"state\": ");
+            push_escaped(out, state);
+            out.push_str(&format!(", \"restarts\": {restarts}"));
         }
     }
     out.push('}');

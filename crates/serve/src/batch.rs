@@ -16,10 +16,19 @@
 //! bit-equality tests), and the Euler loop here mirrors
 //! `RiverProblem::integrate` exactly (pre-step visit, then
 //! [`sanitise_state`] on the advanced state).
+//!
+//! The batcher resolves each group's compiled system through the
+//! registry's hot tier at flush time ([`ModelRegistry::touch`]), so LRU
+//! order tracks execution order, reuses the hot record's cached
+//! [`PrefixTable`] per forcing table, and — when the AVX2 kernels are
+//! live — pads wide sweeps to full [`LANES`] stripes so the lock-step
+//! core runs the vector kernels instead of per-lane scalar loops
+//! (padded lanes replicate a real trajectory and are dropped; per-lane
+//! results are unchanged).
 
-use crate::registry::ServableModel;
+use crate::registry::{ModelRegistry, ServableModel};
 use gmr_bio::{sanitise_state, simulate_network_compiled, NetworkSimOptions, StationSeries};
-use gmr_expr::{CompiledSystem, LANES};
+use gmr_expr::{CompiledSystem, PrefixTable, LANES};
 use gmr_hydro::NUM_VARS;
 use gmr_json::Value;
 use std::collections::BTreeMap;
@@ -320,6 +329,11 @@ pub fn simulate_single(
     (bphy, bzoo)
 }
 
+/// Pad a lock-step sweep to full [`LANES`] stripes once it is at least
+/// this wide (and the vector kernels are live): from half-occupancy up,
+/// one full-stripe vector dispatch beats `k` scalar per-lane loops.
+const PAD_MIN: usize = LANES / 2;
+
 /// `k = inits.len()` trajectories over one shared forcing table in a
 /// single lock-step sweep (`k <= LANES`). Per-trajectory results are
 /// bit-identical to [`simulate_single`].
@@ -330,10 +344,51 @@ pub fn simulate_many(
     dt: f64,
     cap: f64,
 ) -> Vec<(Vec<f64>, Vec<f64>)> {
+    simulate_lockstep(sys, rows, inits, dt, cap, None)
+}
+
+/// [`simulate_many`] reading prefix values from a cached [`PrefixTable`]
+/// (swept over the full hosted table; `rows` may be any prefix of it)
+/// instead of re-sweeping them. Results are bit-identical.
+pub fn simulate_many_with_prefix(
+    sys: &CompiledSystem,
+    rows: &[[f64; NUM_VARS]],
+    inits: &[(f64, f64)],
+    dt: f64,
+    cap: f64,
+    prefix: &PrefixTable,
+) -> Vec<(Vec<f64>, Vec<f64>)> {
+    simulate_lockstep(sys, rows, inits, dt, cap, Some(prefix))
+}
+
+fn simulate_lockstep(
+    sys: &CompiledSystem,
+    rows: &[[f64; NUM_VARS]],
+    inits: &[(f64, f64)],
+    dt: f64,
+    cap: f64,
+    prefix: Option<&PrefixTable>,
+) -> Vec<(Vec<f64>, Vec<f64>)> {
     let k = inits.len();
     assert!((1..=LANES).contains(&k));
-    let mut multi = sys.multi_session(rows, k);
+    // With the vector kernels live, a wide-but-ragged group is padded to
+    // a full stripe with copies of the first trajectory: the lock-step
+    // core then takes the `__m256d` dispatch path instead of `k` scalar
+    // per-lane iterations. Lanes are arithmetically independent, so the
+    // real lanes' bits are unchanged; the padded ones are dropped.
+    let k_run = if gmr_expr::simd::active() && (PAD_MIN..LANES).contains(&k) {
+        LANES
+    } else {
+        k
+    };
+    let mut multi = match prefix {
+        Some(p) => sys.multi_session_with_prefix(rows, k_run, p),
+        None => sys.multi_session(rows, k_run),
+    };
     let mut states: Vec<f64> = inits.iter().flat_map(|&(p, z)| [p, z]).collect();
+    for _ in k..k_run {
+        states.extend([inits[0].0, inits[0].1]);
+    }
     let mut out: Vec<(Vec<f64>, Vec<f64>)> = inits
         .iter()
         .map(|_| {
@@ -343,14 +398,14 @@ pub fn simulate_many(
             )
         })
         .collect();
-    let mut d = vec![0.0f64; k * 2];
+    let mut d = vec![0.0f64; k_run * 2];
     for t in 0..rows.len() {
         for l in 0..k {
             out[l].0.push(states[l * 2]);
             out[l].1.push(states[l * 2 + 1]);
         }
         multi.step(t, &states, &mut d);
-        for l in 0..k {
+        for l in 0..k_run {
             states[l * 2] = sanitise_state(states[l * 2] + dt * d[l * 2], cap);
             states[l * 2 + 1] = sanitise_state(states[l * 2 + 1] + dt * d[l * 2 + 1], cap);
         }
@@ -359,8 +414,11 @@ pub fn simulate_many(
 }
 
 /// Run one job that cannot share work (inline forcings or network mode).
-fn run_solo(job: &SimJob, tables: &Tables) -> Result<SimOutput, (u16, String)> {
-    let sys = &job.model.system;
+fn run_solo(
+    job: &SimJob,
+    tables: &Tables,
+    sys: &CompiledSystem,
+) -> Result<SimOutput, (u16, String)> {
     let req = &job.request;
     match &req.source {
         ForcingSource::Inline(rows) => {
@@ -385,14 +443,18 @@ fn run_solo(job: &SimJob, tables: &Tables) -> Result<SimOutput, (u16, String)> {
                         simulate_single(sys, &rows[..days], req.init, req.dt, req.state_cap);
                     Ok(SimOutput::Single { bphy, bzoo })
                 }
-                HostedTable::Network(stations) => run_network(job, stations),
+                HostedTable::Network(stations) => run_network(job, stations, sys),
             }
         }
     }
 }
 
 /// Run a full-network simulation job.
-fn run_network(job: &SimJob, stations: &[NetStation]) -> Result<SimOutput, (u16, String)> {
+fn run_network(
+    job: &SimJob,
+    stations: &[NetStation],
+    sys: &CompiledSystem,
+) -> Result<SimOutput, (u16, String)> {
     let req = &job.request;
     let net = job
         .model
@@ -436,7 +498,7 @@ fn run_network(job: &SimJob, stations: &[NetStation]) -> Result<SimOutput, (u16,
         dt: req.dt,
         state_cap: req.state_cap,
     };
-    let res = simulate_network_compiled(net, &series, 0, days, &job.model.system, opts);
+    let res = simulate_network_compiled(net, &series, 0, days, sys, opts);
     let mut names = Vec::new();
     let mut bphy = Vec::new();
     let mut bzoo = Vec::new();
@@ -490,8 +552,10 @@ fn group_key(job: &SimJob, tables: &Tables) -> Option<(GroupKey, usize)> {
 }
 
 /// Flush one drained batch: group shareable jobs, sweep each group, run
-/// the rest solo. Every job gets exactly one reply.
-fn flush(jobs: Vec<SimJob>, tables: &Tables) {
+/// the rest solo. Every job gets exactly one reply. Compiled systems are
+/// resolved through the registry's hot tier here — one touch per group —
+/// and each group's sweep reads the hot record's cached prefix table.
+fn flush(jobs: Vec<SimJob>, tables: &Tables, registry: &ModelRegistry) {
     let _sp = gmr_obsv::span!("serve.flush", jobs.len() as u64);
     let mut groups: BTreeMap<GroupKey, Vec<(SimJob, usize)>> = BTreeMap::new();
     let mut solo = Vec::new();
@@ -502,28 +566,31 @@ fn flush(jobs: Vec<SimJob>, tables: &Tables) {
         }
     }
     for job in solo {
-        let result = run_solo(&job, tables);
+        let result = match registry.touch(&job.request.model) {
+            Some(hot) => run_solo(&job, tables, &hot.system),
+            None => Err((404, format!("no model {:?}", job.request.model))),
+        };
         let _ = job.reply.send(SimOutcome { result, batch: 1 });
     }
     for (key, group) in groups {
         let n = group.len();
         let days = group[0].1;
-        let model = Arc::clone(&group[0].0.model);
+        let Some(hot) = registry.touch(&key.0) else {
+            for (job, _) in group {
+                let result = Err((404, format!("no model {:?}", key.0)));
+                let _ = job.reply.send(SimOutcome { result, batch: 1 });
+            }
+            continue;
+        };
         let Some(HostedTable::Single(rows)) = tables.get(&key.1) else {
             unreachable!("group_key checked the table");
         };
+        // The cached prefix covers the full hosted table; any request
+        // horizon shares it.
+        let prefix = hot.prefix_for(&key.1, rows);
         let rows = &rows[..days];
         let dt = f64::from_bits(key.3);
         let cap = f64::from_bits(key.4);
-        if n == 1 {
-            let (job, _) = group.into_iter().next().unwrap();
-            let (bphy, bzoo) = simulate_single(&model.system, rows, job.request.init, dt, cap);
-            let _ = job.reply.send(SimOutcome {
-                result: Ok(SimOutput::Single { bphy, bzoo }),
-                batch: 1,
-            });
-            continue;
-        }
         // Chunk the group by LANES; every chunk is one lock-step sweep.
         let mut it = group.into_iter();
         loop {
@@ -532,7 +599,7 @@ fn flush(jobs: Vec<SimJob>, tables: &Tables) {
                 break;
             }
             let inits: Vec<(f64, f64)> = chunk.iter().map(|(j, _)| j.request.init).collect();
-            let results = simulate_many(&model.system, rows, &inits, dt, cap);
+            let results = simulate_many_with_prefix(&hot.system, rows, &inits, dt, cap, &prefix);
             for ((job, _), (bphy, bzoo)) in chunk.into_iter().zip(results) {
                 let _ = job.reply.send(SimOutcome {
                     result: Ok(SimOutput::Single { bphy, bzoo }),
@@ -546,7 +613,12 @@ fn flush(jobs: Vec<SimJob>, tables: &Tables) {
 /// The batcher loop: block for one job, coalesce within the window, flush.
 /// Exits when every sender is gone (server drain) — after flushing what it
 /// already drained, so no accepted job is ever dropped.
-pub fn run_batcher(rx: Receiver<SimJob>, tables: Arc<Tables>, cfg: BatcherConfig) {
+pub fn run_batcher(
+    rx: Receiver<SimJob>,
+    tables: Arc<Tables>,
+    registry: Arc<ModelRegistry>,
+    cfg: BatcherConfig,
+) {
     loop {
         let first = match rx.recv() {
             Ok(job) => job,
@@ -575,13 +647,13 @@ pub fn run_batcher(rx: Receiver<SimJob>, tables: Arc<Tables>, cfg: BatcherConfig
                     Ok(job) => jobs.push(job),
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => {
-                        flush(jobs, &tables);
+                        flush(jobs, &tables, &registry);
                         return;
                     }
                 }
             }
         }
-        flush(jobs, &tables);
+        flush(jobs, &tables, &registry);
     }
 }
 
@@ -604,15 +676,16 @@ mod tests {
             .collect()
     }
 
-    fn manual_model() -> Arc<ServableModel> {
+    fn manual_registry() -> Arc<ModelRegistry> {
         let mut reg = ModelRegistry::new();
         reg.insert(ModelArtifact::builtin_manual()).unwrap();
-        reg.get("table5-manual").unwrap()
+        Arc::new(reg)
     }
 
     #[test]
     fn simulate_single_matches_river_problem_bitwise() {
-        let model = manual_model();
+        let reg = manual_registry();
+        let sys = reg.touch("table5-manual").unwrap().system.clone();
         let table = rows(150);
         let opts = SimOptions::default();
         let problem = RiverProblem {
@@ -620,34 +693,74 @@ mod tests {
             observed: vec![0.0; table.len()],
             opts,
         };
-        let want = problem.simulate_compiled(&model.system);
-        let (bphy, _) = simulate_single(&model.system, &table, opts.init, opts.dt, opts.state_cap);
+        let want = problem.simulate_compiled(&sys);
+        let (bphy, _) = simulate_single(&sys, &table, opts.init, opts.dt, opts.state_cap);
         assert_eq!(bphy, want, "serve loop must mirror RiverProblem::integrate");
     }
 
     #[test]
     fn simulate_many_matches_single_bitwise() {
-        let model = manual_model();
+        let reg = manual_registry();
+        let sys = reg.touch("table5-manual").unwrap().system.clone();
         let table = rows(90);
         let inits = [(8.0, 1.2), (2.5, 0.4), (15.0, 3.0), (0.05, 0.01)];
-        let batched = simulate_many(&model.system, &table, &inits, 1.0, 1e9);
+        let batched = simulate_many(&sys, &table, &inits, 1.0, 1e9);
         for (l, &init) in inits.iter().enumerate() {
-            let solo = simulate_single(&model.system, &table, init, 1.0, 1e9);
+            let solo = simulate_single(&sys, &table, init, 1.0, 1e9);
             assert_eq!(batched[l], solo, "lane {l} diverged");
         }
     }
 
     #[test]
+    fn padded_sweep_matches_single_bitwise() {
+        // 16 inits crosses PAD_MIN: with vector kernels live the sweep
+        // runs padded to a full stripe; either way every real lane must
+        // match its solo run bit-for-bit.
+        let reg = manual_registry();
+        let sys = reg.touch("table5-manual").unwrap().system.clone();
+        let table = rows(70);
+        let inits: Vec<(f64, f64)> = (0..PAD_MIN)
+            .map(|i| (2.0 + i as f64 * 0.9, 0.3 + i as f64 * 0.11))
+            .collect();
+        let batched = simulate_many(&sys, &table, &inits, 1.0, 1e9);
+        for (l, &init) in inits.iter().enumerate() {
+            let solo = simulate_single(&sys, &table, init, 1.0, 1e9);
+            assert_eq!(batched[l], solo, "lane {l} diverged");
+        }
+    }
+
+    #[test]
+    fn cached_prefix_sweep_matches_bitwise() {
+        // The serving shape: prefix materialized over the full hosted
+        // table, requests simulating a shorter horizon. Must be
+        // bit-identical to the on-demand sweep over the sliced table.
+        let reg = manual_registry();
+        let hot = reg.touch("table5-manual").unwrap();
+        let table = rows(100);
+        let prefix = hot.prefix_for("t", &table);
+        let inits = [(8.0, 1.2), (2.5, 0.4), (15.0, 3.0)];
+        for days in [1, 33, 70, 100] {
+            let head = &table[..days];
+            let shared = simulate_many_with_prefix(&hot.system, head, &inits, 1.0, 1e9, &prefix);
+            let on_demand = simulate_many(&hot.system, head, &inits, 1.0, 1e9);
+            assert_eq!(shared, on_demand, "days={days}");
+        }
+    }
+
+    #[test]
     fn batcher_coalesces_ref_jobs_and_answers_all() {
-        let model = manual_model();
+        let reg = manual_registry();
+        let model = reg.get("table5-manual").unwrap();
+        let sys = reg.touch("table5-manual").unwrap().system.clone();
         let table = rows(60);
         let mut tables = Tables::new();
         tables.insert("t", HostedTable::Single(table.clone()));
         let tables = Arc::new(tables);
         let (tx, rx) = std::sync::mpsc::sync_channel::<SimJob>(16);
         let t_tables = Arc::clone(&tables);
+        let t_reg = Arc::clone(&reg);
         let batcher =
-            std::thread::spawn(move || run_batcher(rx, t_tables, BatcherConfig::default()));
+            std::thread::spawn(move || run_batcher(rx, t_tables, t_reg, BatcherConfig::default()));
         let inits = [(8.0, 1.2), (3.0, 0.5), (11.0, 2.0)];
         let mut rxs = Vec::new();
         for &init in &inits {
@@ -675,7 +788,7 @@ mod tests {
             let SimOutput::Single { bphy, bzoo } = outcome.result.unwrap() else {
                 panic!("expected single output");
             };
-            let (want_p, want_z) = simulate_single(&model.system, &table, init, 1.0, 1e9);
+            let (want_p, want_z) = simulate_single(&sys, &table, init, 1.0, 1e9);
             assert_eq!(bphy, want_p);
             assert_eq!(bzoo, want_z);
             assert!(outcome.batch >= 1);

@@ -22,8 +22,11 @@
 
 use gmr_hydro::{generate, SyntheticConfig};
 use gmr_serve::batch::{HostedTable, NetStation, Tables};
-use gmr_serve::server::http_request;
-use gmr_serve::{sig, ModelArtifact, ModelRegistry, Server, ServerConfig};
+use gmr_serve::server::Client;
+use gmr_serve::{
+    sig, Cluster, ClusterConfig, Gateway, GatewayConfig, ModelArtifact, ModelRegistry, Server,
+    ServerConfig,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -31,10 +34,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: gmr-serve serve [--addr A] [--artifacts DIR] [--port-file P] [--journal P]
                        [--workers N] [--conn-queue N] [--sim-queue N] [--window-ms MS]
-                       [--days N] [--seed S] [--no-builtin]
+                       [--days N] [--seed S] [--no-builtin] [--hot-models N]
                        [--fidelity bit-exact|allow-relaxed]
+       gmr-serve cluster --backends N [--addr A] [--artifacts DIR] [--port-file P]
+                         [--journal P] [--hot-models N] [serve flags forwarded to backends]
        gmr-serve export --out PATH
-       gmr-serve request ADDR METHOD PATH [--data JSON | --body FILE]"
+       gmr-serve request ADDR METHOD PATH [--data JSON | --body FILE] [--repeat N]"
     );
     ExitCode::from(2)
 }
@@ -43,6 +48,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
         _ => usage(),
@@ -119,7 +125,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
         }
     }
-    let (seed, days, workers, conn_queue, sim_queue, window_ms) = match (|| {
+    let (seed, days, workers, conn_queue, sim_queue, window_ms, hot_models) = match (|| {
         Ok::<_, String>((
             parse_flag(args, "--seed", SyntheticConfig::default().seed)?,
             flag(args, "--days")
@@ -129,6 +135,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             parse_flag(args, "--conn-queue", ServerConfig::default().conn_queue)?,
             parse_flag(args, "--sim-queue", ServerConfig::default().sim_queue)?,
             parse_flag(args, "--window-ms", 2u64)?,
+            parse_flag(args, "--hot-models", 0usize)?,
         ))
     })() {
         Ok(v) => v,
@@ -144,6 +151,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         conn_queue,
         sim_queue,
         batch_window: Duration::from_millis(window_ms),
+        hot_models,
         ..ServerConfig::default()
     };
     let handle = match Server::new(config, registry, tables).start() {
@@ -179,6 +187,123 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     }
     println!("drained cleanly");
+    ExitCode::SUCCESS
+}
+
+/// Backend flags `cluster` forwards verbatim to every spawned `serve`
+/// process: value-carrying flags first, then bare switches.
+const FORWARDED_VALUE_FLAGS: &[&str] = &[
+    "--artifacts",
+    "--days",
+    "--seed",
+    "--workers",
+    "--conn-queue",
+    "--sim-queue",
+    "--window-ms",
+    "--fidelity",
+    "--hot-models",
+];
+const FORWARDED_BARE_FLAGS: &[&str] = &["--no-builtin"];
+
+fn cmd_cluster(args: &[String]) -> ExitCode {
+    sig::install();
+    gmr_obsv::init(gmr_obsv::DEFAULT_CAPACITY);
+    let backends = match parse_flag(args, "--backends", 0usize) {
+        Ok(n) if n >= 1 => n,
+        Ok(_) => {
+            eprintln!("cluster needs --backends N (N >= 1)");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = flag(args, "--dir").map_or_else(
+        || std::env::temp_dir().join(format!("gmr-cluster-{}", std::process::id())),
+        std::path::PathBuf::from,
+    );
+    let mut config = ClusterConfig::new(backends, exe, dir);
+    config.restart_budget = match parse_flag(args, "--restart-budget", config.restart_budget) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    for &name in FORWARDED_VALUE_FLAGS {
+        if let Some(v) = flag(args, name) {
+            config.backend_args.push(name.into());
+            config.backend_args.push(v);
+        }
+    }
+    for &name in FORWARDED_BARE_FLAGS {
+        if args.iter().any(|a| a == name) {
+            config.backend_args.push(name.into());
+        }
+    }
+    let gw_workers = GatewayConfig::default().workers;
+    if flag(args, "--workers").is_none() {
+        // Capacity rule: every gateway worker can park one idle
+        // keep-alive connection per backend, so a backend needs more
+        // workers than the gateway has — otherwise health probes and
+        // fresh requests queue behind idle connections.
+        config.backend_args.push("--workers".into());
+        config.backend_args.push((gw_workers + 2).to_string());
+    }
+    let cluster = match Cluster::start(config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cluster start failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gw_config = GatewayConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        ..GatewayConfig::default()
+    };
+    let gateway = match Gateway::new(gw_config, cluster.slots()).start() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("gateway bind failed: {e}");
+            cluster.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = gateway.addr();
+    if let Some(path) = flag(args, "--port-file") {
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .is_err()
+        {
+            eprintln!("cannot write port file {path}");
+            gateway.shutdown();
+            cluster.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("gmr-serve cluster: gateway on {addr}, {backends} backend(s)");
+    while !sig::terminated() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("termination signal observed; draining cluster");
+    gateway.shutdown();
+    cluster.shutdown();
+    if let Some(path) = flag(args, "--journal") {
+        if let Err(e) = gmr_obsv::write_jsonl(&path) {
+            eprintln!("journal write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("cluster drained cleanly");
     ExitCode::SUCCESS
 }
 
@@ -224,19 +349,31 @@ fn cmd_request(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match http_request(addr, method, path, &body) {
-        Ok((status, body)) => {
-            eprintln!("HTTP {status}");
-            print!("{}", String::from_utf8_lossy(&body));
-            if (200..300).contains(&status) {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
+    let repeat = match parse_flag(args, "--repeat", 1usize) {
+        Ok(n) => n.max(1),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    // One keep-alive connection for the whole sequence: `--repeat N`
+    // rides a single TCP stream instead of paying a handshake per call.
+    let mut client = Client::new(addr);
+    let mut code = ExitCode::SUCCESS;
+    for _ in 0..repeat {
+        match client.request(method, path, &body) {
+            Ok(resp) => {
+                eprintln!("HTTP {}", resp.status);
+                print!("{}", String::from_utf8_lossy(&resp.body));
+                if !(200..300).contains(&resp.status) {
+                    code = ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                return ExitCode::FAILURE;
             }
         }
-        Err(e) => {
-            eprintln!("request failed: {e}");
-            ExitCode::FAILURE
-        }
     }
+    code
 }

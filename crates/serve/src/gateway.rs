@@ -1,0 +1,766 @@
+//! Consistent-hash routing gateway for a sharded serving cluster.
+//!
+//! The gateway is a thin HTTP proxy in front of N backend `gmr-serve`
+//! processes. `/simulate` requests are routed by **(model, table)**: the
+//! pair is hashed onto a [`Ring`] of virtual nodes, so one backend owns
+//! each pair and its hot tier / prefix caches only ever hold its shard.
+//! That pinning is the whole scaling story — backends don't share memory,
+//! they share *nothing*, and aggregate hot-cache capacity grows linearly
+//! with the backend count (see DESIGN.md "Cluster serving").
+//!
+//! Discipline preserved end to end:
+//!
+//! * **Bounded queues** — the gateway has its own accept queue and sheds
+//!   with `429` + `Retry-After` exactly like a backend; a backend's `429`
+//!   (with its `Retry-After`) is propagated verbatim, never retried
+//!   against a different backend (that would break pinning under the very
+//!   overload that makes pinning matter).
+//! * **Bit-identity** — `/simulate` bodies are forwarded untouched both
+//!   ways; the response bytes are the backend's bytes.
+//! * **Failover** — a transport error marks the backend dead and the
+//!   request walks to the next live backend on the ring (at most once per
+//!   candidate). The supervisor's health loop revives the primary, after
+//!   which the pair routes back to it. Requests drain or shed; they never
+//!   hang.
+
+use crate::http::{self, HttpError, Request};
+use crate::server::{read_response_full, write_request, Response};
+use gmr_json::Value;
+use gmr_obsv::journal::Event;
+use gmr_obsv::metrics::{snapshot_json, Counter, Histogram, Registry};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Virtual nodes per backend on the hash ring. Enough that the keyspace
+/// splits evenly across a handful of backends (the paper-scale cluster);
+/// cheap enough that ring construction is trivial.
+pub const VNODES: usize = 64;
+
+/// 64-bit FNV-1a — stable across processes and releases, which is what
+/// makes routing deterministic for tests and cache-warm restarts.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A consistent-hash ring over backend *slot indexes*. The ring is built
+/// once from the backend count: slot identities (not ephemeral ports) are
+/// hashed, so a backend restarted on a new port keeps its keyspace.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(vnode hash, backend index)`, sorted by hash.
+    points: Vec<(u64, u32)>,
+    backends: usize,
+}
+
+impl Ring {
+    /// Build the ring for `backends` slots.
+    pub fn new(backends: usize) -> Ring {
+        let mut points = Vec::with_capacity(backends * VNODES);
+        for b in 0..backends {
+            for v in 0..VNODES {
+                points.push((fnv1a(format!("backend-{b}/vnode-{v}").as_bytes()), b as u32));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, backends }
+    }
+
+    /// The routing key for a simulate request: model name and forcing
+    /// table, NUL-joined (neither may contain NUL — model names come from
+    /// artifact files, table names from the hosted-table map).
+    pub fn key(model: &str, table: &str) -> String {
+        format!("{model}\0{table}")
+    }
+
+    /// Backend preference order for `key`: the owner first (first vnode
+    /// clockwise of the key's hash), then each distinct backend in ring
+    /// order — the failover sequence.
+    pub fn preference(&self, key: &str) -> Vec<u32> {
+        let h = fnv1a(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut order = Vec::with_capacity(self.backends);
+        let mut seen = vec![false; self.backends];
+        for i in 0..self.points.len() {
+            let (_, b) = self.points[(start + i) % self.points.len()];
+            if !seen[b as usize] {
+                seen[b as usize] = true;
+                order.push(b);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// One backend's routing state, shared between the gateway (which reads
+/// the address and flips `alive` off on transport errors) and the
+/// supervisor (which sets the address on spawn/restart and flips `alive`
+/// both ways from health probes).
+#[derive(Debug, Default)]
+pub struct BackendSlot {
+    addr: Mutex<Option<SocketAddr>>,
+    alive: AtomicBool,
+}
+
+impl BackendSlot {
+    /// Record a (re)spawned backend's bound address and mark it live.
+    pub fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.lock().unwrap() = Some(addr);
+        self.alive.store(true, Ordering::SeqCst);
+    }
+
+    /// The address, when the slot is believed live.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        if !self.is_alive() {
+            return None;
+        }
+        *self.addr.lock().unwrap()
+    }
+
+    /// The address regardless of liveness (health probes need it).
+    pub fn addr_any(&self) -> Option<SocketAddr> {
+        *self.addr.lock().unwrap()
+    }
+
+    /// Whether the slot is believed live.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Mark the slot dead (transport error or failed health probe).
+    pub fn mark_down(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Mark the slot live again (health probe succeeded).
+    pub fn mark_up(&self) {
+        self.alive.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Gateway tuning; same knobs and defaults as the backend server where
+/// they overlap.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Proxy worker threads.
+    pub workers: usize,
+    /// Accepted-connection queue bound; beyond it the gateway sheds `429`.
+    pub conn_queue: usize,
+    /// Per-read socket timeout on client connections.
+    pub read_timeout: Duration,
+    /// Idle reads tolerated before a keep-alive client is closed (`408`).
+    pub max_idle_reads: u32,
+    /// Socket timeout for backend exchanges. Bounds how long a proxied
+    /// request can hold a gateway worker — "drain or 429, never hang".
+    pub backend_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            conn_queue: 64,
+            read_timeout: Duration::from_millis(250),
+            max_idle_reads: 40,
+            backend_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Gateway metrics, exposed by its `/metrics` alongside the cluster
+/// rollup.
+struct GatewayMetrics {
+    registry: Registry,
+    requests: Arc<Counter>,
+    shed: Arc<Counter>,
+    proxied: Arc<Counter>,
+    failovers: Arc<Counter>,
+    backend_down: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+}
+
+impl GatewayMetrics {
+    fn new() -> GatewayMetrics {
+        let registry = Registry::new();
+        GatewayMetrics {
+            requests: registry.counter("gateway.requests_total"),
+            shed: registry.counter("gateway.shed_total"),
+            proxied: registry.counter("gateway.proxied_total"),
+            failovers: registry.counter("gateway.failovers_total"),
+            backend_down: registry.counter("gateway.backend_down_total"),
+            latency_us: registry.histogram("gateway.latency_us"),
+            registry,
+        }
+    }
+}
+
+struct GwShared {
+    slots: Arc<Vec<BackendSlot>>,
+    ring: Ring,
+    metrics: GatewayMetrics,
+    shutdown: AtomicBool,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conns_ready: Condvar,
+    config: GatewayConfig,
+}
+
+impl GwShared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A configured gateway, ready to start over a set of backend slots.
+pub struct Gateway {
+    config: GatewayConfig,
+    slots: Arc<Vec<BackendSlot>>,
+}
+
+/// A running gateway.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    shared: Arc<GwShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// A gateway routing over `slots` (one per supervised backend).
+    pub fn new(config: GatewayConfig, slots: Arc<Vec<BackendSlot>>) -> Gateway {
+        Gateway { config, slots }
+    }
+
+    /// Bind, spawn acceptor + workers, return a handle.
+    pub fn start(self) -> io::Result<GatewayHandle> {
+        let listener = TcpListener::bind(&self.config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = self.config.workers.max(1);
+        let ring = Ring::new(self.slots.len());
+        let shared = Arc::new(GwShared {
+            slots: self.slots,
+            ring,
+            metrics: GatewayMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(VecDeque::new()),
+            conns_ready: Condvar::new(),
+            config: self.config,
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("gw-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("gw-acceptor".into())
+                    .spawn(move || accept_loop(listener, &shared))?,
+            );
+        }
+        gmr_obsv::emit(Event::Note {
+            name: "gateway.listen",
+            msg: format!("gateway listening on {addr}"),
+        });
+        Ok(GatewayHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+impl GatewayHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful drain: stop accepting, finish queued connections, join.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.conns_ready.notify_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &GwShared) {
+    loop {
+        if shared.draining() {
+            shared.conns_ready.notify_all();
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut q = shared.conns.lock().unwrap();
+                if q.len() >= shared.config.conn_queue {
+                    drop(q);
+                    // The gateway's own bounded-queue discipline: shed at
+                    // the door with 429 + Retry-After, like a backend.
+                    shared.metrics.shed.inc();
+                    shared.metrics.requests.inc();
+                    let mut stream = stream;
+                    let _ = stream.set_nodelay(true);
+                    let _ = http::write_response(
+                        &mut stream,
+                        429,
+                        "application/json",
+                        &http::error_body("gateway connection queue full"),
+                        true,
+                    );
+                    gmr_obsv::emit(Event::Request {
+                        endpoint: "gw:(accept)",
+                        status: 429,
+                        dur_us: 0,
+                        batch: 0,
+                    });
+                } else {
+                    q.push_back(stream);
+                    drop(q);
+                    shared.conns_ready.notify_one();
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// One pooled keep-alive backend connection per slot, owned by a single
+/// gateway worker (no cross-thread contention on the sockets).
+struct BackendPool {
+    conns: Vec<Option<(SocketAddr, BufReader<TcpStream>)>>,
+    timeout: Duration,
+}
+
+impl BackendPool {
+    fn new(n: usize, timeout: Duration) -> BackendPool {
+        BackendPool {
+            conns: (0..n).map(|_| None).collect(),
+            timeout,
+        }
+    }
+
+    /// Issue one exchange against backend slot `b` at `addr`, reusing the
+    /// pooled connection when it is still for the same address. A stale
+    /// kept-alive connection gets one retry on a fresh socket.
+    fn exchange(
+        &mut self,
+        b: usize,
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<Response> {
+        let reused = matches!(&self.conns[b], Some((a, _)) if *a == addr);
+        if !reused {
+            self.conns[b] = Some((addr, self.connect(addr)?));
+        }
+        match self.try_exchange(b, method, path, body) {
+            // A 408 surfacing on a *reused* connection is the backend's
+            // idle-close notice that raced our write, never an answer to
+            // the request we just sent — replay on a fresh socket.
+            Ok(resp) if reused && resp.status == 408 => {
+                self.conns[b] = Some((addr, self.connect(addr)?));
+                self.try_exchange(b, method, path, body)
+            }
+            Ok(resp) => Ok(resp),
+            Err(e) if reused => {
+                self.conns[b] = Some((addr, self.connect(addr).map_err(|_| e)?));
+                self.try_exchange(b, method, path, body)
+            }
+            Err(e) => {
+                self.conns[b] = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn connect(&self, addr: SocketAddr) -> io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(BufReader::new(stream))
+    }
+
+    fn try_exchange(
+        &mut self,
+        b: usize,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<Response> {
+        let (_, conn) = self.conns[b].as_mut().expect("connection just ensured");
+        let r = write_request(&mut conn.get_ref(), method, path, body, false)
+            .and_then(|()| read_response_full(conn));
+        match r {
+            Ok(resp) => {
+                if resp.close {
+                    self.conns[b] = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.conns[b] = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &GwShared) {
+    let mut pool = BackendPool::new(shared.slots.len(), shared.config.backend_timeout);
+    loop {
+        let stream = {
+            let mut q = shared.conns.lock().unwrap();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .conns_ready
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        handle_connection(stream, shared, &mut pool);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &GwShared, pool: &mut BackendPool) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut idle = 0u32;
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(None) => return,
+            Ok(Some(req)) => {
+                idle = 0;
+                let close = req.wants_close() || shared.draining();
+                let t0 = Instant::now();
+                let (status, body, retry_after) = dispatch(&req, shared, pool);
+                let dur_us = t0.elapsed().as_micros() as u64;
+                shared.metrics.requests.inc();
+                if status == 429 {
+                    shared.metrics.shed.inc();
+                }
+                shared.metrics.latency_us.record(dur_us);
+                gmr_obsv::emit(Event::Request {
+                    endpoint: endpoint_tag(&req.path),
+                    status,
+                    dur_us,
+                    batch: 0,
+                });
+                if http::write_response_retry(
+                    &mut writer,
+                    status,
+                    "application/json",
+                    &body,
+                    close,
+                    retry_after,
+                )
+                .is_err()
+                    || close
+                {
+                    return;
+                }
+            }
+            Err(HttpError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                idle += 1;
+                if shared.draining() {
+                    return;
+                }
+                if idle >= shared.config.max_idle_reads {
+                    let _ = http::write_response(
+                        &mut writer,
+                        408,
+                        "application/json",
+                        &http::error_body("idle timeout"),
+                        true,
+                    );
+                    return;
+                }
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Malformed(msg)) => {
+                shared.metrics.requests.inc();
+                let _ = http::write_response(
+                    &mut writer,
+                    400,
+                    "application/json",
+                    &http::error_body(msg),
+                    true,
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn endpoint_tag(path: &str) -> &'static str {
+    let bare = path.split('?').next().unwrap_or(path);
+    match bare {
+        "/healthz" => "gw:/healthz",
+        "/models" => "gw:/models",
+        "/simulate" => "gw:/simulate",
+        "/metrics" => "gw:/metrics",
+        _ => "gw:(other)",
+    }
+}
+
+/// Route one request: `(status, body, retry_after)`.
+fn dispatch(
+    req: &Request,
+    shared: &GwShared,
+    pool: &mut BackendPool,
+) -> (u16, Vec<u8>, Option<u64>) {
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let alive = shared.slots.iter().filter(|s| s.is_alive()).count();
+            let body = format!(
+                "{{\"ok\": {}, \"backends\": {}, \"alive\": {}, \"draining\": {}}}\n",
+                alive > 0,
+                shared.slots.len(),
+                alive,
+                shared.draining()
+            );
+            (200, body.into_bytes(), None)
+        }
+        ("GET", "/models") => forward_any(req, shared, pool, "GET", "/models"),
+        ("GET", "/metrics") => (200, rollup_metrics(shared, pool), None),
+        ("POST", "/simulate") => proxy_simulate(req, shared, pool),
+        ("GET", "/simulate") | ("POST", "/healthz" | "/models" | "/metrics") => (
+            405,
+            http::error_body("method not allowed for this endpoint"),
+            None,
+        ),
+        _ => (404, http::error_body("no such endpoint"), None),
+    }
+}
+
+/// Forward a request to the first live backend (all backends host the
+/// same replicated artifacts, so any will do for `/models`).
+fn forward_any(
+    _req: &Request,
+    shared: &GwShared,
+    pool: &mut BackendPool,
+    method: &str,
+    path: &str,
+) -> (u16, Vec<u8>, Option<u64>) {
+    for (b, slot) in shared.slots.iter().enumerate() {
+        let Some(addr) = slot.addr() else { continue };
+        match pool.exchange(b, addr, method, path, b"") {
+            Ok(resp) => return (resp.status, resp.body, resp.retry_after),
+            Err(_) => mark_backend_down(shared, b),
+        }
+    }
+    (503, http::error_body("no live backend"), None)
+}
+
+/// Proxy one `/simulate` by (model, table) consistent hashing, walking
+/// the ring past dead backends. A backend's `429` is final (propagated,
+/// not failed over): under overload, spilling a pinned key onto other
+/// backends would evict *their* hot shards and collapse the very cache
+/// locality the ring exists to protect.
+fn proxy_simulate(
+    req: &Request,
+    shared: &GwShared,
+    pool: &mut BackendPool,
+) -> (u16, Vec<u8>, Option<u64>) {
+    let _sp = gmr_obsv::span!("gateway.route");
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return (400, http::error_body("body is not UTF-8"), None);
+    };
+    let value = match gmr_json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return (400, http::error_body(&format!("invalid JSON: {e}")), None),
+    };
+    let Some(model) = value.get("model").and_then(Value::as_str) else {
+        return (400, http::error_body("missing \"model\""), None);
+    };
+    // Inline-forcings requests have no table name; they hash by model
+    // alone so repeats still pin to one backend's hot tier.
+    let table = value
+        .get("forcings_ref")
+        .and_then(Value::as_str)
+        .unwrap_or("(inline)");
+    let key = Ring::key(model, table);
+    let mut tried = 0u32;
+    for b in shared.ring.preference(&key) {
+        let b = b as usize;
+        let Some(addr) = shared.slots[b].addr() else {
+            continue;
+        };
+        if tried > 0 {
+            shared.metrics.failovers.inc();
+        }
+        tried += 1;
+        match pool.exchange(b, addr, "POST", "/simulate", &req.body) {
+            Ok(resp) => {
+                shared.metrics.proxied.inc();
+                return (resp.status, resp.body, resp.retry_after);
+            }
+            Err(_) => mark_backend_down(shared, b),
+        }
+    }
+    (503, http::error_body("no live backend"), None)
+}
+
+fn mark_backend_down(shared: &GwShared, b: usize) {
+    shared.slots[b].mark_down();
+    shared.metrics.backend_down.inc();
+    gmr_obsv::emit(Event::Backend {
+        idx: b as u32,
+        addr: shared.slots[b]
+            .addr_any()
+            .map(|a| a.to_string())
+            .unwrap_or_default(),
+        state: "down",
+        restarts: 0,
+    });
+}
+
+/// The cluster `/metrics` view: the gateway's own counters flat, a
+/// `"rollup"` object summing every backend's numeric fields
+/// ([`gmr_json::sum_numeric`]), and a `"backends"` array with each
+/// backend's liveness and verbatim snapshot.
+fn rollup_metrics(shared: &GwShared, pool: &mut BackendPool) -> Vec<u8> {
+    let mut body = snapshot_json(&shared.metrics.registry.snapshot());
+    debug_assert!(body.ends_with('}'));
+    body.pop();
+    if body.len() > 1 {
+        body.push_str(", ");
+    }
+    let mut snapshots: Vec<Option<Value>> = Vec::with_capacity(shared.slots.len());
+    for (b, slot) in shared.slots.iter().enumerate() {
+        let snap = slot.addr().and_then(|addr| {
+            let resp = pool.exchange(b, addr, "GET", "/metrics", b"").ok()?;
+            gmr_json::parse(std::str::from_utf8(&resp.body).ok()?).ok()
+        });
+        snapshots.push(snap);
+    }
+    let rollup = gmr_json::sum_numeric(snapshots.iter().flatten());
+    body.push_str("\"rollup\": ");
+    gmr_json::push_value(&mut body, &rollup);
+    body.push_str(", \"backends\": [");
+    for (b, slot) in shared.slots.iter().enumerate() {
+        if b > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!(
+            "{{\"idx\": {b}, \"alive\": {}, \"addr\": ",
+            slot.is_alive()
+        ));
+        gmr_json::push_escaped(
+            &mut body,
+            &slot.addr_any().map(|a| a.to_string()).unwrap_or_default(),
+        );
+        body.push_str(", \"metrics\": ");
+        match &snapshots[b] {
+            Some(v) => gmr_json::push_value(&mut body, v),
+            None => body.push_str("null"),
+        }
+        body.push('}');
+    }
+    body.push_str("]}");
+    body.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_routing_is_deterministic_and_balanced() {
+        let ring = Ring::new(4);
+        let ring2 = Ring::new(4);
+        let mut owners = [0usize; 4];
+        for m in 0..200 {
+            let key = Ring::key(&format!("model-{m}"), "target");
+            let pref = ring.preference(&key);
+            assert_eq!(pref, ring2.preference(&key), "ring must be stable");
+            assert_eq!(pref.len(), 4, "preference covers every backend");
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, [0, 1, 2, 3], "each backend appears once");
+            owners[pref[0] as usize] += 1;
+        }
+        for (b, &n) in owners.iter().enumerate() {
+            assert!(
+                (20..=80).contains(&n),
+                "backend {b} owns {n}/200 keys — ring is badly unbalanced: {owners:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_failover_preserves_other_assignments() {
+        // Consistent hashing's point: removing one backend only moves the
+        // keys it owned; every other key keeps its owner.
+        let ring = Ring::new(4);
+        for m in 0..100 {
+            let key = Ring::key(&format!("model-{m}"), "t");
+            let pref = ring.preference(&key);
+            let after: Vec<u32> = pref.iter().copied().filter(|&b| b != 2).collect();
+            if pref[0] != 2 {
+                assert_eq!(
+                    after[0], pref[0],
+                    "dropping backend 2 must not move keys it never owned"
+                );
+            } else {
+                assert_eq!(after[0], pref[1], "orphaned keys go to the next vnode");
+            }
+        }
+    }
+
+    #[test]
+    fn slot_liveness_gates_addr() {
+        let slot = BackendSlot::default();
+        assert_eq!(slot.addr(), None);
+        let a: SocketAddr = "127.0.0.1:9999".parse().unwrap();
+        slot.set_addr(a);
+        assert_eq!(slot.addr(), Some(a));
+        slot.mark_down();
+        assert_eq!(slot.addr(), None, "a dead slot routes nothing");
+        assert_eq!(slot.addr_any(), Some(a), "but health probes still can");
+        slot.mark_up();
+        assert_eq!(slot.addr(), Some(a));
+    }
+}

@@ -174,14 +174,30 @@ pub fn write_response(
     body: &[u8],
     close: bool,
 ) -> io::Result<()> {
+    write_response_retry(stream, code, content_type, body, close, None)
+}
+
+/// [`write_response`] with an explicit `Retry-After` value: the gateway
+/// uses this to propagate a backend's retry hint verbatim instead of
+/// substituting its own. `None` keeps the default (1 s on any 429).
+pub fn write_response_retry(
+    stream: &mut impl Write,
+    code: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+    retry_after: Option<u64>,
+) -> io::Result<()> {
     let mut head = format!(
         "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         status_text(code),
         body.len()
     );
-    if code == 429 {
+    match (retry_after, code) {
+        (Some(secs), _) => head.push_str(&format!("Retry-After: {secs}\r\n")),
         // Shed load explicitly: tell well-behaved clients when to retry.
-        head.push_str("Retry-After: 1\r\n");
+        (None, 429) => head.push_str("Retry-After: 1\r\n"),
+        _ => {}
     }
     if close {
         head.push_str("Connection: close\r\n");

@@ -31,13 +31,26 @@
 //! "served responses are bit-identical to in-process evaluation" contract
 //! (pinned by `tests/server.rs`) possible over a text protocol.
 
+//! A fourth layer shards the stack horizontally:
+//!
+//! * [`cluster`] + [`gateway`] — `gmr-serve cluster` supervises N backend
+//!   server processes (health-checked restarts, graceful drain) behind a
+//!   consistent-hash routing gateway that keeps each (model, table) pair
+//!   pinned to one backend — so every backend's hot tier and prefix
+//!   caches only hold its shard — while preserving the bounded-queue/429
+//!   discipline end to end.
+
 pub mod artifact;
 pub mod batch;
+pub mod cluster;
+pub mod gateway;
 pub mod http;
 pub mod registry;
 pub mod server;
 pub mod sig;
 
 pub use artifact::{ModelArtifact, Provenance, SCHEMA};
+pub use cluster::{Cluster, ClusterConfig};
+pub use gateway::{BackendSlot, Gateway, GatewayConfig, GatewayHandle, Ring};
 pub use registry::{ModelRegistry, RegistryError, ServableModel};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -14,28 +14,99 @@
 //! `serve.lint` note, pass or fail. The compiled system is memoised
 //! behind an `Arc` exactly like the GP engine's phenotype cache, so every
 //! request for a model shares one compilation.
+//!
+//! Residency is two-tiered. The *cold* record — artifact, admission
+//! verdicts, served tier — is always resident and cheap. The *hot*
+//! record — the compiled system plus the materialized [`PrefixTable`]s
+//! it has swept per forcing table — lives in a bounded LRU
+//! ([`ModelRegistry::set_hot_cap`]): a [`touch`](ModelRegistry::touch)
+//! of a cold model recompiles it (and re-verifies the bytecode; both are
+//! deterministic replays of admission) and may evict the least-recently
+//! touched hot model, dropping its compilation and prefix tables. The
+//! cap bounds resident memory per backend; a cluster's gateway shards
+//! models across backends so each backend's working set fits its cap.
 
 use crate::artifact::{ArtifactError, ModelArtifact};
-use gmr_expr::{CompiledSystem, FidelityPolicy, Tier};
+use gmr_expr::{CompiledSystem, FidelityPolicy, OptOptions, PrefixTable, Tier};
 use gmr_lint::{analyze_system, env_for_arity, EquationLinter, Policy, Severity};
 use gmr_obsv::Event;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// A model admitted to serving: its artifact plus the shared compilation.
+/// A model admitted to serving: the always-resident cold record.
 #[derive(Debug)]
 pub struct ServableModel {
     /// The artifact as loaded.
     pub artifact: ModelArtifact,
-    /// The register-VM compilation every request shares.
-    pub system: Arc<CompiledSystem>,
     /// Human-readable lint findings below Error severity (empty = clean).
     pub lint_warnings: String,
     /// Warning-severity findings from bytecode verification (the compiled
     /// system was still admitted; Error findings refuse admission).
     pub bytecode_warnings: usize,
+    /// Compile options admission used (a hot-tier miss replays them).
+    opts: OptOptions,
+    /// Served tier name, recorded at admission for `/models`.
+    tier: &'static str,
+    /// Served fidelity name, recorded at admission for `/models`.
+    fidelity: &'static str,
+}
+
+/// A model resident in the hot tier: the shared compilation plus the
+/// prefix tables it has materialized, one per forcing table. Evicting
+/// the hot record drops both — the next touch pays recompilation and a
+/// fresh columnar sweep.
+#[derive(Debug)]
+pub struct HotModel {
+    /// The register-VM compilation every request shares.
+    pub system: Arc<CompiledSystem>,
+    /// Materialized prefix columns by forcing-table name.
+    prefixes: Mutex<BTreeMap<String, Arc<PrefixTable>>>,
+}
+
+impl HotModel {
+    /// The materialized prefix columns for `rows` (keyed by table name),
+    /// swept on first use and reused while this model stays hot. The
+    /// cached table covers the *full* hosted table, so any request
+    /// horizon `days <= rows.len()` shares it.
+    pub fn prefix_for<R: AsRef<[f64]>>(&self, table: &str, rows: &[R]) -> Arc<PrefixTable> {
+        let mut map = self.prefixes.lock().unwrap();
+        if let Some(p) = map.get(table) {
+            if self.system.n_pre() == 0 || p.rows() >= rows.len() {
+                return p.clone();
+            }
+        }
+        let p = Arc::new(self.system.sweep_prefix(rows));
+        map.insert(table.to_string(), p.clone());
+        p
+    }
+
+    /// Resident bytes of all materialized prefix tables.
+    pub fn prefix_bytes(&self) -> usize {
+        self.prefixes
+            .lock()
+            .unwrap()
+            .values()
+            .map(|p| p.bytes())
+            .sum()
+    }
+}
+
+/// Hot-tier counters for `/metrics` (monotonic since startup).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HotStats {
+    /// Touches served from the hot tier.
+    pub hits: u64,
+    /// Touches that recompiled a cold model.
+    pub misses: u64,
+    /// Hot records dropped to respect the cap.
+    pub evictions: u64,
+    /// Models currently resident in the hot tier.
+    pub resident: u64,
+    /// Resident bytes of materialized prefix tables across hot models.
+    pub prefix_bytes: u64,
 }
 
 /// Why an artifact was refused admission.
@@ -114,11 +185,25 @@ impl From<ArtifactError> for RegistryError {
 }
 
 /// The registry: admitted models by name, compiled at the fastest tier
-/// the registry's [`FidelityPolicy`] allows.
+/// the registry's [`FidelityPolicy`] allows, with compiled systems
+/// resident in a bounded hot LRU (see the module docs).
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     models: BTreeMap<String, Arc<ServableModel>>,
     policy: FidelityPolicy,
+    /// Max hot models; 0 = unbounded.
+    hot_cap: usize,
+    hot: Mutex<HotTier>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The LRU state behind [`ModelRegistry::touch`].
+#[derive(Debug, Default)]
+struct HotTier {
+    entries: BTreeMap<String, (Arc<HotModel>, u64)>,
+    clock: u64,
 }
 
 impl ModelRegistry {
@@ -133,14 +218,41 @@ impl ModelRegistry {
     /// system offered through the test-only gate is checked against it.
     pub fn with_policy(policy: FidelityPolicy) -> ModelRegistry {
         ModelRegistry {
-            models: BTreeMap::new(),
             policy,
+            ..ModelRegistry::default()
         }
     }
 
     /// The fidelity policy admissions are gated on.
     pub fn policy(&self) -> FidelityPolicy {
         self.policy
+    }
+
+    /// Bound the hot tier to `cap` resident compilations (0 = unbounded,
+    /// the default). Shrinking below current residency evicts
+    /// least-recently-touched models immediately.
+    pub fn set_hot_cap(&mut self, cap: usize) {
+        self.hot_cap = cap;
+        let mut hot = self.hot.lock().unwrap();
+        self.evict_over_cap(&mut hot);
+    }
+
+    /// The configured hot cap (0 = unbounded).
+    pub fn hot_cap(&self) -> usize {
+        self.hot_cap
+    }
+
+    fn evict_over_cap(&self, hot: &mut HotTier) {
+        while self.hot_cap > 0 && hot.entries.len() > self.hot_cap {
+            let coldest = hot
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, touched))| *touched)
+                .map(|(name, _)| name.clone())
+                .expect("non-empty over cap");
+            hot.entries.remove(&coldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Admit one artifact: re-parse, lint (Error severity rejects),
@@ -236,15 +348,96 @@ impl ModelRegistry {
         }
         let name = artifact.name.clone();
         self.models.insert(
-            name,
+            name.clone(),
             Arc::new(ServableModel {
                 artifact,
-                system: Arc::new(system),
                 lint_warnings,
                 bytecode_warnings,
+                opts: system.options(),
+                tier: system.tier().name(),
+                fidelity: system.fidelity().name(),
             }),
         );
+        // Admission's compilation seeds the hot tier (it counts as the
+        // first touch), possibly evicting an older resident.
+        let mut hot = self.hot.lock().unwrap();
+        hot.clock += 1;
+        let stamp = hot.clock;
+        hot.entries.insert(
+            name,
+            (
+                Arc::new(HotModel {
+                    system: Arc::new(system),
+                    prefixes: Mutex::new(BTreeMap::new()),
+                }),
+                stamp,
+            ),
+        );
+        self.evict_over_cap(&mut hot);
         Ok(())
+    }
+
+    /// The hot-path lookup: the compiled system (and its prefix caches)
+    /// for `name`, marking it most-recently used. A miss replays
+    /// admission's deterministic compile + bytecode verification from the
+    /// cold artifact — the cost an eviction deferred — and may evict the
+    /// least-recently touched resident to stay under the cap.
+    pub fn touch(&self, name: &str) -> Option<Arc<HotModel>> {
+        let cold = self.models.get(name)?;
+        let mut hot = self.hot.lock().unwrap();
+        hot.clock += 1;
+        let stamp = hot.clock;
+        if let Some((model, touched)) = hot.entries.get_mut(name) {
+            *touched = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(model.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let _sp = gmr_obsv::span!("serve.recompile");
+        let eqs = cold
+            .artifact
+            .parse_equations()
+            .expect("admitted artifact re-parses");
+        let system = CompiledSystem::compile_checked(
+            &eqs,
+            cold.artifact.vars.len(),
+            cold.artifact.states.len(),
+            cold.opts,
+        )
+        .expect("admitted artifact recompiles");
+        // Deterministic replay of the admission-time proof: the same
+        // artifact and options produce the same bytecode, so this can
+        // only fail if admission would have refused the model.
+        let env = env_for_arity(cold.artifact.vars.len(), cold.artifact.states.len());
+        let analysis = analyze_system(&system, &env, name);
+        assert_eq!(
+            analysis.report.count(Severity::Error),
+            0,
+            "recompiled bytecode must re-verify"
+        );
+        let model = Arc::new(HotModel {
+            system: Arc::new(system),
+            prefixes: Mutex::new(BTreeMap::new()),
+        });
+        hot.entries.insert(name.to_string(), (model.clone(), stamp));
+        self.evict_over_cap(&mut hot);
+        Some(model)
+    }
+
+    /// Hot-tier counters and residency for `/metrics`.
+    pub fn stats(&self) -> HotStats {
+        let hot = self.hot.lock().unwrap();
+        HotStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident: hot.entries.len() as u64,
+            prefix_bytes: hot
+                .entries
+                .values()
+                .map(|(m, _)| m.prefix_bytes() as u64)
+                .sum(),
+        }
     }
 
     /// Load every `*.json` artifact in a directory (sorted by file name so
@@ -307,9 +500,9 @@ impl ModelRegistry {
                 m.bytecode_warnings
             ));
             o.push_str(", \"tier\": ");
-            push_escaped(&mut o, m.system.tier().name());
+            push_escaped(&mut o, m.tier);
             o.push_str(", \"fidelity\": ");
-            push_escaped(&mut o, m.system.fidelity().name());
+            push_escaped(&mut o, m.fidelity);
             o.push('}');
         }
         o.push_str("\n]}\n");
@@ -329,11 +522,73 @@ mod tests {
         let a = reg.get("table5-manual").unwrap();
         let b = reg.get("table5-manual").unwrap();
         assert!(Arc::ptr_eq(&a, &b), "one admission, one Arc");
-        assert!(Arc::ptr_eq(&a.system, &b.system));
-        assert_eq!(a.system.n_eqs(), 2);
+        let ha = reg.touch("table5-manual").unwrap();
+        let hb = reg.touch("table5-manual").unwrap();
+        assert!(Arc::ptr_eq(&ha, &hb), "hot hits share one Arc");
+        assert!(Arc::ptr_eq(&ha.system, &hb.system));
+        assert_eq!(ha.system.n_eqs(), 2);
         assert!(a.lint_warnings.is_empty(), "{}", a.lint_warnings);
         assert_eq!(a.bytecode_warnings, 0);
         assert!(reg.render_json().contains("\"bytecode_warnings\": 0"));
+        let stats = reg.stats();
+        assert_eq!((stats.hits, stats.misses, stats.resident), (2, 0, 1));
+    }
+
+    #[test]
+    fn hot_tier_evicts_lru_and_recompiles_on_touch() {
+        let mut reg = ModelRegistry::new();
+        for i in 0..3 {
+            let mut a = ModelArtifact::builtin_manual();
+            a.name = format!("m{i}");
+            reg.insert(a).unwrap();
+        }
+        reg.set_hot_cap(2);
+        assert_eq!(reg.stats().resident, 2, "cap shrink evicts immediately");
+        assert_eq!(reg.stats().evictions, 1);
+
+        // m0 was the least recently touched (admission order) — gone.
+        // Touching it again recompiles and evicts m1 in turn.
+        let before = reg.stats().misses;
+        let m0 = reg.touch("m0").unwrap();
+        assert_eq!(m0.system.n_eqs(), 2, "recompiled system serves");
+        assert_eq!(reg.stats().misses, before + 1);
+        assert_eq!(reg.stats().resident, 2);
+
+        // m0 is now hottest: touching it again is a hit on the same Arc.
+        let again = reg.touch("m0").unwrap();
+        assert!(Arc::ptr_eq(&m0, &again));
+
+        // The cold records never leave.
+        assert_eq!(reg.len(), 3);
+        assert!(reg.get("m1").is_some());
+    }
+
+    #[test]
+    fn hot_model_caches_prefix_tables_per_table() {
+        let mut reg = ModelRegistry::new();
+        reg.insert(ModelArtifact::builtin_manual()).unwrap();
+        let hot = reg.touch("table5-manual").unwrap();
+        let rows: Vec<Vec<f64>> = (0..70)
+            .map(|t| vec![t as f64, 20.0 + t as f64 * 0.01, 1.0, 8.0, 1.5, 0.2])
+            .collect();
+        let p1 = hot.prefix_for("target", &rows);
+        let p2 = hot.prefix_for("target", &rows);
+        assert!(Arc::ptr_eq(&p1, &p2), "same table reuses the sweep");
+        if hot.system.n_pre() > 0 {
+            assert_eq!(p1.rows(), rows.len());
+            assert!(hot.prefix_bytes() > 0);
+            // A shorter horizon shares the full-table sweep.
+            let p3 = hot.prefix_for("target", &rows[..10]);
+            assert!(Arc::ptr_eq(&p1, &p3));
+        }
+        // Eviction drops the prefix cache with the hot record.
+        let mut a = ModelArtifact::builtin_manual();
+        a.name = "other".into();
+        reg.insert(a).unwrap();
+        reg.set_hot_cap(1);
+        let hot2 = reg.touch("table5-manual").unwrap();
+        assert!(!Arc::ptr_eq(&hot, &hot2), "eviction forced a recompile");
+        assert_eq!(hot2.prefix_bytes(), 0, "prefix cache did not survive");
     }
 
     #[test]
@@ -443,7 +698,7 @@ mod tests {
         // bit-exact tier and /models says so.
         let mut reg = ModelRegistry::new();
         reg.insert(ModelArtifact::builtin_manual()).unwrap();
-        let m = reg.get("table5-manual").unwrap();
+        let m = reg.touch("table5-manual").unwrap();
         assert_eq!(m.system.tier(), Tier::fastest(FidelityPolicy::BitExact));
         assert_eq!(m.system.fidelity().name(), "bit-exact");
         let json = reg.render_json();
@@ -478,7 +733,7 @@ mod tests {
         // An allow-relaxed registry admits it either way.
         let mut reg = ModelRegistry::with_policy(FidelityPolicy::AllowRelaxed);
         reg.insert(ModelArtifact::builtin_manual()).unwrap();
-        let m = reg.get("table5-manual").unwrap();
+        let m = reg.touch("table5-manual").unwrap();
         assert_eq!(m.system.tier(), Tier::fastest(FidelityPolicy::AllowRelaxed));
     }
 

@@ -62,6 +62,10 @@ pub struct ServerConfig {
     /// Consecutive idle read timeouts tolerated on one connection before
     /// it is closed with `408`.
     pub max_idle_reads: u32,
+    /// Hot-tier capacity: how many compiled models stay resident at once
+    /// (`0` = unbounded). Cold records always remain; an evicted model is
+    /// recompiled (and re-verified) on its next touch.
+    pub hot_models: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +78,7 @@ impl Default for ServerConfig {
             batch_window: Duration::from_millis(2),
             read_timeout: Duration::from_millis(250),
             max_idle_reads: 40,
+            hot_models: 0,
         }
     }
 }
@@ -107,7 +112,7 @@ impl ServeMetrics {
 
 /// Everything the worker threads share.
 struct Shared {
-    registry: ModelRegistry,
+    registry: Arc<ModelRegistry>,
     tables: Arc<Tables>,
     metrics: ServeMetrics,
     shutdown: AtomicBool,
@@ -153,8 +158,10 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let workers = self.config.workers.max(1);
+        let mut registry = self.registry;
+        registry.set_hot_cap(self.config.hot_models);
         let shared = Arc::new(Shared {
-            registry: self.registry,
+            registry: Arc::new(registry),
             tables: Arc::new(self.tables),
             metrics: ServeMetrics::new(),
             shutdown: AtomicBool::new(false),
@@ -166,6 +173,7 @@ impl Server {
         let mut threads = Vec::with_capacity(workers + 2);
 
         let batcher_tables = Arc::clone(&shared.tables);
+        let batcher_registry = Arc::clone(&shared.registry);
         let batcher_cfg = BatcherConfig {
             window: shared.config.batch_window,
             max_batch: 256,
@@ -173,7 +181,9 @@ impl Server {
         threads.push(
             thread::Builder::new()
                 .name("serve-batcher".into())
-                .spawn(move || run_batcher(sim_rx, batcher_tables, batcher_cfg))?,
+                .spawn(move || {
+                    run_batcher(sim_rx, batcher_tables, batcher_registry, batcher_cfg)
+                })?,
         );
         for i in 0..workers {
             let shared = Arc::clone(&shared);
@@ -215,7 +225,7 @@ impl ServerHandle {
 
     /// Snapshot the serving metrics as JSON (same body `/metrics` serves).
     pub fn metrics_json(&self) -> String {
-        snapshot_json(&self.shared.metrics.registry.snapshot())
+        metrics_body(&self.shared.metrics, &self.shared.registry)
     }
 
     /// Begin a graceful drain and block until every thread has exited:
@@ -409,7 +419,7 @@ fn dispatch(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>) -> (u16
         }
         ("GET", "/models") => (200, shared.registry.render_json().into_bytes(), 0),
         ("GET", "/metrics") => {
-            let body = snapshot_json(&shared.metrics.registry.snapshot());
+            let body = metrics_body(&shared.metrics, &shared.registry);
             (200, body.into_bytes(), 0)
         }
         ("POST", "/simulate") => simulate(req, shared, sim_tx),
@@ -472,6 +482,32 @@ fn simulate(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>) -> (u16
         },
         Err(_) => (503, http::error_body("simulator dropped the job"), 0),
     }
+}
+
+/// The `/metrics` body: the counter/histogram snapshot plus the model
+/// registry's hot-tier statistics, one flat JSON object so the gateway
+/// rollup (and `jq`-less shell checks) can sum fields across backends.
+fn metrics_body(metrics: &ServeMetrics, registry: &ModelRegistry) -> String {
+    let mut body = snapshot_json(&metrics.registry.snapshot());
+    let stats = registry.stats();
+    debug_assert!(body.ends_with('}'));
+    body.pop();
+    if body.len() > 1 {
+        body.push_str(", ");
+    }
+    body.push_str(&format!(
+        "\"registry.models\": {}, \"registry.hot_cap\": {}, \"registry.hot_resident\": {}, \
+         \"registry.hot_hits\": {}, \"registry.hot_misses\": {}, \
+         \"registry.hot_evictions\": {}, \"registry.prefix_bytes\": {}}}",
+        registry.len(),
+        registry.hot_cap(),
+        stats.resident,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.prefix_bytes,
+    ));
+    body
 }
 
 fn push_series(o: &mut String, key: &str, xs: &[f64]) {
@@ -549,8 +585,9 @@ fn render_output(model: &str, output: &SimOutput, mode: Mode, batch: usize) -> V
     o.into_bytes()
 }
 
-/// Tiny blocking client for tests, the bench harness and `ci.sh` smoke
-/// checks: one request per call over a fresh connection.
+/// Tiny blocking client for tests and one-shot `ci.sh` smoke checks: one
+/// request per call over a fresh connection. Anything issuing sequential
+/// requests should hold a [`Client`] instead.
 pub fn http_request(
     addr: SocketAddr,
     method: &str,
@@ -561,6 +598,95 @@ pub fn http_request(
     stream.set_nodelay(true)?;
     write_request(&mut stream, method, path, body, true)?;
     read_response(&mut BufReader::new(stream))
+}
+
+/// One parsed HTTP response, headers the serving stack cares about
+/// lifted out of the head.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Length`-framed body bytes.
+    pub body: Vec<u8>,
+    /// `Retry-After` seconds when the server shed load (429).
+    pub retry_after: Option<u64>,
+    /// Whether the server announced `Connection: close`.
+    pub close: bool,
+}
+
+/// A blocking keep-alive client: one TCP connection reused across
+/// sequential requests, reconnecting only when the server closes it (or
+/// a reused connection turns out to be stale, in which case the request
+/// is retried once on a fresh one). This is what `gmr-serve request`,
+/// the gateway's backend pool and the bench harness drive — connecting
+/// per call costs a handshake round-trip per request and floods the
+/// accept queue with one-shot connections.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for `addr`; connects lazily on first request.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, conn: None }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a live connection is currently held (test/introspection).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().unwrap())
+    }
+
+    /// Issue one request, reusing the held connection when possible.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let reused = self.conn.is_some();
+        let r = self.exchange(method, path, body);
+        match r {
+            Ok(resp) => {
+                if resp.close {
+                    self.conn = None;
+                }
+                Ok(resp)
+            }
+            Err(e) if reused => {
+                // A kept-alive connection can die between requests (server
+                // idle-closed it, or restarted). Retry exactly once on a
+                // fresh connection; a failure there is real.
+                self.conn = None;
+                let resp = self.exchange(method, path, body)?;
+                if resp.close {
+                    self.conn = None;
+                }
+                let _ = e;
+                Ok(resp)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn exchange(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let conn = self.connect()?;
+        write_request(&mut conn.get_ref(), method, path, body, false)?;
+        read_response_full(conn)
+    }
 }
 
 /// Write one request on an open connection (keep-alive unless `close`).
@@ -586,6 +712,12 @@ pub fn write_request(
 
 /// Read one `Content-Length`-framed response; returns `(status, body)`.
 pub fn read_response(reader: &mut impl io::BufRead) -> io::Result<(u16, Vec<u8>)> {
+    read_response_full(reader).map(|r| (r.status, r.body))
+}
+
+/// Read one response, keeping the headers the cluster path needs
+/// (`Retry-After` for 429 propagation, `Connection` for pool management).
+pub fn read_response_full(reader: &mut impl io::BufRead) -> io::Result<Response> {
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let status: u16 = line
@@ -594,23 +726,39 @@ pub fn read_response(reader: &mut impl io::BufRead) -> io::Result<(u16, Vec<u8>)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(ErrorKind::InvalidData, "bad status line"))?;
     let mut content_length = 0usize;
+    let mut retry_after = None;
+    let mut close = false;
     loop {
         line.clear();
-        reader.read_line(&mut line)?;
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
         let t = line.trim_end_matches(['\r', '\n']);
         if t.is_empty() {
             break;
         }
         if let Some((k, v)) = t.split_once(':') {
-            if k.trim().eq_ignore_ascii_case("content-length") {
+            let (k, v) = (k.trim(), v.trim());
+            if k.eq_ignore_ascii_case("content-length") {
                 content_length = v
-                    .trim()
                     .parse()
                     .map_err(|_| io::Error::new(ErrorKind::InvalidData, "bad content-length"))?;
+            } else if k.eq_ignore_ascii_case("retry-after") {
+                retry_after = v.parse().ok();
+            } else if k.eq_ignore_ascii_case("connection") {
+                close = v.eq_ignore_ascii_case("close");
             }
         }
     }
     let mut body = vec![0u8; content_length];
     io::Read::read_exact(reader, &mut body)?;
-    Ok((status, body))
+    Ok(Response {
+        status,
+        body,
+        retry_after,
+        close,
+    })
 }

@@ -21,6 +21,16 @@ mod imp {
         /// C library `signal(2)`. Handler addresses are passed as `usize`
         /// so we need no `sighandler_t` typedef.
         fn signal(signum: i32, handler: usize) -> usize;
+        /// C library `kill(2)` — the supervisor's graceful-drain path
+        /// (`Child::kill` would SIGKILL, skipping the backend's drain).
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+
+    pub fn terminate_pid(pid: u32) -> bool {
+        // SAFETY: FFI into the C library's `kill(2)`; the declaration
+        // matches the C prototype (two ints in, int out) and the call has
+        // no memory effects on this process.
+        unsafe { kill(pid as i32, SIGTERM) == 0 }
     }
 
     extern "C" fn on_signal(_signum: i32) {
@@ -47,6 +57,10 @@ mod imp {
 #[cfg(not(unix))]
 mod imp {
     pub fn install() {}
+
+    pub fn terminate_pid(_pid: u32) -> bool {
+        false
+    }
 }
 
 /// Install the termination handler (idempotent). After this, SIGTERM and
@@ -65,6 +79,14 @@ pub fn terminated() -> bool {
 /// takes, used by tests and by in-process shutdown.
 pub fn request() {
     TERM.store(true, Ordering::SeqCst);
+}
+
+/// Send SIGTERM to `pid` (a supervised backend), asking it to drain
+/// gracefully. Returns `false` when the signal could not be delivered
+/// (process already gone, or a non-unix host) — callers escalate to
+/// `Child::kill` after a drain timeout either way.
+pub fn terminate_pid(pid: u32) -> bool {
+    imp::terminate_pid(pid)
 }
 
 #[cfg(test)]

@@ -1,0 +1,297 @@
+//! Cluster-serving tests: real backend processes behind the gateway.
+//!
+//! Three contracts from the cluster design, pinned end to end:
+//!
+//! * **Bit-identity** — a `/simulate` answered through the gateway is
+//!   byte-identical to the same request against a solo in-process server
+//!   hosting the same tables (the gateway forwards bodies untouched, and
+//!   every backend computes the same trajectories).
+//! * **Deterministic routing** — one (model, table) pair lands on exactly
+//!   one live backend, every time.
+//! * **Failover** — killing a backend mid-load never hangs a client:
+//!   requests drain on surviving backends (or shed with an explicit
+//!   status), and the supervisor restarts the victim.
+//!
+//! Backends are the crate's own binary (`CARGO_BIN_EXE_gmr-serve`), so
+//! these tests exercise the same process-supervision path `gmr-serve
+//! cluster` ships.
+
+use gmr_hydro::{generate, SyntheticConfig};
+use gmr_json::Value;
+use gmr_serve::batch::{HostedTable, NetStation, Tables};
+use gmr_serve::gateway::BackendSlot;
+use gmr_serve::server::{http_request, read_response_full, write_request};
+use gmr_serve::{
+    Cluster, ClusterConfig, Gateway, GatewayConfig, ModelArtifact, ModelRegistry, Server,
+    ServerConfig,
+};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DAYS: usize = 150;
+
+fn exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_gmr-serve"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gmr-cluster-test-{tag}-{}", std::process::id()))
+}
+
+/// The same hosted tables `gmr-serve serve --days DAYS` builds (default
+/// seed), for the solo reference server.
+fn reference_tables() -> Tables {
+    let ds = generate(&SyntheticConfig::default());
+    let cut = DAYS.min(ds.days);
+    let mut tables = Tables::new();
+    tables.insert(
+        "target",
+        HostedTable::Single(ds.target_series().vars[..cut].to_vec()),
+    );
+    tables.insert(
+        "network",
+        HostedTable::Network(
+            ds.stations
+                .iter()
+                .map(|s| NetStation {
+                    vars: s.vars[..cut].to_vec(),
+                    flow: s.flow[..cut].to_vec(),
+                })
+                .collect(),
+        ),
+    );
+    tables
+}
+
+fn start_cluster(tag: &str, backends: usize, tweak: impl FnOnce(&mut ClusterConfig)) -> Cluster {
+    let mut config = ClusterConfig::new(backends, exe(), scratch(tag));
+    // Capacity rule (see `cmd_cluster`): backend workers must exceed the
+    // gateway's, or idle pooled connections park every backend worker.
+    let workers = GatewayConfig::default().workers + 2;
+    config.backend_args.extend([
+        "--days".into(),
+        DAYS.to_string(),
+        "--workers".into(),
+        workers.to_string(),
+    ]);
+    tweak(&mut config);
+    Cluster::start(config).expect("cluster must start")
+}
+
+fn sim_body(model: &str) -> String {
+    format!(r#"{{"model": "{model}", "forcings_ref": "target"}}"#)
+}
+
+/// Per-backend `/simulate` counts from the gateway's rollup view: the
+/// `serve.batch_size` histogram only records when a simulation ran.
+fn sim_counts(gateway_addr: SocketAddr) -> Vec<u64> {
+    let (status, bytes) = http_request(gateway_addr, "GET", "/metrics", b"").unwrap();
+    assert_eq!(status, 200);
+    let v = gmr_json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    v.get("backends")
+        .and_then(Value::as_arr)
+        .expect("rollup carries a backends array")
+        .iter()
+        .map(|b| {
+            b.get("metrics")
+                .and_then(|m| m.get("serve.batch_size"))
+                .and_then(|h| h.get("count"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[test]
+fn gateway_is_bit_identical_to_solo_and_routes_deterministically() {
+    let cluster = start_cluster("bitident", 2, |_| {});
+    let gateway = Gateway::new(GatewayConfig::default(), cluster.slots())
+        .start()
+        .unwrap();
+
+    // Solo reference: same model, same hosted tables, in-process.
+    let mut registry = ModelRegistry::new();
+    registry.insert(ModelArtifact::builtin_manual()).unwrap();
+    let solo = Server::new(ServerConfig::default(), registry, reference_tables())
+        .start()
+        .unwrap();
+
+    let body = sim_body("table5-manual");
+    let (solo_status, solo_bytes) =
+        http_request(solo.addr(), "POST", "/simulate", body.as_bytes()).unwrap();
+    assert_eq!(solo_status, 200, "{}", String::from_utf8_lossy(&solo_bytes));
+
+    let before = sim_counts(gateway.addr());
+    const N: u64 = 6;
+    for _ in 0..N {
+        let (status, bytes) =
+            http_request(gateway.addr(), "POST", "/simulate", body.as_bytes()).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+        assert_eq!(
+            bytes, solo_bytes,
+            "gateway response must be byte-identical to the solo server"
+        );
+    }
+
+    // Deterministic routing: all N simulations on exactly one backend.
+    let after = sim_counts(gateway.addr());
+    let deltas: Vec<u64> = after
+        .iter()
+        .zip(&before)
+        .map(|(a, b)| a.saturating_sub(*b))
+        .collect();
+    assert_eq!(deltas.iter().sum::<u64>(), N, "deltas: {deltas:?}");
+    assert_eq!(
+        deltas.iter().filter(|&&d| d > 0).count(),
+        1,
+        "one (model, table) pair must pin to one backend: {deltas:?}"
+    );
+
+    // `/models` through the gateway reflects the replicated registry.
+    let (status, bytes) = http_request(gateway.addr(), "GET", "/models", b"").unwrap();
+    assert_eq!(status, 200);
+    let v = gmr_json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    let names: Vec<&str> = v
+        .get("models")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|m| m.get("name").and_then(Value::as_str))
+        .collect();
+    assert_eq!(names, ["table5-manual"]);
+
+    solo.shutdown();
+    gateway.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn failover_drains_requests_and_supervisor_restarts_the_victim() {
+    let cluster = start_cluster("failover", 2, |c| {
+        c.health_interval = Duration::from_millis(100);
+    });
+    let gateway = Gateway::new(GatewayConfig::default(), cluster.slots())
+        .start()
+        .unwrap();
+    let body = sim_body("table5-manual");
+
+    // Find the owner of this key, then kill it.
+    let before = sim_counts(gateway.addr());
+    let (status, _) = http_request(gateway.addr(), "POST", "/simulate", body.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    let after = sim_counts(gateway.addr());
+    let owner = (0..after.len())
+        .find(|&i| after[i] > before[i])
+        .expect("some backend served the probe");
+    cluster.kill_backend(owner);
+
+    // Mid-failure requests must complete promptly — drained by the
+    // surviving backend or shed with an explicit status, never hung.
+    let t0 = Instant::now();
+    for _ in 0..5 {
+        let (status, bytes) =
+            http_request(gateway.addr(), "POST", "/simulate", body.as_bytes()).unwrap();
+        assert!(
+            status == 200 || status == 429 || status == 503,
+            "unexpected status {status}: {}",
+            String::from_utf8_lossy(&bytes)
+        );
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "failover requests must not park behind a dead backend"
+    );
+    // With one backend dead the walk lands on the survivor — requests
+    // keep draining.
+    let (status, _) = http_request(gateway.addr(), "POST", "/simulate", body.as_bytes()).unwrap();
+    assert_eq!(status, 200, "survivor must absorb the orphaned keyspace");
+
+    // The supervisor restarts the victim and the gateway sees 2 live
+    // backends again.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, bytes) = http_request(gateway.addr(), "GET", "/healthz", b"").unwrap();
+        assert_eq!(status, 200);
+        let v = gmr_json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        if v.get("alive").and_then(Value::as_u64) == Some(2) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backend was not restarted: {}",
+            String::from_utf8_lossy(&bytes)
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    // And the restarted backend serves its keyspace again.
+    let (status, _) = http_request(gateway.addr(), "POST", "/simulate", body.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+
+    gateway.shutdown();
+    cluster.shutdown();
+}
+
+/// A hand-rolled backend that always sheds with `Retry-After: 7` — pins
+/// the gateway's 429 propagation contract: backend 429s are final
+/// (no failover) and the retry hint passes through verbatim.
+#[test]
+fn gateway_propagates_backend_429_and_retry_after() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                while gmr_serve::http::read_request(&mut reader)
+                    .ok()
+                    .flatten()
+                    .is_some()
+                {
+                    let body = br#"{"error": "backend saturated"}"#;
+                    let head = format!(
+                        "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+                         Content-Length: {}\r\nRetry-After: 7\r\n\r\n",
+                        body.len()
+                    );
+                    use std::io::Write;
+                    if stream
+                        .write_all(head.as_bytes())
+                        .and_then(|()| stream.write_all(body))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    let slots: Arc<Vec<BackendSlot>> = Arc::new(vec![BackendSlot::default()]);
+    slots[0].set_addr(addr);
+    let gateway = Gateway::new(GatewayConfig::default(), Arc::clone(&slots))
+        .start()
+        .unwrap();
+
+    let mut stream = TcpStream::connect(gateway.addr()).unwrap();
+    write_request(
+        &mut stream,
+        "POST",
+        "/simulate",
+        sim_body("table5-manual").as_bytes(),
+        true,
+    )
+    .unwrap();
+    let resp = read_response_full(&mut BufReader::new(stream)).unwrap();
+    assert_eq!(resp.status, 429, "backend 429 must propagate");
+    assert_eq!(
+        resp.retry_after,
+        Some(7),
+        "the backend's Retry-After must pass through verbatim"
+    );
+    assert!(String::from_utf8_lossy(&resp.body).contains("backend saturated"));
+    gateway.shutdown();
+}

@@ -83,7 +83,7 @@ fn simulate_is_bit_identical_to_in_process_evaluation() {
         r.insert(ModelArtifact::builtin_manual()).unwrap();
         r
     };
-    let system = reg.get("table5-manual").unwrap().system.clone();
+    let system = reg.touch("table5-manual").unwrap().system.clone();
     let want_bphy = problem.simulate_compiled(&system);
     let (_, want_bzoo) = simulate_single(&system, &table, opts.init, opts.dt, opts.state_cap);
 
@@ -138,7 +138,7 @@ fn concurrent_same_model_requests_coalesce_and_stay_exact() {
         r.insert(ModelArtifact::builtin_manual()).unwrap();
         r
     };
-    let system = reg.get("table5-manual").unwrap().system.clone();
+    let system = reg.touch("table5-manual").unwrap().system.clone();
     let inits = [
         (8.0, 1.2),
         (2.0, 0.3),
@@ -359,7 +359,7 @@ fn champion_export_round_trip_is_bit_identical() {
     // artifact, vs compiling the champion equations in-process.
     let mut registry = ModelRegistry::new();
     registry.insert(reloaded).unwrap();
-    let served = registry.get("champion").unwrap();
+    let served = registry.touch("champion").unwrap();
     let inproc =
         CompiledSystem::compile_checked(&result.equations, NUM_VARS, 2, OptOptions::full())
             .unwrap();
