@@ -127,11 +127,12 @@ grep -q '"type": "request"' smoke-serve/journal.jsonl || {
     exit 1
 }
 
-echo "==> gmr-serve cluster smoke (2 supervised backends, gateway rollup, SIGTERM drain)"
+echo "==> gmr-serve cluster smoke (2 supervised backends, gateway rollup, journal stitch, SIGTERM drain)"
 rm -rf smoke-cluster
 mkdir -p smoke-cluster
 ./target/release/gmr-serve cluster --backends 2 --days 365 \
-    --dir smoke-cluster/scratch --port-file smoke-cluster/port &
+    --dir smoke-cluster/scratch --port-file smoke-cluster/port \
+    --journal smoke-cluster/gateway.jsonl &
 CLUSTER_PID=$!
 i=0
 while [ ! -f smoke-cluster/port ]; do
@@ -160,12 +161,24 @@ grep -q '"backends"' smoke-cluster/metrics.json || {
     echo "FAIL: cluster /metrics rollup carries no backends array"
     exit 1
 }
+grep -q '"slo"' smoke-cluster/metrics.json || {
+    echo "FAIL: cluster /metrics carries no slo section"
+    exit 1
+}
 kill -TERM "$CLUSTER_PID"
 wait "$CLUSTER_PID" || { echo "FAIL: gmr-serve cluster did not drain cleanly on SIGTERM"; exit 1; }
-for j in smoke-cluster/scratch/backend-0.jsonl smoke-cluster/scratch/backend-1.jsonl; do
-    [ -f "$j" ] || { echo "FAIL: missing backend journal $j"; exit 1; }
+for j in smoke-cluster/gateway.jsonl smoke-cluster/scratch/backend-0.jsonl \
+         smoke-cluster/scratch/backend-1.jsonl; do
+    [ -f "$j" ] || { echo "FAIL: missing journal $j"; exit 1; }
     cargo run --release -q -p gmr-obsv --bin gmr-trace -- validate "$j"
 done
+# Stitch the three journals into one cross-process Chrome trace; a
+# gateway hop with no matching backend span exits non-zero.
+cargo run --release -q -p gmr-obsv --bin gmr-trace -- stitch \
+    smoke-cluster/gateway.jsonl \
+    smoke-cluster/scratch/backend-0.jsonl smoke-cluster/scratch/backend-1.jsonl \
+    --out smoke-cluster/stitched.trace.json
+cargo run --release -q -p gmr-obsv --bin gmr-trace -- json smoke-cluster/stitched.trace.json
 
 echo "==> SIMD tier tests (vector kernels live where the host has AVX2+FMA)"
 cargo test -q -p gmr-expr --features simd

@@ -42,11 +42,23 @@
 //! proves the gateway never crossed two models' answers. `--validate`
 //! re-opens an emitted file and enforces every gate above on whichever
 //! sections are present (at least one must be).
+//!
+//! **Tracing probe** (always first): the same sequential full-series
+//! phase against one server before and after `gmr_obsv::init` installs
+//! the process-global journal — the journal is sticky, so the untraced
+//! phase must be the first thing the process does. Gates: overhead stays
+//! `<= 2%` and the served trajectories are byte-identical with tracing
+//! on and off. The solo and cluster sections also report latency
+//! quantiles (p50/p90/p99/max, estimated from the log-scaled
+//! `serve.latency_us` buckets) and, for the cluster, the gateway's SLO
+//! counters — both must be populated, pinning the `/metrics` surface
+//! end to end.
 
 use gmr_bio::{manual, name_table};
 use gmr_expr::{parse, CompiledSystem, Expr};
 use gmr_hydro::{generate, SyntheticConfig, NUM_VARS};
 use gmr_json::{push_f64, Value};
+use gmr_obsv::metrics::quantile_from_buckets;
 use gmr_serve::batch::{simulate_single, HostedTable, Tables};
 use gmr_serve::server::{read_response, write_request, Client};
 use gmr_serve::{
@@ -69,12 +81,177 @@ const MIN_SPEEDUP_BATCHED: f64 = 2.0;
 /// Aggregate-throughput floor for the top cluster tier over one backend.
 const MIN_CLUSTER_SPEEDUP_FULL: f64 = 2.5; // >= 4 backends
 const MIN_CLUSTER_SPEEDUP_SMALL: f64 = 1.2; // 2-3 backends (CI shape)
+/// Journal + tracing overhead ceiling: instrumentation only reads clocks
+/// and pushes ring-buffer events, so a traced request must cost within
+/// 2% of an untraced one.
+const MAX_TRACING_OVERHEAD_PCT: f64 = 2.0;
 const CLIENTS: usize = 16;
 const CLUSTER_CLIENTS: usize = 8;
 const CLUSTER_MODELS: usize = 8;
 const CLUSTER_DAYS: usize = 3000;
 /// Forcing-only light-response terms per model (see [`env_ensemble`]).
 const ENV_TERMS: usize = 160;
+
+// ------------------------------------------------------------- latency --
+
+/// Latency quantiles lifted from a `/metrics` response — either estimated
+/// from a registry histogram's log-scaled buckets or copied from a
+/// gateway quantile summary. Report-only values are machine-dependent;
+/// the gate is that they are *populated* (`count >= 1`), which pins the
+/// whole metrics surface: recording, snapshot JSON, and (for the fleet
+/// view) the gateway's cross-backend bucket merge.
+struct Latency {
+    count: u64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+impl Latency {
+    /// From a histogram snapshot: `{"count", "sum", "buckets": [[i, c]…]}`.
+    fn from_histogram(h: &Value) -> Option<Latency> {
+        let count = h.get("count").and_then(Value::as_u64)?;
+        let buckets: Vec<(usize, u64)> = h
+            .get("buckets")
+            .and_then(Value::as_arr)?
+            .iter()
+            .filter_map(|p| {
+                let p = p.as_arr()?;
+                Some((p.first()?.as_u64()? as usize, p.get(1)?.as_u64()?))
+            })
+            .collect();
+        Some(Latency {
+            count,
+            p50_us: quantile_from_buckets(&buckets, 0.5),
+            p90_us: quantile_from_buckets(&buckets, 0.9),
+            p99_us: quantile_from_buckets(&buckets, 0.99),
+            max_us: quantile_from_buckets(&buckets, 1.0),
+        })
+    }
+
+    /// From a gateway quantile summary: `{"count", "p50_us", …}`.
+    fn from_summary(v: &Value) -> Option<Latency> {
+        Some(Latency {
+            count: v.get("count").and_then(Value::as_u64)?,
+            p50_us: v.get("p50_us").and_then(Value::as_u64)?,
+            p90_us: v.get("p90_us").and_then(Value::as_u64)?,
+            p99_us: v.get("p99_us").and_then(Value::as_u64)?,
+            max_us: v.get("max_us").and_then(Value::as_u64)?,
+        })
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            self.count, self.p50_us, self.p90_us, self.p99_us, self.max_us
+        )
+    }
+}
+
+fn fetch_metrics(addr: SocketAddr) -> Option<Value> {
+    let mut client = Client::new(addr);
+    let resp = client.request("GET", "/metrics", b"").ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    gmr_json::parse(std::str::from_utf8(&resp.body).ok()?).ok()
+}
+
+// ------------------------------------------------------- tracing probe --
+
+/// Journal + tracing overhead, measured on one server: the identical
+/// sequential full-series phase with the process-global journal absent,
+/// then installed. `requests` counts both phases.
+struct TraceProbe {
+    days: usize,
+    requests: usize,
+    reps: usize,
+    journal_installed: bool,
+    untraced_secs: f64,
+    traced_secs: f64,
+    bit_identical: bool,
+}
+
+impl TraceProbe {
+    fn overhead_pct(&self) -> f64 {
+        if self.untraced_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.traced_secs / self.untraced_secs - 1.0) * 100.0
+    }
+}
+
+/// One rep: `requests` full-series requests on one keep-alive connection.
+/// Returns `(secs, last response body)`.
+fn probe_rep(addr: SocketAddr, requests: usize) -> (f64, Vec<u8>) {
+    let body = series_body("table5-manual", "t", client_init(1));
+    let mut client = Client::new(addr);
+    let mut last = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..requests {
+        let resp = client
+            .request("POST", "/simulate", body.as_bytes())
+            .expect("probe request");
+        assert_eq!(resp.status, 200, "probe request failed");
+        last = resp.body;
+    }
+    (t0.elapsed().as_secs_f64(), last)
+}
+
+/// Best-of-`reps` phase timing (the min absorbs scheduler noise) plus the
+/// final response bytes for the bit-identity check.
+fn probe_phase(addr: SocketAddr, requests: usize, reps: usize) -> (f64, Vec<u8>) {
+    let mut best = f64::INFINITY;
+    let mut last = Vec::new();
+    for _ in 0..reps {
+        let (secs, bytes) = probe_rep(addr, requests);
+        best = best.min(secs);
+        last = bytes;
+    }
+    (best, last)
+}
+
+/// `gmr_obsv::init` is sticky (first install wins, never uninstalled), so
+/// this probe must run before anything else journals — and everything
+/// benched after it runs with the journal live, which biases no relative
+/// gate (both sides of each ratio are equally traced).
+fn tracing_probe(quick: bool) -> TraceProbe {
+    let (days, requests, reps) = if quick { (1500, 24, 3) } else { (3000, 60, 3) };
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert(ModelArtifact::builtin_manual())
+        .expect("builtin admits");
+    let mut tables = Tables::new();
+    tables.insert("t", HostedTable::Single(forcing_rows(days)));
+    let config = ServerConfig {
+        workers: 2,
+        batch_window: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let handle = Server::new(config, registry, tables)
+        .start()
+        .expect("start");
+    let addr = handle.addr();
+    probe_rep(addr, 5); // warm-up
+    assert!(
+        gmr_obsv::global().is_none(),
+        "tracing probe must run before anything installs the journal"
+    );
+    let (untraced_secs, untraced_bytes) = probe_phase(addr, requests, reps);
+    let journal_installed = gmr_obsv::init(gmr_obsv::DEFAULT_CAPACITY);
+    let (traced_secs, traced_bytes) = probe_phase(addr, requests, reps);
+    handle.shutdown();
+    TraceProbe {
+        days,
+        requests: requests * reps * 2,
+        reps,
+        journal_installed,
+        untraced_secs,
+        traced_secs,
+        bit_identical: !untraced_bytes.is_empty() && untraced_bytes == traced_bytes,
+    }
+}
 
 // ---------------------------------------------------------------- solo --
 
@@ -88,6 +265,7 @@ struct BenchResult {
     max_batch: u64,
     bit_identical: bool,
     errors: u64,
+    latency: Option<Latency>,
 }
 
 impl BenchResult {
@@ -260,6 +438,10 @@ fn bench(days: usize, seq_requests: usize, per_client: usize) -> BenchResult {
     }
     let con_secs = t0.elapsed().as_secs_f64();
     bit_identical &= check_bit_identity(addr, "table5-manual", "t", &rows, &sys);
+    let latency = fetch_metrics(addr)
+        .as_ref()
+        .and_then(|v| v.get("serve.latency_us"))
+        .and_then(Latency::from_histogram);
     handle.shutdown();
 
     BenchResult {
@@ -272,6 +454,7 @@ fn bench(days: usize, seq_requests: usize, per_client: usize) -> BenchResult {
         max_batch,
         bit_identical,
         errors,
+        latency,
     }
 }
 
@@ -299,6 +482,12 @@ struct ClusterResult {
     bit_identical: bool,
     errors: u64,
     tiers: Vec<TierResult>,
+    /// Fleet-merged `serve.latency_us` quantiles from the gateway's
+    /// `/metrics`, captured after the top tier's timed phase.
+    fleet_latency: Option<Latency>,
+    slo_target_ms: u64,
+    slo_good: u64,
+    slo_total: u64,
     overload_requests: usize,
     overload_shed: u64,
     retry_after_ok: bool,
@@ -514,6 +703,8 @@ fn cluster_bench(quick: bool, backends_max: usize, serve_bin: &Path) -> ClusterR
     let mut bit_identical = true;
     let mut errors = 0u64;
     let mut tiers = Vec::new();
+    let mut fleet_latency = None;
+    let (mut slo_target_ms, mut slo_good, mut slo_total) = (0u64, 0u64, 0u64);
     for backends in [1, backends_max] {
         let (cluster, gateway) = start_cluster(
             serve_bin,
@@ -552,6 +743,21 @@ fn cluster_bench(quick: bool, backends_max: usize, serve_bin: &Path) -> ClusterR
             }
         }
         let secs = t0.elapsed().as_secs_f64();
+        // The sharded tier is where the fleet view matters: quantiles over
+        // every backend's merged buckets, plus the gateway's SLO counters.
+        if backends == backends_max {
+            if let Some(m) = fetch_metrics(addr) {
+                fleet_latency = m
+                    .get("latency")
+                    .and_then(|l| l.get("fleet"))
+                    .and_then(Latency::from_summary);
+                if let Some(s) = m.get("slo") {
+                    slo_target_ms = s.get("target_ms").and_then(Value::as_u64).unwrap_or(0);
+                    slo_good = s.get("good").and_then(Value::as_u64).unwrap_or(0);
+                    slo_total = s.get("total").and_then(Value::as_u64).unwrap_or(0);
+                }
+            }
+        }
         gateway.shutdown();
         cluster.shutdown();
         tiers.push(TierResult {
@@ -626,6 +832,10 @@ fn cluster_bench(quick: bool, backends_max: usize, serve_bin: &Path) -> ClusterR
         bit_identical,
         errors,
         tiers,
+        fleet_latency,
+        slo_target_ms,
+        slo_good,
+        slo_total,
         overload_requests: CLUSTER_CLIENTS * overload_per_client,
         overload_shed,
         retry_after_ok: overload_shed > 0 && missing_ra == 0,
@@ -657,7 +867,29 @@ fn render_solo(out: &mut String, r: &BenchResult) {
         r.mean_batch,
         r.max_batch
     ));
+    if let Some(l) = &r.latency {
+        out.push_str(&format!("    \"latency\": {},\n", l.render()));
+    }
     out.push_str(&format!("    \"batched_speedup\": {:.3}\n", r.speedup()));
+    out.push_str("  }");
+}
+
+fn render_tracing(out: &mut String, p: &TraceProbe) {
+    out.push_str("  \"tracing\": {\n");
+    out.push_str(&format!("    \"days\": {},\n", p.days));
+    out.push_str(&format!("    \"requests\": {},\n", p.requests));
+    out.push_str(&format!("    \"reps\": {},\n", p.reps));
+    out.push_str(&format!(
+        "    \"journal_installed\": {},\n",
+        p.journal_installed
+    ));
+    out.push_str(&format!("    \"untraced_secs\": {:.4},\n", p.untraced_secs));
+    out.push_str(&format!("    \"traced_secs\": {:.4},\n", p.traced_secs));
+    out.push_str(&format!("    \"overhead_pct\": {:.3},\n", p.overhead_pct()));
+    out.push_str(&format!(
+        "    \"max_overhead_pct\": {MAX_TRACING_OVERHEAD_PCT:.1},\n"
+    ));
+    out.push_str(&format!("    \"bit_identical\": {}\n", p.bit_identical));
     out.push_str("  }");
 }
 
@@ -694,6 +926,13 @@ fn render_cluster(out: &mut String, r: &ClusterResult) {
     out.push_str("\n    ],\n");
     out.push_str(&format!("    \"cluster_speedup\": {:.3},\n", r.speedup()));
     out.push_str(&format!("    \"scaling_floor\": {:.1},\n", r.floor()));
+    if let Some(l) = &r.fleet_latency {
+        out.push_str(&format!("    \"latency\": {},\n", l.render()));
+    }
+    out.push_str(&format!(
+        "    \"slo\": {{\"target_ms\": {}, \"good\": {}, \"total\": {}}},\n",
+        r.slo_target_ms, r.slo_good, r.slo_total
+    ));
     out.push_str(&format!(
         "    \"overload\": {{\"requests\": {}, \"shed\": {}, \"retry_after_ok\": {}, \"errors\": {}}}\n",
         r.overload_requests, r.overload_shed, r.retry_after_ok, r.overload_errors
@@ -701,13 +940,22 @@ fn render_cluster(out: &mut String, r: &ClusterResult) {
     out.push_str("  }");
 }
 
-fn render_json(solo: Option<&BenchResult>, cluster: Option<&ClusterResult>, quick: bool) -> String {
+fn render_json(
+    solo: Option<&BenchResult>,
+    cluster: Option<&ClusterResult>,
+    tracing: Option<&TraceProbe>,
+    quick: bool,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
     out.push_str(&format!(
         "  \"scale\": \"{}\"",
         if quick { "quick" } else { "default" }
     ));
+    if let Some(p) = tracing {
+        out.push_str(",\n");
+        render_tracing(&mut out, p);
+    }
     if let Some(r) = solo {
         out.push_str(",\n");
         render_solo(&mut out, r);
@@ -748,6 +996,25 @@ fn validate_solo(v: &Value, errs: &mut Vec<String>) {
         )),
         None => errs.push("solo: batched_speedup missing".into()),
     }
+    match v.get("latency").and_then(|l| num(l, "count")) {
+        Some(c) if c >= 1.0 => {}
+        _ => errs.push("solo: latency quantiles missing — `serve.latency_us` unpopulated".into()),
+    }
+}
+
+fn validate_tracing(v: &Value, errs: &mut Vec<String>) {
+    if v.get("bit_identical").and_then(Value::as_bool) != Some(true) {
+        errs.push(
+            "tracing: bit_identical is not true — tracing changed a served trajectory".into(),
+        );
+    }
+    match num(v, "overhead_pct") {
+        Some(o) if o <= MAX_TRACING_OVERHEAD_PCT => {}
+        Some(o) => errs.push(format!(
+            "tracing: overhead {o:.3}% above the {MAX_TRACING_OVERHEAD_PCT}% gate"
+        )),
+        None => errs.push("tracing: overhead_pct missing".into()),
+    }
 }
 
 fn validate_cluster(v: &Value, errs: &mut Vec<String>) {
@@ -785,6 +1052,18 @@ fn validate_cluster(v: &Value, errs: &mut Vec<String>) {
             }
         }
         _ => errs.push("cluster: tiers must cover 1 backend and a sharded tier".into()),
+    }
+    match v.get("latency").and_then(|l| num(l, "count")) {
+        Some(c) if c >= 1.0 => {}
+        _ => errs.push(
+            "cluster: latency quantiles missing — the gateway's fleet merge is unpopulated".into(),
+        ),
+    }
+    match v.get("slo").and_then(|s| num(s, "total")) {
+        Some(t) if t >= 1.0 => {}
+        _ => {
+            errs.push("cluster: slo.total is zero — the gateway's SLO counters never moved".into())
+        }
     }
     match v.get("overload") {
         Some(o) => {
@@ -827,6 +1106,9 @@ fn validate(src: &str) -> Vec<String> {
     }
     if let Some(c) = cluster {
         validate_cluster(c, &mut errs);
+    }
+    if let Some(t) = v.get("tracing") {
+        validate_tracing(t, &mut errs);
     }
     errs
 }
@@ -890,6 +1172,18 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("BENCH_serve.json");
 
+    // The probe must be the process's first journal user (`init` is
+    // sticky), so it runs before either bench section.
+    eprintln!("bench_serve tracing probe: journal overhead + on/off bit-identity");
+    let tracing = tracing_probe(quick);
+    eprintln!(
+        "  untraced {:.4}s | traced {:.4}s | overhead {:.2}% | bit identical: {}",
+        tracing.untraced_secs,
+        tracing.traced_secs,
+        tracing.overhead_pct(),
+        tracing.bit_identical
+    );
+
     let solo = want_solo.then(|| {
         // Both scales keep the full 13-year horizon: the gate measures
         // work-sharing, which only shows when simulation dominates the
@@ -939,7 +1233,7 @@ fn main() {
         r
     });
 
-    let json = render_json(solo.as_ref(), cluster.as_ref(), quick);
+    let json = render_json(solo.as_ref(), cluster.as_ref(), Some(&tracing), quick);
     std::fs::write(out_path, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(2);
@@ -959,6 +1253,16 @@ fn main() {
 mod tests {
     use super::*;
 
+    fn latency_result() -> Latency {
+        Latency {
+            count: 200,
+            p50_us: 1800,
+            p90_us: 2600,
+            p99_us: 3400,
+            max_us: 9000,
+        }
+    }
+
     fn solo_result() -> BenchResult {
         BenchResult {
             days: 365,
@@ -970,6 +1274,7 @@ mod tests {
             max_batch: 8,
             bit_identical: true,
             errors: 0,
+            latency: Some(latency_result()),
         }
     }
 
@@ -995,6 +1300,10 @@ mod tests {
                     secs: 0.3,
                 },
             ],
+            fleet_latency: Some(latency_result()),
+            slo_target_ms: 250,
+            slo_good: 95,
+            slo_total: 96,
             overload_requests: 48,
             overload_shed: 17,
             retry_after_ok: true,
@@ -1002,9 +1311,26 @@ mod tests {
         }
     }
 
+    fn tracing_result() -> TraceProbe {
+        TraceProbe {
+            days: 365,
+            requests: 144,
+            reps: 3,
+            journal_installed: true,
+            untraced_secs: 1.0,
+            traced_secs: 1.005,
+            bit_identical: true,
+        }
+    }
+
     #[test]
     fn rendered_json_strict_reparses_and_validates() {
-        let json = render_json(Some(&solo_result()), Some(&cluster_result()), true);
+        let json = render_json(
+            Some(&solo_result()),
+            Some(&cluster_result()),
+            Some(&tracing_result()),
+            true,
+        );
         gmr_json::parse(&json).expect("strict parse");
         assert_eq!(validate(&json), Vec::<String>::new());
         assert!(validate("[1, 2")
@@ -1016,30 +1342,76 @@ mod tests {
     }
 
     #[test]
+    fn tracing_gates_catch_overhead_and_divergence() {
+        // 5% overhead — over the 2% ceiling.
+        let mut p = tracing_result();
+        p.traced_secs = 1.05;
+        let json = render_json(None, Some(&cluster_result()), Some(&p), true);
+        assert!(validate(&json)
+            .iter()
+            .any(|e| e.contains("above the 2% gate")));
+        // A trajectory that changed when tracing was switched on.
+        let mut p = tracing_result();
+        p.bit_identical = false;
+        let json = render_json(None, Some(&cluster_result()), Some(&p), true);
+        assert!(validate(&json)
+            .iter()
+            .any(|e| e.contains("changed a served trajectory")));
+        // Negative measured overhead (noise) is not a failure.
+        let mut p = tracing_result();
+        p.traced_secs = 0.99;
+        let json = render_json(None, Some(&cluster_result()), Some(&p), true);
+        assert_eq!(validate(&json), Vec::<String>::new());
+    }
+
+    #[test]
+    fn metrics_surface_gates_catch_unpopulated_sections() {
+        // Solo without latency quantiles.
+        let mut r = solo_result();
+        r.latency = None;
+        let json = render_json(Some(&r), None, None, true);
+        assert!(validate(&json)
+            .iter()
+            .any(|e| e.contains("solo: latency quantiles missing")));
+        // Cluster without a fleet merge.
+        let mut r = cluster_result();
+        r.fleet_latency = None;
+        let json = render_json(None, Some(&r), None, true);
+        assert!(validate(&json)
+            .iter()
+            .any(|e| e.contains("cluster: latency quantiles missing")));
+        // Cluster whose SLO counters never moved.
+        let mut r = cluster_result();
+        r.slo_total = 0;
+        let json = render_json(None, Some(&r), None, true);
+        assert!(validate(&json).iter().any(|e| e.contains("slo.total")));
+    }
+
+    #[test]
     fn cluster_gates_catch_regressions() {
         // Scaling below the floor.
         let mut r = cluster_result();
         r.tiers[1].secs = 0.9; // 1.11x — under even the small floor
-        let json = render_json(None, Some(&r), true);
+        let json = render_json(None, Some(&r), None, true);
         assert!(validate(&json).iter().any(|e| e.contains("below the")));
         // No shed during the overload probe.
         let mut r = cluster_result();
         r.overload_shed = 0;
         r.retry_after_ok = false;
-        let json = render_json(None, Some(&r), true);
+        let json = render_json(None, Some(&r), None, true);
         assert!(validate(&json)
             .iter()
             .any(|e| e.contains("shed no requests")));
         // A 429 without Retry-After.
         let mut r = cluster_result();
         r.retry_after_ok = false;
-        let json = render_json(None, Some(&r), true);
+        let json = render_json(None, Some(&r), None, true);
         assert!(validate(&json).iter().any(|e| e.contains("Retry-After")));
         // The 2-backend CI shape uses the smaller floor.
         let mut r = cluster_result();
         r.tiers[1].backends = 2;
         r.tiers[1].secs = 0.7; // 1.43x — over 1.2, under 2.5
-        let json = render_json(None, Some(&r), true);
+        let json = render_json(None, Some(&r), None, true);
         assert_eq!(validate(&json), Vec::<String>::new());
     }
 
@@ -1047,7 +1419,7 @@ mod tests {
     fn solo_gate_catches_slow_batching() {
         let mut r = solo_result();
         r.con_secs = 3.0; // exactly 1x
-        let json = render_json(Some(&r), None, true);
+        let json = render_json(Some(&r), None, None, true);
         assert!(validate(&json)
             .iter()
             .any(|e| e.contains("below the 2x gate")));

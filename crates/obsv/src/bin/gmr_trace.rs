@@ -11,6 +11,10 @@
 //!     [--out CORPUS.json]              #   into a gmr-opcodes/v1 corpus
 //!     [--from-corpus CORPUS.json]      #   (or load one) and regenerate
 //!     [--fusion-table-out fusion_gen.rs]  # the VM's fusion table from it
+//! gmr-trace stitch GATEWAY.jsonl BACKEND.jsonl... [--out TRACE.json]
+//!                                      # merge cluster journals into one
+//!                                      # cross-process Chrome trace; exit 1
+//!                                      # on orphaned gateway hops
 //! ```
 
 use gmr_obsv::trace;
@@ -21,6 +25,7 @@ fn usage() -> ExitCode {
         "usage: gmr-trace <summary|chrome|validate|json> FILE [--out FILE]\n\
          \x20      gmr-trace opcodes FILE... [--out CORPUS] [--from-corpus CORPUS]\n\
          \x20                [--fusion-table-out FILE]\n\
+         \x20      gmr-trace stitch GATEWAY.jsonl BACKEND.jsonl... [--out FILE]\n\
          \n\
          summary    print spans / generations / pool utilization / lineage\n\
          chrome     convert to Chrome trace-event JSON (load in Perfetto)\n\
@@ -31,6 +36,10 @@ fn usage() -> ExitCode {
                     more journals into a gmr-opcodes/v1 corpus (--out), or\n\
                     load a committed corpus (--from-corpus), and optionally\n\
                     regenerate the VM's fusion table (--fusion-table-out)\n\
+         stitch     merge a gateway journal plus backend journals into one\n\
+                    cross-process Chrome trace (flows connect each gateway\n\
+                    hop to the backend access + sweep spans that served\n\
+                    it); exit 1 when any hop is orphaned\n\
          \n\
          `--validate` is accepted as a flag spelling of `validate`."
     );
@@ -144,6 +153,78 @@ fn run_opcodes(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `stitch` subcommand: first journal is the gateway, the rest are
+/// backends. Exit 1 when any gateway hop cannot be resolved to exactly
+/// one backend access span.
+fn run_stitch(args: &[String]) -> ExitCode {
+    let mut journals: Vec<String> = Vec::new();
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("gmr-trace: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            _ if !a.starts_with('-') => journals.push(a.clone()),
+            _ => {
+                eprintln!("gmr-trace: unexpected argument {a:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if journals.len() < 2 {
+        eprintln!("gmr-trace: stitch needs a gateway journal plus at least one backend journal");
+        return ExitCode::from(2);
+    }
+    let mut inputs = Vec::with_capacity(journals.len());
+    for path in &journals {
+        match read(path) {
+            Ok(s) => inputs.push((path.clone(), s)),
+            Err(code) => return code,
+        }
+    }
+    let stitched = match trace::stitch(&inputs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gmr-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "stitch: {} journal(s), {} gateway hop(s), {} resolved",
+        journals.len(),
+        stitched.hops,
+        stitched.resolved
+    );
+    match &out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, &stitched.chrome) {
+                eprintln!("gmr-trace: cannot write {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {p}");
+        }
+        None => print!("{}", stitched.chrome),
+    }
+    if stitched.orphans.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for o in &stitched.orphans {
+            eprintln!("gmr-trace: orphaned hop: {o}");
+        }
+        eprintln!(
+            "gmr-trace: {} orphaned hop(s) — a journal is missing or a backend never recorded \
+             the request",
+            stitched.orphans.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn read(path: &str) -> Result<String, ExitCode> {
     std::fs::read_to_string(path).map_err(|e| {
         eprintln!("gmr-trace: cannot read {path}: {e}");
@@ -155,6 +236,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("opcodes") {
         return run_opcodes(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("stitch") {
+        return run_stitch(&args[1..]);
     }
     let mut cmd = None;
     let mut journal = None;

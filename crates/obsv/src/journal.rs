@@ -17,6 +17,25 @@ use std::sync::Mutex;
 /// Schema tag written in the header line and required by the validator.
 pub const SCHEMA: &str = "gmr-journal/v1";
 
+/// Fixed-width lowercase hex rendering of a trace or span id — the form
+/// used in both the `X-Gmr-Trace` header and the `access` event, so the
+/// header value greps straight into the journal.
+pub fn hex_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parse a [`hex_id`]-rendered id (exactly 16 lowercase hex digits).
+pub fn parse_hex_id(s: &str) -> Option<u64> {
+    if s.len() != 16
+        || !s
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
 /// One typed journal event. Variant names map 1:1 to the JSONL `type` tag.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -164,6 +183,41 @@ pub enum Event {
         /// (1 = unbatched; 0 = no simulation ran).
         batch: u64,
     },
+    /// One traced HTTP request (the distributed-tracing access log).
+    ///
+    /// Unlike [`Event::Request`] this carries the propagated trace
+    /// context (`X-Gmr-Trace`), so `gmr-trace stitch` can connect a
+    /// gateway hop to the backend span that served it and a user can
+    /// grep any journal for their own request id.
+    Access {
+        /// Trace id shared by every hop of one client request.
+        trace: u64,
+        /// This hop's span id.
+        span: u64,
+        /// The upstream hop's span id (0 = this hop minted the trace).
+        parent: u64,
+        /// HTTP method verb.
+        method: String,
+        /// Endpoint path tag (`/simulate`, `gw:/simulate`…).
+        path: &'static str,
+        /// Model routed or simulated (empty when none was involved).
+        model: String,
+        /// Forcing-table reference (`(inline)` for inline forcings,
+        /// empty when no simulation ran).
+        table: String,
+        /// HTTP status returned.
+        status: u16,
+        /// Request was shed (429) before any simulation ran.
+        shed: bool,
+        /// Simulation was coalesced with at least one other request.
+        batched: bool,
+        /// Wait from simulation enqueue to batcher pickup, µs.
+        queue_us: u64,
+        /// Simulation wall time inside the sweep, µs.
+        sim_us: u64,
+        /// Total dequeue-to-response time, µs.
+        dur_us: u64,
+    },
     /// A cluster backend lifecycle transition (the supervisor's log).
     Backend {
         /// Backend slot index.
@@ -192,6 +246,7 @@ impl Event {
             Event::Metrics { .. } => "metrics",
             Event::Note { .. } => "note",
             Event::Request { .. } => "request",
+            Event::Access { .. } => "access",
             Event::Backend { .. } => "backend",
         }
     }
@@ -219,11 +274,16 @@ pub struct Journal {
     inner: Mutex<Inner>,
     capacity: usize,
     start: std::time::Instant,
+    t0_unix_us: u64,
 }
 
 impl Journal {
     /// Create with an event capacity (oldest events are dropped beyond it).
     pub fn new(capacity: usize) -> Self {
+        let t0_unix_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
         Journal {
             inner: Mutex::new(Inner {
                 buf: VecDeque::with_capacity(capacity.min(4096)),
@@ -232,6 +292,7 @@ impl Journal {
             }),
             capacity: capacity.max(1),
             start: std::time::Instant::now(),
+            t0_unix_us,
         }
     }
 
@@ -287,11 +348,15 @@ impl Journal {
     pub fn to_jsonl(&self) -> String {
         let inner = self.lock();
         let mut out = String::with_capacity(64 * inner.buf.len() + 128);
+        // `t0_unix_us` anchors this journal's relative `t_us` timeline to
+        // the wall clock so `gmr-trace stitch` can align journals from
+        // different processes on one trace timeline.
         out.push_str(&format!(
-            "{{\"schema\": \"{SCHEMA}\", \"events\": {}, \"dropped\": {}, \"next_seq\": {}}}\n",
+            "{{\"schema\": \"{SCHEMA}\", \"events\": {}, \"dropped\": {}, \"next_seq\": {}, \"t0_unix_us\": {}}}\n",
             inner.buf.len(),
             inner.dropped,
-            inner.seq
+            inner.seq,
+            self.t0_unix_us
         ));
         for rec in &inner.buf {
             write_record(&mut out, rec);
@@ -456,6 +521,40 @@ fn write_record(out: &mut String, rec: &Record) {
                 ", \"status\": {status}, \"dur_us\": {dur_us}, \"batch\": {batch}"
             ));
         }
+        Event::Access {
+            trace,
+            span,
+            parent,
+            method,
+            path,
+            model,
+            table,
+            status,
+            shed,
+            batched,
+            queue_us,
+            sim_us,
+            dur_us,
+        } => {
+            out.push_str(", \"trace\": ");
+            push_escaped(out, &hex_id(*trace));
+            out.push_str(", \"span\": ");
+            push_escaped(out, &hex_id(*span));
+            out.push_str(", \"parent\": ");
+            push_escaped(out, &hex_id(*parent));
+            out.push_str(", \"method\": ");
+            push_escaped(out, method);
+            out.push_str(", \"path\": ");
+            push_escaped(out, path);
+            out.push_str(", \"model\": ");
+            push_escaped(out, model);
+            out.push_str(", \"table\": ");
+            push_escaped(out, table);
+            out.push_str(&format!(
+                ", \"status\": {status}, \"shed\": {shed}, \"batched\": {batched}, \
+                 \"queue_us\": {queue_us}, \"sim_us\": {sim_us}, \"dur_us\": {dur_us}"
+            ));
+        }
         Event::Backend {
             idx,
             addr,
@@ -552,6 +651,45 @@ mod tests {
         assert_eq!(span.get("name").and_then(|v| v.as_str()), Some("gen.breed"));
         assert_eq!(span.get("arg").and_then(|v| v.as_u64()), Some(3));
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn access_event_round_trips_with_hex_trace_ids() {
+        let j = Journal::new(8);
+        j.push(Event::Access {
+            trace: 0x0123_4567_89ab_cdef,
+            span: 0xfedc_ba98_7654_3210,
+            parent: 0,
+            method: "POST".into(),
+            path: "/simulate",
+            model: "table5-manual".into(),
+            table: "t".into(),
+            status: 200,
+            shed: false,
+            batched: true,
+            queue_us: 12,
+            sim_us: 340,
+            dur_us: 360,
+        });
+        let text = j.to_jsonl();
+        let mut lines = text.lines();
+        let header = crate::json::parse(lines.next().unwrap()).unwrap();
+        assert!(header.get("t0_unix_us").and_then(|v| v.as_u64()).is_some());
+        let e = crate::json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(e.get("type").and_then(|v| v.as_str()), Some("access"));
+        let trace = e.get("trace").and_then(|v| v.as_str()).unwrap();
+        assert_eq!(trace, "0123456789abcdef");
+        assert_eq!(parse_hex_id(trace), Some(0x0123_4567_89ab_cdef));
+        assert_eq!(
+            e.get("parent").and_then(|v| v.as_str()),
+            Some("0000000000000000")
+        );
+        assert_eq!(e.get("batched"), Some(&crate::json::Value::Bool(true)));
+        assert_eq!(e.get("queue_us").and_then(|v| v.as_u64()), Some(12));
+        // Rejects the shapes a header value must never take.
+        assert_eq!(parse_hex_id("0123"), None);
+        assert_eq!(parse_hex_id("0123456789ABCDEF"), None);
+        assert_eq!(parse_hex_id("0123456789abcdeg"), None);
     }
 
     #[test]

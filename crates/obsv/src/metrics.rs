@@ -137,20 +137,65 @@ impl Histogram {
     /// Upper-bound estimate of the `q`-quantile (`q` in `[0,1]`): the
     /// inclusive upper edge of the bucket holding that rank.
     pub fn quantile(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return (1u64 << (i + 1)) - 2; // upper edge: 2^(i+1) - 2
-            }
-        }
-        u64::MAX
+        let sparse: Vec<(usize, u64)> = self
+            .bucket_counts()
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        quantile_from_buckets(&sparse, q)
     }
+
+    /// Upper-bound estimate of the largest recorded sample (the upper
+    /// edge of the highest non-empty bucket; 0 when empty).
+    pub fn max_estimate(&self) -> u64 {
+        self.quantile(1.0)
+    }
+}
+
+/// Inclusive upper edge of bucket `i` (bucket `i` holds samples `v` with
+/// `ilog2(v+1) == i`, so the edge is `2^(i+1) - 2`).
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        return u64::MAX;
+    }
+    (1u64 << (i + 1)) - 2
+}
+
+/// [`Histogram::quantile`] over a sparse `(bucket_index, count)` snapshot
+/// — the form [`Sample::Histogram`] carries and the `/metrics` rollup
+/// ships across processes. Buckets need not be sorted; 0 when empty.
+pub fn quantile_from_buckets(buckets: &[(usize, u64)], q: f64) -> u64 {
+    let n: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if n == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+    let mut sorted: Vec<(usize, u64)> = buckets.to_vec();
+    sorted.sort_unstable();
+    let mut seen = 0u64;
+    for (i, c) in sorted {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper_edge(i);
+        }
+    }
+    u64::MAX
+}
+
+/// Merge one sparse bucket snapshot into an accumulator, summing counts
+/// per bucket index. Because every process buckets by the same
+/// `ilog2(v+1)` rule, a quantile over the merged buckets equals the
+/// quantile the fleet would report had every sample landed in one
+/// histogram (to bucket resolution).
+pub fn merge_buckets(acc: &mut Vec<(usize, u64)>, other: &[(usize, u64)]) {
+    for &(i, c) in other {
+        match acc.iter_mut().find(|(j, _)| *j == i) {
+            Some((_, n)) => *n += c,
+            None => acc.push((i, c)),
+        }
+    }
+    acc.sort_unstable();
 }
 
 /// One snapshotted metric value.
@@ -319,6 +364,64 @@ mod tests {
         // Median falls in the {1,2} bucket.
         assert!(h.quantile(0.5) >= 1 && h.quantile(0.5) < 7);
         assert!(h.quantile(1.0) >= 100);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.max_estimate(), 0);
+        assert_eq!(quantile_from_buckets(&[], 0.9), 0);
+        let mut acc = Vec::new();
+        merge_buckets(&mut acc, &[]);
+        assert_eq!(quantile_from_buckets(&acc, 0.5), 0);
+    }
+
+    /// Property: for pseudo-random sample sets split across N process
+    /// histograms, the quantile over the *merged* sparse buckets must
+    /// land in the same bucket as the quantile over one histogram fed
+    /// the concatenation of every sample — i.e. within one power-of-two
+    /// bucket of the truth the fleet would see centrally.
+    #[test]
+    fn merged_quantile_matches_concatenated_to_bucket_resolution() {
+        let mut state = 0x243f_6a88_85a3_08d3u64; // deterministic LCG
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for case in 0..50 {
+            let shards = 1 + (case % 4);
+            let mut merged: Vec<(usize, u64)> = Vec::new();
+            let concat = Histogram::new();
+            for _ in 0..shards {
+                let h = Histogram::new();
+                let n = 1 + next() % 200;
+                for _ in 0..n {
+                    // Mix magnitudes: exercise buckets 0..~20.
+                    let v = next() % (1 << (1 + next() % 20));
+                    h.record(v);
+                    concat.record(v);
+                }
+                let sparse: Vec<(usize, u64)> = h
+                    .bucket_counts()
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, c)| c > 0)
+                    .collect();
+                merge_buckets(&mut merged, &sparse);
+            }
+            for q in [0.5, 0.9, 0.99, 1.0] {
+                let got = quantile_from_buckets(&merged, q);
+                let want = concat.quantile(q);
+                assert_eq!(
+                    got, want,
+                    "case {case} q {q}: merged {got} vs concatenated {want}"
+                );
+            }
+        }
     }
 
     #[test]

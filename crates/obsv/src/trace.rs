@@ -7,7 +7,7 @@ use crate::json::{parse, Value};
 use std::collections::BTreeMap;
 
 /// Event `type` tags the validator accepts.
-pub const KNOWN_TYPES: [&str; 10] = [
+pub const KNOWN_TYPES: [&str; 12] = [
     "span",
     "gen",
     "elite",
@@ -18,6 +18,8 @@ pub const KNOWN_TYPES: [&str; 10] = [
     "metrics",
     "note",
     "request",
+    "access",
+    "backend",
 ];
 
 /// A parsed journal: the header object and one [`Value`] per event line.
@@ -52,6 +54,25 @@ fn require_u64(obj: &Value, key: &str, line: usize, errs: &mut Vec<String>) {
 fn require_str(obj: &Value, key: &str, line: usize, errs: &mut Vec<String>) {
     if obj.get(key).and_then(Value::as_str).is_none() {
         errs.push(format!("line {line}: missing or non-string field {key:?}"));
+    }
+}
+
+fn require_bool(obj: &Value, key: &str, line: usize, errs: &mut Vec<String>) {
+    if obj.get(key).and_then(Value::as_bool).is_none() {
+        errs.push(format!("line {line}: missing or non-boolean field {key:?}"));
+    }
+}
+
+fn require_hex_id(obj: &Value, key: &str, line: usize, errs: &mut Vec<String>) {
+    let ok = obj
+        .get(key)
+        .and_then(Value::as_str)
+        .and_then(crate::journal::parse_hex_id)
+        .is_some();
+    if !ok {
+        errs.push(format!(
+            "line {line}: field {key:?} must be a 16-digit lowercase hex id"
+        ));
     }
 }
 
@@ -227,6 +248,28 @@ pub fn validate(src: &str) -> Vec<String> {
                 require_str(&obj, "endpoint", lineno, &mut errs);
                 for key in ["status", "dur_us", "batch"] {
                     require_u64(&obj, key, lineno, &mut errs);
+                }
+            }
+            Some("access") => {
+                for key in ["trace", "span", "parent"] {
+                    require_hex_id(&obj, key, lineno, &mut errs);
+                }
+                for key in ["method", "path", "model", "table"] {
+                    require_str(&obj, key, lineno, &mut errs);
+                }
+                for key in ["status", "queue_us", "sim_us", "dur_us"] {
+                    require_u64(&obj, key, lineno, &mut errs);
+                }
+                for key in ["shed", "batched"] {
+                    require_bool(&obj, key, lineno, &mut errs);
+                }
+            }
+            Some("backend") => {
+                for key in ["idx", "restarts"] {
+                    require_u64(&obj, key, lineno, &mut errs);
+                }
+                for key in ["addr", "state"] {
+                    require_str(&obj, key, lineno, &mut errs);
                 }
             }
             _ => {}
@@ -520,6 +563,9 @@ pub fn to_chrome(src: &str) -> Result<String, String> {
                     ),
                 );
             }
+            Some("access") => {
+                push_event(&mut out, access_x_event(e, 1, 0));
+            }
             _ => {}
         }
     }
@@ -533,6 +579,271 @@ pub fn to_chrome(src: &str) -> Result<String, String> {
     }
     out.push_str("\n]}\n");
     Ok(out)
+}
+
+/// The synthetic Chrome tid `access` events render on (they carry no
+/// worker thread id of their own).
+const ACCESS_TID: u64 = 1_000_000;
+
+/// Render one `access` event as a Chrome `X` complete event on `pid`'s
+/// access track, time-shifted by `offset` µs. The span covers
+/// `[t_us - dur_us, t_us]` — the event is emitted when the response is
+/// written, so its end is the record timestamp.
+fn access_x_event(e: &Value, pid: usize, offset: u64) -> String {
+    let path = e.get("path").and_then(Value::as_str).unwrap_or("?");
+    let t_us = e.get("t_us").and_then(Value::as_u64).unwrap_or(0);
+    let dur = e.get("dur_us").and_then(Value::as_u64).unwrap_or(0);
+    let start = t_us.saturating_sub(dur) + offset;
+    let mut esc = String::new();
+    crate::json::push_escaped(&mut esc, &format!("access {path}"));
+    let s = |key: &str| e.get(key).and_then(Value::as_str).unwrap_or("").to_string();
+    let n = |key: &str| e.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let b = |key: &str| e.get(key).and_then(Value::as_bool).unwrap_or(false);
+    let mut args = String::new();
+    for key in ["trace", "span", "parent", "model", "table"] {
+        args.push_str(&format!(", \"{key}\": "));
+        crate::json::push_escaped(&mut args, &s(key));
+    }
+    format!(
+        "{{\"name\": {esc}, \"ph\": \"X\", \"pid\": {pid}, \"tid\": {ACCESS_TID}, \
+         \"ts\": {start}, \"dur\": {dur}, \"args\": {{\"status\": {}, \"queue_us\": {}, \
+         \"sim_us\": {}, \"shed\": {}, \"batched\": {}{args}}}}}",
+        n("status"),
+        n("queue_us"),
+        n("sim_us"),
+        b("shed"),
+        b("batched"),
+    )
+}
+
+/// The result of stitching one gateway journal plus N backend journals.
+pub struct Stitched {
+    /// Chrome trace-event JSON covering every process.
+    pub chrome: String,
+    /// Gateway `/simulate` hops that carried a trace id and succeeded.
+    pub hops: usize,
+    /// Hops that resolved to exactly one backend `access` span.
+    pub resolved: usize,
+    /// Human-readable descriptions of every unresolved or ambiguous hop.
+    pub orphans: Vec<String>,
+}
+
+/// Merge journals from the gateway (first input) and its backends (the
+/// rest) into one cross-process Chrome trace: one `pid` per process,
+/// every span and `access` event on a wall-clock-aligned timeline, and
+/// flow arrows connecting each gateway hop to the backend `access` span
+/// that served it and each backend `access` span to the VM-sweep span
+/// its simulation ran in (batch members fan into their shared sweep).
+///
+/// Inputs are `(label, jsonl)` pairs. Every journal is strictly
+/// validated first; any validation failure aborts the stitch. A
+/// successfully proxied gateway `/simulate` hop (status 200) that does
+/// not match exactly one backend `access` event is reported in
+/// `orphans` — the CLI turns a non-empty list into a non-zero exit.
+pub fn stitch(inputs: &[(String, String)]) -> Result<Stitched, String> {
+    if inputs.len() < 2 {
+        return Err("stitch needs a gateway journal plus at least one backend journal".into());
+    }
+    let mut parsed = Vec::new();
+    for (label, src) in inputs {
+        let errs = validate(src);
+        if !errs.is_empty() {
+            return Err(format!("journal {label:?} invalid: {}", errs.join("; ")));
+        }
+        let j = parse_journal(src)?;
+        let t0 = j
+            .header
+            .get("t0_unix_us")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| {
+                format!("journal {label:?} has no t0_unix_us anchor — cannot align timelines")
+            })?;
+        parsed.push((label.as_str(), t0, j));
+    }
+    let base = parsed.iter().map(|(_, t0, _)| *t0).min().unwrap_or(0);
+
+    let mut out = String::from("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push_event = |out: &mut String, body: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        out.push_str(&body);
+    };
+
+    // Backend access events by trace id, and per-backend sweep spans by
+    // trace id (the batcher stamps each member span's `arg` with the
+    // member's trace id), collected up front so the gateway pass can
+    // resolve hops and emit flows in one sweep.
+    struct Hit {
+        pid: usize,
+        ts: u64, // aligned start of the target event
+        tid: u64,
+    }
+    let mut backend_access: BTreeMap<String, Vec<Hit>> = BTreeMap::new();
+    let mut sweep_members: BTreeMap<(usize, u64), Vec<Hit>> = BTreeMap::new();
+    for (pid0, (_, t0, j)) in parsed.iter().enumerate().skip(1) {
+        let pid = pid0 + 1;
+        let offset = t0 - base;
+        for e in &j.events {
+            match e.get("type").and_then(Value::as_str) {
+                Some("access") => {
+                    if let Some(trace) = e.get("trace").and_then(Value::as_str) {
+                        let t_us = e.get("t_us").and_then(Value::as_u64).unwrap_or(0);
+                        let dur = e.get("dur_us").and_then(Value::as_u64).unwrap_or(0);
+                        backend_access
+                            .entry(trace.to_string())
+                            .or_default()
+                            .push(Hit {
+                                pid,
+                                ts: t_us.saturating_sub(dur) + offset,
+                                tid: ACCESS_TID,
+                            });
+                    }
+                }
+                Some("span")
+                    if e.get("name").and_then(Value::as_str) == Some("serve.sweep.member") =>
+                {
+                    if let Some(trace) = e.get("arg").and_then(Value::as_u64) {
+                        let start = e.get("start_us").and_then(Value::as_u64).unwrap_or(0);
+                        let tid = e.get("tid").and_then(Value::as_u64).unwrap_or(0);
+                        sweep_members.entry((pid, trace)).or_default().push(Hit {
+                            pid,
+                            ts: start + offset,
+                            tid,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut hops = 0usize;
+    let mut resolved = 0usize;
+    let mut orphans = Vec::new();
+    for (pid0, (label, t0, j)) in parsed.iter().enumerate() {
+        let pid = pid0 + 1;
+        let offset = t0 - base;
+        let mut esc = String::new();
+        crate::json::push_escaped(&mut esc, label);
+        push_event(
+            &mut out,
+            format!("{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"args\": {{\"name\": {esc}}}}}"),
+        );
+        let mut tids_seen: Vec<u64> = Vec::new();
+        for e in &j.events {
+            match e.get("type").and_then(Value::as_str) {
+                Some("span") => {
+                    let name = e.get("name").and_then(Value::as_str).unwrap_or("?");
+                    let tid = e.get("tid").and_then(Value::as_u64).unwrap_or(0);
+                    let start = e.get("start_us").and_then(Value::as_u64).unwrap_or(0) + offset;
+                    let dur = e.get("dur_us").and_then(Value::as_u64).unwrap_or(0);
+                    if !tids_seen.contains(&tid) {
+                        tids_seen.push(tid);
+                    }
+                    let mut esc = String::new();
+                    crate::json::push_escaped(&mut esc, name);
+                    let arg = e
+                        .get("arg")
+                        .and_then(Value::as_u64)
+                        .map(|a| format!(", \"args\": {{\"arg\": {a}}}"))
+                        .unwrap_or_default();
+                    push_event(
+                        &mut out,
+                        format!(
+                            "{{\"name\": {esc}, \"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {start}, \"dur\": {dur}{arg}}}"
+                        ),
+                    );
+                }
+                Some("access") => {
+                    push_event(&mut out, access_x_event(e, pid, offset));
+                    let trace = e.get("trace").and_then(Value::as_str).unwrap_or("");
+                    let t_us = e.get("t_us").and_then(Value::as_u64).unwrap_or(0);
+                    let dur = e.get("dur_us").and_then(Value::as_u64).unwrap_or(0);
+                    let start = t_us.saturating_sub(dur) + offset;
+                    if pid == 1 {
+                        // A successfully proxied simulate hop must have
+                        // landed on exactly one backend.
+                        let path = e.get("path").and_then(Value::as_str).unwrap_or("");
+                        let status = e.get("status").and_then(Value::as_u64).unwrap_or(0);
+                        if path == "gw:/simulate" && status == 200 {
+                            hops += 1;
+                            match backend_access.get(trace).map(Vec::as_slice) {
+                                Some([hit]) => {
+                                    resolved += 1;
+                                    push_event(
+                                        &mut out,
+                                        format!(
+                                            "{{\"name\": \"hop\", \"cat\": \"trace\", \"ph\": \"s\", \"id\": \"{trace}\", \"pid\": 1, \"tid\": {ACCESS_TID}, \"ts\": {start}}}"
+                                        ),
+                                    );
+                                    push_event(
+                                        &mut out,
+                                        format!(
+                                            "{{\"name\": \"hop\", \"cat\": \"trace\", \"ph\": \"f\", \"bp\": \"e\", \"id\": \"{trace}\", \"pid\": {}, \"tid\": {}, \"ts\": {}}}",
+                                            hit.pid, hit.tid, hit.ts
+                                        ),
+                                    );
+                                }
+                                Some(hits) => orphans.push(format!(
+                                    "trace {trace}: gateway hop matches {} backend access spans",
+                                    hits.len()
+                                )),
+                                None => orphans.push(format!(
+                                    "trace {trace}: gateway hop has no backend access span"
+                                )),
+                            }
+                        }
+                    } else if let Some(id) = crate::journal::parse_hex_id(trace) {
+                        // Backend access → the sweep-member span its
+                        // simulation ran in (batch members share a sweep).
+                        if let Some(hits) = sweep_members.get(&(pid, id)) {
+                            for hit in hits {
+                                push_event(
+                                    &mut out,
+                                    format!(
+                                        "{{\"name\": \"sweep\", \"cat\": \"trace\", \"ph\": \"s\", \"id\": \"{trace}-sweep\", \"pid\": {pid}, \"tid\": {ACCESS_TID}, \"ts\": {start}}}"
+                                    ),
+                                );
+                                push_event(
+                                    &mut out,
+                                    format!(
+                                        "{{\"name\": \"sweep\", \"cat\": \"trace\", \"ph\": \"f\", \"bp\": \"e\", \"id\": \"{trace}-sweep\", \"pid\": {}, \"tid\": {}, \"ts\": {}}}",
+                                        hit.pid, hit.tid, hit.ts
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for tid in tids_seen {
+            push_event(
+                &mut out,
+                format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"name\": \"worker-{tid}\"}}}}"
+                ),
+            );
+        }
+        push_event(
+            &mut out,
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {ACCESS_TID}, \"args\": {{\"name\": \"access\"}}}}"
+            ),
+        );
+    }
+    out.push_str("\n]}\n");
+    Ok(Stitched {
+        chrome: out,
+        hops,
+        resolved,
+        orphans,
+    })
 }
 
 #[cfg(test)]
@@ -660,6 +971,92 @@ mod tests {
         assert!(s.contains("pool utilization"), "{s}");
         assert!(s.contains("elite changes"), "{s}");
         assert!(s.contains("seed 42"), "{s}");
+    }
+
+    fn access(trace: u64, parent: u64, path: &'static str, status: u16) -> Event {
+        Event::Access {
+            trace,
+            span: trace ^ 0xff,
+            parent,
+            method: "POST".into(),
+            path,
+            model: "m".into(),
+            table: "t".into(),
+            status,
+            shed: false,
+            batched: true,
+            queue_us: 5,
+            sim_us: 80,
+            dur_us: 100,
+        }
+    }
+
+    #[test]
+    fn stitch_connects_gateway_hops_to_backend_spans() {
+        let gw = Journal::new(64);
+        gw.push(access(0xaaaa, 0, "gw:/simulate", 200));
+        gw.push(access(0xbbbb, 0, "gw:/simulate", 200));
+        let be = Journal::new(64);
+        be.push(access(0xaaaa, 0xaaaa ^ 0xff, "/simulate", 200));
+        be.push(access(0xbbbb, 0xbbbb ^ 0xff, "/simulate", 200));
+        be.push(Event::Span {
+            name: "serve.sweep.member",
+            tid: 3,
+            depth: 1,
+            start_us: 50,
+            dur_us: 80,
+            arg: Some(0xaaaa),
+        });
+        let inputs = vec![
+            ("gateway".to_string(), gw.to_jsonl()),
+            ("backend-0".to_string(), be.to_jsonl()),
+        ];
+        let s = stitch(&inputs).expect("stitch");
+        assert_eq!(s.hops, 2);
+        assert_eq!(s.resolved, 2);
+        assert!(s.orphans.is_empty(), "{:?}", s.orphans);
+        let v = crate::json::parse(&s.chrome).expect("chrome JSON");
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let ph = |tag: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some(tag))
+                .count()
+        };
+        assert_eq!(ph("s"), 3, "2 hop flows + 1 sweep flow start");
+        assert_eq!(ph("f"), 3);
+        assert!(events
+            .iter()
+            .any(|e| e.get("pid").and_then(Value::as_u64) == Some(2)));
+        // Both hop flow ids carry the greppable hex trace id.
+        assert!(s.chrome.contains(&crate::journal::hex_id(0xaaaa)));
+    }
+
+    #[test]
+    fn stitch_reports_orphaned_hops_and_rejects_invalid_journals() {
+        let gw = Journal::new(64);
+        gw.push(access(0xcccc, 0, "gw:/simulate", 200));
+        let be = Journal::new(64);
+        be.push(access(0xdddd, 0, "/simulate", 200));
+        let inputs = vec![
+            ("gateway".to_string(), gw.to_jsonl()),
+            ("backend-0".to_string(), be.to_jsonl()),
+        ];
+        let s = stitch(&inputs).expect("stitch");
+        assert_eq!(s.hops, 1);
+        assert_eq!(s.resolved, 0);
+        assert_eq!(s.orphans.len(), 1);
+        assert!(s.orphans[0].contains("no backend access span"));
+        // A truncated backend journal aborts the stitch entirely.
+        let text = be.to_jsonl();
+        let cut = text[..text.len() - 10].to_string();
+        let bad = vec![
+            ("gateway".to_string(), gw.to_jsonl()),
+            ("b".to_string(), cut),
+        ];
+        assert!(stitch(&bad).is_err());
+        // A lone journal is not a stitch.
+        assert!(stitch(&inputs[..1]).is_err());
     }
 
     #[test]

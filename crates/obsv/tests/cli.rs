@@ -125,6 +125,107 @@ fn chrome_conversion_emits_parsable_trace_events() {
     std::fs::remove_file(&out_path).ok();
 }
 
+fn access(trace: u64, parent: u64, path: &'static str, status: u16) -> Event {
+    Event::Access {
+        trace,
+        span: trace ^ 0x5555,
+        parent,
+        method: "POST".into(),
+        path,
+        model: "table5-manual".into(),
+        table: "target".into(),
+        status,
+        shed: false,
+        batched: false,
+        queue_us: 10,
+        sim_us: 100,
+        dur_us: 150,
+    }
+}
+
+#[test]
+fn stitch_cli_merges_journals_and_fails_on_orphans() {
+    let gw_path = tmp("stitch-gw.jsonl");
+    let b0_path = tmp("stitch-b0.jsonl");
+    let out_path = tmp("stitch-out.json");
+
+    let gw = Journal::new(256);
+    gw.push(access(0xbeef, 0, "gw:/simulate", 200));
+    std::fs::write(&gw_path, gw.to_jsonl()).unwrap();
+
+    let b0 = Journal::new(256);
+    b0.push(access(0xbeef, 0x1111, "/simulate", 200));
+    b0.push(Event::Span {
+        name: "serve.sweep.member",
+        tid: 0,
+        depth: 1,
+        start_us: 40,
+        dur_us: 100,
+        arg: Some(0xbeef),
+    });
+    std::fs::write(&b0_path, b0.to_jsonl()).unwrap();
+
+    let out = Command::new(trace_bin())
+        .args([
+            "stitch",
+            gw_path.to_str().unwrap(),
+            b0_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let chrome = std::fs::read_to_string(&out_path).unwrap();
+    let v = gmr_obsv::json::parse(&chrome).expect("stitched output must be valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(gmr_obsv::json::Value::as_arr)
+        .expect("traceEvents array");
+    // One flow start + finish pair connecting the gateway hop to the
+    // backend, in distinct processes.
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(gmr_obsv::json::Value::as_str) == Some("s")));
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(gmr_obsv::json::Value::as_str) == Some("f")));
+    assert!(events
+        .iter()
+        .any(|e| e.get("pid").and_then(gmr_obsv::json::Value::as_u64) == Some(2)));
+
+    // A gateway hop no backend recorded is an orphan: non-zero exit.
+    let gw2 = Journal::new(256);
+    gw2.push(access(0xdead, 0, "gw:/simulate", 200));
+    std::fs::write(&gw_path, gw2.to_jsonl()).unwrap();
+    let out = Command::new(trace_bin())
+        .args([
+            "stitch",
+            gw_path.to_str().unwrap(),
+            b0_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "orphaned hop must fail the stitch");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("orphaned"), "{err}");
+
+    // Too few inputs is a usage error.
+    let out = Command::new(trace_bin())
+        .args(["stitch", gw_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_file(&gw_path).ok();
+    std::fs::remove_file(&b0_path).ok();
+    std::fs::remove_file(&out_path).ok();
+}
+
 #[test]
 fn validate_rejects_truncated_journal() {
     let text = sample_journal_text();

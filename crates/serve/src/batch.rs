@@ -271,6 +271,10 @@ pub struct SimOutcome {
     pub result: Result<SimOutput, (u16, String)>,
     /// Jobs coalesced into the sweep that served this one (1 = solo).
     pub batch: usize,
+    /// Microseconds the job waited between enqueue and execution.
+    pub queue_us: u64,
+    /// Microseconds of simulation (the job's sweep or solo run).
+    pub sim_us: u64,
 }
 
 /// One enqueued `/simulate` job.
@@ -279,6 +283,12 @@ pub struct SimJob {
     pub model: Arc<ServableModel>,
     /// The validated request.
     pub request: SimRequest,
+    /// The request's trace context; the batcher stamps each job's sweep
+    /// span with `ctx.trace` so `gmr-trace stitch` can fan coalesced
+    /// batch members into their shared sweep.
+    pub ctx: crate::trace::TraceCtx,
+    /// When the worker enqueued the job (queue-wait attribution).
+    pub enqueued: Instant,
     /// Where the outcome goes (the worker blocks on the paired receiver).
     pub reply: Sender<SimOutcome>,
 }
@@ -566,11 +576,26 @@ fn flush(jobs: Vec<SimJob>, tables: &Tables, registry: &ModelRegistry) {
         }
     }
     for job in solo {
+        let queue_us = job.enqueued.elapsed().as_micros() as u64;
+        let start_us = gmr_obsv::now_us();
+        let t0 = Instant::now();
         let result = match registry.touch(&job.request.model) {
             Some(hot) => run_solo(&job, tables, &hot.system),
             None => Err((404, format!("no model {:?}", job.request.model))),
         };
-        let _ = job.reply.send(SimOutcome { result, batch: 1 });
+        let sim_us = t0.elapsed().as_micros() as u64;
+        gmr_obsv::span::record_external(
+            "serve.sweep.member",
+            start_us,
+            sim_us,
+            Some(job.ctx.trace),
+        );
+        let _ = job.reply.send(SimOutcome {
+            result,
+            batch: 1,
+            queue_us,
+            sim_us,
+        });
     }
     for (key, group) in groups {
         let n = group.len();
@@ -578,7 +603,12 @@ fn flush(jobs: Vec<SimJob>, tables: &Tables, registry: &ModelRegistry) {
         let Some(hot) = registry.touch(&key.0) else {
             for (job, _) in group {
                 let result = Err((404, format!("no model {:?}", key.0)));
-                let _ = job.reply.send(SimOutcome { result, batch: 1 });
+                let _ = job.reply.send(SimOutcome {
+                    result,
+                    batch: 1,
+                    queue_us: job.enqueued.elapsed().as_micros() as u64,
+                    sim_us: 0,
+                });
             }
             continue;
         };
@@ -599,11 +629,30 @@ fn flush(jobs: Vec<SimJob>, tables: &Tables, registry: &ModelRegistry) {
                 break;
             }
             let inits: Vec<(f64, f64)> = chunk.iter().map(|(j, _)| j.request.init).collect();
+            let waited: Vec<u64> = chunk
+                .iter()
+                .map(|(j, _)| j.enqueued.elapsed().as_micros() as u64)
+                .collect();
+            let start_us = gmr_obsv::now_us();
+            let t0 = Instant::now();
             let results = simulate_many_with_prefix(&hot.system, rows, &inits, dt, cap, &prefix);
-            for ((job, _), (bphy, bzoo)) in chunk.into_iter().zip(results) {
+            let sim_us = t0.elapsed().as_micros() as u64;
+            // One member span per job, all covering the shared sweep
+            // interval and each carrying its own trace id — this is what
+            // lets `gmr-trace stitch` fan coalesced requests into the
+            // sweep that served them.
+            for (((job, _), (bphy, bzoo)), queue_us) in chunk.into_iter().zip(results).zip(waited) {
+                gmr_obsv::span::record_external(
+                    "serve.sweep.member",
+                    start_us,
+                    sim_us,
+                    Some(job.ctx.trace),
+                );
                 let _ = job.reply.send(SimOutcome {
                     result: Ok(SimOutput::Single { bphy, bzoo }),
                     batch: n,
+                    queue_us,
+                    sim_us,
                 });
             }
         }
@@ -778,6 +827,8 @@ mod tests {
                     network: false,
                     station: None,
                 },
+                ctx: crate::trace::TraceCtx::mint(),
+                enqueued: Instant::now(),
                 reply,
             })
             .unwrap();

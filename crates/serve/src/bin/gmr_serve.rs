@@ -39,7 +39,7 @@ fn usage() -> ExitCode {
        gmr-serve cluster --backends N [--addr A] [--artifacts DIR] [--port-file P]
                          [--journal P] [--hot-models N] [serve flags forwarded to backends]
        gmr-serve export --out PATH
-       gmr-serve request ADDR METHOD PATH [--data JSON | --body FILE] [--repeat N]"
+       gmr-serve request ADDR METHOD PATH [--data JSON | --body FILE] [--repeat N] [-v]"
     );
     ExitCode::from(2)
 }
@@ -356,6 +356,7 @@ fn cmd_request(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let verbose = args.iter().any(|a| a == "-v" || a == "--verbose");
     // One keep-alive connection for the whole sequence: `--repeat N`
     // rides a single TCP stream instead of paying a handshake per call.
     let mut client = Client::new(addr);
@@ -364,6 +365,14 @@ fn cmd_request(args: &[String]) -> ExitCode {
         match client.request(method, path, &body) {
             Ok(resp) => {
                 eprintln!("HTTP {}", resp.status);
+                if verbose {
+                    // The trace id the request was served under — grep the
+                    // gateway/backend journals (or a stitched trace) for it.
+                    match &resp.trace {
+                        Some(t) => eprintln!("X-Gmr-Trace: {t}"),
+                        None => eprintln!("X-Gmr-Trace: (none)"),
+                    }
+                }
                 print!("{}", String::from_utf8_lossy(&resp.body));
                 if !(200..300).contains(&resp.status) {
                     code = ExitCode::FAILURE;

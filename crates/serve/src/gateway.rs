@@ -24,10 +24,13 @@
 //!   hang.
 
 use crate::http::{self, HttpError, Request};
-use crate::server::{read_response_full, write_request, Response};
+use crate::server::{read_response_full, write_request_traced, Response};
+use crate::trace::TraceCtx;
 use gmr_json::Value;
 use gmr_obsv::journal::Event;
-use gmr_obsv::metrics::{snapshot_json, Counter, Histogram, Registry};
+use gmr_obsv::metrics::{
+    merge_buckets, quantile_from_buckets, snapshot_json, Counter, Histogram, Registry,
+};
 use std::collections::VecDeque;
 use std::io::{self, BufReader, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -167,6 +170,10 @@ pub struct GatewayConfig {
     /// Socket timeout for backend exchanges. Bounds how long a proxied
     /// request can hold a gateway worker — "drain or 429, never hang".
     pub backend_timeout: Duration,
+    /// SLO latency target for proxied `/simulate` requests, milliseconds:
+    /// a request is "good" when it returns 200 within this bound. Drives
+    /// the `slo` section of the gateway's `/metrics`.
+    pub slo_target_ms: u64,
 }
 
 impl Default for GatewayConfig {
@@ -178,6 +185,7 @@ impl Default for GatewayConfig {
             read_timeout: Duration::from_millis(250),
             max_idle_reads: 40,
             backend_timeout: Duration::from_secs(30),
+            slo_target_ms: 250,
         }
     }
 }
@@ -192,10 +200,28 @@ struct GatewayMetrics {
     failovers: Arc<Counter>,
     backend_down: Arc<Counter>,
     latency_us: Arc<Histogram>,
+    /// Per-route latency, index-aligned with [`ROUTE_TAGS`].
+    route_latency: Vec<Arc<Histogram>>,
+    /// Per-backend proxied-exchange latency, index = slot.
+    backend_latency: Vec<Arc<Histogram>>,
+    /// Proxied `/simulate` requests answered 200 within the SLO target.
+    slo_good: Arc<Counter>,
+    /// All proxied `/simulate` requests (the SLO denominator).
+    slo_total: Arc<Counter>,
 }
 
+/// Every endpoint tag [`endpoint_tag`] can return, in one fixed order so
+/// per-route histograms are pre-registered rather than created per hit.
+const ROUTE_TAGS: [&str; 5] = [
+    "gw:/healthz",
+    "gw:/models",
+    "gw:/simulate",
+    "gw:/metrics",
+    "gw:(other)",
+];
+
 impl GatewayMetrics {
-    fn new() -> GatewayMetrics {
+    fn new(backends: usize) -> GatewayMetrics {
         let registry = Registry::new();
         GatewayMetrics {
             requests: registry.counter("gateway.requests_total"),
@@ -204,7 +230,22 @@ impl GatewayMetrics {
             failovers: registry.counter("gateway.failovers_total"),
             backend_down: registry.counter("gateway.backend_down_total"),
             latency_us: registry.histogram("gateway.latency_us"),
+            route_latency: ROUTE_TAGS
+                .iter()
+                .map(|t| registry.histogram(&format!("gateway.route.{t}.latency_us")))
+                .collect(),
+            backend_latency: (0..backends)
+                .map(|b| registry.histogram(&format!("gateway.backend.{b}.latency_us")))
+                .collect(),
+            slo_good: registry.counter("gateway.slo_good"),
+            slo_total: registry.counter("gateway.slo_total"),
             registry,
+        }
+    }
+
+    fn record_route(&self, tag: &str, dur_us: u64) {
+        if let Some(i) = ROUTE_TAGS.iter().position(|t| *t == tag) {
+            self.route_latency[i].record(dur_us);
         }
     }
 }
@@ -251,10 +292,11 @@ impl Gateway {
         let addr = listener.local_addr()?;
         let workers = self.config.workers.max(1);
         let ring = Ring::new(self.slots.len());
+        let metrics = GatewayMetrics::new(self.slots.len());
         let shared = Arc::new(GwShared {
             slots: self.slots,
             ring,
-            metrics: GatewayMetrics::new(),
+            metrics,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(VecDeque::new()),
             conns_ready: Condvar::new(),
@@ -320,20 +362,38 @@ fn accept_loop(listener: TcpListener, shared: &GwShared) {
                     // the door with 429 + Retry-After, like a backend.
                     shared.metrics.shed.inc();
                     shared.metrics.requests.inc();
+                    let ctx = TraceCtx::mint();
                     let mut stream = stream;
                     let _ = stream.set_nodelay(true);
-                    let _ = http::write_response(
+                    let _ = http::write_response_traced(
                         &mut stream,
                         429,
                         "application/json",
                         &http::error_body("gateway connection queue full"),
                         true,
+                        None,
+                        Some(&ctx.header_value()),
                     );
                     gmr_obsv::emit(Event::Request {
                         endpoint: "gw:(accept)",
                         status: 429,
                         dur_us: 0,
                         batch: 0,
+                    });
+                    gmr_obsv::emit(Event::Access {
+                        trace: ctx.trace,
+                        span: ctx.span,
+                        parent: ctx.parent,
+                        method: "-".into(),
+                        path: "gw:(accept)",
+                        model: String::new(),
+                        table: String::new(),
+                        status: 429,
+                        shed: true,
+                        batched: false,
+                        queue_us: 0,
+                        sim_us: 0,
+                        dur_us: 0,
                     });
                 } else {
                     q.push_back(stream);
@@ -374,23 +434,24 @@ impl BackendPool {
         method: &str,
         path: &str,
         body: &[u8],
+        trace: Option<&str>,
     ) -> io::Result<Response> {
         let reused = matches!(&self.conns[b], Some((a, _)) if *a == addr);
         if !reused {
             self.conns[b] = Some((addr, self.connect(addr)?));
         }
-        match self.try_exchange(b, method, path, body) {
+        match self.try_exchange(b, method, path, body, trace) {
             // A 408 surfacing on a *reused* connection is the backend's
             // idle-close notice that raced our write, never an answer to
             // the request we just sent — replay on a fresh socket.
             Ok(resp) if reused && resp.status == 408 => {
                 self.conns[b] = Some((addr, self.connect(addr)?));
-                self.try_exchange(b, method, path, body)
+                self.try_exchange(b, method, path, body, trace)
             }
             Ok(resp) => Ok(resp),
             Err(e) if reused => {
                 self.conns[b] = Some((addr, self.connect(addr).map_err(|_| e)?));
-                self.try_exchange(b, method, path, body)
+                self.try_exchange(b, method, path, body, trace)
             }
             Err(e) => {
                 self.conns[b] = None;
@@ -413,9 +474,10 @@ impl BackendPool {
         method: &str,
         path: &str,
         body: &[u8],
+        trace: Option<&str>,
     ) -> io::Result<Response> {
         let (_, conn) = self.conns[b].as_mut().expect("connection just ensured");
-        let r = write_request(&mut conn.get_ref(), method, path, body, false)
+        let r = write_request_traced(&mut conn.get_ref(), method, path, body, false, trace)
             .and_then(|()| read_response_full(conn));
         match r {
             Ok(resp) => {
@@ -471,27 +533,61 @@ fn handle_connection(stream: TcpStream, shared: &GwShared, pool: &mut BackendPoo
             Ok(Some(req)) => {
                 idle = 0;
                 let close = req.wants_close() || shared.draining();
+                // The gateway is normally the trace root; adopting lets a
+                // caller that already has a context (tests, another tier)
+                // keep the chain intact.
+                let ctx = TraceCtx::from_header(req.header("x-gmr-trace"));
+                let tag = endpoint_tag(&req.path);
                 let t0 = Instant::now();
-                let (status, body, retry_after) = dispatch(&req, shared, pool);
+                let served = dispatch(&req, shared, pool, ctx);
                 let dur_us = t0.elapsed().as_micros() as u64;
+                let status = served.status;
                 shared.metrics.requests.inc();
                 if status == 429 {
                     shared.metrics.shed.inc();
                 }
                 shared.metrics.latency_us.record(dur_us);
+                shared.metrics.record_route(tag, dur_us);
+                if let Some(b) = served.backend {
+                    shared.metrics.backend_latency[b].record(served.upstream_us);
+                }
+                if tag == "gw:/simulate" {
+                    shared.metrics.slo_total.inc();
+                    if status == 200 && dur_us <= shared.config.slo_target_ms * 1000 {
+                        shared.metrics.slo_good.inc();
+                    }
+                }
                 gmr_obsv::emit(Event::Request {
-                    endpoint: endpoint_tag(&req.path),
+                    endpoint: tag,
                     status,
                     dur_us,
                     batch: 0,
                 });
-                if http::write_response_retry(
+                gmr_obsv::emit(Event::Access {
+                    trace: ctx.trace,
+                    span: ctx.span,
+                    parent: ctx.parent,
+                    method: req.method.clone(),
+                    path: tag,
+                    model: served.model,
+                    table: served.table,
+                    status,
+                    // A 429 here is a backend's shed relayed verbatim; the
+                    // gateway's own sheds happen in the accept loop.
+                    shed: false,
+                    batched: false,
+                    queue_us: 0,
+                    sim_us: served.upstream_us,
+                    dur_us,
+                });
+                if http::write_response_traced(
                     &mut writer,
                     status,
                     "application/json",
-                    &body,
+                    &served.body,
                     close,
-                    retry_after,
+                    served.retry_after,
+                    Some(&ctx.header_value()),
                 )
                 .is_err()
                     || close
@@ -544,12 +640,50 @@ fn endpoint_tag(path: &str) -> &'static str {
     }
 }
 
-/// Route one request: `(status, body, retry_after)`.
-fn dispatch(
-    req: &Request,
-    shared: &GwShared,
-    pool: &mut BackendPool,
-) -> (u16, Vec<u8>, Option<u64>) {
+/// What one gateway dispatch produced: the response to relay plus the
+/// attribution the `access` event and per-backend metrics record.
+struct GwServed {
+    status: u16,
+    body: Vec<u8>,
+    retry_after: Option<u64>,
+    /// Model named by a `/simulate` body.
+    model: String,
+    /// Routing table name (`"(inline)"` for shipped rows).
+    table: String,
+    /// Backend slot that answered, when one did.
+    backend: Option<usize>,
+    /// Microseconds spent in the answering backend exchange.
+    upstream_us: u64,
+}
+
+impl GwServed {
+    fn plain(status: u16, body: Vec<u8>) -> GwServed {
+        GwServed {
+            status,
+            body,
+            retry_after: None,
+            model: String::new(),
+            table: String::new(),
+            backend: None,
+            upstream_us: 0,
+        }
+    }
+
+    fn relayed(resp: Response, backend: usize, upstream_us: u64) -> GwServed {
+        GwServed {
+            status: resp.status,
+            body: resp.body,
+            retry_after: resp.retry_after,
+            model: String::new(),
+            table: String::new(),
+            backend: Some(backend),
+            upstream_us,
+        }
+    }
+}
+
+/// Route one request.
+fn dispatch(req: &Request, shared: &GwShared, pool: &mut BackendPool, ctx: TraceCtx) -> GwServed {
     let path = req.path.split('?').next().unwrap_or(&req.path);
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
@@ -561,17 +695,16 @@ fn dispatch(
                 alive,
                 shared.draining()
             );
-            (200, body.into_bytes(), None)
+            GwServed::plain(200, body.into_bytes())
         }
-        ("GET", "/models") => forward_any(req, shared, pool, "GET", "/models"),
-        ("GET", "/metrics") => (200, rollup_metrics(shared, pool), None),
-        ("POST", "/simulate") => proxy_simulate(req, shared, pool),
-        ("GET", "/simulate") | ("POST", "/healthz" | "/models" | "/metrics") => (
+        ("GET", "/models") => forward_any(req, shared, pool, "GET", "/models", ctx),
+        ("GET", "/metrics") => GwServed::plain(200, rollup_metrics(shared, pool)),
+        ("POST", "/simulate") => proxy_simulate(req, shared, pool, ctx),
+        ("GET", "/simulate") | ("POST", "/healthz" | "/models" | "/metrics") => GwServed::plain(
             405,
             http::error_body("method not allowed for this endpoint"),
-            None,
         ),
-        _ => (404, http::error_body("no such endpoint"), None),
+        _ => GwServed::plain(404, http::error_body("no such endpoint")),
     }
 }
 
@@ -583,15 +716,18 @@ fn forward_any(
     pool: &mut BackendPool,
     method: &str,
     path: &str,
-) -> (u16, Vec<u8>, Option<u64>) {
+    ctx: TraceCtx,
+) -> GwServed {
+    let header = ctx.header_value();
     for (b, slot) in shared.slots.iter().enumerate() {
         let Some(addr) = slot.addr() else { continue };
-        match pool.exchange(b, addr, method, path, b"") {
-            Ok(resp) => return (resp.status, resp.body, resp.retry_after),
+        let t0 = Instant::now();
+        match pool.exchange(b, addr, method, path, b"", Some(&header)) {
+            Ok(resp) => return GwServed::relayed(resp, b, t0.elapsed().as_micros() as u64),
             Err(_) => mark_backend_down(shared, b),
         }
     }
-    (503, http::error_body("no live backend"), None)
+    GwServed::plain(503, http::error_body("no live backend"))
 }
 
 /// Proxy one `/simulate` by (model, table) consistent hashing, walking
@@ -603,17 +739,18 @@ fn proxy_simulate(
     req: &Request,
     shared: &GwShared,
     pool: &mut BackendPool,
-) -> (u16, Vec<u8>, Option<u64>) {
-    let _sp = gmr_obsv::span!("gateway.route");
+    ctx: TraceCtx,
+) -> GwServed {
+    let _sp = gmr_obsv::span!("gateway.route", ctx.trace);
     let Ok(body) = std::str::from_utf8(&req.body) else {
-        return (400, http::error_body("body is not UTF-8"), None);
+        return GwServed::plain(400, http::error_body("body is not UTF-8"));
     };
     let value = match gmr_json::parse(body) {
         Ok(v) => v,
-        Err(e) => return (400, http::error_body(&format!("invalid JSON: {e}")), None),
+        Err(e) => return GwServed::plain(400, http::error_body(&format!("invalid JSON: {e}"))),
     };
     let Some(model) = value.get("model").and_then(Value::as_str) else {
-        return (400, http::error_body("missing \"model\""), None);
+        return GwServed::plain(400, http::error_body("missing \"model\""));
     };
     // Inline-forcings requests have no table name; they hash by model
     // alone so repeats still pin to one backend's hot tier.
@@ -622,6 +759,7 @@ fn proxy_simulate(
         .and_then(Value::as_str)
         .unwrap_or("(inline)");
     let key = Ring::key(model, table);
+    let header = ctx.header_value();
     let mut tried = 0u32;
     for b in shared.ring.preference(&key) {
         let b = b as usize;
@@ -632,15 +770,22 @@ fn proxy_simulate(
             shared.metrics.failovers.inc();
         }
         tried += 1;
-        match pool.exchange(b, addr, "POST", "/simulate", &req.body) {
+        let t0 = Instant::now();
+        match pool.exchange(b, addr, "POST", "/simulate", &req.body, Some(&header)) {
             Ok(resp) => {
                 shared.metrics.proxied.inc();
-                return (resp.status, resp.body, resp.retry_after);
+                let mut served = GwServed::relayed(resp, b, t0.elapsed().as_micros() as u64);
+                served.model = model.to_string();
+                served.table = table.to_string();
+                return served;
             }
             Err(_) => mark_backend_down(shared, b),
         }
     }
-    (503, http::error_body("no live backend"), None)
+    let mut served = GwServed::plain(503, http::error_body("no live backend"));
+    served.model = model.to_string();
+    served.table = table.to_string();
+    served
 }
 
 fn mark_backend_down(shared: &GwShared, b: usize) {
@@ -657,21 +802,53 @@ fn mark_backend_down(shared: &GwShared, b: usize) {
     });
 }
 
-/// The cluster `/metrics` view: the gateway's own counters flat, a
-/// `"rollup"` object summing every backend's numeric fields
-/// ([`gmr_json::sum_numeric`]), and a `"backends"` array with each
-/// backend's liveness and verbatim snapshot.
+/// The availability objective behind the `/metrics` burn rate: 99% of
+/// proxied `/simulate` requests good. A burn rate of 1.0 means the error
+/// budget is being consumed exactly as fast as it accrues; above 1.0 the
+/// SLO will eventually be violated.
+const SLO_OBJECTIVE: f64 = 0.99;
+
+/// `{count, p50_us, p90_us, p99_us, max_us}` over sparse histogram
+/// buckets — all quantiles are bucket upper edges (see
+/// [`quantile_from_buckets`]), consistent within one bucket of the exact
+/// sample quantile.
+fn quantile_summary(buckets: &[(usize, u64)], count: u64) -> String {
+    format!(
+        "{{\"count\": {count}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        quantile_from_buckets(buckets, 0.5),
+        quantile_from_buckets(buckets, 0.9),
+        quantile_from_buckets(buckets, 0.99),
+        quantile_from_buckets(buckets, 1.0),
+    )
+}
+
+fn histogram_summary(h: &Histogram) -> String {
+    let sparse: Vec<(usize, u64)> = h
+        .bucket_counts()
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    quantile_summary(&sparse, h.count())
+}
+
+/// The cluster `/metrics` view: the gateway's own registry under
+/// `"gateway"` (kept distinct from the fleet so its counters can't be
+/// conflated with summed backend ones), a `"rollup"` object summing every
+/// backend's numeric fields ([`gmr_json::sum_numeric`]), a `"latency"`
+/// section with per-route/per-backend quantiles plus the fleet-merged
+/// `serve.latency_us` (bucket-level merge — `sum_numeric` skips nested
+/// objects by design, so histograms are merged here explicitly), an
+/// `"slo"` section, and a `"backends"` array with each backend's liveness
+/// and verbatim snapshot.
 fn rollup_metrics(shared: &GwShared, pool: &mut BackendPool) -> Vec<u8> {
-    let mut body = snapshot_json(&shared.metrics.registry.snapshot());
-    debug_assert!(body.ends_with('}'));
-    body.pop();
-    if body.len() > 1 {
-        body.push_str(", ");
-    }
+    let mut body = String::from("{\"gateway\": ");
+    body.push_str(&snapshot_json(&shared.metrics.registry.snapshot()));
+    body.push_str(", ");
     let mut snapshots: Vec<Option<Value>> = Vec::with_capacity(shared.slots.len());
     for (b, slot) in shared.slots.iter().enumerate() {
         let snap = slot.addr().and_then(|addr| {
-            let resp = pool.exchange(b, addr, "GET", "/metrics", b"").ok()?;
+            let resp = pool.exchange(b, addr, "GET", "/metrics", b"", None).ok()?;
             gmr_json::parse(std::str::from_utf8(&resp.body).ok()?).ok()
         });
         snapshots.push(snap);
@@ -679,6 +856,65 @@ fn rollup_metrics(shared: &GwShared, pool: &mut BackendPool) -> Vec<u8> {
     let rollup = gmr_json::sum_numeric(snapshots.iter().flatten());
     body.push_str("\"rollup\": ");
     gmr_json::push_value(&mut body, &rollup);
+
+    body.push_str(", \"latency\": {\"routes\": {");
+    for (i, tag) in ROUTE_TAGS.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        gmr_json::push_escaped(&mut body, tag);
+        body.push_str(": ");
+        body.push_str(&histogram_summary(&shared.metrics.route_latency[i]));
+    }
+    body.push_str("}, \"backends\": {");
+    for (b, h) in shared.metrics.backend_latency.iter().enumerate() {
+        if b > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("\"{b}\": "));
+        body.push_str(&histogram_summary(h));
+    }
+    // Fleet view of backend service latency: merge each backend's
+    // `serve.latency_us` buckets, then take quantiles over the merge.
+    let mut fleet: Vec<(usize, u64)> = Vec::new();
+    let mut fleet_count = 0u64;
+    for snap in snapshots.iter().flatten() {
+        let Some(h) = snap.get("serve.latency_us") else {
+            continue;
+        };
+        fleet_count += h.get("count").and_then(Value::as_u64).unwrap_or(0);
+        let pairs: Vec<(usize, u64)> = h
+            .get("buckets")
+            .and_then(Value::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|p| {
+                        let p = p.as_arr()?;
+                        Some((p.first()?.as_u64()? as usize, p.get(1)?.as_u64()?))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        merge_buckets(&mut fleet, &pairs);
+    }
+    body.push_str("}, \"fleet\": ");
+    body.push_str(&quantile_summary(&fleet, fleet_count));
+    body.push('}');
+
+    let good = shared.metrics.slo_good.get();
+    let total = shared.metrics.slo_total.get();
+    let bad_frac = if total == 0 {
+        0.0
+    } else {
+        (total - good) as f64 / total as f64
+    };
+    body.push_str(&format!(
+        ", \"slo\": {{\"target_ms\": {}, \"good\": {good}, \"total\": {total}, \"burn_rate\": ",
+        shared.config.slo_target_ms
+    ));
+    gmr_json::push_f64(&mut body, bad_frac / (1.0 - SLO_OBJECTIVE));
+    body.push('}');
+
     body.push_str(", \"backends\": [");
     for (b, slot) in shared.slots.iter().enumerate() {
         if b > 0 {

@@ -188,6 +188,21 @@ pub fn write_response_retry(
     close: bool,
     retry_after: Option<u64>,
 ) -> io::Result<()> {
+    write_response_traced(stream, code, content_type, body, close, retry_after, None)
+}
+
+/// [`write_response_retry`] with an optional `X-Gmr-Trace` echo: the
+/// server and gateway return the trace context they served under, so a
+/// client can grep the journals for its own request.
+pub fn write_response_traced(
+    stream: &mut impl Write,
+    code: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+    retry_after: Option<u64>,
+    trace: Option<&str>,
+) -> io::Result<()> {
     let mut head = format!(
         "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         status_text(code),
@@ -198,6 +213,9 @@ pub fn write_response_retry(
         // Shed load explicitly: tell well-behaved clients when to retry.
         (None, 429) => head.push_str("Retry-After: 1\r\n"),
         _ => {}
+    }
+    if let Some(t) = trace {
+        head.push_str(&format!("{}: {t}\r\n", crate::trace::TRACE_HEADER));
     }
     if close {
         head.push_str("Connection: close\r\n");
@@ -254,6 +272,24 @@ mod tests {
             read_request(&mut r),
             Err(HttpError::Malformed("unsupported HTTP version"))
         ));
+    }
+
+    #[test]
+    fn traced_response_echoes_the_header() {
+        let mut out = Vec::new();
+        let id = "00000000000000aa-00000000000000bb";
+        write_response_traced(
+            &mut out,
+            200,
+            "application/json",
+            b"{}",
+            false,
+            None,
+            Some(id),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(&format!("X-Gmr-Trace: {id}\r\n")), "{text}");
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod http;
 pub mod registry;
 pub mod server;
 pub mod sig;
+pub mod trace;
 
 pub use artifact::{ModelArtifact, Provenance, SCHEMA};
 pub use cluster::{Cluster, ClusterConfig};

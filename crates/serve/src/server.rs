@@ -24,9 +24,12 @@
 //! dropped its queue handle, and `shutdown` joins every thread before
 //! returning.
 
-use crate::batch::{run_batcher, BatcherConfig, Mode, SimJob, SimOutcome, SimOutput, Tables};
+use crate::batch::{
+    run_batcher, BatcherConfig, ForcingSource, Mode, SimJob, SimOutcome, SimOutput, Tables,
+};
 use crate::http::{self, HttpError, Request};
 use crate::registry::ModelRegistry;
+use crate::trace::TraceCtx;
 use gmr_json::{push_escaped, push_f64};
 use gmr_obsv::journal::Event;
 use gmr_obsv::metrics::{snapshot_json, Counter, Histogram, Registry};
@@ -252,23 +255,44 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                 let mut q = shared.conns.lock().unwrap();
                 if q.len() >= shared.config.conn_queue {
                     drop(q);
-                    // Shed at the door: an explicit 429, never a hang.
+                    // Shed at the door: an explicit 429, never a hang. The
+                    // request is never read, so there is no header to
+                    // adopt — mint a root trace and echo it anyway; the
+                    // shed is attributable like any served request.
                     shared.metrics.shed.inc();
                     shared.metrics.requests.inc();
+                    let ctx = TraceCtx::mint();
                     let mut stream = stream;
                     let _ = stream.set_nodelay(true);
-                    let _ = http::write_response(
+                    let _ = http::write_response_traced(
                         &mut stream,
                         429,
                         "application/json",
                         &http::error_body("connection queue full"),
                         true,
+                        None,
+                        Some(&ctx.header_value()),
                     );
                     gmr_obsv::emit(Event::Request {
                         endpoint: "(accept)",
                         status: 429,
                         dur_us: 0,
                         batch: 0,
+                    });
+                    gmr_obsv::emit(Event::Access {
+                        trace: ctx.trace,
+                        span: ctx.span,
+                        parent: ctx.parent,
+                        method: "-".into(),
+                        path: "(accept)",
+                        model: String::new(),
+                        table: String::new(),
+                        status: 429,
+                        shed: true,
+                        batched: false,
+                        queue_us: 0,
+                        sim_us: 0,
+                        dur_us: 0,
                     });
                 } else {
                     q.push_back(stream);
@@ -323,25 +347,52 @@ fn handle_connection(stream: TcpStream, shared: &Shared, sim_tx: &SyncSender<Sim
             Ok(Some(req)) => {
                 idle = 0;
                 let close = req.wants_close() || shared.draining();
+                // Adopt the caller's trace context (the gateway's hop) or
+                // mint a root when called directly.
+                let ctx = TraceCtx::from_header(req.header("x-gmr-trace"));
                 let t0 = Instant::now();
-                let (status, body, batch) = dispatch(&req, shared, sim_tx);
+                let served = dispatch(&req, shared, sim_tx, ctx);
                 let dur_us = t0.elapsed().as_micros() as u64;
+                let status = served.status;
                 shared.metrics.requests.inc();
                 if status == 429 {
                     shared.metrics.shed.inc();
                 }
                 shared.metrics.latency_us.record(dur_us);
-                if batch > 0 {
-                    shared.metrics.batch.record(batch);
+                if served.batch > 0 {
+                    shared.metrics.batch.record(served.batch);
                 }
                 gmr_obsv::emit(Event::Request {
                     endpoint: endpoint_tag(&req.path),
                     status,
                     dur_us,
-                    batch,
+                    batch: served.batch,
                 });
-                if http::write_response(&mut writer, status, "application/json", &body, close)
-                    .is_err()
+                gmr_obsv::emit(Event::Access {
+                    trace: ctx.trace,
+                    span: ctx.span,
+                    parent: ctx.parent,
+                    method: req.method.clone(),
+                    path: endpoint_tag(&req.path),
+                    model: served.model,
+                    table: served.table,
+                    status,
+                    shed: status == 429,
+                    batched: served.batch > 1,
+                    queue_us: served.queue_us,
+                    sim_us: served.sim_us,
+                    dur_us,
+                });
+                if http::write_response_traced(
+                    &mut writer,
+                    status,
+                    "application/json",
+                    &served.body,
+                    close,
+                    None,
+                    Some(&ctx.header_value()),
+                )
+                .is_err()
                     || close
                 {
                     return;
@@ -403,10 +454,50 @@ fn endpoint_tag(path: &str) -> &'static str {
     }
 }
 
-/// Route one request. Returns `(status, body, batch)`; `batch` is 0 for
-/// non-simulation endpoints.
-fn dispatch(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>) -> (u16, Vec<u8>, u64) {
-    let _sp = gmr_obsv::span_fine!("serve.dispatch");
+/// What one dispatched request produced: the response plus the
+/// attribution fields the `access` journal event records.
+struct Served {
+    status: u16,
+    body: Vec<u8>,
+    /// Coalesced sweep width (0 for non-simulation endpoints).
+    batch: u64,
+    /// Model name, when the request named one.
+    model: String,
+    /// Forcing-table name (`"(inline)"` for shipped rows).
+    table: String,
+    /// Microseconds the job waited in the simulation queue.
+    queue_us: u64,
+    /// Microseconds of simulation work.
+    sim_us: u64,
+}
+
+impl Served {
+    /// A response with no simulation attribution.
+    fn plain(status: u16, body: Vec<u8>) -> Served {
+        Served {
+            status,
+            body,
+            batch: 0,
+            model: String::new(),
+            table: String::new(),
+            queue_us: 0,
+            sim_us: 0,
+        }
+    }
+
+    /// A response attributed to a (model, table) pair.
+    fn tagged(status: u16, body: Vec<u8>, model: &str, table: &str) -> Served {
+        Served {
+            model: model.to_string(),
+            table: table.to_string(),
+            ..Served::plain(status, body)
+        }
+    }
+}
+
+/// Route one request.
+fn dispatch(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>, ctx: TraceCtx) -> Served {
+    let _sp = gmr_obsv::span_fine!("serve.dispatch", ctx.trace);
     let path = req.path.split('?').next().unwrap_or(&req.path);
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
@@ -415,49 +506,55 @@ fn dispatch(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>) -> (u16
                 shared.registry.len(),
                 shared.draining()
             );
-            (200, body.into_bytes(), 0)
+            Served::plain(200, body.into_bytes())
         }
-        ("GET", "/models") => (200, shared.registry.render_json().into_bytes(), 0),
+        ("GET", "/models") => Served::plain(200, shared.registry.render_json().into_bytes()),
         ("GET", "/metrics") => {
             let body = metrics_body(&shared.metrics, &shared.registry);
-            (200, body.into_bytes(), 0)
+            Served::plain(200, body.into_bytes())
         }
-        ("POST", "/simulate") => simulate(req, shared, sim_tx),
-        ("GET", "/simulate") | ("POST", "/healthz" | "/models" | "/metrics") => (
+        ("POST", "/simulate") => simulate(req, shared, sim_tx, ctx),
+        ("GET", "/simulate") | ("POST", "/healthz" | "/models" | "/metrics") => Served::plain(
             405,
             http::error_body("method not allowed for this endpoint"),
-            0,
         ),
-        _ => (404, http::error_body("no such endpoint"), 0),
+        _ => Served::plain(404, http::error_body("no such endpoint")),
     }
 }
 
-fn simulate(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>) -> (u16, Vec<u8>, u64) {
+fn simulate(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>, ctx: TraceCtx) -> Served {
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
-        Err(_) => return (400, http::error_body("body is not UTF-8"), 0),
+        Err(_) => return Served::plain(400, http::error_body("body is not UTF-8")),
     };
     let value = match gmr_json::parse(body) {
         Ok(v) => v,
-        Err(e) => return (400, http::error_body(&format!("invalid JSON: {e}")), 0),
+        Err(e) => return Served::plain(400, http::error_body(&format!("invalid JSON: {e}"))),
     };
     let request = match crate::batch::parse_sim_request(&value) {
         Ok(r) => r,
-        Err(msg) => return (400, http::error_body(&msg), 0),
-    };
-    let Some(model) = shared.registry.get(&request.model) else {
-        return (
-            404,
-            http::error_body(&format!("no model {:?}", request.model)),
-            0,
-        );
+        Err(msg) => return Served::plain(400, http::error_body(&msg)),
     };
     let model_name = request.model.clone();
+    let table = match &request.source {
+        ForcingSource::Ref(name) => name.clone(),
+        ForcingSource::Inline(_) => "(inline)".to_string(),
+    };
+    let Some(model) = shared.registry.get(&request.model) else {
+        return Served::tagged(
+            404,
+            http::error_body(&format!("no model {:?}", request.model)),
+            &model_name,
+            &table,
+        );
+    };
     let mode = request.mode;
     let (reply, outcome_rx) = mpsc::channel::<SimOutcome>();
     let job = SimJob {
         model,
         request,
+        ctx,
+        enqueued: Instant::now(),
         reply,
     };
     match sim_tx.try_send(job) {
@@ -465,22 +562,53 @@ fn simulate(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>) -> (u16
         Err(TrySendError::Full(_)) => {
             // Bounded queue full: shed explicitly rather than park the
             // client behind an unbounded backlog.
-            return (429, http::error_body("simulation queue full"), 0);
+            return Served::tagged(
+                429,
+                http::error_body("simulation queue full"),
+                &model_name,
+                &table,
+            );
         }
         Err(TrySendError::Disconnected(_)) => {
-            return (503, http::error_body("simulator is shut down"), 0);
+            return Served::tagged(
+                503,
+                http::error_body("simulator is shut down"),
+                &model_name,
+                &table,
+            );
         }
     }
     match outcome_rx.recv() {
-        Ok(SimOutcome { result, batch }) => match result {
-            Ok(output) => (
-                200,
-                render_output(&model_name, &output, mode, batch),
-                batch as u64,
-            ),
-            Err((status, msg)) => (status, http::error_body(&msg), 0),
-        },
-        Err(_) => (503, http::error_body("simulator dropped the job"), 0),
+        Ok(SimOutcome {
+            result,
+            batch,
+            queue_us,
+            sim_us,
+        }) => {
+            let mut served = match result {
+                Ok(output) => Served {
+                    batch: batch as u64,
+                    ..Served::tagged(
+                        200,
+                        render_output(&model_name, &output, mode, batch),
+                        &model_name,
+                        &table,
+                    )
+                },
+                Err((status, msg)) => {
+                    Served::tagged(status, http::error_body(&msg), &model_name, &table)
+                }
+            };
+            served.queue_us = queue_us;
+            served.sim_us = sim_us;
+            served
+        }
+        Err(_) => Served::tagged(
+            503,
+            http::error_body("simulator dropped the job"),
+            &model_name,
+            &table,
+        ),
     }
 }
 
@@ -612,6 +740,10 @@ pub struct Response {
     pub retry_after: Option<u64>,
     /// Whether the server announced `Connection: close`.
     pub close: bool,
+    /// The `X-Gmr-Trace` context the request was served under, verbatim
+    /// (`trace-span`, 16 hex digits each) — what `gmr-serve request -v`
+    /// prints so a user can grep the journals for their own request.
+    pub trace: Option<String>,
 }
 
 /// A blocking keep-alive client: one TCP connection reused across
@@ -697,10 +829,26 @@ pub fn write_request(
     body: &[u8],
     close: bool,
 ) -> io::Result<()> {
+    write_request_traced(stream, method, path, body, close, None)
+}
+
+/// [`write_request`] carrying an `X-Gmr-Trace` header: the gateway's
+/// backend pool propagates its hop context downstream with this.
+pub fn write_request_traced(
+    stream: &mut impl Write,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    close: bool,
+    trace: Option<&str>,
+) -> io::Result<()> {
     let mut head = format!(
         "{method} {path} HTTP/1.1\r\nHost: gmr-serve\r\nContent-Length: {}\r\n",
         body.len()
     );
+    if let Some(t) = trace {
+        head.push_str(&format!("{}: {t}\r\n", crate::trace::TRACE_HEADER));
+    }
     if close {
         head.push_str("Connection: close\r\n");
     }
@@ -728,6 +876,7 @@ pub fn read_response_full(reader: &mut impl io::BufRead) -> io::Result<Response>
     let mut content_length = 0usize;
     let mut retry_after = None;
     let mut close = false;
+    let mut trace = None;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -750,6 +899,8 @@ pub fn read_response_full(reader: &mut impl io::BufRead) -> io::Result<Response>
                 retry_after = v.parse().ok();
             } else if k.eq_ignore_ascii_case("connection") {
                 close = v.eq_ignore_ascii_case("close");
+            } else if k.eq_ignore_ascii_case(crate::trace::TRACE_HEADER) {
+                trace = Some(v.to_string());
             }
         }
     }
@@ -760,5 +911,6 @@ pub fn read_response_full(reader: &mut impl io::BufRead) -> io::Result<Response>
         body,
         retry_after,
         close,
+        trace,
     })
 }

@@ -1,0 +1,127 @@
+//! Trace-context minting and the `X-Gmr-Trace` header codec.
+//!
+//! Header format: `X-Gmr-Trace: <trace>-<span>`, two 16-digit lowercase
+//! hex ids. The trace id is shared by every hop of one client request;
+//! each process mints a fresh span id for its own hop and records the
+//! upstream hop's span as `parent` in its `access` journal event. The
+//! gateway mints the trace for requests that arrive without the header;
+//! a backend called directly does the same, so every served request is
+//! traceable whether or not it crossed the gateway. Responses echo the
+//! header back with the responder's span id, so a client (`gmr-serve
+//! request -v`) can grep the printed id straight out of any journal.
+//!
+//! Minting reads only the wall clock and a process-local counter — never
+//! simulation state or any RNG the engine owns — so trajectories are
+//! bit-identical with tracing on or off (obsv design constraint #1).
+
+use gmr_obsv::journal::{hex_id, parse_hex_id};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Trace-context header name (sent canonical, matched lowercased).
+pub const TRACE_HEADER: &str = "X-Gmr-Trace";
+
+/// One hop's trace context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace id shared by every hop of one client request.
+    pub trace: u64,
+    /// This hop's span id.
+    pub span: u64,
+    /// The upstream hop's span id (0 = this hop minted the trace).
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// Mint a root context (no upstream hop).
+    pub fn mint() -> TraceCtx {
+        TraceCtx {
+            trace: mint_id(),
+            span: mint_id(),
+            parent: 0,
+        }
+    }
+
+    /// Adopt a propagated header value, minting this hop's span id and
+    /// recording the upstream span as parent. `None` on any malformed
+    /// value — the caller falls back to [`TraceCtx::mint`].
+    pub fn adopt(value: &str) -> Option<TraceCtx> {
+        let (t, s) = value.split_once('-')?;
+        Some(TraceCtx {
+            trace: parse_hex_id(t)?,
+            span: mint_id(),
+            parent: parse_hex_id(s)?,
+        })
+    }
+
+    /// Context for an incoming request: adopt a well-formed header,
+    /// mint a root otherwise.
+    pub fn from_header(value: Option<&str>) -> TraceCtx {
+        value
+            .and_then(TraceCtx::adopt)
+            .unwrap_or_else(TraceCtx::mint)
+    }
+
+    /// The header value carrying this hop's context downstream (and
+    /// echoed to the client on the response).
+    pub fn header_value(&self) -> String {
+        format!("{}-{}", hex_id(self.trace), hex_id(self.span))
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique non-zero 64-bit id: wall-clock nanos mixed with the
+/// pid and a monotone counter through splitmix64. Not cryptographic —
+/// collision odds across one cluster's lifetime are what matter.
+fn mint_id() -> u64 {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let c = NEXT.fetch_add(1, Ordering::Relaxed);
+    let pid = (std::process::id() as u64).rotate_left(32);
+    splitmix64(t ^ pid ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let ctx = TraceCtx::mint();
+        assert_eq!(ctx.parent, 0);
+        let hop = TraceCtx::adopt(&ctx.header_value()).expect("well-formed header");
+        assert_eq!(hop.trace, ctx.trace, "trace id survives the hop");
+        assert_eq!(hop.parent, ctx.span, "upstream span becomes parent");
+        assert_ne!(hop.span, ctx.span, "each hop mints its own span");
+    }
+
+    #[test]
+    fn malformed_headers_fall_back_to_minting() {
+        for bad in ["", "abc", "-", "0123/0456", "0123456789abcdef-shrt"] {
+            assert_eq!(TraceCtx::adopt(bad), None, "{bad:?}");
+            let minted = TraceCtx::from_header(Some(bad));
+            assert_eq!(minted.parent, 0);
+            assert_ne!(minted.trace, 0);
+        }
+    }
+
+    #[test]
+    fn minted_ids_are_distinct_and_nonzero() {
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let id = mint_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "collision in 1000 mints");
+        }
+    }
+}

@@ -11,6 +11,9 @@
 //! * **Failover** — killing a backend mid-load never hangs a client:
 //!   requests drain on surviving backends (or shed with an explicit
 //!   status), and the supervisor restarts the victim.
+//! * **Traceability** — journals written by a real `gmr-serve cluster`
+//!   run stitch into one cross-process Chrome trace in which every
+//!   gateway `/simulate` hop resolves to exactly one backend span.
 //!
 //! Backends are the crate's own binary (`CARGO_BIN_EXE_gmr-serve`), so
 //! these tests exercise the same process-supervision path `gmr-serve
@@ -232,6 +235,116 @@ fn failover_drains_requests_and_supervisor_restarts_the_victim() {
 
     gateway.shutdown();
     cluster.shutdown();
+}
+
+/// The tentpole's end-to-end contract: real traffic through the shipped
+/// `gmr-serve cluster` subcommand with journals on, then an in-process
+/// stitch of the gateway + backend journals. The resulting Chrome trace
+/// must strict-reparse, span all three processes, and resolve every
+/// gateway `/simulate` hop to exactly one backend access span — the same
+/// check `gmr-trace stitch` enforces with a non-zero exit.
+#[test]
+fn cluster_journals_stitch_into_one_trace_with_no_orphans() {
+    use gmr_obsv::json::Value as J;
+
+    let dir = scratch("stitch");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let port_file = dir.join("gateway.port");
+    let gw_journal = dir.join("gateway.jsonl");
+    let mut child = std::process::Command::new(exe())
+        .args(["cluster", "--backends", "2", "--days", &DAYS.to_string()])
+        .arg("--dir")
+        .arg(&dir)
+        .arg("--port-file")
+        .arg(&port_file)
+        .arg("--journal")
+        .arg(&gw_journal)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn gmr-serve cluster");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr: SocketAddr = loop {
+        if let Some(a) = std::fs::read_to_string(&port_file)
+            .ok()
+            .and_then(|t| t.trim().parse().ok())
+        {
+            break a;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gateway port file never appeared"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // Traced traffic: every response must echo an `X-Gmr-Trace` context.
+    const N: usize = 8;
+    let body = sim_body("table5-manual");
+    let mut client = gmr_serve::server::Client::new(addr);
+    for _ in 0..N {
+        let resp = client
+            .request("POST", "/simulate", body.as_bytes())
+            .expect("simulate through the cluster");
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let trace = resp.trace.expect("response must carry X-Gmr-Trace");
+        assert!(
+            trace.split_once('-').is_some(),
+            "trace header must be trace-span: {trace}"
+        );
+    }
+
+    // Graceful drain: the gateway process and every backend write their
+    // journals on SIGTERM.
+    assert!(gmr_serve::sig::terminate_pid(child.id()));
+    let status = child.wait().expect("cluster exit");
+    assert!(status.success(), "cluster must drain cleanly");
+
+    let read = |p: &std::path::Path| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("journal {}: {e}", p.display()))
+    };
+    let inputs = vec![
+        ("gateway".to_string(), read(&gw_journal)),
+        ("backend-0".to_string(), read(&dir.join("backend-0.jsonl"))),
+        ("backend-1".to_string(), read(&dir.join("backend-1.jsonl"))),
+    ];
+    let stitched = gmr_obsv::trace::stitch(&inputs).expect("journals must stitch");
+    assert!(
+        stitched.hops >= N,
+        "every proxied /simulate is a hop: {} < {N}",
+        stitched.hops
+    );
+    assert_eq!(
+        stitched.orphans,
+        Vec::<String>::new(),
+        "every gateway hop must resolve to a backend span"
+    );
+    assert_eq!(stitched.resolved, stitched.hops);
+
+    // The merged trace strict-reparses, carries one track per process,
+    // and the gateway→backend flows survived the merge.
+    let v = gmr_obsv::json::parse(&stitched.chrome).expect("stitched trace must be strict JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(J::as_arr)
+        .expect("traceEvents array");
+    let pids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter_map(|e| e.get("pid").and_then(J::as_u64))
+        .collect();
+    assert!(
+        pids.len() >= 3,
+        "gateway + 2 backends must each own a track: {pids:?}"
+    );
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(J::as_str) == Some("s")));
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(J::as_str) == Some("f")));
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// A hand-rolled backend that always sheds with `Retry-After: 7` — pins
