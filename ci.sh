@@ -70,6 +70,7 @@ echo "==> committed benchmark baselines re-validate against current gates"
 cargo run --release -q -p gmr-bench --bin bench_vm -- --validate results/BENCH_vm.json
 cargo run --release -q -p gmr-bench --bin bench_engine -- --validate results/BENCH_engine.json
 cargo run --release -q -p gmr-bench --bin bench_serve -- --validate results/BENCH_serve.json
+cargo run --release -q -p gmr-bench --bin bench_scenario -- --validate results/BENCH_scenario.json
 
 echo "==> bench_vm smoke, scalar build (tier bit-identity + per-tier floors)"
 cargo run --release -q -p gmr-bench --bin bench_vm -- --quick --out BENCH_vm.json
@@ -179,6 +180,48 @@ cargo run --release -q -p gmr-obsv --bin gmr-trace -- stitch \
     smoke-cluster/scratch/backend-0.jsonl smoke-cluster/scratch/backend-1.jsonl \
     --out smoke-cluster/stitched.trace.json
 cargo run --release -q -p gmr-obsv --bin gmr-trace -- json smoke-cluster/stitched.trace.json
+
+echo "==> bench_scenario smoke (one /sweep >= 4x solo what-if + per-variant bit-identity, gateway included)"
+cargo run --release -q -p gmr-bench --bin bench_scenario -- --quick --backends 2 --out BENCH_scenario.json
+cargo run --release -q -p gmr-bench --bin bench_scenario -- --validate BENCH_scenario.json
+
+echo "==> scenario what-if smoke (scenario-spec CLI -> cluster broadcast -> /sweep via gateway)"
+rm -rf smoke-scenario
+mkdir -p smoke-scenario
+./target/release/gmr-serve scenario-spec --name ci-what-if --stations 12 --out smoke-scenario/spec.json
+./target/release/gmr-serve cluster --backends 2 --days 365 \
+    --dir smoke-scenario/scratch --port-file smoke-scenario/port &
+SCN_PID=$!
+i=0
+while [ ! -f smoke-scenario/port ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "FAIL: scenario smoke cluster never wrote its gateway port file"
+        kill "$SCN_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+SCN_ADDR=$(cat smoke-scenario/port)
+./target/release/gmr-serve request "$SCN_ADDR" POST /scenarios \
+    --body-file smoke-scenario/spec.json > smoke-scenario/admit.json
+grep -q '"admitted": true' smoke-scenario/admit.json || {
+    echo "FAIL: scenario admission through the gateway did not succeed"
+    exit 1
+}
+printf '%s\n' '{"scenario": "ci-what-if", "model": "table5-manual", "variants": 32, "reduce": {"threshold": 22.5}}' \
+    > smoke-scenario/sweep-req.json
+./target/release/gmr-serve request "$SCN_ADDR" POST /sweep \
+    --body-file smoke-scenario/sweep-req.json > smoke-scenario/summaries.json
+for f in smoke-scenario/admit.json smoke-scenario/summaries.json; do
+    cargo run --release -q -p gmr-obsv --bin gmr-trace -- json "$f"
+done
+grep -q '"summaries"' smoke-scenario/summaries.json || {
+    echo "FAIL: /sweep response carries no summaries"
+    exit 1
+}
+kill -TERM "$SCN_PID"
+wait "$SCN_PID" || { echo "FAIL: scenario smoke cluster did not drain cleanly on SIGTERM"; exit 1; }
 
 echo "==> SIMD tier tests (vector kernels live where the host has AVX2+FMA)"
 cargo test -q -p gmr-expr --features simd

@@ -57,6 +57,6 @@ pub use opstats::{pair_counts, total_pairs, PairCount};
 pub use parse::{parse, ParseError};
 pub use simplify::simplify;
 pub use vm::{
-    CompiledSystem, Exec, Fidelity, FidelityPolicy, MultiSession, OptOptions, PrefixTable, RInstr,
-    RegProgram, SystemScratch, SystemSession, Tier, LANES,
+    CompiledSystem, EnsembleSession, Exec, Fidelity, FidelityPolicy, MultiSession, OptOptions,
+    PrefixTable, RInstr, RegProgram, SystemScratch, SystemSession, Tier, LANES,
 };

@@ -874,6 +874,89 @@ impl RegProgram {
             }
         }
     }
+
+    /// Run `m <= LANES` *trajectories* through one step where every lane
+    /// has its own forcing row *and* its own state vector — the ensemble
+    /// shape: lane `l` reads `rows[l]` (one variant's forcing at a fixed
+    /// step) and `states[l * state_stride ..]`. Completes the trio with
+    /// [`run_lanes`](Self::run_lanes) (per-lane rows, no state) and
+    /// [`run_lanes_one_row`](Self::run_lanes_one_row) (shared row,
+    /// per-lane state). Per-lane arithmetic goes through the same lane
+    /// kernels as both, so each lane's outputs are bit-identical to a solo
+    /// scalar evaluation over that lane's forcing table.
+    pub(crate) fn run_lanes_rows(
+        &self,
+        rows: &[&[f64]],
+        states: &[f64],
+        state_stride: usize,
+        m: usize,
+        regs: &mut [f64],
+        fast: bool,
+    ) {
+        assert_eq!(regs.len(), self.n_regs as usize * LANES);
+        assert!(m <= LANES && rows.len() >= m && states.len() >= m * state_stride);
+        assert!(state_stride >= self.needs_states);
+        debug_assert!(rows.iter().take(m).all(|r| r.len() >= self.needs_vars));
+        // Same stripe-bounds argument as `run_lanes`: stripes are
+        // `[r*LANES .. r*LANES+m)` with `r < n_regs` proved by `validate()`
+        // and `m <= LANES` asserted above. `rows`/`states` accesses stay
+        // bounds-checked.
+        let off = |r: u16| r as usize * LANES;
+        for ins in &self.code {
+            match *ins {
+                RInstr::LoadVar { dst, idx } => {
+                    let d = off(dst);
+                    for l in 0..m {
+                        regs[d + l] = rows[l][idx as usize];
+                    }
+                }
+                RInstr::LoadState { dst, idx } => {
+                    let d = off(dst);
+                    for l in 0..m {
+                        regs[d + l] = states[l * state_stride + idx as usize];
+                    }
+                }
+                RInstr::Un { op, dst, a } => {
+                    l_un(op, fast, regs, off(dst), off(a), m);
+                }
+                RInstr::Bin { op, dst, a, b } => {
+                    l_bin(op, fast, regs, off(dst), off(a), off(b), m);
+                }
+                RInstr::VarBinL { op, dst, idx, b } => {
+                    // The variable operand differs per lane (each lane is
+                    // its own forcing table): gather into a stack stripe,
+                    // exactly as `run_lanes` does.
+                    let mut v = [0.0; LANES];
+                    for (l, slot) in v[..m].iter_mut().enumerate() {
+                        *slot = rows[l][idx as usize];
+                    }
+                    l_bin_vl(op, fast, regs, off(dst), &v, off(b), m);
+                }
+                RInstr::VarBinR { op, dst, a, idx } => {
+                    let mut v = [0.0; LANES];
+                    for (l, slot) in v[..m].iter_mut().enumerate() {
+                        *slot = rows[l][idx as usize];
+                    }
+                    l_bin_vr(op, fast, regs, off(dst), off(a), &v, m);
+                }
+                RInstr::ConstBinL { op, dst, c, b } => {
+                    l_bin_cl(op, fast, regs, off(dst), c, off(b), m);
+                }
+                RInstr::ConstBinR { op, dst, a, c } => {
+                    l_bin_cr(op, fast, regs, off(dst), off(a), c, m);
+                }
+                RInstr::MulAdd { dst, a, b, c } => {
+                    l_fused3(F3::MulAdd, regs, off(dst), off(a), off(b), off(c), m);
+                }
+                RInstr::MulSub { dst, a, b, c } => {
+                    l_fused3(F3::MulSub, regs, off(dst), off(a), off(b), off(c), m);
+                }
+                RInstr::SubMul { dst, a, b, c } => {
+                    l_fused3(F3::SubMul, regs, off(dst), off(a), off(b), off(c), m);
+                }
+            }
+        }
+    }
 }
 
 // Per-lane interpreter kernels shared by `run_lanes` (rows-as-lanes) and
@@ -2290,6 +2373,45 @@ impl CompiledSystem {
         }
         PrefixTable { values, n_pre }
     }
+
+    /// Open an *ensemble* session: up to [`LANES`] concurrent simulations
+    /// of this system where every lane has its **own forcing table** —
+    /// the what-if sweep shape, where variants of one scenario differ by
+    /// their forcings rather than by their initial state. All tables must
+    /// be the same length. The state-independent prefix is materialized
+    /// per table at construction (one columnar [`sweep_prefix`]
+    /// (Self::sweep_prefix) each); the core steps all lanes lock-step with
+    /// per-lane forcing rows. Per-lane results are bit-identical to
+    /// running each variant through its own [`session`](Self::session).
+    pub fn ensemble_session<'a, R: AsRef<[f64]>>(
+        &'a self,
+        tables: &'a [&'a [R]],
+    ) -> EnsembleSession<'a, R> {
+        let k = tables.len();
+        assert!(
+            (1..=LANES).contains(&k),
+            "ensemble width {k} out of 1..={LANES}"
+        );
+        let n_rows = tables[0].len();
+        assert!(
+            tables.iter().all(|t| t.len() == n_rows),
+            "ensemble tables must share one length"
+        );
+        let prefixes: Vec<PrefixTable> = if self.prefix.outputs.is_empty() {
+            Vec::new()
+        } else {
+            tables.iter().map(|t| self.sweep_prefix(t)).collect()
+        };
+        let mut core_lane_regs = vec![0.0; self.core.n_regs as usize * LANES];
+        self.core.init_consts_lanes(&mut core_lane_regs);
+        EnsembleSession {
+            sys: self,
+            tables,
+            n_rows,
+            prefixes,
+            core_lane_regs,
+        }
+    }
 }
 
 /// Materialized state-independent prefix columns over a fixed forcing
@@ -2490,6 +2612,77 @@ impl<R: AsRef<[f64]>> MultiSession<'_, R> {
         match &self.prefix {
             PrefixRows::Owned { filled, .. } => *filled,
             PrefixRows::Shared(table) => table.rows(),
+        }
+    }
+}
+
+/// Lock-step evaluation of up to [`LANES`] trajectories that each read
+/// their **own forcing table** — one ensemble variant per lane. Opened by
+/// [`CompiledSystem::ensemble_session`]; the dual of [`MultiSession`]
+/// (which shares one table across lanes).
+pub struct EnsembleSession<'a, R: AsRef<[f64]>> {
+    sys: &'a CompiledSystem,
+    tables: &'a [&'a [R]],
+    n_rows: usize,
+    /// Per-lane materialized prefix columns (empty when the system has no
+    /// state-independent prefix).
+    prefixes: Vec<PrefixTable>,
+    core_lane_regs: Vec<f64>,
+}
+
+impl<R: AsRef<[f64]>> EnsembleSession<'_, R> {
+    /// Number of variant trajectories in lock-step.
+    pub fn lanes(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Rows in every table.
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Evaluate step `t` for all `k` variants. `states` is lane-major
+    /// (`states[l * stride + idx]`, `stride = states.len() / k`); `out`
+    /// receives `k * n_eqs` values, trajectory-major
+    /// (`out[l * n_eqs + e]`).
+    pub fn step(&mut self, t: usize, states: &[f64], out: &mut [f64]) {
+        let k = self.tables.len();
+        assert!(t < self.n_rows, "step {t} out of {} rows", self.n_rows);
+        assert!(
+            k > 0 && states.len().is_multiple_of(k),
+            "states not lane-major"
+        );
+        let stride = states.len() / k;
+        let n_eqs = self.sys.n_eqs;
+        assert_eq!(out.len(), k * n_eqs);
+        let n_pre = self.sys.prefix.outputs.len();
+        let window = self.sys.core.consts.len();
+        if n_pre > 0 {
+            // Each lane reads its own table's prefix row at `t` into the
+            // core's pinned window.
+            for (l, pre) in self.prefixes.iter().enumerate() {
+                let row = &pre.values[t * n_pre..(t + 1) * n_pre];
+                for (j, &v) in row.iter().enumerate() {
+                    self.core_lane_regs[(window + j) * LANES + l] = v;
+                }
+            }
+        }
+        let mut rows: [&[f64]; LANES] = [&[]; LANES];
+        for (l, table) in self.tables.iter().enumerate() {
+            rows[l] = table[t].as_ref();
+        }
+        self.sys.core.run_lanes_rows(
+            &rows[..k],
+            states,
+            stride,
+            k,
+            &mut self.core_lane_regs,
+            self.sys.relaxed(),
+        );
+        for l in 0..k {
+            for (e, &r) in self.sys.core.outputs.iter().enumerate() {
+                out[l * n_eqs + e] = self.core_lane_regs[r as usize * LANES + l];
+            }
         }
     }
 }
@@ -2833,6 +3026,93 @@ mod tests {
         multi.step(0, &[1.0; 16], &mut out);
         // One chunk sweep covers all 8 trajectories, not 8 sweeps.
         assert_eq!(multi.rows_swept(), LANES);
+    }
+
+    #[test]
+    fn ensemble_session_matches_solo_sessions_bitwise() {
+        let eqs = sample_system();
+        let n_rows = LANES + 9;
+        // Every lane gets its own forcing table (a perturbed variant).
+        let k = 5;
+        let tables: Vec<Vec<Vec<f64>>> = (0..k)
+            .map(|l| {
+                (0..n_rows)
+                    .map(|t| {
+                        vec![
+                            (t as f64 * 0.53 + l as f64 * 0.21).sin() * 25.0,
+                            (t as f64 * 0.19).cos() * (1.5 + l as f64 * 0.13),
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        let init = [6.0, 0.9];
+        for opts in all_tiers() {
+            let sys = CompiledSystem::compile(&eqs, opts);
+
+            // Reference: each variant through its own solo session.
+            let mut want = vec![vec![[0.0f64; 2]; n_rows]; k];
+            for l in 0..k {
+                let mut session = sys.session(&tables[l]);
+                let mut state = init;
+                #[allow(clippy::needless_range_loop)]
+                for t in 0..n_rows {
+                    let mut d = [0.0, 0.0];
+                    session.step(t, &state, &mut d);
+                    want[l][t] = d;
+                    state[0] = (state[0] + 0.1 * d[0]).clamp(0.0, 1e6);
+                    state[1] = (state[1] + 0.1 * d[1]).clamp(0.0, 1e6);
+                }
+            }
+
+            // Batched: all k variants in lock-step, per-lane tables.
+            let refs: Vec<&[Vec<f64>]> = tables.iter().map(|t| t.as_slice()).collect();
+            let mut ens = sys.ensemble_session(&refs);
+            assert_eq!(ens.lanes(), k);
+            assert_eq!(ens.rows(), n_rows);
+            let mut states: Vec<f64> = (0..k).flat_map(|_| init).collect();
+            let mut out = vec![0.0; k * 2];
+            #[allow(clippy::needless_range_loop)]
+            for t in 0..n_rows {
+                ens.step(t, &states, &mut out);
+                for l in 0..k {
+                    for e in 0..2 {
+                        assert!(
+                            feq(out[l * 2 + e], want[l][t][e]),
+                            "lane {l} eq {e} diverged at t={t} for {opts:?}: {} vs {}",
+                            out[l * 2 + e],
+                            want[l][t][e],
+                        );
+                    }
+                }
+                for l in 0..k {
+                    for e in 0..2 {
+                        states[l * 2 + e] =
+                            (states[l * 2 + e] + 0.1 * out[l * 2 + e]).clamp(0.0, 1e6);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_session_degenerate_single_lane_matches_multi() {
+        let eqs = sample_system();
+        let rows: Vec<Vec<f64>> = (0..LANES * 2)
+            .map(|t| vec![(t as f64 * 0.31).sin() * 20.0, 1.0])
+            .collect();
+        let sys = CompiledSystem::compile(&eqs, OptOptions::full());
+        let refs = [rows.as_slice()];
+        let mut ens = sys.ensemble_session(&refs);
+        let mut multi = sys.multi_session(&rows, 1);
+        let state = [5.0, 1.1];
+        let mut a = [0.0, 0.0];
+        let mut b = [0.0, 0.0];
+        for t in 0..rows.len() {
+            ens.step(t, &state, &mut a);
+            multi.step(t, &state, &mut b);
+            assert!(feq(a[0], b[0]) && feq(a[1], b[1]), "diverged at t={t}");
+        }
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub use data::{RiverDataset, Split, StationSeries};
 pub use flow::{route_flows, WaterBody};
 pub use io::{from_csv, load_csv, save_csv, to_csv};
 pub use metrics::{mae, rmse};
-pub use network::{NetworkError, RiverNetwork, Station, StationId, StationKind};
-pub use synthetic::{generate, SyntheticConfig};
+pub use network::{Edge, NetworkError, RiverNetwork, Station, StationId, StationKind};
+pub use synthetic::{generate, generate_on, StationEnv, SyntheticConfig};
 pub use vars::NUM_VARS;

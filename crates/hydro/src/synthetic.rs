@@ -143,13 +143,31 @@ impl TruthParams {
 }
 
 /// Per-station environment offsets (tributaries carry more nutrients; the
-/// lower main channel is warmer and more conductive).
-#[derive(Debug, Clone, Copy)]
-struct StationEnv {
-    nutrient_scale: f64,
-    temp_offset: f64,
-    cond_offset: f64,
-    catchment: f64,
+/// lower main channel is warmer and more conductive). Scenario generators
+/// supply one of these per station to drive [`generate_on`] over networks
+/// other than the Nakdong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationEnv {
+    /// Multiplier on the nutrient loading base (1.0 = reference reach).
+    pub nutrient_scale: f64,
+    /// Additive water-temperature offset in °C.
+    pub temp_offset: f64,
+    /// Additive conductivity offset in µS/cm.
+    pub cond_offset: f64,
+    /// Catchment responsiveness: how strongly rain becomes runoff.
+    pub catchment: f64,
+}
+
+impl StationEnv {
+    /// The env of a pure mixing point (virtual confluences).
+    pub fn neutral() -> StationEnv {
+        StationEnv {
+            nutrient_scale: 1.0,
+            temp_offset: 0.0,
+            cond_offset: 0.0,
+            catchment: 0.0,
+        }
+    }
 }
 
 fn station_env(name: &str) -> StationEnv {
@@ -211,12 +229,7 @@ fn station_env(name: &str) -> StationEnv {
             catchment: 2.5,
         },
         // Virtual stations: pure mixing points (env unused beyond defaults).
-        _ => StationEnv {
-            nutrient_scale: 1.0,
-            temp_offset: 0.0,
-            cond_offset: 0.0,
-            catchment: 0.0,
-        },
+        _ => StationEnv::neutral(),
     }
 }
 
@@ -286,9 +299,26 @@ fn truth_step(
     (bphy, bzoo)
 }
 
-/// Generate the full dataset.
+/// Generate the full dataset over the Nakdong network of Fig. 8.
 pub fn generate(cfg: &SyntheticConfig) -> RiverDataset {
     let net = RiverNetwork::nakdong();
+    let envs: Vec<StationEnv> = net
+        .stations()
+        .map(|(_, st)| station_env(&st.name))
+        .collect();
+    generate_on(cfg, net, &envs)
+}
+
+/// Generate the full dataset over an arbitrary validated network.
+///
+/// `envs[i]` is the environment of station `i`. The ground-truth physics,
+/// hidden mechanisms, and observation model are exactly those of
+/// [`generate`]; only the topology and per-station environments vary. All
+/// randomness flows from `cfg.seed`, and the draw order is fixed by the
+/// network's station count and topological order — so for a fixed
+/// `(cfg, net, envs)` the dataset is bit-identical across runs.
+pub fn generate_on(cfg: &SyntheticConfig, net: RiverNetwork, envs: &[StationEnv]) -> RiverDataset {
+    assert_eq!(envs.len(), net.len(), "one StationEnv per station required");
     let days = days_in_range(cfg.start_year, cfg.end_year);
     let train_days = days_in_range(cfg.start_year, cfg.train_end_year);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -367,7 +397,7 @@ pub fn generate(cfg: &SyntheticConfig) -> RiverDataset {
     // ---- Hydrology: runoff per station, then eq. 9 routing. ----
     let mut runoff = vec![vec![0.0f64; days]; n_st];
     for (sid, st) in net.stations() {
-        let env = station_env(&st.name);
+        let env = envs[sid.0];
         if st.kind == StationKind::Virtual {
             continue;
         }
@@ -397,7 +427,7 @@ pub fn generate(cfg: &SyntheticConfig) -> RiverDataset {
         for &sid in net.topo_order() {
             let s = sid.0;
             let st_meta = net.station(sid);
-            let env = station_env(&st_meta.name);
+            let env = envs[s];
 
             // Merge upstream water bodies (lagged) with retained local water.
             let prev: TruthState = state_hist[s]
@@ -759,6 +789,83 @@ mod tests {
             (from..to).map(|t| s.vars[t][VN as usize]).sum::<f64>() / (to - from) as f64
         };
         assert!(mean_n(&rich, 731, 1096) > 1.5 * mean_n(&rich, 0, 366));
+    }
+
+    #[test]
+    fn generate_on_nakdong_matches_generate() {
+        let cfg = SyntheticConfig {
+            start_year: 1996,
+            end_year: 1997,
+            train_end_year: 1996,
+            ..Default::default()
+        };
+        let a = generate(&cfg);
+        let net = RiverNetwork::nakdong();
+        let envs: Vec<StationEnv> = net
+            .stations()
+            .map(|(_, st)| station_env(&st.name))
+            .collect();
+        let b = generate_on(&cfg, net, &envs);
+        for (sa, sb) in a.stations.iter().zip(&b.stations) {
+            assert_eq!(sa.chla, sb.chla);
+            assert_eq!(sa.vars, sb.vars);
+            assert_eq!(sa.flow, sb.flow);
+        }
+    }
+
+    #[test]
+    fn generate_on_custom_network_deterministic() {
+        use crate::network::{Edge, Station, StationId};
+        // A 4-station mainstem: s3 -> s2 -> s1 -> s0 (outlet).
+        let st = |name: &str, r| Station {
+            name: name.into(),
+            kind: StationKind::Measuring,
+            retention: r,
+        };
+        let e = |from: usize, to: usize| Edge {
+            from: StationId(from),
+            to: StationId(to),
+            distance_km: 20.0,
+            delay_days: 1,
+        };
+        let mk = || {
+            RiverNetwork::new(
+                vec![st("m0", 0.2), st("m1", 0.1), st("m2", 0.1), st("m3", 0.1)],
+                vec![e(3, 2), e(2, 1), e(1, 0)],
+            )
+            .unwrap()
+        };
+        let envs = vec![
+            StationEnv {
+                nutrient_scale: 1.1,
+                temp_offset: 0.5,
+                cond_offset: 20.0,
+                catchment: 5.0,
+            };
+            4
+        ];
+        let cfg = SyntheticConfig {
+            start_year: 1996,
+            end_year: 1997,
+            train_end_year: 1996,
+            ..Default::default()
+        };
+        let a = generate_on(&cfg, mk(), &envs);
+        let b = generate_on(&cfg, mk(), &envs);
+        assert_eq!(a.stations.len(), 4);
+        assert_eq!(a.days, 366 + 365);
+        assert_eq!(a.network.station(a.target).name, "m0");
+        for (sa, sb) in a.stations.iter().zip(&b.stations) {
+            assert_eq!(sa.chla, sb.chla);
+            assert_eq!(sa.vars, sb.vars);
+            assert_eq!(sa.flow, sb.flow);
+        }
+        for s in &a.stations {
+            for row in &s.vars {
+                assert!(row[VTMP as usize].is_finite());
+                assert!(row[VN as usize] > 0.0);
+            }
+        }
     }
 
     #[test]

@@ -113,3 +113,117 @@ proptest! {
         prop_assert!(flows[outlet].iter().all(|&f| f <= expected * 1.01));
     }
 }
+
+/// Generate a random *braided* network: heavier preferential attachment
+/// onto nodes that already have a child, so multi-parent confluences are
+/// common (the scenario engine's braided topologies look like this), with
+/// one forced confluence so every sampled network genuinely merges.
+fn braided_network(seed: u64, n: usize) -> RiverNetwork {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB8A1);
+    let mut child_count = vec![0usize; n];
+    let mut parent = vec![0usize; n];
+    for (i, p) in parent.iter_mut().enumerate().skip(1) {
+        // Prefer a parent that is already a junction: scan a few random
+        // candidates and keep the busiest.
+        let mut best = rng.gen_range(0..i);
+        for _ in 0..2 {
+            let c = rng.gen_range(0..i);
+            if child_count[c] > child_count[best] {
+                best = c;
+            }
+        }
+        *p = best;
+        child_count[best] += 1;
+    }
+    if n >= 3 && !child_count.iter().any(|&c| c >= 2) {
+        // Degenerate chain: rewire the tail onto the second-to-last
+        // node's parent to force one confluence.
+        child_count[parent[n - 1]] -= 1;
+        parent[n - 1] = parent[n - 2];
+        child_count[parent[n - 1]] += 1;
+    }
+    let stations: Vec<Station> = (0..n)
+        .map(|i| Station {
+            name: format!("B{i}"),
+            // In-degree >= 2 nodes are virtual confluences, like the
+            // generated scenario topologies.
+            kind: if i != 0 && child_count[i] >= 2 {
+                StationKind::Virtual
+            } else {
+                StationKind::Measuring
+            },
+            retention: 0.0,
+        })
+        .collect();
+    let edges: Vec<Edge> = (1..n)
+        .map(|i| Edge {
+            from: StationId(i),
+            to: StationId(parent[i]),
+            distance_km: rng.gen_range(1.0..60.0),
+            delay_days: rng.gen_range(1..4),
+        })
+        .collect();
+    RiverNetwork::new(stations, edges).expect("construction guarantees validity")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `topo_order` on large braided DAGs (up to 256 stations): a
+    /// permutation of all stations, outlet last, and every edge points
+    /// later in the order.
+    #[test]
+    fn topo_order_is_a_permutation_respecting_every_edge(seed in any::<u64>(), n in 2usize..=256) {
+        let net = braided_network(seed, n);
+        let order = net.topo_order();
+        prop_assert_eq!(order.len(), n);
+        let mut pos = vec![usize::MAX; n];
+        for (p, &s) in order.iter().enumerate() {
+            prop_assert_eq!(pos[s.0], usize::MAX, "station listed twice");
+            pos[s.0] = p;
+        }
+        prop_assert_eq!(*order.last().unwrap(), net.outlet(), "outlet drains last");
+        for e in net.edges() {
+            prop_assert!(
+                pos[e.from.0] < pos[e.to.0],
+                "edge {:?} -> {:?} violates topo order", e.from, e.to
+            );
+        }
+    }
+
+    /// Confluence merging: in a lossless braided network under constant
+    /// runoff, every station's steady-state flow is the sum of runoff over
+    /// its upstream closure — i.e. a confluence's flow is exactly its
+    /// tributaries' flows merged, with nothing duplicated or dropped.
+    #[test]
+    fn confluences_merge_exactly_their_upstream_closures(seed in any::<u64>(), n in 3usize..40) {
+        let net = braided_network(seed, n);
+        // Out-degree <= 1 makes the network a tree, so upstream closures
+        // are disjoint: |closure(s)| = 1 + sum over direct upstreams.
+        let mut closure = vec![1usize; n];
+        for &s in net.topo_order() {
+            for e in net.upstream_of(s) {
+                closure[s.0] += closure[e.from.0];
+            }
+        }
+        prop_assert_eq!(closure[net.outlet().0], n);
+        let n_confluences = net
+            .stations()
+            .filter(|(sid, _)| net.upstream_of(*sid).count() >= 2)
+            .count();
+        prop_assert!(n_confluences >= 1, "braided generator must merge somewhere");
+
+        let days = 1200;
+        let per_station = 2.0;
+        let runoff: Vec<Vec<f64>> = (0..n).map(|_| vec![per_station; days]).collect();
+        let flows = route_flows(&net, &runoff, &vec![0.0; n], days);
+        for (sid, _) in net.stations() {
+            let expected = per_station * closure[sid.0] as f64;
+            prop_assert!(
+                (flows[sid.0][days - 1] - expected).abs() < 1e-6,
+                "station {:?}: steady flow {} != merged closure {}",
+                sid, flows[sid.0][days - 1], expected
+            );
+        }
+    }
+}

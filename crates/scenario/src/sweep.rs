@@ -1,0 +1,211 @@
+//! Online sweep reduction: one trajectory → a small summary record.
+//!
+//! A sweep never ships trajectories back to the caller — each variant's
+//! daily `(BPhy, BZoo)` path is folded into a [`SweepSummary`] as it is
+//! stepped. The reducer is strictly day-ordered and uses only
+//! order-independent-free arithmetic (max, count, a single running sum),
+//! so reducing online during a batched ensemble step is bit-identical to
+//! reducing a solo trajectory after the fact — the property the scenario
+//! bench gates on.
+
+use gmr_json::{push_f64, Value};
+
+/// What to reduce each trajectory to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReduceSpec {
+    /// Bloom threshold (mg/m³ chl-a-equivalent biomass) for exceedance
+    /// counting.
+    pub threshold: f64,
+}
+
+impl Default for ReduceSpec {
+    fn default() -> Self {
+        // The paper's bloom-warning band sits around 25 mg/m³.
+        ReduceSpec { threshold: 25.0 }
+    }
+}
+
+/// Summary statistics of one variant's trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Variant index within the sweep.
+    pub variant: u32,
+    /// Maximum pre-step phytoplankton biomass over the run.
+    pub peak_bphy: f64,
+    /// Day index (0-based) of the first occurrence of the peak.
+    pub peak_day: usize,
+    /// Days with biomass strictly above the threshold.
+    pub exceed_days: usize,
+    /// Mean biomass over the run.
+    pub mean_bphy: f64,
+    /// Biomass on the last day.
+    pub final_bphy: f64,
+    /// Zooplankton biomass on the last day.
+    pub final_bzoo: f64,
+}
+
+impl SweepSummary {
+    /// Render as a JSON object (deterministic key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"variant\": ");
+        push_f64(&mut out, self.variant as f64);
+        out.push_str(", \"peak_bphy\": ");
+        push_f64(&mut out, self.peak_bphy);
+        out.push_str(", \"peak_day\": ");
+        push_f64(&mut out, self.peak_day as f64);
+        out.push_str(", \"exceed_days\": ");
+        push_f64(&mut out, self.exceed_days as f64);
+        out.push_str(", \"mean_bphy\": ");
+        push_f64(&mut out, self.mean_bphy);
+        out.push_str(", \"final_bphy\": ");
+        push_f64(&mut out, self.final_bphy);
+        out.push_str(", \"final_bzoo\": ");
+        push_f64(&mut out, self.final_bzoo);
+        out.push('}');
+        out
+    }
+
+    /// Parse back from a strict-parsed JSON value (for benches and
+    /// cluster tests that compare summaries across the wire).
+    pub fn from_value(v: &Value) -> Option<SweepSummary> {
+        Some(SweepSummary {
+            variant: v.get("variant")?.as_u64()? as u32,
+            peak_bphy: v.get("peak_bphy")?.as_f64()?,
+            peak_day: v.get("peak_day")?.as_u64()? as usize,
+            exceed_days: v.get("exceed_days")?.as_u64()? as usize,
+            mean_bphy: v.get("mean_bphy")?.as_f64()?,
+            final_bphy: v.get("final_bphy")?.as_f64()?,
+            final_bzoo: v.get("final_bzoo")?.as_f64()?,
+        })
+    }
+}
+
+/// Day-ordered online reducer. Push exactly one `(bphy, bzoo)` pair per
+/// day, in day order, then call [`SweepReducer::finish`].
+#[derive(Debug, Clone)]
+pub struct SweepReducer {
+    variant: u32,
+    threshold: f64,
+    peak_bphy: f64,
+    peak_day: usize,
+    exceed_days: usize,
+    sum_bphy: f64,
+    days: usize,
+    last_bphy: f64,
+    last_bzoo: f64,
+}
+
+impl SweepReducer {
+    pub fn new(variant: u32, reduce: &ReduceSpec) -> SweepReducer {
+        SweepReducer {
+            variant,
+            threshold: reduce.threshold,
+            peak_bphy: f64::NEG_INFINITY,
+            peak_day: 0,
+            exceed_days: 0,
+            sum_bphy: 0.0,
+            days: 0,
+            last_bphy: 0.0,
+            last_bzoo: 0.0,
+        }
+    }
+
+    /// Fold in one day's pre-step state.
+    pub fn push(&mut self, bphy: f64, bzoo: f64) {
+        if bphy > self.peak_bphy {
+            self.peak_bphy = bphy;
+            self.peak_day = self.days;
+        }
+        if bphy > self.threshold {
+            self.exceed_days += 1;
+        }
+        self.sum_bphy += bphy;
+        self.days += 1;
+        self.last_bphy = bphy;
+        self.last_bzoo = bzoo;
+    }
+
+    pub fn finish(self) -> SweepSummary {
+        SweepSummary {
+            variant: self.variant,
+            peak_bphy: self.peak_bphy,
+            peak_day: self.peak_day,
+            exceed_days: self.exceed_days,
+            mean_bphy: if self.days > 0 {
+                self.sum_bphy / self.days as f64
+            } else {
+                0.0
+            },
+            final_bphy: self.last_bphy,
+            final_bzoo: self.last_bzoo,
+        }
+    }
+}
+
+/// Reduce a complete pair of trajectories (e.g. a solo `/simulate`
+/// response) — the reference the online reducer must match bit-for-bit.
+pub fn reduce_series(
+    variant: u32,
+    reduce: &ReduceSpec,
+    bphy: &[f64],
+    bzoo: &[f64],
+) -> SweepSummary {
+    assert_eq!(bphy.len(), bzoo.len());
+    let mut r = SweepReducer::new(variant, reduce);
+    for (&p, &z) in bphy.iter().zip(bzoo) {
+        r.push(p, z);
+    }
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_matches_batch_bitwise() {
+        let bphy: Vec<f64> = (0..400)
+            .map(|i| 10.0 + (i as f64 * 0.37).sin() * 20.0)
+            .collect();
+        let bzoo: Vec<f64> = (0..400).map(|i| 2.0 + (i as f64 * 0.11).cos()).collect();
+        let spec = ReduceSpec { threshold: 25.0 };
+        let batch = reduce_series(7, &spec, &bphy, &bzoo);
+        let mut r = SweepReducer::new(7, &spec);
+        for (&p, &z) in bphy.iter().zip(&bzoo) {
+            r.push(p, z);
+        }
+        let online = r.finish();
+        assert_eq!(batch, online);
+        assert!(batch.peak_bphy > 25.0);
+        assert!(batch.exceed_days > 0 && batch.exceed_days < 400);
+        assert_eq!(batch.final_bphy, bphy[399]);
+        assert_eq!(batch.final_bzoo, bzoo[399]);
+    }
+
+    #[test]
+    fn peak_day_is_first_occurrence() {
+        let s = reduce_series(0, &ReduceSpec::default(), &[1.0, 5.0, 5.0, 2.0], &[0.0; 4]);
+        assert_eq!(s.peak_day, 1);
+        assert_eq!(s.peak_bphy, 5.0);
+    }
+
+    #[test]
+    fn json_round_trips_bitwise() {
+        let s = SweepSummary {
+            variant: 3,
+            peak_bphy: 33.123456789012345,
+            peak_day: 211,
+            exceed_days: 48,
+            mean_bphy: 17.000000000000004,
+            final_bphy: 9.87654321e-3,
+            final_bzoo: 1.25,
+        };
+        let v = gmr_json::parse(&s.to_json()).unwrap();
+        let back = SweepSummary::from_value(&v).unwrap();
+        assert_eq!(
+            s, back,
+            "shortest-roundtrip floats survive the wire exactly"
+        );
+    }
+}

@@ -214,10 +214,16 @@ pub enum HostedTable {
     Network(Vec<NetStation>),
 }
 
-/// Named hosted tables, fixed at server start.
+/// Named hosted tables, fixed at server start — plus, optionally, the
+/// scenario store, whose `scn:<name>/<variant>` virtual tables resolve
+/// anywhere a `forcings_ref` does. Scenario admission is append-only and
+/// name-immutable (see [`crate::scenario::ScenarioStore::admit`]), so a
+/// resolved ref always means the same rows — the invariant the registry's
+/// by-name prefix caches and the gateway's by-ref routing both lean on.
 #[derive(Debug, Default)]
 pub struct Tables {
     map: BTreeMap<String, HostedTable>,
+    scenarios: Option<Arc<crate::scenario::ScenarioStore>>,
 }
 
 impl Tables {
@@ -234,6 +240,26 @@ impl Tables {
     /// The table under `name`.
     pub fn get(&self, name: &str) -> Option<&HostedTable> {
         self.map.get(name)
+    }
+
+    /// Attach the scenario store that backs `scn:` forcing refs.
+    pub fn attach_scenarios(&mut self, store: Arc<crate::scenario::ScenarioStore>) {
+        self.scenarios = Some(store);
+    }
+
+    /// The attached scenario store, if any.
+    pub fn scenarios(&self) -> Option<&Arc<crate::scenario::ScenarioStore>> {
+        self.scenarios.as_ref()
+    }
+
+    /// Row count behind a `scn:` forcing ref, without materializing it.
+    fn scenario_ref_len(&self, name: &str) -> Option<usize> {
+        self.scenarios.as_ref()?.ref_len(name)
+    }
+
+    /// Materialize the rows behind a `scn:` forcing ref.
+    fn scenario_rows(&self, name: &str) -> Option<Vec<[f64; NUM_VARS]>> {
+        self.scenarios.as_ref()?.resolve_ref(name)
     }
 
     /// Hosted table names, sorted.
@@ -342,7 +368,7 @@ pub fn simulate_single(
 /// Pad a lock-step sweep to full [`LANES`] stripes once it is at least
 /// this wide (and the vector kernels are live): from half-occupancy up,
 /// one full-stripe vector dispatch beats `k` scalar per-lane loops.
-const PAD_MIN: usize = LANES / 2;
+pub(crate) const PAD_MIN: usize = LANES / 2;
 
 /// `k = inits.len()` trajectories over one shared forcing table in a
 /// single lock-step sweep (`k <= LANES`). Per-trajectory results are
@@ -440,11 +466,8 @@ fn run_solo(
             Ok(SimOutput::Single { bphy, bzoo })
         }
         ForcingSource::Ref(name) => {
-            let table = tables
-                .get(name)
-                .ok_or_else(|| (404, format!("no hosted table {name:?}")))?;
-            match table {
-                HostedTable::Single(rows) => {
+            match tables.get(name) {
+                Some(HostedTable::Single(rows)) => {
                     let days = req.days.unwrap_or(rows.len());
                     if days > rows.len() {
                         return Err((400, format!("days {days} > {} table rows", rows.len())));
@@ -453,7 +476,21 @@ fn run_solo(
                         simulate_single(sys, &rows[..days], req.init, req.dt, req.state_cap);
                     Ok(SimOutput::Single { bphy, bzoo })
                 }
-                HostedTable::Network(stations) => run_network(job, stations, sys),
+                Some(HostedTable::Network(stations)) => run_network(job, stations, sys),
+                // Not a hosted table: maybe a scenario-variant virtual
+                // table (`scn:<name>/<variant>`), materialized on demand.
+                None => {
+                    let rows = tables
+                        .scenario_rows(name)
+                        .ok_or_else(|| (404, format!("no hosted table {name:?}")))?;
+                    let days = req.days.unwrap_or(rows.len());
+                    if days > rows.len() {
+                        return Err((400, format!("days {days} > {} table rows", rows.len())));
+                    }
+                    let (bphy, bzoo) =
+                        simulate_single(sys, &rows[..days], req.init, req.dt, req.state_cap);
+                    Ok(SimOutput::Single { bphy, bzoo })
+                }
             }
         }
     }
@@ -542,11 +579,15 @@ fn group_key(job: &SimJob, tables: &Tables) -> Option<(GroupKey, usize)> {
     let ForcingSource::Ref(name) = &req.source else {
         return None;
     };
-    let HostedTable::Single(rows) = tables.get(name)? else {
-        return None;
+    // Hosted single tables and scenario-variant refs both group; their
+    // lengths are known without materializing anything.
+    let avail = match tables.get(name) {
+        Some(HostedTable::Single(rows)) => rows.len(),
+        Some(HostedTable::Network(_)) => return None,
+        None => tables.scenario_ref_len(name)?,
     };
-    let days = req.days.unwrap_or(rows.len());
-    if days > rows.len() {
+    let days = req.days.unwrap_or(avail);
+    if days > avail {
         return None; // fall through to solo path, which reports the 400
     }
     Some((
@@ -612,11 +653,24 @@ fn flush(jobs: Vec<SimJob>, tables: &Tables, registry: &ModelRegistry) {
             }
             continue;
         };
-        let Some(HostedTable::Single(rows)) = tables.get(&key.1) else {
-            unreachable!("group_key checked the table");
+        // Hosted table, or a scenario-variant ref materialized once per
+        // group (the whole group shares these rows).
+        let scn_rows: Vec<[f64; NUM_VARS]>;
+        let rows: &[[f64; NUM_VARS]] = match tables.get(&key.1) {
+            Some(HostedTable::Single(rows)) => rows,
+            _ => {
+                // `group_key` resolved this ref and the scenario store is
+                // append-only, so it still resolves here.
+                scn_rows = match tables.scenario_rows(&key.1) {
+                    Some(rows) => rows,
+                    None => unreachable!("group_key checked the table"),
+                };
+                &scn_rows
+            }
         };
         // The cached prefix covers the full hosted table; any request
-        // horizon shares it.
+        // horizon shares it. (Scenario refs are name-immutable, so caching
+        // their prefixes by ref name is sound too.)
         let prefix = hot.prefix_for(&key.1, rows);
         let rows = &rows[..days];
         let dt = f64::from_bits(key.3);

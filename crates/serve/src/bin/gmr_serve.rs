@@ -39,7 +39,11 @@ fn usage() -> ExitCode {
        gmr-serve cluster --backends N [--addr A] [--artifacts DIR] [--port-file P]
                          [--journal P] [--hot-models N] [serve flags forwarded to backends]
        gmr-serve export --out PATH
-       gmr-serve request ADDR METHOD PATH [--data JSON | --body FILE] [--repeat N] [-v]"
+       gmr-serve scenario-spec [--name S] [--seed N] [--stations N] [--years N]
+                               [--kind mainstem|tributaries|braided] [--spread X]
+                               [--out PATH]
+       gmr-serve request ADDR METHOD PATH [--data JSON | --body-file FILE]
+                         [--repeat N] [-v]"
     );
     ExitCode::from(2)
 }
@@ -50,6 +54,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("cluster") => cmd_cluster(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
+        Some("scenario-spec") => cmd_scenario_spec(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
         _ => usage(),
     }
@@ -325,13 +330,87 @@ fn cmd_export(args: &[String]) -> ExitCode {
     }
 }
 
+/// Generate a well-formed `gmr-scenario/v1` spec (the `POST /scenarios`
+/// body format): a climate-transform chain plus one dam placed on a
+/// station the seeded topology is guaranteed to accept (physical,
+/// upstream of the outlet). What CI feeds the scenario smoke test.
+fn cmd_scenario_spec(args: &[String]) -> ExitCode {
+    let (name, seed, stations, years, kind, spread) = match (|| {
+        Ok::<_, String>((
+            flag(args, "--name").unwrap_or_else(|| "ci-what-if".into()),
+            parse_flag(args, "--seed", 7u64)?,
+            parse_flag(args, "--stations", 24usize)?,
+            parse_flag(args, "--years", 1usize)?,
+            flag(args, "--kind").unwrap_or_else(|| "braided".into()),
+            parse_flag(args, "--spread", 0.25f64)?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Validate the damless skeleton through the real parser — every range
+    // check the server's admission gate would apply runs here first.
+    let skeleton = format!(
+        r#"{{"schema": "{}", "name": "{name}", "seed": {seed},
+  "topology": {{"kind": "{kind}", "stations": {stations}}},
+  "years": {years},
+  "climate": [{{"kind": "monsoon_shift", "days": 10}},
+              {{"kind": "heatwave", "start_day": 185, "length": 15, "amp": 3}},
+              {{"kind": "drought", "scale": 0.8}}],
+  "spread": {spread}}}"#,
+        gmr_scenario::SCHEMA
+    );
+    let mut spec = match gmr_scenario::parse_spec(&skeleton) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid spec parameters: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Grow the topology this spec will compile to and site the dam on a
+    // physical (non-confluence) station that is not the outlet — chosen
+    // deterministically, so the emitted spec is a pure function of the
+    // flags.
+    let (net, _envs) = gmr_scenario::topology::build_topology(&spec);
+    let outlet = net.outlet();
+    let dam_station = net
+        .stations()
+        .filter(|(sid, st)| *sid != outlet && st.kind != gmr_hydro::StationKind::Virtual)
+        .map(|(_, st)| st.name.clone())
+        .last();
+    if let Some(station) = dam_station {
+        spec.transforms
+            .push(gmr_scenario::Transform::Dam(gmr_scenario::DamSpec {
+                station,
+                capacity: 200_000.0,
+                release: vec![0.6; 12],
+                overflow: 0.75,
+            }));
+    }
+    let rendered = format!("{}\n", gmr_scenario::render_spec(&spec));
+    match flag(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path} ({name}: {stations} stations, {years} year(s))");
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_request(args: &[String]) -> ExitCode {
     let (Some(addr), Some(method), Some(path)) = (args.first(), args.get(1), args.get(2)) else {
         return usage();
     };
     let body = if let Some(data) = flag(args, "--data") {
         data.into_bytes()
-    } else if let Some(file) = flag(args, "--body") {
+    } else if let Some(file) = flag(args, "--body-file").or_else(|| flag(args, "--body")) {
         match std::fs::read(&file) {
             Ok(b) => b,
             Err(e) => {

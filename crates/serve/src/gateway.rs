@@ -212,10 +212,12 @@ struct GatewayMetrics {
 
 /// Every endpoint tag [`endpoint_tag`] can return, in one fixed order so
 /// per-route histograms are pre-registered rather than created per hit.
-const ROUTE_TAGS: [&str; 5] = [
+const ROUTE_TAGS: [&str; 7] = [
     "gw:/healthz",
     "gw:/models",
     "gw:/simulate",
+    "gw:/scenarios",
+    "gw:/sweep",
     "gw:/metrics",
     "gw:(other)",
 ];
@@ -635,6 +637,8 @@ fn endpoint_tag(path: &str) -> &'static str {
         "/healthz" => "gw:/healthz",
         "/models" => "gw:/models",
         "/simulate" => "gw:/simulate",
+        "/scenarios" => "gw:/scenarios",
+        "/sweep" => "gw:/sweep",
         "/metrics" => "gw:/metrics",
         _ => "gw:(other)",
     }
@@ -700,12 +704,113 @@ fn dispatch(req: &Request, shared: &GwShared, pool: &mut BackendPool, ctx: Trace
         ("GET", "/models") => forward_any(req, shared, pool, "GET", "/models", ctx),
         ("GET", "/metrics") => GwServed::plain(200, rollup_metrics(shared, pool)),
         ("POST", "/simulate") => proxy_simulate(req, shared, pool, ctx),
-        ("GET", "/simulate") | ("POST", "/healthz" | "/models" | "/metrics") => GwServed::plain(
-            405,
-            http::error_body("method not allowed for this endpoint"),
-        ),
+        ("POST", "/scenarios") => broadcast_scenarios(req, shared, pool, ctx),
+        ("GET", "/scenarios") => forward_any(req, shared, pool, "GET", "/scenarios", ctx),
+        ("POST", "/sweep") => proxy_sweep(req, shared, pool, ctx),
+        ("GET", "/simulate" | "/sweep") | ("POST", "/healthz" | "/models" | "/metrics") => {
+            GwServed::plain(
+                405,
+                http::error_body("method not allowed for this endpoint"),
+            )
+        }
         _ => GwServed::plain(404, http::error_body("no such endpoint")),
     }
+}
+
+/// Broadcast one `POST /scenarios` admission to *every* live backend.
+/// Scenario refs are not pinned the way hosted tables are: a sweep for
+/// `(model, scn:name)` and a solo `/simulate` of `scn:name/<v>` hash to
+/// different ring keys, so any backend may be asked to resolve the
+/// scenario — all of them must host it. Admission is idempotent on the
+/// backends, so re-broadcasting after a restart is harmless. The relayed
+/// response is the worst one observed (any backend's rejection wins over
+/// the successes — the caller must not believe a partially-admitted
+/// scenario is servable).
+fn broadcast_scenarios(
+    req: &Request,
+    shared: &GwShared,
+    pool: &mut BackendPool,
+    ctx: TraceCtx,
+) -> GwServed {
+    let header = ctx.header_value();
+    let mut worst: Option<(usize, Response, u64)> = None;
+    let mut reached = 0usize;
+    for (b, slot) in shared.slots.iter().enumerate() {
+        let Some(addr) = slot.addr() else { continue };
+        let t0 = Instant::now();
+        match pool.exchange(b, addr, "POST", "/scenarios", &req.body, Some(&header)) {
+            Ok(resp) => {
+                reached += 1;
+                let strictly_worse = match &worst {
+                    None => true,
+                    Some((_, held, _)) => resp.status >= 400 && resp.status > held.status,
+                };
+                if strictly_worse {
+                    worst = Some((b, resp, t0.elapsed().as_micros() as u64));
+                }
+            }
+            Err(_) => mark_backend_down(shared, b),
+        }
+    }
+    match worst {
+        Some((b, resp, upstream_us)) if reached > 0 => GwServed::relayed(resp, b, upstream_us),
+        _ => GwServed::plain(503, http::error_body("no live backend")),
+    }
+}
+
+/// Proxy one `/sweep` by (model, `scn:<scenario>`) consistent hashing —
+/// the same ring walk and 429-is-final discipline as [`proxy_simulate`],
+/// so repeated sweeps of one scenario land on the backend whose hot tier
+/// and prefix caches already hold it.
+fn proxy_sweep(
+    req: &Request,
+    shared: &GwShared,
+    pool: &mut BackendPool,
+    ctx: TraceCtx,
+) -> GwServed {
+    let _sp = gmr_obsv::span!("gateway.route", ctx.trace);
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return GwServed::plain(400, http::error_body("body is not UTF-8"));
+    };
+    let value = match gmr_json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return GwServed::plain(400, http::error_body(&format!("invalid JSON: {e}"))),
+    };
+    let Some(model) = value.get("model").and_then(Value::as_str) else {
+        return GwServed::plain(400, http::error_body("missing \"model\""));
+    };
+    let Some(scenario) = value.get("scenario").and_then(Value::as_str) else {
+        return GwServed::plain(400, http::error_body("missing \"scenario\""));
+    };
+    let table = format!("{}{scenario}", crate::scenario::SCN_REF_PREFIX);
+    let key = Ring::key(model, &table);
+    let header = ctx.header_value();
+    let mut tried = 0u32;
+    for b in shared.ring.preference(&key) {
+        let b = b as usize;
+        let Some(addr) = shared.slots[b].addr() else {
+            continue;
+        };
+        if tried > 0 {
+            shared.metrics.failovers.inc();
+        }
+        tried += 1;
+        let t0 = Instant::now();
+        match pool.exchange(b, addr, "POST", "/sweep", &req.body, Some(&header)) {
+            Ok(resp) => {
+                shared.metrics.proxied.inc();
+                let mut served = GwServed::relayed(resp, b, t0.elapsed().as_micros() as u64);
+                served.model = model.to_string();
+                served.table = table;
+                return served;
+            }
+            Err(_) => mark_backend_down(shared, b),
+        }
+    }
+    let mut served = GwServed::plain(503, http::error_body("no live backend"));
+    served.model = model.to_string();
+    served.table = table;
+    served
 }
 
 /// Forward a request to the first live backend (all backends host the

@@ -39,6 +39,16 @@
 //!   pinned to one backend — so every backend's hot tier and prefix
 //!   caches only hold its shard — while preserving the bounded-queue/429
 //!   discipline end to end.
+//!
+//! And a fifth serves what-if studies instead of single trajectories:
+//!
+//! * [`scenario`] — `POST /scenarios` admits a `gmr-scenario/v1` spec
+//!   (lint-gated, append-only, name-immutable), after which every variant
+//!   of the compiled scenario is addressable as a virtual forcing table
+//!   `scn:<name>/<variant>`, and `POST /sweep` fans one request into
+//!   hundreds of jittered forcing variants executed through lock-step
+//!   ensemble lanes and reduced online to per-variant summary statistics
+//!   — bit-identical to solo `/simulate` runs of the same refs.
 
 pub mod artifact;
 pub mod batch;
@@ -46,6 +56,7 @@ pub mod cluster;
 pub mod gateway;
 pub mod http;
 pub mod registry;
+pub mod scenario;
 pub mod server;
 pub mod sig;
 pub mod trace;
@@ -54,4 +65,5 @@ pub use artifact::{ModelArtifact, Provenance, SCHEMA};
 pub use cluster::{Cluster, ClusterConfig};
 pub use gateway::{BackendSlot, Gateway, GatewayConfig, GatewayHandle, Ring};
 pub use registry::{ModelRegistry, RegistryError, ServableModel};
+pub use scenario::{ScenarioStore, SweepRequest, MAX_VARIANTS, SCN_REF_PREFIX};
 pub use server::{Server, ServerConfig, ServerHandle};

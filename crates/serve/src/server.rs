@@ -29,6 +29,7 @@ use crate::batch::{
 };
 use crate::http::{self, HttpError, Request};
 use crate::registry::ModelRegistry;
+use crate::scenario::{parse_sweep_request, render_sweep, run_sweep, ScenarioStore};
 use crate::trace::TraceCtx;
 use gmr_json::{push_escaped, push_f64};
 use gmr_obsv::journal::Event;
@@ -86,6 +87,21 @@ impl Default for ServerConfig {
     }
 }
 
+/// Every endpoint tag [`endpoint_tag`] can return, in one fixed order so
+/// per-route histograms are pre-registered rather than created per hit.
+/// Adding a route means adding it here AND in `endpoint_tag` — the
+/// `route_tags_cover_dispatch` test fails if the two drift, which is what
+/// used to let new endpoints silently fall through to `(other)`.
+pub const ROUTE_TAGS: [&str; 7] = [
+    "/healthz",
+    "/models",
+    "/simulate",
+    "/scenarios",
+    "/sweep",
+    "/metrics",
+    "(other)",
+];
+
 /// Serving-stack metrics, exposed verbatim by `/metrics`.
 pub struct ServeMetrics {
     /// The registry `/metrics` snapshots.
@@ -98,6 +114,14 @@ pub struct ServeMetrics {
     pub batch: Arc<Histogram>,
     /// End-to-end request service time, microseconds.
     pub latency_us: Arc<Histogram>,
+    /// Per-route service time, index-aligned with [`ROUTE_TAGS`].
+    pub route_latency: Vec<Arc<Histogram>>,
+    /// Scenarios freshly admitted through `POST /scenarios`.
+    pub scn_admitted: Arc<Counter>,
+    /// `/sweep` requests executed.
+    pub scn_sweeps: Arc<Counter>,
+    /// Ensemble variants simulated across all sweeps.
+    pub scn_variants: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -108,7 +132,20 @@ impl ServeMetrics {
             shed: registry.counter("serve.shed_total"),
             batch: registry.histogram("serve.batch_size"),
             latency_us: registry.histogram("serve.latency_us"),
+            route_latency: ROUTE_TAGS
+                .iter()
+                .map(|t| registry.histogram(&format!("serve.route.{t}.latency_us")))
+                .collect(),
+            scn_admitted: registry.counter("scn.admitted_total"),
+            scn_sweeps: registry.counter("scn.sweeps_total"),
+            scn_variants: registry.counter("scn.sweep_variants_total"),
             registry,
+        }
+    }
+
+    fn record_route(&self, tag: &str, dur_us: u64) {
+        if let Some(i) = ROUTE_TAGS.iter().position(|t| *t == tag) {
+            self.route_latency[i].record(dur_us);
         }
     }
 }
@@ -117,6 +154,9 @@ impl ServeMetrics {
 struct Shared {
     registry: Arc<ModelRegistry>,
     tables: Arc<Tables>,
+    /// Runtime-admitted scenarios; the same store the tables resolve
+    /// `scn:` forcing refs through.
+    scenarios: Arc<ScenarioStore>,
     metrics: ServeMetrics,
     shutdown: AtomicBool,
     conns: Mutex<VecDeque<TcpStream>>,
@@ -163,9 +203,22 @@ impl Server {
         let workers = self.config.workers.max(1);
         let mut registry = self.registry;
         registry.set_hot_cap(self.config.hot_models);
+        // One scenario store serves both the dispatch path (admission,
+        // listing, sweeps) and the batcher (solo `scn:` forcing refs) —
+        // attach it to the tables before they freeze behind the Arc.
+        let mut tables = self.tables;
+        let scenarios = match tables.scenarios() {
+            Some(s) => Arc::clone(s),
+            None => {
+                let s = Arc::new(ScenarioStore::new());
+                tables.attach_scenarios(Arc::clone(&s));
+                s
+            }
+        };
         let shared = Arc::new(Shared {
             registry: Arc::new(registry),
-            tables: Arc::new(self.tables),
+            tables: Arc::new(tables),
+            scenarios,
             metrics: ServeMetrics::new(),
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(VecDeque::new()),
@@ -350,6 +403,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, sim_tx: &SyncSender<Sim
                 // Adopt the caller's trace context (the gateway's hop) or
                 // mint a root when called directly.
                 let ctx = TraceCtx::from_header(req.header("x-gmr-trace"));
+                let tag = endpoint_tag(&req.path);
                 let t0 = Instant::now();
                 let served = dispatch(&req, shared, sim_tx, ctx);
                 let dur_us = t0.elapsed().as_micros() as u64;
@@ -359,11 +413,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared, sim_tx: &SyncSender<Sim
                     shared.metrics.shed.inc();
                 }
                 shared.metrics.latency_us.record(dur_us);
+                shared.metrics.record_route(tag, dur_us);
                 if served.batch > 0 {
                     shared.metrics.batch.record(served.batch);
                 }
                 gmr_obsv::emit(Event::Request {
-                    endpoint: endpoint_tag(&req.path),
+                    endpoint: tag,
                     status,
                     dur_us,
                     batch: served.batch,
@@ -373,7 +428,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, sim_tx: &SyncSender<Sim
                     span: ctx.span,
                     parent: ctx.parent,
                     method: req.method.clone(),
-                    path: endpoint_tag(&req.path),
+                    path: tag,
                     model: served.model,
                     table: served.table,
                     status,
@@ -442,13 +497,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared, sim_tx: &SyncSender<Sim
     }
 }
 
-/// Stable endpoint label for journal events.
+/// Stable endpoint label for journal events and per-route histograms.
+/// Every arm must return a member of [`ROUTE_TAGS`] (pinned by test) —
+/// a new route added to `dispatch` but not here would land in the
+/// `(other)` bucket instead of its own histogram.
 fn endpoint_tag(path: &str) -> &'static str {
     let bare = path.split('?').next().unwrap_or(path);
     match bare {
         "/healthz" => "/healthz",
         "/models" => "/models",
         "/simulate" => "/simulate",
+        "/scenarios" => "/scenarios",
+        "/sweep" => "/sweep",
         "/metrics" => "/metrics",
         _ => "(other)",
     }
@@ -514,12 +574,99 @@ fn dispatch(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>, ctx: Tr
             Served::plain(200, body.into_bytes())
         }
         ("POST", "/simulate") => simulate(req, shared, sim_tx, ctx),
-        ("GET", "/simulate") | ("POST", "/healthz" | "/models" | "/metrics") => Served::plain(
-            405,
-            http::error_body("method not allowed for this endpoint"),
-        ),
+        ("POST", "/scenarios") => scenarios_admit(req, shared),
+        ("GET", "/scenarios") => Served::plain(200, shared.scenarios.render_json().into_bytes()),
+        ("POST", "/sweep") => sweep(req, shared, ctx),
+        ("GET", "/simulate" | "/sweep") | ("POST", "/healthz" | "/models" | "/metrics") => {
+            Served::plain(
+                405,
+                http::error_body("method not allowed for this endpoint"),
+            )
+        }
         _ => Served::plain(404, http::error_body("no such endpoint")),
     }
+}
+
+/// `POST /scenarios`: lint-gate and admit a `gmr-scenario/v1` spec. The
+/// store is append-only and name-immutable — an identical spec re-admits
+/// as a no-op (`"fresh": false`), a different spec under a taken name is
+/// `409` — so `scn:` refs and the gateway's scenario routing stay stable.
+fn scenarios_admit(req: &Request, shared: &Shared) -> Served {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Served::plain(400, http::error_body("body is not UTF-8")),
+    };
+    match shared.scenarios.admit(body) {
+        Ok((scn, fresh)) => {
+            if fresh {
+                shared.metrics.scn_admitted.inc();
+            }
+            let mut o = String::from("{\"admitted\": true, \"fresh\": ");
+            o.push_str(if fresh { "true" } else { "false" });
+            o.push_str(", \"name\": ");
+            push_escaped(&mut o, &scn.spec.name);
+            o.push_str(&format!(
+                ", \"stations\": {}, \"days\": {}, \"outlet\": ",
+                scn.spec.stations, scn.days
+            ));
+            push_escaped(&mut o, &scn.outlet);
+            o.push_str("}\n");
+            Served::plain(200, o.into_bytes())
+        }
+        Err((status, msg)) => Served::plain(status, http::error_body(&msg)),
+    }
+}
+
+/// `POST /sweep`: fan one request into `variants` jittered forcings of an
+/// admitted scenario, execute them through lock-step ensemble lanes, and
+/// answer with per-variant summary statistics. Runs inline on the worker
+/// (a sweep IS a batch — it does not coalesce with `/simulate` jobs).
+fn sweep(req: &Request, shared: &Shared, ctx: TraceCtx) -> Served {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Served::plain(400, http::error_body("body is not UTF-8")),
+    };
+    let value = match gmr_json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Served::plain(400, http::error_body(&format!("invalid JSON: {e}"))),
+    };
+    let sreq = match parse_sweep_request(&value) {
+        Ok(r) => r,
+        Err(msg) => return Served::plain(400, http::error_body(&msg)),
+    };
+    let table = format!("scn:{}", sreq.scenario);
+    let Some(scn) = shared.scenarios.get(&sreq.scenario) else {
+        return Served::tagged(
+            404,
+            http::error_body(&format!("no scenario {:?}", sreq.scenario)),
+            &sreq.model,
+            &table,
+        );
+    };
+    let Some(hot) = shared.registry.touch(&sreq.model) else {
+        return Served::tagged(
+            404,
+            http::error_body(&format!("no model {:?}", sreq.model)),
+            &sreq.model,
+            &table,
+        );
+    };
+    let start_us = gmr_obsv::now_us();
+    let t0 = Instant::now();
+    let summaries = run_sweep(&scn, &hot.system, &sreq);
+    let sim_us = t0.elapsed().as_micros() as u64;
+    gmr_obsv::span::record_external("scn.sweep", start_us, sim_us, Some(ctx.trace));
+    shared.metrics.scn_sweeps.inc();
+    shared.metrics.scn_variants.add(sreq.variants as u64);
+    let mut served = Served::tagged(
+        200,
+        render_sweep(&sreq, scn.days, &summaries),
+        &sreq.model,
+        &table,
+    );
+    served.batch = sreq.variants as u64;
+    served.sim_us = sim_us;
+    served
 }
 
 fn simulate(req: &Request, shared: &Shared, sim_tx: &SyncSender<SimJob>, ctx: TraceCtx) -> Served {
@@ -913,4 +1060,51 @@ pub fn read_response_full(reader: &mut impl io::BufRead) -> io::Result<Response>
         close,
         trace,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every tag `endpoint_tag` can produce is a member of [`ROUTE_TAGS`]
+    /// (so it has a pre-registered per-route histogram), and every served
+    /// endpoint maps to its *own* tag rather than falling through to
+    /// `(other)` — the regression that used to leave new routes without
+    /// per-route latency attribution.
+    #[test]
+    fn route_tags_cover_dispatch() {
+        for path in [
+            "/healthz",
+            "/models",
+            "/simulate",
+            "/scenarios",
+            "/sweep",
+            "/metrics",
+        ] {
+            let tag = endpoint_tag(path);
+            assert_eq!(tag, path, "{path} must have its own route tag");
+            assert!(ROUTE_TAGS.contains(&tag));
+            // Query strings route to the same tag.
+            assert_eq!(endpoint_tag(&format!("{path}?x=1")), tag);
+        }
+        assert_eq!(endpoint_tag("/nope"), "(other)");
+        assert!(ROUTE_TAGS.contains(&"(other)"));
+    }
+
+    /// The per-route histograms land in the `/metrics` snapshot under
+    /// their route names.
+    #[test]
+    fn route_histograms_are_registered() {
+        let m = ServeMetrics::new();
+        m.record_route("/sweep", 123);
+        m.record_route("(other)", 9);
+        m.record_route("(not-a-tag)", 7); // ignored, not a panic
+        let snap = snapshot_json(&m.registry.snapshot());
+        for tag in ROUTE_TAGS {
+            assert!(
+                snap.contains(&format!("serve.route.{tag}.latency_us")),
+                "missing histogram for {tag} in {snap}"
+            );
+        }
+    }
 }

@@ -408,3 +408,84 @@ fn gateway_propagates_backend_429_and_retry_after() {
     assert!(String::from_utf8_lossy(&resp.body).contains("backend saturated"));
     gateway.shutdown();
 }
+
+/// Scenario serving at cluster scale: `POST /scenarios` broadcasts to
+/// every backend (any backend may later be asked to resolve the
+/// scenario), `/sweep` routes by (model, scenario) through the ring, and
+/// a sweep summary answered through the gateway is bit-identical to the
+/// summary reduced from a solo `/simulate` of the same `scn:` ref —
+/// which itself hashes to a *different* ring key and may land on the
+/// other backend.
+#[test]
+fn scenario_sweep_through_gateway_matches_solo_refs() {
+    let cluster = start_cluster("scenario", 2, |_| {});
+    let gateway = Gateway::new(GatewayConfig::default(), cluster.slots())
+        .start()
+        .unwrap();
+    let addr = gateway.addr();
+
+    let spec = r#"{"schema": "gmr-scenario/v1", "name": "cluster-wet", "seed": 31,
+                   "topology": {"kind": "tributaries", "stations": 10},
+                   "years": 1,
+                   "climate": [{"kind": "heatwave", "start_day": 170, "length": 20, "amp": 2.5}],
+                   "spread": 0.3}"#;
+    let (status, bytes) = http_request(addr, "POST", "/scenarios", spec.as_bytes()).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+
+    // Both backends host it: the gateway's own listing (forwarded to one
+    // backend) and a direct probe of each backend agree.
+    for slot in cluster.slots().iter() {
+        let backend = slot.addr().expect("backend alive");
+        let (status, bytes) = http_request(backend, "GET", "/scenarios", b"").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            String::from_utf8_lossy(&bytes).contains("cluster-wet"),
+            "scenario admission must broadcast to every backend"
+        );
+    }
+
+    // Re-admission through the gateway is an idempotent broadcast...
+    let (status, _) = http_request(addr, "POST", "/scenarios", spec.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    // ...and a mutated spec under the same name is refused by the fleet.
+    let mutated = spec.replace("\"seed\": 31", "\"seed\": 32");
+    let (status, _) = http_request(addr, "POST", "/scenarios", mutated.as_bytes()).unwrap();
+    assert_eq!(status, 409, "scenario names are immutable cluster-wide");
+
+    let threshold = 24.0;
+    let sweep = format!(
+        r#"{{"scenario": "cluster-wet", "model": "table5-manual", "variants": 4,
+             "reduce": {{"threshold": {threshold}}}}}"#
+    );
+    let (status, bytes) = http_request(addr, "POST", "/sweep", sweep.as_bytes()).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+    let v = gmr_json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    let summaries = v.get("summaries").and_then(Value::as_arr).unwrap();
+    assert_eq!(summaries.len(), 4);
+
+    let reduce = gmr_scenario::ReduceSpec { threshold };
+    for (i, s) in summaries.iter().enumerate() {
+        let got = gmr_scenario::SweepSummary::from_value(s).expect("well-formed summary");
+        let body =
+            format!(r#"{{"model": "table5-manual", "forcings_ref": "scn:cluster-wet/{i}"}}"#);
+        let (status, bytes) = http_request(addr, "POST", "/simulate", body.as_bytes()).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&bytes));
+        let solo = gmr_json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        let series = |key: &str| -> Vec<f64> {
+            solo.get(key)
+                .and_then(Value::as_arr)
+                .unwrap()
+                .iter()
+                .map(|x| x.as_f64().unwrap())
+                .collect()
+        };
+        let want = gmr_scenario::reduce_series(i as u32, &reduce, &series("bphy"), &series("bzoo"));
+        assert_eq!(
+            got, want,
+            "variant {i}: gateway sweep summary != gateway solo-reduced"
+        );
+    }
+
+    gateway.shutdown();
+    cluster.shutdown();
+}

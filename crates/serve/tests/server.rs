@@ -400,3 +400,130 @@ fn champion_export_round_trip_is_bit_identical() {
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A small braided what-if scenario: the `POST /scenarios` body the
+/// scenario tests admit.
+fn scenario_spec(name: &str, seed: u64) -> String {
+    format!(
+        r#"{{"schema": "gmr-scenario/v1", "name": "{name}", "seed": {seed},
+            "topology": {{"kind": "braided", "stations": 12}},
+            "years": 1,
+            "climate": [{{"kind": "monsoon_shift", "days": 12}},
+                        {{"kind": "drought", "scale": 0.8}}],
+            "spread": 0.3}}"#
+    )
+}
+
+/// The whole scenario surface over one live server: admission (fresh,
+/// idempotent, 409 on mutation), listing, solo `/simulate` of `scn:` refs
+/// through the normal batcher, and a `/sweep` whose per-variant summaries
+/// are bit-identical to summaries reduced from those solo responses —
+/// floats having round-tripped through JSON text both ways.
+#[test]
+fn scenario_admission_sweep_and_solo_refs_agree() {
+    let (handle, _) = start(40, |_| {});
+    let addr = handle.addr();
+    let spec = scenario_spec("wet-year", 21);
+
+    // Fresh admission, then an idempotent re-admission.
+    let (status, body) = http_request(addr, "POST", "/scenarios", spec.as_bytes()).unwrap();
+    let v = gmr_json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(v.get("fresh").and_then(Value::as_bool), Some(true));
+    let (status, body) = http_request(addr, "POST", "/scenarios", spec.as_bytes()).unwrap();
+    let v = gmr_json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(v.get("fresh").and_then(Value::as_bool), Some(false));
+
+    // Same name, different spec: refused, nothing changed.
+    let mutated = scenario_spec("wet-year", 22);
+    let (status, _) = http_request(addr, "POST", "/scenarios", mutated.as_bytes()).unwrap();
+    assert_eq!(status, 409);
+
+    // A garbage spec is rejected by the admission gate.
+    let (status, _) = http_request(addr, "POST", "/scenarios", b"{\"schema\": \"x\"}").unwrap();
+    assert_eq!(status, 400);
+
+    // Listing is strict JSON and carries the canonical spec.
+    let (status, body) = http_request(addr, "GET", "/scenarios", b"").unwrap();
+    assert_eq!(status, 200);
+    let v = gmr_json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    let listed = v.get("scenarios").and_then(Value::as_arr).unwrap();
+    assert_eq!(listed.len(), 1);
+    assert_eq!(
+        listed[0].get("name").and_then(Value::as_str),
+        Some("wet-year")
+    );
+    let days = listed[0].get("days").and_then(Value::as_u64).unwrap() as usize;
+    assert!(days >= 365);
+
+    // Sweep a handful of variants...
+    let threshold = 22.5;
+    let sweep_body = format!(
+        r#"{{"scenario": "wet-year", "model": "table5-manual", "variants": 5,
+             "reduce": {{"threshold": {threshold}}}}}"#
+    );
+    let (status, body) = http_request(addr, "POST", "/sweep", sweep_body.as_bytes()).unwrap();
+    let v = gmr_json::parse(&String::from_utf8(body).unwrap()).unwrap();
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(v.get("days").and_then(Value::as_u64), Some(days as u64));
+    let summaries = v.get("summaries").and_then(Value::as_arr).unwrap();
+    assert_eq!(summaries.len(), 5);
+
+    // ...then re-derive each variant's summary from a solo `/simulate` of
+    // its `scn:` ref (served through the ordinary batcher path) and
+    // demand bitwise agreement.
+    let reduce = gmr_scenario::ReduceSpec { threshold };
+    for (i, s) in summaries.iter().enumerate() {
+        let got = gmr_scenario::SweepSummary::from_value(s).expect("well-formed summary");
+        let (status, v) = post_simulate(
+            &handle,
+            &format!(r#"{{"model": "table5-manual", "forcings_ref": "scn:wet-year/{i}"}}"#),
+        );
+        assert_eq!(status, 200, "{v:?}");
+        let bphy = json_series(&v, "bphy");
+        let bzoo = json_series(&v, "bzoo");
+        let want = gmr_scenario::reduce_series(i as u32, &reduce, &bphy, &bzoo);
+        assert_eq!(got, want, "variant {i}: sweep summary != solo-reduced");
+    }
+
+    // Unknown refs and scenarios still 404.
+    let (status, _) = post_simulate(
+        &handle,
+        r#"{"model": "table5-manual", "forcings_ref": "scn:nope/0"}"#,
+    );
+    assert_eq!(status, 404);
+    let sweep_404 = r#"{"scenario": "nope", "model": "table5-manual", "variants": 2}"#.as_bytes();
+    let (status, _) = http_request(addr, "POST", "/sweep", sweep_404).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_request(addr, "GET", "/sweep", b"").unwrap();
+    assert_eq!(status, 405);
+
+    // Per-route latency histograms saw the new endpoints (the old
+    // fall-through would have dumped them all into `(other)`), and the
+    // scenario counters moved.
+    let metrics = gmr_json::parse(&handle.metrics_json()).unwrap();
+    for route in ["/scenarios", "/sweep", "/simulate"] {
+        let count = metrics
+            .get(&format!("serve.route.{route}.latency_us"))
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        assert!(count > 0, "no per-route latency recorded for {route}");
+    }
+    assert_eq!(
+        metrics.get("scn.admitted_total").and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        metrics.get("scn.sweeps_total").and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        metrics
+            .get("scn.sweep_variants_total")
+            .and_then(Value::as_u64),
+        Some(5)
+    );
+    handle.shutdown();
+}
